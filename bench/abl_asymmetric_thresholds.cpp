@@ -1,0 +1,60 @@
+// Ablation: scope of Theorem 5.2's symmetry claim. The paper's optimality
+// analysis restricts to symmetric thresholds (all players identical —
+// the anonymous setting). With distinct player identities, asymmetric
+// thresholds strictly dominate: the extreme case a = (1,..,1,0,..,0) is a
+// deterministic identity split. This bench quantifies the gap between
+//   (a) the paper's symmetric optimum (exact, Sturm-certified),
+//   (b) the best asymmetric vector found by compass search from random
+//       starts (exact Theorem 5.1 evaluation), and
+//   (c) the deterministic balanced identity split.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/nonoblivious.hpp"
+#include "core/symmetric_threshold.hpp"
+#include "core/threshold_optimizer.hpp"
+#include "prob/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using ddm::util::Rational;
+  ddm::bench::print_banner(
+      "Ablation: asymmetric thresholds",
+      "Symmetric optimum (paper) vs asymmetric compass search vs identity split, t = n/3");
+
+  ddm::util::Table table{{"n", "t", "P_symmetric (exact)", "P_search (asym.)",
+                          "P_identity_split (exact)", "identities worth"}};
+  ddm::prob::Rng rng{99999};
+  for (std::uint32_t n = 2; n <= 8; ++n) {
+    const Rational t{n, 3};
+    const auto symmetric = ddm::core::SymmetricThresholdAnalysis::build(n, t).optimize();
+
+    // Compass search from a few random starts; keep the best.
+    double best_search = 0.0;
+    for (int attempt = 0; attempt < 5; ++attempt) {
+      std::vector<double> start(n);
+      for (double& a : start) a = rng.uniform();
+      const auto result = ddm::core::maximize_thresholds(start, t.to_double());
+      best_search = std::max(best_search, result.value);
+    }
+
+    // Balanced identity split: ceil(n/2) players to bin 0, rest to bin 1.
+    std::vector<Rational> split(n, Rational{0});
+    for (std::uint32_t i = 0; i < (n + 1) / 2; ++i) split[i] = Rational{1};
+    const Rational split_value = ddm::core::threshold_winning_probability(split, t);
+
+    table.add_row({std::to_string(n), t.to_string(),
+                   ddm::util::fmt(symmetric.value.to_double()), ddm::util::fmt(best_search),
+                   ddm::util::fmt(split_value.to_double()),
+                   ddm::util::fmt(split_value.to_double() - symmetric.value.to_double(), 4)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: the identity split dominates the symmetric optimum at every n —\n"
+         "player identities are information the anonymous model leaves on the table.\n"
+         "Theorem 5.2's symmetric solution is the optimum of the ANONYMOUS class\n"
+         "(every player runs the same local rule); the compass search, free to break\n"
+         "symmetry, climbs to identity-based corners. See EXPERIMENTS.md.\n";
+  return 0;
+}

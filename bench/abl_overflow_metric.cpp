@@ -1,0 +1,107 @@
+// Ablation (extension): a second objective. The paper maximizes
+// P(no overflow); the load-balancing story also cares about the expected
+// overflow mass E[(Σ0 − t)^+ + (Σ1 − t)^+]. This bench sweeps the symmetric
+// threshold β for the paper's two instances and reports both objectives
+// exactly, then locates each objective's optimizer — showing how closely the
+// two notions of "optimal" agree.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/metrics.hpp"
+#include "core/nonoblivious.hpp"
+#include "core/oblivious.hpp"
+#include "core/symmetric_threshold.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using ddm::util::Rational;
+
+// Grid + local refinement minimizer for the expected overflow in β (exact
+// evaluations at rational points; the function is piecewise smooth).
+Rational minimize_overflow(std::uint32_t n, const Rational& t, Rational* best_beta) {
+  Rational best_value{1000};
+  Rational best{0};
+  constexpr int kGrid = 40;
+  for (int i = 0; i <= kGrid; ++i) {
+    const Rational beta{i, kGrid};
+    const Rational value = ddm::core::expected_overflow_symmetric_threshold(n, beta, t);
+    if (value < best_value) {
+      best_value = value;
+      best = beta;
+    }
+  }
+  Rational step{1, kGrid};
+  for (int round = 0; round < 12; ++round) {
+    step = step * Rational{1, 2};
+    for (const int direction : {+1, -1}) {
+      Rational candidate = best + Rational{direction} * step;
+      if (candidate < Rational{0}) candidate = Rational{0};
+      if (candidate > Rational{1}) candidate = Rational{1};
+      const Rational value =
+          ddm::core::expected_overflow_symmetric_threshold(n, candidate, t);
+      if (value < best_value) {
+        best_value = value;
+        best = candidate;
+      }
+    }
+  }
+  *best_beta = best;
+  return best_value;
+}
+
+}  // namespace
+
+int main() {
+  ddm::bench::print_banner(
+      "Ablation: expected-overflow objective",
+      "P(no overflow) vs E[overflow mass] across symmetric thresholds");
+
+  for (const auto& [n, t] : {std::pair<std::uint32_t, Rational>{3u, Rational{1}},
+                             std::pair<std::uint32_t, Rational>{4u, Rational(4, 3)}}) {
+    std::cout << "Instance n = " << n << ", t = " << t << ":\n";
+    ddm::util::Table table{{"beta", "P(win) exact", "E[overflow] exact"}};
+    for (int i = 0; i <= 20; ++i) {
+      const Rational beta{i, 20};
+      table.add_row(
+          {ddm::util::fmt(beta.to_double(), 2),
+           ddm::util::fmt(
+               ddm::core::symmetric_threshold_winning_probability(n, beta, t).to_double()),
+           ddm::util::fmt(
+               ddm::core::expected_overflow_symmetric_threshold(n, beta, t).to_double())});
+    }
+    table.print(std::cout);
+
+    const auto win_opt = ddm::core::SymmetricThresholdAnalysis::build(n, t).optimize();
+    Rational overflow_beta{0};
+    const Rational overflow_min = minimize_overflow(n, t, &overflow_beta);
+    std::cout << "  argmax P(win):        beta = " << ddm::util::fmt(win_opt.beta.approx(), 4)
+              << "  (P = " << ddm::util::fmt(win_opt.value.to_double(), 4)
+              << ", E[overflow] = "
+              << ddm::util::fmt(ddm::core::expected_overflow_symmetric_threshold(
+                                    n, win_opt.beta.midpoint(), t)
+                                    .to_double(),
+                                5)
+              << ")\n"
+              << "  argmin E[overflow]:   beta = " << ddm::util::fmt(overflow_beta.to_double(), 4)
+              << "  (E = " << ddm::util::fmt(overflow_min.to_double(), 5) << ", P = "
+              << ddm::util::fmt(ddm::core::symmetric_threshold_winning_probability(
+                                    n, overflow_beta, t)
+                                    .to_double(),
+                                4)
+              << ")\n"
+              << "  oblivious coin:       E[overflow] = "
+              << ddm::util::fmt(
+                     ddm::core::expected_overflow_oblivious(
+                         std::vector<Rational>(n, Rational(1, 2)), t)
+                         .to_double(),
+                     5)
+              << "\n\n";
+  }
+
+  std::cout << "Reading: the two objectives broadly agree on the interesting region but\n"
+               "their optimizers differ; notably at n = 4, t = 4/3 the coin's expected\n"
+               "overflow can be compared against the threshold family directly —\n"
+               "complementing the win-probability reversal of EXPERIMENTS.md D2.\n";
+  return 0;
+}

@@ -1,0 +1,20 @@
+// bench_common.hpp — shared helpers for the figure/table reproduction
+// binaries. Each binary prints a header identifying the experiment, the
+// paper's claimed values where the paper states them, and the measured
+// values side by side (see EXPERIMENTS.md for the recorded comparison).
+#pragma once
+
+#include <iostream>
+#include <string>
+
+namespace ddm::bench {
+
+inline void print_banner(const std::string& experiment_id, const std::string& description) {
+  std::cout << "================================================================\n"
+            << experiment_id << "\n"
+            << description << "\n"
+            << "Paper: Georgiades/Mavronicolas/Spirakis, FCT'99 (full version 2000)\n"
+            << "================================================================\n";
+}
+
+}  // namespace ddm::bench

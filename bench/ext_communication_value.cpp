@@ -1,0 +1,94 @@
+// Extension: the value of communication (the Papadimitriou–Yannakakis 1991
+// programme the paper builds on; Sections 1 and 6 position the combinatorial
+// framework for exactly this). For n = 3, t = 1 we optimize the PY
+// weighted-threshold class over increasingly rich visibility patterns with
+// common-random-number search, bracketing everything between the paper's
+// exact no-communication optimum and the full-information oracle.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/baselines.hpp"
+#include "core/communication.hpp"
+#include "core/symmetric_threshold.hpp"
+#include "prob/rng.hpp"
+#include "sim/monte_carlo.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using ddm::core::VisibilityPattern;
+  using ddm::core::WeightedThresholdProtocol;
+  using ddm::util::Rational;
+  ddm::bench::print_banner(
+      "Extension: the value of communication (n = 3, t = 1)",
+      "Optimized weighted-threshold protocols per visibility pattern (CRN search)");
+
+  ddm::prob::Rng bank_rng{777001};
+  const ddm::core::InputBank bank{3, 150000, bank_rng};
+
+  const auto exact_no_comm =
+      ddm::core::SymmetricThresholdAnalysis::build(3, Rational{1}).optimize();
+
+  struct PatternCase {
+    const char* name;
+    std::vector<std::pair<std::size_t, std::size_t>> edges;
+  };
+  const std::vector<PatternCase> cases{
+      {"no communication", {}},
+      {"one edge (0 -> 1)", {{0, 1}}},
+      {"chain (0 -> 1, 1 -> 2)", {{0, 1}, {1, 2}}},
+      {"star into 2 (0 -> 2, 1 -> 2)", {{0, 2}, {1, 2}}},
+      {"ring (0 -> 1, 1 -> 2, 2 -> 0)", {{0, 1}, {1, 2}, {2, 0}}},
+      {"full (everyone sees everything)", {{0, 1}, {0, 2}, {1, 0}, {1, 2}, {2, 0}, {2, 1}}},
+  };
+
+  ddm::util::Table table{{"pattern", "#edges", "optimized P (bank)", "evaluations"}};
+  ddm::prob::Rng restart_rng{777003};
+  for (const PatternCase& c : cases) {
+    const auto pattern = VisibilityPattern::from_edges(3, c.edges);
+    // Multi-start: the default single-threshold seed plus random jitters
+    // (compass search on a rugged objective needs restarts to respect the
+    // class-inclusion monotonicity across patterns).
+    double best = 0.0;
+    std::uint32_t evaluations = 0;
+    for (int attempt = 0; attempt < 6; ++attempt) {
+      WeightedThresholdProtocol start{pattern};
+      if (attempt == 1) {
+        // Structured seed: receivers subtract what they hear ("avoid the
+        // sender's bin when its load is big") — the PY'91 protocol shape.
+        for (std::size_t i = 0; i < 3; ++i) {
+          for (const std::size_t j : pattern.view(i)) {
+            if (j != i) start.set_weight(i, j, -1.0);
+          }
+        }
+      } else if (attempt > 1) {
+        std::vector<double> params = start.parameters();
+        for (double& p : params) p += restart_rng.uniform(-0.75, 0.75);
+        start.set_parameters(params);
+      }
+      const auto result = ddm::core::optimize_weighted_threshold(std::move(start), 1.0,
+                                                                 bank, 0.25, 2e-4, 15000);
+      best = std::max(best, result.value);
+      evaluations += result.evaluations;
+    }
+    table.add_row({c.name, std::to_string(pattern.edge_count()),
+                   ddm::util::fmt(best, 4), std::to_string(evaluations)});
+  }
+  table.print(std::cout);
+
+  ddm::prob::Rng oracle_rng{777002};
+  const auto oracle = ddm::sim::estimate_event_probability(
+      3, [](std::span<const double> xs) { return ddm::core::full_information_win(xs, 1.0); },
+      1000000, oracle_rng);
+
+  std::cout << "\nBrackets:\n"
+            << "  exact no-communication optimum (this paper): "
+            << ddm::util::fmt(exact_no_comm.value.to_double(), 4) << "\n"
+            << "  full-information oracle (MC):                "
+            << ddm::util::fmt(oracle.estimate, 4) << "\n"
+            << "\nShape claims: by class inclusion, richer patterns can only help; the\n"
+               "multi-start search respects this up to residual local-optimum noise.\n"
+               "The no-communication row matches the paper's exact optimum to bank\n"
+               "resolution; even full visibility in the weighted-threshold class stays\n"
+               "below the oracle (which may split loads non-linearly).\n";
+  return 0;
+}

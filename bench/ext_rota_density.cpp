@@ -1,0 +1,50 @@
+// Extension / curiosity: Lemma 2.5 answers a Research Problem posed by
+// Rota ("find a nice formula for the density of n independent, uniformly
+// distributed random variables"). This bench prints the closed-form density
+// of a heterogeneous sum of uniforms against a Monte Carlo histogram — the
+// reproduction's visual check of the formula the paper dedicates to Rota's
+// memory.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "prob/rng.hpp"
+#include "prob/uniform_sum.hpp"
+#include "util/table.hpp"
+
+int main() {
+  ddm::bench::print_banner(
+      "Extension: Rota's density formula (Lemma 2.5)",
+      "Closed-form density of U[0,0.5] + U[0,0.8] + U[0,1.2] vs Monte Carlo histogram");
+
+  const std::vector<double> pi{0.5, 0.8, 1.2};
+  const double support = 0.5 + 0.8 + 1.2;
+
+  // Monte Carlo histogram.
+  constexpr int kBins = 25;
+  constexpr std::uint64_t kSamples = 2000000;
+  std::vector<std::uint64_t> histogram(kBins, 0);
+  ddm::prob::Rng rng{31337};
+  for (std::uint64_t s = 0; s < kSamples; ++s) {
+    const double x =
+        rng.uniform(0.0, pi[0]) + rng.uniform(0.0, pi[1]) + rng.uniform(0.0, pi[2]);
+    const int bin = std::min(kBins - 1, static_cast<int>(x / support * kBins));
+    ++histogram[static_cast<std::size_t>(bin)];
+  }
+
+  ddm::util::Table table{{"t", "density (Lemma 2.5)", "MC histogram density", "CDF (Lemma 2.4)"}};
+  const double bin_width = support / kBins;
+  for (int b = 0; b < kBins; ++b) {
+    const double mid = (b + 0.5) * bin_width;
+    const double mc_density = static_cast<double>(histogram[static_cast<std::size_t>(b)]) /
+                              static_cast<double>(kSamples) / bin_width;
+    table.add_row({ddm::util::fmt(mid, 3), ddm::util::fmt(ddm::prob::sum_uniform_pdf(pi, mid)),
+                   ddm::util::fmt(mc_density), ddm::util::fmt(ddm::prob::sum_uniform_cdf(pi, mid))});
+  }
+  table.print(std::cout);
+
+  std::cout << "\n(The histogram column should track the closed form to ~3 decimals; the\n"
+               "density is piecewise-polynomial with breaks where subsets of ranges\n"
+               "saturate — visible as slope changes.)\n";
+  return 0;
+}

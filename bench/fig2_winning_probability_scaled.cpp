@@ -1,0 +1,60 @@
+// Figure 2: the same winning-probability curves with the capacity scaled
+// with the number of players, t = n/3 — matching the paper's evaluated
+// instances (n = 3 at δ = 1, n = 4 at δ = 4/3). Shape claims: interior optimum
+// above 1/2; the optimal threshold shifts with n; every curve dominates the
+// oblivious optimum for the same (n, t) only near its own peak.
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "core/oblivious.hpp"
+#include "core/symmetric_threshold.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  const bool csv = argc > 1 && std::string(argv[1]) == "--csv";
+  using ddm::util::Rational;
+  ddm::bench::print_banner(
+      "Figure 2",
+      "P(beta) of the symmetric threshold protocol, n = 3,4,5, capacity t = n/3");
+
+  constexpr int kGrid = 50;
+  std::vector<ddm::core::SymmetricThresholdAnalysis> analyses;
+  for (std::uint32_t n = 3; n <= 5; ++n) {
+    analyses.push_back(
+        ddm::core::SymmetricThresholdAnalysis::build(n, Rational{n, 3}));
+  }
+
+  ddm::util::Table table{{"beta", "P(n=3,t=1)", "P(n=4,t=4/3)", "P(n=5,t=5/3)"}};
+  for (int i = 0; i <= kGrid; ++i) {
+    const Rational beta{i, kGrid};
+    std::vector<std::string> row{ddm::util::fmt(beta.to_double(), 2)};
+    for (const auto& analysis : analyses) {
+      row.push_back(ddm::util::fmt(analysis.winning_probability()(beta).to_double()));
+    }
+    table.add_row(std::move(row));
+  }
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+
+  std::cout << "\nCertified optima and the oblivious baseline (same n, t):\n";
+  ddm::util::Table optima{{"n", "t", "beta*", "P(beta*)", "P_oblivious(1/2)", "paper beta*"}};
+  for (std::uint32_t n = 3; n <= 5; ++n) {
+    const auto& analysis = analyses[n - 3];
+    const auto opt = analysis.optimize();
+    const Rational t{n, 3};
+    std::string paper = "(figure only)";
+    if (n == 3) paper = "0.622";
+    if (n == 4) paper = "0.678";
+    optima.add_row({std::to_string(n), t.to_string(), ddm::util::fmt(opt.beta.approx()),
+                    ddm::util::fmt(opt.value.to_double()),
+                    ddm::util::fmt(
+                        ddm::core::optimal_oblivious_winning_probability(n, t).to_double()),
+                    paper});
+  }
+  optima.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,190 @@
+// Google-benchmark microbenchmarks for the library's computational kernels:
+// Proposition 2.2 volumes, the Poisson-binomial collapse of Theorem 4.1, the
+// symmetric Theorem 5.1 evaluator, symbolic piecewise construction, Sturm
+// root isolation, and the Monte Carlo trial loop.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/communication.hpp"
+#include "core/interval_rules.hpp"
+#include "core/nonoblivious.hpp"
+#include "core/oblivious.hpp"
+#include "core/protocol.hpp"
+#include "core/randomized_rules.hpp"
+#include "core/symmetric_threshold.hpp"
+#include "poly/interpolate.hpp"
+#include "geom/volume.hpp"
+#include "poly/roots.hpp"
+#include "prob/rng.hpp"
+#include "sim/monte_carlo.hpp"
+
+namespace {
+
+using ddm::util::Rational;
+
+void BM_SimplexBoxVolumeDouble(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  std::vector<double> sigma(m);
+  std::vector<double> pi(m);
+  for (std::size_t l = 0; l < m; ++l) {
+    sigma[l] = 1.0 + 0.1 * static_cast<double>(l);
+    pi[l] = 0.5 + 0.03 * static_cast<double>(l);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddm::geom::simplex_box_volume_double(sigma, pi));
+  }
+}
+BENCHMARK(BM_SimplexBoxVolumeDouble)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_SimplexBoxVolumeExact(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  std::vector<Rational> sigma;
+  std::vector<Rational> pi;
+  for (std::size_t l = 0; l < m; ++l) {
+    sigma.emplace_back(static_cast<std::int64_t>(10 + l), 10);
+    pi.emplace_back(static_cast<std::int64_t>(5 + l), 10);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddm::geom::simplex_box_volume(sigma, pi));
+  }
+}
+BENCHMARK(BM_SimplexBoxVolumeExact)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_ObliviousWinningDp(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> alpha(n, 0.45);
+  const double t = static_cast<double>(n) / 3.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddm::core::oblivious_winning_probability(alpha, t));
+  }
+}
+BENCHMARK(BM_ObliviousWinningDp)->Arg(4)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_ObliviousWinningExact(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::vector<Rational> alpha(n, Rational(9, 20));
+  const Rational t{static_cast<std::int64_t>(n), 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddm::core::oblivious_winning_probability(alpha, t));
+  }
+}
+BENCHMARK(BM_ObliviousWinningExact)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_SymmetricThresholdDouble(benchmark::State& state) {
+  const std::uint32_t n = static_cast<std::uint32_t>(state.range(0));
+  const double t = static_cast<double>(n) / 3.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ddm::core::symmetric_threshold_winning_probability(n, 0.6, t));
+  }
+}
+BENCHMARK(BM_SymmetricThresholdDouble)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_GeneralThresholdDouble(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a(n);
+  for (std::size_t i = 0; i < n; ++i) a[i] = 0.4 + 0.03 * static_cast<double>(i);
+  const double t = static_cast<double>(n) / 3.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddm::core::threshold_winning_probability(a, t));
+  }
+}
+BENCHMARK(BM_GeneralThresholdDouble)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_SymbolicPiecewiseBuild(benchmark::State& state) {
+  const std::uint32_t n = static_cast<std::uint32_t>(state.range(0));
+  const Rational t{static_cast<std::int64_t>(n), 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddm::core::SymmetricThresholdAnalysis::build(n, t));
+  }
+}
+BENCHMARK(BM_SymbolicPiecewiseBuild)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_SymbolicOptimize(benchmark::State& state) {
+  const std::uint32_t n = static_cast<std::uint32_t>(state.range(0));
+  const auto analysis = ddm::core::SymmetricThresholdAnalysis::build(
+      n, Rational{static_cast<std::int64_t>(n), 3});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis.optimize());
+  }
+}
+BENCHMARK(BM_SymbolicOptimize)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_SturmIsolation(benchmark::State& state) {
+  // Wilkinson-style polynomial with roots k/10, k = 1..d.
+  const int d = static_cast<int>(state.range(0));
+  ddm::poly::QPoly p{Rational{1}};
+  for (int k = 1; k <= d; ++k) {
+    p = p * ddm::poly::QPoly{std::vector<Rational>{Rational(-k, 10), Rational{1}}};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddm::poly::isolate_roots(p, Rational{0}, Rational{1}));
+  }
+}
+BENCHMARK(BM_SturmIsolation)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_IntervalRulesExact(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::vector<ddm::core::IntervalRule> rules(
+      n, ddm::core::IntervalRule::two_interval(Rational(1, 4), Rational(1, 2),
+                                               Rational(3, 4)));
+  const Rational t{static_cast<std::int64_t>(n), 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddm::core::interval_rules_winning_probability(rules, t));
+  }
+}
+BENCHMARK(BM_IntervalRulesExact)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_StepRulesDouble(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::vector<Rational> probs{Rational{1}, Rational(2, 3), Rational(1, 3),
+                                    Rational{0}};
+  const std::vector<ddm::core::StepRule> rules(n, ddm::core::StepRule::uniform_grid(probs));
+  const double t = static_cast<double>(n) / 3.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddm::core::step_rules_winning_probability(rules, t));
+  }
+}
+BENCHMARK(BM_StepRulesDouble)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_LagrangeInterpolation(benchmark::State& state) {
+  const int degree = static_cast<int>(state.range(0));
+  std::vector<std::pair<Rational, Rational>> points;
+  for (int i = 0; i <= degree; ++i) {
+    const Rational x{i + 1, degree + 2};
+    points.emplace_back(x, x * x - Rational(1, 3) * x + Rational(7, 5));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddm::poly::lagrange_interpolate(points));
+  }
+}
+BENCHMARK(BM_LagrangeInterpolation)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_InputBankEvaluation(benchmark::State& state) {
+  const std::size_t samples = static_cast<std::size_t>(state.range(0));
+  ddm::prob::Rng rng{1};
+  const ddm::core::InputBank bank{3, samples, rng};
+  const ddm::core::WeightedThresholdProtocol protocol{
+      ddm::core::VisibilityPattern::full(3)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bank.winning_fraction(protocol, 1.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(samples));
+}
+BENCHMARK(BM_InputBankEvaluation)->Arg(10000)->Arg(100000);
+
+void BM_MonteCarloTrials(benchmark::State& state) {
+  const auto protocol = ddm::core::SingleThresholdProtocol::symmetric(
+      static_cast<std::size_t>(state.range(0)), Rational(3, 5));
+  ddm::prob::Rng rng{1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ddm::sim::estimate_winning_probability(protocol, 1.0, 10000, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_MonteCarloTrials)->Arg(3)->Arg(8);
+
+}  // namespace

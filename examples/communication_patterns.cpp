@@ -1,0 +1,69 @@
+// communication_patterns — exploring the paper's stated research programme:
+// "one simply renders only those parameters of the decision algorithm that
+// correspond to the possible communications, and computes values for these
+// parameters that maximize the combinatorial expression" (Section 1).
+//
+// We do exactly that numerically for n = 3, t = 1: for each visibility
+// pattern we optimize the PY'91 weighted-threshold class on a fixed
+// common-random-number input bank and report the protocol the optimizer
+// discovered, alongside the paper's exact no-communication optimum.
+#include <iostream>
+
+#include "ddm.hpp"
+
+int main() {
+  using ddm::core::VisibilityPattern;
+  using ddm::core::WeightedThresholdProtocol;
+  using ddm::util::Rational;
+
+  std::cout << "Communication patterns at n = 3, t = 1\n\n";
+
+  ddm::prob::Rng bank_rng{424242};
+  const ddm::core::InputBank bank{3, 100000, bank_rng};
+
+  const auto no_comm = ddm::core::SymmetricThresholdAnalysis::build(3, Rational{1}).optimize();
+  std::cout << "Paper's exact no-communication optimum: beta* = "
+            << ddm::util::fmt(no_comm.beta.approx(), 6) << ", P = "
+            << ddm::util::fmt(no_comm.value.to_double(), 6) << "\n\n";
+
+  const std::vector<std::pair<std::string,
+                              std::vector<std::pair<std::size_t, std::size_t>>>>
+      patterns{
+          {"no communication", {}},
+          {"player 1 tells player 2", {{0, 1}}},
+          {"chain 1 -> 2 -> 3", {{0, 1}, {1, 2}}},
+          {"player 3 hears everyone", {{0, 2}, {1, 2}}},
+          {"full communication", {{0, 1}, {0, 2}, {1, 0}, {1, 2}, {2, 0}, {2, 1}}},
+      };
+
+  for (const auto& [name, edges] : patterns) {
+    const auto pattern = VisibilityPattern::from_edges(3, edges);
+    // Two starts: the plain single-threshold seed, and the PY'91 shape where
+    // receivers subtract what they hear; keep the better outcome.
+    WeightedThresholdProtocol structured{pattern};
+    for (std::size_t i = 0; i < 3; ++i) {
+      for (const std::size_t j : pattern.view(i)) {
+        if (j != i) structured.set_weight(i, j, -1.0);
+      }
+    }
+    auto result = ddm::core::optimize_weighted_threshold(
+        WeightedThresholdProtocol{pattern}, 1.0, bank, 0.25, 2e-4, 12000);
+    const auto seeded = ddm::core::optimize_weighted_threshold(std::move(structured), 1.0,
+                                                               bank, 0.25, 2e-4, 12000);
+    if (seeded.value > result.value) result = seeded;
+    std::cout << "=== " << name << "  (" << pattern.edge_count() << " edges)\n"
+              << "  optimized P (bank) = " << ddm::util::fmt(result.value, 4) << "\n"
+              << "  protocol: " << result.protocol.to_string() << "\n\n";
+  }
+
+  std::cout << "Notes:\n"
+            << "  * The zero-edge row reproduces the paper's exact optimum to bank\n"
+            << "    resolution and the discovered rule is (approximately) the symmetric\n"
+            << "    threshold x_i <= 0.622.\n"
+            << "  * Richer patterns can only help (class inclusion); a compass search\n"
+            << "    may need good seeds to realize that — compare the two-start values.\n"
+            << "  * Receivers learn to use NEGATIVE weights on the sender's input\n"
+            << "    (\"if your load is large, I should avoid your bin\"), matching the\n"
+            << "    'unexpectedly sophisticated' protocols PY'91 found for n = 3.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// heterogeneous_speeds — the heterogeneous-ranges extension in action.
+//
+// Scenario: four job sources of different sizes — two small (jobs ~ U[0, 1/2])
+// and two large (jobs ~ U[0, 3/2]) — route jobs to two servers of capacity
+// 4/3 with no communication. The paper's Lemma 2.4/2.7 machinery handles
+// this directly; we compare oblivious and per-source threshold policies and
+// tune the thresholds by coordinate search on the exact formula.
+#include <iostream>
+
+#include "ddm.hpp"
+
+int main() {
+  using ddm::util::Rational;
+  const std::vector<Rational> ranges{Rational(1, 2), Rational(1, 2), Rational(3, 2),
+                                     Rational(3, 2)};
+  const Rational t{4, 3};
+  std::cout << "Heterogeneous job sources: sizes ~ U[0,1/2] x2 and U[0,3/2] x2,\n"
+            << "two servers of capacity " << t << ", no communication.\n\n";
+
+  // Oblivious fair coin.
+  const std::vector<Rational> half(4, Rational(1, 2));
+  std::cout << "Fair coin (oblivious): P = "
+            << ddm::util::fmt(ddm::core::heterogeneous_oblivious_winning_probability(
+                                  half, ranges, t)
+                                  .to_double(),
+                              6)
+            << "\n";
+
+  // Naive thresholds at half of each range.
+  std::vector<Rational> naive;
+  for (const Rational& c : ranges) naive.push_back(c * Rational(1, 2));
+  std::cout << "Half-range thresholds:  P = "
+            << ddm::util::fmt(ddm::core::heterogeneous_threshold_winning_probability(
+                                  naive, ranges, t)
+                                  .to_double(),
+                              6)
+            << "\n";
+
+  // Exact coordinate search over thresholds (grid refinement on the exact
+  // rational formula; small search space, deterministic).
+  std::vector<Rational> best = naive;
+  Rational best_value =
+      ddm::core::heterogeneous_threshold_winning_probability(best, ranges, t);
+  for (int pass = 0; pass < 6; ++pass) {
+    const Rational step = Rational{1, 1 << (pass + 2)};
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (std::size_t i = 0; i < best.size(); ++i) {
+        for (const int direction : {+1, -1}) {
+          std::vector<Rational> candidate = best;
+          Rational moved = candidate[i] + Rational{direction} * step * ranges[i];
+          if (moved < Rational{0}) moved = Rational{0};
+          if (moved > ranges[i]) moved = ranges[i];
+          candidate[i] = moved;
+          const Rational value = ddm::core::heterogeneous_threshold_winning_probability(
+              candidate, ranges, t);
+          if (value > best_value) {
+            best_value = value;
+            best = std::move(candidate);
+            improved = true;
+          }
+        }
+      }
+    }
+  }
+  std::cout << "Tuned thresholds:       P = " << ddm::util::fmt(best_value.to_double(), 6)
+            << "   at a = (";
+  for (std::size_t i = 0; i < best.size(); ++i) {
+    if (i != 0) std::cout << ", ";
+    std::cout << ddm::util::fmt(best[i].to_double(), 3);
+  }
+  std::cout << ")\n\n";
+
+  // Simulation cross-check of the tuned protocol (FunctorProtocol keeps the
+  // raw thresholds, which may exceed 1 for the large sources).
+  std::vector<ddm::core::FunctorProtocol::Rule> rules;
+  for (const Rational& a : best) {
+    const double threshold = a.to_double();
+    rules.push_back([threshold](double x, ddm::prob::Rng&) {
+      return x <= threshold ? ddm::core::kBin0 : ddm::core::kBin1;
+    });
+  }
+  const ddm::core::FunctorProtocol protocol{std::move(rules), "tuned-heterogeneous"};
+  ddm::prob::Rng rng{11235};
+  const std::vector<double> ranges_d{0.5, 0.5, 1.5, 1.5};
+  const auto sim = ddm::core::estimate_heterogeneous_winning_probability(
+      protocol, ranges_d, t.to_double(), 400000, rng);
+  std::cout << "Simulation of the tuned protocol: " << ddm::util::fmt(sim.estimate, 4)
+            << " +- " << ddm::util::fmt(sim.standard_error, 4)
+            << "  (exact: " << ddm::util::fmt(best_value.to_double(), 4) << ")\n\n";
+
+  std::cout << "Reading: the small sources' optimal thresholds sit near the top of\n"
+            << "their range (small jobs can almost always go to bin 0 safely), while\n"
+            << "the large sources' thresholds do the real balancing — heterogeneity\n"
+            << "breaks the symmetric analysis of Section 5.2 but not the framework.\n";
+  return 0;
+}

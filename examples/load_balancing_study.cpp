@@ -1,0 +1,63 @@
+// load_balancing_study — the workload from the paper's introduction: n jobs
+// with uniform sizes must be placed on two machines with no coordination.
+// This example sweeps system sizes and capacity regimes and compares four
+// placement policies:
+//   * all-one-machine        (degenerate baseline)
+//   * round-robin by id      (deterministic, input-blind)
+//   * fair coin              (optimal oblivious — Theorem 4.3)
+//   * optimal threshold      (optimal non-oblivious — Section 5)
+// reporting exact values where formulas exist and Monte Carlo elsewhere.
+#include <iostream>
+
+#include "ddm.hpp"
+
+int main() {
+  using ddm::util::Rational;
+  std::cout << "Distributed load balancing with no communication\n"
+            << "(two machines, capacity t each; job sizes ~ U[0,1])\n\n";
+
+  for (const auto& [regime_name, scale_num, scale_den] :
+       {std::tuple{"tight capacity t = n/3", 1, 3},
+        std::tuple{"roomy capacity t = n/2", 1, 2}}) {
+    std::cout << "=== Regime: " << regime_name << " ===\n";
+    ddm::util::Table table{{"n", "t", "all-one-machine", "round-robin (MC)", "fair coin",
+                            "optimal threshold", "beta*"}};
+    ddm::prob::Rng rng{12345};
+    for (std::uint32_t n = 2; n <= 8; ++n) {
+      const Rational t{static_cast<std::int64_t>(n) * scale_num, scale_den};
+      const double t_d = t.to_double();
+
+      // All in one bin: P = IH_n(t), exact.
+      const double all_one = ddm::prob::irwin_hall_cdf(n, t).to_double();
+
+      // Round robin: simulate.
+      const auto rr = ddm::sim::estimate_winning_probability(
+          ddm::core::make_round_robin(n), t_d, 200000, rng);
+
+      // Fair coin: exact (Theorem 4.1 / 4.3).
+      const double coin =
+          ddm::core::optimal_oblivious_winning_probability(n, t).to_double();
+
+      // Optimal threshold: exact symbolic optimum (Section 5.2 automated).
+      const auto opt = ddm::core::SymmetricThresholdAnalysis::build(n, t).optimize();
+
+      table.add_row({std::to_string(n), t.to_string(), ddm::util::fmt(all_one, 4),
+                     ddm::util::fmt(rr.estimate, 4), ddm::util::fmt(coin, 4),
+                     ddm::util::fmt(opt.value.to_double(), 4),
+                     ddm::util::fmt(opt.beta.approx(), 4)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "Observations:\n"
+            << "  * Looking at your own job size usually helps (threshold > coin), but\n"
+            << "    not always: at t = n/3 with n = 4 or 7 the coin wins slightly — a\n"
+            << "    reversal of the paper's blanket claim (see EXPERIMENTS.md).\n"
+            << "  * The optimal threshold beta* drifts with n: optimal play is\n"
+            << "    non-uniform, exactly the paper's conclusion.\n"
+            << "  * Deterministic id-based splitting (round-robin) can beat every\n"
+            << "    anonymous protocol — player identities are themselves information,\n"
+            << "    which the paper's anonymous no-communication model excludes.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// value_of_information — the Papadimitriou–Yannakakis programme that
+// motivates the paper: how does the achievable no-overflow probability grow
+// with the information available to the players? This example walks the
+// information ladder at n = 3, t = 1 (the PY'91 instance this paper settles):
+//
+//   rung 0: input-blind, deterministic   (all-one-bin, round-robin)
+//   rung 1: input-blind, randomized      (optimal oblivious: fair coin)
+//   rung 2: sees own input               (optimal single threshold — the
+//                                         paper's main result: 1 − sqrt(1/7))
+//   rung 3: sees everything              (full-information oracle; an upper
+//                                         bound requiring full communication)
+#include <iostream>
+
+#include "ddm.hpp"
+
+int main() {
+  using ddm::util::Rational;
+  const std::uint32_t n = 3;
+  const Rational t{1};
+  const double t_d = 1.0;
+
+  std::cout << "The value of information at n = 3, t = 1\n\n";
+  ddm::util::Table table{{"information available", "protocol", "P(win)", "method"}};
+  ddm::prob::Rng rng{8675309};
+
+  // rung 0a: everything on one machine.
+  table.add_row({"none (deterministic)", "all-one-bin",
+                 ddm::util::fmt(ddm::prob::irwin_hall_cdf(n, t).to_double(), 6),
+                 "exact (Cor 2.6)"});
+
+  // rung 0b: split by player id.
+  const auto rr = ddm::sim::estimate_winning_probability(ddm::core::make_round_robin(n), t_d,
+                                                         1000000, rng);
+  table.add_row({"none (deterministic)", "round-robin", ddm::util::fmt(rr.estimate, 6),
+                 "Monte Carlo"});
+
+  // rung 1: optimal oblivious.
+  table.add_row({"none (randomized)", "fair coin alpha = 1/2",
+                 ddm::util::fmt(
+                     ddm::core::optimal_oblivious_winning_probability(n, t).to_double(), 6),
+                 "exact (Thm 4.3)"});
+
+  // rung 2: optimal single threshold — this paper's contribution.
+  const auto opt = ddm::core::SymmetricThresholdAnalysis::build(n, t).optimize();
+  table.add_row({"own input", "threshold beta* = 1 - sqrt(1/7)",
+                 ddm::util::fmt(opt.value.to_double(), 6), "exact (Thm 5.1 + Sturm)"});
+
+  // rung 3: full information (upper bound).
+  const auto oracle = ddm::sim::estimate_event_probability(
+      n, [](std::span<const double> xs) { return ddm::core::full_information_win(xs, 1.0); },
+      2000000, rng);
+  table.add_row({"all inputs (oracle)", "best feasible split",
+                 ddm::util::fmt(oracle.estimate, 6), "Monte Carlo (2e6)"});
+
+  table.print(std::cout);
+
+  std::cout << "\nReading the ladder:\n"
+            << "  * Randomization alone lifts deterministic input-blind play.\n"
+            << "  * One private observation (your own input) is the biggest single\n"
+            << "    jump a no-communication protocol can buy: "
+            << ddm::util::fmt(
+                   opt.value.to_double() -
+                       ddm::core::optimal_oblivious_winning_probability(n, t).to_double(),
+                   4)
+            << ".\n"
+            << "  * The remaining gap to the oracle is the price of no communication.\n"
+            << "\nThe paper proves rung 2 exactly: beta* = 0.622035..., P = 0.544631...,\n"
+            << "settling the Papadimitriou-Yannakakis conjecture.\n";
+  return 0;
+}

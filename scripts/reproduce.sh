@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# One-command reproduction: configure, build, test, and regenerate every
+# figure/table from the paper (outputs land in test_output.txt and
+# bench_output.txt at the repository root).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    "$b"
+  fi
+done 2>&1 | tee bench_output.txt
+
+echo
+echo "Reproduction complete."
+echo "  tests:   test_output.txt"
+echo "  benches: bench_output.txt  (figures/tables; see EXPERIMENTS.md)"
+echo "Try also: build/tools/ddm_cli analyze 3 1 40"

@@ -1,0 +1,66 @@
+#include "combinat/binomial.hpp"
+
+#include <mutex>
+#include <vector>
+
+namespace ddm::combinat {
+
+util::BigInt binomial(std::uint32_t n, std::uint32_t k) {
+  if (k > n) return util::BigInt{0};
+  if (k > n - k) k = n - k;
+  // Multiplicative formula keeps intermediate values integral:
+  // C(n, k) = prod_{i=1..k} (n - k + i) / i, exact at each step.
+  util::BigInt result{1};
+  for (std::uint32_t i = 1; i <= k; ++i) {
+    result *= util::BigInt{static_cast<std::int64_t>(n - k + i)};
+    result /= util::BigInt{static_cast<std::int64_t>(i)};
+  }
+  return result;
+}
+
+util::Rational inverse_factorial(std::uint32_t n) {
+  return util::Rational{util::BigInt{1}, util::BigInt::factorial(n)};
+}
+
+namespace {
+
+// Pascal-triangle cache guarded by a mutex; rows are extended on demand.
+class PascalCache {
+ public:
+  double at(std::uint32_t n, std::uint32_t k) {
+    std::scoped_lock lock(mutex_);
+    while (rows_.size() <= n) {
+      const std::size_t r = rows_.size();
+      std::vector<double> row(r + 1, 1.0);
+      for (std::size_t i = 1; i < r; ++i) row[i] = rows_[r - 1][i - 1] + rows_[r - 1][i];
+      rows_.push_back(std::move(row));
+    }
+    return rows_[n][k];
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::vector<double>> rows_ = {{1.0}};
+};
+
+PascalCache& pascal_cache() {
+  static PascalCache cache;
+  return cache;
+}
+
+}  // namespace
+
+double binomial_double(std::uint32_t n, std::uint32_t k) {
+  if (k > n) return 0.0;
+  return pascal_cache().at(n, k);
+}
+
+double inverse_factorial_double(std::uint32_t n) {
+  static constexpr std::uint32_t kMax = 170;  // 171! overflows double
+  double result = 1.0;
+  for (std::uint32_t i = 2; i <= n && i <= kMax; ++i) result /= static_cast<double>(i);
+  if (n > kMax) return 0.0;
+  return result;
+}
+
+}  // namespace ddm::combinat

@@ -1,0 +1,29 @@
+// binomial.hpp — exact binomial coefficients and factorials.
+//
+// Every formula in the paper is built from binomials and factorials
+// (Corollary 2.6, Theorems 4.1/5.1, the optimality polynomials). The exact
+// versions return BigInt/Rational; a cached double version serves the fast
+// floating-point evaluation paths.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bigint.hpp"
+#include "util/rational.hpp"
+
+namespace ddm::combinat {
+
+/// Exact C(n, k); 0 when k > n. Throws nothing; n, k are small in practice.
+[[nodiscard]] util::BigInt binomial(std::uint32_t n, std::uint32_t k);
+
+/// Exact 1/n! as a rational.
+[[nodiscard]] util::Rational inverse_factorial(std::uint32_t n);
+
+/// C(n, k) as a double, memoized via Pascal's triangle (exact for n <= 56
+/// where all entries fit in the 53-bit mantissa).
+[[nodiscard]] double binomial_double(std::uint32_t n, std::uint32_t k);
+
+/// 1/n! as a double.
+[[nodiscard]] double inverse_factorial_double(std::uint32_t n);
+
+}  // namespace ddm::combinat

@@ -1,0 +1,37 @@
+#include "combinat/subsets.hpp"
+
+#include <stdexcept>
+
+namespace ddm::combinat {
+
+void for_each_subset_mask(std::uint32_t n, const std::function<void(std::uint64_t)>& visit) {
+  if (n > 63) throw std::invalid_argument("for_each_subset_mask: ground set too large (n > 63)");
+  const std::uint64_t limit = std::uint64_t{1} << n;
+  for (std::uint64_t mask = 0; mask < limit; ++mask) visit(mask);
+}
+
+void for_each_k_subset(std::uint32_t n, std::uint32_t k,
+                       const std::function<void(std::span<const std::uint32_t>)>& visit) {
+  if (k > n) return;
+  std::vector<std::uint32_t> idx(k);
+  for (std::uint32_t i = 0; i < k; ++i) idx[i] = i;
+  if (k == 0) {
+    visit(std::span<const std::uint32_t>{idx.data(), 0});
+    return;
+  }
+  while (true) {
+    visit(std::span<const std::uint32_t>{idx});
+    int i = static_cast<int>(k) - 1;
+    while (i >= 0 &&
+           idx[static_cast<std::uint32_t>(i)] == static_cast<std::uint32_t>(i) + n - k) {
+      --i;
+    }
+    if (i < 0) return;
+    ++idx[static_cast<std::uint32_t>(i)];
+    for (std::uint32_t j = static_cast<std::uint32_t>(i) + 1; j < k; ++j) {
+      idx[j] = idx[j - 1] + 1;
+    }
+  }
+}
+
+}  // namespace ddm::combinat

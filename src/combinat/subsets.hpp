@@ -1,0 +1,87 @@
+// subsets.hpp — subset enumeration for inclusion-exclusion sums.
+//
+// Proposition 2.2 and Theorem 5.1 sum over all subsets I of an index set,
+// with sign (-1)^|I| and a per-subset feasibility guard. These helpers drive
+// those sums without materializing the power set.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace ddm::combinat {
+
+/// Calls `visit(mask)` for every subset mask of an n-element ground set
+/// (including the empty set), for n <= 63. Throws std::invalid_argument when
+/// n > 63.
+void for_each_subset_mask(std::uint32_t n, const std::function<void(std::uint64_t)>& visit);
+
+/// Calls `visit(indices)` for every k-subset of {0, .., n-1} in lexicographic
+/// order. `indices` is reused between calls; copy it if you need to keep it.
+void for_each_k_subset(std::uint32_t n, std::uint32_t k,
+                       const std::function<void(std::span<const std::uint32_t>)>& visit);
+
+/// Popcount of a mask (subset cardinality).
+[[nodiscard]] inline std::uint32_t popcount(std::uint64_t mask) noexcept {
+  return static_cast<std::uint32_t>(__builtin_popcountll(mask));
+}
+
+/// Generic inclusion-exclusion accumulator over subsets of `items`:
+/// returns sum over subsets S of (-1)^|S| * term(S), where `term` receives the
+/// selected elements. T must be an additive group (Rational, double, ...).
+template <typename T, typename Item>
+[[nodiscard]] T inclusion_exclusion(std::span<const Item> items,
+                                    const std::function<T(std::span<const Item>)>& term) {
+  const std::uint32_t n = static_cast<std::uint32_t>(items.size());
+  T total{};
+  std::vector<Item> selected;
+  selected.reserve(n);
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+    selected.clear();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (mask & (std::uint64_t{1} << i)) selected.push_back(items[i]);
+    }
+    const T value = term(std::span<const Item>{selected});
+    if (popcount(mask) % 2 == 0) {
+      total += value;
+    } else {
+      total -= value;
+    }
+  }
+  return total;
+}
+
+/// All distinct sums of k-subsets of `values`, with multiplicity, visited as
+/// (sum, count-of-subsets) pairs. Used by the symmetric evaluators where the
+/// subset sum only depends on the multiset of chosen values.
+template <typename T>
+void for_each_k_subset_sum(std::span<const T> values, std::uint32_t k,
+                           const std::function<void(const T&)>& visit) {
+  const std::uint32_t n = static_cast<std::uint32_t>(values.size());
+  if (k > n) return;
+  if (k == 0) {
+    visit(T{});
+    return;
+  }
+  std::vector<std::uint32_t> idx(k);
+  for (std::uint32_t i = 0; i < k; ++i) idx[i] = i;
+  while (true) {
+    T sum{};
+    for (std::uint32_t i = 0; i < k; ++i) sum += values[idx[i]];
+    visit(sum);
+    // Advance to the next combination in lexicographic order.
+    int i = static_cast<int>(k) - 1;
+    while (i >= 0 && idx[static_cast<std::uint32_t>(i)] ==
+                         static_cast<std::uint32_t>(i) + n - k) {
+      --i;
+    }
+    if (i < 0) return;
+    ++idx[static_cast<std::uint32_t>(i)];
+    for (std::uint32_t j = static_cast<std::uint32_t>(i) + 1; j < k; ++j) {
+      idx[j] = idx[j - 1] + 1;
+    }
+  }
+}
+
+}  // namespace ddm::combinat

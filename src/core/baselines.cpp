@@ -1,0 +1,70 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace ddm::core {
+
+using util::Rational;
+
+FunctorProtocol make_all_bin0(std::size_t n) {
+  std::vector<FunctorProtocol::Rule> rules(
+      n, [](double /*input*/, prob::Rng& /*rng*/) { return kBin0; });
+  return FunctorProtocol{std::move(rules), "all-bin0"};
+}
+
+FunctorProtocol make_round_robin(std::size_t n) {
+  std::vector<FunctorProtocol::Rule> rules;
+  rules.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int bin = static_cast<int>(i % 2);
+    rules.push_back([bin](double /*input*/, prob::Rng& /*rng*/) { return bin; });
+  }
+  return FunctorProtocol{std::move(rules), "round-robin"};
+}
+
+SingleThresholdProtocol make_py_n3() {
+  // 1 − sqrt(1/7) is irrational; use a rational approximation good to 1e-18
+  // for simulation purposes (the exact optimum lives in the symbolic layer).
+  // 1 - 1/sqrt(7) = 0.622035952850104...
+  const Rational beta = Rational::parse("622035952850104147/1000000000000000000");
+  return SingleThresholdProtocol::symmetric(3, beta);
+}
+
+bool full_information_win(std::span<const double> inputs, double t) {
+  const std::size_t n = inputs.size();
+  if (n > 25) throw std::invalid_argument("full_information_win: n too large for 2^n sweep");
+  double total = 0.0;
+  for (const double x : inputs) total += x;
+  if (total <= t) return true;  // everything in one bin fits
+  // Feasible iff some subset load S satisfies S <= t and total − S <= t.
+  const std::uint64_t limit = std::uint64_t{1} << n;
+  for (std::uint64_t mask = 1; mask < limit; ++mask) {
+    double load = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (std::uint64_t{1} << i)) load += inputs[i];
+    }
+    if (load <= t && total - load <= t) return true;
+  }
+  return false;
+}
+
+double full_information_winning_probability_exact(std::uint32_t n, double t) {
+  if (t <= 0.0) return 0.0;
+  const double tc = std::min(t, 1.0);
+  switch (n) {
+    case 1:
+      return tc;
+    case 2:
+      // Placing the two items in different bins dominates every other
+      // assignment, so the oracle wins iff max(x1, x2) <= t.
+      return tc * tc;
+    default:
+      throw std::invalid_argument(
+          "full_information_winning_probability_exact: closed form only for n <= 2");
+  }
+}
+
+}  // namespace ddm::core

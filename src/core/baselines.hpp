@@ -1,0 +1,42 @@
+// baselines.hpp — comparison protocols and the full-information oracle.
+//
+// The paper's programme (following Papadimitriou–Yannakakis 1991) is to
+// quantify the value of information: how much winning probability is lost by
+// communicating less. The no-communication optimum is the paper's result;
+// these baselines bracket it from below (trivial protocols) and above (the
+// full-information oracle, an extension we add: a scheduler that sees all
+// inputs and wins whenever ANY bin assignment avoids overflow).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "core/protocol.hpp"
+#include "util/rational.hpp"
+
+namespace ddm::core {
+
+/// Everyone deterministically picks bin 0 — the degenerate lower baseline.
+[[nodiscard]] FunctorProtocol make_all_bin0(std::size_t n);
+
+/// Player i picks bin i mod 2 — deterministic round-robin split.
+[[nodiscard]] FunctorProtocol make_round_robin(std::size_t n);
+
+/// The Papadimitriou–Yannakakis conjectured optimal threshold protocol for
+/// n = 3, t = 1: common threshold 1 − sqrt(1/7) (settled by this paper).
+[[nodiscard]] SingleThresholdProtocol make_py_n3();
+
+/// True iff SOME assignment of the inputs to two bins keeps both loads <= t
+/// (exact subset-sum sweep; throws std::invalid_argument for n > 25).
+/// This is the win condition of the full-information oracle.
+[[nodiscard]] bool full_information_win(std::span<const double> inputs, double t);
+
+/// Exact full-information winning probability, closed forms for n <= 2
+/// (used to sanity-check the oracle; larger n via Monte Carlo):
+///   n = 1: the item goes in a bin alone      => P = min(t, 1)
+///   n = 2: one item per bin is optimal       => P = min(t, 1)²
+/// Throws std::invalid_argument for n == 0 or n > 2.
+[[nodiscard]] double full_information_winning_probability_exact(std::uint32_t n, double t);
+
+}  // namespace ddm::core

@@ -1,0 +1,225 @@
+#include "core/communication.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace ddm::core {
+
+VisibilityPattern VisibilityPattern::none(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("VisibilityPattern: n == 0");
+  std::vector<std::vector<std::size_t>> views(n);
+  for (std::size_t i = 0; i < n; ++i) views[i] = {i};
+  return VisibilityPattern{std::move(views)};
+}
+
+VisibilityPattern VisibilityPattern::full(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("VisibilityPattern: n == 0");
+  std::vector<std::size_t> everyone(n);
+  for (std::size_t i = 0; i < n; ++i) everyone[i] = i;
+  return VisibilityPattern{std::vector<std::vector<std::size_t>>(n, everyone)};
+}
+
+VisibilityPattern VisibilityPattern::from_edges(
+    std::size_t n, std::span<const std::pair<std::size_t, std::size_t>> edges) {
+  if (n == 0) throw std::invalid_argument("VisibilityPattern: n == 0");
+  std::vector<std::vector<std::size_t>> views(n);
+  for (std::size_t i = 0; i < n; ++i) views[i] = {i};
+  for (const auto& [from, to] : edges) {
+    if (from >= n || to >= n) {
+      throw std::invalid_argument("VisibilityPattern: edge endpoint out of range");
+    }
+    views[to].push_back(from);
+  }
+  for (auto& view : views) {
+    std::sort(view.begin(), view.end());
+    view.erase(std::unique(view.begin(), view.end()), view.end());
+  }
+  return VisibilityPattern{std::move(views)};
+}
+
+const std::vector<std::size_t>& VisibilityPattern::view(std::size_t i) const {
+  if (i >= views_.size()) throw std::out_of_range("VisibilityPattern::view: bad player");
+  return views_[i];
+}
+
+std::size_t VisibilityPattern::edge_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& view : views_) total += view.size();
+  return total - views_.size();
+}
+
+std::string VisibilityPattern::to_string() const {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < views_.size(); ++i) {
+    if (i != 0) oss << "; ";
+    oss << "P" << i << " sees {";
+    for (std::size_t k = 0; k < views_[i].size(); ++k) {
+      if (k != 0) oss << ",";
+      oss << views_[i][k];
+    }
+    oss << "}";
+  }
+  return oss.str();
+}
+
+WeightedThresholdProtocol::WeightedThresholdProtocol(VisibilityPattern pattern)
+    : pattern_(std::move(pattern)),
+      weights_(pattern_.size(), std::vector<double>(pattern_.size(), 0.0)),
+      theta_(pattern_.size(), 0.5) {
+  for (std::size_t i = 0; i < pattern_.size(); ++i) weights_[i][i] = 1.0;
+}
+
+void WeightedThresholdProtocol::set_weight(std::size_t i, std::size_t j, double w) {
+  const auto& view = pattern_.view(i);
+  if (!std::binary_search(view.begin(), view.end(), j)) {
+    throw std::invalid_argument("WeightedThresholdProtocol: weight outside visibility");
+  }
+  weights_[i][j] = w;
+}
+
+void WeightedThresholdProtocol::set_threshold(std::size_t i, double theta) {
+  theta_.at(i) = theta;
+}
+
+double WeightedThresholdProtocol::weight(std::size_t i, std::size_t j) const {
+  if (i >= weights_.size() || j >= weights_.size()) {
+    throw std::out_of_range("WeightedThresholdProtocol::weight");
+  }
+  return weights_[i][j];
+}
+
+int WeightedThresholdProtocol::decide(std::size_t i, std::span<const double> inputs) const {
+  if (inputs.size() != size()) {
+    throw std::invalid_argument("WeightedThresholdProtocol::decide: input size mismatch");
+  }
+  double sum = 0.0;
+  for (const std::size_t j : pattern_.view(i)) sum += weights_[i][j] * inputs[j];
+  return sum <= theta_.at(i) ? 0 : 1;
+}
+
+std::vector<double> WeightedThresholdProtocol::parameters() const {
+  std::vector<double> params;
+  for (std::size_t i = 0; i < size(); ++i) {
+    for (const std::size_t j : pattern_.view(i)) params.push_back(weights_[i][j]);
+  }
+  params.insert(params.end(), theta_.begin(), theta_.end());
+  return params;
+}
+
+void WeightedThresholdProtocol::set_parameters(std::span<const double> parameters) {
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    for (const std::size_t j : pattern_.view(i)) {
+      if (cursor >= parameters.size()) {
+        throw std::invalid_argument("WeightedThresholdProtocol: too few parameters");
+      }
+      weights_[i][j] = parameters[cursor++];
+    }
+  }
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (cursor >= parameters.size()) {
+      throw std::invalid_argument("WeightedThresholdProtocol: too few parameters");
+    }
+    theta_[i] = parameters[cursor++];
+  }
+  if (cursor != parameters.size()) {
+    throw std::invalid_argument("WeightedThresholdProtocol: too many parameters");
+  }
+}
+
+std::string WeightedThresholdProtocol::to_string() const {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (i != 0) oss << "; ";
+    oss << "P" << i << ": ";
+    bool first = true;
+    for (const std::size_t j : pattern_.view(i)) {
+      if (!first) oss << " + ";
+      first = false;
+      oss << weights_[i][j] << "*x" << j;
+    }
+    oss << " <= " << theta_[i];
+  }
+  return oss.str();
+}
+
+InputBank::InputBank(std::size_t n, std::size_t samples, prob::Rng& rng)
+    : n_(n), count_(samples) {
+  if (n == 0 || samples == 0) throw std::invalid_argument("InputBank: empty dimensions");
+  data_.resize(n * samples);
+  for (double& x : data_) x = rng.uniform();
+}
+
+std::span<const double> InputBank::sample(std::size_t s) const {
+  if (s >= count_) throw std::out_of_range("InputBank::sample");
+  return {data_.data() + s * n_, n_};
+}
+
+double InputBank::winning_fraction(const WeightedThresholdProtocol& protocol, double t) const {
+  if (protocol.size() != n_) {
+    throw std::invalid_argument("InputBank::winning_fraction: size mismatch");
+  }
+  std::size_t wins = 0;
+  for (std::size_t s = 0; s < count_; ++s) {
+    const std::span<const double> inputs = sample(s);
+    double bin0 = 0.0;
+    double bin1 = 0.0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (protocol.decide(i, inputs) == 0) {
+        bin0 += inputs[i];
+      } else {
+        bin1 += inputs[i];
+      }
+    }
+    if (bin0 <= t && bin1 <= t) ++wins;
+  }
+  return static_cast<double>(wins) / static_cast<double>(count_);
+}
+
+CommunicationSearchResult optimize_weighted_threshold(WeightedThresholdProtocol start,
+                                                      double t, const InputBank& bank,
+                                                      double initial_step, double tolerance,
+                                                      std::uint32_t max_evaluations) {
+  if (initial_step <= 0.0 || tolerance <= 0.0) {
+    throw std::invalid_argument("optimize_weighted_threshold: bad step/tolerance");
+  }
+  const double n = static_cast<double>(start.size());
+  CommunicationSearchResult result{std::move(start), 0.0, 0};
+  result.value = bank.winning_fraction(result.protocol, t);
+  result.evaluations = 1;
+
+  std::vector<double> params = result.protocol.parameters();
+  const std::size_t weight_count = params.size() - result.protocol.size();
+  double step = initial_step;
+  WeightedThresholdProtocol candidate = result.protocol;
+  while (step >= tolerance && result.evaluations < max_evaluations) {
+    bool improved = false;
+    for (std::size_t p = 0; p < params.size(); ++p) {
+      const double lo = p < weight_count ? -2.0 : -1.0;
+      const double hi = p < weight_count ? 2.0 : n;
+      for (const double direction : {+1.0, -1.0}) {
+        const double original = params[p];
+        const double moved = std::clamp(original + direction * step, lo, hi);
+        if (moved == original) continue;
+        params[p] = moved;
+        candidate.set_parameters(params);
+        const double value = bank.winning_fraction(candidate, t);
+        ++result.evaluations;
+        if (value > result.value) {
+          result.value = value;
+          result.protocol = candidate;
+          improved = true;
+        } else {
+          params[p] = original;
+        }
+        if (result.evaluations >= max_evaluations) break;
+      }
+      if (result.evaluations >= max_evaluations) break;
+    }
+    if (!improved) step *= 0.5;
+  }
+  return result;
+}
+
+}  // namespace ddm::core

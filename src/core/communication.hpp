@@ -1,0 +1,125 @@
+// communication.hpp — decision-making WITH communication (the programme the
+// paper positions its framework for, Sections 1 and 6).
+//
+// The paper completely settles the no-communication case and argues its
+// methodology extends to arbitrary communication patterns (the setting of
+// Papadimitriou–Yannakakis 1991, who studied n = 3). This module provides
+// the model for that extension: a visibility pattern records which inputs
+// each player sees (its own plus whatever was communicated), protocols are
+// local rules over the visible inputs, and evaluation is by common-random-
+// number simulation (a fixed bank of input vectors shared across protocol
+// evaluations, making optimization objectives deterministic).
+//
+// The optimizable protocol class is the one PY'91 analyze: player i compares
+// a weighted average of the inputs it sees against a threshold,
+//   bin 0  iff  Σ_{j visible} w_ij x_j <= θ_i.
+// With the empty pattern this degenerates to single thresholds (Section 5).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "prob/rng.hpp"
+
+namespace ddm::core {
+
+/// Who sees what: view(i) is the set of players whose inputs player i knows.
+/// Always contains i itself.
+class VisibilityPattern {
+ public:
+  /// No communication: view(i) = {i} (the paper's setting).
+  [[nodiscard]] static VisibilityPattern none(std::size_t n);
+  /// Full communication: everybody sees everything.
+  [[nodiscard]] static VisibilityPattern full(std::size_t n);
+  /// Directed edges: edge (from, to) means player `to` learns x_from.
+  [[nodiscard]] static VisibilityPattern from_edges(
+      std::size_t n, std::span<const std::pair<std::size_t, std::size_t>> edges);
+
+  [[nodiscard]] std::size_t size() const noexcept { return views_.size(); }
+  /// Sorted list of players visible to player i (includes i).
+  [[nodiscard]] const std::vector<std::size_t>& view(std::size_t i) const;
+  /// Number of directed communication edges (total visibility minus n).
+  [[nodiscard]] std::size_t edge_count() const noexcept;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  explicit VisibilityPattern(std::vector<std::vector<std::size_t>> views)
+      : views_(std::move(views)) {}
+  std::vector<std::vector<std::size_t>> views_;
+};
+
+/// The PY'91 weighted-threshold class over a visibility pattern.
+/// Player i picks bin 0 iff Σ_{j ∈ view(i)} w[i][j]·x_j <= theta[i], where
+/// weights outside the view are forced to zero.
+class WeightedThresholdProtocol {
+ public:
+  /// Initializes to the pure single-threshold protocol: w[i][i] = 1,
+  /// theta[i] = 1/2.
+  explicit WeightedThresholdProtocol(VisibilityPattern pattern);
+
+  [[nodiscard]] const VisibilityPattern& pattern() const noexcept { return pattern_; }
+  [[nodiscard]] std::size_t size() const noexcept { return pattern_.size(); }
+
+  /// Mutable access for the optimizer; setting a weight outside the view
+  /// throws std::invalid_argument.
+  void set_weight(std::size_t i, std::size_t j, double w);
+  void set_threshold(std::size_t i, double theta);
+  [[nodiscard]] double weight(std::size_t i, std::size_t j) const;
+  [[nodiscard]] double threshold(std::size_t i) const { return theta_.at(i); }
+
+  /// Decision of player i on the full input vector (only visible entries are
+  /// read).
+  [[nodiscard]] int decide(std::size_t i, std::span<const double> inputs) const;
+
+  /// The protocol's free parameters flattened (visible weights then
+  /// thresholds) — the optimizer's coordinate space.
+  [[nodiscard]] std::vector<double> parameters() const;
+  void set_parameters(std::span<const double> parameters);
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  VisibilityPattern pattern_;
+  std::vector<std::vector<double>> weights_;  // n × n, zero outside views
+  std::vector<double> theta_;
+};
+
+/// A fixed bank of input vectors for common-random-number evaluation:
+/// the same draws are reused for every protocol, so comparisons and
+/// optimization objectives are deterministic functions of the parameters.
+class InputBank {
+ public:
+  InputBank(std::size_t n, std::size_t samples, prob::Rng& rng);
+
+  [[nodiscard]] std::size_t players() const noexcept { return n_; }
+  [[nodiscard]] std::size_t samples() const noexcept { return count_; }
+  /// The s-th input vector.
+  [[nodiscard]] std::span<const double> sample(std::size_t s) const;
+
+  /// Fraction of bank samples on which the protocol wins at capacity t.
+  [[nodiscard]] double winning_fraction(const WeightedThresholdProtocol& protocol,
+                                        double t) const;
+
+ private:
+  std::size_t n_;
+  std::size_t count_;
+  std::vector<double> data_;  // row-major samples × n
+};
+
+/// Compass search over the protocol's parameters (weights in [-2, 2],
+/// thresholds in [-1, n]) maximizing the bank winning fraction. Returns the
+/// optimized protocol and its bank value. Deterministic given the bank.
+struct CommunicationSearchResult {
+  WeightedThresholdProtocol protocol;
+  double value = 0.0;
+  std::uint32_t evaluations = 0;
+};
+[[nodiscard]] CommunicationSearchResult optimize_weighted_threshold(
+    WeightedThresholdProtocol start, double t, const InputBank& bank,
+    double initial_step = 0.25, double tolerance = 1e-4,
+    std::uint32_t max_evaluations = 20000);
+
+}  // namespace ddm::core

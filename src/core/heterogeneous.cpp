@@ -1,0 +1,138 @@
+#include "core/heterogeneous.hpp"
+
+#include <cmath>
+#include <string>
+
+#include <stdexcept>
+
+#include "prob/uniform_sum.hpp"
+
+namespace ddm::core {
+
+using util::Rational;
+
+namespace {
+
+void check_common(std::span<const Rational> first, std::span<const Rational> ranges,
+                  const char* what) {
+  if (first.empty()) throw std::invalid_argument(std::string(what) + ": need >= 1 player");
+  if (first.size() != ranges.size()) {
+    throw std::invalid_argument(std::string(what) + ": size mismatch");
+  }
+  if (first.size() > 14) throw std::invalid_argument(std::string(what) + ": n too large");
+  for (const Rational& c : ranges) {
+    if (c.signum() <= 0) throw std::invalid_argument(std::string(what) + ": ranges must be > 0");
+  }
+}
+
+}  // namespace
+
+Rational heterogeneous_oblivious_winning_probability(std::span<const Rational> alpha,
+                                                     std::span<const Rational> ranges,
+                                                     const Rational& t) {
+  check_common(alpha, ranges, "heterogeneous_oblivious_winning_probability");
+  for (const Rational& a : alpha) {
+    if (a < Rational{0} || a > Rational{1}) {
+      throw std::invalid_argument(
+          "heterogeneous_oblivious_winning_probability: alpha outside [0, 1]");
+    }
+  }
+  if (t.signum() <= 0) return Rational{0};
+  const std::size_t n = alpha.size();
+
+  // Condition on the decision vector b (independent of inputs for oblivious
+  // protocols); the two bins' loads are independent sums of U[0, c_i].
+  Rational total{0};
+  std::vector<Rational> ranges0;
+  std::vector<Rational> ranges1;
+  const std::uint64_t limit = std::uint64_t{1} << n;
+  for (std::uint64_t b = 0; b < limit; ++b) {
+    Rational weight{1};
+    ranges0.clear();
+    ranges1.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (b & (std::uint64_t{1} << i)) {
+        weight *= Rational{1} - alpha[i];
+        ranges1.push_back(ranges[i]);
+      } else {
+        weight *= alpha[i];
+        ranges0.push_back(ranges[i]);
+      }
+    }
+    if (weight.is_zero()) continue;
+    const Rational f0 = prob::sum_uniform_cdf(ranges0, t);
+    if (f0.is_zero()) continue;
+    total += weight * f0 * prob::sum_uniform_cdf(ranges1, t);
+  }
+  return total;
+}
+
+Rational heterogeneous_threshold_winning_probability(std::span<const Rational> thresholds,
+                                                     std::span<const Rational> ranges,
+                                                     const Rational& t) {
+  check_common(thresholds, ranges, "heterogeneous_threshold_winning_probability");
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    if (thresholds[i] < Rational{0} || thresholds[i] > ranges[i]) {
+      throw std::invalid_argument(
+          "heterogeneous_threshold_winning_probability: thresholds must lie in [0, range]");
+    }
+  }
+  if (t.signum() <= 0) return Rational{0};
+  const std::size_t n = thresholds.size();
+
+  // Condition on b: a 0-player's input is U[0, a_i] (weight a_i / c_i), a
+  // 1-player's input is U[a_i, c_i] = a_i + U[0, c_i − a_i] (weight
+  // (c_i − a_i)/c_i). Bin 1's load is recentered for Lemma 2.4.
+  Rational total{0};
+  std::vector<Rational> widths0;
+  std::vector<Rational> widths1;
+  const std::uint64_t limit = std::uint64_t{1} << n;
+  for (std::uint64_t b = 0; b < limit; ++b) {
+    Rational weight{1};
+    widths0.clear();
+    widths1.clear();
+    Rational shift1{0};
+    for (std::size_t i = 0; i < n; ++i) {
+      if (b & (std::uint64_t{1} << i)) {
+        const Rational width = ranges[i] - thresholds[i];
+        weight *= width / ranges[i];
+        widths1.push_back(width);
+        shift1 += thresholds[i];
+      } else {
+        weight *= thresholds[i] / ranges[i];
+        widths0.push_back(thresholds[i]);
+      }
+    }
+    if (weight.is_zero()) continue;
+    const Rational f0 = prob::sum_uniform_cdf(widths0, t);
+    if (f0.is_zero()) continue;
+    total += weight * f0 * prob::sum_uniform_cdf(widths1, t - shift1);
+  }
+  return total;
+}
+
+HeterogeneousSimResult estimate_heterogeneous_winning_probability(
+    const Protocol& protocol, std::span<const double> ranges, double t, std::uint64_t trials,
+    prob::Rng& rng) {
+  if (ranges.size() != protocol.size()) {
+    throw std::invalid_argument("estimate_heterogeneous_winning_probability: size mismatch");
+  }
+  if (trials == 0) {
+    throw std::invalid_argument("estimate_heterogeneous_winning_probability: zero trials");
+  }
+  std::vector<double> inputs(ranges.size());
+  std::uint64_t won = 0;
+  for (std::uint64_t trial = 0; trial < trials; ++trial) {
+    for (std::size_t i = 0; i < inputs.size(); ++i) inputs[i] = rng.uniform(0.0, ranges[i]);
+    if (wins(protocol, inputs, t, rng)) ++won;
+  }
+  HeterogeneousSimResult result;
+  result.wins = won;
+  result.trials = trials;
+  result.estimate = static_cast<double>(won) / static_cast<double>(trials);
+  result.standard_error = std::sqrt(result.estimate * (1.0 - result.estimate) /
+                                    static_cast<double>(trials));
+  return result;
+}
+
+}  // namespace ddm::core

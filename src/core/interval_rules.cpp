@@ -1,0 +1,185 @@
+#include "core/interval_rules.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "prob/uniform_sum.hpp"
+
+namespace ddm::core {
+
+using util::Rational;
+
+IntervalRule::IntervalRule(std::vector<UnitInterval> bin0_intervals)
+    : bin0_(std::move(bin0_intervals)) {
+  const Rational zero{0};
+  const Rational one{1};
+  Rational previous_hi{-1};
+  std::vector<UnitInterval> kept;
+  kept.reserve(bin0_.size());
+  for (const UnitInterval& interval : bin0_) {
+    if (interval.lo < zero || interval.hi > one || interval.lo > interval.hi) {
+      throw std::invalid_argument("IntervalRule: intervals must satisfy 0 <= lo <= hi <= 1");
+    }
+    if (interval.lo < previous_hi) {
+      throw std::invalid_argument("IntervalRule: intervals must be sorted and disjoint");
+    }
+    previous_hi = interval.hi;
+    if (interval.lo < interval.hi) kept.push_back(interval);  // drop measure-zero intervals
+  }
+  bin0_ = std::move(kept);
+}
+
+IntervalRule IntervalRule::threshold(Rational a) {
+  if (a < Rational{0} || a > Rational{1}) {
+    throw std::invalid_argument("IntervalRule::threshold: a outside [0, 1]");
+  }
+  return IntervalRule{{UnitInterval{Rational{0}, std::move(a)}}};
+}
+
+IntervalRule IntervalRule::two_interval(Rational a, Rational b, Rational c) {
+  return IntervalRule{{UnitInterval{Rational{0}, std::move(a)},
+                       UnitInterval{std::move(b), std::move(c)}}};
+}
+
+IntervalRule IntervalRule::constant(int bin) {
+  if (bin == kBin0) return IntervalRule{{UnitInterval{Rational{0}, Rational{1}}}};
+  if (bin == kBin1) return IntervalRule{{}};
+  throw std::invalid_argument("IntervalRule::constant: bad bin");
+}
+
+int IntervalRule::decide(const Rational& x) const {
+  for (const UnitInterval& interval : bin0_) {
+    if (x >= interval.lo && x <= interval.hi) return kBin0;
+  }
+  return kBin1;
+}
+
+int IntervalRule::decide(double x) const {
+  for (const UnitInterval& interval : bin0_) {
+    if (x >= interval.lo.to_double() && x <= interval.hi.to_double()) return kBin0;
+  }
+  return kBin1;
+}
+
+Rational IntervalRule::bin0_measure() const {
+  Rational total{0};
+  for (const UnitInterval& interval : bin0_) total += interval.hi - interval.lo;
+  return total;
+}
+
+std::vector<IntervalRule::Cell> IntervalRule::cells() const {
+  std::vector<Cell> result;
+  Rational cursor{0};
+  for (const UnitInterval& interval : bin0_) {
+    if (cursor < interval.lo) {
+      result.push_back(Cell{UnitInterval{cursor, interval.lo}, kBin1});
+    }
+    result.push_back(Cell{interval, kBin0});
+    cursor = interval.hi;
+  }
+  if (cursor < Rational{1}) {
+    result.push_back(Cell{UnitInterval{cursor, Rational{1}}, kBin1});
+  }
+  return result;
+}
+
+std::string IntervalRule::to_string() const {
+  std::ostringstream oss;
+  oss << "bin0 on ";
+  if (bin0_.empty()) oss << "{}";
+  for (std::size_t i = 0; i < bin0_.size(); ++i) {
+    if (i != 0) oss << " u ";
+    oss << "[" << bin0_[i].lo << ", " << bin0_[i].hi << "]";
+  }
+  return oss.str();
+}
+
+Rational interval_rules_winning_probability(std::span<const IntervalRule> rules,
+                                            const Rational& t) {
+  if (rules.empty()) {
+    throw std::invalid_argument("interval_rules_winning_probability: need >= 1 player");
+  }
+  if (t.signum() <= 0) return Rational{0};
+  const std::size_t n = rules.size();
+
+  std::vector<std::vector<IntervalRule::Cell>> cells;
+  cells.reserve(n);
+  std::size_t assignments = 1;
+  for (const IntervalRule& rule : rules) {
+    cells.push_back(rule.cells());
+    if (cells.back().empty()) {
+      throw std::logic_error("interval_rules_winning_probability: rule with no cells");
+    }
+    assignments *= cells.back().size();
+    if (assignments > (std::size_t{1} << 24)) {
+      throw std::invalid_argument(
+          "interval_rules_winning_probability: too many cell assignments");
+    }
+  }
+
+  // Odometer over one cell choice per player.
+  std::vector<std::size_t> choice(n, 0);
+  Rational total{0};
+  std::vector<Rational> widths0;
+  std::vector<Rational> widths1;
+  while (true) {
+    Rational weight{1};
+    widths0.clear();
+    widths1.clear();
+    Rational shift0{0};
+    Rational shift1{0};
+    for (std::size_t i = 0; i < n; ++i) {
+      const IntervalRule::Cell& cell = cells[i][choice[i]];
+      const Rational width = cell.interval.hi - cell.interval.lo;
+      weight *= width;
+      if (cell.bin == kBin0) {
+        widths0.push_back(width);
+        shift0 += cell.interval.lo;
+      } else {
+        widths1.push_back(width);
+        shift1 += cell.interval.lo;
+      }
+    }
+    if (!weight.is_zero()) {
+      // Conditional no-overflow probabilities via Lemma 2.4 after recentering
+      // each shifted uniform U[lo, hi] = lo + U[0, hi - lo].
+      const Rational f0 = prob::sum_uniform_cdf(widths0, t - shift0);
+      if (!f0.is_zero()) {
+        const Rational f1 = prob::sum_uniform_cdf(widths1, t - shift1);
+        total += weight * f0 * f1;
+      }
+    }
+    // Advance the odometer.
+    std::size_t i = 0;
+    while (i < n) {
+      if (++choice[i] < cells[i].size()) break;
+      choice[i] = 0;
+      ++i;
+    }
+    if (i == n) break;
+  }
+  return total;
+}
+
+IntervalRuleProtocol::IntervalRuleProtocol(std::vector<IntervalRule> rules)
+    : rules_(std::move(rules)) {
+  if (rules_.empty()) throw std::invalid_argument("IntervalRuleProtocol: need >= 1 player");
+}
+
+int IntervalRuleProtocol::decide(std::size_t player, double input, prob::Rng& /*rng*/) const {
+  if (player >= rules_.size()) throw std::out_of_range("IntervalRuleProtocol: bad player");
+  return rules_[player].decide(input);
+}
+
+std::string IntervalRuleProtocol::name() const {
+  std::ostringstream oss;
+  oss << "interval-rules(";
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (i != 0) oss << "; ";
+    oss << rules_[i].to_string();
+  }
+  oss << ")";
+  return oss.str();
+}
+
+}  // namespace ddm::core

@@ -1,0 +1,101 @@
+// interval_rules.hpp — exact winning probabilities for general deterministic
+// decision rules (extension beyond the paper's single-threshold class).
+//
+// The paper's model (Section 3.1) allows ANY computable local rule; its
+// analysis (Section 5) covers single thresholds. This module evaluates the
+// winning probability EXACTLY for every deterministic rule whose bin-0
+// acceptance set is a finite union of intervals — which is dense in all
+// measurable rules. The method conditions on the "cell" (maximal interval on
+// which the decision is constant) containing each player's input: within a
+// cell the input is conditionally uniform, so each bin's load is a sum of
+// independent shifted uniforms and Lemma 2.4 applies after recentering:
+//
+//   P(Σ_j U[lo_j, hi_j] <= t)  =  P(Σ_j (hi_j−lo_j)·U[0,1] <= t − Σ_j lo_j).
+//
+// Cost: Π_i (#cells of player i) cell assignments — exponential in n, fine
+// for the small systems the paper studies. This turns the two-interval
+// ablation from Monte Carlo into exact arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "util/rational.hpp"
+
+namespace ddm::core {
+
+/// A closed interval [lo, hi] ⊆ [0, 1].
+struct UnitInterval {
+  util::Rational lo;
+  util::Rational hi;
+};
+
+/// One player's deterministic decision rule: bin 0 iff the input lies in one
+/// of the given intervals (bin 1 otherwise). Immutable after construction.
+class IntervalRule {
+ public:
+  /// Intervals must lie in [0, 1], be sorted, and be pairwise disjoint with
+  /// positive-length gaps allowed; throws std::invalid_argument otherwise.
+  /// Zero-length intervals are allowed and ignored (measure zero).
+  explicit IntervalRule(std::vector<UnitInterval> bin0_intervals);
+
+  /// The single-threshold rule "bin 0 iff x <= a" (the paper's class).
+  [[nodiscard]] static IntervalRule threshold(util::Rational a);
+  /// The two-interval rule "bin 0 iff x in [0,a] ∪ [b,c]".
+  [[nodiscard]] static IntervalRule two_interval(util::Rational a, util::Rational b,
+                                                 util::Rational c);
+  /// Everything to bin `bin`.
+  [[nodiscard]] static IntervalRule constant(int bin);
+
+  [[nodiscard]] const std::vector<UnitInterval>& bin0_intervals() const noexcept {
+    return bin0_;
+  }
+
+  /// Decision for a concrete input (boundaries count as bin 0, matching the
+  /// single-threshold convention x <= a).
+  [[nodiscard]] int decide(const util::Rational& x) const;
+  [[nodiscard]] int decide(double x) const;
+
+  /// Total measure of the bin-0 set.
+  [[nodiscard]] util::Rational bin0_measure() const;
+
+  /// The decision-constant cells partitioning [0, 1]: the bin-0 intervals and
+  /// the complementary bin-1 gaps, in order, zero-length cells omitted.
+  struct Cell {
+    UnitInterval interval;
+    int bin = kBin0;
+  };
+  [[nodiscard]] std::vector<Cell> cells() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<UnitInterval> bin0_;
+};
+
+/// Exact winning probability of the profile of interval rules (player i uses
+/// rules[i]) at capacity t, by cell-conditioning + Lemma 2.4.
+/// Throws std::invalid_argument when rules is empty or the total cell-product
+/// exceeds ~2^24 (guard against accidental blowup).
+[[nodiscard]] util::Rational interval_rules_winning_probability(
+    std::span<const IntervalRule> rules, const util::Rational& t);
+
+/// Adapter so interval rules can run in the Monte Carlo simulator.
+class IntervalRuleProtocol final : public Protocol {
+ public:
+  explicit IntervalRuleProtocol(std::vector<IntervalRule> rules);
+
+  [[nodiscard]] std::size_t size() const override { return rules_.size(); }
+  [[nodiscard]] int decide(std::size_t player, double input, prob::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::span<const IntervalRule> rules() const noexcept { return rules_; }
+
+ private:
+  std::vector<IntervalRule> rules_;
+};
+
+}  // namespace ddm::core

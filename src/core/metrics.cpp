@@ -1,0 +1,82 @@
+#include "core/metrics.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "combinat/binomial.hpp"
+#include "prob/cdf_poly.hpp"
+
+namespace ddm::core {
+
+using util::Rational;
+
+Rational expected_overflow_oblivious(std::span<const Rational> alpha, const Rational& t) {
+  const std::size_t n = alpha.size();
+  if (n == 0 || n > 10) {
+    throw std::invalid_argument("expected_overflow_oblivious: need 1 <= n <= 10");
+  }
+  for (const Rational& a : alpha) {
+    if (a < Rational{0} || a > Rational{1}) {
+      throw std::invalid_argument("expected_overflow_oblivious: alpha outside [0, 1]");
+    }
+  }
+  // Condition on the decision vector; given b, each bin's load is a sum of
+  // independent U[0,1], so the conditional expected excess depends only on
+  // the bin sizes. E[(X_k − t)^+] for k unit uniforms:
+  std::vector<Rational> excess_by_count(n + 1, Rational{0});
+  for (std::size_t k = 1; k <= n; ++k) {
+    const std::vector<Rational> ranges(k, Rational{1});
+    excess_by_count[k] = prob::expected_excess(ranges, t);
+  }
+  // P(|b| = k) via the Poisson-binomial DP (player i picks bin 1 w.p. 1−α_i).
+  std::vector<Rational> pmf{Rational{1}};
+  for (const Rational& a : alpha) {
+    std::vector<Rational> next(pmf.size() + 1, Rational{0});
+    for (std::size_t k = 0; k < pmf.size(); ++k) {
+      next[k] += pmf[k] * a;
+      next[k + 1] += pmf[k] * (Rational{1} - a);
+    }
+    pmf = std::move(next);
+  }
+  Rational total{0};
+  for (std::size_t ones = 0; ones <= n; ++ones) {
+    if (pmf[ones].is_zero()) continue;
+    total += pmf[ones] * (excess_by_count[n - ones] + excess_by_count[ones]);
+  }
+  return total;
+}
+
+Rational expected_overflow_symmetric_threshold(std::uint32_t n, const Rational& beta,
+                                               const Rational& t) {
+  if (n == 0 || n > 10) {
+    throw std::invalid_argument("expected_overflow_symmetric_threshold: need 1 <= n <= 10");
+  }
+  if (beta < Rational{0} || beta > Rational{1}) {
+    throw std::invalid_argument("expected_overflow_symmetric_threshold: beta outside [0, 1]");
+  }
+  // Given |b| = k ones: the n−k zero-players' inputs are U[0, β]; the k
+  // one-players' inputs are U[β, 1] = β + U[0, 1−β], so bin 1's excess is the
+  // recentered E[(Σ U[0, 1−β] − (t − kβ))^+].
+  const Rational one_minus_beta = Rational{1} - beta;
+  Rational total{0};
+  for (std::uint32_t k = 0; k <= n; ++k) {
+    const Rational weight = Rational{combinat::binomial(n, k), util::BigInt{1}} *
+                            beta.pow(static_cast<std::int64_t>(n - k)) *
+                            one_minus_beta.pow(static_cast<std::int64_t>(k));
+    if (weight.is_zero()) continue;
+    Rational conditional{0};
+    if (n - k > 0 && !beta.is_zero()) {
+      const std::vector<Rational> zero_ranges(n - k, beta);
+      conditional += prob::expected_excess(zero_ranges, t);
+    }
+    if (k > 0 && !one_minus_beta.is_zero()) {
+      const std::vector<Rational> one_ranges(k, one_minus_beta);
+      conditional += prob::expected_excess(
+          one_ranges, t - beta * Rational{static_cast<std::int64_t>(k)});
+    }
+    total += weight * conditional;
+  }
+  return total;
+}
+
+}  // namespace ddm::core

@@ -1,0 +1,30 @@
+// metrics.hpp — expected-overflow metrics (extension).
+//
+// The paper optimizes P(no overflow); the load-balancing motivation equally
+// cares about HOW MUCH overflow occurs when it does. This module computes
+//   E[(Σ_0 − t)^+ + (Σ_1 − t)^+]
+// exactly for oblivious and symmetric-threshold protocols, by conditioning on
+// the decision vector and integrating the conditional sum-of-uniforms CDFs
+// symbolically (prob/cdf_poly). The two objectives need not agree on the
+// optimal protocol — the ablation bench quantifies the divergence.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/rational.hpp"
+
+namespace ddm::core {
+
+/// Expected total overflow of an oblivious protocol (α_i = P(bin 0)) with
+/// unit input ranges. Exact; throws std::invalid_argument for n > 10.
+[[nodiscard]] util::Rational expected_overflow_oblivious(std::span<const util::Rational> alpha,
+                                                         const util::Rational& t);
+
+/// Expected total overflow of the symmetric single-threshold protocol.
+/// Exact; throws std::invalid_argument for n > 10 or β outside [0, 1].
+[[nodiscard]] util::Rational expected_overflow_symmetric_threshold(std::uint32_t n,
+                                                                   const util::Rational& beta,
+                                                                   const util::Rational& t);
+
+}  // namespace ddm::core

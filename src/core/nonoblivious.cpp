@@ -1,0 +1,262 @@
+#include "core/nonoblivious.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "combinat/binomial.hpp"
+
+namespace ddm::core {
+
+using util::Rational;
+
+namespace {
+
+void check_thresholds(std::span<const Rational> a, std::size_t max_n) {
+  if (a.empty()) throw std::invalid_argument("threshold_winning_probability: need >= 1 player");
+  if (a.size() > max_n) {
+    throw std::invalid_argument("threshold_winning_probability: n too large for exact 3^n sum");
+  }
+  for (const Rational& x : a) {
+    if (x < Rational{0} || x > Rational{1}) {
+      throw std::invalid_argument("threshold_winning_probability: thresholds must lie in [0, 1]");
+    }
+  }
+}
+
+// Zeros bracket of Theorem 5.1 for the players listed in `zeros`:
+//   (1/m!) Σ_{I ⊆ zeros, Σ_{l∈I} a_l < t} (−1)^{|I|} (t − Σ_{l∈I} a_l)^m.
+Rational zeros_bracket(std::span<const Rational> a, std::span<const std::size_t> zeros,
+                       const Rational& t) {
+  const std::size_t m = zeros.size();
+  if (m == 0) return Rational{1};  // empty bin never overflows (t > 0)
+  Rational sum{0};
+  const std::uint64_t limit = std::uint64_t{1} << m;
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    Rational subset_sum{0};
+    for (std::size_t j = 0; j < m; ++j) {
+      if (mask & (std::uint64_t{1} << j)) subset_sum += a[zeros[j]];
+    }
+    if (subset_sum >= t) continue;
+    const Rational term = (t - subset_sum).pow(static_cast<std::int64_t>(m));
+    if (__builtin_popcountll(mask) % 2 == 0) {
+      sum += term;
+    } else {
+      sum -= term;
+    }
+  }
+  return sum * combinat::inverse_factorial(static_cast<std::uint32_t>(m));
+}
+
+// Ones bracket of Theorem 5.1 for the players listed in `ones`:
+//   Π (1−a_l)  −  (1/k!) Σ_{I ⊆ ones, k−t−|I|+Σ a_l > 0} (−1)^{|I|} (k−t−|I|+Σ_{l∈I} a_l)^k.
+Rational ones_bracket(std::span<const Rational> a, std::span<const std::size_t> ones,
+                      const Rational& t) {
+  const std::size_t k = ones.size();
+  if (k == 0) return Rational{1};
+  Rational product{1};
+  for (const std::size_t idx : ones) product *= Rational{1} - a[idx];
+  const Rational kk{static_cast<std::int64_t>(k)};
+  Rational sum{0};
+  const std::uint64_t limit = std::uint64_t{1} << k;
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    Rational subset_sum{0};
+    for (std::size_t j = 0; j < k; ++j) {
+      if (mask & (std::uint64_t{1} << j)) subset_sum += a[ones[j]];
+    }
+    const int i = __builtin_popcountll(mask);
+    const Rational base = kk - t - Rational{i} + subset_sum;
+    if (base.signum() <= 0) continue;
+    const Rational term = base.pow(static_cast<std::int64_t>(k));
+    if (i % 2 == 0) {
+      sum += term;
+    } else {
+      sum -= term;
+    }
+  }
+  return product - sum * combinat::inverse_factorial(static_cast<std::uint32_t>(k));
+}
+
+}  // namespace
+
+Rational threshold_winning_probability(std::span<const Rational> a, const Rational& t) {
+  check_thresholds(a, 16);
+  if (t.signum() <= 0) return Rational{0};
+  const std::size_t n = a.size();
+  Rational total{0};
+  std::vector<std::size_t> zeros;
+  std::vector<std::size_t> ones;
+  zeros.reserve(n);
+  ones.reserve(n);
+  const std::uint64_t limit = std::uint64_t{1} << n;
+  for (std::uint64_t b = 0; b < limit; ++b) {
+    zeros.clear();
+    ones.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (b & (std::uint64_t{1} << i)) {
+        ones.push_back(i);
+      } else {
+        zeros.push_back(i);
+      }
+    }
+    total += zeros_bracket(a, zeros, t) * ones_bracket(a, ones, t);
+  }
+  return total;
+}
+
+double threshold_winning_probability(std::span<const double> a, double t) {
+  if (a.empty()) throw std::invalid_argument("threshold_winning_probability: need >= 1 player");
+  if (a.size() > 20) {
+    throw std::invalid_argument("threshold_winning_probability: n too large for 3^n sum");
+  }
+  if (t <= 0.0) return 0.0;
+  const std::size_t n = a.size();
+
+  const auto zeros_bracket_d = [&](std::span<const std::size_t> zeros) {
+    const std::size_t m = zeros.size();
+    if (m == 0) return 1.0;
+    double sum = 0.0;
+    const std::uint64_t limit = std::uint64_t{1} << m;
+    for (std::uint64_t mask = 0; mask < limit; ++mask) {
+      double subset_sum = 0.0;
+      for (std::size_t j = 0; j < m; ++j) {
+        if (mask & (std::uint64_t{1} << j)) subset_sum += a[zeros[j]];
+      }
+      if (subset_sum >= t) continue;
+      const double term = std::pow(t - subset_sum, static_cast<double>(m));
+      sum += (__builtin_popcountll(mask) % 2 == 0) ? term : -term;
+    }
+    return sum * combinat::inverse_factorial_double(static_cast<std::uint32_t>(m));
+  };
+  const auto ones_bracket_d = [&](std::span<const std::size_t> ones) {
+    const std::size_t k = ones.size();
+    if (k == 0) return 1.0;
+    double product = 1.0;
+    for (const std::size_t idx : ones) product *= 1.0 - a[idx];
+    double sum = 0.0;
+    const std::uint64_t limit = std::uint64_t{1} << k;
+    for (std::uint64_t mask = 0; mask < limit; ++mask) {
+      double subset_sum = 0.0;
+      for (std::size_t j = 0; j < k; ++j) {
+        if (mask & (std::uint64_t{1} << j)) subset_sum += a[ones[j]];
+      }
+      const int i = __builtin_popcountll(mask);
+      const double base = static_cast<double>(k) - t - static_cast<double>(i) + subset_sum;
+      if (base <= 0.0) continue;
+      const double term = std::pow(base, static_cast<double>(k));
+      sum += (i % 2 == 0) ? term : -term;
+    }
+    return product - sum * combinat::inverse_factorial_double(static_cast<std::uint32_t>(k));
+  };
+
+  double total = 0.0;
+  std::vector<std::size_t> zeros;
+  std::vector<std::size_t> ones;
+  const std::uint64_t limit = std::uint64_t{1} << n;
+  for (std::uint64_t b = 0; b < limit; ++b) {
+    zeros.clear();
+    ones.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (b & (std::uint64_t{1} << i)) {
+        ones.push_back(i);
+      } else {
+        zeros.push_back(i);
+      }
+    }
+    total += zeros_bracket_d(zeros) * ones_bracket_d(ones);
+  }
+  return total;
+}
+
+Rational symmetric_zero_bracket(std::uint32_t m, const Rational& beta, const Rational& t) {
+  if (m == 0) return Rational{1};
+  Rational sum{0};
+  for (std::uint32_t l = 0; l <= m; ++l) {
+    const Rational base = t - Rational{static_cast<std::int64_t>(l)} * beta;
+    if (base.signum() <= 0) continue;
+    const Rational term =
+        Rational{combinat::binomial(m, l), util::BigInt{1}} * base.pow(static_cast<std::int64_t>(m));
+    if (l % 2 == 0) {
+      sum += term;
+    } else {
+      sum -= term;
+    }
+  }
+  return sum * combinat::inverse_factorial(m);
+}
+
+Rational symmetric_one_bracket(std::uint32_t k, const Rational& beta, const Rational& t) {
+  if (k == 0) return Rational{1};
+  const Rational kk{static_cast<std::int64_t>(k)};
+  Rational sum{0};
+  for (std::uint32_t l = 0; l <= k; ++l) {
+    const Rational ll{static_cast<std::int64_t>(l)};
+    const Rational base = kk - t - ll + ll * beta;
+    if (base.signum() <= 0) continue;
+    const Rational term =
+        Rational{combinat::binomial(k, l), util::BigInt{1}} * base.pow(static_cast<std::int64_t>(k));
+    if (l % 2 == 0) {
+      sum += term;
+    } else {
+      sum -= term;
+    }
+  }
+  return (Rational{1} - beta).pow(static_cast<std::int64_t>(k)) -
+         sum * combinat::inverse_factorial(k);
+}
+
+Rational symmetric_threshold_winning_probability(std::uint32_t n, const Rational& beta,
+                                                 const Rational& t) {
+  if (n == 0) throw std::invalid_argument("symmetric_threshold_winning_probability: n == 0");
+  if (beta < Rational{0} || beta > Rational{1}) {
+    throw std::invalid_argument("symmetric_threshold_winning_probability: beta outside [0, 1]");
+  }
+  if (t.signum() <= 0) return Rational{0};
+  Rational total{0};
+  for (std::uint32_t k = 0; k <= n; ++k) {
+    total += Rational{combinat::binomial(n, k), util::BigInt{1}} *
+             symmetric_zero_bracket(n - k, beta, t) * symmetric_one_bracket(k, beta, t);
+  }
+  return total;
+}
+
+double symmetric_threshold_winning_probability(std::uint32_t n, double beta, double t) {
+  if (n == 0) throw std::invalid_argument("symmetric_threshold_winning_probability: n == 0");
+  if (beta < 0.0 || beta > 1.0) {
+    throw std::invalid_argument("symmetric_threshold_winning_probability: beta outside [0, 1]");
+  }
+  if (t <= 0.0) return 0.0;
+
+  const auto zero_bracket = [&](std::uint32_t m) {
+    if (m == 0) return 1.0;
+    double sum = 0.0;
+    for (std::uint32_t l = 0; l <= m; ++l) {
+      const double base = t - static_cast<double>(l) * beta;
+      if (base <= 0.0) continue;
+      const double term = combinat::binomial_double(m, l) * std::pow(base, m);
+      sum += (l % 2 == 0) ? term : -term;
+    }
+    return sum * combinat::inverse_factorial_double(m);
+  };
+  const auto one_bracket = [&](std::uint32_t k) {
+    if (k == 0) return 1.0;
+    double sum = 0.0;
+    for (std::uint32_t l = 0; l <= k; ++l) {
+      const double base =
+          static_cast<double>(k) - t - static_cast<double>(l) + static_cast<double>(l) * beta;
+      if (base <= 0.0) continue;
+      const double term = combinat::binomial_double(k, l) * std::pow(base, k);
+      sum += (l % 2 == 0) ? term : -term;
+    }
+    return std::pow(1.0 - beta, static_cast<double>(k)) -
+           sum * combinat::inverse_factorial_double(k);
+  };
+
+  double total = 0.0;
+  for (std::uint32_t k = 0; k <= n; ++k) {
+    total += combinat::binomial_double(n, k) * zero_bracket(n - k) * one_bracket(k);
+  }
+  return total;
+}
+
+}  // namespace ddm::core

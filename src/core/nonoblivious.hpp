@@ -1,0 +1,53 @@
+// nonoblivious.hpp — winning probabilities of single-threshold protocols
+// (Section 5, Theorem 5.1).
+//
+// A deterministic single-threshold protocol has thresholds a_1..a_n; player i
+// picks bin 0 iff x_i <= a_i. Conditioned on the decision vector b, the
+// inputs of 0-players are U[0, a_i] and of 1-players U[a_i, 1], so the two
+// no-overflow probabilities come from Lemma 2.4 and Lemma 2.7. Theorem 5.1
+// folds P(y = b) = Π_{b_i=0} a_i · Π_{b_i=1} (1 − a_i) into the brackets:
+//
+//  P_A(t) = Σ_b  [ (1/(n−|b|)!) Σ_{I ⊆ zeros(b), Σa_l < t} (−1)^{|I|}(t − Σ_{l∈I} a_l)^{n−|b|} ]
+//              · [ Π_{l∈ones(b)} (1−a_l)
+//                  − (1/|b|!) Σ_{I ⊆ ones(b), |b|−t−|I|+Σa_l > 0} (−1)^{|I|}(|b|−t−|I|+Σ_{l∈I}a_l)^{|b|} ]
+//
+// The general evaluator runs in O(3^n) exact arithmetic; the symmetric
+// special case (all a_i = β, Section 5.2) collapses to O(n²) terms.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/rational.hpp"
+
+namespace ddm::core {
+
+/// Theorem 5.1 for arbitrary thresholds a_i ∈ [0, 1]. Exact; throws
+/// std::invalid_argument for n > 16 (use the symmetric version or the
+/// double engine for larger systems).
+[[nodiscard]] util::Rational threshold_winning_probability(std::span<const util::Rational> a,
+                                                           const util::Rational& t);
+
+/// Double-precision Theorem 5.1 for arbitrary thresholds (same O(3^n) sum).
+[[nodiscard]] double threshold_winning_probability(std::span<const double> a, double t);
+
+/// Symmetric Theorem 5.1: all thresholds equal β; O(n²) exact terms
+///   P(β) = Σ_k C(n,k) · B0_{n−k}(β) · B1_k(β).
+[[nodiscard]] util::Rational symmetric_threshold_winning_probability(std::uint32_t n,
+                                                                     const util::Rational& beta,
+                                                                     const util::Rational& t);
+[[nodiscard]] double symmetric_threshold_winning_probability(std::uint32_t n, double beta,
+                                                             double t);
+
+/// The "zeros" bracket for m players below a common threshold β:
+///   B0_m(β) = (1/m!) Σ_{l=0..m, t−lβ>0} (−1)^l C(m,l) (t − lβ)^m.
+/// Equals a_m^m · P(Σ of m U[0,β] <= t) with the β^m factor folded in.
+[[nodiscard]] util::Rational symmetric_zero_bracket(std::uint32_t m, const util::Rational& beta,
+                                                    const util::Rational& t);
+
+/// The "ones" bracket for k players above a common threshold β:
+///   B1_k(β) = (1−β)^k − (1/k!) Σ_{l=0..k, k−t−l+lβ>0} (−1)^l C(k,l) (k−t−l+lβ)^k.
+[[nodiscard]] util::Rational symmetric_one_bracket(std::uint32_t k, const util::Rational& beta,
+                                                   const util::Rational& t);
+
+}  // namespace ddm::core

@@ -1,0 +1,64 @@
+// oblivious.hpp — winning probabilities of oblivious protocols (Section 4).
+//
+// Theorem 4.1: for an oblivious protocol with probability vector α
+// (α_i = P(player i picks bin 0)),
+//
+//   P_A(t) = Σ_{b ∈ {0,1}^n}  φ_t(|b|) · Π_i α_i^(b_i),
+//
+// where φ_t(k) = IH_k(t) · IH_{n−k}(t) is the product of two Irwin–Hall CDFs
+// (the no-overflow probabilities of the two bins given the split) and
+// α^(b) selects α or 1−α according to the bit.
+//
+// Because φ_t depends on b only through |b|, the 2^n-term sum collapses to
+//   P_A(t) = Σ_{k=0..n} φ_t(k) · P(|b| = k),
+// with |b| Poisson-binomially distributed — an O(n²) dynamic program. The
+// brute-force 2^n version is kept as a test oracle.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "poly/multilinear.hpp"
+#include "util/rational.hpp"
+
+namespace ddm::core {
+
+/// φ_t(k) = IH_k(t) · IH_{n−k}(t) for a system of n players (Theorem 4.1);
+/// satisfies the symmetry φ_t(k) = φ_t(n−k) (Lemma 4.4).
+[[nodiscard]] util::Rational phi(std::uint32_t n, std::uint32_t k, const util::Rational& t);
+[[nodiscard]] double phi_double(std::uint32_t n, std::uint32_t k, double t);
+
+/// Poisson-binomial pmf of the number of 1-decisions: entry k is
+/// P(|b| = k) when player i picks bin 1 with probability 1 − α_i.
+[[nodiscard]] std::vector<util::Rational> ones_count_distribution(
+    std::span<const util::Rational> alpha);
+
+/// Theorem 4.1 via the Poisson-binomial collapse (O(n²) exact arithmetic).
+/// α_i = P(player i picks bin 0), each in [0,1]; t > 0.
+[[nodiscard]] util::Rational oblivious_winning_probability(std::span<const util::Rational> alpha,
+                                                           const util::Rational& t);
+
+/// Theorem 4.1 summed literally over all 2^n decision vectors — the test
+/// oracle. Throws std::invalid_argument for n > 25.
+[[nodiscard]] util::Rational oblivious_winning_probability_bruteforce(
+    std::span<const util::Rational> alpha, const util::Rational& t);
+
+/// Fast double evaluation of Theorem 4.1 (Poisson-binomial collapse).
+[[nodiscard]] double oblivious_winning_probability(std::span<const double> alpha, double t);
+
+/// Theorem 4.1 as a symbolic object: the winning probability as an exact
+/// MULTILINEAR polynomial in the probability vector α (α_i = P(bin 0)).
+/// Evaluation reproduces oblivious_winning_probability; partial derivatives
+/// are Corollary 4.2's optimality conditions. Throws std::invalid_argument
+/// for n > 12 (the expansion has up to 2^n terms).
+[[nodiscard]] poly::MultilinearPolynomial oblivious_winning_polynomial(
+    std::uint32_t n, const util::Rational& t);
+
+/// Theorem 4.3: the winning probability of the optimal oblivious protocol
+/// α = (1/2, ..., 1/2):  P = 2^{-n} Σ_k C(n,k) φ_t(k).
+[[nodiscard]] util::Rational optimal_oblivious_winning_probability(std::uint32_t n,
+                                                                   const util::Rational& t);
+[[nodiscard]] double optimal_oblivious_winning_probability_double(std::uint32_t n, double t);
+
+}  // namespace ddm::core

@@ -1,0 +1,162 @@
+#include "core/optimality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "combinat/binomial.hpp"
+#include "core/oblivious.hpp"
+
+namespace ddm::core {
+
+using util::Rational;
+
+namespace {
+
+// Ones-count pmf of all players except `skip`.
+std::vector<Rational> ones_count_excluding(std::span<const Rational> alpha, std::size_t skip) {
+  std::vector<Rational> pmf{Rational{1}};
+  for (std::size_t i = 0; i < alpha.size(); ++i) {
+    if (i == skip) continue;
+    const Rational p_one = Rational{1} - alpha[i];
+    std::vector<Rational> next(pmf.size() + 1, Rational{0});
+    for (std::size_t k = 0; k < pmf.size(); ++k) {
+      next[k] += pmf[k] * alpha[i];
+      next[k + 1] += pmf[k] * p_one;
+    }
+    pmf = std::move(next);
+  }
+  return pmf;
+}
+
+}  // namespace
+
+std::vector<Rational> oblivious_gradient(std::span<const Rational> alpha, const Rational& t) {
+  if (alpha.empty()) throw std::invalid_argument("oblivious_gradient: need >= 1 player");
+  const auto n = static_cast<std::uint32_t>(alpha.size());
+  std::vector<Rational> gradient(alpha.size());
+  for (std::size_t k = 0; k < alpha.size(); ++k) {
+    const std::vector<Rational> pmf = ones_count_excluding(alpha, k);
+    Rational g{0};
+    for (std::uint32_t j = 0; j < pmf.size(); ++j) {
+      if (pmf[j].is_zero()) continue;
+      // b_k = 0 keeps |b| = j (coefficient +1); b_k = 1 makes |b| = j + 1
+      // (coefficient −1): Corollary 4.2 with ∂α^(b_k)/∂α = ±1.
+      g += pmf[j] * (phi(n, j, t) - phi(n, j + 1, t));
+    }
+    gradient[k] = std::move(g);
+  }
+  return gradient;
+}
+
+std::vector<Rational> oblivious_gradient_bruteforce(std::span<const Rational> alpha,
+                                                    const Rational& t) {
+  if (alpha.empty()) throw std::invalid_argument("oblivious_gradient_bruteforce: empty alpha");
+  const std::size_t n = alpha.size();
+  if (n > 20) throw std::invalid_argument("oblivious_gradient_bruteforce: n too large");
+  std::vector<Rational> gradient(n, Rational{0});
+  const std::uint64_t limit = std::uint64_t{1} << n;
+  for (std::uint64_t b = 0; b < limit; ++b) {
+    const std::uint32_t ones = static_cast<std::uint32_t>(__builtin_popcountll(b));
+    const Rational phi_b = phi(static_cast<std::uint32_t>(n), ones, t);
+    for (std::size_t k = 0; k < n; ++k) {
+      Rational weight{1};
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i == k) continue;
+        weight *= (b & (std::uint64_t{1} << i)) ? Rational{1} - alpha[i] : alpha[i];
+      }
+      const bool bit_k = (b & (std::uint64_t{1} << k)) != 0;
+      if (bit_k) {
+        gradient[k] -= phi_b * weight;
+      } else {
+        gradient[k] += phi_b * weight;
+      }
+    }
+  }
+  return gradient;
+}
+
+std::vector<double> oblivious_gradient(std::span<const double> alpha, double t) {
+  if (alpha.empty()) throw std::invalid_argument("oblivious_gradient: need >= 1 player");
+  const auto n = static_cast<std::uint32_t>(alpha.size());
+  std::vector<double> gradient(alpha.size());
+  for (std::size_t k = 0; k < alpha.size(); ++k) {
+    std::vector<double> pmf{1.0};
+    for (std::size_t i = 0; i < alpha.size(); ++i) {
+      if (i == k) continue;
+      std::vector<double> next(pmf.size() + 1, 0.0);
+      for (std::size_t j = 0; j < pmf.size(); ++j) {
+        next[j] += pmf[j] * alpha[i];
+        next[j + 1] += pmf[j] * (1.0 - alpha[i]);
+      }
+      pmf = std::move(next);
+    }
+    double g = 0.0;
+    for (std::uint32_t j = 0; j < pmf.size(); ++j) {
+      g += pmf[j] * (phi_double(n, j, t) - phi_double(n, j + 1, t));
+    }
+    gradient[k] = g;
+  }
+  return gradient;
+}
+
+Rational stationarity_residual(std::span<const Rational> alpha, const Rational& t) {
+  Rational residual{0};
+  for (const Rational& g : oblivious_gradient(alpha, t)) {
+    if (g.abs() > residual) residual = g.abs();
+  }
+  return residual;
+}
+
+std::vector<Rational> diagonal_condition_coefficients(std::uint32_t n, const Rational& t) {
+  if (n == 0) throw std::invalid_argument("diagonal_condition_coefficients: n == 0");
+  std::vector<Rational> coefficients(n);
+  for (std::uint32_t k = 0; k < n; ++k) {
+    coefficients[k] = Rational{combinat::binomial(n - 1, k), util::BigInt{1}} *
+                      (phi(n, k + 1, t) - phi(n, k, t));
+  }
+  return coefficients;
+}
+
+AscentResult maximize_oblivious(std::vector<double> start, double t,
+                                std::uint32_t max_iterations, double initial_step) {
+  if (start.empty()) throw std::invalid_argument("maximize_oblivious: empty start");
+  for (double& a : start) a = std::clamp(a, 0.0, 1.0);
+
+  AscentResult result;
+  result.alpha = std::move(start);
+  result.value = oblivious_winning_probability(result.alpha, t);
+  double step = initial_step;
+
+  for (std::uint32_t iter = 0; iter < max_iterations; ++iter) {
+    const std::vector<double> gradient = oblivious_gradient(result.alpha, t);
+    std::vector<double> candidate(result.alpha.size());
+    for (std::size_t i = 0; i < candidate.size(); ++i) {
+      candidate[i] = std::clamp(result.alpha[i] + step * gradient[i], 0.0, 1.0);
+    }
+    const double candidate_value = oblivious_winning_probability(candidate, t);
+    ++result.iterations;
+    if (candidate_value > result.value) {
+      result.alpha = std::move(candidate);
+      result.value = candidate_value;
+    } else {
+      step *= 0.5;
+      if (step < 1e-14) break;
+    }
+  }
+
+  const std::vector<double> final_gradient = oblivious_gradient(result.alpha, t);
+  double norm = 0.0;
+  for (std::size_t i = 0; i < final_gradient.size(); ++i) {
+    // Only interior coordinates must be stationary; clamped coordinates may
+    // carry an outward gradient.
+    const bool at_lower = result.alpha[i] <= 0.0 && final_gradient[i] < 0.0;
+    const bool at_upper = result.alpha[i] >= 1.0 && final_gradient[i] > 0.0;
+    if (at_lower || at_upper) continue;
+    norm = std::max(norm, std::abs(final_gradient[i]));
+  }
+  result.gradient_norm = norm;
+  return result;
+}
+
+}  // namespace ddm::core

@@ -1,0 +1,65 @@
+// optimality.hpp — optimality conditions for oblivious protocols
+// (Corollary 4.2, Theorem 4.3) and numerical maximization utilities.
+//
+// At an optimum of the winning probability, every partial derivative with
+// respect to the probability vector α must vanish (Corollary 4.2). The paper
+// proves (Lemmas 4.5/4.6) that the unique solution is α = (1/2, ..., 1/2)
+// for every n — the optimal oblivious protocol is *uniform*. This module
+// computes the gradient exactly (so tests can verify it vanishes at 1/2 and
+// nowhere else along rational probes) and provides projected gradient ascent
+// as an independent numerical confirmation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rational.hpp"
+
+namespace ddm::core {
+
+/// Exact gradient ∂P_A(t)/∂α_k of Theorem 4.1's winning probability at α,
+/// using the O(n²) Poisson-binomial collapse per coordinate:
+///   ∂P/∂α_k = Σ_j PB_{−k}(j) · (φ_t(j) − φ_t(j+1)),
+/// where PB_{−k} is the ones-count distribution of the other players.
+[[nodiscard]] std::vector<util::Rational> oblivious_gradient(
+    std::span<const util::Rational> alpha, const util::Rational& t);
+
+/// Literal 2^n-term gradient (Corollary 4.2 as printed) — test oracle.
+[[nodiscard]] std::vector<util::Rational> oblivious_gradient_bruteforce(
+    std::span<const util::Rational> alpha, const util::Rational& t);
+
+/// Double-precision gradient (same collapse).
+[[nodiscard]] std::vector<double> oblivious_gradient(std::span<const double> alpha, double t);
+
+/// Largest |∂P/∂α_k| at α — zero iff α satisfies the optimality conditions.
+[[nodiscard]] util::Rational stationarity_residual(std::span<const util::Rational> alpha,
+                                                   const util::Rational& t);
+
+/// The diagonal optimality condition of Section 4.2: restricting Corollary
+/// 4.2 to a common alpha and dividing by (1 − alpha)^{n−1} yields a degree-
+/// (n−1) polynomial equation in the ratio r = alpha / (1 − alpha),
+///   Σ_{k} c_k r^k = 0,   c_k = C(n−1, k) (φ_t(k+1) − φ_t(k)).
+/// Lemma 4.4 (φ_t(k) = φ_t(n−k)) makes the coefficient sequence
+/// antisymmetric — c_k = −c_{n−1−k} — which is the engine of the paper's
+/// proof that r = 1 (alpha = 1/2) is the unique positive solution
+/// (Lemma 4.6). Returned low-degree-first.
+[[nodiscard]] std::vector<util::Rational> diagonal_condition_coefficients(
+    std::uint32_t n, const util::Rational& t);
+
+/// Result of numerical maximization.
+struct AscentResult {
+  std::vector<double> alpha;     ///< final iterate
+  double value = 0.0;            ///< winning probability at the final iterate
+  double gradient_norm = 0.0;    ///< max-norm of the final gradient (interior coords)
+  std::uint32_t iterations = 0;  ///< iterations actually performed
+};
+
+/// Projected gradient ascent on [0,1]^n from `start` (step halving on
+/// non-improvement). Converges to the unique stationary point α = 1/2
+/// (Theorem 4.3); used as an independent check of the exact derivation.
+[[nodiscard]] AscentResult maximize_oblivious(std::vector<double> start, double t,
+                                              std::uint32_t max_iterations = 500,
+                                              double initial_step = 0.5);
+
+}  // namespace ddm::core

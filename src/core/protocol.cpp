@@ -1,0 +1,119 @@
+#include "core/protocol.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ddm::core {
+
+using util::Rational;
+
+namespace {
+
+void check_probability_vector(std::span<const Rational> values, const char* what) {
+  if (values.empty()) throw std::invalid_argument(std::string(what) + ": need >= 1 player");
+  for (const Rational& v : values) {
+    if (v < Rational{0} || v > Rational{1}) {
+      throw std::invalid_argument(std::string(what) + ": entries must lie in [0, 1]");
+    }
+  }
+}
+
+std::vector<double> to_doubles(std::span<const Rational> values) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (const Rational& v : values) out.push_back(v.to_double());
+  return out;
+}
+
+}  // namespace
+
+ObliviousProtocol::ObliviousProtocol(std::vector<Rational> alpha) : alpha_(std::move(alpha)) {
+  check_probability_vector(alpha_, "ObliviousProtocol");
+  alpha_double_ = to_doubles(alpha_);
+}
+
+ObliviousProtocol ObliviousProtocol::uniform(std::size_t n) {
+  return ObliviousProtocol{std::vector<Rational>(n, Rational{1, 2})};
+}
+
+int ObliviousProtocol::decide(std::size_t player, double /*input*/, prob::Rng& rng) const {
+  if (player >= alpha_.size()) throw std::out_of_range("ObliviousProtocol::decide: bad player");
+  return rng.bernoulli(alpha_double_[player]) ? kBin0 : kBin1;
+}
+
+std::string ObliviousProtocol::name() const {
+  std::ostringstream oss;
+  oss << "oblivious(alpha=[";
+  for (std::size_t i = 0; i < alpha_.size(); ++i) {
+    if (i != 0) oss << ", ";
+    oss << alpha_[i];
+  }
+  oss << "])";
+  return oss.str();
+}
+
+SingleThresholdProtocol::SingleThresholdProtocol(std::vector<Rational> thresholds)
+    : thresholds_(std::move(thresholds)) {
+  check_probability_vector(thresholds_, "SingleThresholdProtocol");
+  thresholds_double_ = to_doubles(thresholds_);
+}
+
+SingleThresholdProtocol SingleThresholdProtocol::symmetric(std::size_t n, Rational beta) {
+  return SingleThresholdProtocol{std::vector<Rational>(n, std::move(beta))};
+}
+
+int SingleThresholdProtocol::decide(std::size_t player, double input, prob::Rng& /*rng*/) const {
+  if (player >= thresholds_.size()) {
+    throw std::out_of_range("SingleThresholdProtocol::decide: bad player");
+  }
+  return input <= thresholds_double_[player] ? kBin0 : kBin1;
+}
+
+std::string SingleThresholdProtocol::name() const {
+  std::ostringstream oss;
+  oss << "single-threshold(a=[";
+  for (std::size_t i = 0; i < thresholds_.size(); ++i) {
+    if (i != 0) oss << ", ";
+    oss << thresholds_[i];
+  }
+  oss << "])";
+  return oss.str();
+}
+
+FunctorProtocol::FunctorProtocol(std::vector<Rule> rules, std::string name)
+    : rules_(std::move(rules)), name_(std::move(name)) {
+  if (rules_.empty()) throw std::invalid_argument("FunctorProtocol: need >= 1 player");
+  for (const Rule& rule : rules_) {
+    if (!rule) throw std::invalid_argument("FunctorProtocol: empty rule");
+  }
+}
+
+int FunctorProtocol::decide(std::size_t player, double input, prob::Rng& rng) const {
+  if (player >= rules_.size()) throw std::out_of_range("FunctorProtocol::decide: bad player");
+  return rules_[player](input, rng);
+}
+
+BinLoads play(const Protocol& protocol, std::span<const double> inputs, prob::Rng& rng) {
+  if (inputs.size() != protocol.size()) {
+    throw std::invalid_argument("play: input vector size does not match protocol size");
+  }
+  BinLoads loads;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const int bin = protocol.decide(i, inputs[i], rng);
+    if (bin == kBin0) {
+      loads.bin0 += inputs[i];
+    } else if (bin == kBin1) {
+      loads.bin1 += inputs[i];
+    } else {
+      throw std::logic_error("play: protocol returned an invalid bin");
+    }
+  }
+  return loads;
+}
+
+bool wins(const Protocol& protocol, std::span<const double> inputs, double t, prob::Rng& rng) {
+  const BinLoads loads = play(protocol, inputs, rng);
+  return loads.bin0 <= t && loads.bin1 <= t;
+}
+
+}  // namespace ddm::core

@@ -1,0 +1,534 @@
+#include "core/randomized_rules.hpp"
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+
+#include "prob/uniform_sum.hpp"
+
+namespace ddm::core {
+
+using util::Rational;
+
+StepRule::StepRule(std::vector<Step> steps) : steps_(std::move(steps)) {
+  if (steps_.empty()) throw std::invalid_argument("StepRule: need >= 1 cell");
+  Rational previous{0};
+  for (const Step& step : steps_) {
+    if (step.hi <= previous) {
+      throw std::invalid_argument("StepRule: cell endpoints must be strictly increasing");
+    }
+    if (step.p0 < Rational{0} || step.p0 > Rational{1}) {
+      throw std::invalid_argument("StepRule: cell probabilities must lie in [0, 1]");
+    }
+    previous = step.hi;
+  }
+  if (steps_.back().hi != Rational{1}) {
+    throw std::invalid_argument("StepRule: cells must cover [0, 1] exactly");
+  }
+}
+
+StepRule StepRule::oblivious(Rational p0) {
+  return StepRule{{Step{Rational{1}, std::move(p0)}}};
+}
+
+StepRule StepRule::threshold(const Rational& a) {
+  if (a < Rational{0} || a > Rational{1}) {
+    throw std::invalid_argument("StepRule::threshold: a outside [0, 1]");
+  }
+  if (a.is_zero()) return StepRule{{Step{Rational{1}, Rational{0}}}};
+  if (a == Rational{1}) return StepRule{{Step{Rational{1}, Rational{1}}}};
+  return StepRule{{Step{a, Rational{1}}, Step{Rational{1}, Rational{0}}}};
+}
+
+StepRule StepRule::uniform_grid(std::span<const Rational> probabilities) {
+  if (probabilities.empty()) throw std::invalid_argument("StepRule::uniform_grid: no cells");
+  std::vector<Step> steps;
+  const auto m = static_cast<std::int64_t>(probabilities.size());
+  for (std::int64_t c = 0; c < m; ++c) {
+    steps.push_back(Step{Rational{c + 1, m}, probabilities[static_cast<std::size_t>(c)]});
+  }
+  return StepRule{std::move(steps)};
+}
+
+Rational StepRule::p0_at(const Rational& x) const {
+  if (x < Rational{0} || x > Rational{1}) {
+    throw std::out_of_range("StepRule::p0_at: x outside [0, 1]");
+  }
+  for (const Step& step : steps_) {
+    if (x <= step.hi) return step.p0;
+  }
+  return steps_.back().p0;
+}
+
+Rational StepRule::marginal_p0() const {
+  Rational total{0};
+  Rational previous{0};
+  for (const Step& step : steps_) {
+    total += (step.hi - previous) * step.p0;
+    previous = step.hi;
+  }
+  return total;
+}
+
+std::string StepRule::to_string() const {
+  std::ostringstream oss;
+  Rational previous{0};
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    if (i != 0) oss << ", ";
+    oss << "p0=" << steps_[i].p0 << " on (" << previous << ", " << steps_[i].hi << "]";
+    previous = steps_[i].hi;
+  }
+  return oss.str();
+}
+
+namespace {
+
+// Shared odometer core for the exact and double evaluators.
+struct CellChoice {
+  Rational lo;
+  Rational width;
+  Rational weight_bin0;  // width * p0
+  Rational weight_bin1;  // width * (1 - p0)
+};
+
+std::vector<std::vector<CellChoice>> build_cells(std::span<const StepRule> rules) {
+  std::vector<std::vector<CellChoice>> cells;
+  cells.reserve(rules.size());
+  for (const StepRule& rule : rules) {
+    std::vector<CellChoice> player_cells;
+    Rational previous{0};
+    for (const StepRule::Step& step : rule.steps()) {
+      const Rational width = step.hi - previous;
+      player_cells.push_back(CellChoice{previous, width, width * step.p0,
+                                        width * (Rational{1} - step.p0)});
+      previous = step.hi;
+    }
+    cells.push_back(std::move(player_cells));
+  }
+  return cells;
+}
+
+}  // namespace
+
+Rational step_rules_winning_probability(std::span<const StepRule> rules, const Rational& t) {
+  if (rules.empty()) {
+    throw std::invalid_argument("step_rules_winning_probability: need >= 1 player");
+  }
+  if (t.signum() <= 0) return Rational{0};
+  const std::size_t n = rules.size();
+  const auto cells = build_cells(rules);
+
+  std::size_t combos = 1;
+  for (const auto& player_cells : cells) {
+    combos *= 2 * player_cells.size();
+    if (combos > (std::size_t{1} << 24)) {
+      throw std::invalid_argument("step_rules_winning_probability: state space too large");
+    }
+  }
+
+  // Odometer over (cell, decision) per player: index = 2*cell + decision.
+  std::vector<std::size_t> choice(n, 0);
+  Rational total{0};
+  std::vector<Rational> widths0;
+  std::vector<Rational> widths1;
+  while (true) {
+    Rational weight{1};
+    widths0.clear();
+    widths1.clear();
+    Rational shift0{0};
+    Rational shift1{0};
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t cell_index = choice[i] / 2;
+      const bool to_bin1 = (choice[i] % 2) != 0;
+      const CellChoice& cell = cells[i][cell_index];
+      if (to_bin1) {
+        weight *= cell.weight_bin1;
+        widths1.push_back(cell.width);
+        shift1 += cell.lo;
+      } else {
+        weight *= cell.weight_bin0;
+        widths0.push_back(cell.width);
+        shift0 += cell.lo;
+      }
+      if (weight.is_zero()) break;
+    }
+    if (!weight.is_zero()) {
+      const Rational f0 = prob::sum_uniform_cdf(widths0, t - shift0);
+      if (!f0.is_zero()) {
+        total += weight * f0 * prob::sum_uniform_cdf(widths1, t - shift1);
+      }
+    }
+    std::size_t i = 0;
+    while (i < n) {
+      if (++choice[i] < 2 * cells[i].size()) break;
+      choice[i] = 0;
+      ++i;
+    }
+    if (i == n) break;
+  }
+  return total;
+}
+
+double step_rules_winning_probability(std::span<const StepRule> rules, double t) {
+  if (rules.empty()) {
+    throw std::invalid_argument("step_rules_winning_probability: need >= 1 player");
+  }
+  if (t <= 0.0) return 0.0;
+  const std::size_t n = rules.size();
+
+  struct DCell {
+    double lo, width, w0, w1;
+  };
+  std::vector<std::vector<DCell>> cells;
+  cells.reserve(n);
+  std::size_t combos = 1;
+  for (const StepRule& rule : rules) {
+    std::vector<DCell> player_cells;
+    double previous = 0.0;
+    for (const StepRule::Step& step : rule.steps()) {
+      const double hi = step.hi.to_double();
+      const double p0 = step.p0.to_double();
+      const double width = hi - previous;
+      player_cells.push_back(DCell{previous, width, width * p0, width * (1.0 - p0)});
+      previous = hi;
+    }
+    combos *= 2 * player_cells.size();
+    if (combos > (std::size_t{1} << 24)) {
+      throw std::invalid_argument("step_rules_winning_probability: state space too large");
+    }
+    cells.push_back(std::move(player_cells));
+  }
+
+  std::vector<std::size_t> choice(n, 0);
+  double total = 0.0;
+  std::vector<double> widths0;
+  std::vector<double> widths1;
+  while (true) {
+    double weight = 1.0;
+    widths0.clear();
+    widths1.clear();
+    double shift0 = 0.0;
+    double shift1 = 0.0;
+    for (std::size_t i = 0; i < n && weight != 0.0; ++i) {
+      const DCell& cell = cells[i][choice[i] / 2];
+      if (choice[i] % 2) {
+        weight *= cell.w1;
+        widths1.push_back(cell.width);
+        shift1 += cell.lo;
+      } else {
+        weight *= cell.w0;
+        widths0.push_back(cell.width);
+        shift0 += cell.lo;
+      }
+    }
+    if (weight != 0.0) {
+      const double f0 = prob::sum_uniform_cdf(widths0, t - shift0);
+      if (f0 != 0.0) total += weight * f0 * prob::sum_uniform_cdf(widths1, t - shift1);
+    }
+    std::size_t i = 0;
+    while (i < n) {
+      if (++choice[i] < 2 * cells[i].size()) break;
+      choice[i] = 0;
+      ++i;
+    }
+    if (i == n) break;
+  }
+  return total;
+}
+
+
+namespace {
+
+// Shared recursion for the symmetric evaluators: enumerate type counts
+// (k_1..k_{2m}) with sum n; the caller provides per-type weights, widths and
+// shifts, and a terminal functor computing F0 * F1 for the accumulated
+// multiset. Types are laid out as [cell0/bin0, cell0/bin1, cell1/bin0, ...].
+struct SymmetricTypeInfo {
+  double width = 0.0;
+  double lo = 0.0;
+  double weight = 0.0;  // width * p or width * (1 - p)
+  bool to_bin1 = false;
+};
+
+}  // namespace
+
+double symmetric_step_rule_winning_probability(std::uint32_t n, const StepRule& rule,
+                                               double t) {
+  if (n == 0) throw std::invalid_argument("symmetric_step_rule_winning_probability: n == 0");
+  if (t <= 0.0) return 0.0;
+
+  std::vector<SymmetricTypeInfo> types;
+  double previous = 0.0;
+  for (const StepRule::Step& step : rule.steps()) {
+    const double hi = step.hi.to_double();
+    const double p0 = step.p0.to_double();
+    const double width = hi - previous;
+    types.push_back(SymmetricTypeInfo{width, previous, width * p0, false});
+    types.push_back(SymmetricTypeInfo{width, previous, width * (1.0 - p0), true});
+    previous = hi;
+  }
+
+  std::vector<double> widths0;
+  std::vector<double> widths1;
+  widths0.reserve(n);
+  widths1.reserve(n);
+  double shift0 = 0.0;
+  double shift1 = 0.0;
+  double total = 0.0;
+
+  // Recursive composition enumeration with incremental multinomial weight.
+  const std::function<void(std::size_t, std::uint32_t, double)> recurse =
+      [&](std::size_t type, std::uint32_t remaining, double weight) {
+        if (weight == 0.0) return;
+        if (type + 1 == types.size()) {
+          // Last type takes everything that remains.
+          const SymmetricTypeInfo& info = types[type];
+          double w = weight;
+          for (std::uint32_t c = 0; c < remaining; ++c) {
+            w *= info.weight * static_cast<double>(remaining - c);
+            w /= static_cast<double>(c + 1);
+          }
+          if (w == 0.0) return;
+          const std::size_t size0 = widths0.size();
+          const std::size_t size1 = widths1.size();
+          for (std::uint32_t c = 0; c < remaining; ++c) {
+            if (info.to_bin1) {
+              widths1.push_back(info.width);
+              shift1 += info.lo;
+            } else {
+              widths0.push_back(info.width);
+              shift0 += info.lo;
+            }
+          }
+          const double f0 = prob::sum_uniform_cdf(widths0, t - shift0);
+          if (f0 != 0.0) total += w * f0 * prob::sum_uniform_cdf(widths1, t - shift1);
+          while (widths0.size() > size0) {
+            widths0.pop_back();
+            shift0 -= info.lo;
+          }
+          while (widths1.size() > size1) {
+            widths1.pop_back();
+            shift1 -= info.lo;
+          }
+          return;
+        }
+        const SymmetricTypeInfo& info = types[type];
+        // k copies of this type; weight picks up C(remaining, k) * w^k
+        // incrementally: multiplying by (remaining - k + 1) / k * w.
+        double w = weight;
+        recurse(type + 1, remaining, w);  // k = 0
+        std::uint32_t pushed = 0;
+        for (std::uint32_t k = 1; k <= remaining; ++k) {
+          w *= info.weight * static_cast<double>(remaining - k + 1) / static_cast<double>(k);
+          if (w == 0.0) break;
+          if (info.to_bin1) {
+            widths1.push_back(info.width);
+            shift1 += info.lo;
+          } else {
+            widths0.push_back(info.width);
+            shift0 += info.lo;
+          }
+          ++pushed;
+          recurse(type + 1, remaining - k, w);
+        }
+        // Undo exactly the pushes made for this type at this frame.
+        for (std::uint32_t k = 0; k < pushed; ++k) {
+          if (info.to_bin1) {
+            widths1.pop_back();
+            shift1 -= info.lo;
+          } else {
+            widths0.pop_back();
+            shift0 -= info.lo;
+          }
+        }
+      };
+  recurse(0, n, 1.0);
+  return total;
+}
+
+util::Rational symmetric_step_rule_winning_probability(std::uint32_t n, const StepRule& rule,
+                                                       const util::Rational& t) {
+  if (n == 0) throw std::invalid_argument("symmetric_step_rule_winning_probability: n == 0");
+  if (t.signum() <= 0) return Rational{0};
+
+  struct TypeInfo {
+    Rational width;
+    Rational lo;
+    Rational weight;
+    bool to_bin1;
+  };
+  std::vector<TypeInfo> types;
+  Rational previous{0};
+  for (const StepRule::Step& step : rule.steps()) {
+    const Rational width = step.hi - previous;
+    types.push_back(TypeInfo{width, previous, width * step.p0, false});
+    types.push_back(TypeInfo{width, previous, width * (Rational{1} - step.p0), true});
+    previous = step.hi;
+  }
+
+  std::vector<Rational> widths0;
+  std::vector<Rational> widths1;
+  Rational shift0{0};
+  Rational shift1{0};
+  Rational total{0};
+
+  const std::function<void(std::size_t, std::uint32_t, const Rational&)> recurse =
+      [&](std::size_t type, std::uint32_t remaining, const Rational& weight) {
+        if (weight.is_zero()) return;
+        const TypeInfo& info = types[type];
+        if (type + 1 == types.size()) {
+          Rational w = weight;
+          for (std::uint32_t c = 0; c < remaining; ++c) {
+            w *= info.weight * Rational{static_cast<std::int64_t>(remaining - c)} /
+                 Rational{static_cast<std::int64_t>(c + 1)};
+          }
+          if (w.is_zero()) return;
+          const std::size_t size0 = widths0.size();
+          const std::size_t size1 = widths1.size();
+          for (std::uint32_t c = 0; c < remaining; ++c) {
+            if (info.to_bin1) {
+              widths1.push_back(info.width);
+              shift1 += info.lo;
+            } else {
+              widths0.push_back(info.width);
+              shift0 += info.lo;
+            }
+          }
+          const Rational f0 = prob::sum_uniform_cdf(widths0, t - shift0);
+          if (!f0.is_zero()) total += w * f0 * prob::sum_uniform_cdf(widths1, t - shift1);
+          while (widths0.size() > size0) {
+            widths0.pop_back();
+            shift0 -= info.lo;
+          }
+          while (widths1.size() > size1) {
+            widths1.pop_back();
+            shift1 -= info.lo;
+          }
+          return;
+        }
+        Rational w = weight;
+        recurse(type + 1, remaining, w);
+        std::uint32_t pushed = 0;
+        for (std::uint32_t k = 1; k <= remaining; ++k) {
+          w *= info.weight * Rational{static_cast<std::int64_t>(remaining - k + 1)} /
+               Rational{static_cast<std::int64_t>(k)};
+          if (w.is_zero()) break;
+          if (info.to_bin1) {
+            widths1.push_back(info.width);
+            shift1 += info.lo;
+          } else {
+            widths0.push_back(info.width);
+            shift0 += info.lo;
+          }
+          ++pushed;
+          recurse(type + 1, remaining - k, w);
+        }
+        for (std::uint32_t k = 0; k < pushed; ++k) {
+          if (info.to_bin1) {
+            widths1.pop_back();
+            shift1 -= info.lo;
+          } else {
+            widths0.pop_back();
+            shift0 -= info.lo;
+          }
+        }
+      };
+  recurse(0, n, Rational{1});
+  return total;
+}
+
+StepRuleSearchResult maximize_symmetric_step_rule(std::uint32_t n, double t,
+                                                  std::uint32_t cells,
+                                                  std::vector<double> start,
+                                                  double initial_step, double tolerance,
+                                                  std::uint32_t max_evaluations) {
+  if (n == 0 || cells == 0) {
+    throw std::invalid_argument("maximize_symmetric_step_rule: n and cells must be >= 1");
+  }
+  if (start.size() != cells) {
+    throw std::invalid_argument("maximize_symmetric_step_rule: start size != cells");
+  }
+  if (initial_step <= 0.0 || tolerance <= 0.0) {
+    throw std::invalid_argument("maximize_symmetric_step_rule: bad step/tolerance");
+  }
+  for (double& p : start) p = std::clamp(p, 0.0, 1.0);
+
+  // Objective: symmetric profile of uniform-grid step rules with the given
+  // per-cell probabilities (rounded to rationals with denominator 10^9 so the
+  // StepRule invariants hold exactly).
+  const auto evaluate = [n, t, cells](const std::vector<double>& probabilities) {
+    std::vector<Rational> p;
+    p.reserve(cells);
+    for (const double v : probabilities) {
+      p.emplace_back(static_cast<std::int64_t>(std::llround(v * 1e9)), 1000000000);
+    }
+    return symmetric_step_rule_winning_probability(n, StepRule::uniform_grid(p), t);
+  };
+
+  StepRuleSearchResult result;
+  result.probabilities = std::move(start);
+  result.value = evaluate(result.probabilities);
+  result.evaluations = 1;
+  double step = initial_step;
+  while (step >= tolerance && result.evaluations < max_evaluations) {
+    bool improved = false;
+    for (std::size_t c = 0; c < cells; ++c) {
+      for (const double direction : {+1.0, -1.0}) {
+        const double original = result.probabilities[c];
+        const double candidate = std::clamp(original + direction * step, 0.0, 1.0);
+        if (candidate == original) continue;
+        result.probabilities[c] = candidate;
+        const double value = evaluate(result.probabilities);
+        ++result.evaluations;
+        if (value > result.value) {
+          result.value = value;
+          improved = true;
+        } else {
+          result.probabilities[c] = original;
+        }
+        if (result.evaluations >= max_evaluations) break;
+      }
+      if (result.evaluations >= max_evaluations) break;
+    }
+    if (!improved) step *= 0.5;
+  }
+  return result;
+}
+
+StepRuleProtocol::StepRuleProtocol(std::vector<StepRule> rules) : rules_(std::move(rules)) {
+  if (rules_.empty()) throw std::invalid_argument("StepRuleProtocol: need >= 1 player");
+  his_.reserve(rules_.size());
+  p0s_.reserve(rules_.size());
+  for (const StepRule& rule : rules_) {
+    std::vector<double> his;
+    std::vector<double> p0s;
+    for (const StepRule::Step& step : rule.steps()) {
+      his.push_back(step.hi.to_double());
+      p0s.push_back(step.p0.to_double());
+    }
+    his_.push_back(std::move(his));
+    p0s_.push_back(std::move(p0s));
+  }
+}
+
+int StepRuleProtocol::decide(std::size_t player, double input, prob::Rng& rng) const {
+  if (player >= rules_.size()) throw std::out_of_range("StepRuleProtocol: bad player");
+  const std::vector<double>& his = his_[player];
+  std::size_t cell = 0;
+  while (cell + 1 < his.size() && input > his[cell]) ++cell;
+  return rng.bernoulli(p0s_[player][cell]) ? kBin0 : kBin1;
+}
+
+std::string StepRuleProtocol::name() const {
+  std::ostringstream oss;
+  oss << "step-rules(";
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (i != 0) oss << "; ";
+    oss << rules_[i].to_string();
+  }
+  oss << ")";
+  return oss.str();
+}
+
+}  // namespace ddm::core

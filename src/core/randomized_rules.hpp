@@ -1,0 +1,115 @@
+// randomized_rules.hpp — exact winning probabilities for randomized
+// piecewise-constant decision rules (the general randomized model of
+// Section 3.1, restricted to no communication).
+//
+// A step rule assigns to each cell of a partition of [0,1] a probability of
+// choosing bin 0; the player observes its input, finds its cell, and flips
+// the cell's coin. This class strictly contains
+//   * oblivious protocols   (a single cell)           — Section 4
+//   * single thresholds     (cells with p ∈ {0,1})    — Section 5
+//   * interval rules        (any 0/1 cell pattern).
+// Exactness: condition on each player's (cell, decision) pair; conditional
+// inputs are uniform on cells, so both bin loads are sums of shifted
+// uniforms and Lemma 2.4 applies. Cost Π_i (2·#cells_i) — exponential in n.
+//
+// The class matters because of the paper's n = 4, δ = 4/3 anomaly (see
+// EXPERIMENTS.md D2): there the randomized coin beats every deterministic
+// symmetric threshold, so the optimal ANONYMOUS no-communication protocol at
+// that instance is genuinely randomized. This module lets us search that
+// space exactly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "util/rational.hpp"
+
+namespace ddm::core {
+
+/// A randomized piecewise-constant rule on [0, 1].
+class StepRule {
+ public:
+  /// One cell: the input range (implicitly starting at the previous cell's
+  /// hi, the first starting at 0) and the probability of choosing bin 0.
+  struct Step {
+    util::Rational hi;  ///< right endpoint of the cell
+    util::Rational p0;  ///< P(bin 0 | input in this cell), in [0, 1]
+  };
+
+  /// Steps must have strictly increasing hi, ending exactly at 1, with
+  /// p0 ∈ [0, 1]; throws std::invalid_argument otherwise.
+  explicit StepRule(std::vector<Step> steps);
+
+  /// Oblivious rule: one cell covering [0,1] with P(bin 0) = p0 (Section 4).
+  [[nodiscard]] static StepRule oblivious(util::Rational p0);
+  /// Deterministic threshold: p0 = 1 on [0, a], p0 = 0 on (a, 1] (Section 5).
+  [[nodiscard]] static StepRule threshold(const util::Rational& a);
+  /// Uniform grid of `cells` equal cells with the given probabilities.
+  [[nodiscard]] static StepRule uniform_grid(std::span<const util::Rational> probabilities);
+
+  [[nodiscard]] const std::vector<Step>& steps() const noexcept { return steps_; }
+  [[nodiscard]] std::size_t cell_count() const noexcept { return steps_.size(); }
+
+  /// P(bin 0 | input = x) — the cell probability (left-closed lookup).
+  [[nodiscard]] util::Rational p0_at(const util::Rational& x) const;
+
+  /// Marginal probability of choosing bin 0 (integrated over the input).
+  [[nodiscard]] util::Rational marginal_p0() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Step> steps_;
+};
+
+/// Exact winning probability of the profile (player i uses rules[i]) at
+/// capacity t. Throws std::invalid_argument when empty or when the total
+/// (cell, decision) product exceeds ~2^24.
+[[nodiscard]] util::Rational step_rules_winning_probability(std::span<const StepRule> rules,
+                                                            const util::Rational& t);
+
+/// Fast double version of the same sum (for optimization loops).
+[[nodiscard]] double step_rules_winning_probability(std::span<const StepRule> rules, double t);
+
+/// Symmetric profile (all n players use `rule`): exploits exchangeability to
+/// collapse the (2m)^n assignment sum to a multinomial enumeration over
+/// cell-decision type counts — C(n + 2m − 1, 2m − 1) terms. Exact and double
+/// versions; both agree with the general evaluators.
+[[nodiscard]] util::Rational symmetric_step_rule_winning_probability(std::uint32_t n,
+                                                                     const StepRule& rule,
+                                                                     const util::Rational& t);
+[[nodiscard]] double symmetric_step_rule_winning_probability(std::uint32_t n,
+                                                             const StepRule& rule, double t);
+
+/// Compass search over the cell probabilities of a SYMMETRIC step rule on a
+/// uniform grid with `cells` cells: maximizes the exact-formula double
+/// objective over p ∈ [0,1]^cells. Deterministic.
+struct StepRuleSearchResult {
+  std::vector<double> probabilities;  ///< best per-cell P(bin 0)
+  double value = 0.0;
+  std::uint32_t evaluations = 0;
+};
+[[nodiscard]] StepRuleSearchResult maximize_symmetric_step_rule(
+    std::uint32_t n, double t, std::uint32_t cells, std::vector<double> start,
+    double initial_step = 0.25, double tolerance = 1e-9,
+    std::uint32_t max_evaluations = 100000);
+
+/// Simulator adapter.
+class StepRuleProtocol final : public Protocol {
+ public:
+  explicit StepRuleProtocol(std::vector<StepRule> rules);
+
+  [[nodiscard]] std::size_t size() const override { return rules_.size(); }
+  [[nodiscard]] int decide(std::size_t player, double input, prob::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::vector<StepRule> rules_;
+  std::vector<std::vector<double>> his_;  // double breakpoints per rule
+  std::vector<std::vector<double>> p0s_;  // double probabilities per rule
+};
+
+}  // namespace ddm::core

@@ -1,0 +1,86 @@
+#include "core/threshold_optimizer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/nonoblivious.hpp"
+
+namespace ddm::core {
+
+ThresholdSearchResult maximize_thresholds(std::vector<double> start, double t,
+                                          double initial_step, double tolerance,
+                                          std::uint32_t max_evaluations) {
+  if (start.empty()) throw std::invalid_argument("maximize_thresholds: empty start");
+  if (start.size() > 16) throw std::invalid_argument("maximize_thresholds: n too large");
+  if (tolerance <= 0.0 || initial_step <= 0.0) {
+    throw std::invalid_argument("maximize_thresholds: step/tolerance must be > 0");
+  }
+  for (double& a : start) a = std::clamp(a, 0.0, 1.0);
+
+  ThresholdSearchResult result;
+  result.thresholds = std::move(start);
+  result.value = threshold_winning_probability(result.thresholds, t);
+  result.evaluations = 1;
+  double step = initial_step;
+
+  while (step >= tolerance && result.evaluations < max_evaluations) {
+    bool improved = false;
+    for (std::size_t i = 0; i < result.thresholds.size(); ++i) {
+      for (const double direction : {+1.0, -1.0}) {
+        const double original = result.thresholds[i];
+        const double candidate = std::clamp(original + direction * step, 0.0, 1.0);
+        if (candidate == original) continue;
+        result.thresholds[i] = candidate;
+        const double value = threshold_winning_probability(result.thresholds, t);
+        ++result.evaluations;
+        if (value > result.value) {
+          result.value = value;
+          improved = true;
+        } else {
+          result.thresholds[i] = original;
+        }
+        if (result.evaluations >= max_evaluations) break;
+      }
+      if (result.evaluations >= max_evaluations) break;
+    }
+    if (!improved) step *= 0.5;
+  }
+  result.final_step = step;
+  return result;
+}
+
+ThresholdSearchResult maximize_symmetric_threshold(std::uint32_t n, double t, double start,
+                                                   double initial_step, double tolerance) {
+  if (n == 0) throw std::invalid_argument("maximize_symmetric_threshold: n == 0");
+  if (tolerance <= 0.0 || initial_step <= 0.0) {
+    throw std::invalid_argument("maximize_symmetric_threshold: step/tolerance must be > 0");
+  }
+  double beta = std::clamp(start, 0.0, 1.0);
+  double value = symmetric_threshold_winning_probability(n, beta, t);
+  std::uint32_t evaluations = 1;
+  double step = initial_step;
+  while (step >= tolerance) {
+    bool improved = false;
+    for (const double direction : {+1.0, -1.0}) {
+      const double candidate = std::clamp(beta + direction * step, 0.0, 1.0);
+      if (candidate == beta) continue;
+      const double candidate_value = symmetric_threshold_winning_probability(n, candidate, t);
+      ++evaluations;
+      if (candidate_value > value) {
+        beta = candidate;
+        value = candidate_value;
+        improved = true;
+        break;
+      }
+    }
+    if (!improved) step *= 0.5;
+  }
+  ThresholdSearchResult result;
+  result.thresholds.assign(n, beta);
+  result.value = value;
+  result.evaluations = evaluations;
+  result.final_step = step;
+  return result;
+}
+
+}  // namespace ddm::core

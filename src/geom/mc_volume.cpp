@@ -1,0 +1,36 @@
+#include "geom/mc_volume.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace ddm::geom {
+
+VolumeEstimate estimate_volume(const Polytope& polytope, std::span<const double> bounds,
+                               std::uint64_t samples, prob::Rng& rng) {
+  if (bounds.size() != polytope.dimension()) {
+    throw std::invalid_argument("estimate_volume: bounds dimension mismatch");
+  }
+  if (samples == 0) throw std::invalid_argument("estimate_volume: need at least one sample");
+  double box_volume = 1.0;
+  for (const double b : bounds) {
+    if (b <= 0.0) throw std::invalid_argument("estimate_volume: bounds must be > 0");
+    box_volume *= b;
+  }
+  std::vector<double> point(polytope.dimension());
+  std::uint64_t hits = 0;
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    for (std::size_t i = 0; i < point.size(); ++i) point[i] = rng.uniform(0.0, bounds[i]);
+    if (polytope.contains(point)) ++hits;
+  }
+  const double p = static_cast<double>(hits) / static_cast<double>(samples);
+  VolumeEstimate estimate;
+  estimate.volume = p * box_volume;
+  estimate.standard_error =
+      box_volume * std::sqrt(p * (1.0 - p) / static_cast<double>(samples));
+  estimate.samples = samples;
+  estimate.hits = hits;
+  return estimate;
+}
+
+}  // namespace ddm::geom

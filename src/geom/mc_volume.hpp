@@ -1,0 +1,31 @@
+// mc_volume.hpp — Monte Carlo volume estimation.
+//
+// Cross-validation oracle for the exact formulas of Section 2: sample
+// uniformly in a bounding box, count hits, scale by the box volume. Used in
+// tests and in the geometry example to confirm Proposition 2.2 numerically.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "geom/polytope.hpp"
+#include "prob/rng.hpp"
+
+namespace ddm::geom {
+
+/// Estimate with a 1-sigma standard error.
+struct VolumeEstimate {
+  double volume = 0.0;
+  double standard_error = 0.0;
+  std::uint64_t samples = 0;
+  std::uint64_t hits = 0;
+};
+
+/// Estimate Vol(polytope ∩ [0, bounds]) by uniform rejection sampling inside
+/// the box [0, bounds_1] × ... × [0, bounds_d]. The polytope is assumed to be
+/// contained in that box for the estimate to equal its full volume.
+[[nodiscard]] VolumeEstimate estimate_volume(const Polytope& polytope,
+                                             std::span<const double> bounds, std::uint64_t samples,
+                                             prob::Rng& rng);
+
+}  // namespace ddm::geom

@@ -1,0 +1,93 @@
+#include "geom/polytope.hpp"
+
+#include <stdexcept>
+
+namespace ddm::geom {
+
+void Polytope::add_halfspace(std::vector<double> normal, double offset) {
+  if (normal.size() != dimension_) {
+    throw std::invalid_argument("Polytope::add_halfspace: dimension mismatch");
+  }
+  halfspaces_.push_back(Halfspace{std::move(normal), offset});
+}
+
+void Polytope::add_nonnegativity() {
+  for (std::size_t i = 0; i < dimension_; ++i) {
+    std::vector<double> normal(dimension_, 0.0);
+    normal[i] = -1.0;  // -x_i <= 0  <=>  x_i >= 0
+    add_halfspace(std::move(normal), 0.0);
+  }
+}
+
+void Polytope::add_upper_bounds(std::span<const double> bounds) {
+  if (bounds.size() != dimension_) {
+    throw std::invalid_argument("Polytope::add_upper_bounds: dimension mismatch");
+  }
+  for (std::size_t i = 0; i < dimension_; ++i) {
+    std::vector<double> normal(dimension_, 0.0);
+    normal[i] = 1.0;
+    add_halfspace(std::move(normal), bounds[i]);
+  }
+}
+
+bool Polytope::contains(std::span<const double> point, double eps) const {
+  if (point.size() != dimension_) {
+    throw std::invalid_argument("Polytope::contains: dimension mismatch");
+  }
+  for (const Halfspace& h : halfspaces_) {
+    double dot = 0.0;
+    for (std::size_t i = 0; i < dimension_; ++i) dot += h.normal[i] * point[i];
+    if (dot > h.offset + eps) return false;
+  }
+  return true;
+}
+
+Polytope Polytope::simplex(std::span<const double> sigma) {
+  Polytope result{sigma.size()};
+  result.add_nonnegativity();
+  std::vector<double> normal(sigma.size());
+  for (std::size_t l = 0; l < sigma.size(); ++l) {
+    if (sigma[l] <= 0.0) throw std::invalid_argument("Polytope::simplex: sides must be > 0");
+    normal[l] = 1.0 / sigma[l];
+  }
+  result.add_halfspace(std::move(normal), 1.0);
+  return result;
+}
+
+Polytope Polytope::box(std::span<const double> pi) {
+  Polytope result{pi.size()};
+  result.add_nonnegativity();
+  result.add_upper_bounds(pi);
+  return result;
+}
+
+Polytope Polytope::simplex_box(std::span<const double> sigma, std::span<const double> pi) {
+  if (sigma.size() != pi.size()) {
+    throw std::invalid_argument("Polytope::simplex_box: dimension mismatch");
+  }
+  Polytope result = box(pi);
+  std::vector<double> normal(sigma.size());
+  for (std::size_t l = 0; l < sigma.size(); ++l) {
+    if (sigma[l] <= 0.0) throw std::invalid_argument("Polytope::simplex_box: sides must be > 0");
+    normal[l] = 1.0 / sigma[l];
+  }
+  result.add_halfspace(std::move(normal), 1.0);
+  return result;
+}
+
+Polytope Polytope::corner_simplex(std::span<const double> sigma, std::span<const double> pi,
+                                  const std::vector<bool>& in_subset) {
+  if (sigma.size() != pi.size() || sigma.size() != in_subset.size()) {
+    throw std::invalid_argument("Polytope::corner_simplex: dimension mismatch");
+  }
+  Polytope result = simplex(sigma);
+  for (std::size_t l = 0; l < sigma.size(); ++l) {
+    if (!in_subset[l]) continue;
+    std::vector<double> normal(sigma.size(), 0.0);
+    normal[l] = -1.0;  // -x_l <= -π_l  <=>  x_l >= π_l
+    result.add_halfspace(std::move(normal), -pi[l]);
+  }
+  return result;
+}
+
+}  // namespace ddm::geom

@@ -1,0 +1,58 @@
+// polytope.hpp — half-space representation of the paper's polytopes.
+//
+// A polyhedron is the solution set of finitely many linear inequalities
+// (Section 2.1); a bounded one is a polytope. The H-representation here is
+// used for Monte Carlo membership tests that cross-validate the exact
+// inclusion-exclusion volumes of Proposition 2.2, and for constructing the
+// polytopes behind Lemmas 2.3/2.4 programmatically.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ddm::geom {
+
+/// One inequality  a · x <= b.
+struct Halfspace {
+  std::vector<double> normal;
+  double offset = 0.0;
+};
+
+/// Intersection of half-spaces in fixed dimension.
+class Polytope {
+ public:
+  explicit Polytope(std::size_t dimension) : dimension_(dimension) {}
+
+  [[nodiscard]] std::size_t dimension() const noexcept { return dimension_; }
+  [[nodiscard]] const std::vector<Halfspace>& halfspaces() const noexcept { return halfspaces_; }
+
+  /// Add a·x <= b; throws std::invalid_argument on dimension mismatch.
+  void add_halfspace(std::vector<double> normal, double offset);
+  /// Add x_i >= 0 for every coordinate.
+  void add_nonnegativity();
+  /// Add x_i <= bound_i for every coordinate.
+  void add_upper_bounds(std::span<const double> bounds);
+
+  /// True iff the point satisfies all inequalities (within tolerance eps).
+  [[nodiscard]] bool contains(std::span<const double> point, double eps = 0.0) const;
+
+  // -- factory helpers for the paper's shapes --------------------------------
+
+  /// Σ^m(σ): { x >= 0 : Σ x_l / σ_l <= 1 }  (Lemma 2.1(1)).
+  [[nodiscard]] static Polytope simplex(std::span<const double> sigma);
+  /// Π^m(π): [0, π_1] × ... × [0, π_m]  (Lemma 2.1(2)).
+  [[nodiscard]] static Polytope box(std::span<const double> pi);
+  /// ΣΠ^m(σ, π) = Σ^m(σ) ∩ Π^m(π)  (Proposition 2.2).
+  [[nodiscard]] static Polytope simplex_box(std::span<const double> sigma,
+                                            std::span<const double> pi);
+  /// Lemma 2.3 corner: { x >= 0 : Σ x_l/σ_l <= 1, x_l >= π_l for l in I }.
+  [[nodiscard]] static Polytope corner_simplex(std::span<const double> sigma,
+                                               std::span<const double> pi,
+                                               const std::vector<bool>& in_subset);
+
+ private:
+  std::size_t dimension_;
+  std::vector<Halfspace> halfspaces_;
+};
+
+}  // namespace ddm::geom

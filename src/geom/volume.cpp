@@ -1,0 +1,118 @@
+#include "geom/volume.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+#include "combinat/binomial.hpp"
+
+namespace ddm::geom {
+
+using util::Rational;
+
+namespace {
+
+void check_positive(std::span<const Rational> sides, const char* what) {
+  if (sides.empty()) throw std::invalid_argument(std::string(what) + ": dimension must be >= 1");
+  for (const Rational& s : sides) {
+    if (s.signum() <= 0) throw std::invalid_argument(std::string(what) + ": sides must be > 0");
+  }
+}
+
+}  // namespace
+
+Rational simplex_volume(std::span<const Rational> sigma) {
+  check_positive(sigma, "simplex_volume");
+  Rational product{1};
+  for (const Rational& s : sigma) product *= s;
+  return product * combinat::inverse_factorial(static_cast<std::uint32_t>(sigma.size()));
+}
+
+Rational box_volume(std::span<const Rational> pi) {
+  check_positive(pi, "box_volume");
+  Rational product{1};
+  for (const Rational& p : pi) product *= p;
+  return product;
+}
+
+Rational corner_simplex_volume(std::span<const Rational> sigma, std::span<const Rational> pi,
+                               const std::vector<bool>& in_subset) {
+  check_positive(sigma, "corner_simplex_volume");
+  if (sigma.size() != pi.size() || sigma.size() != in_subset.size()) {
+    throw std::invalid_argument("corner_simplex_volume: size mismatch");
+  }
+  Rational ratio_sum{0};
+  for (std::size_t l = 0; l < sigma.size(); ++l) {
+    if (in_subset[l]) ratio_sum += pi[l] / sigma[l];
+  }
+  if (ratio_sum >= Rational{1}) return Rational{0};
+  const Rational scale = Rational{1} - ratio_sum;
+  return simplex_volume(sigma) * scale.pow(static_cast<std::int64_t>(sigma.size()));
+}
+
+Rational simplex_box_volume(std::span<const Rational> sigma, std::span<const Rational> pi) {
+  check_positive(sigma, "simplex_box_volume");
+  check_positive(pi, "simplex_box_volume");
+  if (sigma.size() != pi.size()) {
+    throw std::invalid_argument("simplex_box_volume: size mismatch");
+  }
+  const std::size_t m = sigma.size();
+  if (m > 30) {
+    throw std::invalid_argument("simplex_box_volume: exact version limited to m <= 30");
+  }
+  // Precompute the ratios π_l / σ_l once.
+  std::vector<Rational> ratio(m);
+  for (std::size_t l = 0; l < m; ++l) ratio[l] = pi[l] / sigma[l];
+
+  // Σ over subsets I of (−1)^{|I|} (1 − Σ_{l∈I} π_l/σ_l)^m, guarded by the
+  // feasibility condition Σ_{l∈I} π_l/σ_l < 1 (Proposition 2.2).
+  Rational sum{0};
+  const std::uint64_t limit = std::uint64_t{1} << m;
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    Rational ratio_sum{0};
+    for (std::size_t l = 0; l < m; ++l) {
+      if (mask & (std::uint64_t{1} << l)) ratio_sum += ratio[l];
+    }
+    if (ratio_sum >= Rational{1}) continue;
+    const Rational term = (Rational{1} - ratio_sum).pow(static_cast<std::int64_t>(m));
+    if (__builtin_popcountll(mask) % 2 == 0) {
+      sum += term;
+    } else {
+      sum -= term;
+    }
+  }
+  return simplex_volume(sigma) * sum;
+}
+
+double simplex_box_volume_double(std::span<const double> sigma, std::span<const double> pi) {
+  if (sigma.empty() || sigma.size() != pi.size()) {
+    throw std::invalid_argument("simplex_box_volume_double: bad dimensions");
+  }
+  const std::size_t m = sigma.size();
+  if (m > 62) {
+    throw std::invalid_argument("simplex_box_volume_double: m too large for subset masks");
+  }
+  std::vector<double> ratio(m);
+  double side_product = 1.0;
+  for (std::size_t l = 0; l < m; ++l) {
+    if (sigma[l] <= 0.0 || pi[l] <= 0.0) {
+      throw std::invalid_argument("simplex_box_volume_double: sides must be > 0");
+    }
+    ratio[l] = pi[l] / sigma[l];
+    side_product *= sigma[l];
+  }
+  double sum = 0.0;
+  const std::uint64_t limit = std::uint64_t{1} << m;
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    double ratio_sum = 0.0;
+    for (std::size_t l = 0; l < m; ++l) {
+      if (mask & (std::uint64_t{1} << l)) ratio_sum += ratio[l];
+    }
+    if (ratio_sum >= 1.0) continue;
+    const double term = std::pow(1.0 - ratio_sum, static_cast<double>(m));
+    sum += (__builtin_popcountll(mask) % 2 == 0) ? term : -term;
+  }
+  return side_product * combinat::inverse_factorial_double(static_cast<std::uint32_t>(m)) * sum;
+}
+
+}  // namespace ddm::geom

@@ -1,0 +1,33 @@
+#include "poly/interpolate.hpp"
+
+#include <stdexcept>
+
+namespace ddm::poly {
+
+using util::Rational;
+
+QPoly lagrange_interpolate(std::span<const std::pair<Rational, Rational>> points) {
+  if (points.empty()) throw std::invalid_argument("lagrange_interpolate: no points");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      if (points[i].first == points[j].first) {
+        throw std::invalid_argument("lagrange_interpolate: duplicate x values");
+      }
+    }
+  }
+  QPoly result;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    // Basis polynomial L_i(x) = Π_{j≠i} (x − x_j)/(x_i − x_j), scaled by y_i.
+    QPoly basis{points[i].second};
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (j == i) continue;
+      const Rational denominator = points[i].first - points[j].first;
+      basis = basis * QPoly{std::vector<Rational>{-points[j].first / denominator,
+                                                  Rational{1} / denominator}};
+    }
+    result += basis;
+  }
+  return result;
+}
+
+}  // namespace ddm::poly

@@ -1,0 +1,44 @@
+// interpolate.hpp — exact Lagrange interpolation over the rationals.
+//
+// Validation tool: the winning probability P(β) of Theorem 5.1 restricted to
+// one breakpoint interval is a degree-≤n polynomial, so sampling the
+// *numeric* evaluator at n+1 rational points inside the interval and
+// interpolating must reproduce the *symbolic* piece coefficient-by-
+// coefficient. This gives a derivation-independent check of the whole
+// Section 5.2 pipeline (used in tests), and is generally useful for
+// reconstructing any exact polynomial from point evaluations.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "poly/polynomial.hpp"
+#include "util/rational.hpp"
+
+namespace ddm::poly {
+
+/// Exact Lagrange interpolation through the given (x, y) points. The x
+/// values must be pairwise distinct (throws std::invalid_argument). The
+/// result has degree < points.size() and passes through every point exactly.
+[[nodiscard]] QPoly lagrange_interpolate(
+    std::span<const std::pair<util::Rational, util::Rational>> points);
+
+/// Convenience: interpolate a callable f at `count` equally spaced rational
+/// nodes inside [lo, hi] (endpoints excluded to stay inside an open piece).
+template <typename F>
+[[nodiscard]] QPoly interpolate_on(const util::Rational& lo, const util::Rational& hi,
+                                   std::size_t count, F&& f) {
+  std::vector<std::pair<util::Rational, util::Rational>> points;
+  points.reserve(count);
+  const util::Rational width = hi - lo;
+  for (std::size_t i = 1; i <= count; ++i) {
+    const util::Rational x =
+        lo + width * util::Rational{static_cast<std::int64_t>(i),
+                                    static_cast<std::int64_t>(count + 1)};
+    points.emplace_back(x, f(x));
+  }
+  return lagrange_interpolate(points);
+}
+
+}  // namespace ddm::poly

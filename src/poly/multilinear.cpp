@@ -1,0 +1,179 @@
+#include "poly/multilinear.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ddm::poly {
+
+using util::Rational;
+
+MultilinearPolynomial::MultilinearPolynomial(std::size_t variables) : variables_(variables) {
+  if (variables > 20) {
+    throw std::invalid_argument("MultilinearPolynomial: too many variables (> 20)");
+  }
+}
+
+MultilinearPolynomial MultilinearPolynomial::constant(std::size_t variables, Rational c) {
+  MultilinearPolynomial result{variables};
+  result.set(0, std::move(c));
+  return result;
+}
+
+MultilinearPolynomial MultilinearPolynomial::variable(std::size_t variables, std::size_t i) {
+  if (i >= variables) throw std::out_of_range("MultilinearPolynomial::variable: bad index");
+  MultilinearPolynomial result{variables};
+  result.set(std::uint32_t{1} << i, Rational{1});
+  return result;
+}
+
+MultilinearPolynomial MultilinearPolynomial::one_minus_variable(std::size_t variables,
+                                                                std::size_t i) {
+  if (i >= variables) {
+    throw std::out_of_range("MultilinearPolynomial::one_minus_variable: bad index");
+  }
+  MultilinearPolynomial result{variables};
+  result.set(0, Rational{1});
+  result.set(std::uint32_t{1} << i, Rational{-1});
+  return result;
+}
+
+void MultilinearPolynomial::set(std::uint32_t mask, Rational value) {
+  if (value.is_zero()) {
+    terms_.erase(mask);
+  } else {
+    terms_[mask] = std::move(value);
+  }
+}
+
+Rational MultilinearPolynomial::coefficient(std::uint32_t mask) const {
+  const auto it = terms_.find(mask);
+  return it == terms_.end() ? Rational{0} : it->second;
+}
+
+std::uint32_t MultilinearPolynomial::support() const noexcept {
+  std::uint32_t mask = 0;
+  for (const auto& [term_mask, coefficient] : terms_) mask |= term_mask;
+  return mask;
+}
+
+MultilinearPolynomial& MultilinearPolynomial::operator+=(const MultilinearPolynomial& rhs) {
+  if (variables_ != rhs.variables_) {
+    throw std::invalid_argument("MultilinearPolynomial: variable-count mismatch");
+  }
+  for (const auto& [mask, coefficient] : rhs.terms_) {
+    set(mask, this->coefficient(mask) + coefficient);
+  }
+  return *this;
+}
+
+MultilinearPolynomial& MultilinearPolynomial::operator-=(const MultilinearPolynomial& rhs) {
+  if (variables_ != rhs.variables_) {
+    throw std::invalid_argument("MultilinearPolynomial: variable-count mismatch");
+  }
+  for (const auto& [mask, coefficient] : rhs.terms_) {
+    set(mask, this->coefficient(mask) - coefficient);
+  }
+  return *this;
+}
+
+MultilinearPolynomial& MultilinearPolynomial::operator*=(const Rational& scalar) {
+  if (scalar.is_zero()) {
+    terms_.clear();
+    return *this;
+  }
+  for (auto& [mask, coefficient] : terms_) coefficient *= scalar;
+  return *this;
+}
+
+MultilinearPolynomial MultilinearPolynomial::disjoint_product(
+    const MultilinearPolynomial& rhs) const {
+  if (variables_ != rhs.variables_) {
+    throw std::invalid_argument("MultilinearPolynomial: variable-count mismatch");
+  }
+  if ((support() & rhs.support()) != 0) {
+    throw std::domain_error(
+        "MultilinearPolynomial::disjoint_product: overlapping variable supports");
+  }
+  MultilinearPolynomial result{variables_};
+  for (const auto& [mask_a, coeff_a] : terms_) {
+    for (const auto& [mask_b, coeff_b] : rhs.terms_) {
+      result.set(mask_a | mask_b, result.coefficient(mask_a | mask_b) + coeff_a * coeff_b);
+    }
+  }
+  return result;
+}
+
+Rational MultilinearPolynomial::operator()(std::span<const Rational> point) const {
+  if (point.size() != variables_) {
+    throw std::invalid_argument("MultilinearPolynomial: evaluation point size mismatch");
+  }
+  Rational total{0};
+  for (const auto& [mask, coefficient] : terms_) {
+    Rational term = coefficient;
+    for (std::size_t i = 0; i < variables_; ++i) {
+      if (mask & (std::uint32_t{1} << i)) term *= point[i];
+    }
+    total += term;
+  }
+  return total;
+}
+
+MultilinearPolynomial MultilinearPolynomial::partial_derivative(std::size_t i) const {
+  if (i >= variables_) {
+    throw std::out_of_range("MultilinearPolynomial::partial_derivative: bad index");
+  }
+  const std::uint32_t bit = std::uint32_t{1} << i;
+  MultilinearPolynomial result{variables_};
+  for (const auto& [mask, coefficient] : terms_) {
+    if (mask & bit) result.set(mask & ~bit, result.coefficient(mask & ~bit) + coefficient);
+  }
+  return result;
+}
+
+MultilinearPolynomial MultilinearPolynomial::substitute(std::size_t i,
+                                                        const Rational& value) const {
+  if (i >= variables_) throw std::out_of_range("MultilinearPolynomial::substitute: bad index");
+  const std::uint32_t bit = std::uint32_t{1} << i;
+  MultilinearPolynomial result{variables_};
+  for (const auto& [mask, coefficient] : terms_) {
+    if (mask & bit) {
+      result.set(mask & ~bit, result.coefficient(mask & ~bit) + coefficient * value);
+    } else {
+      result.set(mask, result.coefficient(mask) + coefficient);
+    }
+  }
+  return result;
+}
+
+std::string MultilinearPolynomial::to_string(const std::string& var_prefix) const {
+  if (terms_.empty()) return "0";
+  std::ostringstream oss;
+  bool first = true;
+  for (const auto& [mask, coefficient] : terms_) {
+    const bool negative = coefficient.signum() < 0;
+    if (first) {
+      if (negative) oss << "-";
+      first = false;
+    } else {
+      oss << (negative ? " - " : " + ");
+    }
+    const Rational magnitude = coefficient.abs();
+    const bool unit = magnitude == Rational{1};
+    if (mask == 0) {
+      oss << magnitude;
+      continue;
+    }
+    if (!unit) oss << magnitude << "*";
+    bool first_var = true;
+    for (std::size_t i = 0; i < variables_; ++i) {
+      if (mask & (std::uint32_t{1} << i)) {
+        if (!first_var) oss << "*";
+        first_var = false;
+        oss << var_prefix << i;
+      }
+    }
+  }
+  return oss.str();
+}
+
+}  // namespace ddm::poly

@@ -1,0 +1,93 @@
+// multilinear.hpp — exact multilinear polynomials in several variables.
+//
+// Theorem 4.1 expresses the oblivious winning probability as a MULTILINEAR
+// form in the probability vector α:
+//   P_A(t) = Σ_{b} φ_t(|b|) Π_i α_i^{(b_i)}  =  Σ_{S ⊆ [n]} c_S Π_{i∈S} α_i,
+// and Corollary 4.2's optimality conditions are its partial derivatives.
+// This module makes that object first-class: exact coefficients on the
+// subset basis, evaluation, symbolic partial derivatives, and variable
+// substitution. Multilinearity is preserved by construction — products are
+// only defined for factors with disjoint variable supports (which is all the
+// paper's formulas need, since each player's factor involves only α_i).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+
+#include "util/rational.hpp"
+
+namespace ddm::poly {
+
+/// Exact multilinear polynomial over at most 20 variables, stored as a map
+/// from variable-subset masks to rational coefficients.
+class MultilinearPolynomial {
+ public:
+  /// The zero polynomial in `variables` variables (throws for > 20).
+  explicit MultilinearPolynomial(std::size_t variables);
+
+  /// Constant c.
+  [[nodiscard]] static MultilinearPolynomial constant(std::size_t variables,
+                                                      util::Rational c);
+  /// The variable α_i.
+  [[nodiscard]] static MultilinearPolynomial variable(std::size_t variables, std::size_t i);
+  /// 1 − α_i.
+  [[nodiscard]] static MultilinearPolynomial one_minus_variable(std::size_t variables,
+                                                                std::size_t i);
+
+  [[nodiscard]] std::size_t variables() const noexcept { return variables_; }
+  /// Coefficient of Π_{i∈mask} α_i (zero if absent).
+  [[nodiscard]] util::Rational coefficient(std::uint32_t mask) const;
+  /// Number of nonzero terms.
+  [[nodiscard]] std::size_t term_count() const noexcept { return terms_.size(); }
+  [[nodiscard]] bool is_zero() const noexcept { return terms_.empty(); }
+  /// Union of the variable supports of all nonzero terms.
+  [[nodiscard]] std::uint32_t support() const noexcept;
+
+  MultilinearPolynomial& operator+=(const MultilinearPolynomial& rhs);
+  MultilinearPolynomial& operator-=(const MultilinearPolynomial& rhs);
+  MultilinearPolynomial& operator*=(const util::Rational& scalar);
+  friend MultilinearPolynomial operator+(MultilinearPolynomial lhs,
+                                         const MultilinearPolynomial& rhs) {
+    return lhs += rhs;
+  }
+  friend MultilinearPolynomial operator-(MultilinearPolynomial lhs,
+                                         const MultilinearPolynomial& rhs) {
+    return lhs -= rhs;
+  }
+  friend MultilinearPolynomial operator*(MultilinearPolynomial lhs,
+                                         const util::Rational& scalar) {
+    return lhs *= scalar;
+  }
+
+  /// Product, defined only when the supports are disjoint (preserves
+  /// multilinearity); throws std::domain_error otherwise.
+  [[nodiscard]] MultilinearPolynomial disjoint_product(
+      const MultilinearPolynomial& rhs) const;
+
+  /// Exact evaluation at a point (size must match; throws otherwise).
+  [[nodiscard]] util::Rational operator()(std::span<const util::Rational> point) const;
+
+  /// ∂/∂α_i — for a multilinear P = A + α_i B this is B.
+  [[nodiscard]] MultilinearPolynomial partial_derivative(std::size_t i) const;
+
+  /// Substitute α_i = value, producing a polynomial that no longer involves
+  /// variable i (the variable count is unchanged).
+  [[nodiscard]] MultilinearPolynomial substitute(std::size_t i,
+                                                 const util::Rational& value) const;
+
+  /// Human-readable form, e.g. "1/6 + 1/3*a0*a1 - a2".
+  [[nodiscard]] std::string to_string(const std::string& var_prefix = "a") const;
+
+  friend bool operator==(const MultilinearPolynomial& a,
+                         const MultilinearPolynomial& b) = default;
+
+ private:
+  void set(std::uint32_t mask, util::Rational value);
+
+  std::size_t variables_;
+  std::map<std::uint32_t, util::Rational> terms_;  // mask → nonzero coefficient
+};
+
+}  // namespace ddm::poly

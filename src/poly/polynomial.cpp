@@ -1,0 +1,90 @@
+#include "poly/polynomial.hpp"
+
+#include <sstream>
+
+#include "combinat/binomial.hpp"
+
+namespace ddm::poly {
+
+namespace {
+
+// Render one coefficient for to_string; handles Rational and double.
+std::string coeff_to_text(const util::Rational& c) { return c.to_string(); }
+std::string coeff_to_text(double c) {
+  std::ostringstream oss;
+  oss << c;
+  return oss.str();
+}
+
+bool coeff_is_negative(const util::Rational& c) { return c.signum() < 0; }
+bool coeff_is_negative(double c) { return c < 0.0; }
+
+template <typename F>
+F coeff_abs(const F& c) {
+  return coeff_is_negative(c) ? -c : c;
+}
+
+bool coeff_is_one(const util::Rational& c) { return c == util::Rational{1}; }
+bool coeff_is_one(double c) { return c == 1.0; }
+
+}  // namespace
+
+template <typename F>
+std::string Polynomial<F>::to_string(const std::string& var) const {
+  if (is_zero()) return "0";
+  std::ostringstream oss;
+  bool first = true;
+  for (std::size_t i = coeffs_.size(); i-- > 0;) {
+    const F& c = coeffs_[i];
+    if (c == F{}) continue;
+    const bool negative = coeff_is_negative(c);
+    if (first) {
+      if (negative) oss << "-";
+      first = false;
+    } else {
+      oss << (negative ? " - " : " + ");
+    }
+    const F magnitude = coeff_abs(c);
+    const bool unit = coeff_is_one(magnitude);
+    if (i == 0) {
+      oss << coeff_to_text(magnitude);
+    } else {
+      if (!unit) oss << coeff_to_text(magnitude) << "*";
+      oss << var;
+      if (i > 1) oss << "^" << i;
+    }
+  }
+  return oss.str();
+}
+
+DPoly to_double(const QPoly& p) {
+  std::vector<double> coeffs;
+  coeffs.reserve(p.coefficients().size());
+  for (const auto& c : p.coefficients()) coeffs.push_back(c.to_double());
+  return DPoly{std::move(coeffs)};
+}
+
+QPoly binomial_power(const util::Rational& a, const util::Rational& b, std::uint32_t k) {
+  // (a + b x)^k = sum_j C(k, j) a^(k-j) b^j x^j
+  std::vector<util::Rational> coeffs(k + 1);
+  for (std::uint32_t j = 0; j <= k; ++j) {
+    const util::Rational binom{combinat::binomial(k, j), util::BigInt{1}};
+    coeffs[j] = binom * a.pow(static_cast<std::int64_t>(k - j)) *
+                b.pow(static_cast<std::int64_t>(j));
+  }
+  return QPoly{std::move(coeffs)};
+}
+
+util::RationalInterval evaluate_interval(const QPoly& p, const util::RationalInterval& x) {
+  util::RationalInterval result{util::Rational{0}};
+  const auto& coeffs = p.coefficients();
+  for (std::size_t i = coeffs.size(); i-- > 0;) {
+    result = result * x + util::RationalInterval{coeffs[i]};
+  }
+  return result;
+}
+
+template class Polynomial<util::Rational>;
+template class Polynomial<double>;
+
+}  // namespace ddm::poly

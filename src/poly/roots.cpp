@@ -1,0 +1,92 @@
+#include "poly/roots.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ddm::poly {
+
+namespace {
+
+using util::Rational;
+
+// Recursive Sturm bisection on (lo, hi]; appends isolating intervals.
+void isolate_recursive(const SturmSequence& sturm, const QPoly& p, const Rational& lo,
+                       const Rational& hi, int roots_inside, std::vector<RootInterval>& out) {
+  if (roots_inside == 0) return;
+  if (roots_inside == 1) {
+    out.push_back(RootInterval{lo, hi});
+    return;
+  }
+  const Rational mid = (lo + hi) * Rational{1, 2};
+  const bool mid_is_root = p(mid).is_zero();
+  const int left = sturm.count_roots(lo, mid);
+  const int right = roots_inside - left;
+  if (mid_is_root) {
+    // Report the exact root at mid, and recurse left of a gap (lo, mid - d]
+    // that provably excludes it — otherwise the left interval could end at a
+    // root and stop being isolating.
+    Rational delta = (hi - lo) * Rational{1, 4};
+    while (sturm.count_roots(mid - delta, mid) > 1) delta = delta * Rational{1, 2};
+    const Rational left_hi = mid - delta;
+    isolate_recursive(sturm, p, lo, left_hi, sturm.count_roots(lo, left_hi), out);
+    out.push_back(RootInterval{mid, mid});
+    isolate_recursive(sturm, p, mid, hi, right, out);
+  } else {
+    isolate_recursive(sturm, p, lo, mid, left, out);
+    isolate_recursive(sturm, p, mid, hi, right, out);
+  }
+}
+
+}  // namespace
+
+std::vector<RootInterval> isolate_roots(const QPoly& p, const Rational& lo, const Rational& hi) {
+  if (p.is_zero()) throw std::invalid_argument("isolate_roots: zero polynomial");
+  if (lo > hi) throw std::invalid_argument("isolate_roots: lo > hi");
+  const QPoly square_free = p.square_free_part();
+  const SturmSequence sturm{square_free};
+  const int count = sturm.count_roots(lo, hi);
+  std::vector<RootInterval> out;
+  out.reserve(static_cast<std::size_t>(count));
+  isolate_recursive(sturm, square_free, lo, hi, count, out);
+  return out;
+}
+
+std::vector<RootInterval> isolate_all_roots(const QPoly& p) {
+  if (p.is_zero()) throw std::invalid_argument("isolate_all_roots: zero polynomial");
+  if (p.degree() == 0) return {};
+  const Rational bound = cauchy_root_bound(p);
+  return isolate_roots(p, -bound, bound);
+}
+
+RootInterval refine_root(const QPoly& p, RootInterval interval, const Rational& width) {
+  if (interval.is_exact()) return interval;
+  const QPoly square_free = p.square_free_part();
+  // Sign-based bisection requires a sign change across the open-left interval;
+  // since (lo, hi] holds exactly one simple root of the square-free part,
+  // sign(lo) * sign(hi) <= 0 and sign(hi) == 0 only if hi is the root.
+  const util::Rational value_hi = square_free(interval.hi);
+  if (value_hi.is_zero()) return RootInterval{interval.hi, interval.hi};
+  int sign_hi = value_hi.signum();
+  while (interval.width() > width) {
+    const Rational mid = interval.midpoint();
+    const util::Rational value_mid = square_free(mid);
+    if (value_mid.is_zero()) return RootInterval{mid, mid};
+    if (value_mid.signum() == sign_hi) {
+      interval.hi = mid;
+    } else {
+      interval.lo = mid;
+    }
+  }
+  return interval;
+}
+
+RootInterval unique_root(const QPoly& p, const Rational& lo, const Rational& hi,
+                         const Rational& width) {
+  std::vector<RootInterval> roots = isolate_roots(p, lo, hi);
+  if (roots.size() != 1) {
+    throw std::logic_error("unique_root: interval does not contain exactly one root");
+  }
+  return refine_root(p, roots[0], width);
+}
+
+}  // namespace ddm::poly

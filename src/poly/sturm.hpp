@@ -1,0 +1,47 @@
+// sturm.hpp — Sturm sequences for exact real-root counting.
+//
+// The optimal thresholds of Section 5 are algebraic numbers (roots of the
+// derivative of the piecewise winning-probability polynomial). Sturm's
+// theorem lets us count and isolate them exactly over the rationals, with no
+// floating-point doubt: the number of distinct real roots of a square-free
+// polynomial in (a, b] equals V(a) - V(b), where V(x) counts sign changes
+// along the Sturm chain evaluated at x.
+#pragma once
+
+#include <vector>
+
+#include "poly/polynomial.hpp"
+#include "util/rational.hpp"
+
+namespace ddm::poly {
+
+/// Sturm chain of a polynomial: p0 = p, p1 = p', p_{k+1} = -rem(p_{k-1}, p_k).
+class SturmSequence {
+ public:
+  /// Builds the chain. The input need not be square-free; root *counting*
+  /// then reports distinct roots (the chain ends at gcd(p, p')).
+  explicit SturmSequence(QPoly p);
+
+  /// Number of sign changes of the chain at x.
+  [[nodiscard]] int sign_changes_at(const util::Rational& x) const;
+  /// Sign changes at -inf / +inf (using leading coefficients).
+  [[nodiscard]] int sign_changes_at_negative_infinity() const;
+  [[nodiscard]] int sign_changes_at_positive_infinity() const;
+
+  /// Count of distinct real roots in the half-open interval (a, b].
+  /// Requires a <= b (throws std::invalid_argument otherwise).
+  [[nodiscard]] int count_roots(const util::Rational& a, const util::Rational& b) const;
+  /// Count of all distinct real roots.
+  [[nodiscard]] int count_all_roots() const;
+
+  [[nodiscard]] const std::vector<QPoly>& chain() const noexcept { return chain_; }
+
+ private:
+  std::vector<QPoly> chain_;
+};
+
+/// Cauchy root bound: all real roots of p lie in [-B, B] with
+/// B = 1 + max_i |a_i| / |a_n|. Throws std::invalid_argument on zero input.
+[[nodiscard]] util::Rational cauchy_root_bound(const QPoly& p);
+
+}  // namespace ddm::poly

@@ -1,0 +1,89 @@
+#include "prob/cdf_poly.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "combinat/binomial.hpp"
+
+namespace ddm::prob {
+
+using poly::QPoly;
+using util::Rational;
+
+poly::PiecewisePolynomial sum_uniform_cdf_poly(std::span<const Rational> pi) {
+  const std::size_t m = pi.size();
+  if (m == 0 || m > 10) throw std::invalid_argument("sum_uniform_cdf_poly: need 1 <= m <= 10");
+  for (const Rational& p : pi) {
+    if (p.signum() <= 0) throw std::invalid_argument("sum_uniform_cdf_poly: ranges must be > 0");
+  }
+
+  // All subset sums, with parity-weighted polynomial contributions
+  //   (−1)^{|I|} (t − s_I)^m  active for t > s_I  (Lemma 2.4).
+  struct SubsetTerm {
+    Rational sum;
+    int sign;
+  };
+  std::vector<SubsetTerm> terms;
+  terms.reserve(std::size_t{1} << m);
+  const std::uint64_t limit = std::uint64_t{1} << m;
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    Rational sum{0};
+    for (std::size_t l = 0; l < m; ++l) {
+      if (mask & (std::uint64_t{1} << l)) sum += pi[l];
+    }
+    terms.push_back(SubsetTerm{std::move(sum), __builtin_popcountll(mask) % 2 == 0 ? 1 : -1});
+  }
+
+  std::vector<Rational> breakpoints;
+  breakpoints.reserve(terms.size());
+  for (const SubsetTerm& term : terms) breakpoints.push_back(term.sum);
+  std::sort(breakpoints.begin(), breakpoints.end());
+  breakpoints.erase(std::unique(breakpoints.begin(), breakpoints.end()), breakpoints.end());
+
+  Rational normalizer = combinat::inverse_factorial(static_cast<std::uint32_t>(m));
+  for (const Rational& p : pi) normalizer /= p;
+
+  std::vector<poly::Piece> pieces;
+  pieces.reserve(breakpoints.size() - 1);
+  for (std::size_t i = 0; i + 1 < breakpoints.size(); ++i) {
+    const Rational& lo = breakpoints[i];
+    const Rational& hi = breakpoints[i + 1];
+    QPoly piece_poly;
+    for (const SubsetTerm& term : terms) {
+      if (term.sum > lo) continue;  // not yet active on (lo, hi)
+      QPoly contribution =
+          poly::binomial_power(-term.sum, Rational{1}, static_cast<std::uint32_t>(m));
+      if (term.sign < 0) {
+        piece_poly -= contribution;
+      } else {
+        piece_poly += contribution;
+      }
+    }
+    piece_poly *= normalizer;
+    pieces.push_back(poly::Piece{lo, hi, std::move(piece_poly)});
+  }
+  return poly::PiecewisePolynomial{std::move(pieces)};
+}
+
+Rational expected_excess(std::span<const Rational> pi, const Rational& t) {
+  const std::size_t m = pi.size();
+  if (m == 0) return Rational{0};
+  Rational support{0};
+  Rational mean{0};
+  for (const Rational& p : pi) {
+    if (p.signum() <= 0) throw std::invalid_argument("expected_excess: ranges must be > 0");
+    support += p;
+    mean += p * Rational{1, 2};
+  }
+  if (t >= support) return Rational{0};
+  if (t.signum() <= 0) return mean - t;
+  if (m > 10) throw std::invalid_argument("expected_excess: too many variables");
+
+  // E[(X − t)^+] = ∫_t^support (1 − F(x)) dx, exactly.
+  const poly::PiecewisePolynomial cdf = sum_uniform_cdf_poly(pi);
+  const Rational total_width = support - t;
+  return total_width - cdf.integral(t, support);
+}
+
+}  // namespace ddm::prob

@@ -1,0 +1,32 @@
+// cdf_poly.hpp — the CDF of a sum of uniforms as an exact piecewise
+// polynomial (the symbolic form of Lemma 2.4), plus the expected excess
+// E[(X − t)^+] derived from it by exact integration.
+//
+// Lemma 2.4's inclusion–exclusion formula changes its active subset family
+// exactly at the subset sums of the ranges, so F is a polynomial between
+// consecutive subset sums. With F in hand, the expected overflow mass above
+// a capacity t is E[(X − t)^+] = ∫_t^sup (1 − F(x)) dx — an exact rational.
+// This powers the expected-overflow metric (core/metrics.hpp): the paper
+// ranks protocols by P(no overflow); ranking by E[overflow] is a natural
+// companion attribute for the load-balancing motivation.
+#pragma once
+
+#include <span>
+
+#include "poly/piecewise.hpp"
+#include "util/rational.hpp"
+
+namespace ddm::prob {
+
+/// The CDF of Σ x_i, x_i ~ U[0, π_i], as an exact piecewise polynomial on
+/// [0, Σ π_i]. Requires 1 <= m <= 10 and all π_i > 0 (throws otherwise).
+/// Breakpoints are the distinct subset sums of the ranges.
+[[nodiscard]] poly::PiecewisePolynomial sum_uniform_cdf_poly(
+    std::span<const util::Rational> pi);
+
+/// E[(Σ x_i − t)^+]: expected amount by which the sum exceeds t. Exact; zero
+/// for t >= Σ π_i, and E[Σ x_i] − t for t <= 0.
+[[nodiscard]] util::Rational expected_excess(std::span<const util::Rational> pi,
+                                             const util::Rational& t);
+
+}  // namespace ddm::prob

@@ -1,0 +1,37 @@
+#include "prob/empirical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ddm::prob {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples) : samples_(std::move(samples)) {
+  if (samples_.empty()) throw std::invalid_argument("EmpiricalCdf: empty sample");
+  std::sort(samples_.begin(), samples_.end());
+}
+
+double EmpiricalCdf::operator()(double x) const {
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::ks_distance(const std::function<double(double)>& reference_cdf) const {
+  const double n = static_cast<double>(samples_.size());
+  double sup = 0.0;
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const double f = reference_cdf(samples_[i]);
+    // F_n jumps from i/n to (i+1)/n at samples_[i]; check both sides.
+    sup = std::max(sup, std::abs(static_cast<double>(i + 1) / n - f));
+    sup = std::max(sup, std::abs(f - static_cast<double>(i) / n));
+  }
+  return sup;
+}
+
+double EmpiricalCdf::ks_critical_value(double alpha) const {
+  // c(alpha) = sqrt(-ln(alpha/2) / 2), asymptotic one-sample critical value.
+  const double c = std::sqrt(-std::log(alpha / 2.0) / 2.0);
+  return c / std::sqrt(static_cast<double>(samples_.size()));
+}
+
+}  // namespace ddm::prob

@@ -1,0 +1,81 @@
+#include "sim/monte_carlo.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace ddm::sim {
+
+SimResult wilson_interval(std::uint64_t wins, std::uint64_t trials) {
+  if (trials == 0) throw std::invalid_argument("wilson_interval: zero trials");
+  if (wins > trials) throw std::invalid_argument("wilson_interval: wins > trials");
+  constexpr double z = 1.959963984540054;  // 97.5th percentile of N(0,1)
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(wins) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half = (z / denom) * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+
+  SimResult result;
+  result.estimate = p;
+  result.standard_error = std::sqrt(p * (1.0 - p) / n);
+  result.ci_low = std::max(0.0, center - half);
+  result.ci_high = std::min(1.0, center + half);
+  result.wins = wins;
+  result.trials = trials;
+  return result;
+}
+
+SimResult estimate_winning_probability(const core::Protocol& protocol, double t,
+                                       std::uint64_t trials, prob::Rng& rng, unsigned threads) {
+  if (trials == 0) throw std::invalid_argument("estimate_winning_probability: zero trials");
+  if (threads == 0) threads = 1;
+  const std::size_t n = protocol.size();
+
+  const auto run_block = [&protocol, t, n](prob::Rng worker_rng, std::uint64_t block_trials,
+                                           std::uint64_t& wins_out) {
+    std::vector<double> inputs(n);
+    std::uint64_t wins = 0;
+    for (std::uint64_t trial = 0; trial < block_trials; ++trial) {
+      for (double& x : inputs) x = worker_rng.uniform();
+      if (core::wins(protocol, inputs, t, worker_rng)) ++wins;
+    }
+    wins_out = wins;
+  };
+
+  std::uint64_t total_wins = 0;
+  if (threads == 1) {
+    run_block(rng.split(0), trials, total_wins);
+  } else {
+    std::vector<std::uint64_t> wins(threads, 0);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    const std::uint64_t base = trials / threads;
+    const std::uint64_t extra = trials % threads;
+    for (unsigned w = 0; w < threads; ++w) {
+      const std::uint64_t block = base + (w < extra ? 1 : 0);
+      workers.emplace_back(run_block, rng.split(w), block, std::ref(wins[w]));
+    }
+    for (std::thread& worker : workers) worker.join();
+    for (const std::uint64_t w : wins) total_wins += w;
+  }
+  return wilson_interval(total_wins, trials);
+}
+
+SimResult estimate_event_probability(std::size_t n,
+                                     const std::function<bool(std::span<const double>)>& win,
+                                     std::uint64_t trials, prob::Rng& rng) {
+  if (trials == 0) throw std::invalid_argument("estimate_event_probability: zero trials");
+  if (!win) throw std::invalid_argument("estimate_event_probability: empty predicate");
+  std::vector<double> inputs(n);
+  std::uint64_t wins = 0;
+  for (std::uint64_t trial = 0; trial < trials; ++trial) {
+    for (double& x : inputs) x = rng.uniform();
+    if (win(inputs)) ++wins;
+  }
+  return wilson_interval(wins, trials);
+}
+
+}  // namespace ddm::sim

@@ -1,0 +1,50 @@
+// monte_carlo.hpp — simulation harness for arbitrary protocols.
+//
+// Draws input vectors x ~ U[0,1]^n, runs the protocol, counts wins
+// (Σ_0 <= t and Σ_1 <= t), and reports the estimate with a Wilson confidence
+// interval. Used throughout as the independent cross-check of every exact
+// formula (Theorems 4.1 and 5.1) and to evaluate protocols with no closed
+// form (e.g. the full-information oracle and multi-interval extensions).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "core/protocol.hpp"
+#include "prob/rng.hpp"
+
+namespace ddm::sim {
+
+/// Estimated probability with uncertainty.
+struct SimResult {
+  double estimate = 0.0;
+  double standard_error = 0.0;
+  double ci_low = 0.0;   ///< 95% Wilson interval, lower bound
+  double ci_high = 0.0;  ///< 95% Wilson interval, upper bound
+  std::uint64_t wins = 0;
+  std::uint64_t trials = 0;
+
+  /// True iff `p` lies inside the 95% interval.
+  [[nodiscard]] bool covers(double p) const noexcept { return ci_low <= p && p <= ci_high; }
+};
+
+/// Wilson 95% score interval for `wins` successes out of `trials`.
+[[nodiscard]] SimResult wilson_interval(std::uint64_t wins, std::uint64_t trials);
+
+/// Estimate the winning probability of `protocol` at capacity `t` over
+/// `trials` random input vectors. Deterministic given the rng seed; uses
+/// `threads` worker threads with split rng streams (results are independent
+/// of the thread count only in the sense of equal distribution, not bitwise).
+[[nodiscard]] SimResult estimate_winning_probability(const core::Protocol& protocol, double t,
+                                                     std::uint64_t trials, prob::Rng& rng,
+                                                     unsigned threads = 1);
+
+/// Estimate the probability that `win(x)` holds for x ~ U[0,1]^n — the
+/// generic version used for the full-information oracle and other win
+/// predicates that are not per-player protocols.
+[[nodiscard]] SimResult estimate_event_probability(
+    std::size_t n, const std::function<bool(std::span<const double>)>& win, std::uint64_t trials,
+    prob::Rng& rng);
+
+}  // namespace ddm::sim

@@ -1,0 +1,40 @@
+// table.hpp — plain-text table rendering for the benchmark harness.
+//
+// Every bench binary reproduces one of the paper's figures/tables by printing
+// aligned rows (paper value next to measured value). This helper keeps the
+// output format consistent across all of them and can also emit CSV so the
+// series can be re-plotted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ddm::util {
+
+/// Column-aligned text table with an optional title, rendered to a stream.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers
+  /// (throws std::invalid_argument otherwise).
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Render with box-drawing separators and per-column alignment.
+  void print(std::ostream& os) const;
+  /// Render as CSV (RFC-4180 quoting for cells containing commas/quotes).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (default 6), trimming to a stable
+/// width for table alignment.
+[[nodiscard]] std::string fmt(double value, int precision = 6);
+
+}  // namespace ddm::util

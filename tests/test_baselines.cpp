@@ -1,0 +1,129 @@
+// Tests for the baseline protocols and the full-information oracle.
+#include "core/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/nonoblivious.hpp"
+#include "core/oblivious.hpp"
+#include "prob/rng.hpp"
+#include "prob/uniform_sum.hpp"
+#include "sim/monte_carlo.hpp"
+
+namespace ddm::core {
+namespace {
+
+using util::Rational;
+
+TEST(AllBin0, PutsEverythingInOneBin) {
+  const FunctorProtocol protocol = make_all_bin0(3);
+  prob::Rng rng{1};
+  const BinLoads loads = play(protocol, std::vector<double>{0.2, 0.3, 0.4}, rng);
+  EXPECT_DOUBLE_EQ(loads.bin0, 0.9);
+  EXPECT_DOUBLE_EQ(loads.bin1, 0.0);
+}
+
+TEST(AllBin0, WinningProbabilityIsIrwinHall) {
+  const FunctorProtocol protocol = make_all_bin0(3);
+  prob::Rng rng{77};
+  const sim::SimResult result = sim::estimate_winning_probability(protocol, 1.5, 300000, rng);
+  EXPECT_TRUE(result.covers(prob::irwin_hall_cdf(3, 1.5)));
+}
+
+TEST(RoundRobin, AlternatesBins) {
+  const FunctorProtocol protocol = make_round_robin(4);
+  prob::Rng rng{1};
+  const BinLoads loads = play(protocol, std::vector<double>{0.1, 0.2, 0.3, 0.4}, rng);
+  EXPECT_DOUBLE_EQ(loads.bin0, 0.4);
+  EXPECT_DOUBLE_EQ(loads.bin1, 0.6);
+}
+
+TEST(RoundRobin, BeatsAllBin0) {
+  prob::Rng rng_a{5};
+  prob::Rng rng_b{5};
+  const auto rr = sim::estimate_winning_probability(make_round_robin(4), 1.0, 200000, rng_a);
+  const auto ab = sim::estimate_winning_probability(make_all_bin0(4), 1.0, 200000, rng_b);
+  EXPECT_GT(rr.estimate, ab.estimate);
+}
+
+TEST(PyN3, ThresholdApproximatesPaperOptimum) {
+  const SingleThresholdProtocol protocol = make_py_n3();
+  EXPECT_EQ(protocol.size(), 3u);
+  EXPECT_NEAR(protocol.thresholds()[0].to_double(), 0.622035952850104, 1e-15);
+}
+
+TEST(PyN3, AchievesPaperWinningProbability) {
+  // The settled PY conjecture: P ≈ 0.5450 at t = 1 (within the rounding of
+  // the rational approximation of the threshold).
+  const SingleThresholdProtocol protocol = make_py_n3();
+  const Rational p = threshold_winning_probability(protocol.thresholds(), Rational{1});
+  EXPECT_NEAR(p.to_double(), 0.544631, 1e-6);
+}
+
+TEST(FullInformationWin, SmallCases) {
+  // Everything fits in one bin.
+  EXPECT_TRUE(full_information_win(std::vector<double>{0.2, 0.3}, 1.0));
+  // Needs a split: 0.9 + 0.8 > 1 but separately fine.
+  EXPECT_TRUE(full_information_win(std::vector<double>{0.9, 0.8}, 1.0));
+  // Infeasible: three items of 0.9 — some bin gets two (1.8 > 1).
+  EXPECT_FALSE(full_information_win(std::vector<double>{0.9, 0.9, 0.9}, 1.0));
+  // The subtle case from the design notes: total = 2.0 but no valid split.
+  EXPECT_FALSE(full_information_win(std::vector<double>{0.7, 0.7, 0.6}, 1.0));
+  // Slightly larger capacity makes it feasible (0.7 + 0.6 = 1.3 <= 1.4).
+  EXPECT_TRUE(full_information_win(std::vector<double>{0.7, 0.7, 0.6}, 1.4));
+  // Empty input trivially wins.
+  EXPECT_TRUE(full_information_win(std::vector<double>{}, 0.5));
+}
+
+TEST(FullInformationWin, RejectsHugeN) {
+  EXPECT_THROW((void)full_information_win(std::vector<double>(30, 0.01), 1.0),
+               std::invalid_argument);
+}
+
+TEST(FullInformationExact, ClosedFormsMatchOracleSimulation) {
+  prob::Rng rng{404};
+  for (std::uint32_t n = 1; n <= 2; ++n) {
+    for (const double t : {0.4, 0.7, 1.0, 1.3}) {
+      const double exact = full_information_winning_probability_exact(n, t);
+      const auto result = sim::estimate_event_probability(
+          n, [t](std::span<const double> xs) { return full_information_win(xs, t); }, 200000,
+          rng);
+      // 5-sigma band: 8 independent checks at 95% CIs would be flaky.
+      EXPECT_NEAR(result.estimate, exact, 5.0 * result.standard_error + 1e-4)
+          << "n=" << n << " t=" << t;
+    }
+  }
+}
+
+TEST(FullInformationExact, Validation) {
+  EXPECT_THROW((void)full_information_winning_probability_exact(0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)full_information_winning_probability_exact(3, 1.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(full_information_winning_probability_exact(2, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(full_information_winning_probability_exact(2, 5.0), 1.0);
+}
+
+TEST(FullInformation, DominatesNoCommunicationOptimum) {
+  // The value of information: the full-information oracle beats the best
+  // no-communication protocol (n = 3, t = 1: oracle > 0.5446).
+  prob::Rng rng{123};
+  const auto oracle = sim::estimate_event_probability(
+      3, [](std::span<const double> xs) { return full_information_win(xs, 1.0); }, 400000,
+      rng);
+  EXPECT_GT(oracle.ci_low, 0.5446);
+}
+
+TEST(FullInformation, MonotoneInCapacity) {
+  prob::Rng rng{9};
+  double previous = -1.0;
+  for (const double t : {0.5, 0.8, 1.1, 1.4, 1.7}) {
+    const auto result = sim::estimate_event_probability(
+        4, [t](std::span<const double> xs) { return full_information_win(xs, t); }, 100000,
+        rng);
+    EXPECT_GT(result.estimate + 0.01, previous);
+    previous = result.estimate;
+  }
+}
+
+}  // namespace
+}  // namespace ddm::core

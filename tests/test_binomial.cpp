@@ -1,0 +1,87 @@
+// Tests for combinat: binomial coefficients and inverse factorials.
+#include "combinat/binomial.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ddm::combinat {
+namespace {
+
+using util::BigInt;
+using util::Rational;
+
+TEST(Binomial, SmallValues) {
+  EXPECT_EQ(binomial(0, 0).to_string(), "1");
+  EXPECT_EQ(binomial(5, 0).to_string(), "1");
+  EXPECT_EQ(binomial(5, 5).to_string(), "1");
+  EXPECT_EQ(binomial(5, 2).to_string(), "10");
+  EXPECT_EQ(binomial(10, 3).to_string(), "120");
+}
+
+TEST(Binomial, OutOfRangeIsZero) {
+  EXPECT_TRUE(binomial(3, 4).is_zero());
+  EXPECT_TRUE(binomial(0, 1).is_zero());
+}
+
+TEST(Binomial, Symmetry) {
+  for (std::uint32_t n = 0; n <= 20; ++n) {
+    for (std::uint32_t k = 0; k <= n; ++k) {
+      EXPECT_EQ(binomial(n, k), binomial(n, n - k)) << n << " choose " << k;
+    }
+  }
+}
+
+TEST(Binomial, PascalIdentity) {
+  for (std::uint32_t n = 1; n <= 25; ++n) {
+    for (std::uint32_t k = 1; k <= n; ++k) {
+      EXPECT_EQ(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+    }
+  }
+}
+
+TEST(Binomial, RowSumsArePowersOfTwo) {
+  for (std::uint32_t n = 0; n <= 30; ++n) {
+    BigInt sum{0};
+    for (std::uint32_t k = 0; k <= n; ++k) sum += binomial(n, k);
+    EXPECT_EQ(sum, BigInt::pow(BigInt{2}, n));
+  }
+}
+
+TEST(Binomial, LargeValueExact) {
+  EXPECT_EQ(binomial(100, 50).to_string(),
+            "100891344545564193334812497256");
+}
+
+TEST(InverseFactorial, Values) {
+  EXPECT_EQ(inverse_factorial(0), Rational{1});
+  EXPECT_EQ(inverse_factorial(1), Rational{1});
+  EXPECT_EQ(inverse_factorial(4), Rational(1, 24));
+  EXPECT_EQ(inverse_factorial(10), Rational(1, 3628800));
+}
+
+TEST(BinomialDouble, MatchesExactWhereRepresentable) {
+  for (std::uint32_t n = 0; n <= 50; ++n) {
+    for (std::uint32_t k = 0; k <= n; ++k) {
+      EXPECT_DOUBLE_EQ(binomial_double(n, k), binomial(n, k).to_double());
+    }
+  }
+}
+
+TEST(BinomialDouble, OutOfRangeIsZero) {
+  EXPECT_DOUBLE_EQ(binomial_double(3, 7), 0.0);
+}
+
+TEST(InverseFactorialDouble, MatchesExact) {
+  for (std::uint32_t n = 0; n <= 25; ++n) {
+    // The sequential-division evaluation differs from the correctly rounded
+    // exact value by at most a few ulp.
+    EXPECT_NEAR(inverse_factorial_double(n), inverse_factorial(n).to_double(),
+                4e-16 * inverse_factorial(n).to_double());
+  }
+}
+
+TEST(InverseFactorialDouble, UnderflowsToZeroGracefully) {
+  EXPECT_EQ(inverse_factorial_double(500), 0.0);
+}
+
+}  // namespace
+}  // namespace ddm::combinat

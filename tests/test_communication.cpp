@@ -1,0 +1,144 @@
+// Tests for the communication-pattern extension (visibility model,
+// PY'91 weighted-threshold protocols, common-random-number evaluation).
+#include "core/communication.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/nonoblivious.hpp"
+#include "core/symmetric_threshold.hpp"
+#include "prob/rng.hpp"
+
+namespace ddm::core {
+namespace {
+
+using util::Rational;
+
+TEST(VisibilityPattern, NoneAndFull) {
+  const auto none = VisibilityPattern::none(3);
+  EXPECT_EQ(none.size(), 3u);
+  EXPECT_EQ(none.edge_count(), 0u);
+  EXPECT_EQ(none.view(1), (std::vector<std::size_t>{1}));
+
+  const auto full = VisibilityPattern::full(3);
+  EXPECT_EQ(full.edge_count(), 6u);
+  EXPECT_EQ(full.view(2), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(VisibilityPattern, FromEdges) {
+  const std::vector<std::pair<std::size_t, std::size_t>> edges{{0, 1}, {0, 2}, {0, 1}};
+  const auto pattern = VisibilityPattern::from_edges(3, edges);
+  EXPECT_EQ(pattern.view(0), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(pattern.view(1), (std::vector<std::size_t>{0, 1}));  // deduplicated
+  EXPECT_EQ(pattern.view(2), (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(pattern.edge_count(), 2u);
+  EXPECT_THROW((void)VisibilityPattern::from_edges(
+                   2, std::vector<std::pair<std::size_t, std::size_t>>{{0, 5}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)VisibilityPattern::none(0), std::invalid_argument);
+  EXPECT_THROW((void)pattern.view(7), std::out_of_range);
+}
+
+TEST(WeightedThreshold, DefaultIsSingleThreshold) {
+  const WeightedThresholdProtocol protocol{VisibilityPattern::none(3)};
+  // x_i <= 1/2 decides bin 0.
+  EXPECT_EQ(protocol.decide(0, std::vector<double>{0.4, 0.9, 0.9}), 0);
+  EXPECT_EQ(protocol.decide(0, std::vector<double>{0.6, 0.1, 0.1}), 1);
+  EXPECT_EQ(protocol.decide(1, std::vector<double>{0.6, 0.1, 0.1}), 0);
+}
+
+TEST(WeightedThreshold, VisibilityEnforced) {
+  WeightedThresholdProtocol protocol{VisibilityPattern::none(3)};
+  EXPECT_THROW(protocol.set_weight(0, 1, 0.5), std::invalid_argument);
+  EXPECT_NO_THROW(protocol.set_weight(0, 0, 0.5));
+  // With an edge 1 -> 0, player 0 may weight x_1.
+  const std::vector<std::pair<std::size_t, std::size_t>> edges{{1, 0}};
+  WeightedThresholdProtocol with_edge{VisibilityPattern::from_edges(3, edges)};
+  EXPECT_NO_THROW(with_edge.set_weight(0, 1, -0.5));
+  EXPECT_THROW(with_edge.set_weight(1, 0, 0.5), std::invalid_argument);
+}
+
+TEST(WeightedThreshold, ParameterRoundTrip) {
+  const std::vector<std::pair<std::size_t, std::size_t>> edges{{1, 0}, {2, 0}};
+  WeightedThresholdProtocol protocol{VisibilityPattern::from_edges(3, edges)};
+  std::vector<double> params = protocol.parameters();
+  // views: P0 sees {0,1,2} (3 weights), P1 {1}, P2 {2} => 5 weights + 3 thetas.
+  ASSERT_EQ(params.size(), 8u);
+  for (std::size_t i = 0; i < params.size(); ++i) params[i] = 0.1 * static_cast<double>(i);
+  protocol.set_parameters(params);
+  EXPECT_EQ(protocol.parameters(), params);
+  params.pop_back();
+  EXPECT_THROW(protocol.set_parameters(params), std::invalid_argument);
+  params.push_back(0.0);
+  params.push_back(0.0);
+  EXPECT_THROW(protocol.set_parameters(params), std::invalid_argument);
+}
+
+TEST(InputBank, DeterministicAndInRange) {
+  prob::Rng rng{5150};
+  const InputBank bank{3, 1000, rng};
+  EXPECT_EQ(bank.players(), 3u);
+  EXPECT_EQ(bank.samples(), 1000u);
+  for (std::size_t s = 0; s < bank.samples(); ++s) {
+    for (const double x : bank.sample(s)) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LT(x, 1.0);
+    }
+  }
+  EXPECT_THROW((void)bank.sample(1000), std::out_of_range);
+  prob::Rng rng2{5150};
+  const InputBank bank2{3, 1000, rng2};
+  EXPECT_EQ(bank.sample(7)[1], bank2.sample(7)[1]);
+}
+
+TEST(InputBank, WinningFractionMatchesExactForKnownProtocol) {
+  // No communication, thresholds 0.622 — the bank fraction must approximate
+  // the exact Theorem 5.1 value (bank of 200k samples → ~0.0011 sigma).
+  WeightedThresholdProtocol protocol{VisibilityPattern::none(3)};
+  for (std::size_t i = 0; i < 3; ++i) protocol.set_threshold(i, 0.622);
+  prob::Rng rng{2717};
+  const InputBank bank{3, 200000, rng};
+  const double fraction = bank.winning_fraction(protocol, 1.0);
+  const double exact =
+      symmetric_threshold_winning_probability(3, Rational{622, 1000}, Rational{1}).to_double();
+  EXPECT_NEAR(fraction, exact, 5.0 * 0.0011);
+}
+
+TEST(Optimizer, NoCommunicationRecoversPaperOptimum) {
+  // Optimizing the weighted-threshold class under the empty pattern is the
+  // paper's no-communication problem; the bank optimum must land near
+  // P = 0.5446 (within bank noise + search granularity).
+  prob::Rng rng{10101};
+  const InputBank bank{3, 50000, rng};
+  const auto result = optimize_weighted_threshold(
+      WeightedThresholdProtocol{VisibilityPattern::none(3)}, 1.0, bank);
+  EXPECT_NEAR(result.value, 0.5446, 0.01);
+}
+
+TEST(Optimizer, CommunicationNeverHurts) {
+  // Adding visibility can only enlarge the protocol class: the optimized
+  // one-edge pattern must do at least as well as the optimized empty one
+  // (same bank, same budget).
+  prob::Rng rng{20202};
+  const InputBank bank{3, 50000, rng};
+  const auto none = optimize_weighted_threshold(
+      WeightedThresholdProtocol{VisibilityPattern::none(3)}, 1.0, bank);
+  const std::vector<std::pair<std::size_t, std::size_t>> edges{{0, 1}};
+  const auto one_edge = optimize_weighted_threshold(
+      WeightedThresholdProtocol{VisibilityPattern::from_edges(3, edges)}, 1.0, bank);
+  EXPECT_GE(one_edge.value, none.value - 0.002);  // small slack for search paths
+}
+
+TEST(Optimizer, Validation) {
+  prob::Rng rng{1};
+  const InputBank bank{2, 100, rng};
+  EXPECT_THROW((void)optimize_weighted_threshold(
+                   WeightedThresholdProtocol{VisibilityPattern::none(2)}, 1.0, bank, -1.0),
+               std::invalid_argument);
+  const WeightedThresholdProtocol three{VisibilityPattern::none(3)};
+  EXPECT_THROW((void)bank.winning_fraction(three, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ddm::core

@@ -1,0 +1,76 @@
+// Tests for the empirical CDF / Kolmogorov–Smirnov validation tooling.
+#include "prob/empirical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "prob/rng.hpp"
+
+namespace ddm::prob {
+namespace {
+
+TEST(EmpiricalCdf, RejectsEmptySample) {
+  EXPECT_THROW(EmpiricalCdf{std::vector<double>{}}, std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, StepFunctionValues) {
+  const EmpiricalCdf cdf{std::vector<double>{3.0, 1.0, 2.0}};
+  EXPECT_DOUBLE_EQ(cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf(1.0), 1.0 / 3.0);   // right-continuous: includes the jump
+  EXPECT_DOUBLE_EQ(cdf(1.5), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cdf(2.0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cdf(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf(99.0), 1.0);
+}
+
+TEST(EmpiricalCdf, SamplesAreSorted) {
+  const EmpiricalCdf cdf{std::vector<double>{5.0, -1.0, 3.0}};
+  EXPECT_TRUE(std::is_sorted(cdf.sorted_samples().begin(), cdf.sorted_samples().end()));
+  EXPECT_EQ(cdf.size(), 3u);
+}
+
+TEST(EmpiricalCdf, TiedSamplesHandled) {
+  const EmpiricalCdf cdf{std::vector<double>{1.0, 1.0, 1.0, 2.0}};
+  EXPECT_DOUBLE_EQ(cdf(1.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf(0.999), 0.0);
+}
+
+TEST(KsDistance, ZeroAgainstOwnStepFunction) {
+  // The KS distance of a sample against a CDF that matches its own steps'
+  // midpoints is at most 1/(2n).
+  const std::vector<double> samples{0.25, 0.5, 0.75, 1.0};
+  const EmpiricalCdf cdf{samples};
+  const double ks = cdf.ks_distance([](double t) {
+    return std::clamp(t, 0.0, 1.0);  // true U[0,1] CDF; the sample is the quartiles
+  });
+  EXPECT_LE(ks, 0.25 + 1e-12);
+}
+
+TEST(KsDistance, DetectsWrongDistribution) {
+  Rng rng{31};
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(rng.uniform());
+  const EmpiricalCdf cdf{std::move(samples)};
+  // Correct model passes at alpha = 0.001.
+  const double ks_good = cdf.ks_distance([](double t) { return std::clamp(t, 0.0, 1.0); });
+  EXPECT_LT(ks_good, cdf.ks_critical_value(0.001));
+  // Squared-CDF model (Beta(2,1) claim) fails decisively.
+  const double ks_bad = cdf.ks_distance([](double t) {
+    const double c = std::clamp(t, 0.0, 1.0);
+    return c * c;
+  });
+  EXPECT_GT(ks_bad, cdf.ks_critical_value(0.001));
+}
+
+TEST(KsCriticalValue, ShrinksWithSampleSize) {
+  const EmpiricalCdf small{std::vector<double>(100, 0.5)};
+  const EmpiricalCdf large{std::vector<double>(10000, 0.5)};
+  EXPECT_GT(small.ks_critical_value(0.05), large.ks_critical_value(0.05));
+  // Tighter alpha → larger critical value.
+  EXPECT_LT(small.ks_critical_value(0.05), small.ks_critical_value(0.001));
+}
+
+}  // namespace
+}  // namespace ddm::prob

@@ -1,0 +1,152 @@
+// Golden regression pins: exact rational values produced by the verified
+// engines (cross-checked against the paper, Monte Carlo, and independent
+// evaluators elsewhere in this suite). Any future refactor that changes one
+// of these values is a bug — exact arithmetic has no tolerance.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/metrics.hpp"
+#include "core/nonoblivious.hpp"
+#include "core/oblivious.hpp"
+
+namespace ddm {
+namespace {
+
+using util::Rational;
+
+struct GoldenEntry {
+  std::uint32_t n;
+  int key;
+  const char* value;
+};
+
+TEST(Golden, SymmetricThresholdWinningProbabilities) {
+  // key = beta numerator over 8; capacity t = n/3.
+  static constexpr GoldenEntry kGolden[] = {
+      {2u, 0, "2/9"},
+      {2u, 1, "137/576"},
+      {2u, 2, "41/144"},
+      {2u, 3, "205/576"},
+      {2u, 4, "13/36"},
+      {2u, 5, "157/576"},
+      {2u, 6, "2/9"},
+      {2u, 7, "2/9"},
+      {2u, 8, "2/9"},
+      {3u, 0, "1/6"},
+      {3u, 1, "581/3072"},
+      {3u, 2, "97/384"},
+      {3u, 3, "1079/3072"},
+      {3u, 4, "23/48"},
+      {3u, 5, "1673/3072"},
+      {3u, 6, "187/384"},
+      {3u, 7, "1067/3072"},
+      {3u, 8, "1/6"},
+      {4u, 0, "7/54"},
+      {4u, 1, "150611/995328"},
+      {4u, 2, "13187/62208"},
+      {4u, 3, "296005/995328"},
+      {4u, 4, "1001/2592"},
+      {4u, 5, "281585/663552"},
+      {4u, 6, "209/512"},
+      {4u, 7, "65867/221184"},
+      {4u, 8, "7/54"},
+      {5u, 0, "593/5832"},
+      {5u, 1, "23532913/191102976"},
+      {5u, 2, "1098937/5971968"},
+      {5u, 3, "54123431/191102976"},
+      {5u, 4, "79879/186624"},
+      {5u, 5, "97946875/191102976"},
+      {5u, 6, "2324473/5971968"},
+      {5u, 7, "48584641/191102976"},
+      {5u, 8, "593/5832"},
+      {6u, 0, "29/360"},
+      {6u, 1, "9546551/94371840"},
+      {6u, 2, "118873/737280"},
+      {6u, 3, "12337931/47185920"},
+      {6u, 4, "9073/23040"},
+      {6u, 5, "50768269/94371840"},
+      {6u, 6, "779711/1474560"},
+      {6u, 7, "29222783/94371840"},
+      {6u, 8, "29/360"},
+  };
+  for (const GoldenEntry& entry : kGolden) {
+    EXPECT_EQ(core::symmetric_threshold_winning_probability(
+                  entry.n, Rational{entry.key, 8},
+                  Rational{static_cast<std::int64_t>(entry.n), 3}),
+              Rational::parse(entry.value))
+        << "n=" << entry.n << " beta=" << entry.key << "/8";
+  }
+}
+
+TEST(Golden, OptimalObliviousWinningProbabilities) {
+  // key = 0 -> t = 1; key = 1 -> t = n/3.
+  static constexpr GoldenEntry kGolden[] = {
+      {2u, 0, "3/4"},
+      {2u, 1, "1/3"},
+      {3u, 0, "5/12"},
+      {3u, 1, "5/12"},
+      {4u, 0, "35/192"},
+      {4u, 1, "559/1296"},
+      {5u, 0, "21/320"},
+      {5u, 1, "10837/23328"},
+      {6u, 0, "77/3840"},
+      {6u, 1, "127/256"},
+      {7u, 0, "143/26880"},
+      {7u, 1, "1460899/2799360"},
+      {8u, 0, "143/114688"},
+      {8u, 1, "7354273/13436928"},
+      {9u, 0, "2431/9289728"},
+      {9u, 1, "18397/32256"},
+      {10u, 0, "46189/928972800"},
+      {10u, 1, "2164348054207/3656994324480"},
+  };
+  for (const GoldenEntry& entry : kGolden) {
+    const Rational t = entry.key == 0
+                           ? Rational{1}
+                           : Rational{static_cast<std::int64_t>(entry.n), 3};
+    EXPECT_EQ(core::optimal_oblivious_winning_probability(entry.n, t),
+              Rational::parse(entry.value))
+        << "n=" << entry.n << " key=" << entry.key;
+  }
+}
+
+TEST(Golden, ExpectedOverflowValues) {
+  // key = beta numerator over 8; capacity t = n/3.
+  static constexpr GoldenEntry kGolden[] = {
+      {2u, 2, "1849/5184"},
+      {2u, 3, "13207/41472"},
+      {2u, 4, "175/648"},
+      {2u, 5, "9841/41472"},
+      {2u, 6, "79/324"},
+      {2u, 7, "379/1296"},
+      {3u, 2, "3013/6144"},
+      {3u, 3, "41989/98304"},
+      {3u, 4, "133/384"},
+      {3u, 5, "26293/98304"},
+      {3u, 6, "1477/6144"},
+      {3u, 7, "31141/98304"},
+      {4u, 2, "4635991/7464960"},
+      {4u, 3, "125401801/238878720"},
+      {4u, 4, "13/32"},
+      {4u, 5, "2001709/6635520"},
+      {4u, 6, "42319/155520"},
+      {4u, 7, "7674041/19906560"},
+      {5u, 2, "323028569/429981696"},
+      {5u, 3, "17144889401/27518828544"},
+      {5u, 4, "3117817/6718464"},
+      {5u, 5, "2814917665/9172942848"},
+      {5u, 6, "36998617/143327232"},
+      {5u, 7, "11915157691/27518828544"},
+  };
+  for (const GoldenEntry& entry : kGolden) {
+    EXPECT_EQ(core::expected_overflow_symmetric_threshold(
+                  entry.n, Rational{entry.key, 8},
+                  Rational{static_cast<std::int64_t>(entry.n), 3}),
+              Rational::parse(entry.value))
+        << "n=" << entry.n << " beta=" << entry.key << "/8";
+  }
+}
+
+}  // namespace
+}  // namespace ddm

@@ -1,0 +1,173 @@
+// Tests for heterogeneous input ranges x_i ~ U[0, c_i] (generalized
+// Theorems 4.1 / 5.1 via Lemma 2.4's full generality).
+#include "core/heterogeneous.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/nonoblivious.hpp"
+#include "core/oblivious.hpp"
+#include "core/protocol.hpp"
+#include "prob/rng.hpp"
+#include "prob/uniform_sum.hpp"
+
+namespace ddm::core {
+namespace {
+
+using util::Rational;
+
+TEST(HeterogeneousOblivious, ReducesToHomogeneousCase) {
+  const std::vector<Rational> alpha{Rational(1, 3), Rational(2, 5), Rational(1, 2),
+                                    Rational(3, 4)};
+  const std::vector<Rational> unit_ranges(4, Rational{1});
+  for (int i = 1; i <= 8; ++i) {
+    const Rational t{i, 3};
+    EXPECT_EQ(heterogeneous_oblivious_winning_probability(alpha, unit_ranges, t),
+              oblivious_winning_probability(alpha, t))
+        << "t=" << t;
+  }
+}
+
+TEST(HeterogeneousOblivious, ScalingLaw) {
+  // Scaling every range AND the capacity by the same factor leaves the
+  // winning probability invariant (the problem is scale-free).
+  const std::vector<Rational> alpha{Rational(1, 2), Rational(1, 3), Rational(2, 3)};
+  const std::vector<Rational> ranges{Rational{1}, Rational(1, 2), Rational{2}};
+  const Rational scale{7, 3};
+  std::vector<Rational> scaled_ranges;
+  for (const Rational& c : ranges) scaled_ranges.push_back(c * scale);
+  for (int i = 1; i <= 6; ++i) {
+    const Rational t{i, 2};
+    EXPECT_EQ(heterogeneous_oblivious_winning_probability(alpha, ranges, t),
+              heterogeneous_oblivious_winning_probability(alpha, scaled_ranges, t * scale));
+  }
+}
+
+TEST(HeterogeneousOblivious, TinyPlayersNeverOverflowAlone) {
+  // With ranges far below t, everything always fits: P = 1.
+  const std::vector<Rational> alpha(3, Rational(1, 2));
+  const std::vector<Rational> ranges(3, Rational(1, 10));
+  EXPECT_EQ(heterogeneous_oblivious_winning_probability(alpha, ranges, Rational{1}),
+            Rational{1});
+}
+
+TEST(HeterogeneousOblivious, MatchesSimulation) {
+  const std::vector<Rational> alpha{Rational(1, 4), Rational(3, 5), Rational(1, 2)};
+  const std::vector<Rational> ranges{Rational(1, 2), Rational{1}, Rational(3, 2)};
+  const Rational t{1};
+  const double exact =
+      heterogeneous_oblivious_winning_probability(alpha, ranges, t).to_double();
+  const ObliviousProtocol protocol{alpha};
+  const std::vector<double> ranges_d{0.5, 1.0, 1.5};
+  prob::Rng rng{737373};
+  const auto result =
+      estimate_heterogeneous_winning_probability(protocol, ranges_d, 1.0, 400000, rng);
+  EXPECT_NEAR(result.estimate, exact, 4.0 * result.standard_error + 1e-9);
+}
+
+TEST(HeterogeneousOblivious, Validation) {
+  const std::vector<Rational> alpha(2, Rational(1, 2));
+  EXPECT_THROW((void)heterogeneous_oblivious_winning_probability(
+                   alpha, std::vector<Rational>{Rational{1}}, Rational{1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)heterogeneous_oblivious_winning_probability(
+                   alpha, std::vector<Rational>{Rational{1}, Rational{0}}, Rational{1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)heterogeneous_oblivious_winning_probability(
+                   std::vector<Rational>{Rational{2}, Rational{0}},
+                   std::vector<Rational>{Rational{1}, Rational{1}}, Rational{1}),
+               std::invalid_argument);
+}
+
+TEST(HeterogeneousThreshold, ReducesToHomogeneousCase) {
+  const std::vector<Rational> thresholds{Rational(3, 5), Rational(1, 2), Rational(7, 10)};
+  const std::vector<Rational> unit_ranges(3, Rational{1});
+  for (int i = 1; i <= 8; ++i) {
+    const Rational t{i, 4};
+    EXPECT_EQ(heterogeneous_threshold_winning_probability(thresholds, unit_ranges, t),
+              threshold_winning_probability(thresholds, t))
+        << "t=" << t;
+  }
+}
+
+TEST(HeterogeneousThreshold, DegenerateThresholdsGiveSumCdf) {
+  // thresholds = ranges → everyone picks bin 0: P = P(Σ U[0, c_i] <= t).
+  const std::vector<Rational> ranges{Rational(1, 2), Rational{1}, Rational(3, 4)};
+  for (int i = 1; i <= 8; ++i) {
+    const Rational t{i, 4};
+    EXPECT_EQ(heterogeneous_threshold_winning_probability(ranges, ranges, t),
+              prob::sum_uniform_cdf(ranges, t))
+        << "t=" << t;
+  }
+}
+
+TEST(HeterogeneousThreshold, MatchesSimulation) {
+  const std::vector<Rational> thresholds{Rational(1, 4), Rational(2, 5), Rational{1}};
+  const std::vector<Rational> ranges{Rational(1, 2), Rational{1}, Rational(3, 2)};
+  const double exact =
+      heterogeneous_threshold_winning_probability(thresholds, ranges, Rational(6, 5))
+          .to_double();
+  const SingleThresholdProtocol protocol{thresholds};
+  // NOTE: SingleThresholdProtocol validates thresholds in [0,1]; here the
+  // third threshold is 1 <= range 3/2, so decide() still works on raw inputs.
+  const std::vector<double> ranges_d{0.5, 1.0, 1.5};
+  prob::Rng rng{848484};
+  const auto result =
+      estimate_heterogeneous_winning_probability(protocol, ranges_d, 1.2, 400000, rng);
+  EXPECT_NEAR(result.estimate, exact, 4.0 * result.standard_error + 1e-9);
+}
+
+TEST(HeterogeneousThreshold, ThresholdAboveRangeThrows) {
+  EXPECT_THROW((void)heterogeneous_threshold_winning_probability(
+                   std::vector<Rational>{Rational{2}},
+                   std::vector<Rational>{Rational{1}}, Rational{1}),
+               std::invalid_argument);
+}
+
+TEST(HeterogeneousSim, Validation) {
+  const ObliviousProtocol protocol = ObliviousProtocol::uniform(2);
+  prob::Rng rng{1};
+  EXPECT_THROW((void)estimate_heterogeneous_winning_probability(
+                   protocol, std::vector<double>{1.0}, 1.0, 100, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)estimate_heterogeneous_winning_probability(
+                   protocol, std::vector<double>{1.0, 1.0}, 1.0, 0, rng),
+               std::invalid_argument);
+}
+
+// Parameterized property sweep: the heterogeneous threshold probability is
+// monotone nondecreasing in the capacity and bounded in [0, 1].
+class HeterogeneousCapacitySweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HeterogeneousCapacitySweep, MonotoneBounded) {
+  const auto [threshold_num, range_num] = GetParam();
+  const std::vector<Rational> thresholds{Rational{threshold_num, 10},
+                                         Rational{threshold_num, 20}};
+  const std::vector<Rational> ranges{Rational{range_num, 10}, Rational{range_num, 5}};
+  // Thresholds must stay within ranges for this sweep's parameters.
+  ASSERT_LE(thresholds[0], ranges[0]);
+  ASSERT_LE(thresholds[1], ranges[1]);
+  Rational previous{-1};
+  for (int i = 0; i <= 12; ++i) {
+    const Rational t{i, 4};
+    const Rational p = heterogeneous_threshold_winning_probability(thresholds, ranges, t);
+    EXPECT_GE(p, previous);
+    EXPECT_GE(p, Rational{0});
+    EXPECT_LE(p, Rational{1});
+    previous = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, HeterogeneousCapacitySweep,
+                         ::testing::Combine(::testing::Values(1, 3, 5),
+                                            ::testing::Values(5, 8, 10)),
+                         [](const auto& info) {
+                           return "a" + std::to_string(std::get<0>(info.param)) + "_c" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+}  // namespace
+}  // namespace ddm::core

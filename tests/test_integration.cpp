@@ -1,0 +1,74 @@
+// End-to-end integration through the umbrella header: a downstream user's
+// workflow, start to finish, in one test binary. Guards the public API
+// surface (everything here compiles against ddm.hpp only).
+#include "ddm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using ddm::util::Rational;
+
+TEST(Integration, FullWorkflowFlagshipInstance) {
+  // 1. Design: derive the optimal threshold protocol for n = 3, t = 1.
+  const auto analysis = ddm::core::SymmetricThresholdAnalysis::build(3, Rational{1});
+  const auto optimum = analysis.optimize();
+  ASSERT_TRUE(optimum.certified);
+
+  // 2. Compare against the oblivious optimum.
+  const Rational coin = ddm::core::optimal_oblivious_winning_probability(3, Rational{1});
+  EXPECT_GT(optimum.value, coin);
+
+  // 3. Deploy: build the protocol object and simulate it.
+  const auto protocol =
+      ddm::core::SingleThresholdProtocol::symmetric(3, optimum.beta.midpoint());
+  ddm::prob::Rng rng{20260707};
+  const auto sim = ddm::sim::estimate_winning_probability(protocol, 1.0, 200000, rng);
+  EXPECT_NEAR(sim.estimate, optimum.value.to_double(), 5.0 * sim.standard_error + 1e-9);
+
+  // 4. Report: the optimality condition and a decimal expansion of beta*.
+  EXPECT_EQ(optimum.optimality_condition.degree(), 2);
+  const auto refined = ddm::poly::refine_root(
+      optimum.optimality_condition, optimum.beta,
+      Rational{ddm::util::BigInt{1}, ddm::util::BigInt::pow(ddm::util::BigInt{10}, 30)});
+  EXPECT_LE(refined.width(), (Rational{ddm::util::BigInt{1},
+                                       ddm::util::BigInt::pow(ddm::util::BigInt{10}, 30)}));
+
+  // 5. Risk metric: expected overflow at the optimum is positive but small.
+  const Rational overflow = ddm::core::expected_overflow_symmetric_threshold(
+      3, optimum.beta.midpoint(), Rational{1});
+  EXPECT_GT(overflow, Rational{0});
+  EXPECT_LT(overflow, Rational(1, 2));
+}
+
+TEST(Integration, GeometryProbabilityRoundTrip) {
+  // Proposition 2.2 → Lemma 2.4 → symbolic CDF → expected excess, one chain.
+  const std::vector<Rational> pi{Rational(1, 2), Rational(2, 3)};
+  const Rational t{3, 4};
+  const std::vector<Rational> sigma(2, t);
+  const Rational via_volume =
+      ddm::geom::simplex_box_volume(sigma, pi) / ddm::geom::box_volume(pi);
+  EXPECT_EQ(via_volume, ddm::prob::sum_uniform_cdf(pi, t));
+  const auto cdf_poly = ddm::prob::sum_uniform_cdf_poly(pi);
+  EXPECT_EQ(cdf_poly(t), via_volume);
+  EXPECT_GE(ddm::prob::expected_excess(pi, t), Rational{0});
+}
+
+TEST(Integration, ExtensionsInteroperate) {
+  // A step rule that encodes a threshold must thread through every engine
+  // with identical values.
+  const Rational beta{5, 8};
+  const Rational t{4, 3};
+  const auto via_step = ddm::core::symmetric_step_rule_winning_probability(
+      4, ddm::core::StepRule::threshold(beta), t);
+  const auto via_threshold = ddm::core::symmetric_threshold_winning_probability(4, beta, t);
+  const auto via_intervals = ddm::core::interval_rules_winning_probability(
+      std::vector<ddm::core::IntervalRule>(4, ddm::core::IntervalRule::threshold(beta)), t);
+  const auto via_heterogeneous = ddm::core::heterogeneous_threshold_winning_probability(
+      std::vector<Rational>(4, beta), std::vector<Rational>(4, Rational{1}), t);
+  EXPECT_EQ(via_step, via_threshold);
+  EXPECT_EQ(via_intervals, via_threshold);
+  EXPECT_EQ(via_heterogeneous, via_threshold);
+}
+
+}  // namespace

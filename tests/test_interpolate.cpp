@@ -1,0 +1,100 @@
+// Tests for exact Lagrange interpolation and its use as a derivation-
+// independent check of the Section 5.2 symbolic pipeline.
+#include "poly/interpolate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "core/nonoblivious.hpp"
+#include "core/symmetric_threshold.hpp"
+
+namespace ddm::poly {
+namespace {
+
+using util::Rational;
+
+std::pair<Rational, Rational> pt(std::int64_t xn, std::int64_t xd, std::int64_t yn,
+                                 std::int64_t yd) {
+  return {Rational{xn, xd}, Rational{yn, yd}};
+}
+
+TEST(Lagrange, ConstantThroughOnePoint) {
+  const std::vector<std::pair<Rational, Rational>> points{pt(3, 1, 7, 2)};
+  EXPECT_EQ(lagrange_interpolate(points), QPoly{Rational(7, 2)});
+}
+
+TEST(Lagrange, LineThroughTwoPoints) {
+  // Through (0, 1) and (2, 5): y = 2x + 1.
+  const std::vector<std::pair<Rational, Rational>> points{pt(0, 1, 1, 1), pt(2, 1, 5, 1)};
+  EXPECT_EQ(lagrange_interpolate(points),
+            (QPoly{std::vector<Rational>{Rational{1}, Rational{2}}}));
+}
+
+TEST(Lagrange, RecoversCubicExactly) {
+  const QPoly cubic{std::vector<Rational>{Rational(-11, 6), Rational{9}, Rational(-21, 2),
+                                          Rational(7, 2)}};
+  std::vector<std::pair<Rational, Rational>> points;
+  for (int i = 0; i < 4; ++i) {
+    const Rational x{i + 1, 7};
+    points.emplace_back(x, cubic(x));
+  }
+  EXPECT_EQ(lagrange_interpolate(points), cubic);
+}
+
+TEST(Lagrange, ExtraPointsCollapseDegree) {
+  // Interpolating a quadratic through 6 points still returns the quadratic.
+  const QPoly quadratic{std::vector<Rational>{Rational(6, 7), Rational{-2}, Rational{1}}};
+  std::vector<std::pair<Rational, Rational>> points;
+  for (int i = 0; i < 6; ++i) {
+    const Rational x{2 * i + 1, 9};
+    points.emplace_back(x, quadratic(x));
+  }
+  const QPoly result = lagrange_interpolate(points);
+  EXPECT_EQ(result, quadratic);
+  EXPECT_EQ(result.degree(), 2);
+}
+
+TEST(Lagrange, DuplicateXThrows) {
+  const std::vector<std::pair<Rational, Rational>> points{pt(1, 2, 0, 1), pt(1, 2, 1, 1)};
+  EXPECT_THROW((void)lagrange_interpolate(points), std::invalid_argument);
+  EXPECT_THROW((void)lagrange_interpolate({}), std::invalid_argument);
+}
+
+TEST(Lagrange, InterpolateOnHelper) {
+  const QPoly target{std::vector<Rational>{Rational{2}, Rational{0}, Rational{-3}}};
+  const QPoly rebuilt = interpolate_on(Rational{0}, Rational{1}, 5,
+                                       [&target](const Rational& x) { return target(x); });
+  EXPECT_EQ(rebuilt, target);
+}
+
+TEST(Lagrange, ReconstructsSection521PiecesFromNumericEvaluator) {
+  // Derivation-independent check of the symbolic pipeline: sample the NUMERIC
+  // Theorem 5.1 evaluator inside each breakpoint interval and interpolate;
+  // the result must equal the symbolic piece exactly.
+  const auto analysis = core::SymmetricThresholdAnalysis::build(3, Rational{1});
+  for (const Piece& piece : analysis.winning_probability().pieces()) {
+    const QPoly rebuilt =
+        interpolate_on(piece.lo, piece.hi, 5, [](const Rational& beta) {
+          return core::symmetric_threshold_winning_probability(3, beta, Rational{1});
+        });
+    EXPECT_EQ(rebuilt, piece.poly)
+        << "piece [" << piece.lo << ", " << piece.hi << "]";
+  }
+}
+
+TEST(Lagrange, ReconstructsSection522PiecesFromNumericEvaluator) {
+  const auto analysis = core::SymmetricThresholdAnalysis::build(4, Rational(4, 3));
+  for (const Piece& piece : analysis.winning_probability().pieces()) {
+    const QPoly rebuilt =
+        interpolate_on(piece.lo, piece.hi, 6, [](const Rational& beta) {
+          return core::symmetric_threshold_winning_probability(4, beta, Rational(4, 3));
+        });
+    EXPECT_EQ(rebuilt, piece.poly)
+        << "piece [" << piece.lo << ", " << piece.hi << "]";
+  }
+}
+
+}  // namespace
+}  // namespace ddm::poly

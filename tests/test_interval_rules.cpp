@@ -1,0 +1,205 @@
+// Tests for the exact interval-rule evaluator (general deterministic
+// no-communication rules, an extension of Theorem 5.1).
+#include "core/interval_rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/nonoblivious.hpp"
+#include "prob/rng.hpp"
+#include "sim/monte_carlo.hpp"
+
+namespace ddm::core {
+namespace {
+
+using util::Rational;
+
+TEST(IntervalRule, Validation) {
+  EXPECT_THROW(IntervalRule({UnitInterval{Rational(-1, 2), Rational(1, 2)}}),
+               std::invalid_argument);
+  EXPECT_THROW(IntervalRule({UnitInterval{Rational(1, 2), Rational(3, 2)}}),
+               std::invalid_argument);
+  EXPECT_THROW(IntervalRule({UnitInterval{Rational(1, 2), Rational(1, 4)}}),
+               std::invalid_argument);
+  // Overlapping / out-of-order intervals.
+  EXPECT_THROW(IntervalRule({UnitInterval{Rational{0}, Rational(1, 2)},
+                             UnitInterval{Rational(1, 3), Rational(2, 3)}}),
+               std::invalid_argument);
+  EXPECT_THROW(IntervalRule({UnitInterval{Rational(1, 2), Rational{1}},
+                             UnitInterval{Rational{0}, Rational(1, 4)}}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(IntervalRule({UnitInterval{Rational{0}, Rational(1, 3)},
+                                UnitInterval{Rational(2, 3), Rational{1}}}));
+}
+
+TEST(IntervalRule, ZeroLengthIntervalsDropped) {
+  const IntervalRule rule{{UnitInterval{Rational(1, 2), Rational(1, 2)}}};
+  EXPECT_TRUE(rule.bin0_intervals().empty());
+  EXPECT_EQ(rule.bin0_measure(), Rational{0});
+}
+
+TEST(IntervalRule, Factories) {
+  const IntervalRule thr = IntervalRule::threshold(Rational(3, 5));
+  EXPECT_EQ(thr.bin0_measure(), Rational(3, 5));
+  EXPECT_EQ(thr.decide(Rational(3, 5)), kBin0);  // boundary inclusive, like x <= a
+  EXPECT_EQ(thr.decide(Rational(4, 5)), kBin1);
+
+  const IntervalRule two = IntervalRule::two_interval(Rational(1, 4), Rational(1, 2),
+                                                      Rational(3, 4));
+  EXPECT_EQ(two.bin0_measure(), Rational(1, 2));
+  EXPECT_EQ(two.decide(Rational(3, 8)), kBin1);
+  EXPECT_EQ(two.decide(Rational(5, 8)), kBin0);
+
+  EXPECT_EQ(IntervalRule::constant(kBin0).bin0_measure(), Rational{1});
+  EXPECT_EQ(IntervalRule::constant(kBin1).bin0_measure(), Rational{0});
+  EXPECT_THROW((void)IntervalRule::constant(7), std::invalid_argument);
+  EXPECT_THROW((void)IntervalRule::threshold(Rational{2}), std::invalid_argument);
+}
+
+TEST(IntervalRule, CellsPartitionUnitInterval) {
+  const IntervalRule rule = IntervalRule::two_interval(Rational(1, 4), Rational(1, 2),
+                                                       Rational(3, 4));
+  const auto cells = rule.cells();
+  ASSERT_EQ(cells.size(), 4u);  // [0,1/4]0, [1/4,1/2]1, [1/2,3/4]0, [3/4,1]1
+  Rational total{0};
+  Rational cursor{0};
+  for (const auto& cell : cells) {
+    EXPECT_EQ(cell.interval.lo, cursor);
+    total += cell.interval.hi - cell.interval.lo;
+    cursor = cell.interval.hi;
+  }
+  EXPECT_EQ(total, Rational{1});
+  EXPECT_EQ(cursor, Rational{1});
+  EXPECT_EQ(cells[0].bin, kBin0);
+  EXPECT_EQ(cells[1].bin, kBin1);
+}
+
+TEST(IntervalRules, MatchesTheorem51ForThresholdRules) {
+  // Interval evaluation must reproduce the paper's single-threshold formula
+  // exactly for every threshold profile.
+  const std::vector<Rational> thresholds{Rational(3, 5), Rational(1, 2), Rational(7, 10)};
+  std::vector<IntervalRule> rules;
+  for (const Rational& a : thresholds) rules.push_back(IntervalRule::threshold(a));
+  for (int i = 1; i <= 8; ++i) {
+    const Rational t{i, 4};
+    EXPECT_EQ(interval_rules_winning_probability(rules, t),
+              threshold_winning_probability(thresholds, t))
+        << "t=" << t;
+  }
+}
+
+TEST(IntervalRules, ConstantRulesGiveIrwinHall) {
+  // Everyone to bin 0 deterministically.
+  const std::vector<IntervalRule> rules(3, IntervalRule::constant(kBin0));
+  EXPECT_EQ(interval_rules_winning_probability(rules, Rational{1}), Rational(1, 6));
+  const std::vector<IntervalRule> rules1(3, IntervalRule::constant(kBin1));
+  EXPECT_EQ(interval_rules_winning_probability(rules1, Rational{1}), Rational(1, 6));
+}
+
+TEST(IntervalRules, IdentityBasedSplitExactValue) {
+  // The identity split {P1} vs {P2, P3} (only possible with distinct player
+  // ids) achieves IH_1(1) * IH_2(1) = 1/2 at t = 1: above the oblivious
+  // optimum 5/12, below the symmetric-threshold optimum 0.5446.
+  const std::vector<IntervalRule> rules{IntervalRule::constant(kBin0),
+                                        IntervalRule::constant(kBin1),
+                                        IntervalRule::constant(kBin1)};
+  EXPECT_EQ(interval_rules_winning_probability(rules, Rational{1}), Rational(1, 2));
+}
+
+TEST(IntervalRules, TwoIntervalRuleMatchesMonteCarlo) {
+  const std::vector<IntervalRule> rules(
+      3, IntervalRule::two_interval(Rational(2, 5), Rational(3, 5), Rational(4, 5)));
+  const Rational t{1};
+  const double exact = interval_rules_winning_probability(rules, t).to_double();
+  const IntervalRuleProtocol protocol{rules};
+  prob::Rng rng{515151};
+  const auto result = sim::estimate_winning_probability(protocol, 1.0, 400000, rng);
+  EXPECT_TRUE(result.covers(exact)) << result.estimate << " vs " << exact;
+}
+
+TEST(IntervalRules, HeterogeneousProfileMatchesMonteCarlo) {
+  const std::vector<IntervalRule> rules{
+      IntervalRule::threshold(Rational(1, 2)),
+      IntervalRule::two_interval(Rational(1, 4), Rational(1, 2), Rational(3, 4)),
+      IntervalRule::constant(kBin1)};
+  const double exact = interval_rules_winning_probability(rules, Rational(6, 5)).to_double();
+  const IntervalRuleProtocol protocol{rules};
+  prob::Rng rng{626262};
+  const auto result = sim::estimate_winning_probability(protocol, 1.2, 400000, rng);
+  EXPECT_NEAR(result.estimate, exact, 5.0 * result.standard_error + 1e-9);
+}
+
+TEST(IntervalRules, ComplementSwapsBins) {
+  // Swapping every player's bin-0 set with its complement relabels the bins,
+  // leaving the winning probability unchanged.
+  const std::vector<IntervalRule> rules{
+      IntervalRule::threshold(Rational(2, 5)),
+      IntervalRule::two_interval(Rational(1, 5), Rational(2, 5), Rational(4, 5))};
+  std::vector<IntervalRule> complements;
+  for (const IntervalRule& rule : rules) {
+    std::vector<UnitInterval> flipped;
+    for (const auto& cell : rule.cells()) {
+      if (cell.bin == kBin1) flipped.push_back(cell.interval);
+    }
+    complements.push_back(IntervalRule{std::move(flipped)});
+  }
+  for (int i = 1; i <= 6; ++i) {
+    const Rational t{i, 4};
+    EXPECT_EQ(interval_rules_winning_probability(rules, t),
+              interval_rules_winning_probability(complements, t))
+        << "t=" << t;
+  }
+}
+
+TEST(IntervalRules, Validation) {
+  EXPECT_THROW((void)interval_rules_winning_probability(std::vector<IntervalRule>{},
+                                                        Rational{1}),
+               std::invalid_argument);
+  const std::vector<IntervalRule> rules(2, IntervalRule::threshold(Rational(1, 2)));
+  EXPECT_EQ(interval_rules_winning_probability(rules, Rational{0}), Rational{0});
+  EXPECT_EQ(interval_rules_winning_probability(rules, Rational{-1}), Rational{0});
+}
+
+TEST(IntervalRuleProtocol, DecidesAndNames) {
+  const std::vector<IntervalRule> rules{IntervalRule::threshold(Rational(1, 2)),
+                                        IntervalRule::constant(kBin1)};
+  const IntervalRuleProtocol protocol{rules};
+  prob::Rng rng{1};
+  EXPECT_EQ(protocol.size(), 2u);
+  EXPECT_EQ(protocol.decide(0, 0.3, rng), kBin0);
+  EXPECT_EQ(protocol.decide(0, 0.7, rng), kBin1);
+  EXPECT_EQ(protocol.decide(1, 0.1, rng), kBin1);
+  EXPECT_THROW((void)protocol.decide(5, 0.1, rng), std::out_of_range);
+  EXPECT_NE(protocol.name().find("bin0 on"), std::string::npos);
+  EXPECT_THROW(IntervalRuleProtocol{std::vector<IntervalRule>{}}, std::invalid_argument);
+}
+
+// Parameterized sweep: interval evaluation agrees with Theorem 5.1 across a
+// grid of symmetric thresholds, players, and capacities.
+class IntervalThresholdSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, int, int>> {};
+
+TEST_P(IntervalThresholdSweep, AgreesWithSymmetricFormula) {
+  const auto [n, beta_num, t_num] = GetParam();
+  const Rational beta{beta_num, 10};
+  const Rational t{t_num, 3};
+  const std::vector<IntervalRule> rules(n, IntervalRule::threshold(beta));
+  EXPECT_EQ(interval_rules_winning_probability(rules, t),
+            symmetric_threshold_winning_probability(n, beta, t));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, IntervalThresholdSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u),
+                       ::testing::Values(0, 2, 5, 7, 10),
+                       ::testing::Values(1, 2, 3, 4)),
+    [](const ::testing::TestParamInfo<IntervalThresholdSweep::ParamType>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_beta" +
+             std::to_string(std::get<1>(info.param)) + "_t" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace ddm::core

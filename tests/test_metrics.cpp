@@ -1,0 +1,204 @@
+// Tests for the symbolic CDF (prob/cdf_poly) and expected-overflow metrics.
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "prob/cdf_poly.hpp"
+#include "prob/rng.hpp"
+#include "prob/uniform_sum.hpp"
+
+namespace ddm {
+namespace {
+
+using util::Rational;
+
+std::vector<Rational> rvec(std::initializer_list<Rational> values) { return {values}; }
+
+// ---------------------------------------------------------------------------
+// sum_uniform_cdf_poly
+// ---------------------------------------------------------------------------
+
+TEST(CdfPoly, MatchesPointwiseEvaluator) {
+  const auto pi = rvec({Rational(1, 2), Rational(2, 3), Rational{1}});
+  const auto cdf = prob::sum_uniform_cdf_poly(pi);
+  for (int i = 0; i <= 26; ++i) {
+    const Rational x{i, 12};
+    EXPECT_EQ(cdf(x), prob::sum_uniform_cdf(pi, x)) << "x=" << x;
+  }
+}
+
+TEST(CdfPoly, SingleUniform) {
+  const auto cdf = prob::sum_uniform_cdf_poly(rvec({Rational(1, 2)}));
+  EXPECT_EQ(cdf(Rational{0}), Rational{0});
+  EXPECT_EQ(cdf(Rational(1, 4)), Rational(1, 2));
+  EXPECT_EQ(cdf(Rational(1, 2)), Rational{1});
+  EXPECT_TRUE(cdf.is_continuous());
+}
+
+TEST(CdfPoly, IrwinHallPieces) {
+  // Two unit uniforms: F = t²/2 on [0,1], −t²/2 + 2t − 1 on [1,2].
+  const auto cdf = prob::sum_uniform_cdf_poly(rvec({Rational{1}, Rational{1}}));
+  ASSERT_EQ(cdf.pieces().size(), 2u);
+  EXPECT_EQ(cdf.pieces()[0].poly,
+            (poly::QPoly{std::vector<Rational>{Rational{0}, Rational{0}, Rational(1, 2)}}));
+  EXPECT_EQ(cdf.pieces()[1].poly,
+            (poly::QPoly{std::vector<Rational>{Rational{-1}, Rational{2}, Rational(-1, 2)}}));
+  EXPECT_TRUE(cdf.is_continuous());
+}
+
+TEST(CdfPoly, ContinuousAndMonotoneForRandomRanges) {
+  const auto pi = rvec({Rational(1, 3), Rational(2, 5), Rational(3, 4), Rational(1, 2)});
+  const auto cdf = prob::sum_uniform_cdf_poly(pi);
+  EXPECT_TRUE(cdf.is_continuous());
+  Rational previous{-1};
+  for (int i = 0; i <= 30; ++i) {
+    const Rational x = cdf.domain_hi() * Rational{i, 30};
+    const Rational value = cdf(x);
+    EXPECT_GE(value, previous);
+    previous = value;
+  }
+  EXPECT_EQ(cdf(cdf.domain_hi()), Rational{1});
+  EXPECT_EQ(cdf(Rational{0}), Rational{0});
+}
+
+TEST(CdfPoly, Validation) {
+  EXPECT_THROW((void)prob::sum_uniform_cdf_poly(std::vector<Rational>{}),
+               std::invalid_argument);
+  EXPECT_THROW((void)prob::sum_uniform_cdf_poly(rvec({Rational{0}})), std::invalid_argument);
+  EXPECT_THROW((void)prob::sum_uniform_cdf_poly(std::vector<Rational>(11, Rational{1})),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// expected_excess
+// ---------------------------------------------------------------------------
+
+TEST(ExpectedExcess, SingleUniformClosedForm) {
+  // X ~ U[0,1]: E[(X−t)^+] = (1−t)²/2 for t in [0,1].
+  for (int i = 0; i <= 4; ++i) {
+    const Rational t{i, 4};
+    const Rational expected = (Rational{1} - t).pow(2) * Rational{1, 2};
+    EXPECT_EQ(prob::expected_excess(rvec({Rational{1}}), t), expected) << t;
+  }
+}
+
+TEST(ExpectedExcess, BoundaryBehaviour) {
+  const auto pi = rvec({Rational(1, 2), Rational(3, 4)});
+  // Above the support: zero. At/below zero: mean − t.
+  EXPECT_EQ(prob::expected_excess(pi, Rational{2}), Rational{0});
+  EXPECT_EQ(prob::expected_excess(pi, Rational(5, 4)), Rational{0});
+  EXPECT_EQ(prob::expected_excess(pi, Rational{0}), Rational(5, 8));
+  EXPECT_EQ(prob::expected_excess(pi, Rational{-1}), Rational(13, 8));
+  EXPECT_EQ(prob::expected_excess(std::vector<Rational>{}, Rational{1}), Rational{0});
+}
+
+TEST(ExpectedExcess, MonotoneDecreasingInT) {
+  const auto pi = rvec({Rational(1, 2), Rational{1}, Rational(1, 3)});
+  Rational previous{999};
+  for (int i = 0; i <= 22; ++i) {
+    const Rational t{i, 12};
+    const Rational e = prob::expected_excess(pi, t);
+    EXPECT_LE(e, previous);
+    EXPECT_GE(e, Rational{0});
+    previous = e;
+  }
+}
+
+TEST(ExpectedExcess, MatchesMonteCarlo) {
+  const std::vector<Rational> pi = rvec({Rational(1, 2), Rational{1}});
+  const Rational t{3, 4};
+  const double exact = prob::expected_excess(pi, t).to_double();
+  prob::Rng rng{5511};
+  double total = 0.0;
+  const int trials = 500000;
+  for (int i = 0; i < trials; ++i) {
+    const double x = rng.uniform(0.0, 0.5) + rng.uniform();
+    total += std::max(0.0, x - 0.75);
+  }
+  EXPECT_NEAR(total / trials, exact, 2e-3);
+}
+
+// ---------------------------------------------------------------------------
+// expected overflow of protocols
+// ---------------------------------------------------------------------------
+
+TEST(ExpectedOverflow, ObliviousMatchesSimulation) {
+  const std::vector<Rational> alpha{Rational(1, 3), Rational(1, 2), Rational(3, 4)};
+  const Rational t{1};
+  const double exact = core::expected_overflow_oblivious(alpha, t).to_double();
+  prob::Rng rng{8181};
+  const core::ObliviousProtocol protocol{alpha};
+  double total = 0.0;
+  const int trials = 400000;
+  std::vector<double> inputs(3);
+  for (int i = 0; i < trials; ++i) {
+    for (double& x : inputs) x = rng.uniform();
+    const auto loads = core::play(protocol, inputs, rng);
+    total += std::max(0.0, loads.bin0 - 1.0) + std::max(0.0, loads.bin1 - 1.0);
+  }
+  EXPECT_NEAR(total / trials, exact, 3e-3);
+}
+
+TEST(ExpectedOverflow, ThresholdMatchesSimulation) {
+  const Rational beta{622, 1000};
+  const Rational t{1};
+  const double exact =
+      core::expected_overflow_symmetric_threshold(3, beta, t).to_double();
+  prob::Rng rng{9292};
+  const auto protocol = core::SingleThresholdProtocol::symmetric(3, beta);
+  double total = 0.0;
+  const int trials = 400000;
+  std::vector<double> inputs(3);
+  for (int i = 0; i < trials; ++i) {
+    for (double& x : inputs) x = rng.uniform();
+    const auto loads = core::play(protocol, inputs, rng);
+    total += std::max(0.0, loads.bin0 - 1.0) + std::max(0.0, loads.bin1 - 1.0);
+  }
+  EXPECT_NEAR(total / trials, exact, 3e-3);
+}
+
+TEST(ExpectedOverflow, DegenerateThresholds) {
+  // β = 0 or 1: everyone in one bin — overflow is the excess of IH_n above t.
+  const Rational t{1};
+  const std::vector<Rational> unit(3, Rational{1});
+  const Rational all_one_bin = prob::expected_excess(unit, t);
+  EXPECT_EQ(core::expected_overflow_symmetric_threshold(3, Rational{0}, t), all_one_bin);
+  EXPECT_EQ(core::expected_overflow_symmetric_threshold(3, Rational{1}, t), all_one_bin);
+}
+
+TEST(ExpectedOverflow, LargeCapacityGivesZero) {
+  EXPECT_EQ(core::expected_overflow_symmetric_threshold(4, Rational(1, 2), Rational{4}),
+            Rational{0});
+  const std::vector<Rational> half(4, Rational(1, 2));
+  EXPECT_EQ(core::expected_overflow_oblivious(half, Rational{4}), Rational{0});
+}
+
+TEST(ExpectedOverflow, Validation) {
+  EXPECT_THROW((void)core::expected_overflow_oblivious(std::vector<Rational>{}, Rational{1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)core::expected_overflow_symmetric_threshold(0, Rational(1, 2), Rational{1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)core::expected_overflow_symmetric_threshold(3, Rational{2}, Rational{1}),
+               std::invalid_argument);
+}
+
+TEST(ExpectedOverflow, ObjectivesCanDisagree) {
+  // The win-probability-optimal threshold need not minimize expected
+  // overflow; record the exact values at n = 3, t = 1 so any future change
+  // in the relationship is caught.
+  const Rational at_optimum =
+      core::expected_overflow_symmetric_threshold(3, Rational{622, 1000}, Rational{1});
+  const Rational at_half =
+      core::expected_overflow_symmetric_threshold(3, Rational(1, 2), Rational{1});
+  EXPECT_GT(at_optimum, Rational{0});
+  EXPECT_GT(at_half, Rational{0});
+  // The probability-optimal 0.622 also has LOWER expected overflow than 1/2
+  // at this instance (both objectives prefer it).
+  EXPECT_LT(at_optimum, at_half);
+}
+
+}  // namespace
+}  // namespace ddm

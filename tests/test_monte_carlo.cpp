@@ -1,0 +1,128 @@
+// Tests for the Monte Carlo simulation harness.
+#include "sim/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/baselines.hpp"
+#include "core/oblivious.hpp"
+#include "core/protocol.hpp"
+
+namespace ddm::sim {
+namespace {
+
+using util::Rational;
+
+TEST(WilsonInterval, BasicProperties) {
+  const SimResult r = wilson_interval(50, 100);
+  EXPECT_DOUBLE_EQ(r.estimate, 0.5);
+  EXPECT_GT(r.ci_high, r.ci_low);
+  EXPECT_GT(r.ci_low, 0.3);
+  EXPECT_LT(r.ci_high, 0.7);
+  EXPECT_TRUE(r.covers(0.5));
+  EXPECT_FALSE(r.covers(0.9));
+}
+
+TEST(WilsonInterval, ExtremesStayInUnitInterval) {
+  const SimResult zero = wilson_interval(0, 1000);
+  EXPECT_GE(zero.ci_low, 0.0);
+  EXPECT_GT(zero.ci_high, 0.0);  // Wilson never collapses to a point at 0
+  const SimResult one = wilson_interval(1000, 1000);
+  EXPECT_LE(one.ci_high, 1.0);
+  EXPECT_LT(one.ci_low, 1.0);
+}
+
+TEST(WilsonInterval, ShrinksWithSamples) {
+  const SimResult small = wilson_interval(50, 100);
+  const SimResult large = wilson_interval(5000, 10000);
+  EXPECT_LT(large.ci_high - large.ci_low, small.ci_high - small.ci_low);
+}
+
+TEST(WilsonInterval, Validation) {
+  EXPECT_THROW((void)wilson_interval(1, 0), std::invalid_argument);
+  EXPECT_THROW((void)wilson_interval(5, 4), std::invalid_argument);
+}
+
+TEST(EstimateWinning, DeterministicGivenSeed) {
+  const auto protocol = core::ObliviousProtocol::uniform(3);
+  prob::Rng rng_a{42};
+  prob::Rng rng_b{42};
+  const SimResult a = estimate_winning_probability(protocol, 1.0, 50000, rng_a);
+  const SimResult b = estimate_winning_probability(protocol, 1.0, 50000, rng_b);
+  EXPECT_EQ(a.wins, b.wins);
+}
+
+TEST(EstimateWinning, CoversExactValue) {
+  const auto protocol = core::ObliviousProtocol::uniform(3);
+  const double exact =
+      core::optimal_oblivious_winning_probability(3, Rational{1}).to_double();  // 5/12
+  prob::Rng rng{7};
+  const SimResult result = estimate_winning_probability(protocol, 1.0, 500000, rng);
+  EXPECT_TRUE(result.covers(exact)) << result.estimate;
+}
+
+TEST(EstimateWinning, MultithreadedMatchesExactToo) {
+  const auto protocol = core::ObliviousProtocol::uniform(4);
+  const double exact =
+      core::optimal_oblivious_winning_probability(4, Rational(4, 3)).to_double();
+  prob::Rng rng{11};
+  const SimResult result =
+      estimate_winning_probability(protocol, 4.0 / 3.0, 500000, rng, /*threads=*/4);
+  EXPECT_TRUE(result.covers(exact)) << result.estimate << " vs " << exact;
+  EXPECT_EQ(result.trials, 500000u);
+}
+
+TEST(EstimateWinning, ZeroThreadsTreatedAsOne) {
+  const auto protocol = core::ObliviousProtocol::uniform(2);
+  prob::Rng rng{3};
+  const SimResult result = estimate_winning_probability(protocol, 1.0, 10000, rng, 0);
+  EXPECT_EQ(result.trials, 10000u);
+}
+
+TEST(EstimateWinning, Validation) {
+  const auto protocol = core::ObliviousProtocol::uniform(2);
+  prob::Rng rng{3};
+  EXPECT_THROW((void)estimate_winning_probability(protocol, 1.0, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(EstimateEvent, MatchesAnalyticArea) {
+  // P(x + y <= 1) over the unit square is 1/2.
+  prob::Rng rng{21};
+  const SimResult result = estimate_event_probability(
+      2, [](std::span<const double> xs) { return xs[0] + xs[1] <= 1.0; }, 300000, rng);
+  EXPECT_TRUE(result.covers(0.5));
+}
+
+TEST(EstimateEvent, Validation) {
+  prob::Rng rng{1};
+  EXPECT_THROW((void)estimate_event_probability(
+                   2, [](std::span<const double>) { return true; }, 0, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)estimate_event_probability(2, nullptr, 10, rng), std::invalid_argument);
+}
+
+TEST(EstimateEvent, DegenerateProbabilities) {
+  prob::Rng rng{1};
+  const SimResult always = estimate_event_probability(
+      1, [](std::span<const double>) { return true; }, 1000, rng);
+  EXPECT_DOUBLE_EQ(always.estimate, 1.0);
+  const SimResult never = estimate_event_probability(
+      1, [](std::span<const double>) { return false; }, 1000, rng);
+  EXPECT_DOUBLE_EQ(never.estimate, 0.0);
+}
+
+TEST(EstimateWinning, StandardErrorScaling) {
+  const auto protocol = core::ObliviousProtocol::uniform(3);
+  prob::Rng rng_a{5};
+  prob::Rng rng_b{5};
+  const SimResult small = estimate_winning_probability(protocol, 1.0, 10000, rng_a);
+  const SimResult large = estimate_winning_probability(protocol, 1.0, 640000, rng_b);
+  // 64x the samples → ~8x smaller standard error.
+  EXPECT_NEAR(small.standard_error / large.standard_error, 8.0, 2.0);
+}
+
+}  // namespace
+}  // namespace ddm::sim

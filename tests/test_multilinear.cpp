@@ -1,0 +1,184 @@
+// Tests for MultilinearPolynomial and the symbolic Theorem 4.1 object.
+#include "poly/multilinear.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/oblivious.hpp"
+#include "core/optimality.hpp"
+
+namespace ddm::poly {
+namespace {
+
+using util::Rational;
+
+TEST(Multilinear, ConstructionAndBasics) {
+  const MultilinearPolynomial zero{3};
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.term_count(), 0u);
+  EXPECT_EQ(zero.support(), 0u);
+
+  const auto c = MultilinearPolynomial::constant(3, Rational(5, 7));
+  EXPECT_EQ(c.coefficient(0), Rational(5, 7));
+  EXPECT_EQ(c.term_count(), 1u);
+
+  const auto x1 = MultilinearPolynomial::variable(3, 1);
+  EXPECT_EQ(x1.coefficient(0b010), Rational{1});
+  EXPECT_EQ(x1.support(), 0b010u);
+
+  const auto y2 = MultilinearPolynomial::one_minus_variable(3, 2);
+  EXPECT_EQ(y2.coefficient(0), Rational{1});
+  EXPECT_EQ(y2.coefficient(0b100), Rational{-1});
+
+  EXPECT_THROW(MultilinearPolynomial{25}, std::invalid_argument);
+  EXPECT_THROW((void)MultilinearPolynomial::variable(3, 3), std::out_of_range);
+}
+
+TEST(Multilinear, AdditionAndScaling) {
+  auto p = MultilinearPolynomial::variable(2, 0);
+  p += MultilinearPolynomial::variable(2, 0);
+  EXPECT_EQ(p.coefficient(0b01), Rational{2});
+  p -= MultilinearPolynomial::variable(2, 0) * Rational{2};
+  EXPECT_TRUE(p.is_zero());  // cancelled terms are erased
+
+  auto q = MultilinearPolynomial::constant(2, Rational{3});
+  q *= Rational{0};
+  EXPECT_TRUE(q.is_zero());
+
+  const MultilinearPolynomial other{3};
+  EXPECT_THROW(p += other, std::invalid_argument);
+}
+
+TEST(Multilinear, DisjointProduct) {
+  // (a0)(1 − a1) = a0 − a0 a1.
+  const auto product = MultilinearPolynomial::variable(2, 0).disjoint_product(
+      MultilinearPolynomial::one_minus_variable(2, 1));
+  EXPECT_EQ(product.coefficient(0b01), Rational{1});
+  EXPECT_EQ(product.coefficient(0b11), Rational{-1});
+  EXPECT_EQ(product.term_count(), 2u);
+
+  // Overlapping supports are rejected (α_i² would break multilinearity).
+  EXPECT_THROW((void)MultilinearPolynomial::variable(2, 0).disjoint_product(
+                   MultilinearPolynomial::variable(2, 0)),
+               std::domain_error);
+}
+
+TEST(Multilinear, Evaluation) {
+  // p = 2 − a0 + 3 a0 a1 at (1/2, 1/3): 2 − 1/2 + 3·(1/6) = 2.
+  auto p = MultilinearPolynomial::constant(2, Rational{2});
+  p -= MultilinearPolynomial::variable(2, 0);
+  p += MultilinearPolynomial::variable(2, 0)
+           .disjoint_product(MultilinearPolynomial::variable(2, 1)) *
+       Rational{3};
+  const std::vector<Rational> point{Rational(1, 2), Rational(1, 3)};
+  EXPECT_EQ(p(point), Rational{2});
+  EXPECT_THROW((void)p(std::vector<Rational>{Rational{1}}), std::invalid_argument);
+}
+
+TEST(Multilinear, PartialDerivativeAndSubstitute) {
+  // p = 2 − a0 + 3 a0 a1: ∂/∂a0 = −1 + 3 a1; substitute a1 = 1/3 → 2 − a0 + a0 = 2.
+  auto p = MultilinearPolynomial::constant(2, Rational{2});
+  p -= MultilinearPolynomial::variable(2, 0);
+  p += MultilinearPolynomial::variable(2, 0)
+           .disjoint_product(MultilinearPolynomial::variable(2, 1)) *
+       Rational{3};
+  const auto d0 = p.partial_derivative(0);
+  EXPECT_EQ(d0.coefficient(0), Rational{-1});
+  EXPECT_EQ(d0.coefficient(0b10), Rational{3});
+  const auto fixed = p.substitute(1, Rational(1, 3));
+  EXPECT_EQ(fixed.coefficient(0), Rational{2});
+  EXPECT_EQ(fixed.coefficient(0b01), Rational{0});
+  EXPECT_THROW((void)p.partial_derivative(5), std::out_of_range);
+}
+
+TEST(Multilinear, ToString) {
+  auto p = MultilinearPolynomial::constant(2, Rational(1, 6));
+  p += MultilinearPolynomial::variable(2, 0)
+           .disjoint_product(MultilinearPolynomial::variable(2, 1)) *
+       Rational(1, 3);
+  p -= MultilinearPolynomial::variable(2, 1);
+  // Terms are ordered by subset mask (constant, a0, a1, a0*a1, ...).
+  EXPECT_EQ(p.to_string(), "1/6 - a1 + 1/3*a0*a1");
+  EXPECT_EQ(MultilinearPolynomial{2}.to_string(), "0");
+}
+
+// --------------------------------------------------------------------------
+// The symbolic Theorem 4.1 object.
+// --------------------------------------------------------------------------
+
+TEST(ObliviousPolynomial, EvaluationMatchesEngine) {
+  const std::vector<Rational> alpha{Rational(1, 3), Rational(2, 5), Rational(1, 2),
+                                    Rational(7, 9)};
+  for (std::uint32_t n = 1; n <= 4; ++n) {
+    const std::span<const Rational> point{alpha.data(), n};
+    for (int i = 1; i <= 6; ++i) {
+      const Rational t{i, 3};
+      const auto p = core::oblivious_winning_polynomial(n, t);
+      EXPECT_EQ(p(point), core::oblivious_winning_probability(point, t))
+          << "n=" << n << " t=" << t;
+    }
+  }
+}
+
+TEST(ObliviousPolynomial, PartialDerivativesAreCorollary42) {
+  const std::vector<Rational> alpha{Rational(1, 4), Rational(3, 5), Rational(1, 2)};
+  const Rational t{1};
+  const auto p = core::oblivious_winning_polynomial(3, t);
+  const auto gradient = core::oblivious_gradient(alpha, t);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(p.partial_derivative(k)(alpha), gradient[k]) << k;
+  }
+}
+
+TEST(ObliviousPolynomial, CoefficientsSymmetricUnderPlayerSwap) {
+  // Exchanging two players permutes masks; coefficients must be invariant.
+  const auto p = core::oblivious_winning_polynomial(4, Rational(4, 3));
+  const auto swap_bits = [](std::uint32_t mask, int i, int j) {
+    const bool bi = mask & (1u << i);
+    const bool bj = mask & (1u << j);
+    mask &= ~((1u << i) | (1u << j));
+    if (bi) mask |= 1u << j;
+    if (bj) mask |= 1u << i;
+    return mask;
+  };
+  for (std::uint32_t mask = 0; mask < 16; ++mask) {
+    EXPECT_EQ(p.coefficient(mask), p.coefficient(swap_bits(mask, 0, 2))) << mask;
+    EXPECT_EQ(p.coefficient(mask), p.coefficient(swap_bits(mask, 1, 3))) << mask;
+  }
+}
+
+TEST(ObliviousPolynomial, SubstitutionReducesToSmallerSystem) {
+  // Fixing player 3's coin to alpha = 1 (always bin 0) at n = 3 must yield a
+  // polynomial whose evaluations match direct computation with that alpha.
+  const Rational t{1};
+  const auto p = core::oblivious_winning_polynomial(3, t);
+  const auto fixed = p.substitute(2, Rational{1});
+  const std::vector<Rational> rest{Rational(1, 3), Rational(2, 3), Rational{0}};
+  const std::vector<Rational> full{Rational(1, 3), Rational(2, 3), Rational{1}};
+  EXPECT_EQ(fixed(rest), core::oblivious_winning_probability(full, t));
+}
+
+TEST(ObliviousPolynomial, GradientVanishesAtHalfSymbolically) {
+  // Corollary 4.2 + Theorem 4.3, fully symbolically: every partial
+  // derivative evaluates to zero at alpha = 1/2.
+  for (std::uint32_t n = 2; n <= 6; ++n) {
+    const Rational t{static_cast<std::int64_t>(n), 3};
+    const auto p = core::oblivious_winning_polynomial(n, t);
+    const std::vector<Rational> half(n, Rational(1, 2));
+    for (std::uint32_t k = 0; k < n; ++k) {
+      EXPECT_TRUE(p.partial_derivative(k)(half).is_zero()) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(ObliviousPolynomial, Validation) {
+  EXPECT_THROW((void)core::oblivious_winning_polynomial(0, Rational{1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)core::oblivious_winning_polynomial(13, Rational{1}),
+               std::invalid_argument);
+  EXPECT_TRUE(core::oblivious_winning_polynomial(3, Rational{-1}).is_zero());
+}
+
+}  // namespace
+}  // namespace ddm::poly

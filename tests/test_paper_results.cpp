@@ -1,0 +1,223 @@
+// End-to-end reproduction tests: every numeric claim the paper makes,
+// checked against this library's exact derivations and Monte Carlo.
+//
+// Paper: Georgiades, Mavronicolas, Spirakis — "Optimal, Distributed
+// Decision-Making: The Case of No Communication" (FCT'99, full version 2000).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/baselines.hpp"
+#include "core/nonoblivious.hpp"
+#include "core/oblivious.hpp"
+#include "core/optimality.hpp"
+#include "core/symmetric_threshold.hpp"
+#include "poly/roots.hpp"
+#include "prob/rng.hpp"
+#include "sim/monte_carlo.hpp"
+
+namespace ddm {
+namespace {
+
+using core::SymmetricOptimum;
+using core::SymmetricThresholdAnalysis;
+using poly::QPoly;
+using util::Rational;
+
+// ---------------------------------------------------------------------------
+// Section 4 (Theorem 4.3): the optimal oblivious protocol is α = 1/2,
+// uniformly in n.
+// ---------------------------------------------------------------------------
+
+TEST(PaperSection4, OptimalObliviousIsUniformHalf) {
+  for (std::uint32_t n = 2; n <= 10; ++n) {
+    const Rational t{static_cast<std::int64_t>(n), 3};
+    // (a) the optimality conditions hold at 1/2 …
+    const std::vector<Rational> half(n, Rational(1, 2));
+    EXPECT_EQ(core::stationarity_residual(half, t), Rational{0});
+    // (b) … and 1/2 beats a dense grid of symmetric alternatives.
+    const Rational at_half = core::oblivious_winning_probability(half, t);
+    for (int i = 0; i <= 20; ++i) {
+      if (i == 10) continue;
+      const std::vector<Rational> probe(n, Rational{i, 20});
+      EXPECT_LT(core::oblivious_winning_probability(probe, t), at_half)
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(PaperSection4, ObliviousOptimumN3T1) {
+  // 2^{-3} Σ_k C(3,k) φ_1(k) = 5/12 ≈ 0.4167.
+  EXPECT_EQ(core::optimal_oblivious_winning_probability(3, Rational{1}), Rational(5, 12));
+}
+
+// ---------------------------------------------------------------------------
+// Section 5.2.1 (n = 3, δ = 1).
+// ---------------------------------------------------------------------------
+
+TEST(PaperSection521, PiecewisePolynomialsExactlyAsPrinted) {
+  const auto analysis = SymmetricThresholdAnalysis::build(3, Rational{1});
+  const auto& pieces = analysis.winning_probability().pieces();
+  ASSERT_EQ(pieces.size(), 3u);
+  // β ∈ [0, 1/3] and (1/3, 1/2]: P = 1/6 + (3/2)β² − (1/2)β³.
+  const QPoly low{std::vector<Rational>{Rational(1, 6), Rational{0}, Rational(3, 2),
+                                        Rational(-1, 2)}};
+  // β ∈ (1/2, 1]: P = −11/6 + 9β − (21/2)β² + (7/2)β³.
+  const QPoly high{std::vector<Rational>{Rational(-11, 6), Rational{9}, Rational(-21, 2),
+                                         Rational(7, 2)}};
+  EXPECT_EQ(pieces[0].poly, low);
+  EXPECT_EQ(pieces[1].poly, low);
+  EXPECT_EQ(pieces[2].poly, high);
+}
+
+TEST(PaperSection521, OptimalityConditionIsBetaSquaredMinusTwoBetaPlusSixSevenths) {
+  const SymmetricOptimum opt = SymmetricThresholdAnalysis::build(3, Rational{1}).optimize();
+  // The paper states the optimality condition as β² − 2β + 6/7 = 0; our
+  // derivative is (21/2)(β² − 2β + 6/7).
+  const QPoly paper{std::vector<Rational>{Rational(6, 7), Rational{-2}, Rational{1}}};
+  EXPECT_EQ(opt.optimality_condition, paper * Rational(21, 2));
+}
+
+TEST(PaperSection521, OptimalThresholdIsOneMinusSqrtOneSeventh) {
+  const SymmetricOptimum opt = SymmetricThresholdAnalysis::build(3, Rational{1}).optimize();
+  // β* = 1 − √(1/7): verify algebraically that 7(1 − β*)² = 1 by interval
+  // arithmetic — the defining polynomial 7β² − 14β + 6 vanishes across the
+  // isolating interval.
+  const QPoly defining{std::vector<Rational>{Rational{6}, Rational{-14}, Rational{7}}};
+  EXPECT_LE((defining(opt.beta.lo) * defining(opt.beta.hi)).signum(), 0);
+  EXPECT_NEAR(opt.beta.approx(), 0.622, 5e-4);       // the paper's 0.622
+  EXPECT_NEAR(opt.value.to_double(), 0.545, 5e-4);   // the paper's 0.545
+}
+
+TEST(PaperSection521, RejectedCandidatesMatchCaseAnalysis) {
+  // In [0, 1/2], the derivative 3β − (3/2)β² vanishes only at β = 0 and 2;
+  // the paper rejects both. Our maximizer therefore reports no interior
+  // critical candidate below 1/2.
+  std::vector<poly::MaxCandidate> candidates;
+  const auto analysis = SymmetricThresholdAnalysis::build(3, Rational{1});
+  (void)analysis.winning_probability().maximize(
+      Rational{util::BigInt{1}, util::BigInt::pow(util::BigInt{2}, 96)}, &candidates);
+  for (const auto& candidate : candidates) {
+    if (candidate.interior_critical) {
+      EXPECT_GT(candidate.location.midpoint(), Rational(1, 2));
+    }
+  }
+}
+
+TEST(PaperSection521, MonteCarloConfirmsOptimum) {
+  const auto protocol = core::make_py_n3();
+  prob::Rng rng{20260707};
+  const auto result = sim::estimate_winning_probability(protocol, 1.0, 2000000, rng);
+  EXPECT_TRUE(result.covers(0.544631)) << result.estimate;
+}
+
+TEST(PaperSection521, NonObliviousBeatsOblivious) {
+  // The knowledge/uniformity trade-off: 0.545 > 5/12.
+  const SymmetricOptimum opt = SymmetricThresholdAnalysis::build(3, Rational{1}).optimize();
+  EXPECT_GT(opt.value, core::optimal_oblivious_winning_probability(3, Rational{1}));
+}
+
+// ---------------------------------------------------------------------------
+// Section 5.2.2 (n = 4, δ = 4/3).
+// ---------------------------------------------------------------------------
+
+TEST(PaperSection522, OptimalityPolynomialSignCorrected) {
+  // Paper (with the constant's sign fixed, see DESIGN.md):
+  //   −(26/3)β³ + (98/3)β² − (368/9)β + 416/27 = 0, root ≈ 0.678.
+  const SymmetricOptimum opt =
+      SymmetricThresholdAnalysis::build(4, Rational(4, 3)).optimize();
+  const QPoly corrected{std::vector<Rational>{Rational(416, 27), Rational(-368, 9),
+                                              Rational(98, 3), Rational(-26, 3)}};
+  EXPECT_EQ(opt.optimality_condition, corrected);
+  EXPECT_NEAR(opt.beta.approx(), 0.678, 5e-4);
+}
+
+TEST(PaperSection522, OptimumConfirmedByGridAndSimulation) {
+  const SymmetricOptimum opt =
+      SymmetricThresholdAnalysis::build(4, Rational(4, 3)).optimize();
+  // Grid-dominance.
+  for (int i = 0; i <= 40; ++i) {
+    EXPECT_GE(opt.value,
+              core::symmetric_threshold_winning_probability(4, Rational{i, 40}, Rational(4, 3)));
+  }
+  // Simulation at the optimum.
+  const Rational beta_approx{678, 1000};
+  const auto protocol = core::SingleThresholdProtocol::symmetric(4, beta_approx);
+  prob::Rng rng{314159};
+  const auto result =
+      sim::estimate_winning_probability(protocol, 4.0 / 3.0, 2000000, rng);
+  const double exact =
+      core::symmetric_threshold_winning_probability(4, beta_approx, Rational(4, 3)).to_double();
+  EXPECT_TRUE(result.covers(exact)) << result.estimate << " vs " << exact;
+}
+
+// ---------------------------------------------------------------------------
+// Non-uniformity (abstract + Section 5.2): optimal thresholds differ with n.
+// ---------------------------------------------------------------------------
+
+TEST(PaperNonUniformity, OptimalThresholdDependsOnN) {
+  const SymmetricOptimum opt3 = SymmetricThresholdAnalysis::build(3, Rational{1}).optimize();
+  const SymmetricOptimum opt4 =
+      SymmetricThresholdAnalysis::build(4, Rational(4, 3)).optimize();
+  // 0.622 vs 0.678 — distinctly different thresholds.
+  EXPECT_GT((opt4.beta.midpoint() - opt3.beta.midpoint()).abs(), Rational(5, 100));
+}
+
+TEST(PaperNonUniformity, NonObliviousVsObliviousAcrossN) {
+  // The paper claims the optimal non-oblivious protocol beats the optimal
+  // oblivious one. Our exact computation confirms this for n = 2, 3, 5, 6 at
+  // t = n/3 — but finds the claim REVERSED at the paper's own second
+  // instance n = 4, t = 4/3: the best symmetric threshold achieves
+  // ~0.42854 while the oblivious coin achieves 559/1296 ~ 0.43133. Both
+  // values are verified by Monte Carlo elsewhere in this suite; see
+  // EXPERIMENTS.md ("discrepancies"). We pin the true relationship here.
+  for (std::uint32_t n : {2u, 3u, 5u, 6u}) {
+    const Rational t{static_cast<std::int64_t>(n), 3};
+    const SymmetricOptimum opt = SymmetricThresholdAnalysis::build(n, t).optimize();
+    EXPECT_GT(opt.value, core::optimal_oblivious_winning_probability(n, t)) << "n=" << n;
+  }
+  const SymmetricOptimum opt4 =
+      SymmetricThresholdAnalysis::build(4, Rational(4, 3)).optimize();
+  EXPECT_LT(opt4.value, core::optimal_oblivious_winning_probability(4, Rational(4, 3)));
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 5.2 sanity: the non-oblivious optimality conditions admit no
+// n-independent (uniform) solution.
+// ---------------------------------------------------------------------------
+
+TEST(PaperTheorem52, NoUniformSolution) {
+  // The n = 3 optimum does not satisfy the n = 4 optimality condition and
+  // vice versa: evaluate each condition at the other instance's optimal β
+  // (via exact interval endpoints — the sign is constant on the interval).
+  const SymmetricOptimum opt3 = SymmetricThresholdAnalysis::build(3, Rational{1}).optimize();
+  const SymmetricOptimum opt4 =
+      SymmetricThresholdAnalysis::build(4, Rational(4, 3)).optimize();
+  const auto nonzero_on_interval = [](const QPoly& p, const poly::RootInterval& interval) {
+    const Rational lo = p(interval.lo);
+    const Rational hi = p(interval.hi);
+    return lo.signum() == hi.signum() && lo.signum() != 0;
+  };
+  EXPECT_TRUE(nonzero_on_interval(opt4.optimality_condition, opt3.beta));
+  EXPECT_TRUE(nonzero_on_interval(opt3.optimality_condition, opt4.beta));
+}
+
+// ---------------------------------------------------------------------------
+// Value-of-information bracket (PY'91 context): oblivious < non-oblivious <
+// full information.
+// ---------------------------------------------------------------------------
+
+TEST(PaperContext, InformationHierarchyN3T1) {
+  const double oblivious =
+      core::optimal_oblivious_winning_probability(3, Rational{1}).to_double();  // 0.4167
+  const SymmetricOptimum nonobl = SymmetricThresholdAnalysis::build(3, Rational{1}).optimize();
+  prob::Rng rng{55};
+  const auto oracle = sim::estimate_event_probability(
+      3, [](std::span<const double> xs) { return core::full_information_win(xs, 1.0); },
+      1000000, rng);
+  EXPECT_LT(oblivious, nonobl.value.to_double());
+  EXPECT_LT(nonobl.value.to_double(), oracle.ci_low);
+}
+
+}  // namespace
+}  // namespace ddm

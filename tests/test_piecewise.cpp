@@ -1,0 +1,190 @@
+// Tests for PiecewisePolynomial — construction, evaluation, certified max.
+#include "poly/piecewise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ddm::poly {
+namespace {
+
+using util::Rational;
+
+QPoly make(std::initializer_list<Rational> coeffs_low_first) {
+  return QPoly{std::vector<Rational>(coeffs_low_first)};
+}
+
+// The paper's n = 3, t = 1 winning probability P(β) (Section 5.2.1):
+// 1/6 + 3/2 β² − 1/2 β³ on [0, 1/2], −11/6 + 9β − 21/2 β² + 7/2 β³ on [1/2, 1].
+PiecewisePolynomial paper_n3() {
+  const QPoly low = make({Rational(1, 6), Rational{0}, Rational(3, 2), Rational(-1, 2)});
+  const QPoly high = make({Rational(-11, 6), Rational{9}, Rational(-21, 2), Rational(7, 2)});
+  return PiecewisePolynomial{{Piece{Rational{0}, Rational(1, 2), low},
+                              Piece{Rational(1, 2), Rational{1}, high}}};
+}
+
+TEST(Piecewise, ConstructionValidation) {
+  const QPoly p = make({Rational{1}});
+  EXPECT_THROW(PiecewisePolynomial{std::vector<Piece>{}}, std::invalid_argument);
+  // inverted interval
+  EXPECT_THROW(PiecewisePolynomial({Piece{Rational{1}, Rational{0}, p}}), std::invalid_argument);
+  // empty interval
+  EXPECT_THROW(PiecewisePolynomial({Piece{Rational{1}, Rational{1}, p}}), std::invalid_argument);
+  // gap between pieces
+  EXPECT_THROW(PiecewisePolynomial({Piece{Rational{0}, Rational{1}, p},
+                                    Piece{Rational{2}, Rational{3}, p}}),
+               std::invalid_argument);
+}
+
+TEST(Piecewise, EvaluationSelectsCorrectPiece) {
+  const PiecewisePolynomial pw = paper_n3();
+  EXPECT_EQ(pw(Rational{0}), Rational(1, 6));
+  EXPECT_EQ(pw(Rational(1, 4)), Rational(1, 6) + Rational(3, 2) * Rational(1, 16) -
+                                    Rational(1, 2) * Rational(1, 64));
+  EXPECT_EQ(pw(Rational{1}), Rational(-11, 6) + Rational{9} - Rational(21, 2) + Rational(7, 2));
+  // At the shared breakpoint both pieces agree (continuity) — value is 23/48.
+  EXPECT_EQ(pw(Rational(1, 2)), Rational(23, 48));
+}
+
+TEST(Piecewise, EvaluationOutsideDomainThrows) {
+  const PiecewisePolynomial pw = paper_n3();
+  EXPECT_THROW((void)pw(Rational{-1}), std::out_of_range);
+  EXPECT_THROW((void)pw(Rational{2}), std::out_of_range);
+}
+
+TEST(Piecewise, EvalDoubleMatchesExact) {
+  const PiecewisePolynomial pw = paper_n3();
+  for (int i = 0; i <= 20; ++i) {
+    const Rational x{i, 20};
+    EXPECT_NEAR(pw.eval_double(x.to_double()), pw(x).to_double(), 1e-12);
+  }
+}
+
+TEST(Piecewise, ContinuityCheck) {
+  EXPECT_TRUE(paper_n3().is_continuous());
+  // Deliberately discontinuous: constant 0 then constant 1.
+  const PiecewisePolynomial broken{
+      {Piece{Rational{0}, Rational(1, 2), make({Rational{0}})},
+       Piece{Rational(1, 2), Rational{1}, make({Rational{1}})}}};
+  EXPECT_FALSE(broken.is_continuous());
+}
+
+TEST(Piecewise, Derivative) {
+  const PiecewisePolynomial d = paper_n3().derivative();
+  // derivative of the upper piece: 9 − 21β + 21/2 β² (the optimality condition).
+  EXPECT_EQ(d.pieces()[1].poly,
+            make({Rational{9}, Rational{-21}, Rational(21, 2)}));
+  EXPECT_EQ(d.pieces().size(), 2u);
+}
+
+TEST(Piecewise, MaximizeFindsPaperOptimum) {
+  const MaxCandidate best = paper_n3().maximize();
+  // β* = 1 − sqrt(1/7) ≈ 0.6220 on the second piece, interior critical point.
+  EXPECT_EQ(best.piece_index, 1u);
+  EXPECT_TRUE(best.interior_critical);
+  EXPECT_NEAR(best.location.approx(), 1.0 - std::sqrt(1.0 / 7.0), 1e-15);
+  EXPECT_NEAR(best.value.to_double(), 0.5446, 1e-4);
+}
+
+TEST(Piecewise, MaximizeIsCertifiedWithValueBounds) {
+  const MaxCandidate best = paper_n3().maximize();
+  EXPECT_TRUE(best.certified);
+  // The certified enclosure brackets the reported value and is tight.
+  EXPECT_LE(best.value_bounds.lo(), best.value);
+  EXPECT_GE(best.value_bounds.hi(), best.value);
+  EXPECT_LT(best.value_bounds.width().to_double(), 1e-20);
+}
+
+TEST(Piecewise, TiedPointMaximaAreCertified) {
+  // Two pieces with equal endpoint maxima: an exact tie must still certify.
+  const PiecewisePolynomial tent{
+      {Piece{Rational{0}, Rational{1}, make({Rational{0}, Rational{1}})},
+       Piece{Rational{1}, Rational{2}, make({Rational{2}, Rational{-1}})},
+       Piece{Rational{2}, Rational{3}, make({Rational{-2}, Rational{1}})}}};
+  // Maxima: value 1 at x = 1 and at x = 3 — exact tie between two points.
+  const MaxCandidate best = tent.maximize();
+  EXPECT_EQ(best.value, Rational{1});
+  EXPECT_TRUE(best.certified);
+}
+
+TEST(Piecewise, MaximizeReportsAllCandidates) {
+  std::vector<MaxCandidate> candidates;
+  (void)paper_n3().maximize(Rational{util::BigInt{1}, util::BigInt::pow(util::BigInt{2}, 96)},
+                            &candidates);
+  // Candidates: β = 0, 1/2, 1 endpoints + 1 interior critical point of the
+  // upper piece (β = 0 is a critical point of the lower piece but coincides
+  // with the endpoint and is filtered).
+  ASSERT_GE(candidates.size(), 4u);
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    EXPECT_LE(candidates[i - 1].location.midpoint(), candidates[i].location.midpoint());
+  }
+}
+
+TEST(Piecewise, MaximumAtEndpointDetected) {
+  // Increasing function: max at the right domain endpoint.
+  const PiecewisePolynomial inc{
+      {Piece{Rational{0}, Rational{1}, make({Rational{0}, Rational{1}})}}};
+  const MaxCandidate best = inc.maximize();
+  EXPECT_FALSE(best.interior_critical);
+  EXPECT_TRUE(best.location.is_exact());
+  EXPECT_EQ(best.location.midpoint(), Rational{1});
+  EXPECT_EQ(best.value, Rational{1});
+}
+
+TEST(Piecewise, MaximumAtBreakpointDetected) {
+  // Tent map: x on [0,1], 2 − x on [1,2]; max at the breakpoint x = 1.
+  const PiecewisePolynomial tent{
+      {Piece{Rational{0}, Rational{1}, make({Rational{0}, Rational{1}})},
+       Piece{Rational{1}, Rational{2}, make({Rational{2}, Rational{-1}})}}};
+  const MaxCandidate best = tent.maximize();
+  EXPECT_EQ(best.value, Rational{1});
+  EXPECT_EQ(best.location.midpoint(), Rational{1});
+}
+
+TEST(Piecewise, ConstantPieces) {
+  const PiecewisePolynomial flat{
+      {Piece{Rational{0}, Rational{1}, make({Rational(2, 3)})}}};
+  const MaxCandidate best = flat.maximize();
+  EXPECT_EQ(best.value, Rational(2, 3));
+}
+
+TEST(Piecewise, IntegralBasics) {
+  // ∫ of the tent map over [0,2] = 1 (two unit triangles halves).
+  const PiecewisePolynomial tent{
+      {Piece{Rational{0}, Rational{1}, make({Rational{0}, Rational{1}})},
+       Piece{Rational{1}, Rational{2}, make({Rational{2}, Rational{-1}})}}};
+  EXPECT_EQ(tent.integral(Rational{0}, Rational{2}), Rational{1});
+  // Sub-range crossing the breakpoint: ∫_{1/2}^{3/2} = 3/8 + 3/8 = 3/4.
+  EXPECT_EQ(tent.integral(Rational(1, 2), Rational(3, 2)), Rational(3, 4));
+  // Empty range integrates to zero.
+  EXPECT_EQ(tent.integral(Rational{1}, Rational{1}), Rational{0});
+}
+
+TEST(Piecewise, IntegralOfPaperCurve) {
+  // ∫_0^1 P(β) dβ for the n = 3, t = 1 curve: piecewise antiderivatives.
+  // Piece A on [0,1/2]: ∫ = [β/6 + β³/2 − β⁴/8] = 1/12 + 1/16 − 1/128.
+  // Piece B on [1/2,1]: ∫ = [−11β/6 + 9β²/2 − 7β³/2 + 7β⁴/8] between 1/2, 1.
+  const PiecewisePolynomial pw = paper_n3();
+  const Rational piece_a = Rational(1, 12) + Rational(1, 16) - Rational(1, 128);
+  const QPoly anti_b =
+      make({Rational(-11, 6), Rational{9}, Rational(-21, 2), Rational(7, 2)}).antiderivative();
+  const Rational piece_b = anti_b(Rational{1}) - anti_b(Rational(1, 2));
+  EXPECT_EQ(pw.integral(Rational{0}, Rational{1}), piece_a + piece_b);
+}
+
+TEST(Piecewise, IntegralValidation) {
+  const PiecewisePolynomial pw = paper_n3();
+  EXPECT_THROW((void)pw.integral(Rational{1}, Rational{0}), std::out_of_range);
+  EXPECT_THROW((void)pw.integral(Rational{-1}, Rational{1}), std::out_of_range);
+  EXPECT_THROW((void)pw.integral(Rational{0}, Rational{2}), std::out_of_range);
+}
+
+TEST(Piecewise, DomainAccessors) {
+  const PiecewisePolynomial pw = paper_n3();
+  EXPECT_EQ(pw.domain_lo(), Rational{0});
+  EXPECT_EQ(pw.domain_hi(), Rational{1});
+  EXPECT_EQ(pw.pieces().size(), 2u);
+}
+
+}  // namespace
+}  // namespace ddm::poly

@@ -1,0 +1,201 @@
+// Tests for poly::Polynomial over Rational and double.
+#include "poly/polynomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace ddm::poly {
+namespace {
+
+using util::Rational;
+
+QPoly make(std::initializer_list<std::int64_t> coeffs_low_first) {
+  std::vector<Rational> coeffs;
+  for (const std::int64_t c : coeffs_low_first) coeffs.emplace_back(c);
+  return QPoly{std::move(coeffs)};
+}
+
+TEST(Polynomial, ZeroPolynomial) {
+  const QPoly zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.degree(), -1);
+  EXPECT_EQ(zero(Rational{5}), Rational{0});
+  EXPECT_EQ(zero.to_string(), "0");
+}
+
+TEST(Polynomial, TrimsLeadingZeros) {
+  const QPoly p{std::vector<Rational>{Rational{1}, Rational{2}, Rational{0}, Rational{0}}};
+  EXPECT_EQ(p.degree(), 1);
+}
+
+TEST(Polynomial, ConstantAndMonomial) {
+  EXPECT_EQ(QPoly{Rational{7}}.degree(), 0);
+  EXPECT_EQ(QPoly::x().degree(), 1);
+  const QPoly m = QPoly::monomial(Rational{3}, 4);
+  EXPECT_EQ(m.degree(), 4);
+  EXPECT_EQ(m.coefficient(4), Rational{3});
+  EXPECT_EQ(m.coefficient(2), Rational{0});
+}
+
+TEST(Polynomial, HornerEvaluation) {
+  const QPoly p = make({-11, 9, -10, 3});  // 3x³ − 10x² + 9x − 11
+  EXPECT_EQ(p(Rational{0}), Rational{-11});
+  EXPECT_EQ(p(Rational{1}), Rational{-9});
+  EXPECT_EQ(p(Rational{2}), Rational{-9});
+  EXPECT_EQ(p(Rational(1, 2)), Rational{1} * Rational(3, 8) - Rational{10} * Rational(1, 4) +
+                                   Rational(9, 2) - Rational{11});
+}
+
+TEST(Polynomial, Addition) {
+  EXPECT_EQ(make({1, 2}) + make({3, 4, 5}), make({4, 6, 5}));
+  EXPECT_EQ(make({1, 2}) + make({-1, -2}), QPoly{});
+}
+
+TEST(Polynomial, Subtraction) {
+  EXPECT_EQ(make({5, 5, 5}) - make({1, 2, 3}), make({4, 3, 2}));
+  EXPECT_EQ(make({1, 0, 3}) - make({1, 0, 3}), QPoly{});
+}
+
+TEST(Polynomial, Multiplication) {
+  // (x + 1)(x − 1) = x² − 1
+  EXPECT_EQ(make({1, 1}) * make({-1, 1}), make({-1, 0, 1}));
+  // (x + 2)² = x² + 4x + 4
+  EXPECT_EQ(make({2, 1}) * make({2, 1}), make({4, 4, 1}));
+  EXPECT_EQ(make({1, 2, 3}) * QPoly{}, QPoly{});
+}
+
+TEST(Polynomial, ScalarOperations) {
+  QPoly p = make({1, 2, 3});
+  p *= Rational{2};
+  EXPECT_EQ(p, make({2, 4, 6}));
+  p /= Rational{2};
+  EXPECT_EQ(p, make({1, 2, 3}));
+  EXPECT_EQ(Rational{0} * make({1, 2}), QPoly{});
+}
+
+TEST(Polynomial, Negation) { EXPECT_EQ(-make({1, -2, 3}), make({-1, 2, -3})); }
+
+TEST(Polynomial, Derivative) {
+  // d/dx (7/2 x³ − 21/2 x² + 9x − 11/6) = 21/2 x² − 21x + 9 (the paper's n=3
+  // optimality condition, Section 5.2.1).
+  const QPoly piece{std::vector<Rational>{Rational(-11, 6), Rational{9}, Rational(-21, 2),
+                                          Rational(7, 2)}};
+  const QPoly expected{std::vector<Rational>{Rational{9}, Rational{-21}, Rational(21, 2)}};
+  EXPECT_EQ(piece.derivative(), expected);
+  EXPECT_EQ(QPoly{Rational{5}}.derivative(), QPoly{});
+  EXPECT_EQ(QPoly{}.derivative(), QPoly{});
+}
+
+TEST(Polynomial, AntiderivativeInvertsDerivative) {
+  const QPoly p = make({4, -6, 12});
+  EXPECT_EQ(p.antiderivative().derivative(), p);
+  EXPECT_EQ(p.antiderivative()(Rational{0}), Rational{0});
+}
+
+TEST(Polynomial, Compose) {
+  // p(x) = x² + 1 composed with q(x) = x − 2: (x−2)² + 1 = x² − 4x + 5.
+  EXPECT_EQ(make({1, 0, 1}).compose(make({-2, 1})), make({5, -4, 1}));
+  // Compose with constant evaluates the polynomial.
+  EXPECT_EQ(make({1, 2, 3}).compose(QPoly{Rational{2}}), QPoly{Rational{17}});
+}
+
+TEST(Polynomial, Pow) {
+  EXPECT_EQ(make({1, 1}).pow(2), make({1, 2, 1}));
+  EXPECT_EQ(make({1, 1}).pow(0), QPoly{Rational{1}});
+  EXPECT_EQ(make({0, 1}).pow(5), QPoly::monomial(Rational{1}, 5));
+}
+
+TEST(Polynomial, DivMod) {
+  // x³ − 1 = (x − 1)(x² + x + 1)
+  const auto [q, r] = QPoly::div_mod(make({-1, 0, 0, 1}), make({-1, 1}));
+  EXPECT_EQ(q, make({1, 1, 1}));
+  EXPECT_TRUE(r.is_zero());
+  // x² + 1 divided by x + 1 → quotient x − 1, remainder 2.
+  const auto [q2, r2] = QPoly::div_mod(make({1, 0, 1}), make({1, 1}));
+  EXPECT_EQ(q2, make({-1, 1}));
+  EXPECT_EQ(r2, QPoly{Rational{2}});
+}
+
+TEST(Polynomial, DivModByZeroThrows) {
+  EXPECT_THROW(QPoly::div_mod(make({1, 1}), QPoly{}), std::domain_error);
+}
+
+TEST(Polynomial, DivModIdentityRandomized) {
+  std::mt19937_64 gen{4242};
+  const auto random_poly = [&gen](int max_degree) {
+    std::vector<Rational> coeffs;
+    const int degree = static_cast<int>(gen() % (max_degree + 1));
+    for (int i = 0; i <= degree; ++i) {
+      coeffs.emplace_back(static_cast<std::int64_t>(gen() % 21) - 10,
+                          1 + static_cast<std::int64_t>(gen() % 5));
+    }
+    return QPoly{std::move(coeffs)};
+  };
+  for (int iter = 0; iter < 100; ++iter) {
+    const QPoly a = random_poly(8);
+    QPoly b = random_poly(4);
+    if (b.is_zero()) b = QPoly{Rational{1}};
+    const auto [q, r] = QPoly::div_mod(a, b);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r.degree(), b.degree() == -1 ? 0 : b.degree());
+  }
+}
+
+TEST(Polynomial, Gcd) {
+  // gcd((x−1)(x−2), (x−1)(x−3)) = x − 1 (monic).
+  const QPoly a = make({-1, 1}) * make({-2, 1});
+  const QPoly b = make({-1, 1}) * make({-3, 1});
+  EXPECT_EQ(QPoly::gcd(a, b), make({-1, 1}));
+  // Coprime inputs give gcd 1.
+  EXPECT_EQ(QPoly::gcd(make({-1, 1}), make({-2, 1})), QPoly{Rational{1}});
+  EXPECT_EQ(QPoly::gcd(QPoly{}, QPoly{}), QPoly{});
+  EXPECT_EQ(QPoly::gcd(a, QPoly{}), a * Rational{1});  // gcd(a, 0) = monic a
+}
+
+TEST(Polynomial, SquareFreePart) {
+  // (x−1)²(x−2) → (x−1)(x−2) up to scaling.
+  const QPoly p = make({-1, 1}) * make({-1, 1}) * make({-2, 1});
+  const QPoly sf = p.square_free_part();
+  EXPECT_EQ(sf.degree(), 2);
+  EXPECT_EQ(sf(Rational{1}), Rational{0});
+  EXPECT_EQ(sf(Rational{2}), Rational{0});
+  // Already square-free input is returned unchanged.
+  const QPoly q = make({-2, 0, 1});
+  EXPECT_EQ(q.square_free_part(), q);
+}
+
+TEST(Polynomial, ToString) {
+  EXPECT_EQ(make({-11, 9, 0, 7}).to_string(), "7*x^3 + 9*x - 11");
+  EXPECT_EQ(make({0, 1}).to_string(), "x");
+  EXPECT_EQ(make({0, -1}).to_string(), "-x");
+  EXPECT_EQ(make({2}).to_string(), "2");
+  const QPoly p{std::vector<Rational>{Rational(1, 6), Rational{0}, Rational(3, 2),
+                                      Rational(-1, 2)}};
+  EXPECT_EQ(p.to_string("b"), "-1/2*b^3 + 3/2*b^2 + 1/6");
+}
+
+TEST(Polynomial, BinomialPower) {
+  // (1 − 2x)³ = 1 − 6x + 12x² − 8x³
+  EXPECT_EQ(binomial_power(Rational{1}, Rational{-2}, 3), make({1, -6, 12, -8}));
+  EXPECT_EQ(binomial_power(Rational{0}, Rational{1}, 2), make({0, 0, 1}));
+  EXPECT_EQ(binomial_power(Rational(4, 3), Rational{0}, 2),
+            QPoly{Rational(16, 9)});
+  EXPECT_EQ(binomial_power(Rational{5}, Rational{3}, 0), QPoly{Rational{1}});
+}
+
+TEST(Polynomial, ToDoubleShadow) {
+  const QPoly p = make({1, -3, 2});
+  const DPoly d = to_double(p);
+  EXPECT_DOUBLE_EQ(d(0.5), p(Rational(1, 2)).to_double());
+  EXPECT_DOUBLE_EQ(d(2.0), 3.0);
+}
+
+TEST(Polynomial, DoubleInstantiation) {
+  const DPoly p{std::vector<double>{1.0, 2.0, 1.0}};
+  EXPECT_DOUBLE_EQ(p(3.0), 16.0);
+  EXPECT_EQ(p.derivative(), (DPoly{std::vector<double>{2.0, 2.0}}));
+}
+
+}  // namespace
+}  // namespace ddm::poly

@@ -1,0 +1,129 @@
+// Tests for the H-representation polytopes and the Monte Carlo volume
+// estimator used to cross-validate Proposition 2.2.
+#include "geom/polytope.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "geom/mc_volume.hpp"
+#include "prob/rng.hpp"
+
+namespace ddm::geom {
+namespace {
+
+TEST(Polytope, SimplexMembership) {
+  const std::vector<double> sigma{1.0, 1.0};
+  const Polytope simplex = Polytope::simplex(sigma);
+  EXPECT_TRUE(simplex.contains(std::vector<double>{0.25, 0.25}));
+  EXPECT_TRUE(simplex.contains(std::vector<double>{0.0, 0.0}));
+  EXPECT_TRUE(simplex.contains(std::vector<double>{0.5, 0.5}));   // on the diagonal face
+  EXPECT_FALSE(simplex.contains(std::vector<double>{0.6, 0.6}));  // above it
+  EXPECT_FALSE(simplex.contains(std::vector<double>{-0.1, 0.2}));
+}
+
+TEST(Polytope, SimplexScaledSides) {
+  const std::vector<double> sigma{2.0, 4.0};
+  const Polytope simplex = Polytope::simplex(sigma);
+  EXPECT_TRUE(simplex.contains(std::vector<double>{1.9, 0.1}));
+  EXPECT_FALSE(simplex.contains(std::vector<double>{1.9, 0.5}));
+  EXPECT_TRUE(simplex.contains(std::vector<double>{0.0, 3.9}));
+}
+
+TEST(Polytope, BoxMembership) {
+  const std::vector<double> pi{1.0, 0.5};
+  const Polytope box = Polytope::box(pi);
+  EXPECT_TRUE(box.contains(std::vector<double>{0.9, 0.4}));
+  EXPECT_FALSE(box.contains(std::vector<double>{0.9, 0.6}));
+  EXPECT_FALSE(box.contains(std::vector<double>{1.1, 0.1}));
+}
+
+TEST(Polytope, SimplexBoxIsIntersection) {
+  const std::vector<double> sigma{1.0, 1.0};
+  const std::vector<double> pi{0.75, 0.75};
+  const Polytope sb = Polytope::simplex_box(sigma, pi);
+  const Polytope s = Polytope::simplex(sigma);
+  const Polytope b = Polytope::box(pi);
+  prob::Rng rng{7};
+  for (int i = 0; i < 2000; ++i) {
+    const std::vector<double> p{rng.uniform(), rng.uniform()};
+    EXPECT_EQ(sb.contains(p), s.contains(p) && b.contains(p));
+  }
+}
+
+TEST(Polytope, CornerSimplexMembership) {
+  const std::vector<double> sigma{1.0, 1.0};
+  const std::vector<double> pi{0.25, 0.25};
+  const Polytope corner = Polytope::corner_simplex(sigma, pi, std::vector<bool>{true, false});
+  EXPECT_TRUE(corner.contains(std::vector<double>{0.3, 0.1}));    // x0 >= 0.25, inside simplex
+  EXPECT_FALSE(corner.contains(std::vector<double>{0.2, 0.1}));   // x0 < 0.25
+  EXPECT_FALSE(corner.contains(std::vector<double>{0.6, 0.6}));   // outside simplex
+}
+
+TEST(Polytope, DimensionMismatchThrows) {
+  Polytope p{2};
+  EXPECT_THROW(p.add_halfspace(std::vector<double>{1.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)p.contains(std::vector<double>{1.0}), std::invalid_argument);
+  EXPECT_THROW(p.add_upper_bounds(std::vector<double>{1.0}), std::invalid_argument);
+  EXPECT_THROW((void)Polytope::simplex_box(std::vector<double>{1.0},
+                                           std::vector<double>{1.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(Polytope, NonPositiveSidesThrow) {
+  EXPECT_THROW((void)Polytope::simplex(std::vector<double>{1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW((void)Polytope::simplex_box(std::vector<double>{-1.0},
+                                           std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(Polytope, ToleranceParameter) {
+  const Polytope simplex = Polytope::simplex(std::vector<double>{1.0, 1.0});
+  const std::vector<double> just_outside{0.5000001, 0.5};
+  EXPECT_FALSE(simplex.contains(just_outside));
+  EXPECT_TRUE(simplex.contains(just_outside, 1e-3));
+}
+
+TEST(McVolume, UnitSimplex2D) {
+  const Polytope simplex = Polytope::simplex(std::vector<double>{1.0, 1.0});
+  prob::Rng rng{11};
+  const VolumeEstimate estimate =
+      estimate_volume(simplex, std::vector<double>{1.0, 1.0}, 200000, rng);
+  EXPECT_NEAR(estimate.volume, 0.5, 5.0 * estimate.standard_error + 1e-9);
+  EXPECT_EQ(estimate.samples, 200000u);
+  EXPECT_GT(estimate.hits, 0u);
+}
+
+TEST(McVolume, BoxIsExactUpToSampling) {
+  const Polytope box = Polytope::box(std::vector<double>{0.5, 0.5});
+  prob::Rng rng{13};
+  // Sampling inside the box itself: hit rate 1, zero variance.
+  const VolumeEstimate estimate =
+      estimate_volume(box, std::vector<double>{0.5, 0.5}, 10000, rng);
+  EXPECT_DOUBLE_EQ(estimate.volume, 0.25);
+  EXPECT_DOUBLE_EQ(estimate.standard_error, 0.0);
+}
+
+TEST(McVolume, InvalidArgumentsThrow) {
+  const Polytope box = Polytope::box(std::vector<double>{1.0});
+  prob::Rng rng{1};
+  EXPECT_THROW((void)estimate_volume(box, std::vector<double>{1.0, 1.0}, 100, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)estimate_volume(box, std::vector<double>{1.0}, 0, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)estimate_volume(box, std::vector<double>{-1.0}, 100, rng),
+               std::invalid_argument);
+}
+
+TEST(McVolume, DeterministicGivenSeed) {
+  const Polytope simplex = Polytope::simplex(std::vector<double>{1.0, 1.0, 1.0});
+  prob::Rng rng_a{99};
+  prob::Rng rng_b{99};
+  const VolumeEstimate a = estimate_volume(simplex, std::vector<double>{1, 1, 1}, 50000, rng_a);
+  const VolumeEstimate b = estimate_volume(simplex, std::vector<double>{1, 1, 1}, 50000, rng_b);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_DOUBLE_EQ(a.volume, b.volume);
+}
+
+}  // namespace
+}  // namespace ddm::geom

@@ -1,0 +1,145 @@
+// Tests for the decision-protocol model of Section 3.
+#include "core/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ddm::core {
+namespace {
+
+using util::Rational;
+
+TEST(ObliviousProtocol, ValidatesProbabilityVector) {
+  EXPECT_THROW((ObliviousProtocol{std::vector<Rational>{}}), std::invalid_argument);
+  EXPECT_THROW((ObliviousProtocol{std::vector<Rational>{Rational{2}}}), std::invalid_argument);
+  EXPECT_THROW((ObliviousProtocol{std::vector<Rational>{Rational{-1, 2}}}),
+               std::invalid_argument);
+  EXPECT_NO_THROW((ObliviousProtocol{std::vector<Rational>{Rational{0}, Rational{1}}}));
+}
+
+TEST(ObliviousProtocol, UniformFactory) {
+  const ObliviousProtocol protocol = ObliviousProtocol::uniform(4);
+  EXPECT_EQ(protocol.size(), 4u);
+  for (const Rational& a : protocol.alpha()) EXPECT_EQ(a, Rational(1, 2));
+}
+
+TEST(ObliviousProtocol, DegenerateProbabilitiesAreDeterministic) {
+  const ObliviousProtocol protocol{
+      std::vector<Rational>{Rational{1}, Rational{0}}};
+  prob::Rng rng{5};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(protocol.decide(0, 0.3, rng), kBin0);  // α = 1 → always bin 0
+    EXPECT_EQ(protocol.decide(1, 0.3, rng), kBin1);  // α = 0 → always bin 1
+  }
+}
+
+TEST(ObliviousProtocol, IgnoresInput) {
+  const ObliviousProtocol protocol{std::vector<Rational>{Rational{1}}};
+  prob::Rng rng{5};
+  EXPECT_EQ(protocol.decide(0, 0.0, rng), protocol.decide(0, 1.0, rng));
+}
+
+TEST(ObliviousProtocol, FrequencyMatchesAlpha) {
+  const ObliviousProtocol protocol{std::vector<Rational>{Rational(1, 4)}};
+  prob::Rng rng{17};
+  int zeros = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (protocol.decide(0, 0.5, rng) == kBin0) ++zeros;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / n, 0.25, 0.01);
+}
+
+TEST(ObliviousProtocol, OutOfRangePlayerThrows) {
+  const ObliviousProtocol protocol = ObliviousProtocol::uniform(2);
+  prob::Rng rng{1};
+  EXPECT_THROW((void)protocol.decide(2, 0.5, rng), std::out_of_range);
+}
+
+TEST(ObliviousProtocol, NameMentionsAlpha) {
+  const ObliviousProtocol protocol = ObliviousProtocol::uniform(2);
+  EXPECT_NE(protocol.name().find("1/2"), std::string::npos);
+}
+
+TEST(SingleThresholdProtocol, DecidesByThreshold) {
+  const SingleThresholdProtocol protocol{std::vector<Rational>{Rational(1, 2), Rational(1, 4)}};
+  prob::Rng rng{1};
+  EXPECT_EQ(protocol.decide(0, 0.49, rng), kBin0);
+  EXPECT_EQ(protocol.decide(0, 0.5, rng), kBin0);   // boundary: x <= a → bin 0
+  EXPECT_EQ(protocol.decide(0, 0.51, rng), kBin1);
+  EXPECT_EQ(protocol.decide(1, 0.3, rng), kBin1);
+  EXPECT_EQ(protocol.decide(1, 0.2, rng), kBin0);
+}
+
+TEST(SingleThresholdProtocol, SymmetricFactory) {
+  const SingleThresholdProtocol protocol =
+      SingleThresholdProtocol::symmetric(5, Rational(2, 3));
+  EXPECT_EQ(protocol.size(), 5u);
+  for (const Rational& a : protocol.thresholds()) EXPECT_EQ(a, Rational(2, 3));
+}
+
+TEST(SingleThresholdProtocol, Validation) {
+  EXPECT_THROW((SingleThresholdProtocol{std::vector<Rational>{}}), std::invalid_argument);
+  EXPECT_THROW((SingleThresholdProtocol{std::vector<Rational>{Rational{3, 2}}}),
+               std::invalid_argument);
+}
+
+TEST(FunctorProtocol, CallsPerPlayerRule) {
+  std::vector<FunctorProtocol::Rule> rules;
+  rules.push_back([](double, prob::Rng&) { return kBin0; });
+  rules.push_back([](double x, prob::Rng&) { return x > 0.5 ? kBin1 : kBin0; });
+  const FunctorProtocol protocol{std::move(rules), "test"};
+  prob::Rng rng{1};
+  EXPECT_EQ(protocol.decide(0, 0.9, rng), kBin0);
+  EXPECT_EQ(protocol.decide(1, 0.9, rng), kBin1);
+  EXPECT_EQ(protocol.decide(1, 0.1, rng), kBin0);
+  EXPECT_EQ(protocol.name(), "test");
+}
+
+TEST(FunctorProtocol, Validation) {
+  EXPECT_THROW(FunctorProtocol({}, "empty"), std::invalid_argument);
+  std::vector<FunctorProtocol::Rule> rules{FunctorProtocol::Rule{}};
+  EXPECT_THROW(FunctorProtocol(std::move(rules), "null rule"), std::invalid_argument);
+}
+
+TEST(Play, AccumulatesBinLoads) {
+  const SingleThresholdProtocol protocol =
+      SingleThresholdProtocol::symmetric(3, Rational(1, 2));
+  prob::Rng rng{1};
+  const std::vector<double> inputs{0.2, 0.7, 0.4};
+  const BinLoads loads = play(protocol, inputs, rng);
+  EXPECT_DOUBLE_EQ(loads.bin0, 0.2 + 0.4);
+  EXPECT_DOUBLE_EQ(loads.bin1, 0.7);
+}
+
+TEST(Play, SizeMismatchThrows) {
+  const SingleThresholdProtocol protocol =
+      SingleThresholdProtocol::symmetric(3, Rational(1, 2));
+  prob::Rng rng{1};
+  EXPECT_THROW((void)play(protocol, std::vector<double>{0.1}, rng), std::invalid_argument);
+}
+
+TEST(Wins, ChecksBothBins) {
+  const SingleThresholdProtocol protocol =
+      SingleThresholdProtocol::symmetric(3, Rational(1, 2));
+  prob::Rng rng{1};
+  EXPECT_TRUE(wins(protocol, std::vector<double>{0.2, 0.7, 0.4}, 1.0, rng));
+  // bin0 load 0.9 > 0.8 → overflow at t = 0.8? bin0 = 0.6, bin1 = 0.7: wins.
+  EXPECT_TRUE(wins(protocol, std::vector<double>{0.2, 0.7, 0.4}, 0.8, rng));
+  // t = 0.5: bin0 = 0.6 overflows.
+  EXPECT_FALSE(wins(protocol, std::vector<double>{0.2, 0.7, 0.4}, 0.5, rng));
+}
+
+TEST(Wins, BoundaryIsInclusive) {
+  const SingleThresholdProtocol protocol =
+      SingleThresholdProtocol::symmetric(2, Rational(1, 2));
+  prob::Rng rng{1};
+  // 0.5 -> bin 0, 0.6 -> bin 1; loads exactly equal to t count as no
+  // overflow (Σ_b <= t).
+  EXPECT_TRUE(wins(protocol, std::vector<double>{0.5, 0.6}, 0.6, rng));
+  EXPECT_FALSE(wins(protocol, std::vector<double>{0.5, 0.6}, 0.59, rng));
+}
+
+}  // namespace
+}  // namespace ddm::core

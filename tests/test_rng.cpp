@@ -1,0 +1,145 @@
+// Tests for the xoshiro256++ RNG wrapper.
+#include "prob/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace ddm::prob {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a{1234};
+  Rng b{1234};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedIsFine) {
+  Rng rng{0};
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 50; ++i) values.insert(rng());
+  EXPECT_GT(values.size(), 45u);  // not stuck
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{42};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng rng{7};
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum_sq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);        // ~7 sigma of 1/sqrt(12 n)
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.002);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng{5};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformBelowIsInRangeAndRoughlyUniform) {
+  Rng rng{9};
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t v = rng.uniform_below(10);
+    ASSERT_LT(v, 10u);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 10.0, 6.0 * std::sqrt(n * 0.1 * 0.9));
+  }
+}
+
+TEST(Rng, UniformBelowZeroBound) {
+  Rng rng{3};
+  EXPECT_EQ(rng.uniform_below(0), 0u);
+  EXPECT_EQ(rng.uniform_below(1), 0u);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng{21};
+  const int n = 100000;
+  int heads = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++heads;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.01);
+  // Degenerate probabilities.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  const Rng parent{100};
+  Rng child_a = parent.split(0);
+  Rng child_b = parent.split(1);
+  Rng child_a2 = parent.split(0);
+  int equal_ab = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t a = child_a();
+    const std::uint64_t b = child_b();
+    EXPECT_EQ(a, child_a2());  // same stream id → same sequence
+    if (a == b) ++equal_ab;
+  }
+  EXPECT_LT(equal_ab, 3);  // distinct stream ids → unrelated sequences
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), ~std::uint64_t{0});
+}
+
+TEST(Rng, BitBalance) {
+  // Each of the 64 output bits should be ~50% ones.
+  Rng rng{555};
+  const int n = 20000;
+  std::vector<int> ones(64, 0);
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t v = rng();
+    for (int b = 0; b < 64; ++b) {
+      if (v & (std::uint64_t{1} << b)) ++ones[static_cast<std::size_t>(b)];
+    }
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_NEAR(static_cast<double>(ones[static_cast<std::size_t>(b)]), n / 2.0,
+                6.0 * std::sqrt(n * 0.25))
+        << "bit " << b;
+  }
+}
+
+}  // namespace
+}  // namespace ddm::prob

@@ -1,0 +1,181 @@
+// Tests for the symbolic piecewise analysis of Section 5.2 — the module that
+// re-derives the paper's case analyses mechanically.
+#include "core/symmetric_threshold.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/nonoblivious.hpp"
+#include "prob/uniform_sum.hpp"
+
+namespace ddm::core {
+namespace {
+
+using poly::QPoly;
+using util::Rational;
+
+QPoly make(std::initializer_list<Rational> coeffs_low_first) {
+  return QPoly{std::vector<Rational>(coeffs_low_first)};
+}
+
+TEST(SymmetricAnalysis, ValidatesInput) {
+  EXPECT_THROW((void)SymmetricThresholdAnalysis::build(0, Rational{1}), std::invalid_argument);
+  EXPECT_THROW((void)SymmetricThresholdAnalysis::build(3, Rational{0}), std::invalid_argument);
+  EXPECT_THROW((void)SymmetricThresholdAnalysis::build(3, Rational{-1}), std::invalid_argument);
+}
+
+TEST(SymmetricAnalysis, N3T1BreakpointsMatchPaper) {
+  // Section 5.2.1 splits [0, 1] at 1/3 and 1/2.
+  const auto analysis = SymmetricThresholdAnalysis::build(3, Rational{1});
+  const auto breakpoints = analysis.breakpoints();
+  ASSERT_EQ(breakpoints.size(), 4u);
+  EXPECT_EQ(breakpoints[0], Rational{0});
+  EXPECT_EQ(breakpoints[1], Rational(1, 3));
+  EXPECT_EQ(breakpoints[2], Rational(1, 2));
+  EXPECT_EQ(breakpoints[3], Rational{1});
+}
+
+TEST(SymmetricAnalysis, N3T1PiecePolynomialsMatchPaper) {
+  // [0, 1/3] and (1/3, 1/2]: 1/6 + 3/2 β² − 1/2 β³
+  // (1/2, 1]:                −11/6 + 9β − 21/2 β² + 7/2 β³.
+  const auto analysis = SymmetricThresholdAnalysis::build(3, Rational{1});
+  const auto& pieces = analysis.winning_probability().pieces();
+  ASSERT_EQ(pieces.size(), 3u);
+  const QPoly low = make({Rational(1, 6), Rational{0}, Rational(3, 2), Rational(-1, 2)});
+  const QPoly high = make({Rational(-11, 6), Rational{9}, Rational(-21, 2), Rational(7, 2)});
+  EXPECT_EQ(pieces[0].poly, low);
+  EXPECT_EQ(pieces[1].poly, low);
+  EXPECT_EQ(pieces[2].poly, high);
+}
+
+TEST(SymmetricAnalysis, N3T1OptimumIsPaperValue) {
+  // β* = 1 − sqrt(1/7) ≈ 0.62204, P* ≈ 0.5446 (settling the PY conjecture).
+  const auto analysis = SymmetricThresholdAnalysis::build(3, Rational{1});
+  const SymmetricOptimum opt = analysis.optimize();
+  EXPECT_TRUE(opt.interior);
+  EXPECT_EQ(opt.piece_index, 2u);
+  EXPECT_NEAR(opt.beta.approx(), 1.0 - std::sqrt(1.0 / 7.0), 1e-15);
+  EXPECT_NEAR(opt.value.to_double(), 0.544631, 1e-6);
+  // The optimality condition is 9 − 21β + 21/2 β², i.e. (21/2)(β² − 2β + 6/7):
+  // exactly the paper's polynomial equation (Section 5.2.1).
+  const QPoly expected = make({Rational(6, 7), Rational{-2}, Rational{1}}) * Rational(21, 2);
+  EXPECT_EQ(opt.optimality_condition, expected);
+  // The optimum satisfies the condition: value changes sign across the
+  // isolating interval.
+  EXPECT_LE((opt.optimality_condition(opt.beta.lo) * opt.optimality_condition(opt.beta.hi))
+                .signum(),
+            0);
+}
+
+TEST(SymmetricAnalysis, N4T43OptimalityConditionMatchesCorrectedPaper) {
+  // Section 5.2.2 (constant sign-corrected): the optimal piece's derivative is
+  // proportional to 26/3 β³ − 98/3 β² + 368/9 β − 416/27; root β ≈ 0.678.
+  const auto analysis = SymmetricThresholdAnalysis::build(4, Rational(4, 3));
+  const SymmetricOptimum opt = analysis.optimize();
+  EXPECT_TRUE(opt.interior);
+  EXPECT_NEAR(opt.beta.approx(), 0.678, 5e-4);
+  const QPoly expected = make({Rational(416, 27), Rational(-368, 9), Rational(98, 3),
+                               Rational(-26, 3)});
+  // Proportionality check: cross-multiply leading and trailing coefficients.
+  const QPoly& got = opt.optimality_condition;
+  ASSERT_EQ(got.degree(), expected.degree());
+  const Rational scale = got.leading_coefficient() / expected.leading_coefficient();
+  EXPECT_EQ(got, expected * scale);
+}
+
+TEST(SymmetricAnalysis, OptimaAreCertified) {
+  // The interval-arithmetic certification must succeed on every instance we
+  // reproduce: the optimum provably dominates all other candidates.
+  for (std::uint32_t n = 1; n <= 6; ++n) {
+    const Rational t{static_cast<std::int64_t>(n), 3};
+    EXPECT_TRUE(SymmetricThresholdAnalysis::build(n, t).optimize().certified) << "n=" << n;
+  }
+  EXPECT_TRUE(SymmetricThresholdAnalysis::build(3, Rational{1}).optimize().certified);
+  EXPECT_TRUE(SymmetricThresholdAnalysis::build(4, Rational(4, 3)).optimize().certified);
+}
+
+TEST(SymmetricAnalysis, ContinuityForManyInstances) {
+  for (std::uint32_t n = 1; n <= 7; ++n) {
+    for (const Rational& t : {Rational{1}, Rational{static_cast<std::int64_t>(n), 3},
+                              Rational(3, 4), Rational{2}}) {
+      const auto analysis = SymmetricThresholdAnalysis::build(n, t);
+      EXPECT_TRUE(analysis.winning_probability().is_continuous())
+          << "n=" << n << " t=" << t;
+    }
+  }
+}
+
+TEST(SymmetricAnalysis, AgreesWithDirectEvaluationEverywhere) {
+  // The symbolic pieces must reproduce the numeric Theorem 5.1 evaluator at
+  // every rational probe (this pins the piecewise construction).
+  for (std::uint32_t n = 1; n <= 6; ++n) {
+    for (const Rational& t :
+         {Rational{1}, Rational{static_cast<std::int64_t>(n), 3}, Rational(5, 4)}) {
+      const auto analysis = SymmetricThresholdAnalysis::build(n, t);
+      for (int i = 0; i <= 24; ++i) {
+        const Rational beta{i, 24};
+        EXPECT_EQ(analysis.winning_probability()(beta),
+                  symmetric_threshold_winning_probability(n, beta, t))
+            << "n=" << n << " t=" << t << " beta=" << beta;
+      }
+    }
+  }
+}
+
+TEST(SymmetricAnalysis, EndpointValuesAreIrwinHall) {
+  // β = 0 (all bin 1) and β = 1 (all bin 0) both give IH_n(t).
+  for (std::uint32_t n = 2; n <= 6; ++n) {
+    const Rational t{static_cast<std::int64_t>(n), 3};
+    const auto analysis = SymmetricThresholdAnalysis::build(n, t);
+    const Rational expected = prob::irwin_hall_cdf(n, t);
+    EXPECT_EQ(analysis.winning_probability()(Rational{0}), expected);
+    EXPECT_EQ(analysis.winning_probability()(Rational{1}), expected);
+  }
+}
+
+TEST(SymmetricAnalysis, OptimaDifferAcrossN) {
+  // The heart of Section 5.2: the optimal threshold depends on n (with
+  // capacity scaled as t = n/3), so no uniform optimal protocol exists.
+  const auto opt3 = SymmetricThresholdAnalysis::build(3, Rational{1}).optimize();
+  const auto opt4 = SymmetricThresholdAnalysis::build(4, Rational(4, 3)).optimize();
+  const auto opt5 = SymmetricThresholdAnalysis::build(5, Rational(5, 3)).optimize();
+  const Rational gap43 = (opt4.beta.midpoint() - opt3.beta.midpoint()).abs();
+  const Rational gap54 = (opt5.beta.midpoint() - opt4.beta.midpoint()).abs();
+  EXPECT_GT(gap43, Rational(1, 100));
+  EXPECT_GT(gap54, Rational(1, 1000));
+}
+
+TEST(SymmetricAnalysis, OptimumBeatsEveryGridProbe) {
+  for (std::uint32_t n : {3u, 4u, 5u}) {
+    const Rational t{static_cast<std::int64_t>(n), 3};
+    const auto analysis = SymmetricThresholdAnalysis::build(n, t);
+    const SymmetricOptimum opt = analysis.optimize();
+    for (int i = 0; i <= 50; ++i) {
+      const Rational beta{i, 50};
+      const Rational slack{1, 1000000000000};
+      EXPECT_GE(opt.value + slack, analysis.winning_probability()(beta))
+          << "n=" << n << " beta=" << beta;
+    }
+  }
+}
+
+TEST(SymmetricAnalysis, N1HasNoInteriorStructure) {
+  // One player, t >= 1: wins always; P ≡ 1 on [0,1].
+  const auto analysis = SymmetricThresholdAnalysis::build(1, Rational{1});
+  for (int i = 0; i <= 10; ++i) {
+    EXPECT_EQ(analysis.winning_probability()(Rational{i, 10}), Rational{1});
+  }
+}
+
+TEST(SymmetricAnalysis, LargeCapacityGivesConstantOne) {
+  const auto analysis = SymmetricThresholdAnalysis::build(4, Rational{5});
+  for (int i = 0; i <= 10; ++i) {
+    EXPECT_EQ(analysis.winning_probability()(Rational{i, 10}), Rational{1});
+  }
+  const SymmetricOptimum opt = analysis.optimize();
+  EXPECT_EQ(opt.value, Rational{1});
+}
+
+}  // namespace
+}  // namespace ddm::core

@@ -1,0 +1,49 @@
+// Tests for the bench-harness table renderer.
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ddm::util {
+namespace {
+
+TEST(Table, RejectsEmptyHeaders) {
+  EXPECT_THROW(Table{std::vector<std::string>{}}, std::invalid_argument);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t{{"n", "value"}};
+  t.add_row({"3", "0.545"});
+  t.add_row({"10", "0.1"});
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("| n  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| 3  | 0.545 |"), std::string::npos);
+  EXPECT_NE(out.find("| 10 | 0.1   |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t{{"x", "y"}};
+  t.add_row({"1", "2"});
+  t.add_row({"a,b", "he said \"hi\""});
+  std::ostringstream oss;
+  t.print_csv(oss);
+  EXPECT_EQ(oss.str(), "x,y\n1,2\n\"a,b\",\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(0.5), "0.500000");
+  EXPECT_EQ(fmt(0.12345678, 3), "0.123");
+  EXPECT_EQ(fmt(-1.0, 2), "-1.00");
+}
+
+}  // namespace
+}  // namespace ddm::util

@@ -1,0 +1,126 @@
+// Tests for the derivative-free threshold search (scope check of
+// Theorem 5.2's symmetry/interior claims).
+#include "core/threshold_optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "core/nonoblivious.hpp"
+#include "core/symmetric_threshold.hpp"
+
+namespace ddm::core {
+namespace {
+
+using util::Rational;
+
+TEST(SymmetricSearch, ReproducesPaperOptimumN3) {
+  const ThresholdSearchResult result = maximize_symmetric_threshold(3, 1.0);
+  EXPECT_NEAR(result.thresholds[0], 1.0 - std::sqrt(1.0 / 7.0), 1e-6);
+  EXPECT_NEAR(result.value, 0.544631, 1e-6);
+  EXPECT_EQ(result.thresholds.size(), 3u);
+}
+
+TEST(SymmetricSearch, ReproducesPaperOptimumN4) {
+  const ThresholdSearchResult result = maximize_symmetric_threshold(4, 4.0 / 3.0);
+  EXPECT_NEAR(result.thresholds[0], 0.678, 5e-4);
+  EXPECT_NEAR(result.value, 0.428539, 1e-5);
+}
+
+TEST(SymmetricSearch, MatchesSymbolicOptimumAcrossN) {
+  for (std::uint32_t n = 2; n <= 6; ++n) {
+    const Rational t{static_cast<std::int64_t>(n), 3};
+    const auto symbolic = SymmetricThresholdAnalysis::build(n, t).optimize();
+    const auto numeric = maximize_symmetric_threshold(n, t.to_double());
+    EXPECT_NEAR(numeric.thresholds[0], symbolic.beta.approx(), 1e-6) << "n=" << n;
+    EXPECT_NEAR(numeric.value, symbolic.value.to_double(), 1e-9) << "n=" << n;
+  }
+}
+
+TEST(SymmetricSearch, Validation) {
+  EXPECT_THROW((void)maximize_symmetric_threshold(0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)maximize_symmetric_threshold(3, 1.0, 0.5, -1.0), std::invalid_argument);
+}
+
+TEST(FullSearch, FromSymmetricStartStaysNearSymmetricOptimum) {
+  // Starting ON the diagonal at the symmetric optimum, compass moves along
+  // single axes can still escape if an asymmetric improvement exists — for
+  // n = 3, t = 1 we verify empirically what the search finds is at least as
+  // good as the symmetric optimum.
+  const auto symbolic = SymmetricThresholdAnalysis::build(3, Rational{1}).optimize();
+  const ThresholdSearchResult result =
+      maximize_thresholds(std::vector<double>(3, symbolic.beta.approx()), 1.0);
+  EXPECT_GE(result.value, symbolic.value.to_double() - 1e-12);
+}
+
+TEST(FullSearch, FindsIdentityCornersFromAsymmetricStart) {
+  // Scope of Theorem 5.2: with distinct player identities available, the
+  // search escapes to corner protocols. From a strongly asymmetric start at
+  // n = 4, t = 4/3 it must end at least as high as the deterministic 2-2
+  // split, thresholds (1,1,0,0), whose value IH_2(4/3)^2 = (7/9)^2 = 49/81
+  // crushes the symmetric optimum 0.4285.
+  const ThresholdSearchResult result =
+      maximize_thresholds(std::vector<double>{0.95, 0.9, 0.1, 0.05}, 4.0 / 3.0);
+  EXPECT_GE(result.value, 49.0 / 81.0 - 1e-9);
+}
+
+TEST(FullSearch, CornerSplitValueExact) {
+  // The 2-2 identity split at n = 4, t = 4/3 evaluated through Theorem 5.1.
+  const std::vector<Rational> corner{Rational{1}, Rational{1}, Rational{0}, Rational{0}};
+  EXPECT_EQ(threshold_winning_probability(corner, Rational(4, 3)), Rational(49, 81));
+}
+
+TEST(FullSearch, NeverReturnsWorseThanStart) {
+  const std::vector<double> start{0.3, 0.7, 0.5};
+  const double initial = threshold_winning_probability(start, 1.0);
+  const ThresholdSearchResult result = maximize_thresholds(start, 1.0);
+  EXPECT_GE(result.value, initial);
+  EXPECT_GT(result.evaluations, 0u);
+  EXPECT_LT(result.final_step, 1e-9);
+}
+
+TEST(FullSearch, ClampsIntoUnitBox) {
+  const ThresholdSearchResult result =
+      maximize_thresholds(std::vector<double>{-0.3, 1.8}, 1.0);
+  for (const double a : result.thresholds) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+}
+
+TEST(FullSearch, Validation) {
+  EXPECT_THROW((void)maximize_thresholds(std::vector<double>{}, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)maximize_thresholds(std::vector<double>(20, 0.5), 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)maximize_thresholds(std::vector<double>{0.5}, 1.0, -0.1),
+               std::invalid_argument);
+}
+
+TEST(FullSearch, RespectsEvaluationBudget) {
+  const ThresholdSearchResult result =
+      maximize_thresholds(std::vector<double>(4, 0.3), 4.0 / 3.0, 0.25, 1e-10, 50);
+  EXPECT_LE(result.evaluations, 50u);
+}
+
+// Parameterized: the symmetric search value never exceeds (and the full
+// search never falls below) the certified symbolic optimum on the diagonal.
+class SearchConsistency : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SearchConsistency, SymbolicBracketsNumeric) {
+  const std::uint32_t n = GetParam();
+  const Rational t{static_cast<std::int64_t>(n), 3};
+  const auto symbolic = SymmetricThresholdAnalysis::build(n, t).optimize();
+  const auto symmetric_numeric = maximize_symmetric_threshold(n, t.to_double());
+  EXPECT_LE(symmetric_numeric.value, symbolic.value.to_double() + 1e-9);
+  const auto full = maximize_thresholds(
+      std::vector<double>(n, symmetric_numeric.thresholds[0]), t.to_double());
+  EXPECT_GE(full.value, symbolic.value.to_double() - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ns, SearchConsistency, ::testing::Values(2u, 3u, 4u, 5u, 6u),
+                         [](const auto& info) { return "n" + std::to_string(info.param); });
+
+}  // namespace
+}  // namespace ddm::core

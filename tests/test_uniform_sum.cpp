@@ -1,0 +1,273 @@
+// Tests for the probabilistic tools of Section 2.2 (Lemmas 2.4, 2.5, 2.7;
+// Corollary 2.6) against hand calculations, sampling, and each other.
+#include "prob/uniform_sum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "prob/empirical.hpp"
+#include "prob/rng.hpp"
+
+namespace ddm::prob {
+namespace {
+
+using util::Rational;
+
+std::vector<Rational> rvec(std::initializer_list<Rational> values) { return {values}; }
+
+// ---------- Corollary 2.6: Irwin–Hall -----------------------------------------
+
+TEST(IrwinHall, KnownValues) {
+  // F_1(t) = t on [0,1].
+  EXPECT_EQ(irwin_hall_cdf(1, Rational(1, 3)), Rational(1, 3));
+  // F_2(1) = 1/2, F_3(1) = 1/6, F_3(3/2) = 1/2 (symmetry).
+  EXPECT_EQ(irwin_hall_cdf(2, Rational{1}), Rational(1, 2));
+  EXPECT_EQ(irwin_hall_cdf(3, Rational{1}), Rational(1, 6));
+  EXPECT_EQ(irwin_hall_cdf(3, Rational(3, 2)), Rational(1, 2));
+  // F_2(3/2) = 1 − (2−3/2)²/2 = 7/8.
+  EXPECT_EQ(irwin_hall_cdf(2, Rational(3, 2)), Rational(7, 8));
+  // F_m(m) = 1, F_m(0) = 0.
+  EXPECT_EQ(irwin_hall_cdf(4, Rational{4}), Rational{1});
+  EXPECT_EQ(irwin_hall_cdf(4, Rational{0}), Rational{0});
+}
+
+TEST(IrwinHall, EdgeCases) {
+  EXPECT_EQ(irwin_hall_cdf(0, Rational{1}), Rational{1});   // empty sum is 0 <= t
+  EXPECT_EQ(irwin_hall_cdf(0, Rational(1, 100)), Rational{1});
+  EXPECT_EQ(irwin_hall_cdf(3, Rational{-1}), Rational{0});
+  EXPECT_EQ(irwin_hall_cdf(3, Rational{17}), Rational{1});  // saturates above m
+}
+
+TEST(IrwinHall, SymmetryAroundMean) {
+  // F_m(t) + F_m(m − t) = 1 for the symmetric Irwin–Hall distribution.
+  for (std::uint32_t m = 1; m <= 8; ++m) {
+    for (int i = 0; i <= 10; ++i) {
+      const Rational t = Rational{static_cast<std::int64_t>(m)} * Rational{i, 10};
+      const Rational mirrored = Rational{static_cast<std::int64_t>(m)} - t;
+      EXPECT_EQ(irwin_hall_cdf(m, t) + irwin_hall_cdf(m, mirrored), Rational{1})
+          << "m=" << m << " t=" << t;
+    }
+  }
+}
+
+TEST(IrwinHall, MonotoneNondecreasing) {
+  for (std::uint32_t m = 1; m <= 6; ++m) {
+    Rational previous{-1};
+    for (int i = 0; i <= 30; ++i) {
+      const Rational t{i, 5};
+      const Rational f = irwin_hall_cdf(m, t);
+      EXPECT_GE(f, previous);
+      EXPECT_GE(f, Rational{0});
+      EXPECT_LE(f, Rational{1});
+      previous = f;
+    }
+  }
+}
+
+TEST(IrwinHall, MatchesGeneralLemma24) {
+  // Corollary 2.6 is Lemma 2.4 with all π_i = 1.
+  for (std::uint32_t m = 1; m <= 7; ++m) {
+    const std::vector<Rational> pi(m, Rational{1});
+    for (int i = 1; i <= 12; ++i) {
+      const Rational t{i, 4};
+      EXPECT_EQ(irwin_hall_cdf(m, t), sum_uniform_cdf(pi, t)) << "m=" << m << " t=" << t;
+    }
+  }
+}
+
+TEST(IrwinHall, DoubleMatchesExact) {
+  for (std::uint32_t m = 1; m <= 12; ++m) {
+    for (int i = 0; i <= 20; ++i) {
+      const Rational t = Rational{static_cast<std::int64_t>(m)} * Rational{i, 20};
+      EXPECT_NEAR(irwin_hall_cdf(m, t.to_double()), irwin_hall_cdf(m, t).to_double(), 1e-10);
+    }
+  }
+}
+
+// ---------- Lemma 2.4: heterogeneous uniform sums ------------------------------
+
+TEST(SumUniformCdf, SingleVariable) {
+  const auto pi = rvec({Rational(1, 2)});
+  EXPECT_EQ(sum_uniform_cdf(pi, Rational(1, 4)), Rational(1, 2));  // P(U[0,1/2] <= 1/4)
+  EXPECT_EQ(sum_uniform_cdf(pi, Rational{1}), Rational{1});
+  EXPECT_EQ(sum_uniform_cdf(pi, Rational{-1}), Rational{0});
+}
+
+TEST(SumUniformCdf, TwoVariablesHandIntegrated) {
+  // x ~ U[0,1], y ~ U[0,1/2], P(x + y <= 1/2) = area of triangle (1/2)(1/2)²
+  // normalized by 1/2 → 1/4.
+  const auto pi = rvec({Rational{1}, Rational(1, 2)});
+  EXPECT_EQ(sum_uniform_cdf(pi, Rational(1, 2)), Rational(1, 4));
+  // P(x + y <= 1) = 1 − P(x + y > 1); complement is the triangle with legs
+  // 1/2, 1/2 → area 1/8; normalized: 1 − (1/8)/(1/2) = 3/4.
+  EXPECT_EQ(sum_uniform_cdf(pi, Rational{1}), Rational(3, 4));
+  // Saturation at the top of the support.
+  EXPECT_EQ(sum_uniform_cdf(pi, Rational(3, 2)), Rational{1});
+}
+
+TEST(SumUniformCdf, InvariantUnderPermutation) {
+  const auto a = rvec({Rational(1, 3), Rational(2, 3), Rational{1}});
+  const auto b = rvec({Rational{1}, Rational(1, 3), Rational(2, 3)});
+  for (int i = 1; i <= 8; ++i) {
+    const Rational t{i, 4};
+    EXPECT_EQ(sum_uniform_cdf(a, t), sum_uniform_cdf(b, t));
+  }
+}
+
+TEST(SumUniformCdf, EmptyCollection) {
+  EXPECT_EQ(sum_uniform_cdf(std::vector<Rational>{}, Rational{1}), Rational{1});
+  EXPECT_EQ(sum_uniform_cdf(std::vector<Rational>{}, Rational{-1}), Rational{0});
+}
+
+TEST(SumUniformCdf, RejectsNonPositiveRanges) {
+  EXPECT_THROW((void)sum_uniform_cdf(rvec({Rational{0}}), Rational{1}), std::invalid_argument);
+  EXPECT_THROW((void)sum_uniform_cdf(rvec({Rational{-1}}), Rational{1}), std::invalid_argument);
+}
+
+TEST(SumUniformCdf, AgainstSampling) {
+  const std::vector<double> pi{0.5, 0.8, 0.3};
+  Rng rng{77};
+  std::vector<double> samples;
+  samples.reserve(200000);
+  for (int i = 0; i < 200000; ++i) {
+    samples.push_back(rng.uniform(0.0, pi[0]) + rng.uniform(0.0, pi[1]) +
+                      rng.uniform(0.0, pi[2]));
+  }
+  const EmpiricalCdf ecdf{std::move(samples)};
+  const double ks = ecdf.ks_distance([&pi](double t) { return sum_uniform_cdf(pi, t); });
+  EXPECT_LT(ks, ecdf.ks_critical_value(0.001));
+}
+
+// ---------- Lemma 2.5: the density (Rota's research problem) -------------------
+
+TEST(SumUniformPdf, SingleVariable) {
+  const auto pi = rvec({Rational(1, 2)});
+  // Density of U[0, 1/2] is 2 on the support.
+  EXPECT_EQ(sum_uniform_pdf(pi, Rational(1, 4)), Rational{2});
+  EXPECT_EQ(sum_uniform_pdf(pi, Rational{2}), Rational{0});
+  EXPECT_EQ(sum_uniform_pdf(std::vector<Rational>{}, Rational(1, 2)), Rational{0});
+}
+
+TEST(SumUniformPdf, TriangularDensityForTwoEqualUniforms) {
+  // Sum of two U[0,1]: triangular density peaking at 1 with value 1.
+  const auto pi = rvec({Rational{1}, Rational{1}});
+  EXPECT_EQ(sum_uniform_pdf(pi, Rational(1, 2)), Rational(1, 2));
+  EXPECT_EQ(sum_uniform_pdf(pi, Rational{1}), Rational{1});
+  EXPECT_EQ(sum_uniform_pdf(pi, Rational(3, 2)), Rational(1, 2));
+  EXPECT_EQ(sum_uniform_pdf(pi, Rational{3}), Rational{0});
+}
+
+TEST(SumUniformPdf, IsDerivativeOfCdfNumerically) {
+  const std::vector<double> pi{0.6, 0.9, 0.4};
+  const double h = 1e-6;
+  for (const double t : {0.3, 0.7, 1.1, 1.5, 1.8}) {
+    const double numeric =
+        (sum_uniform_cdf(pi, t + h) - sum_uniform_cdf(pi, t - h)) / (2.0 * h);
+    EXPECT_NEAR(sum_uniform_pdf(pi, t), numeric, 1e-5) << t;
+  }
+}
+
+TEST(SumUniformPdf, IntegratesToOne) {
+  // Exact check: integrate the piecewise-polynomial density by evaluating the
+  // CDF at the top of the support.
+  const auto pi = rvec({Rational(1, 2), Rational(1, 3), Rational(3, 4)});
+  const Rational top = Rational(1, 2) + Rational(1, 3) + Rational(3, 4);
+  EXPECT_EQ(sum_uniform_cdf(pi, top), Rational{1});
+}
+
+// ---------- Lemma 2.7: shifted uniforms ----------------------------------------
+
+TEST(SumShiftedUniformCdf, SingleVariable) {
+  // x ~ U[1/2, 1]: P(x <= 3/4) = 1/2.
+  const auto pi = rvec({Rational(1, 2)});
+  EXPECT_EQ(sum_shifted_uniform_cdf(pi, Rational(3, 4)), Rational(1, 2));
+  EXPECT_EQ(sum_shifted_uniform_cdf(pi, Rational(1, 4)), Rational{0});
+  EXPECT_EQ(sum_shifted_uniform_cdf(pi, Rational{2}), Rational{1});
+}
+
+TEST(SumShiftedUniformCdf, ZeroShiftReducesToIrwinHall) {
+  for (std::uint32_t m = 1; m <= 6; ++m) {
+    const std::vector<Rational> pi(m, Rational{0});
+    for (int i = 0; i <= 12; ++i) {
+      const Rational t{i, 3};
+      EXPECT_EQ(sum_shifted_uniform_cdf(pi, t), irwin_hall_cdf(m, t)) << m << " " << t;
+    }
+  }
+}
+
+TEST(SumShiftedUniformCdf, ShiftRelationForEqualShifts) {
+  // If all shifts equal β, Σ x_i =(d) mβ + (1−β) Σ u_i with u_i ~ U[0,1]:
+  // F(t) = IH_m((t − mβ)/(1−β)).
+  const Rational beta(2, 5);
+  for (std::uint32_t m = 1; m <= 5; ++m) {
+    const std::vector<Rational> pi(m, beta);
+    for (int i = 0; i <= 15; ++i) {
+      const Rational t{i, 3};
+      const Rational rescaled =
+          (t - Rational{static_cast<std::int64_t>(m)} * beta) / (Rational{1} - beta);
+      EXPECT_EQ(sum_shifted_uniform_cdf(pi, t), irwin_hall_cdf(m, rescaled))
+          << "m=" << m << " t=" << t;
+    }
+  }
+}
+
+TEST(SumShiftedUniformCdf, RejectsOutOfRangeShifts) {
+  EXPECT_THROW((void)sum_shifted_uniform_cdf(rvec({Rational{1}}), Rational{1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)sum_shifted_uniform_cdf(rvec({Rational{-1, 2}}), Rational{1}),
+               std::invalid_argument);
+}
+
+TEST(SumShiftedUniformCdf, AgainstSampling) {
+  const std::vector<double> pi{0.2, 0.5, 0.7};
+  Rng rng{123};
+  std::vector<double> samples;
+  samples.reserve(200000);
+  for (int i = 0; i < 200000; ++i) {
+    samples.push_back(rng.uniform(pi[0], 1.0) + rng.uniform(pi[1], 1.0) +
+                      rng.uniform(pi[2], 1.0));
+  }
+  const EmpiricalCdf ecdf{std::move(samples)};
+  const double ks = ecdf.ks_distance([&pi](double t) { return sum_shifted_uniform_cdf(pi, t); });
+  EXPECT_LT(ks, ecdf.ks_critical_value(0.001));
+}
+
+TEST(SumShiftedUniformCdf, MonotoneAndBounded) {
+  const auto pi = rvec({Rational(1, 4), Rational(1, 2), Rational(1, 8)});
+  Rational previous{-1};
+  for (int i = 0; i <= 30; ++i) {
+    const Rational t{i, 10};
+    const Rational f = sum_shifted_uniform_cdf(pi, t);
+    EXPECT_GE(f, previous);
+    EXPECT_GE(f, Rational{0});
+    EXPECT_LE(f, Rational{1});
+    previous = f;
+  }
+}
+
+// ---------- double/exact agreement for the general lemmas ----------------------
+
+TEST(UniformSums, DoubleMatchesExactHeterogeneous) {
+  const auto pi = rvec({Rational(1, 2), Rational(2, 3), Rational(3, 4), Rational{1}});
+  std::vector<double> pi_d;
+  for (const Rational& p : pi) pi_d.push_back(p.to_double());
+  for (int i = 0; i <= 15; ++i) {
+    const Rational t{i, 5};
+    EXPECT_NEAR(sum_uniform_cdf(pi_d, t.to_double()), sum_uniform_cdf(pi, t).to_double(),
+                1e-12);
+    EXPECT_NEAR(sum_uniform_pdf(pi_d, t.to_double()), sum_uniform_pdf(pi, t).to_double(),
+                1e-12);
+  }
+  const auto shifts = rvec({Rational(1, 5), Rational(2, 5), Rational(3, 5)});
+  std::vector<double> shifts_d;
+  for (const Rational& p : shifts) shifts_d.push_back(p.to_double());
+  for (int i = 0; i <= 15; ++i) {
+    const Rational t{i, 5};
+    EXPECT_NEAR(sum_shifted_uniform_cdf(shifts_d, t.to_double()),
+                sum_shifted_uniform_cdf(shifts, t).to_double(), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace ddm::prob

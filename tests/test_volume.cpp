@@ -1,0 +1,165 @@
+// Tests for the exact polytope volumes of Section 2.1 (Lemma 2.1,
+// Lemma 2.3, Proposition 2.2).
+#include "geom/volume.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "geom/mc_volume.hpp"
+#include "geom/polytope.hpp"
+#include "prob/rng.hpp"
+
+namespace ddm::geom {
+namespace {
+
+using util::Rational;
+
+std::vector<Rational> rvec(std::initializer_list<Rational> values) { return {values}; }
+
+TEST(SimplexVolume, Lemma21Part1) {
+  // Vol(Σ^m(σ)) = (1/m!) Π σ_l.
+  EXPECT_EQ(simplex_volume(rvec({Rational{1}, Rational{1}})), Rational(1, 2));
+  EXPECT_EQ(simplex_volume(rvec({Rational{1}, Rational{1}, Rational{1}})), Rational(1, 6));
+  EXPECT_EQ(simplex_volume(rvec({Rational{2}, Rational{3}})), Rational{3});
+  EXPECT_EQ(simplex_volume(rvec({Rational(1, 2), Rational(1, 3), Rational(1, 4)})),
+            Rational(1, 144));
+}
+
+TEST(SimplexVolume, RejectsBadInput) {
+  EXPECT_THROW((void)simplex_volume({}), std::invalid_argument);
+  EXPECT_THROW((void)simplex_volume(rvec({Rational{1}, Rational{0}})), std::invalid_argument);
+  EXPECT_THROW((void)simplex_volume(rvec({Rational{-1}})), std::invalid_argument);
+}
+
+TEST(BoxVolume, Lemma21Part2) {
+  EXPECT_EQ(box_volume(rvec({Rational{2}, Rational{3}})), Rational{6});
+  EXPECT_EQ(box_volume(rvec({Rational(1, 2), Rational(1, 2), Rational(1, 2)})), Rational(1, 8));
+}
+
+TEST(CornerSimplex, Lemma23) {
+  // m = 2, σ = (1,1), π = (1/4, 1/4), I = {0}: scaled simplex with ratio
+  // (1 − 1/4)² → volume (1/2)(3/4)² = 9/32.
+  const auto sigma = rvec({Rational{1}, Rational{1}});
+  const auto pi = rvec({Rational(1, 4), Rational(1, 4)});
+  EXPECT_EQ(corner_simplex_volume(sigma, pi, std::vector<bool>{true, false}),
+            Rational(9, 32));
+  // I = both: ratio (1 − 1/2)² → (1/2)(1/4) = 1/8.
+  EXPECT_EQ(corner_simplex_volume(sigma, pi, std::vector<bool>{true, true}), Rational(1, 8));
+  // Infeasible subset (Σ π/σ >= 1) has volume 0.
+  const auto big_pi = rvec({Rational(3, 4), Rational(3, 4)});
+  EXPECT_EQ(corner_simplex_volume(sigma, big_pi, std::vector<bool>{true, true}), Rational{0});
+  // Empty subset returns the full simplex volume.
+  EXPECT_EQ(corner_simplex_volume(sigma, pi, std::vector<bool>{false, false}), Rational(1, 2));
+}
+
+TEST(SimplexBoxVolume, BoxInsideSimplex) {
+  // Tiny box fully inside the simplex: volume equals the box volume.
+  const auto sigma = rvec({Rational{10}, Rational{10}});
+  const auto pi = rvec({Rational{1}, Rational{1}});
+  EXPECT_EQ(simplex_box_volume(sigma, pi), Rational{1});
+}
+
+TEST(SimplexBoxVolume, SimplexInsideBox) {
+  // Large box: volume equals the simplex volume.
+  const auto sigma = rvec({Rational{1}, Rational{1}});
+  const auto pi = rvec({Rational{5}, Rational{5}});
+  EXPECT_EQ(simplex_box_volume(sigma, pi), Rational(1, 2));
+}
+
+TEST(SimplexBoxVolume, HandIntegrated2D) {
+  // σ = (1,1), π = (3/4, 3/4): unit-sum triangle clipped to a 3/4-box.
+  // Direct integration: 1/2 − 2 · (1/2)(1/4)² = 1/2 − 1/16 = 7/16.
+  const auto sigma = rvec({Rational{1}, Rational{1}});
+  const auto pi = rvec({Rational(3, 4), Rational(3, 4)});
+  EXPECT_EQ(simplex_box_volume(sigma, pi), Rational(7, 16));
+}
+
+TEST(SimplexBoxVolume, HandIntegrated3D) {
+  // σ = (1,1,1) scaled by t: Vol{x ∈ [0,1]³ : Σx ≤ 3/2} =
+  // (1/6)(3/2)³ − 3·(1/6)(1/2)³ = 27/48 − 3/48 = 1/2 (Irwin–Hall symmetry).
+  const auto sigma = rvec({Rational(3, 2), Rational(3, 2), Rational(3, 2)});
+  const auto pi = rvec({Rational{1}, Rational{1}, Rational{1}});
+  EXPECT_EQ(simplex_box_volume(sigma, pi), Rational(1, 2));
+}
+
+TEST(SimplexBoxVolume, DimensionMismatchThrows) {
+  EXPECT_THROW((void)simplex_box_volume(rvec({Rational{1}}), rvec({Rational{1}, Rational{1}})),
+               std::invalid_argument);
+}
+
+TEST(SimplexBoxVolume, MonotoneInBoxSides) {
+  const auto sigma = rvec({Rational{1}, Rational{1}, Rational{1}});
+  Rational previous{0};
+  for (int i = 1; i <= 8; ++i) {
+    const Rational side{i, 8};
+    const auto pi = rvec({side, side, side});
+    const Rational v = simplex_box_volume(sigma, pi);
+    EXPECT_GE(v, previous);
+    previous = v;
+  }
+}
+
+TEST(SimplexBoxVolume, MonotoneInSimplexScale) {
+  const auto pi = rvec({Rational(1, 2), Rational(1, 2)});
+  Rational previous{0};
+  for (int i = 1; i <= 10; ++i) {
+    const Rational s{i, 4};
+    const auto sigma = rvec({s, s});
+    const Rational v = simplex_box_volume(sigma, pi);
+    EXPECT_GE(v, previous);
+    previous = v;
+  }
+}
+
+TEST(SimplexBoxVolume, DoubleMatchesExact) {
+  for (int dim = 1; dim <= 6; ++dim) {
+    std::vector<Rational> sigma;
+    std::vector<Rational> pi;
+    std::vector<double> sigma_d;
+    std::vector<double> pi_d;
+    for (int l = 0; l < dim; ++l) {
+      sigma.emplace_back(2 + l, 2);
+      pi.emplace_back(1, 1 + l);
+      sigma_d.push_back(sigma.back().to_double());
+      pi_d.push_back(pi.back().to_double());
+    }
+    EXPECT_NEAR(simplex_box_volume_double(sigma_d, pi_d),
+                simplex_box_volume(sigma, pi).to_double(), 1e-12)
+        << "dim " << dim;
+  }
+}
+
+TEST(SimplexBoxVolume, MatchesMonteCarlo) {
+  // Cross-check Proposition 2.2 against rejection sampling in 4D.
+  const std::vector<double> sigma{2.0, 1.5, 1.0, 2.5};
+  const std::vector<double> pi{0.8, 0.9, 0.7, 1.0};
+  const double exact = simplex_box_volume_double(sigma, pi);
+  prob::Rng rng{2718};
+  const Polytope polytope = Polytope::simplex_box(sigma, pi);
+  const VolumeEstimate estimate = estimate_volume(polytope, pi, 400000, rng);
+  EXPECT_NEAR(estimate.volume, exact, 5.0 * estimate.standard_error + 1e-9);
+}
+
+TEST(SimplexBoxVolume, AgreesWithInclusionExclusionOverCorners) {
+  // Prop 2.2 must equal Vol(box) minus the inclusion-exclusion over corner
+  // simplices of the *simplex* complement... equivalently, re-derive via
+  // Lemma 2.3: Vol(ΣΠ) = Σ_I (−1)^{|I|} corner(I).
+  const auto sigma = rvec({Rational{2}, Rational(3, 2), Rational{1}});
+  const auto pi = rvec({Rational(2, 3), Rational(1, 2), Rational(3, 4)});
+  Rational total{0};
+  for (int mask = 0; mask < 8; ++mask) {
+    std::vector<bool> subset(3);
+    for (int l = 0; l < 3; ++l) subset[static_cast<std::size_t>(l)] = (mask >> l) & 1;
+    const Rational corner = corner_simplex_volume(sigma, pi, subset);
+    if (__builtin_popcount(static_cast<unsigned>(mask)) % 2 == 0) {
+      total += corner;
+    } else {
+      total -= corner;
+    }
+  }
+  EXPECT_EQ(simplex_box_volume(sigma, pi), total);
+}
+
+}  // namespace
+}  // namespace ddm::geom

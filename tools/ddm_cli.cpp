@@ -1,0 +1,196 @@
+// ddm_cli — command-line front end to the ddm library.
+//
+// Subcommands:
+//   oblivious <n> <t>                exact optimal oblivious protocol (Thm 4.3)
+//   threshold <n> <t> <beta>         exact P of a symmetric threshold (Thm 5.1)
+//   analyze   <n> <t> [digits]       full Section 5.2 analysis: pieces,
+//                                    optimality condition, certified beta*
+//   simulate  <n> <t> <beta> <trials> [seed]   Monte Carlo cross-check
+//   volume    <m> <s1..sm> <p1..pm>  Vol(simplex ∩ box), Proposition 2.2
+//   ladder    <n> <t> [trials]       information ladder: deterministic /
+//                                    oblivious / threshold / full-info oracle
+// Rationals are accepted as "a/b" or integers (e.g. 4/3).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ddm.hpp"
+
+namespace {
+
+using ddm::util::Rational;
+
+int usage() {
+  std::cout <<
+      R"(ddm_cli — optimal distributed decision-making with no communication
+(Georgiades/Mavronicolas/Spirakis, FCT'99)
+
+usage:
+  ddm_cli oblivious <n> <t>
+  ddm_cli threshold <n> <t> <beta>
+  ddm_cli analyze   <n> <t> [digits=30]
+  ddm_cli simulate  <n> <t> <beta> <trials> [seed=42]
+  ddm_cli volume    <m> <sigma_1..sigma_m> <pi_1..pi_m>
+  ddm_cli ladder    <n> <t> [trials=500000]
+
+rationals may be written a/b (e.g. 4/3). Examples:
+  ddm_cli analyze 3 1            # the paper's flagship instance
+  ddm_cli analyze 4 4/3 40       # Section 5.2.2 with 40 certified digits
+  ddm_cli simulate 3 1 0.622 1000000
+)";
+  return 1;
+}
+
+Rational parse_rational(const std::string& text) {
+  // Accept a/b, integers, and decimal notation like 0.622.
+  const auto dot = text.find('.');
+  if (dot == std::string::npos) return Rational::parse(text);
+  const std::string whole = text.substr(0, dot);
+  const std::string frac = text.substr(dot + 1);
+  if (frac.empty()) return Rational::parse(whole.empty() ? "0" : whole);
+  const bool negative = !whole.empty() && whole[0] == '-';
+  Rational result = Rational::parse(whole.empty() || whole == "-" ? "0" : whole);
+  const Rational fraction{ddm::util::BigInt{frac},
+                          ddm::util::BigInt::pow(ddm::util::BigInt{10}, frac.size())};
+  return negative ? result - fraction : result + fraction;
+}
+
+int cmd_oblivious(std::uint32_t n, const Rational& t) {
+  const Rational p = ddm::core::optimal_oblivious_winning_probability(n, t);
+  std::cout << "Optimal oblivious (anonymous) protocol: alpha = 1/2 for all players\n"
+            << "  P(no overflow) = " << p << " = " << p.to_double() << "\n"
+            << "  gradient residual at 1/2 (Cor 4.2): "
+            << ddm::core::stationarity_residual(std::vector<Rational>(n, Rational(1, 2)), t)
+            << "\n";
+  return 0;
+}
+
+int cmd_threshold(std::uint32_t n, const Rational& t, const Rational& beta) {
+  const Rational p = ddm::core::symmetric_threshold_winning_probability(n, beta, t);
+  std::cout << "Symmetric single-threshold protocol, beta = " << beta << "\n"
+            << "  P(no overflow) = " << p << " = " << p.to_double() << "\n";
+  return 0;
+}
+
+int cmd_analyze(std::uint32_t n, const Rational& t, int digits) {
+  const auto analysis = ddm::core::SymmetricThresholdAnalysis::build(n, t);
+  std::cout << "P(beta) for n = " << n << ", t = " << t << " (exact pieces):\n";
+  for (const auto& piece : analysis.winning_probability().pieces()) {
+    std::cout << "  [" << piece.lo << ", " << piece.hi << "]  "
+              << piece.poly.to_string("beta") << "\n";
+  }
+  const auto opt = analysis.optimize();
+  std::cout << "Optimality condition: " << opt.optimality_condition.to_string("beta")
+            << (opt.interior ? " = 0" : "") << "\n";
+  ddm::poly::RootInterval beta = opt.beta;
+  if (opt.interior) {
+    const Rational width{ddm::util::BigInt{1},
+                         ddm::util::BigInt::pow(ddm::util::BigInt{10},
+                                                static_cast<std::uint64_t>(digits))};
+    beta = ddm::poly::refine_root(opt.optimality_condition, beta, width);
+  }
+  std::cout << "beta* = " << ddm::util::fmt(beta.approx(), std::min(digits, 17))
+            << "  (certified global maximum: " << (opt.certified ? "yes" : "no") << ")\n"
+            << "P(beta*) = " << ddm::util::fmt(opt.value.to_double(), 15) << "\n"
+            << "Oblivious baseline: "
+            << ddm::util::fmt(
+                   ddm::core::optimal_oblivious_winning_probability(n, t).to_double(), 15)
+            << "\n";
+  return 0;
+}
+
+int cmd_simulate(std::uint32_t n, const Rational& t, const Rational& beta,
+                 std::uint64_t trials, std::uint64_t seed) {
+  const auto protocol = ddm::core::SingleThresholdProtocol::symmetric(n, beta);
+  ddm::prob::Rng rng{seed};
+  const auto result =
+      ddm::sim::estimate_winning_probability(protocol, t.to_double(), trials, rng);
+  const double exact =
+      ddm::core::symmetric_threshold_winning_probability(n, beta, t).to_double();
+  std::cout << "Simulated " << trials << " trials (seed " << seed << "):\n"
+            << "  estimate = " << result.estimate << "  95% CI [" << result.ci_low << ", "
+            << result.ci_high << "]\n"
+            << "  exact    = " << exact << "  ("
+            << (result.covers(exact) ? "covered" : "NOT covered") << ")\n";
+  return 0;
+}
+
+int cmd_volume(const std::vector<Rational>& sigma, const std::vector<Rational>& pi) {
+  const Rational volume = ddm::geom::simplex_box_volume(sigma, pi);
+  std::cout << "Vol(Sigma(sigma) ∩ Pi(pi))  [Proposition 2.2]\n"
+            << "  = " << volume << " = " << volume.to_double() << "\n"
+            << "  simplex volume = " << ddm::geom::simplex_volume(sigma) << ", box volume = "
+            << ddm::geom::box_volume(pi) << "\n";
+  return 0;
+}
+
+int cmd_ladder(std::uint32_t n, const Rational& t, std::uint64_t trials) {
+  const double t_d = t.to_double();
+  ddm::prob::Rng rng{1234};
+  ddm::util::Table table{{"information", "protocol", "P(win)", "method"}};
+  table.add_row({"none (deterministic)", "all-one-bin",
+                 ddm::util::fmt(ddm::prob::irwin_hall_cdf(n, t).to_double(), 6), "exact"});
+  table.add_row(
+      {"none (randomized)", "fair coin",
+       ddm::util::fmt(ddm::core::optimal_oblivious_winning_probability(n, t).to_double(), 6),
+       "exact"});
+  const auto opt = ddm::core::SymmetricThresholdAnalysis::build(n, t).optimize();
+  table.add_row({"own input", "optimal threshold beta* = " + ddm::util::fmt(opt.beta.approx(), 4),
+                 ddm::util::fmt(opt.value.to_double(), 6), "exact"});
+  if (n <= 20) {
+    const auto oracle = ddm::sim::estimate_event_probability(
+        n,
+        [t_d](std::span<const double> xs) { return ddm::core::full_information_win(xs, t_d); },
+        trials, rng);
+    table.add_row({"all inputs", "oracle split", ddm::util::fmt(oracle.estimate, 6),
+                   "Monte Carlo"});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "oblivious" && argc == 4) {
+      return cmd_oblivious(static_cast<std::uint32_t>(std::stoul(argv[2])),
+                           parse_rational(argv[3]));
+    }
+    if (command == "threshold" && argc == 5) {
+      return cmd_threshold(static_cast<std::uint32_t>(std::stoul(argv[2])),
+                           parse_rational(argv[3]), parse_rational(argv[4]));
+    }
+    if (command == "analyze" && (argc == 4 || argc == 5)) {
+      const int digits = argc == 5 ? std::stoi(argv[4]) : 30;
+      if (digits < 1 || digits > 1000) return usage();
+      return cmd_analyze(static_cast<std::uint32_t>(std::stoul(argv[2])),
+                         parse_rational(argv[3]), digits);
+    }
+    if (command == "simulate" && (argc == 6 || argc == 7)) {
+      return cmd_simulate(static_cast<std::uint32_t>(std::stoul(argv[2])),
+                          parse_rational(argv[3]), parse_rational(argv[4]),
+                          std::stoull(argv[5]), argc == 7 ? std::stoull(argv[6]) : 42);
+    }
+    if (command == "volume" && argc >= 3) {
+      const int m = std::stoi(argv[2]);
+      if (m < 1 || argc != 3 + 2 * m) return usage();
+      std::vector<Rational> sigma;
+      std::vector<Rational> pi;
+      for (int l = 0; l < m; ++l) sigma.push_back(parse_rational(argv[3 + l]));
+      for (int l = 0; l < m; ++l) pi.push_back(parse_rational(argv[3 + m + l]));
+      return cmd_volume(sigma, pi);
+    }
+    if (command == "ladder" && (argc == 4 || argc == 5)) {
+      return cmd_ladder(static_cast<std::uint32_t>(std::stoul(argv[2])),
+                        parse_rational(argv[3]),
+                        argc == 5 ? std::stoull(argv[4]) : 500000);
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 2;
+  }
+  return usage();
+}
