@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_asymmetric_thresholds.dir/abl_asymmetric_thresholds.cpp.o"
+  "CMakeFiles/abl_asymmetric_thresholds.dir/abl_asymmetric_thresholds.cpp.o.d"
+  "abl_asymmetric_thresholds"
+  "abl_asymmetric_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_asymmetric_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

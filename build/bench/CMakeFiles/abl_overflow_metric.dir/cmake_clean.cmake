@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_overflow_metric.dir/abl_overflow_metric.cpp.o"
+  "CMakeFiles/abl_overflow_metric.dir/abl_overflow_metric.cpp.o.d"
+  "abl_overflow_metric"
+  "abl_overflow_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_overflow_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

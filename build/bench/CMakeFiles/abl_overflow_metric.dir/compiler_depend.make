@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_overflow_metric.
+# This may be replaced when dependencies are built.

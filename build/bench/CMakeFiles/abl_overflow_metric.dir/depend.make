@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_overflow_metric.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_randomized_rules.dir/abl_randomized_rules.cpp.o"
+  "CMakeFiles/abl_randomized_rules.dir/abl_randomized_rules.cpp.o.d"
+  "abl_randomized_rules"
+  "abl_randomized_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_randomized_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_two_interval_rules.dir/abl_two_interval_rules.cpp.o"
+  "CMakeFiles/abl_two_interval_rules.dir/abl_two_interval_rules.cpp.o.d"
+  "abl_two_interval_rules"
+  "abl_two_interval_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_two_interval_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_two_interval_rules.
+# This may be replaced when dependencies are built.

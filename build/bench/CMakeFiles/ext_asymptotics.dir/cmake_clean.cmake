@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_asymptotics.dir/ext_asymptotics.cpp.o"
+  "CMakeFiles/ext_asymptotics.dir/ext_asymptotics.cpp.o.d"
+  "ext_asymptotics"
+  "ext_asymptotics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_asymptotics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_communication_value.dir/ext_communication_value.cpp.o"
+  "CMakeFiles/ext_communication_value.dir/ext_communication_value.cpp.o.d"
+  "ext_communication_value"
+  "ext_communication_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_communication_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_rota_density.dir/ext_rota_density.cpp.o"
+  "CMakeFiles/ext_rota_density.dir/ext_rota_density.cpp.o.d"
+  "ext_rota_density"
+  "ext_rota_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_rota_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_winning_probability.dir/fig1_winning_probability.cpp.o"
+  "CMakeFiles/fig1_winning_probability.dir/fig1_winning_probability.cpp.o.d"
+  "fig1_winning_probability"
+  "fig1_winning_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_winning_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

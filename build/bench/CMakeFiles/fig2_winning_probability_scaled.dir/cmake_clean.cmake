@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_winning_probability_scaled.dir/fig2_winning_probability_scaled.cpp.o"
+  "CMakeFiles/fig2_winning_probability_scaled.dir/fig2_winning_probability_scaled.cpp.o.d"
+  "fig2_winning_probability_scaled"
+  "fig2_winning_probability_scaled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_winning_probability_scaled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

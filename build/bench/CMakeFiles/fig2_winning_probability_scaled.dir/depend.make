@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_winning_probability_scaled.
+# This may be replaced when dependencies are built.

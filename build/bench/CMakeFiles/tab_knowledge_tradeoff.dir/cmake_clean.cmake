@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_knowledge_tradeoff.dir/tab_knowledge_tradeoff.cpp.o"
+  "CMakeFiles/tab_knowledge_tradeoff.dir/tab_knowledge_tradeoff.cpp.o.d"
+  "tab_knowledge_tradeoff"
+  "tab_knowledge_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_knowledge_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

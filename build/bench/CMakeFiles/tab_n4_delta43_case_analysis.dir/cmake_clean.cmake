@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_n4_delta43_case_analysis.dir/tab_n4_delta43_case_analysis.cpp.o"
+  "CMakeFiles/tab_n4_delta43_case_analysis.dir/tab_n4_delta43_case_analysis.cpp.o.d"
+  "tab_n4_delta43_case_analysis"
+  "tab_n4_delta43_case_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_n4_delta43_case_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab_n4_delta43_case_analysis.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_oblivious_optimal.dir/tab_oblivious_optimal.cpp.o"
+  "CMakeFiles/tab_oblivious_optimal.dir/tab_oblivious_optimal.cpp.o.d"
+  "tab_oblivious_optimal"
+  "tab_oblivious_optimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_oblivious_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_optimality_conditions.dir/tab_optimality_conditions.cpp.o"
+  "CMakeFiles/tab_optimality_conditions.dir/tab_optimality_conditions.cpp.o.d"
+  "tab_optimality_conditions"
+  "tab_optimality_conditions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_optimality_conditions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

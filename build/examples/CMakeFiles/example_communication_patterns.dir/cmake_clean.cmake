@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_communication_patterns.dir/communication_patterns.cpp.o"
+  "CMakeFiles/example_communication_patterns.dir/communication_patterns.cpp.o.d"
+  "example_communication_patterns"
+  "example_communication_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_communication_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_heterogeneous_speeds.dir/heterogeneous_speeds.cpp.o"
+  "CMakeFiles/example_heterogeneous_speeds.dir/heterogeneous_speeds.cpp.o.d"
+  "example_heterogeneous_speeds"
+  "example_heterogeneous_speeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_heterogeneous_speeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

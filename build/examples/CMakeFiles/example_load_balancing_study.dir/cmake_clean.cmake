@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_load_balancing_study.dir/load_balancing_study.cpp.o"
+  "CMakeFiles/example_load_balancing_study.dir/load_balancing_study.cpp.o.d"
+  "example_load_balancing_study"
+  "example_load_balancing_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_load_balancing_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

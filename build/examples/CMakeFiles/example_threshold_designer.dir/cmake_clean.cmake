@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_threshold_designer.dir/threshold_designer.cpp.o"
+  "CMakeFiles/example_threshold_designer.dir/threshold_designer.cpp.o.d"
+  "example_threshold_designer"
+  "example_threshold_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_threshold_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_value_of_information.dir/value_of_information.cpp.o"
+  "CMakeFiles/example_value_of_information.dir/value_of_information.cpp.o.d"
+  "example_value_of_information"
+  "example_value_of_information.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_value_of_information.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

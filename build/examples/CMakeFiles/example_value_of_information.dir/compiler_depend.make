@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_value_of_information.
+# This may be replaced when dependencies are built.

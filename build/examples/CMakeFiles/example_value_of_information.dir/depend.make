@@ -1,0 +1,2 @@
+# Empty dependencies file for example_value_of_information.
+# This may be replaced when dependencies are built.

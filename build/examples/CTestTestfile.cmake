@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart_runs "/root/repo/build/examples/example_quickstart")
+set_tests_properties(example_quickstart_runs PROPERTIES  PASS_REGULAR_EXPRESSION "Knowing your own input is worth" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_designer_runs "/root/repo/build/examples/example_threshold_designer" "3" "1" "20")
+set_tests_properties(example_designer_runs PROPERTIES  PASS_REGULAR_EXPRESSION "beta\\* = 0.622035526990772" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")

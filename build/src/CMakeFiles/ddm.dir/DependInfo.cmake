@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/combinat/binomial.cpp" "src/CMakeFiles/ddm.dir/combinat/binomial.cpp.o" "gcc" "src/CMakeFiles/ddm.dir/combinat/binomial.cpp.o.d"
+  "/root/repo/src/combinat/subsets.cpp" "src/CMakeFiles/ddm.dir/combinat/subsets.cpp.o" "gcc" "src/CMakeFiles/ddm.dir/combinat/subsets.cpp.o.d"
+  "/root/repo/src/core/baselines.cpp" "src/CMakeFiles/ddm.dir/core/baselines.cpp.o" "gcc" "src/CMakeFiles/ddm.dir/core/baselines.cpp.o.d"
+  "/root/repo/src/core/communication.cpp" "src/CMakeFiles/ddm.dir/core/communication.cpp.o" "gcc" "src/CMakeFiles/ddm.dir/core/communication.cpp.o.d"
+  "/root/repo/src/core/heterogeneous.cpp" "src/CMakeFiles/ddm.dir/core/heterogeneous.cpp.o" "gcc" "src/CMakeFiles/ddm.dir/core/heterogeneous.cpp.o.d"
+  "/root/repo/src/core/interval_rules.cpp" "src/CMakeFiles/ddm.dir/core/interval_rules.cpp.o" "gcc" "src/CMakeFiles/ddm.dir/core/interval_rules.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/ddm.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/ddm.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/nonoblivious.cpp" "src/CMakeFiles/ddm.dir/core/nonoblivious.cpp.o" "gcc" "src/CMakeFiles/ddm.dir/core/nonoblivious.cpp.o.d"
+  "/root/repo/src/core/oblivious.cpp" "src/CMakeFiles/ddm.dir/core/oblivious.cpp.o" "gcc" "src/CMakeFiles/ddm.dir/core/oblivious.cpp.o.d"
+  "/root/repo/src/core/optimality.cpp" "src/CMakeFiles/ddm.dir/core/optimality.cpp.o" "gcc" "src/CMakeFiles/ddm.dir/core/optimality.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/CMakeFiles/ddm.dir/core/protocol.cpp.o" "gcc" "src/CMakeFiles/ddm.dir/core/protocol.cpp.o.d"
+  "/root/repo/src/core/randomized_rules.cpp" "src/CMakeFiles/ddm.dir/core/randomized_rules.cpp.o" "gcc" "src/CMakeFiles/ddm.dir/core/randomized_rules.cpp.o.d"
+  "/root/repo/src/core/symmetric_threshold.cpp" "src/CMakeFiles/ddm.dir/core/symmetric_threshold.cpp.o" "gcc" "src/CMakeFiles/ddm.dir/core/symmetric_threshold.cpp.o.d"
+  "/root/repo/src/core/threshold_optimizer.cpp" "src/CMakeFiles/ddm.dir/core/threshold_optimizer.cpp.o" "gcc" "src/CMakeFiles/ddm.dir/core/threshold_optimizer.cpp.o.d"
+  "/root/repo/src/geom/mc_volume.cpp" "src/CMakeFiles/ddm.dir/geom/mc_volume.cpp.o" "gcc" "src/CMakeFiles/ddm.dir/geom/mc_volume.cpp.o.d"
+  "/root/repo/src/geom/polytope.cpp" "src/CMakeFiles/ddm.dir/geom/polytope.cpp.o" "gcc" "src/CMakeFiles/ddm.dir/geom/polytope.cpp.o.d"
+  "/root/repo/src/geom/volume.cpp" "src/CMakeFiles/ddm.dir/geom/volume.cpp.o" "gcc" "src/CMakeFiles/ddm.dir/geom/volume.cpp.o.d"
+  "/root/repo/src/poly/interpolate.cpp" "src/CMakeFiles/ddm.dir/poly/interpolate.cpp.o" "gcc" "src/CMakeFiles/ddm.dir/poly/interpolate.cpp.o.d"
+  "/root/repo/src/poly/multilinear.cpp" "src/CMakeFiles/ddm.dir/poly/multilinear.cpp.o" "gcc" "src/CMakeFiles/ddm.dir/poly/multilinear.cpp.o.d"
+  "/root/repo/src/poly/piecewise.cpp" "src/CMakeFiles/ddm.dir/poly/piecewise.cpp.o" "gcc" "src/CMakeFiles/ddm.dir/poly/piecewise.cpp.o.d"
+  "/root/repo/src/poly/polynomial.cpp" "src/CMakeFiles/ddm.dir/poly/polynomial.cpp.o" "gcc" "src/CMakeFiles/ddm.dir/poly/polynomial.cpp.o.d"
+  "/root/repo/src/poly/roots.cpp" "src/CMakeFiles/ddm.dir/poly/roots.cpp.o" "gcc" "src/CMakeFiles/ddm.dir/poly/roots.cpp.o.d"
+  "/root/repo/src/poly/sturm.cpp" "src/CMakeFiles/ddm.dir/poly/sturm.cpp.o" "gcc" "src/CMakeFiles/ddm.dir/poly/sturm.cpp.o.d"
+  "/root/repo/src/prob/cdf_poly.cpp" "src/CMakeFiles/ddm.dir/prob/cdf_poly.cpp.o" "gcc" "src/CMakeFiles/ddm.dir/prob/cdf_poly.cpp.o.d"
+  "/root/repo/src/prob/empirical.cpp" "src/CMakeFiles/ddm.dir/prob/empirical.cpp.o" "gcc" "src/CMakeFiles/ddm.dir/prob/empirical.cpp.o.d"
+  "/root/repo/src/prob/rng.cpp" "src/CMakeFiles/ddm.dir/prob/rng.cpp.o" "gcc" "src/CMakeFiles/ddm.dir/prob/rng.cpp.o.d"
+  "/root/repo/src/prob/uniform_sum.cpp" "src/CMakeFiles/ddm.dir/prob/uniform_sum.cpp.o" "gcc" "src/CMakeFiles/ddm.dir/prob/uniform_sum.cpp.o.d"
+  "/root/repo/src/sim/monte_carlo.cpp" "src/CMakeFiles/ddm.dir/sim/monte_carlo.cpp.o" "gcc" "src/CMakeFiles/ddm.dir/sim/monte_carlo.cpp.o.d"
+  "/root/repo/src/util/bigint.cpp" "src/CMakeFiles/ddm.dir/util/bigint.cpp.o" "gcc" "src/CMakeFiles/ddm.dir/util/bigint.cpp.o.d"
+  "/root/repo/src/util/interval.cpp" "src/CMakeFiles/ddm.dir/util/interval.cpp.o" "gcc" "src/CMakeFiles/ddm.dir/util/interval.cpp.o.d"
+  "/root/repo/src/util/rational.cpp" "src/CMakeFiles/ddm.dir/util/rational.cpp.o" "gcc" "src/CMakeFiles/ddm.dir/util/rational.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/ddm.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/ddm.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for ddm.
+# This may be replaced when dependencies are built.

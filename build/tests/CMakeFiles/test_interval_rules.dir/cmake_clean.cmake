@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interval_rules.dir/test_interval_rules.cpp.o"
+  "CMakeFiles/test_interval_rules.dir/test_interval_rules.cpp.o.d"
+  "test_interval_rules"
+  "test_interval_rules.pdb"
+  "test_interval_rules[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interval_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multilinear.dir/test_multilinear.cpp.o"
+  "CMakeFiles/test_multilinear.dir/test_multilinear.cpp.o.d"
+  "test_multilinear"
+  "test_multilinear.pdb"
+  "test_multilinear[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multilinear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nonoblivious.dir/test_nonoblivious.cpp.o"
+  "CMakeFiles/test_nonoblivious.dir/test_nonoblivious.cpp.o.d"
+  "test_nonoblivious"
+  "test_nonoblivious.pdb"
+  "test_nonoblivious[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nonoblivious.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_piecewise.dir/test_piecewise.cpp.o"
+  "CMakeFiles/test_piecewise.dir/test_piecewise.cpp.o.d"
+  "test_piecewise"
+  "test_piecewise.pdb"
+  "test_piecewise[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_piecewise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_polytope.dir/test_polytope.cpp.o"
+  "CMakeFiles/test_polytope.dir/test_polytope.cpp.o.d"
+  "test_polytope"
+  "test_polytope.pdb"
+  "test_polytope[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_polytope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_randomized_rules.dir/test_randomized_rules.cpp.o"
+  "CMakeFiles/test_randomized_rules.dir/test_randomized_rules.cpp.o.d"
+  "test_randomized_rules"
+  "test_randomized_rules.pdb"
+  "test_randomized_rules[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_randomized_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sturm.dir/test_sturm.cpp.o"
+  "CMakeFiles/test_sturm.dir/test_sturm.cpp.o.d"
+  "test_sturm"
+  "test_sturm.pdb"
+  "test_sturm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sturm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

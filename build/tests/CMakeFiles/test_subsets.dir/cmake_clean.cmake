@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subsets.dir/test_subsets.cpp.o"
+  "CMakeFiles/test_subsets.dir/test_subsets.cpp.o.d"
+  "test_subsets"
+  "test_subsets.pdb"
+  "test_subsets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_symmetric_threshold.dir/test_symmetric_threshold.cpp.o"
+  "CMakeFiles/test_symmetric_threshold.dir/test_symmetric_threshold.cpp.o.d"
+  "test_symmetric_threshold"
+  "test_symmetric_threshold.pdb"
+  "test_symmetric_threshold[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_symmetric_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_threshold_optimizer.dir/test_threshold_optimizer.cpp.o"
+  "CMakeFiles/test_threshold_optimizer.dir/test_threshold_optimizer.cpp.o.d"
+  "test_threshold_optimizer"
+  "test_threshold_optimizer.pdb"
+  "test_threshold_optimizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_threshold_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

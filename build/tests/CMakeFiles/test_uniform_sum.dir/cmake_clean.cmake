@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uniform_sum.dir/test_uniform_sum.cpp.o"
+  "CMakeFiles/test_uniform_sum.dir/test_uniform_sum.cpp.o.d"
+  "test_uniform_sum"
+  "test_uniform_sum.pdb"
+  "test_uniform_sum[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uniform_sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

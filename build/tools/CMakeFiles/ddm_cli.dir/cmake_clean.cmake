@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddm_cli.dir/ddm_cli.cpp.o"
+  "CMakeFiles/ddm_cli.dir/ddm_cli.cpp.o.d"
+  "ddm_cli"
+  "ddm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

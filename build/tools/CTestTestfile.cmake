@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_analyze_n3 "/root/repo/build/tools/ddm_cli" "analyze" "3" "1")
+set_tests_properties(cli_analyze_n3 PROPERTIES  PASS_REGULAR_EXPRESSION "beta\\* = 0.6220355" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_analyze_n4 "/root/repo/build/tools/ddm_cli" "analyze" "4" "4/3")
+set_tests_properties(cli_analyze_n4 PROPERTIES  PASS_REGULAR_EXPRESSION "beta\\* = 0.6779978" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_oblivious "/root/repo/build/tools/ddm_cli" "oblivious" "3" "1")
+set_tests_properties(cli_oblivious PROPERTIES  PASS_REGULAR_EXPRESSION "5/12" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_threshold "/root/repo/build/tools/ddm_cli" "threshold" "3" "1" "0.622")
+set_tests_properties(cli_threshold PROPERTIES  PASS_REGULAR_EXPRESSION "0.5446" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_volume "/root/repo/build/tools/ddm_cli" "volume" "2" "1" "1" "3/4" "3/4")
+set_tests_properties(cli_volume PROPERTIES  PASS_REGULAR_EXPRESSION "7/16" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_simulate "/root/repo/build/tools/ddm_cli" "simulate" "3" "1" "0.622" "50000" "7")
+set_tests_properties(cli_simulate PROPERTIES  PASS_REGULAR_EXPRESSION "covered" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage "/root/repo/build/tools/ddm_cli")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
