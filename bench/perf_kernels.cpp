@@ -12,12 +12,15 @@
 #include "core/oblivious.hpp"
 #include "core/protocol.hpp"
 #include "core/randomized_rules.hpp"
+#include "core/reference_kernels.hpp"
 #include "core/symmetric_threshold.hpp"
+#include "core/threshold_optimizer.hpp"
 #include "poly/interpolate.hpp"
 #include "geom/volume.hpp"
 #include "poly/roots.hpp"
 #include "prob/rng.hpp"
 #include "sim/monte_carlo.hpp"
+#include "util/parallel.hpp"
 
 namespace {
 
@@ -50,6 +53,34 @@ void BM_SimplexBoxVolumeExact(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimplexBoxVolumeExact)->Arg(4)->Arg(8)->Arg(12);
+
+// Naive O(m·2^m) kernels (src/core/reference_kernels.hpp) benchmarked next
+// to the Gray-code production kernels above so the speedup stays visible in
+// every BENCH_kernels.json snapshot.
+void BM_SimplexBoxVolumeDoubleReference(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  std::vector<double> sigma(m);
+  std::vector<double> pi(m);
+  for (std::size_t l = 0; l < m; ++l) {
+    sigma[l] = 1.0 + 0.1 * static_cast<double>(l);
+    pi[l] = 0.5 + 0.03 * static_cast<double>(l);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddm::reference::simplex_box_volume_double(sigma, pi));
+  }
+}
+BENCHMARK(BM_SimplexBoxVolumeDoubleReference)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_GeneralThresholdDoubleReference(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a(n);
+  for (std::size_t i = 0; i < n; ++i) a[i] = 0.4 + 0.03 * static_cast<double>(i);
+  const double t = static_cast<double>(n) / 3.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddm::reference::threshold_winning_probability(a, t));
+  }
+}
+BENCHMARK(BM_GeneralThresholdDoubleReference)->Arg(4)->Arg(8)->Arg(12);
 
 void BM_ObliviousWinningDp(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -186,5 +217,86 @@ void BM_MonteCarloTrials(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10000);
 }
 BENCHMARK(BM_MonteCarloTrials)->Arg(3)->Arg(8);
+
+// Same workload fanned across the pool: near-linear scaling is the target,
+// and the wins tally is bitwise identical to the serial run by construction.
+void BM_MonteCarloTrialsParallel(benchmark::State& state) {
+  constexpr std::uint64_t kTrials = 1000000;
+  const auto protocol = ddm::core::SingleThresholdProtocol::symmetric(
+      static_cast<std::size_t>(state.range(0)), Rational(3, 5));
+  ddm::prob::Rng rng{1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddm::sim::estimate_winning_probability(
+        protocol, 1.0, kTrials, rng, ddm::util::parallelism()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTrials));
+}
+BENCHMARK(BM_MonteCarloTrialsParallel)->Arg(3)->Arg(8)->UseRealTime();
+
+// Serial baseline at the same trial count, for the scaling ratio.
+void BM_MonteCarloTrialsSerial1M(benchmark::State& state) {
+  constexpr std::uint64_t kTrials = 1000000;
+  const auto protocol = ddm::core::SingleThresholdProtocol::symmetric(
+      static_cast<std::size_t>(state.range(0)), Rational(3, 5));
+  ddm::prob::Rng rng{1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ddm::sim::estimate_winning_probability(protocol, 1.0, kTrials, rng, 1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTrials));
+}
+BENCHMARK(BM_MonteCarloTrialsSerial1M)->Arg(3)->Arg(8)->UseRealTime();
+
+// Batch grid evaluation through the pool (the `ddm_cli sweep` workload).
+void BM_ThresholdBatchParallel(benchmark::State& state) {
+  const std::size_t n = 8;
+  const std::size_t grid = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<double>> points(grid);
+  for (std::size_t k = 0; k < grid; ++k) {
+    points[k].assign(n, static_cast<double>(k) / static_cast<double>(grid));
+  }
+  const double t = static_cast<double>(n) / 3.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddm::core::threshold_winning_probability_batch(points, t));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(grid));
+}
+BENCHMARK(BM_ThresholdBatchParallel)->Arg(32)->Arg(128)->UseRealTime();
+
+// Serial baseline for the same grid.
+void BM_ThresholdBatchSerial(benchmark::State& state) {
+  const std::size_t n = 8;
+  const std::size_t grid = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<double>> points(grid);
+  for (std::size_t k = 0; k < grid; ++k) {
+    points[k].assign(n, static_cast<double>(k) / static_cast<double>(grid));
+  }
+  const double t = static_cast<double>(n) / 3.0;
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (const auto& point : points) {
+      acc += ddm::core::threshold_winning_probability(point, t);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(grid));
+}
+BENCHMARK(BM_ThresholdBatchSerial)->Arg(32)->Arg(128);
+
+// Full compass search with parallel probe evaluation (n = 6 → 12 concurrent
+// Theorem 5.1 evaluations per iteration).
+void BM_ThresholdSearchParallelProbes(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const double t = static_cast<double>(n) / 3.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddm::core::maximize_thresholds(
+        std::vector<double>(n, 0.5), t, 0.25, 1e-6, 4000));
+  }
+}
+BENCHMARK(BM_ThresholdSearchParallelProbes)->Arg(4)->Arg(6)->UseRealTime();
 
 }  // namespace

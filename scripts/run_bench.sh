@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# run_bench.sh — build and run the microbenchmark suite, writing the results
+# to BENCH_kernels.json at the repo root so successive PRs accumulate a perf
+# trajectory (compare the same benchmark names across commits).
+#
+# Usage: scripts/run_bench.sh [extra google-benchmark flags...]
+#   BUILD_DIR=build-bench scripts/run_bench.sh --benchmark_filter='BM_Simplex.*'
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
+OUT="${OUT:-$REPO_ROOT/BENCH_kernels.json}"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" --target perf_kernels -j "$(nproc)" >/dev/null
+
+"$BUILD_DIR/bench/perf_kernels" \
+  --benchmark_format=json \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "wrote $OUT"

@@ -1,5 +1,6 @@
 #include "combinat/binomial.hpp"
 
+#include <array>
 #include <mutex>
 #include <vector>
 
@@ -18,9 +19,36 @@ util::BigInt binomial(std::uint32_t n, std::uint32_t k) {
   return result;
 }
 
-util::Rational inverse_factorial(std::uint32_t n) {
-  return util::Rational{util::BigInt{1}, util::BigInt::factorial(n)};
+namespace {
+
+// Memoized 1/n! rationals, extended on demand. The exact kernels request the
+// same handful of values 2^n times per evaluation; recomputing n! each call
+// was pure waste. Mutex-guarded because the parallel engine evaluates
+// kernels from pool workers.
+class InverseFactorialCache {
+ public:
+  util::Rational at(std::uint32_t n) {
+    std::scoped_lock lock(mutex_);
+    while (values_.size() <= n) {
+      const auto next = static_cast<std::int64_t>(values_.size());
+      values_.push_back(values_.back() * util::Rational{1, next});
+    }
+    return values_[n];
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<util::Rational> values_ = {util::Rational{1}};
+};
+
+InverseFactorialCache& inverse_factorial_cache() {
+  static InverseFactorialCache cache;
+  return cache;
 }
+
+}  // namespace
+
+util::Rational inverse_factorial(std::uint32_t n) { return inverse_factorial_cache().at(n); }
 
 namespace {
 
@@ -57,10 +85,17 @@ double binomial_double(std::uint32_t n, std::uint32_t k) {
 
 double inverse_factorial_double(std::uint32_t n) {
   static constexpr std::uint32_t kMax = 170;  // 171! overflows double
-  double result = 1.0;
-  for (std::uint32_t i = 2; i <= n && i <= kMax; ++i) result /= static_cast<double>(i);
+  // The kernels call this once per bracket; a one-time table beats the old
+  // O(n) division loop. Thread-safe: initialization of a function-local
+  // static is synchronized by the runtime.
+  static const std::array<double, kMax + 1> kTable = [] {
+    std::array<double, kMax + 1> table{};
+    table[0] = 1.0;
+    for (std::uint32_t i = 1; i <= kMax; ++i) table[i] = table[i - 1] / static_cast<double>(i);
+    return table;
+  }();
   if (n > kMax) return 0.0;
-  return result;
+  return kTable[n];
 }
 
 }  // namespace ddm::combinat

@@ -23,7 +23,21 @@ namespace ddm::combinat {
 /// where all entries fit in the 53-bit mantissa).
 [[nodiscard]] double binomial_double(std::uint32_t n, std::uint32_t k);
 
-/// 1/n! as a double.
+/// 1/n! as a double, served from a precomputed table (0 for n > 170 where
+/// n! overflows double).
 [[nodiscard]] double inverse_factorial_double(std::uint32_t n);
+
+/// base^exp by binary exponentiation — the kernels raise to small integer
+/// powers (the dimension m), where this beats std::pow by a wide margin and
+/// is exactly reproducible across libm implementations.
+[[nodiscard]] inline double pow_uint(double base, std::uint32_t exp) noexcept {
+  double result = 1.0;
+  while (exp != 0) {
+    if (exp & 1u) result *= base;
+    base *= base;
+    exp >>= 1;
+  }
+  return result;
+}
 
 }  // namespace ddm::combinat

@@ -5,6 +5,9 @@
 #include <vector>
 
 #include "combinat/binomial.hpp"
+#include "combinat/subsets.hpp"
+#include "util/kahan.hpp"
+#include "util/parallel.hpp"
 
 namespace ddm::core {
 
@@ -24,25 +27,39 @@ void check_thresholds(std::span<const Rational> a, std::size_t max_n) {
   }
 }
 
+// Both brackets below visit the subsets I in reflected Gray-code order
+// (combinat::gray_code): consecutive subsets differ in one element, so the
+// bracket's per-subset base value is maintained with a single add or
+// subtract instead of an O(m) subset-sum loop, and the inclusion-exclusion
+// sign (−1)^|I| simply alternates with the step index. The derivation —
+// including why the feasibility guards commute with the reordering — is in
+// docs/performance.md.
+
 // Zeros bracket of Theorem 5.1 for the players listed in `zeros`:
 //   (1/m!) Σ_{I ⊆ zeros, Σ_{l∈I} a_l < t} (−1)^{|I|} (t − Σ_{l∈I} a_l)^m.
 Rational zeros_bracket(std::span<const Rational> a, std::span<const std::size_t> zeros,
                        const Rational& t) {
   const std::size_t m = zeros.size();
   if (m == 0) return Rational{1};  // empty bin never overflows (t > 0)
-  Rational sum{0};
+  Rational remainder = t;  // t − Σ_{l∈I} a_l for the current subset I
+  std::uint64_t mask = 0;
+  Rational sum = remainder.pow(static_cast<std::int64_t>(m));  // I = ∅ (t > 0)
   const std::uint64_t limit = std::uint64_t{1} << m;
-  for (std::uint64_t mask = 0; mask < limit; ++mask) {
-    Rational subset_sum{0};
-    for (std::size_t j = 0; j < m; ++j) {
-      if (mask & (std::uint64_t{1} << j)) subset_sum += a[zeros[j]];
-    }
-    if (subset_sum >= t) continue;
-    const Rational term = (t - subset_sum).pow(static_cast<std::int64_t>(m));
-    if (__builtin_popcountll(mask) % 2 == 0) {
-      sum += term;
+  for (std::uint64_t i = 1; i < limit; ++i) {
+    const std::uint32_t j = combinat::gray_flip_bit(i);
+    const std::uint64_t bit = std::uint64_t{1} << j;
+    mask ^= bit;
+    if (mask & bit) {
+      remainder -= a[zeros[j]];
     } else {
+      remainder += a[zeros[j]];
+    }
+    if (remainder.signum() <= 0) continue;
+    const Rational term = remainder.pow(static_cast<std::int64_t>(m));
+    if (combinat::gray_parity_odd(i)) {
       sum -= term;
+    } else {
+      sum += term;
     }
   }
   return sum * combinat::inverse_factorial(static_cast<std::uint32_t>(m));
@@ -50,28 +67,39 @@ Rational zeros_bracket(std::span<const Rational> a, std::span<const std::size_t>
 
 // Ones bracket of Theorem 5.1 for the players listed in `ones`:
 //   Π (1−a_l)  −  (1/k!) Σ_{I ⊆ ones, k−t−|I|+Σ a_l > 0} (−1)^{|I|} (k−t−|I|+Σ_{l∈I} a_l)^k.
+// The Gray walk maintains base = k − t + Σ_{l∈I} (a_l − 1) directly: adding
+// element l to I shifts the base by (a_l − 1), covering both the +a_l and the
+// −|I| bookkeeping in one update.
 Rational ones_bracket(std::span<const Rational> a, std::span<const std::size_t> ones,
                       const Rational& t) {
   const std::size_t k = ones.size();
   if (k == 0) return Rational{1};
   Rational product{1};
-  for (const std::size_t idx : ones) product *= Rational{1} - a[idx];
-  const Rational kk{static_cast<std::int64_t>(k)};
+  std::vector<Rational> shifted(k);  // a_l − 1 per listed player
+  for (std::size_t j = 0; j < k; ++j) {
+    product *= Rational{1} - a[ones[j]];
+    shifted[j] = a[ones[j]] - Rational{1};
+  }
+  Rational base = Rational{static_cast<std::int64_t>(k)} - t;  // I = ∅
+  std::uint64_t mask = 0;
   Rational sum{0};
+  if (base.signum() > 0) sum = base.pow(static_cast<std::int64_t>(k));
   const std::uint64_t limit = std::uint64_t{1} << k;
-  for (std::uint64_t mask = 0; mask < limit; ++mask) {
-    Rational subset_sum{0};
-    for (std::size_t j = 0; j < k; ++j) {
-      if (mask & (std::uint64_t{1} << j)) subset_sum += a[ones[j]];
+  for (std::uint64_t i = 1; i < limit; ++i) {
+    const std::uint32_t j = combinat::gray_flip_bit(i);
+    const std::uint64_t bit = std::uint64_t{1} << j;
+    mask ^= bit;
+    if (mask & bit) {
+      base += shifted[j];
+    } else {
+      base -= shifted[j];
     }
-    const int i = __builtin_popcountll(mask);
-    const Rational base = kk - t - Rational{i} + subset_sum;
     if (base.signum() <= 0) continue;
     const Rational term = base.pow(static_cast<std::int64_t>(k));
-    if (i % 2 == 0) {
-      sum += term;
-    } else {
+    if (combinat::gray_parity_odd(i)) {
       sum -= term;
+    } else {
+      sum += term;
     }
   }
   return product - sum * combinat::inverse_factorial(static_cast<std::uint32_t>(k));
@@ -112,41 +140,53 @@ double threshold_winning_probability(std::span<const double> a, double t) {
   if (t <= 0.0) return 0.0;
   const std::size_t n = a.size();
 
+  // Gray-code brackets, mirroring the exact versions above: one running-sum
+  // update per subset and binary exponentiation instead of std::pow. The
+  // running base and the term accumulator carry Kahan compensation so 2^m
+  // incremental updates stay within a few ulps of fresh recomputation.
   const auto zeros_bracket_d = [&](std::span<const std::size_t> zeros) {
     const std::size_t m = zeros.size();
     if (m == 0) return 1.0;
-    double sum = 0.0;
+    const auto mm = static_cast<std::uint32_t>(m);
+    util::KahanSum remainder{t};
+    std::uint64_t mask = 0;
+    util::KahanSum sum{combinat::pow_uint(t, mm)};  // I = ∅ (t > 0)
     const std::uint64_t limit = std::uint64_t{1} << m;
-    for (std::uint64_t mask = 0; mask < limit; ++mask) {
-      double subset_sum = 0.0;
-      for (std::size_t j = 0; j < m; ++j) {
-        if (mask & (std::uint64_t{1} << j)) subset_sum += a[zeros[j]];
-      }
-      if (subset_sum >= t) continue;
-      const double term = std::pow(t - subset_sum, static_cast<double>(m));
-      sum += (__builtin_popcountll(mask) % 2 == 0) ? term : -term;
+    for (std::uint64_t i = 1; i < limit; ++i) {
+      const std::uint32_t j = combinat::gray_flip_bit(i);
+      const std::uint64_t bit = std::uint64_t{1} << j;
+      mask ^= bit;
+      remainder.add((mask & bit) ? -a[zeros[j]] : a[zeros[j]]);
+      const double rem = remainder.get();
+      if (rem <= 0.0) continue;
+      const double term = combinat::pow_uint(rem, mm);
+      sum.add(combinat::gray_parity_odd(i) ? -term : term);
     }
-    return sum * combinat::inverse_factorial_double(static_cast<std::uint32_t>(m));
+    return sum.get() * combinat::inverse_factorial_double(mm);
   };
   const auto ones_bracket_d = [&](std::span<const std::size_t> ones) {
     const std::size_t k = ones.size();
     if (k == 0) return 1.0;
+    const auto kk = static_cast<std::uint32_t>(k);
     double product = 1.0;
     for (const std::size_t idx : ones) product *= 1.0 - a[idx];
-    double sum = 0.0;
+    // base = k − t + Σ_{l∈I} (a_l − 1): adding player l to I covers both the
+    // +a_l and the −|I| bookkeeping in one update.
+    util::KahanSum base{static_cast<double>(k) - t};
+    std::uint64_t mask = 0;
+    util::KahanSum sum{base.get() > 0.0 ? combinat::pow_uint(base.get(), kk) : 0.0};
     const std::uint64_t limit = std::uint64_t{1} << k;
-    for (std::uint64_t mask = 0; mask < limit; ++mask) {
-      double subset_sum = 0.0;
-      for (std::size_t j = 0; j < k; ++j) {
-        if (mask & (std::uint64_t{1} << j)) subset_sum += a[ones[j]];
-      }
-      const int i = __builtin_popcountll(mask);
-      const double base = static_cast<double>(k) - t - static_cast<double>(i) + subset_sum;
-      if (base <= 0.0) continue;
-      const double term = std::pow(base, static_cast<double>(k));
-      sum += (i % 2 == 0) ? term : -term;
+    for (std::uint64_t i = 1; i < limit; ++i) {
+      const std::uint32_t j = combinat::gray_flip_bit(i);
+      const std::uint64_t bit = std::uint64_t{1} << j;
+      mask ^= bit;
+      base.add((mask & bit) ? a[ones[j]] - 1.0 : 1.0 - a[ones[j]]);
+      const double b = base.get();
+      if (b <= 0.0) continue;
+      const double term = combinat::pow_uint(b, kk);
+      sum.add(combinat::gray_parity_odd(i) ? -term : term);
     }
-    return product - sum * combinat::inverse_factorial_double(static_cast<std::uint32_t>(k));
+    return product - sum.get() * combinat::inverse_factorial_double(kk);
   };
 
   double total = 0.0;
@@ -166,6 +206,20 @@ double threshold_winning_probability(std::span<const double> a, double t) {
     total += zeros_bracket_d(zeros) * ones_bracket_d(ones);
   }
   return total;
+}
+
+std::vector<double> threshold_winning_probability_batch(
+    std::span<const std::vector<double>> points, double t) {
+  std::vector<double> values(points.size(), 0.0);
+  // Each point goes through the identical serial evaluator a single-point
+  // call uses, so batch results match one-at-a-time evaluation bitwise; the
+  // engine only distributes whole points across the pool.
+  util::parallel_for(0, points.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t p = lo; p < hi; ++p) {
+      values[p] = threshold_winning_probability(points[p], t);
+    }
+  });
+  return values;
 }
 
 Rational symmetric_zero_bracket(std::uint32_t m, const Rational& beta, const Rational& t) {

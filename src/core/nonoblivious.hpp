@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "util/rational.hpp"
 
@@ -30,6 +31,15 @@ namespace ddm::core {
 
 /// Double-precision Theorem 5.1 for arbitrary thresholds (same O(3^n) sum).
 [[nodiscard]] double threshold_winning_probability(std::span<const double> a, double t);
+
+/// Evaluates threshold_winning_probability(points[p], t) for every p,
+/// fanning whole points out across the global thread pool
+/// (util::parallel_for). Each point runs the identical serial evaluator, so
+/// values[p] is bitwise equal to a single-point call — parallelism never
+/// changes results. Used by grid sweeps (`ddm_cli sweep`) and parameter
+/// studies. Throws like the single-point evaluator on the first bad point.
+[[nodiscard]] std::vector<double> threshold_winning_probability_batch(
+    std::span<const std::vector<double>> points, double t);
 
 /// Symmetric Theorem 5.1: all thresholds equal β; O(n²) exact terms
 ///   P(β) = Σ_k C(n,k) · B0_{n−k}(β) · B1_k(β).

@@ -1,0 +1,220 @@
+// reference_kernels.hpp — naive O(m·2^m) inclusion-exclusion kernels.
+//
+// These are the original straight-line subset-sum loops that the production
+// kernels (src/geom/volume.cpp, src/core/nonoblivious.cpp) replaced with
+// Gray-code walks. They are kept verbatim as an executable specification:
+// tests/test_kernels.cpp property-tests the optimized kernels against them
+// (exact equality for Rational, 1e-12 for double), and bench/perf_kernels.cpp
+// benchmarks both so the speedup stays visible in BENCH_kernels.json.
+//
+// Internal header — not exported through ddm.hpp; do not use outside tests
+// and benchmarks.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "combinat/binomial.hpp"
+#include "util/rational.hpp"
+
+namespace ddm::reference {
+
+/// Proposition 2.2 volume, exact, one O(m) subset-sum per mask.
+[[nodiscard]] inline util::Rational simplex_box_volume(std::span<const util::Rational> sigma,
+                                                       std::span<const util::Rational> pi) {
+  using util::Rational;
+  if (sigma.empty() || sigma.size() != pi.size()) {
+    throw std::invalid_argument("reference simplex_box_volume: bad dimensions");
+  }
+  const std::size_t m = sigma.size();
+  Rational simplex{1};
+  std::vector<Rational> ratio(m);
+  for (std::size_t l = 0; l < m; ++l) {
+    simplex *= sigma[l];
+    ratio[l] = pi[l] / sigma[l];
+  }
+  simplex *= combinat::inverse_factorial(static_cast<std::uint32_t>(m));
+  Rational sum{0};
+  const std::uint64_t limit = std::uint64_t{1} << m;
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    Rational ratio_sum{0};
+    for (std::size_t l = 0; l < m; ++l) {
+      if (mask & (std::uint64_t{1} << l)) ratio_sum += ratio[l];
+    }
+    if (ratio_sum >= Rational{1}) continue;
+    const Rational term = (Rational{1} - ratio_sum).pow(static_cast<std::int64_t>(m));
+    if (__builtin_popcountll(mask) % 2 == 0) {
+      sum += term;
+    } else {
+      sum -= term;
+    }
+  }
+  return simplex * sum;
+}
+
+/// Proposition 2.2 volume, double precision, naive subset sums and std::pow.
+[[nodiscard]] inline double simplex_box_volume_double(std::span<const double> sigma,
+                                                      std::span<const double> pi) {
+  if (sigma.empty() || sigma.size() != pi.size()) {
+    throw std::invalid_argument("reference simplex_box_volume_double: bad dimensions");
+  }
+  const std::size_t m = sigma.size();
+  std::vector<double> ratio(m);
+  double side_product = 1.0;
+  for (std::size_t l = 0; l < m; ++l) {
+    ratio[l] = pi[l] / sigma[l];
+    side_product *= sigma[l];
+  }
+  double sum = 0.0;
+  const std::uint64_t limit = std::uint64_t{1} << m;
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    double ratio_sum = 0.0;
+    for (std::size_t l = 0; l < m; ++l) {
+      if (mask & (std::uint64_t{1} << l)) ratio_sum += ratio[l];
+    }
+    if (ratio_sum >= 1.0) continue;
+    const double term = std::pow(1.0 - ratio_sum, static_cast<double>(m));
+    sum += (__builtin_popcountll(mask) % 2 == 0) ? term : -term;
+  }
+  return side_product * combinat::inverse_factorial_double(static_cast<std::uint32_t>(m)) * sum;
+}
+
+/// Theorem 5.1 general-threshold evaluator, exact, naive brackets.
+[[nodiscard]] inline util::Rational threshold_winning_probability(
+    std::span<const util::Rational> a, const util::Rational& t) {
+  using util::Rational;
+  if (a.empty()) throw std::invalid_argument("reference threshold_winning_probability: empty");
+  if (t.signum() <= 0) return Rational{0};
+  const std::size_t n = a.size();
+
+  const auto zeros_bracket = [&](std::span<const std::size_t> zeros) {
+    const std::size_t m = zeros.size();
+    if (m == 0) return Rational{1};
+    Rational sum{0};
+    const std::uint64_t limit = std::uint64_t{1} << m;
+    for (std::uint64_t mask = 0; mask < limit; ++mask) {
+      Rational subset_sum{0};
+      for (std::size_t j = 0; j < m; ++j) {
+        if (mask & (std::uint64_t{1} << j)) subset_sum += a[zeros[j]];
+      }
+      if (subset_sum >= t) continue;
+      const Rational term = (t - subset_sum).pow(static_cast<std::int64_t>(m));
+      if (__builtin_popcountll(mask) % 2 == 0) {
+        sum += term;
+      } else {
+        sum -= term;
+      }
+    }
+    return sum * combinat::inverse_factorial(static_cast<std::uint32_t>(m));
+  };
+  const auto ones_bracket = [&](std::span<const std::size_t> ones) {
+    const std::size_t k = ones.size();
+    if (k == 0) return Rational{1};
+    Rational product{1};
+    for (const std::size_t idx : ones) product *= Rational{1} - a[idx];
+    const Rational kk{static_cast<std::int64_t>(k)};
+    Rational sum{0};
+    const std::uint64_t limit = std::uint64_t{1} << k;
+    for (std::uint64_t mask = 0; mask < limit; ++mask) {
+      Rational subset_sum{0};
+      for (std::size_t j = 0; j < k; ++j) {
+        if (mask & (std::uint64_t{1} << j)) subset_sum += a[ones[j]];
+      }
+      const int i = __builtin_popcountll(mask);
+      const Rational base = kk - t - Rational{i} + subset_sum;
+      if (base.signum() <= 0) continue;
+      const Rational term = base.pow(static_cast<std::int64_t>(k));
+      if (i % 2 == 0) {
+        sum += term;
+      } else {
+        sum -= term;
+      }
+    }
+    return product - sum * combinat::inverse_factorial(static_cast<std::uint32_t>(k));
+  };
+
+  Rational total{0};
+  std::vector<std::size_t> zeros;
+  std::vector<std::size_t> ones;
+  const std::uint64_t limit = std::uint64_t{1} << n;
+  for (std::uint64_t b = 0; b < limit; ++b) {
+    zeros.clear();
+    ones.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (b & (std::uint64_t{1} << i)) {
+        ones.push_back(i);
+      } else {
+        zeros.push_back(i);
+      }
+    }
+    total += zeros_bracket(zeros) * ones_bracket(ones);
+  }
+  return total;
+}
+
+/// Theorem 5.1 general-threshold evaluator, double precision, naive brackets.
+[[nodiscard]] inline double threshold_winning_probability(std::span<const double> a, double t) {
+  if (a.empty()) throw std::invalid_argument("reference threshold_winning_probability: empty");
+  if (t <= 0.0) return 0.0;
+  const std::size_t n = a.size();
+
+  const auto zeros_bracket = [&](std::span<const std::size_t> zeros) {
+    const std::size_t m = zeros.size();
+    if (m == 0) return 1.0;
+    double sum = 0.0;
+    const std::uint64_t limit = std::uint64_t{1} << m;
+    for (std::uint64_t mask = 0; mask < limit; ++mask) {
+      double subset_sum = 0.0;
+      for (std::size_t j = 0; j < m; ++j) {
+        if (mask & (std::uint64_t{1} << j)) subset_sum += a[zeros[j]];
+      }
+      if (subset_sum >= t) continue;
+      const double term = std::pow(t - subset_sum, static_cast<double>(m));
+      sum += (__builtin_popcountll(mask) % 2 == 0) ? term : -term;
+    }
+    return sum * combinat::inverse_factorial_double(static_cast<std::uint32_t>(m));
+  };
+  const auto ones_bracket = [&](std::span<const std::size_t> ones) {
+    const std::size_t k = ones.size();
+    if (k == 0) return 1.0;
+    double product = 1.0;
+    for (const std::size_t idx : ones) product *= 1.0 - a[idx];
+    double sum = 0.0;
+    const std::uint64_t limit = std::uint64_t{1} << k;
+    for (std::uint64_t mask = 0; mask < limit; ++mask) {
+      double subset_sum = 0.0;
+      for (std::size_t j = 0; j < k; ++j) {
+        if (mask & (std::uint64_t{1} << j)) subset_sum += a[ones[j]];
+      }
+      const int i = __builtin_popcountll(mask);
+      const double base = static_cast<double>(k) - t - static_cast<double>(i) + subset_sum;
+      if (base <= 0.0) continue;
+      const double term = std::pow(base, static_cast<double>(k));
+      sum += (i % 2 == 0) ? term : -term;
+    }
+    return product - sum * combinat::inverse_factorial_double(static_cast<std::uint32_t>(k));
+  };
+
+  double total = 0.0;
+  std::vector<std::size_t> zeros;
+  std::vector<std::size_t> ones;
+  const std::uint64_t limit = std::uint64_t{1} << n;
+  for (std::uint64_t b = 0; b < limit; ++b) {
+    zeros.clear();
+    ones.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (b & (std::uint64_t{1} << i)) {
+        ones.push_back(i);
+      } else {
+        zeros.push_back(i);
+      }
+    }
+    total += zeros_bracket(zeros) * ones_bracket(ones);
+  }
+  return total;
+}
+
+}  // namespace ddm::reference

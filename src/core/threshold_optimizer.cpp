@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/nonoblivious.hpp"
+#include "util/parallel.hpp"
 
 namespace ddm::core {
 
@@ -23,27 +24,52 @@ ThresholdSearchResult maximize_thresholds(std::vector<double> start, double t,
   result.evaluations = 1;
   double step = initial_step;
 
+  // Generating-set search: each iteration evaluates the (up to) 2n compass
+  // probes around the incumbent concurrently on the shared pool, then applies
+  // a deterministic acceptance rule — move to the best strictly-improving
+  // probe (ties broken by the fixed probe order: axis 0 +, axis 0 −, axis 1
+  // +, ...), halve the step when none improves. The probe list, the
+  // acceptance decision, and the evaluation count are all independent of how
+  // many workers evaluated the probes.
+  struct Probe {
+    std::size_t axis;
+    double candidate;
+    double value;
+  };
+  std::vector<Probe> probes;
   while (step >= tolerance && result.evaluations < max_evaluations) {
-    bool improved = false;
+    probes.clear();
     for (std::size_t i = 0; i < result.thresholds.size(); ++i) {
       for (const double direction : {+1.0, -1.0}) {
         const double original = result.thresholds[i];
         const double candidate = std::clamp(original + direction * step, 0.0, 1.0);
-        if (candidate == original) continue;
-        result.thresholds[i] = candidate;
-        const double value = threshold_winning_probability(result.thresholds, t);
-        ++result.evaluations;
-        if (value > result.value) {
-          result.value = value;
-          improved = true;
-        } else {
-          result.thresholds[i] = original;
-        }
-        if (result.evaluations >= max_evaluations) break;
+        if (candidate != original) probes.push_back({i, candidate, 0.0});
       }
-      if (result.evaluations >= max_evaluations) break;
     }
-    if (!improved) step *= 0.5;
+    // Truncating to the remaining budget keeps the evaluation cap exact; the
+    // surviving prefix is the same one the serial sweep would have tried.
+    const std::size_t budget = max_evaluations - result.evaluations;
+    if (probes.size() > budget) probes.resize(budget);
+    if (probes.empty()) break;
+    util::parallel_for(0, probes.size(), [&](std::size_t lo, std::size_t hi) {
+      std::vector<double> point(result.thresholds);
+      for (std::size_t p = lo; p < hi; ++p) {
+        point[probes[p].axis] = probes[p].candidate;
+        probes[p].value = threshold_winning_probability(point, t);
+        point[probes[p].axis] = result.thresholds[probes[p].axis];
+      }
+    });
+    result.evaluations += static_cast<std::uint32_t>(probes.size());
+    const Probe* best = &probes[0];
+    for (const Probe& probe : probes) {
+      if (probe.value > best->value) best = &probe;
+    }
+    if (best->value > result.value) {
+      result.thresholds[best->axis] = best->candidate;
+      result.value = best->value;
+    } else {
+      step *= 0.5;
+    }
   }
   result.final_step = step;
   return result;

@@ -25,10 +25,12 @@ struct ThresholdSearchResult {
 };
 
 /// Compass search maximizing threshold_winning_probability(a, t) over
-/// a ∈ [0,1]^n from `start`: tries ±step along each axis, accepts
-/// improvements, halves the step otherwise, until step < tolerance.
-/// Deterministic. Throws std::invalid_argument on empty start, start outside
-/// [0,1]^n tolerance <= 0, or n > 16.
+/// a ∈ [0,1]^n from `start`: each iteration evaluates the 2n probes ±step
+/// along every axis concurrently (util::parallel_for), moves to the best
+/// strictly-improving probe, and halves the step when none improves, until
+/// step < tolerance. Deterministic regardless of thread count. Throws
+/// std::invalid_argument on empty start, start outside [0,1]^n,
+/// tolerance <= 0, or n > 16.
 [[nodiscard]] ThresholdSearchResult maximize_thresholds(std::vector<double> start, double t,
                                                         double initial_step = 0.25,
                                                         double tolerance = 1e-10,

@@ -35,5 +35,6 @@
 #include "sim/monte_carlo.hpp"       // IWYU pragma: export
 #include "util/bigint.hpp"           // IWYU pragma: export
 #include "util/interval.hpp"         // IWYU pragma: export
+#include "util/parallel.hpp"         // IWYU pragma: export
 #include "util/rational.hpp"         // IWYU pragma: export
 #include "util/table.hpp"            // IWYU pragma: export

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "combinat/binomial.hpp"
+#include "combinat/subsets.hpp"
+#include "util/kahan.hpp"
 
 namespace ddm::geom {
 
@@ -65,20 +67,29 @@ Rational simplex_box_volume(std::span<const Rational> sigma, std::span<const Rat
   for (std::size_t l = 0; l < m; ++l) ratio[l] = pi[l] / sigma[l];
 
   // Σ over subsets I of (−1)^{|I|} (1 − Σ_{l∈I} π_l/σ_l)^m, guarded by the
-  // feasibility condition Σ_{l∈I} π_l/σ_l < 1 (Proposition 2.2).
-  Rational sum{0};
+  // feasibility condition Σ_{l∈I} π_l/σ_l < 1 (Proposition 2.2). Subsets are
+  // visited in reflected Gray-code order so the running Σ_{l∈I} π_l/σ_l needs
+  // exactly one add or subtract per subset; the sign (−1)^|I| alternates with
+  // the step index (docs/performance.md).
+  Rational remainder{1};  // 1 − Σ_{l∈I} ratio_l for the current subset
+  std::uint64_t mask = 0;
+  Rational sum = remainder.pow(static_cast<std::int64_t>(m));  // empty subset
   const std::uint64_t limit = std::uint64_t{1} << m;
-  for (std::uint64_t mask = 0; mask < limit; ++mask) {
-    Rational ratio_sum{0};
-    for (std::size_t l = 0; l < m; ++l) {
-      if (mask & (std::uint64_t{1} << l)) ratio_sum += ratio[l];
-    }
-    if (ratio_sum >= Rational{1}) continue;
-    const Rational term = (Rational{1} - ratio_sum).pow(static_cast<std::int64_t>(m));
-    if (__builtin_popcountll(mask) % 2 == 0) {
-      sum += term;
+  for (std::uint64_t i = 1; i < limit; ++i) {
+    const std::uint32_t j = combinat::gray_flip_bit(i);
+    const std::uint64_t bit = std::uint64_t{1} << j;
+    mask ^= bit;
+    if (mask & bit) {
+      remainder -= ratio[j];
     } else {
+      remainder += ratio[j];
+    }
+    if (remainder.signum() <= 0) continue;
+    const Rational term = remainder.pow(static_cast<std::int64_t>(m));
+    if (combinat::gray_parity_odd(i)) {
       sum -= term;
+    } else {
+      sum += term;
     }
   }
   return simplex_volume(sigma) * sum;
@@ -101,18 +112,26 @@ double simplex_box_volume_double(std::span<const double> sigma, std::span<const 
     ratio[l] = pi[l] / sigma[l];
     side_product *= sigma[l];
   }
-  double sum = 0.0;
+  // Same Gray-code walk as the exact version: one add per subset plus a
+  // binary-exponentiation power instead of std::pow. Both the running ratio
+  // sum and the term accumulator carry Kahan compensation so the incremental
+  // updates stay within a few ulps of fresh recomputation over all 2^m steps.
+  const auto mm = static_cast<std::uint32_t>(m);
+  util::KahanSum ratio_sum;
+  std::uint64_t mask = 0;
+  util::KahanSum sum{1.0};  // empty subset: (1 − 0)^m
   const std::uint64_t limit = std::uint64_t{1} << m;
-  for (std::uint64_t mask = 0; mask < limit; ++mask) {
-    double ratio_sum = 0.0;
-    for (std::size_t l = 0; l < m; ++l) {
-      if (mask & (std::uint64_t{1} << l)) ratio_sum += ratio[l];
-    }
-    if (ratio_sum >= 1.0) continue;
-    const double term = std::pow(1.0 - ratio_sum, static_cast<double>(m));
-    sum += (__builtin_popcountll(mask) % 2 == 0) ? term : -term;
+  for (std::uint64_t i = 1; i < limit; ++i) {
+    const std::uint32_t j = combinat::gray_flip_bit(i);
+    const std::uint64_t bit = std::uint64_t{1} << j;
+    mask ^= bit;
+    ratio_sum.add((mask & bit) ? ratio[j] : -ratio[j]);
+    const double rs = ratio_sum.get();
+    if (rs >= 1.0) continue;
+    const double term = combinat::pow_uint(1.0 - rs, mm);
+    sum.add(combinat::gray_parity_odd(i) ? -term : term);
   }
-  return side_product * combinat::inverse_factorial_double(static_cast<std::uint32_t>(m)) * sum;
+  return side_product * combinat::inverse_factorial_double(mm) * sum.get();
 }
 
 }  // namespace ddm::geom

@@ -2,8 +2,9 @@
 
 #include <cmath>
 #include <stdexcept>
-#include <thread>
 #include <vector>
+
+#include "util/parallel.hpp"
 
 namespace ddm::sim {
 
@@ -28,39 +29,47 @@ SimResult wilson_interval(std::uint64_t wins, std::uint64_t trials) {
   return result;
 }
 
+namespace {
+
+/// Trials per scheduling block. The partition of the trial range into blocks
+/// — and the RNG stream each block uses — depends only on `trials`, never on
+/// the thread count, so the wins tally is bitwise identical for any number
+/// of workers. 16384 trials keep a block in the microsecond range: small
+/// enough to load-balance across the pool, large enough to amortize
+/// scheduling.
+constexpr std::uint64_t kTrialsPerBlock = 16384;
+
+}  // namespace
+
 SimResult estimate_winning_probability(const core::Protocol& protocol, double t,
                                        std::uint64_t trials, prob::Rng& rng, unsigned threads) {
   if (trials == 0) throw std::invalid_argument("estimate_winning_probability: zero trials");
   if (threads == 0) threads = 1;
   const std::size_t n = protocol.size();
 
-  const auto run_block = [&protocol, t, n](prob::Rng worker_rng, std::uint64_t block_trials,
-                                           std::uint64_t& wins_out) {
-    std::vector<double> inputs(n);
-    std::uint64_t wins = 0;
-    for (std::uint64_t trial = 0; trial < block_trials; ++trial) {
-      for (double& x : inputs) x = worker_rng.uniform();
-      if (core::wins(protocol, inputs, t, worker_rng)) ++wins;
-    }
-    wins_out = wins;
-  };
-
+  // Block b covers trials [b·B, min((b+1)·B, trials)) with RNG stream
+  // rng.split(b); `threads` only caps how many blocks run concurrently.
+  const std::uint64_t blocks = (trials + kTrialsPerBlock - 1) / kTrialsPerBlock;
+  std::vector<std::uint64_t> wins(static_cast<std::size_t>(blocks), 0);
+  util::parallel_for(
+      0, static_cast<std::size_t>(blocks),
+      [&](std::size_t lo, std::size_t hi) {
+        std::vector<double> inputs(n);
+        for (std::size_t b = lo; b < hi; ++b) {
+          prob::Rng block_rng = rng.split(static_cast<std::uint64_t>(b));
+          const std::uint64_t begin = static_cast<std::uint64_t>(b) * kTrialsPerBlock;
+          const std::uint64_t end = std::min(trials, begin + kTrialsPerBlock);
+          std::uint64_t block_wins = 0;
+          for (std::uint64_t trial = begin; trial < end; ++trial) {
+            for (double& x : inputs) x = block_rng.uniform();
+            if (core::wins(protocol, inputs, t, block_rng)) ++block_wins;
+          }
+          wins[b] = block_wins;
+        }
+      },
+      /*grain=*/1, /*max_workers=*/threads);
   std::uint64_t total_wins = 0;
-  if (threads == 1) {
-    run_block(rng.split(0), trials, total_wins);
-  } else {
-    std::vector<std::uint64_t> wins(threads, 0);
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
-    const std::uint64_t base = trials / threads;
-    const std::uint64_t extra = trials % threads;
-    for (unsigned w = 0; w < threads; ++w) {
-      const std::uint64_t block = base + (w < extra ? 1 : 0);
-      workers.emplace_back(run_block, rng.split(w), block, std::ref(wins[w]));
-    }
-    for (std::thread& worker : workers) worker.join();
-    for (const std::uint64_t w : wins) total_wins += w;
-  }
+  for (const std::uint64_t w : wins) total_wins += w;
   return wilson_interval(total_wins, trials);
 }
 

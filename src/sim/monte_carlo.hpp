@@ -33,9 +33,13 @@ struct SimResult {
 [[nodiscard]] SimResult wilson_interval(std::uint64_t wins, std::uint64_t trials);
 
 /// Estimate the winning probability of `protocol` at capacity `t` over
-/// `trials` random input vectors. Deterministic given the rng seed; uses
-/// `threads` worker threads with split rng streams (results are independent
-/// of the thread count only in the sense of equal distribution, not bitwise).
+/// `trials` random input vectors. The trial range is cut into fixed blocks,
+/// each driven by its own split rng stream keyed on the block index, and
+/// blocks are scheduled onto the shared thread pool (util::parallel_for)
+/// with `threads` as the concurrency cap (pass util::parallelism() to use
+/// every core; 0 is treated as 1). Because the block partition and streams
+/// depend only on `trials` and the seed, the wins tally is bitwise identical
+/// for every thread count.
 [[nodiscard]] SimResult estimate_winning_probability(const core::Protocol& protocol, double t,
                                                      std::uint64_t trials, prob::Rng& rng,
                                                      unsigned threads = 1);

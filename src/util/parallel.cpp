@@ -1,0 +1,160 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace ddm::util {
+
+namespace {
+
+unsigned configured_lanes() {
+  if (const char* env = std::getenv("DDM_THREADS")) {
+    const long value = std::strtol(env, nullptr, 10);
+    if (value >= 1) return static_cast<unsigned>(value);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+// Global pool of (lanes - 1) workers; the caller of parallel_for is the
+// remaining lane. Constructed on first use, joined at static destruction.
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  [[nodiscard]] unsigned lanes() const noexcept {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  void submit(std::function<void()> task) {
+    {
+      std::scoped_lock lock(mutex_);
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+ private:
+  ThreadPool() {
+    const unsigned lanes = configured_lanes();
+    workers_.reserve(lanes > 0 ? lanes - 1 : 0);
+    for (unsigned w = 1; w < lanes; ++w) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::scoped_lock lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  void worker_loop() {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop_ set and nothing left to drain
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// Shared bookkeeping for one parallel_for call. Helpers hold the state via
+// shared_ptr so a late-waking helper that finds no chunks left can exit
+// safely even after the caller has returned.
+struct ForState {
+  std::atomic<std::size_t> next{0};
+  std::size_t chunks = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t grain = 1;
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t done = 0;
+  std::exception_ptr first_error;
+
+  void run_chunks() {
+    while (true) {
+      const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
+      if (k >= chunks) return;
+      const std::size_t lo = begin + k * grain;
+      const std::size_t hi = std::min(end, lo + grain);
+      try {
+        (*body)(lo, hi);
+      } catch (...) {
+        std::scoped_lock lock(mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      std::scoped_lock lock(mutex);
+      if (++done == chunks) done_cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+unsigned parallelism() noexcept { return ThreadPool::instance().lanes(); }
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& chunk_body,
+                  std::size_t grain, unsigned max_workers) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = (end - begin + grain - 1) / grain;
+  unsigned lanes = parallelism();
+  if (max_workers != 0 && max_workers < lanes) lanes = max_workers;
+  if (chunks == 1 || lanes <= 1) {
+    for (std::size_t k = 0; k < chunks; ++k) {
+      const std::size_t lo = begin + k * grain;
+      chunk_body(lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->chunks = chunks;
+  state->begin = begin;
+  state->end = end;
+  state->grain = grain;
+  state->body = &chunk_body;
+
+  const std::size_t helpers = std::min<std::size_t>(lanes - 1, chunks - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    ThreadPool::instance().submit([state] { state->run_chunks(); });
+  }
+  state->run_chunks();  // the calling thread is a lane too
+
+  std::unique_lock lock(state->mutex);
+  state->done_cv.wait(lock, [&] { return state->done == state->chunks; });
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+}  // namespace ddm::util

@@ -1,0 +1,67 @@
+// parallel.hpp — the library's shared parallel-execution engine.
+//
+// Every evaluation surface that fans independent work across cores (Monte
+// Carlo trial blocks, compass-search probes, batch grid evaluation) goes
+// through this module instead of spawning ad-hoc std::threads. A single
+// lazily-initialized global thread pool amortizes thread creation across
+// calls; `parallel_for` hands out fixed-grain index chunks from a shared
+// atomic counter, and `parallel_reduce` combines per-chunk partials in chunk
+// order. Because the chunk decomposition depends only on (range, grain) —
+// never on the number of workers — any reduction over chunk results is
+// bitwise identical for every thread count, which is what makes the Monte
+// Carlo wins tally and the double-precision batch evaluators reproducible.
+// See docs/performance.md for the design rationale.
+//
+// Nested use is safe: the calling thread always participates in executing
+// chunks, so a pool worker that itself calls parallel_for drains the inner
+// range even when every other worker is busy.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace ddm::util {
+
+/// Number of usable execution lanes (pool workers + the calling thread).
+/// Defaults to std::thread::hardware_concurrency(); override with the
+/// DDM_THREADS environment variable (clamped to >= 1, read once at pool
+/// construction).
+[[nodiscard]] unsigned parallelism() noexcept;
+
+/// Runs `chunk_body(lo, hi)` over the partition of [begin, end) into
+/// consecutive chunks of `grain` indices (the last chunk may be short).
+/// Chunks execute concurrently on the global pool; the call blocks until all
+/// chunks finish. The first exception thrown by a chunk is rethrown here
+/// (remaining chunks still run to completion). `max_workers` caps the number
+/// of lanes used (0 = use all of parallelism()). Serial fallback when the
+/// range is a single chunk or only one lane is available.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& chunk_body,
+                  std::size_t grain = 1, unsigned max_workers = 0);
+
+/// Deterministic parallel reduction: partitions [begin, end) exactly like
+/// parallel_for(grain), computes `chunk_fn(lo, hi)` per chunk concurrently,
+/// then folds the partials IN CHUNK ORDER:
+///   acc = init; for each chunk k: acc = combine(acc, partial[k]).
+/// The fold order is a pure function of (begin, end, grain), so the result —
+/// including floating-point rounding — is independent of the thread count.
+template <typename T>
+[[nodiscard]] T parallel_reduce(std::size_t begin, std::size_t end, std::size_t grain,
+                                const std::function<T(std::size_t, std::size_t)>& chunk_fn,
+                                const std::function<T(T, T)>& combine, T init,
+                                unsigned max_workers = 0) {
+  if (end <= begin) return init;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = (end - begin + grain - 1) / grain;
+  std::vector<T> partial(chunks, init);
+  parallel_for(
+      begin, end,
+      [&](std::size_t lo, std::size_t hi) { partial[(lo - begin) / grain] = chunk_fn(lo, hi); },
+      grain, max_workers);
+  T acc = std::move(init);
+  for (T& p : partial) acc = combine(std::move(acc), std::move(p));
+  return acc;
+}
+
+}  // namespace ddm::util

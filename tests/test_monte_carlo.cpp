@@ -63,6 +63,24 @@ TEST(EstimateWinning, CoversExactValue) {
   EXPECT_TRUE(result.covers(exact)) << result.estimate;
 }
 
+TEST(EstimateWinning, WinsTallyIndependentOfThreadCount) {
+  // The trial range is cut into fixed blocks with per-block rng streams, so
+  // the tally must be bitwise identical for every thread count — including
+  // trial counts that are not multiples of the block size.
+  const auto protocol = core::ObliviousProtocol::uniform(3);
+  for (const std::uint64_t trials : {50000ull, 100000ull, 16384ull * 3 + 123}) {
+    prob::Rng rng_1{42};
+    prob::Rng rng_2{42};
+    prob::Rng rng_8{42};
+    const SimResult one = estimate_winning_probability(protocol, 1.0, trials, rng_1, 1);
+    const SimResult two = estimate_winning_probability(protocol, 1.0, trials, rng_2, 2);
+    const SimResult eight = estimate_winning_probability(protocol, 1.0, trials, rng_8, 8);
+    EXPECT_EQ(one.wins, two.wins) << trials;
+    EXPECT_EQ(one.wins, eight.wins) << trials;
+    EXPECT_EQ(one.trials, trials);
+  }
+}
+
 TEST(EstimateWinning, MultithreadedMatchesExactToo) {
   const auto protocol = core::ObliviousProtocol::uniform(4);
   const double exact =

@@ -1,0 +1,97 @@
+// Tests for the shared parallel-execution engine (util/parallel.hpp):
+// coverage of the index range, deterministic chunked reduction, exception
+// propagation, nesting, and the worker-count cap.
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace ddm::util {
+namespace {
+
+TEST(Parallelism, AtLeastOneLane) { EXPECT_GE(parallelism(), 1u); }
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 10007;  // prime: exercises a ragged final chunk
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(0, kN, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, RespectsGrainBoundaries) {
+  constexpr std::size_t kN = 1000;
+  constexpr std::size_t kGrain = 64;
+  std::atomic<bool> bad{false};
+  parallel_for(
+      0, kN,
+      [&](std::size_t lo, std::size_t hi) {
+        if (lo % kGrain != 0 || (hi != kN && hi - lo != kGrain)) bad = true;
+      },
+      kGrain);
+  EXPECT_FALSE(bad.load());
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(5, 5, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, PropagatesException) {
+  EXPECT_THROW(parallel_for(0, 100,
+                            [](std::size_t lo, std::size_t) {
+                              if (lo == 0) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, NestedCallsComplete) {
+  std::atomic<int> total{0};
+  parallel_for(0, 8, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      parallel_for(0, 16, [&](std::size_t ilo, std::size_t ihi) {
+        total.fetch_add(static_cast<int>(ihi - ilo));
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ParallelReduce, MatchesSerialSum) {
+  constexpr std::size_t kN = 4321;
+  const std::uint64_t expected = kN * (kN - 1) / 2;
+  const auto chunk_sum = [](std::size_t lo, std::size_t hi) {
+    std::uint64_t s = 0;
+    for (std::size_t i = lo; i < hi; ++i) s += i;
+    return s;
+  };
+  const auto add = [](std::uint64_t a, std::uint64_t b) { return a + b; };
+  EXPECT_EQ(parallel_reduce<std::uint64_t>(0, kN, 128, chunk_sum, add, 0), expected);
+}
+
+TEST(ParallelReduce, DeterministicAcrossWorkerCaps) {
+  // Floating-point reduction: the chunk decomposition (and hence the fold
+  // order) depends only on the grain, so capping the workers at 1, 2, or all
+  // lanes must give bitwise-identical sums.
+  constexpr std::size_t kN = 5000;
+  const auto chunk_sum = [](std::size_t lo, std::size_t hi) {
+    double s = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) s += 1.0 / (1.0 + static_cast<double>(i));
+    return s;
+  };
+  const auto add = [](double a, double b) { return a + b; };
+  const double serial = parallel_reduce<double>(0, kN, 64, chunk_sum, add, 0.0, 1);
+  const double two = parallel_reduce<double>(0, kN, 64, chunk_sum, add, 0.0, 2);
+  const double all = parallel_reduce<double>(0, kN, 64, chunk_sum, add, 0.0);
+  EXPECT_EQ(serial, two);
+  EXPECT_EQ(serial, all);
+}
+
+}  // namespace
+}  // namespace ddm::util

@@ -9,8 +9,13 @@
 //   volume    <m> <s1..sm> <p1..pm>  Vol(simplex ∩ box), Proposition 2.2
 //   ladder    <n> <t> [trials]       information ladder: deterministic /
 //                                    oblivious / threshold / full-info oracle
+//   sweep     <n> <t> <lo> <hi> <steps>   β-grid of Theorem 5.1 values, fanned
+//                                    across the thread pool, emitted as JSON
 // Rationals are accepted as "a/b" or integers (e.g. 4/3).
+#include <algorithm>
+#include <iomanip>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -32,11 +37,13 @@ usage:
   ddm_cli simulate  <n> <t> <beta> <trials> [seed=42]
   ddm_cli volume    <m> <sigma_1..sigma_m> <pi_1..pi_m>
   ddm_cli ladder    <n> <t> [trials=500000]
+  ddm_cli sweep     <n> <t> <beta_lo> <beta_hi> <steps>
 
 rationals may be written a/b (e.g. 4/3). Examples:
   ddm_cli analyze 3 1            # the paper's flagship instance
   ddm_cli analyze 4 4/3 40       # Section 5.2.2 with 40 certified digits
   ddm_cli simulate 3 1 0.622 1000000
+  ddm_cli sweep 4 4/3 0 1 100    # JSON grid of P(beta), all cores
 )";
   return 1;
 }
@@ -124,6 +131,32 @@ int cmd_volume(const std::vector<Rational>& sigma, const std::vector<Rational>& 
   return 0;
 }
 
+int cmd_sweep(std::uint32_t n, const Rational& t, const Rational& lo, const Rational& hi,
+              std::uint32_t steps) {
+  if (n == 0 || steps == 0) return usage();
+  const double t_d = t.to_double();
+  const double lo_d = lo.to_double();
+  const double hi_d = hi.to_double();
+  std::vector<double> betas(steps + 1);
+  std::vector<std::vector<double>> points(steps + 1);
+  for (std::uint32_t k = 0; k <= steps; ++k) {
+    const double beta =
+        std::clamp(lo_d + (hi_d - lo_d) * static_cast<double>(k) / static_cast<double>(steps),
+                   0.0, 1.0);
+    betas[k] = beta;
+    points[k].assign(n, beta);
+  }
+  const std::vector<double> values =
+      ddm::core::threshold_winning_probability_batch(points, t_d);
+  std::cout << std::setprecision(std::numeric_limits<double>::max_digits10) << "[\n";
+  for (std::uint32_t k = 0; k <= steps; ++k) {
+    std::cout << "  {\"n\": " << n << ", \"t\": " << t_d << ", \"beta\": " << betas[k]
+              << ", \"p_win\": " << values[k] << "}" << (k < steps ? "," : "") << "\n";
+  }
+  std::cout << "]\n";
+  return 0;
+}
+
 int cmd_ladder(std::uint32_t n, const Rational& t, std::uint64_t trials) {
   const double t_d = t.to_double();
   ddm::prob::Rng rng{1234};
@@ -182,6 +215,11 @@ int main(int argc, char** argv) {
       for (int l = 0; l < m; ++l) sigma.push_back(parse_rational(argv[3 + l]));
       for (int l = 0; l < m; ++l) pi.push_back(parse_rational(argv[3 + m + l]));
       return cmd_volume(sigma, pi);
+    }
+    if (command == "sweep" && argc == 7) {
+      return cmd_sweep(static_cast<std::uint32_t>(std::stoul(argv[2])), parse_rational(argv[3]),
+                       parse_rational(argv[4]), parse_rational(argv[5]),
+                       static_cast<std::uint32_t>(std::stoul(argv[6])));
     }
     if (command == "ladder" && (argc == 4 || argc == 5)) {
       return cmd_ladder(static_cast<std::uint32_t>(std::stoul(argv[2])),
