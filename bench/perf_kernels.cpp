@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "core/certified.hpp"
 #include "core/communication.hpp"
 #include "core/interval_rules.hpp"
 #include "core/nonoblivious.hpp"
@@ -286,6 +287,52 @@ void BM_ThresholdBatchSerial(benchmark::State& state) {
                           static_cast<std::int64_t>(grid));
 }
 BENCHMARK(BM_ThresholdBatchSerial)->Arg(32)->Arg(128);
+
+// Certified-mode evaluation: the escalation ladder on top of the symmetric
+// Theorem 5.1 kernel. Small n settles on the compensated-double tier (~1x
+// the plain kernel plus the tracked error bookkeeping); n = 24 is past the
+// cancellation cliff and pays for a full interval-tier evaluation — keeping
+// both in BENCH_kernels.json tracks the cost of certification in each regime.
+void BM_CertifiedSymmetricThreshold(benchmark::State& state) {
+  const std::uint32_t n = static_cast<std::uint32_t>(state.range(0));
+  const Rational beta{3, 8};
+  const Rational t{static_cast<std::int64_t>(n), 4};  // dyadic: tier 0 eligible
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ddm::core::certified_symmetric_threshold_winning_probability(n, beta, t));
+  }
+}
+BENCHMARK(BM_CertifiedSymmetricThreshold)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_CertifiedGeneralThreshold(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<Rational> a;
+  for (std::size_t i = 0; i < n; ++i) {
+    a.emplace_back(static_cast<std::int64_t>(13 + i), 32);  // dyadic: tier 0 eligible
+  }
+  const Rational t{static_cast<std::int64_t>(n), 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddm::core::certified_threshold_winning_probability(a, t));
+  }
+}
+// Stays in the compensated-double regime: the escalated interval tier for
+// the general O(3^n) kernel costs seconds per call (the symmetric n = 24
+// case above is the escalation showcase).
+BENCHMARK(BM_CertifiedGeneralThreshold)->Arg(4)->Arg(8);
+
+void BM_CertifiedSimplexBoxVolume(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  std::vector<Rational> sigma;
+  std::vector<Rational> pi;
+  for (std::size_t l = 0; l < m; ++l) {
+    sigma.emplace_back(static_cast<std::int64_t>(16 + l), 16);  // dyadic sides
+    pi.emplace_back(static_cast<std::int64_t>(8 + l), 16);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddm::geom::certified_simplex_box_volume(sigma, pi));
+  }
+}
+BENCHMARK(BM_CertifiedSimplexBoxVolume)->Arg(4)->Arg(8)->Arg(12);
 
 // Full compass search with parallel probe evaluation (n = 6 → 12 concurrent
 // Theorem 5.1 evaluations per iteration).

@@ -2,6 +2,10 @@
 # One-command reproduction: configure, build, test, and regenerate every
 # figure/table from the paper (outputs land in test_output.txt and
 # bench_output.txt at the repository root).
+#
+# Set DDM_RUN_SANITIZERS=1 to additionally run the robustness test slice
+# under AddressSanitizer+UBSan and ThreadSanitizer (scripts/run_sanitizers.sh;
+# adds two instrumented builds, so it is opt-in).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,6 +19,10 @@ for b in build/bench/*; do
     "$b"
   fi
 done 2>&1 | tee bench_output.txt
+
+if [ "${DDM_RUN_SANITIZERS:-0}" = "1" ]; then
+  scripts/run_sanitizers.sh
+fi
 
 echo
 echo "Reproduction complete."

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# test_cli_robustness.sh — end-to-end CLI checks registered as the ctest
+# `cli_robustness` test (tools/CMakeLists.txt): checked argument parsing
+# (malformed arguments are rejected with exit 2 and a message naming the
+# offending value), certified mode, and the sweep checkpoint/resume
+# round-trip including a simulated crash (torn trailing line) and a
+# header-mismatch rejection.
+#
+# Usage: test_cli_robustness.sh /path/to/ddm_cli
+set -euo pipefail
+
+CLI="$1"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+# Runs the CLI expecting failure; checks the exit code and that stderr names
+# the offending argument.
+expect_reject() {
+  local expected_substr="$1"
+  shift
+  local rc=0 out
+  out="$("$@" 2>&1)" && rc=0 || rc=$?
+  [ "$rc" -eq 2 ] || fail "'$*' exited $rc, expected 2 (output: $out)"
+  case "$out" in
+    *"$expected_substr"*) ;;
+    *) fail "'$*' output does not mention '$expected_substr': $out" ;;
+  esac
+}
+
+# --- checked argument parsing -------------------------------------------
+expect_reject "1.2.3" "$CLI" threshold 1.2.3 1 0.5      # malformed n
+expect_reject "1.2.3" "$CLI" threshold 3 1.2.3 0.5      # malformed rational t
+expect_reject "-3"    "$CLI" threshold -3 1 0.5         # negative count
+expect_reject "1.2/3" "$CLI" threshold 3 1 1.2/3        # dot inside a fraction
+expect_reject "--bogus" "$CLI" threshold 3 1 0.5 --bogus  # unknown option
+expect_reject "--certify" "$CLI" sweep 3 1 0 1 4 --certify  # option/command mismatch
+expect_reject "--resume" "$CLI" threshold 3 1 0.5 --resume "$TMP/x"
+
+# --- certified mode ------------------------------------------------------
+cert="$("$CLI" threshold 24 8 3/8 --certify)"
+case "$cert" in
+  *"tier = interval"*) ;;
+  *) fail "certified n=24 run did not escalate to the interval tier: $cert" ;;
+esac
+case "$cert" in
+  *" met"*) ;;
+  *) fail "certified n=24 run did not meet tolerance: $cert" ;;
+esac
+
+# An unmeetable tolerance must still produce an enclosure but exit 3.
+rc=0
+"$CLI" volume 2 1 1 3/4 3/4 --certify=0 >/dev/null 2>&1 || rc=$?
+# tolerance 0 is satisfiable by the exact tier, so this one must succeed...
+[ "$rc" -eq 0 ] || fail "--certify=0 on an exact-capable instance exited $rc"
+
+# --- checkpoint / resume round-trip --------------------------------------
+ck="$TMP/sweep.ckpt"
+ref="$("$CLI" sweep 3 1 0 1 12)"
+full="$("$CLI" sweep 3 1 0 1 12 --checkpoint "$ck")"
+[ "$ref" = "$full" ] || fail "checkpointed sweep output differs from plain sweep"
+
+# Simulate a crash: keep the header + 5 rows, leave a torn partial line.
+head -n 6 "$ck" > "$ck.tmp"
+printf '{"k": 5, "beta":' >> "$ck.tmp"
+mv "$ck.tmp" "$ck"
+resumed="$("$CLI" sweep 3 1 0 1 12 --resume "$ck")"
+[ "$ref" = "$resumed" ] || fail "resumed sweep output is not byte-identical"
+
+# Resuming an already-complete checkpoint recomputes nothing and still
+# reproduces the output.
+again="$("$CLI" sweep 3 1 0 1 12 --resume "$ck")"
+[ "$ref" = "$again" ] || fail "second resume output is not byte-identical"
+
+# A header mismatch (different n) must be rejected, naming both sweeps.
+expect_reject "different sweep" "$CLI" sweep 4 1 0 1 12 --resume "$ck"
+
+echo "cli robustness checks passed"

@@ -1,0 +1,478 @@
+#include "core/certified.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "combinat/binomial.hpp"
+#include "combinat/subsets.hpp"
+#include "core/nonoblivious.hpp"
+#include "util/kahan.hpp"
+
+namespace ddm::core {
+
+using util::KahanSum;
+using util::Rational;
+using util::RationalInterval;
+
+namespace {
+
+// Unit roundoff of IEEE double under round-to-nearest.
+constexpr double kU = 0x1p-53;
+
+// Upper bound on the number of multiplications pow_uint(·, e) performs.
+double pow_mults(std::uint32_t e) { return 2.0 * static_cast<double>(std::bit_width(e)); }
+
+using Tracked = util::TrackedDouble;
+
+RationalInterval point(const Rational& r) { return RationalInterval{r}; }
+
+// ---------------------------------------------------------------------------
+// Symmetric Theorem 5.1, tier 0: the O(n²) double evaluator of
+// core/nonoblivious.cpp with a running error bound alongside every
+// operation. The indicator base > 0 is decided in rounded arithmetic; when
+// the rounded base lies within its own error bound of zero the true
+// indicator is unknown, so the possibly-present term is added to the error
+// instead of the sum.
+Tracked sym_zero_bracket_t0(std::uint32_t m, double beta, double t) {
+  if (m == 0) return {1.0, 0.0};
+  KahanSum sum;
+  double abs_sum = 0.0;
+  double err = 0.0;
+  for (std::uint32_t l = 0; l <= m; ++l) {
+    const double lb = static_cast<double>(l) * beta;
+    const double base = t - lb;
+    const double err_base = kU * (std::abs(lb) + std::abs(base));
+    const double binom = combinat::binomial_double(m, l);
+    if (base <= err_base) {
+      if (base > -err_base) err += binom * combinat::pow_uint(std::abs(base) + err_base, m);
+      continue;
+    }
+    const double p1 = combinat::pow_uint(base, m - 1);
+    const double term = binom * p1 * base;
+    err += binom * static_cast<double>(m) * p1 * err_base + (pow_mults(m) + 2.0) * kU * term;
+    sum.add(l % 2 == 0 ? term : -term);
+    abs_sum += term;
+  }
+  const double inv = combinat::inverse_factorial_double(m);
+  const double value = sum.get() * inv;
+  return {value, inv * (err + 2.0 * kU * abs_sum) + 2.0 * kU * std::abs(value)};
+}
+
+Tracked sym_one_bracket_t0(std::uint32_t k, double beta, double t) {
+  if (k == 0) return {1.0, 0.0};
+  const double lead = combinat::pow_uint(1.0 - beta, k);
+  const double err_lead = (static_cast<double>(k) + pow_mults(k)) * kU * lead;
+  KahanSum sum;
+  double abs_sum = 0.0;
+  double err = 0.0;
+  for (std::uint32_t l = 0; l <= k; ++l) {
+    const double x1 = static_cast<double>(k) - t;
+    const double x2 = x1 - static_cast<double>(l);
+    const double lb = static_cast<double>(l) * beta;
+    const double base = x2 + lb;
+    const double err_base = kU * (std::abs(x1) + std::abs(x2) + 2.0 * std::abs(lb) +
+                                  std::abs(base));
+    const double binom = combinat::binomial_double(k, l);
+    if (base <= err_base) {
+      if (base > -err_base) err += binom * combinat::pow_uint(std::abs(base) + err_base, k);
+      continue;
+    }
+    const double p1 = combinat::pow_uint(base, k - 1);
+    const double term = binom * p1 * base;
+    err += binom * static_cast<double>(k) * p1 * err_base + (pow_mults(k) + 2.0) * kU * term;
+    sum.add(l % 2 == 0 ? term : -term);
+    abs_sum += term;
+  }
+  const double inv = combinat::inverse_factorial_double(k);
+  const double tail = sum.get() * inv;
+  const double value = lead - tail;
+  return {value, err_lead + inv * (err + 2.0 * kU * abs_sum) + 2.0 * kU * std::abs(tail) +
+                     kU * std::abs(value)};
+}
+
+Tracked sym_total_t0(std::uint32_t n, double beta, double t) {
+  KahanSum total;
+  double abs_total = 0.0;
+  double err = 0.0;
+  for (std::uint32_t k = 0; k <= n; ++k) {
+    const Tracked zb = sym_zero_bracket_t0(n - k, beta, t);
+    const Tracked ob = sym_one_bracket_t0(k, beta, t);
+    const double binom = combinat::binomial_double(n, k);
+    const double product = binom * zb.value * ob.value;
+    total.add(product);
+    abs_total += std::abs(product);
+    err += binom * (std::abs(zb.value) * ob.error + std::abs(ob.value) * zb.error +
+                    zb.error * ob.error + 2.0 * kU * std::abs(zb.value * ob.value));
+  }
+  return {total.get(), err + 2.0 * kU * abs_total};
+}
+
+// ---------------------------------------------------------------------------
+// Symmetric Theorem 5.1, tier 1: dyadic-interval arithmetic. The bracket
+// bases t − lβ and k − t − l + lβ are exact rationals, so every indicator
+// decision is exact; rounding enters only through pow_outward and the
+// rounded sums, keeping endpoint sizes bounded by `bits` fractional bits.
+RationalInterval sym_zero_bracket_i(std::uint32_t m, const Rational& beta, const Rational& t,
+                                    unsigned bits) {
+  if (m == 0) return point(Rational{1});
+  RationalInterval sum{Rational{0}};
+  for (std::uint32_t l = 0; l <= m; ++l) {
+    const Rational base = t - Rational{static_cast<std::int64_t>(l)} * beta;
+    if (base.signum() <= 0) continue;
+    RationalInterval term = pow_outward(point(base), m, bits);
+    term = outward_round(term * point(Rational{combinat::binomial(m, l), util::BigInt{1}}), bits);
+    sum = outward_round(l % 2 == 0 ? sum + term : sum - term, bits);
+  }
+  return outward_round(sum * point(combinat::inverse_factorial(m)), bits);
+}
+
+RationalInterval sym_one_bracket_i(std::uint32_t k, const Rational& beta, const Rational& t,
+                                   unsigned bits) {
+  if (k == 0) return point(Rational{1});
+  const Rational kk{static_cast<std::int64_t>(k)};
+  RationalInterval sum{Rational{0}};
+  for (std::uint32_t l = 0; l <= k; ++l) {
+    const Rational ll{static_cast<std::int64_t>(l)};
+    const Rational base = kk - t - ll + ll * beta;
+    if (base.signum() <= 0) continue;
+    RationalInterval term = pow_outward(point(base), k, bits);
+    term = outward_round(term * point(Rational{combinat::binomial(k, l), util::BigInt{1}}), bits);
+    sum = outward_round(l % 2 == 0 ? sum + term : sum - term, bits);
+  }
+  const RationalInterval lead = pow_outward(point(Rational{1} - beta), k, bits);
+  return outward_round(lead - outward_round(sum * point(combinat::inverse_factorial(k)), bits),
+                       bits);
+}
+
+RationalInterval sym_total_i(std::uint32_t n, const Rational& beta, const Rational& t,
+                             unsigned bits) {
+  RationalInterval total{Rational{0}};
+  for (std::uint32_t k = 0; k <= n; ++k) {
+    RationalInterval term = outward_round(
+        sym_zero_bracket_i(n - k, beta, t, bits) * sym_one_bracket_i(k, beta, t, bits), bits);
+    term = outward_round(term * point(Rational{combinat::binomial(n, k), util::BigInt{1}}), bits);
+    total = outward_round(total + term, bits);
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// General Theorem 5.1, tier 0: the Gray-code double kernel of
+// core/nonoblivious.cpp with running error bounds. The compensated running
+// base carries the Neumaier bound 2u·Σ|increments|.
+Tracked gen_zeros_bracket_t0(std::span<const double> a, std::span<const std::size_t> zeros,
+                             double t) {
+  const std::size_t m = zeros.size();
+  if (m == 0) return {1.0, 0.0};
+  const auto mm = static_cast<std::uint32_t>(m);
+  KahanSum remainder{t};
+  double abs_inc = std::abs(t);
+  KahanSum sum{combinat::pow_uint(t, mm)};
+  double abs_sum = sum.get();
+  double err = pow_mults(mm) * kU * abs_sum;
+  std::uint64_t mask = 0;
+  const std::uint64_t limit = std::uint64_t{1} << m;
+  for (std::uint64_t i = 1; i < limit; ++i) {
+    const std::uint32_t j = combinat::gray_flip_bit(i);
+    const std::uint64_t bit = std::uint64_t{1} << j;
+    mask ^= bit;
+    remainder.add((mask & bit) ? -a[zeros[j]] : a[zeros[j]]);
+    abs_inc += std::abs(a[zeros[j]]);
+    const double err_base = 2.0 * kU * abs_inc;
+    const double rem = remainder.get();
+    if (rem <= err_base) {
+      if (rem > -err_base) err += combinat::pow_uint(std::abs(rem) + err_base, mm);
+      continue;
+    }
+    const double p1 = combinat::pow_uint(rem, mm - 1);
+    const double term = p1 * rem;
+    err += static_cast<double>(m) * p1 * err_base + (pow_mults(mm) + 1.0) * kU * term;
+    sum.add(combinat::gray_parity_odd(i) ? -term : term);
+    abs_sum += term;
+  }
+  const double inv = combinat::inverse_factorial_double(mm);
+  const double value = sum.get() * inv;
+  return {value, inv * (err + 2.0 * kU * abs_sum) + 2.0 * kU * std::abs(value)};
+}
+
+Tracked gen_ones_bracket_t0(std::span<const double> a, std::span<const std::size_t> ones,
+                            double t) {
+  const std::size_t k = ones.size();
+  if (k == 0) return {1.0, 0.0};
+  const auto kk = static_cast<std::uint32_t>(k);
+  double product = 1.0;
+  for (const std::size_t idx : ones) product *= 1.0 - a[idx];
+  // Factors lie in [0, 1], so the absolute error of the product is at most
+  // 2k·u (one rounding per subtraction and per multiplication).
+  const double err_product = 2.0 * static_cast<double>(k) * kU;
+  KahanSum base{static_cast<double>(k) - t};
+  double abs_inc = static_cast<double>(k) + std::abs(t);
+  KahanSum sum;
+  double abs_sum = 0.0;
+  double err = 0.0;
+  {
+    const double b0 = base.get();
+    const double err_b0 = kU * std::abs(b0);
+    if (b0 > err_b0) {
+      const double term0 = combinat::pow_uint(b0, kk);
+      sum.add(term0);
+      abs_sum += term0;
+      err += static_cast<double>(k) * combinat::pow_uint(b0, kk - 1) * err_b0 +
+             pow_mults(kk) * kU * term0;
+    } else if (b0 > -err_b0) {
+      err += combinat::pow_uint(std::abs(b0) + err_b0, kk);
+    }
+  }
+  std::uint64_t mask = 0;
+  const std::uint64_t limit = std::uint64_t{1} << k;
+  for (std::uint64_t i = 1; i < limit; ++i) {
+    const std::uint32_t j = combinat::gray_flip_bit(i);
+    const std::uint64_t bit = std::uint64_t{1} << j;
+    mask ^= bit;
+    base.add((mask & bit) ? a[ones[j]] - 1.0 : 1.0 - a[ones[j]]);
+    abs_inc += 1.0;  // |a_l − 1| <= 1
+    const double err_base = 2.0 * kU * abs_inc;
+    const double b = base.get();
+    if (b <= err_base) {
+      if (b > -err_base) err += combinat::pow_uint(std::abs(b) + err_base, kk);
+      continue;
+    }
+    const double p1 = combinat::pow_uint(b, kk - 1);
+    const double term = p1 * b;
+    err += static_cast<double>(k) * p1 * err_base + (pow_mults(kk) + 1.0) * kU * term;
+    sum.add(combinat::gray_parity_odd(i) ? -term : term);
+    abs_sum += term;
+  }
+  const double inv = combinat::inverse_factorial_double(kk);
+  const double tail = sum.get() * inv;
+  const double value = product - tail;
+  return {value, err_product + inv * (err + 2.0 * kU * abs_sum) + 2.0 * kU * std::abs(tail) +
+                     kU * std::abs(value)};
+}
+
+Tracked gen_total_t0(std::span<const double> a, double t) {
+  const std::size_t n = a.size();
+  KahanSum total;
+  double abs_total = 0.0;
+  double err = 0.0;
+  std::vector<std::size_t> zeros;
+  std::vector<std::size_t> ones;
+  zeros.reserve(n);
+  ones.reserve(n);
+  const std::uint64_t limit = std::uint64_t{1} << n;
+  for (std::uint64_t b = 0; b < limit; ++b) {
+    zeros.clear();
+    ones.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (b & (std::uint64_t{1} << i)) {
+        ones.push_back(i);
+      } else {
+        zeros.push_back(i);
+      }
+    }
+    const Tracked zb = gen_zeros_bracket_t0(a, zeros, t);
+    const Tracked ob = gen_ones_bracket_t0(a, ones, t);
+    const double product = zb.value * ob.value;
+    total.add(product);
+    abs_total += std::abs(product);
+    err += std::abs(zb.value) * ob.error + std::abs(ob.value) * zb.error + zb.error * ob.error +
+           kU * std::abs(product);
+  }
+  return {total.get(), err + 2.0 * kU * abs_total};
+}
+
+// ---------------------------------------------------------------------------
+// General Theorem 5.1, tier 1: Gray-code walk with an *exact* rational
+// running base (so every feasibility indicator is decided exactly) and
+// dyadic-interval term accumulation.
+RationalInterval gen_zeros_bracket_i(std::span<const Rational> a,
+                                     std::span<const std::size_t> zeros, const Rational& t,
+                                     unsigned bits) {
+  const std::size_t m = zeros.size();
+  if (m == 0) return point(Rational{1});
+  const auto mm = static_cast<std::uint32_t>(m);
+  Rational remainder = t;
+  RationalInterval sum = pow_outward(point(t), mm, bits);  // I = ∅ (t > 0)
+  std::uint64_t mask = 0;
+  const std::uint64_t limit = std::uint64_t{1} << m;
+  for (std::uint64_t i = 1; i < limit; ++i) {
+    const std::uint32_t j = combinat::gray_flip_bit(i);
+    const std::uint64_t bit = std::uint64_t{1} << j;
+    mask ^= bit;
+    if (mask & bit) {
+      remainder -= a[zeros[j]];
+    } else {
+      remainder += a[zeros[j]];
+    }
+    if (remainder.signum() <= 0) continue;
+    const RationalInterval term = pow_outward(point(remainder), mm, bits);
+    sum = outward_round(combinat::gray_parity_odd(i) ? sum - term : sum + term, bits);
+  }
+  return outward_round(sum * point(combinat::inverse_factorial(mm)), bits);
+}
+
+RationalInterval gen_ones_bracket_i(std::span<const Rational> a,
+                                    std::span<const std::size_t> ones, const Rational& t,
+                                    unsigned bits) {
+  const std::size_t k = ones.size();
+  if (k == 0) return point(Rational{1});
+  const auto kk = static_cast<std::uint32_t>(k);
+  Rational product{1};
+  std::vector<Rational> shifted(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    product *= Rational{1} - a[ones[j]];
+    shifted[j] = a[ones[j]] - Rational{1};
+  }
+  Rational base = Rational{static_cast<std::int64_t>(k)} - t;
+  RationalInterval sum{Rational{0}};
+  if (base.signum() > 0) sum = pow_outward(point(base), kk, bits);
+  std::uint64_t mask = 0;
+  const std::uint64_t limit = std::uint64_t{1} << k;
+  for (std::uint64_t i = 1; i < limit; ++i) {
+    const std::uint32_t j = combinat::gray_flip_bit(i);
+    const std::uint64_t bit = std::uint64_t{1} << j;
+    mask ^= bit;
+    if (mask & bit) {
+      base += shifted[j];
+    } else {
+      base -= shifted[j];
+    }
+    if (base.signum() <= 0) continue;
+    const RationalInterval term = pow_outward(point(base), kk, bits);
+    sum = outward_round(combinat::gray_parity_odd(i) ? sum - term : sum + term, bits);
+  }
+  return outward_round(point(product) -
+                           outward_round(sum * point(combinat::inverse_factorial(kk)), bits),
+                       bits);
+}
+
+RationalInterval gen_total_i(std::span<const Rational> a, const Rational& t, unsigned bits) {
+  const std::size_t n = a.size();
+  RationalInterval total{Rational{0}};
+  std::vector<std::size_t> zeros;
+  std::vector<std::size_t> ones;
+  zeros.reserve(n);
+  ones.reserve(n);
+  const std::uint64_t limit = std::uint64_t{1} << n;
+  for (std::uint64_t b = 0; b < limit; ++b) {
+    zeros.clear();
+    ones.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (b & (std::uint64_t{1} << i)) {
+        ones.push_back(i);
+      } else {
+        zeros.push_back(i);
+      }
+    }
+    const RationalInterval product = outward_round(
+        gen_zeros_bracket_i(a, zeros, t, bits) * gen_ones_bracket_i(a, ones, t, bits), bits);
+    total = outward_round(total + product, bits);
+  }
+  return total;
+}
+
+bool all_representable(std::span<const Rational> values) {
+  for (const Rational& v : values) {
+    if (!util::representable_as_double(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+CertifiedValue certified_threshold_winning_probability(std::span<const Rational> a,
+                                                       const Rational& t,
+                                                       const EvalPolicy& policy) {
+  if (a.empty()) {
+    throw std::invalid_argument("certified_threshold_winning_probability: need >= 1 player");
+  }
+  if (a.size() > 20) {
+    throw std::invalid_argument("certified_threshold_winning_probability: n too large for 3^n sum");
+  }
+  for (const Rational& x : a) {
+    if (x < Rational{0} || x > Rational{1}) {
+      throw std::invalid_argument(
+          "certified_threshold_winning_probability: thresholds must lie in [0, 1]");
+    }
+  }
+  if (t.signum() <= 0) {
+    CertifiedValue zero;
+    zero.enclosure = point(Rational{0});
+    zero.tier = EvalTier::kExact;
+    zero.met_tolerance = true;
+    return zero;
+  }
+
+  const TierSpec tiers[] = {
+      {EvalTier::kCompensatedDouble,
+       [&]() -> RationalInterval {
+         if (!all_representable(a) || !util::representable_as_double(t)) {
+           throw NumericError(
+               "certified_threshold_winning_probability: inputs not representable as doubles");
+         }
+         std::vector<double> ad(a.size());
+         for (std::size_t i = 0; i < a.size(); ++i) ad[i] = a[i].to_double();
+         return util::tracked_enclosure(gen_total_t0(ad, t.to_double()),
+                                  "certified_threshold_winning_probability");
+       }},
+      {EvalTier::kInterval,
+       [&]() -> RationalInterval { return gen_total_i(a, t, policy.interval_bits); }},
+      {EvalTier::kExact,
+       [&]() -> RationalInterval {
+         if (a.size() > 16) {
+           throw NumericError(
+               "certified_threshold_winning_probability: exact tier limited to n <= 16");
+         }
+         return point(threshold_winning_probability(a, t));
+       }},
+  };
+  return run_escalation_ladder(policy, "certified_threshold_winning_probability", tiers);
+}
+
+CertifiedValue certified_symmetric_threshold_winning_probability(std::uint32_t n,
+                                                                 const Rational& beta,
+                                                                 const Rational& t,
+                                                                 const EvalPolicy& policy) {
+  if (n == 0) {
+    throw std::invalid_argument("certified_symmetric_threshold_winning_probability: n == 0");
+  }
+  if (beta < Rational{0} || beta > Rational{1}) {
+    throw std::invalid_argument(
+        "certified_symmetric_threshold_winning_probability: beta outside [0, 1]");
+  }
+  if (t.signum() <= 0) {
+    CertifiedValue zero;
+    zero.enclosure = point(Rational{0});
+    zero.tier = EvalTier::kExact;
+    zero.met_tolerance = true;
+    return zero;
+  }
+
+  const TierSpec tiers[] = {
+      {EvalTier::kCompensatedDouble,
+       [&]() -> RationalInterval {
+         // binomial_double is exact only while C(n, k) fits the mantissa.
+         if (n > 56 || !util::representable_as_double(beta) ||
+             !util::representable_as_double(t)) {
+           throw NumericError(
+               "certified_symmetric_threshold_winning_probability: double tier unavailable "
+               "(inputs not representable or n > 56)");
+         }
+         return util::tracked_enclosure(sym_total_t0(n, beta.to_double(), t.to_double()),
+                                  "certified_symmetric_threshold_winning_probability");
+       }},
+      {EvalTier::kInterval,
+       [&]() -> RationalInterval { return sym_total_i(n, beta, t, policy.interval_bits); }},
+      {EvalTier::kExact,
+       [&]() -> RationalInterval {
+         return point(symmetric_threshold_winning_probability(n, beta, t));
+       }},
+  };
+  return run_escalation_ladder(policy, "certified_symmetric_threshold_winning_probability",
+                               tiers);
+}
+
+}  // namespace ddm::core

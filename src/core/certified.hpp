@@ -1,0 +1,37 @@
+// certified.hpp — certified Theorem 5.1 evaluation (escalation ladder).
+//
+// Certified counterparts of the threshold winning-probability kernels in
+// core/nonoblivious.hpp: instead of a bare double they return a
+// CertifiedValue — a rigorous enclosure of the exact value — escalating
+// compensated double → dyadic interval → exact Rational until the enclosure
+// is narrower than the policy tolerance (util/certify.hpp). The alternating
+// inclusion-exclusion sums of Theorem 5.1 cancel catastrophically for large
+// n (terms of size ~ (n − t)^n against a result in [0, 1]), which is exactly
+// the regime where the plain double kernels silently lose every digit; the
+// certified versions either prove their answer or visibly escalate.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/certify.hpp"
+#include "util/rational.hpp"
+
+namespace ddm::core {
+
+/// Certified Theorem 5.1 for arbitrary thresholds a ∈ [0, 1]^n. Tier costs:
+/// double/interval O(3^n) (any n ≤ 20), exact O(3^n) rational (n ≤ 16 — the
+/// exact tier reports NumericError above that and the ladder returns the
+/// best interval enclosure instead). Throws std::invalid_argument on bad
+/// inputs, NumericError when no tier can evaluate the instance.
+[[nodiscard]] CertifiedValue certified_threshold_winning_probability(
+    std::span<const util::Rational> a, const util::Rational& t, const EvalPolicy& policy = {});
+
+/// Certified symmetric Theorem 5.1 (all thresholds equal beta): O(n²) terms
+/// in every tier, so even the exact tier is cheap — this is the evaluator
+/// the ill-conditioned large-n demonstrations use.
+[[nodiscard]] CertifiedValue certified_symmetric_threshold_winning_probability(
+    std::uint32_t n, const util::Rational& beta, const util::Rational& t,
+    const EvalPolicy& policy = {});
+
+}  // namespace ddm::core

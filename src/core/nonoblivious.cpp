@@ -1,13 +1,16 @@
 #include "core/nonoblivious.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
 #include "combinat/binomial.hpp"
 #include "combinat/subsets.hpp"
+#include "util/fault.hpp"
 #include "util/kahan.hpp"
 #include "util/parallel.hpp"
+#include "util/status.hpp"
 
 namespace ddm::core {
 
@@ -205,7 +208,7 @@ double threshold_winning_probability(std::span<const double> a, double t) {
     }
     total += zeros_bracket_d(zeros) * ones_bracket_d(ones);
   }
-  return total;
+  return require_finite(total, "threshold_winning_probability: double result");
 }
 
 std::vector<double> threshold_winning_probability_batch(
@@ -213,12 +216,30 @@ std::vector<double> threshold_winning_probability_batch(
   std::vector<double> values(points.size(), 0.0);
   // Each point goes through the identical serial evaluator a single-point
   // call uses, so batch results match one-at-a-time evaluation bitwise; the
-  // engine only distributes whole points across the pool.
-  util::parallel_for(0, points.size(), [&](std::size_t lo, std::size_t hi) {
+  // engine only distributes whole points across the pool. The validate hook
+  // rejects any chunk holding a non-finite value — whether produced by the
+  // kernel or injected by a nan-poison fault directive — so the engine
+  // recomputes it instead of returning silently-corrupt rows.
+  util::ParallelOptions options;
+  options.label = "threshold_batch";
+  options.validate = [&values](std::size_t lo, std::size_t hi) {
     for (std::size_t p = lo; p < hi; ++p) {
-      values[p] = threshold_winning_probability(points[p], t);
+      if (!std::isfinite(values[p])) return false;
     }
-  });
+    return true;
+  };
+  util::parallel_for(
+      0, points.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t p = lo; p < hi; ++p) {
+          values[p] = threshold_winning_probability(points[p], t);
+        }
+        // grain == 1, so the chunk ordinal equals lo.
+        if (util::fault::active() && util::fault::consume_nan(lo)) {
+          values[lo] = std::numeric_limits<double>::quiet_NaN();
+        }
+      },
+      options);
   return values;
 }
 
@@ -310,7 +331,7 @@ double symmetric_threshold_winning_probability(std::uint32_t n, double beta, dou
   for (std::uint32_t k = 0; k <= n; ++k) {
     total += combinat::binomial_double(n, k) * zero_bracket(n - k) * one_bracket(k);
   }
-  return total;
+  return require_finite(total, "symmetric_threshold_winning_probability: double result");
 }
 
 }  // namespace ddm::core

@@ -19,6 +19,7 @@
 
 #include "combinat/binomial.hpp"
 #include "util/rational.hpp"
+#include "util/status.hpp"
 
 namespace ddm::reference {
 
@@ -65,8 +66,9 @@ namespace ddm::reference {
   std::vector<double> ratio(m);
   double side_product = 1.0;
   for (std::size_t l = 0; l < m; ++l) {
-    ratio[l] = pi[l] / sigma[l];
-    side_product *= sigma[l];
+    ratio[l] = require_finite(pi[l] / sigma[l], "reference simplex_box_volume_double: ratio");
+    side_product =
+        require_finite(side_product * sigma[l], "reference simplex_box_volume_double: sides");
   }
   double sum = 0.0;
   const std::uint64_t limit = std::uint64_t{1} << m;
@@ -79,7 +81,9 @@ namespace ddm::reference {
     const double term = std::pow(1.0 - ratio_sum, static_cast<double>(m));
     sum += (__builtin_popcountll(mask) % 2 == 0) ? term : -term;
   }
-  return side_product * combinat::inverse_factorial_double(static_cast<std::uint32_t>(m)) * sum;
+  return require_finite(
+      side_product * combinat::inverse_factorial_double(static_cast<std::uint32_t>(m)) * sum,
+      "reference simplex_box_volume_double: result");
 }
 
 /// Theorem 5.1 general-threshold evaluator, exact, naive brackets.
@@ -214,7 +218,7 @@ namespace ddm::reference {
     }
     total += zeros_bracket(zeros) * ones_bracket(ones);
   }
-  return total;
+  return require_finite(total, "reference threshold_winning_probability: double result");
 }
 
 }  // namespace ddm::reference

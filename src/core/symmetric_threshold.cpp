@@ -1,3 +1,9 @@
+// Exact symbolic analysis of the symmetric Theorem 5.1 objective. Everything
+// here is rational-arithmetic-only; it doubles as the independent ground
+// truth that the certified escalation ladder's enclosures are tested against
+// (certified_symmetric_threshold_winning_probability must contain the value
+// of these pieces at every probe — see tests/test_certified.cpp and
+// docs/robustness.md).
 #include "core/symmetric_threshold.hpp"
 
 #include <algorithm>

@@ -51,14 +51,21 @@ ThresholdSearchResult maximize_thresholds(std::vector<double> start, double t,
     const std::size_t budget = max_evaluations - result.evaluations;
     if (probes.size() > budget) probes.resize(budget);
     if (probes.empty()) break;
-    util::parallel_for(0, probes.size(), [&](std::size_t lo, std::size_t hi) {
-      std::vector<double> point(result.thresholds);
-      for (std::size_t p = lo; p < hi; ++p) {
-        point[probes[p].axis] = probes[p].candidate;
-        probes[p].value = threshold_winning_probability(point, t);
-        point[probes[p].axis] = result.thresholds[probes[p].axis];
-      }
-    });
+    util::ParallelOptions probe_options;
+    probe_options.label = "compass_probes";
+    util::parallel_for(
+        0, probes.size(),
+        [&](std::size_t lo, std::size_t hi) {
+          // Fresh lambda-local state per attempt keeps the chunk idempotent
+          // under the engine's transient-fault retry.
+          std::vector<double> point(result.thresholds);
+          for (std::size_t p = lo; p < hi; ++p) {
+            point[probes[p].axis] = probes[p].candidate;
+            probes[p].value = threshold_winning_probability(point, t);
+            point[probes[p].axis] = result.thresholds[probes[p].axis];
+          }
+        },
+        probe_options);
     result.evaluations += static_cast<std::uint32_t>(probes.size());
     const Probe* best = &probes[0];
     for (const Probe& probe : probes) {

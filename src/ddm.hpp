@@ -8,6 +8,7 @@
 #include "combinat/binomial.hpp"     // IWYU pragma: export
 #include "combinat/subsets.hpp"      // IWYU pragma: export
 #include "core/baselines.hpp"        // IWYU pragma: export
+#include "core/certified.hpp"        // IWYU pragma: export
 #include "core/communication.hpp"    // IWYU pragma: export
 #include "core/heterogeneous.hpp"    // IWYU pragma: export
 #include "core/interval_rules.hpp"   // IWYU pragma: export
@@ -34,7 +35,11 @@
 #include "prob/uniform_sum.hpp"      // IWYU pragma: export
 #include "sim/monte_carlo.hpp"       // IWYU pragma: export
 #include "util/bigint.hpp"           // IWYU pragma: export
+#include "util/certify.hpp"          // IWYU pragma: export
+#include "util/checkpoint.hpp"       // IWYU pragma: export
+#include "util/fault.hpp"            // IWYU pragma: export
 #include "util/interval.hpp"         // IWYU pragma: export
 #include "util/parallel.hpp"         // IWYU pragma: export
 #include "util/rational.hpp"         // IWYU pragma: export
+#include "util/status.hpp"           // IWYU pragma: export
 #include "util/table.hpp"            // IWYU pragma: export

@@ -1,5 +1,6 @@
 #include "geom/volume.hpp"
 
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <stdexcept>
@@ -7,6 +8,7 @@
 #include "combinat/binomial.hpp"
 #include "combinat/subsets.hpp"
 #include "util/kahan.hpp"
+#include "util/status.hpp"
 
 namespace ddm::geom {
 
@@ -109,8 +111,9 @@ double simplex_box_volume_double(std::span<const double> sigma, std::span<const 
     if (sigma[l] <= 0.0 || pi[l] <= 0.0) {
       throw std::invalid_argument("simplex_box_volume_double: sides must be > 0");
     }
-    ratio[l] = pi[l] / sigma[l];
-    side_product *= sigma[l];
+    ratio[l] = require_finite(pi[l] / sigma[l], "simplex_box_volume_double: ratio pi/sigma");
+    side_product = require_finite(side_product * sigma[l],
+                                  "simplex_box_volume_double: side product");
   }
   // Same Gray-code walk as the exact version: one add per subset plus a
   // binary-exponentiation power instead of std::pow. Both the running ratio
@@ -131,7 +134,142 @@ double simplex_box_volume_double(std::span<const double> sigma, std::span<const 
     const double term = combinat::pow_uint(1.0 - rs, mm);
     sum.add(combinat::gray_parity_odd(i) ? -term : term);
   }
-  return side_product * combinat::inverse_factorial_double(mm) * sum.get();
+  return require_finite(side_product * combinat::inverse_factorial_double(mm) * sum.get(),
+                        "simplex_box_volume_double: result");
+}
+
+namespace {
+
+constexpr double kU = 0x1p-53;  // unit roundoff of IEEE double
+
+double pow_mults(std::uint32_t e) { return 2.0 * static_cast<double>(std::bit_width(e)); }
+
+// Tier 0: the Gray-code double kernel above with a running error bound. The
+// compensated running ratio sum carries the Neumaier bound 2u·Σ|increments|
+// plus u·Σ|ratio| for the rounding already inside each ratio; a subset whose
+// 1 − Σ ratio lands within the bound of zero has an uncertain feasibility
+// indicator, so its possible term is charged to the error instead.
+util::TrackedDouble simplex_box_volume_t0(std::span<const double> sigma,
+                                          std::span<const double> pi) {
+  const std::size_t m = sigma.size();
+  const auto mm = static_cast<std::uint32_t>(m);
+  std::vector<double> ratio(m);
+  double side_product = 1.0;
+  for (std::size_t l = 0; l < m; ++l) {
+    ratio[l] = pi[l] / sigma[l];
+    side_product *= sigma[l];
+  }
+  util::KahanSum ratio_sum;
+  double abs_inc = 0.0;
+  util::KahanSum sum{1.0};  // empty subset: (1 − 0)^m, exact
+  double abs_sum = 1.0;
+  double err = 0.0;
+  std::uint64_t mask = 0;
+  const std::uint64_t limit = std::uint64_t{1} << m;
+  for (std::uint64_t i = 1; i < limit; ++i) {
+    const std::uint32_t j = combinat::gray_flip_bit(i);
+    const std::uint64_t bit = std::uint64_t{1} << j;
+    mask ^= bit;
+    ratio_sum.add((mask & bit) ? ratio[j] : -ratio[j]);
+    abs_inc += ratio[j];
+    const double rs = ratio_sum.get();
+    const double base = 1.0 - rs;
+    const double err_base = 3.0 * kU * abs_inc + kU * std::abs(base);
+    if (base <= err_base) {
+      if (base > -err_base) err += combinat::pow_uint(std::abs(base) + err_base, mm);
+      continue;
+    }
+    const double p1 = combinat::pow_uint(base, mm - 1);
+    const double term = p1 * base;
+    err += static_cast<double>(m) * p1 * err_base + (pow_mults(mm) + 1.0) * kU * term;
+    sum.add(combinat::gray_parity_odd(i) ? -term : term);
+    abs_sum += term;
+  }
+  const double prefactor = side_product * combinat::inverse_factorial_double(mm);
+  const double value = prefactor * sum.get();
+  const double error = std::abs(prefactor) * (err + 2.0 * kU * abs_sum) +
+                       (static_cast<double>(m) + 3.0) * kU * std::abs(value);
+  return {value, error};
+}
+
+// Tier 1: the same Gray walk with an exact rational running ratio sum (exact
+// feasibility indicators) and dyadic-interval term accumulation.
+util::RationalInterval simplex_box_volume_i(std::span<const Rational> sigma,
+                                            std::span<const Rational> pi, unsigned bits) {
+  const std::size_t m = sigma.size();
+  const auto mm = static_cast<std::uint32_t>(m);
+  std::vector<Rational> ratio(m);
+  for (std::size_t l = 0; l < m; ++l) ratio[l] = pi[l] / sigma[l];
+  Rational remainder{1};
+  util::RationalInterval sum{Rational{1}};  // empty subset: exact 1
+  std::uint64_t mask = 0;
+  const std::uint64_t limit = std::uint64_t{1} << m;
+  for (std::uint64_t i = 1; i < limit; ++i) {
+    const std::uint32_t j = combinat::gray_flip_bit(i);
+    const std::uint64_t bit = std::uint64_t{1} << j;
+    mask ^= bit;
+    if (mask & bit) {
+      remainder -= ratio[j];
+    } else {
+      remainder += ratio[j];
+    }
+    if (remainder.signum() <= 0) continue;
+    const util::RationalInterval term = util::pow_outward(util::RationalInterval{remainder}, mm, bits);
+    sum = util::outward_round(combinat::gray_parity_odd(i) ? sum - term : sum + term, bits);
+  }
+  return util::outward_round(sum * util::RationalInterval{simplex_volume(sigma)}, bits);
+}
+
+}  // namespace
+
+ddm::CertifiedValue certified_simplex_box_volume(std::span<const Rational> sigma,
+                                                 std::span<const Rational> pi,
+                                                 const ddm::EvalPolicy& policy) {
+  check_positive(sigma, "certified_simplex_box_volume");
+  check_positive(pi, "certified_simplex_box_volume");
+  if (sigma.size() != pi.size()) {
+    throw std::invalid_argument("certified_simplex_box_volume: size mismatch");
+  }
+  if (sigma.size() > 62) {
+    throw std::invalid_argument("certified_simplex_box_volume: m too large for subset masks");
+  }
+
+  const auto representable = [](std::span<const Rational> values) {
+    for (const Rational& v : values) {
+      if (!util::representable_as_double(v)) return false;
+    }
+    return true;
+  };
+
+  const ddm::TierSpec tiers[] = {
+      {ddm::EvalTier::kCompensatedDouble,
+       [&]() -> util::RationalInterval {
+         if (!representable(sigma) || !representable(pi)) {
+           throw ddm::NumericError(
+               "certified_simplex_box_volume: inputs not representable as doubles");
+         }
+         std::vector<double> sd(sigma.size());
+         std::vector<double> pd(pi.size());
+         for (std::size_t l = 0; l < sigma.size(); ++l) {
+           sd[l] = sigma[l].to_double();
+           pd[l] = pi[l].to_double();
+         }
+         return util::tracked_enclosure(simplex_box_volume_t0(sd, pd),
+                                        "certified_simplex_box_volume");
+       }},
+      {ddm::EvalTier::kInterval,
+       [&]() -> util::RationalInterval {
+         return simplex_box_volume_i(sigma, pi, policy.interval_bits);
+       }},
+      {ddm::EvalTier::kExact,
+       [&]() -> util::RationalInterval {
+         if (sigma.size() > 30) {
+           throw ddm::NumericError("certified_simplex_box_volume: exact tier limited to m <= 30");
+         }
+         return util::RationalInterval{simplex_box_volume(sigma, pi)};
+       }},
+  };
+  return ddm::run_escalation_ladder(policy, "certified_simplex_box_volume", tiers);
 }
 
 }  // namespace ddm::geom

@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "util/certify.hpp"
 #include "util/rational.hpp"
 
 namespace ddm::geom {
@@ -37,7 +38,19 @@ namespace ddm::geom {
                                                 std::span<const util::Rational> pi);
 
 /// Floating-point version of Proposition 2.2 for large m / fast sweeps.
+/// Throws ddm::NumericError when an intermediate (the Π σ_l prefactor or a
+/// subset term) leaves the finite double range instead of returning inf/NaN.
 [[nodiscard]] double simplex_box_volume_double(std::span<const double> sigma,
                                                std::span<const double> pi);
+
+/// Certified Proposition 2.2: returns a rigorous enclosure of
+/// Vol(ΣΠ^m(σ, π)), escalating compensated double → dyadic interval → exact
+/// rational per `policy` (util/certify.hpp). Tier costs: double/interval
+/// O(2^m) for m <= 62, exact O(2^m) rational for m <= 30 (above that the
+/// exact tier reports NumericError and the ladder keeps the best interval
+/// enclosure).
+[[nodiscard]] ddm::CertifiedValue certified_simplex_box_volume(
+    std::span<const util::Rational> sigma, std::span<const util::Rational> pi,
+    const ddm::EvalPolicy& policy = {});
 
 }  // namespace ddm::geom

@@ -67,7 +67,21 @@ SimResult estimate_winning_probability(const core::Protocol& protocol, double t,
           wins[b] = block_wins;
         }
       },
-      /*grain=*/1, /*max_workers=*/threads);
+      [&] {
+        util::ParallelOptions options;
+        options.max_workers = threads;
+        options.label = "monte_carlo";
+        // Blocks recreate their split RNG stream on every attempt, so a
+        // retried chunk (transient fault or failed validation) recomputes
+        // the identical tally.
+        options.validate = [&wins](std::size_t lo, std::size_t hi) {
+          for (std::size_t b = lo; b < hi; ++b) {
+            if (wins[b] > kTrialsPerBlock) return false;
+          }
+          return true;
+        };
+        return options;
+      }());
   std::uint64_t total_wins = 0;
   for (const std::uint64_t w : wins) total_wins += w;
   return wilson_interval(total_wins, trials);

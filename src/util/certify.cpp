@@ -1,0 +1,116 @@
+#include "util/certify.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace ddm {
+
+const char* to_string(EvalTier tier) noexcept {
+  switch (tier) {
+    case EvalTier::kCompensatedDouble:
+      return "compensated-double";
+    case EvalTier::kInterval:
+      return "interval";
+    case EvalTier::kExact:
+      return "exact";
+  }
+  return "unknown";
+}
+
+CertifiedValue run_escalation_ladder(const EvalPolicy& policy, const char* label,
+                                     std::span<const TierSpec> tiers) {
+  const auto bump = [&policy](EvalTier tier) {
+    if (policy.stats == nullptr) return;
+    switch (tier) {
+      case EvalTier::kCompensatedDouble:
+        ++policy.stats->double_attempts;
+        break;
+      case EvalTier::kInterval:
+        ++policy.stats->interval_attempts;
+        break;
+      case EvalTier::kExact:
+        ++policy.stats->exact_attempts;
+        break;
+    }
+  };
+
+  bool have_best = false;
+  CertifiedValue best;
+  std::exception_ptr last_failure;
+  bool attempted_before = false;
+  for (const TierSpec& spec : tiers) {
+    if (spec.tier > policy.max_tier) continue;
+    if (attempted_before && policy.stats != nullptr) ++policy.stats->escalations;
+    attempted_before = true;
+    bump(spec.tier);
+    util::RationalInterval enclosure{util::Rational{0}};
+    try {
+      enclosure = spec.evaluate();
+    } catch (const NumericError&) {
+      if (policy.stats != nullptr) ++policy.stats->numeric_errors;
+      last_failure = std::current_exception();
+      continue;
+    }
+    if (!have_best || enclosure.width() < best.enclosure.width()) {
+      have_best = true;
+      best.enclosure = enclosure;
+      best.tier = spec.tier;
+    }
+    if (enclosure.width() <= policy.tolerance) {
+      best.enclosure = enclosure;
+      best.tier = spec.tier;
+      best.met_tolerance = true;
+      return best;
+    }
+  }
+  if (!have_best) {
+    if (last_failure) std::rethrow_exception(last_failure);
+    throw NumericError(std::string(label) + ": no evaluation tier available under this policy");
+  }
+  best.met_tolerance = best.enclosure.width() <= policy.tolerance;
+  return best;
+}
+
+namespace util {
+
+namespace {
+// Absorbs the second-order terms (products of roundoffs, compensated-sum
+// O(N·u²) tails) that the first-order running error analyses drop.
+constexpr double kTrackedSafety = 4.0;
+}  // namespace
+
+RationalInterval tracked_enclosure(const TrackedDouble& tracked, const char* label) {
+  const double bound = kTrackedSafety * tracked.error;
+  if (!std::isfinite(tracked.value) || !std::isfinite(bound)) {
+    throw NumericError(std::string(label) + ": double tier produced a non-finite value or bound");
+  }
+  const Rational center = exact_rational(tracked.value);
+  const Rational radius = exact_rational(bound);
+  return RationalInterval{center - radius, center + radius};
+}
+
+Rational exact_rational(double x) {
+  if (!std::isfinite(x)) {
+    throw NumericError("exact_rational: non-finite double " + std::to_string(x));
+  }
+  if (x == 0.0) return Rational{0};
+  int exponent = 0;
+  const double mantissa = std::frexp(x, &exponent);  // x = mantissa * 2^exponent
+  // 53 mantissa bits: mantissa * 2^53 is an exact integer.
+  const auto scaled = static_cast<std::int64_t>(std::ldexp(mantissa, 53));
+  exponent -= 53;
+  if (exponent >= 0) {
+    return Rational{BigInt{scaled} << static_cast<std::size_t>(exponent), BigInt{1}};
+  }
+  return Rational{BigInt{scaled}, BigInt{1} << static_cast<std::size_t>(-exponent)};
+}
+
+bool representable_as_double(const Rational& r) {
+  const double d = r.to_double();
+  if (!std::isfinite(d)) return false;
+  return exact_rational(d) == r;
+}
+
+}  // namespace util
+
+}  // namespace ddm

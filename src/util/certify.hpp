@@ -1,0 +1,124 @@
+// certify.hpp — certified evaluation: enclosures + the escalation ladder.
+//
+// The fast double kernels (geom/volume.cpp, core/nonoblivious.cpp) evaluate
+// alternating inclusion-exclusion sums whose terms can dwarf the result —
+// catastrophic cancellation territory. Certified mode never returns a bare
+// double: every evaluation produces a rigorous *enclosure* (an exact
+// RationalInterval guaranteed to contain the true value) and an automatic
+// ladder escalates through progressively more expensive evaluation tiers
+// until the enclosure is narrower than the caller's tolerance:
+//
+//   tier 0  compensated double + running error bound   (~1x the plain kernel)
+//   tier 1  dyadic-interval arithmetic                  (outward_round; ~100x)
+//   tier 2  exact rational arithmetic                   (point enclosure)
+//
+// Tier 0 applies only when every input is exactly representable as a double
+// (otherwise the double kernel would silently evaluate a *different*
+// instance); tiers 1 and 2 handle arbitrary rationals. The ladder is shared
+// by certified_threshold_winning_probability,
+// certified_symmetric_threshold_winning_probability (core/certified.hpp) and
+// certified_simplex_box_volume (geom/volume.hpp), and is exposed on the CLI
+// as `ddm_cli --certify`. See docs/robustness.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "util/interval.hpp"
+#include "util/rational.hpp"
+#include "util/status.hpp"
+
+namespace ddm {
+
+/// Evaluation tiers, cheapest first. Numeric values order the ladder.
+enum class EvalTier : unsigned {
+  kCompensatedDouble = 0,  ///< fast double kernel + rigorous running error bound
+  kInterval = 1,           ///< dyadic outward-rounded interval arithmetic
+  kExact = 2,              ///< exact rational arithmetic (width-0 enclosure)
+};
+
+[[nodiscard]] const char* to_string(EvalTier tier) noexcept;
+
+/// Counters a caller can attach to EvalPolicy to observe the ladder.
+struct EvalStats {
+  std::uint64_t double_attempts = 0;
+  std::uint64_t interval_attempts = 0;
+  std::uint64_t exact_attempts = 0;
+  std::uint64_t escalations = 0;      ///< tier-to-tier transitions taken
+  std::uint64_t numeric_errors = 0;   ///< tiers abandoned via NumericError
+};
+
+/// Caller-supplied certification policy, threaded through the public API.
+struct EvalPolicy {
+  /// Maximum acceptable enclosure width. The ladder escalates until the
+  /// width is <= tolerance or max_tier is reached.
+  util::Rational tolerance{1, 1000000000};
+  /// Highest tier the ladder may use.
+  EvalTier max_tier = EvalTier::kExact;
+  /// Fractional bits kept by the interval tier's outward rounding. More bits
+  /// = narrower enclosures at higher cost; 320 comfortably absorbs the
+  /// term magnitudes of n ~ 60 inclusion-exclusion sums.
+  unsigned interval_bits = 320;
+  /// Optional observation hook (not owned; may be nullptr).
+  EvalStats* stats = nullptr;
+};
+
+/// A certified result: an enclosure proven to contain the true value, the
+/// tier that produced it, and whether the policy tolerance was met. When
+/// met_tolerance is false the enclosure is still valid — just wider than
+/// requested (the ladder ran out of allowed tiers).
+struct CertifiedValue {
+  util::RationalInterval enclosure{util::Rational{0}};
+  EvalTier tier = EvalTier::kCompensatedDouble;
+  bool met_tolerance = false;
+
+  [[nodiscard]] util::Rational width() const { return enclosure.width(); }
+  /// Midpoint of the enclosure as a double — the "answer" for callers that
+  /// want one number.
+  [[nodiscard]] double value() const { return enclosure.midpoint().to_double(); }
+};
+
+/// One rung of the ladder: computes an enclosure, or throws ddm::NumericError
+/// when this tier cannot evaluate the instance (overflow, unsupported size).
+struct TierSpec {
+  EvalTier tier;
+  std::function<util::RationalInterval()> evaluate;
+};
+
+/// Runs `tiers` (ordered cheapest-first) under `policy`: attempts each tier
+/// no higher than policy.max_tier, accepts the first enclosure with width <=
+/// policy.tolerance, and otherwise returns the narrowest enclosure any tier
+/// produced with met_tolerance = false. Throws the last tier's NumericError
+/// only if *no* tier produced an enclosure. `label` names the evaluation in
+/// error messages.
+[[nodiscard]] CertifiedValue run_escalation_ladder(const EvalPolicy& policy, const char* label,
+                                                   std::span<const TierSpec> tiers);
+
+namespace util {
+
+/// A double value paired with a first-order bound on its absolute error,
+/// maintained by the tier-0 tracked-double kernels.
+struct TrackedDouble {
+  double value = 0.0;
+  double error = 0.0;
+};
+
+/// Converts a tracked double into a rigorous enclosure with exact rational
+/// endpoints, inflating the bound by a safety factor that absorbs the
+/// second-order roundoff terms the running analysis drops. Throws
+/// ddm::NumericError when the value or bound is non-finite (the escalation
+/// signal of the double tier).
+[[nodiscard]] RationalInterval tracked_enclosure(const TrackedDouble& tracked, const char* label);
+
+/// Exact rational value of a finite double (every finite double is a dyadic
+/// rational). Throws ddm::NumericError on NaN/inf.
+[[nodiscard]] Rational exact_rational(double x);
+
+/// True iff `r` round-trips exactly through double — the precondition for
+/// the tier-0 double kernel to evaluate the *same* instance.
+[[nodiscard]] bool representable_as_double(const Rational& r);
+
+}  // namespace util
+
+}  // namespace ddm

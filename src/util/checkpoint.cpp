@@ -1,0 +1,161 @@
+#include "util/checkpoint.hpp"
+
+#include <cerrno>
+#include <charconv>
+#include <cstdlib>
+#include <filesystem>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace ddm::util {
+
+namespace {
+
+// Extracts the value of `"key": ...` from a single-line JSON object into
+// `out` (quotes stripped for string values). Returns false when the key is
+// absent or the line is malformed.
+bool extract_field(std::string_view line, std::string_view key, std::string& out) {
+  const std::string pattern = "\"" + std::string(key) + "\": ";
+  const auto pos = line.find(pattern);
+  if (pos == std::string_view::npos) return false;
+  std::size_t start = pos + pattern.size();
+  if (start >= line.size()) return false;
+  std::size_t end;
+  if (line[start] == '"') {
+    ++start;
+    end = line.find('"', start);
+  } else {
+    end = line.find_first_of(",}", start);
+  }
+  if (end == std::string_view::npos || end < start) return false;
+  out = std::string(line.substr(start, end - start));
+  return !out.empty() || line[start - 1] == '"';
+}
+
+bool parse_u32_field(std::string_view line, std::string_view key, std::uint32_t& out) {
+  std::string text;
+  if (!extract_field(line, key, text)) return false;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto result = std::from_chars(begin, end, out);
+  return result.ec == std::errc{} && result.ptr == end;
+}
+
+bool parse_double_field(std::string_view line, std::string_view key, double& out) {
+  std::string text;
+  if (!extract_field(line, key, text)) return false;
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtod(text.c_str(), &end);
+  return errno == 0 && end == text.c_str() + text.size() && !text.empty();
+}
+
+// Lossless double → text: max_digits10 significant digits round-trip through
+// strtod to the identical bit pattern, which is what makes resumed output
+// byte-identical (the sweep prints with the same precision).
+std::string format_double(double value) {
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10) << value;
+  return os.str();
+}
+
+std::string header_line(const SweepParams& params) {
+  std::ostringstream os;
+  os << "{\"sweep\": {\"n\": " << params.n << ", \"t\": \"" << params.t << "\", \"beta_lo\": \""
+     << params.beta_lo << "\", \"beta_hi\": \"" << params.beta_hi << "\", \"steps\": "
+     << params.steps << "}}";
+  return os.str();
+}
+
+bool parse_row(std::string_view line, SweepRow& row) {
+  return parse_u32_field(line, "k", row.k) && parse_double_field(line, "beta", row.beta) &&
+         parse_double_field(line, "p_win", row.p_win);
+}
+
+bool parse_header(std::string_view line, SweepParams& params) {
+  return parse_u32_field(line, "n", params.n) && extract_field(line, "t", params.t) &&
+         extract_field(line, "beta_lo", params.beta_lo) &&
+         extract_field(line, "beta_hi", params.beta_hi) &&
+         parse_u32_field(line, "steps", params.steps);
+}
+
+}  // namespace
+
+SweepCheckpoint::SweepCheckpoint(std::string path, const SweepParams& params, bool resume)
+    : path_(std::move(path)) {
+  bool need_header = true;
+  if (resume) {
+    const std::uintmax_t valid_bytes = load(params);
+    // Drop a torn trailing fragment (crash mid-append, no newline) so the
+    // next append starts on a fresh line; a second resume then sees only
+    // complete rows.
+    std::error_code ec;
+    if (std::filesystem::file_size(path_, ec) > valid_bytes && !ec) {
+      std::filesystem::resize_file(path_, valid_bytes, ec);
+      if (ec) {
+        throw CheckpointError("checkpoint: cannot truncate torn line in '" + path_ + "'");
+      }
+    }
+    need_header = false;
+  }
+  out_.open(path_, resume ? (std::ios::out | std::ios::app) : (std::ios::out | std::ios::trunc));
+  if (!out_) {
+    throw CheckpointError("checkpoint: cannot open '" + path_ + "' for writing");
+  }
+  if (need_header) {
+    out_ << header_line(params) << "\n" << std::flush;
+    if (!out_) throw CheckpointError("checkpoint: failed to write header to '" + path_ + "'");
+  }
+}
+
+std::uintmax_t SweepCheckpoint::load(const SweepParams& params) {
+  std::ifstream in(path_);
+  if (!in) {
+    throw CheckpointError("checkpoint: cannot read '" + path_ + "' (--resume needs an existing file)");
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  if (lines.empty()) {
+    throw CheckpointError("checkpoint: '" + path_ + "' is empty (missing header)");
+  }
+  SweepParams header;
+  if (!parse_header(lines.front(), header)) {
+    throw CheckpointError("checkpoint: '" + path_ + "' has an unparseable header line");
+  }
+  if (!(header == params)) {
+    throw CheckpointError("checkpoint: '" + path_ + "' was written by a different sweep (header " +
+                          header_line(header) + " vs requested " + header_line(params) + ")");
+  }
+  std::uintmax_t valid_bytes = lines.front().size() + 1;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    SweepRow row;
+    if (!parse_row(lines[i], row)) {
+      if (i + 1 == lines.size()) break;  // torn trailing line from a crash mid-append
+      throw CheckpointError("checkpoint: '" + path_ + "' line " + std::to_string(i + 1) +
+                            " is corrupt");
+    }
+    if (row.k > params.steps) {
+      throw CheckpointError("checkpoint: '" + path_ + "' line " + std::to_string(i + 1) +
+                            " has k out of range");
+    }
+    rows_[row.k] = row;
+    valid_bytes += lines[i].size() + 1;
+  }
+  return valid_bytes;
+}
+
+void SweepCheckpoint::append(const SweepRow& row) {
+  out_ << "{\"k\": " << row.k << ", \"beta\": " << format_double(row.beta)
+       << ", \"p_win\": " << format_double(row.p_win) << "}\n"
+       << std::flush;
+  if (!out_) throw CheckpointError("checkpoint: failed to append row to '" + path_ + "'");
+  rows_[row.k] = row;
+}
+
+}  // namespace ddm::util

@@ -1,0 +1,84 @@
+// checkpoint.hpp — crash-safe, append-only sweep checkpoints.
+//
+// `ddm_cli sweep` evaluates a β-grid that can run for hours at large n. The
+// checkpoint file makes that restartable: a JSONL file whose first line
+// records the sweep parameters and every following line one completed row,
+// appended (and flushed) as soon as its block finishes. A killed sweep
+// resumed with `--resume <file>` skips the completed rows and recomputes
+// only the missing ones; because every row goes through the identical serial
+// evaluator and doubles are printed at max_digits10 (lossless round-trip),
+// the resumed output is byte-identical to an uninterrupted run.
+//
+// Format (one JSON object per line):
+//   {"sweep": {"n": 4, "t": "4/3", "beta_lo": "0", "beta_hi": "1", "steps": 100}}
+//   {"k": 0, "beta": 0, "p_win": 0.62}
+//   ...
+// A crash can tear at most the final line (appends are single writes); a
+// torn trailing line fails to parse and is truncated away on resume, so the
+// recomputed row starts on a fresh line. Corruption
+// anywhere else — or a header that does not match the resumed run's
+// parameters — raises ddm::CheckpointError. See docs/robustness.md.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+
+namespace ddm::util {
+
+/// The sweep parameters stamped into the checkpoint header. Rational-valued
+/// fields are kept as their exact "a/b" strings so header comparison is
+/// exact, not floating-point.
+struct SweepParams {
+  std::uint32_t n = 0;
+  std::string t;
+  std::string beta_lo;
+  std::string beta_hi;
+  std::uint32_t steps = 0;
+
+  friend bool operator==(const SweepParams&, const SweepParams&) = default;
+};
+
+/// One completed sweep row: grid index k and the evaluated point.
+struct SweepRow {
+  std::uint32_t k = 0;
+  double beta = 0.0;
+  double p_win = 0.0;
+};
+
+/// Append-only checkpoint writer/loader. Not thread-safe; the sweep driver
+/// appends from the coordinating thread only.
+class SweepCheckpoint {
+ public:
+  /// Fresh checkpoint: creates/truncates `path` and writes the header line.
+  /// Resume (`resume == true`): loads `path`, validates its header against
+  /// `params` (ddm::CheckpointError on mismatch or mid-file corruption),
+  /// keeps all complete rows, silently discards a torn trailing line, and
+  /// reopens the file for appending.
+  SweepCheckpoint(std::string path, const SweepParams& params, bool resume);
+
+  /// Rows recovered at construction plus rows appended since, keyed by k.
+  [[nodiscard]] const std::map<std::uint32_t, SweepRow>& completed() const noexcept {
+    return rows_;
+  }
+  [[nodiscard]] bool has(std::uint32_t k) const { return rows_.count(k) != 0; }
+
+  /// Appends one row as a single line and flushes, so the row is durable
+  /// before the next block starts. Throws ddm::CheckpointError on I/O error.
+  void append(const SweepRow& row);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  /// Loads and validates the file; returns the byte length of the valid
+  /// prefix (header + complete rows), which the constructor uses to truncate
+  /// a torn trailing fragment before reopening for append.
+  std::uintmax_t load(const SweepParams& params);
+
+  std::string path_;
+  std::map<std::uint32_t, SweepRow> rows_;
+  std::ofstream out_;
+};
+
+}  // namespace ddm::util

@@ -1,0 +1,193 @@
+#include "util/fault.hpp"
+
+#include <atomic>
+#include <charconv>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "util/status.hpp"
+
+namespace ddm::util::fault {
+
+namespace {
+
+struct State {
+  std::mutex mutex;
+  Plan plan;
+  bool env_loaded = false;
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+// Relaxed fast-path flag: true while any directive has firings left. Kept in
+// sync with the plan under State::mutex.
+std::atomic<bool> g_active{false};
+
+std::atomic<std::uint64_t> g_throws{0};
+std::atomic<std::uint64_t> g_nans{0};
+std::atomic<std::uint64_t> g_delays{0};
+
+void refresh_active_locked(const Plan& plan) {
+  bool any = false;
+  for (const Directive& d : plan.directives) {
+    if (d.count > 0) {
+      any = true;
+      break;
+    }
+  }
+  g_active.store(any, std::memory_order_relaxed);
+}
+
+// Fast-path mirror of State::env_loaded so the per-chunk hook skips the lock
+// once initialization is settled.
+std::atomic<bool> g_env_checked{false};
+
+void ensure_env_loaded() {
+  if (g_env_checked.load(std::memory_order_acquire)) return;
+  State& s = state();
+  std::scoped_lock lock(s.mutex);
+  if (!s.env_loaded) {
+    s.env_loaded = true;
+    if (const char* env = std::getenv("DDM_FAULT_PLAN")) {
+      // A malformed plan must not silently disable injection — fail loudly.
+      s.plan = Plan::parse(env);
+      refresh_active_locked(s.plan);
+    }
+  }
+  g_env_checked.store(true, std::memory_order_release);
+}
+
+// Pops one firing of `kind` aimed at `chunk`; returns true when it fired.
+bool consume(Kind kind, std::size_t chunk, unsigned* millis_out = nullptr) {
+  State& s = state();
+  std::scoped_lock lock(s.mutex);
+  for (Directive& d : s.plan.directives) {
+    if (d.kind != kind || d.chunk != chunk || d.count == 0) continue;
+    --d.count;
+    if (millis_out != nullptr) *millis_out = d.millis;
+    refresh_active_locked(s.plan);
+    return true;
+  }
+  return false;
+}
+
+std::size_t parse_number(std::string_view text, std::size_t& pos, const char* what,
+                         std::string_view directive) {
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data() + pos, text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr == text.data() + pos) {
+    throw FaultPlanError("fault plan: expected " + std::string(what) + " in directive '" +
+                         std::string(directive) + "'");
+  }
+  pos = static_cast<std::size_t>(ptr - text.data());
+  return value;
+}
+
+Directive parse_directive(std::string_view text) {
+  Directive d;
+  std::size_t pos = text.find('@');
+  const std::string_view kind = text.substr(0, pos == std::string_view::npos ? 0 : pos);
+  if (kind == "throw") {
+    d.kind = Kind::kThrow;
+  } else if (kind == "nan") {
+    d.kind = Kind::kNanPoison;
+  } else if (kind == "delay") {
+    d.kind = Kind::kDelay;
+  } else {
+    throw FaultPlanError("fault plan: unknown action in directive '" + std::string(text) +
+                         "' (expected throw|nan|delay)");
+  }
+  ++pos;  // skip '@'
+  d.chunk = parse_number(text, pos, "chunk ordinal", text);
+  if (pos < text.size() && text[pos] == 'x') {
+    ++pos;
+    const std::size_t count = parse_number(text, pos, "firing count after 'x'", text);
+    if (count == 0) {
+      throw FaultPlanError("fault plan: zero firing count in directive '" + std::string(text) +
+                           "'");
+    }
+    d.count = static_cast<unsigned>(count);
+  }
+  if (pos < text.size() && text[pos] == ':') {
+    ++pos;
+    d.millis = static_cast<unsigned>(parse_number(text, pos, "millisecond delay after ':'", text));
+    if (text.substr(pos) != "ms") {
+      throw FaultPlanError("fault plan: expected 'ms' suffix in directive '" + std::string(text) +
+                           "'");
+    }
+    pos = text.size();
+  }
+  if (pos != text.size()) {
+    throw FaultPlanError("fault plan: trailing garbage in directive '" + std::string(text) + "'");
+  }
+  return d;
+}
+
+}  // namespace
+
+Plan Plan::parse(std::string_view text) {
+  Plan plan;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string_view::npos) comma = text.size();
+    const std::string_view piece = text.substr(start, comma - start);
+    if (piece.empty()) {
+      throw FaultPlanError("fault plan: empty directive in '" + std::string(text) + "'");
+    }
+    plan.directives.push_back(parse_directive(piece));
+    if (comma == text.size()) break;
+    start = comma + 1;
+  }
+  return plan;
+}
+
+void set_plan(Plan plan) {
+  State& s = state();
+  std::scoped_lock lock(s.mutex);
+  s.env_loaded = true;  // an explicit plan overrides DDM_FAULT_PLAN
+  g_env_checked.store(true, std::memory_order_release);
+  s.plan = std::move(plan);
+  refresh_active_locked(s.plan);
+}
+
+void clear_plan() { set_plan(Plan{}); }
+
+bool active() noexcept { return g_active.load(std::memory_order_relaxed); }
+
+void before_chunk(std::size_t chunk) {
+  ensure_env_loaded();
+  if (!active()) return;
+  unsigned millis = 0;
+  if (consume(Kind::kDelay, chunk, &millis)) {
+    g_delays.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(millis));
+  }
+  if (consume(Kind::kThrow, chunk)) {
+    g_throws.fetch_add(1, std::memory_order_relaxed);
+    throw TransientFault("injected transient fault (throw@" + std::to_string(chunk) + ")");
+  }
+}
+
+bool consume_nan(std::size_t chunk) noexcept {
+  if (!active()) return false;
+  if (consume(Kind::kNanPoison, chunk)) {
+    g_nans.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+Counters counters() noexcept {
+  return Counters{g_throws.load(std::memory_order_relaxed),
+                  g_nans.load(std::memory_order_relaxed),
+                  g_delays.load(std::memory_order_relaxed)};
+}
+
+}  // namespace ddm::util::fault

@@ -1,0 +1,96 @@
+// fault.hpp — deterministic fault injection for the parallel engine.
+//
+// Testing the unhappy paths of util/parallel requires failures that strike a
+// *specific* chunk a *specific* number of times, regardless of which worker
+// thread happens to run it. This module holds a process-wide fault plan —
+// parsed from the DDM_FAULT_PLAN environment variable or installed
+// programmatically by tests — that the engine consults at deterministic
+// points:
+//
+//   throw@K   before chunk K's body runs, throw TransientFault
+//   delay@K   before chunk K's body runs, sleep (default 10 ms)
+//   nan@K     poison chunk K's output with a quiet NaN (applied by
+//             cooperating kernels via consume_nan; detected by the caller's
+//             ParallelOptions::validate hook)
+//
+// Grammar (see docs/robustness.md):
+//   plan      := directive (',' directive)*
+//   directive := ('throw' | 'nan' | 'delay') '@' chunk ['x' count] [':' millis 'ms']
+// `chunk` is the chunk ordinal within the deterministic (range, grain)
+// partition; `count` is how many times the directive fires before it is
+// spent (default 1, i.e. a transient fault that a single retry clears);
+// `millis` applies to delay only. Examples: "throw@3", "nan@0x2",
+// "delay@5:50ms", "throw@1,nan@4".
+//
+// Every directive carries a finite firing budget, so a retried chunk
+// eventually runs clean and the overall results are bit-identical to a
+// fault-free run — the property the fault-injection test matrix asserts.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ddm::util::fault {
+
+/// Exception thrown by an injected `throw` directive. The parallel engine
+/// retries chunks that fail with this type (up to ParallelOptions::
+/// max_retries); anything else propagates immediately.
+class TransientFault : public std::runtime_error {
+ public:
+  explicit TransientFault(const std::string& message) : std::runtime_error(message) {}
+};
+
+enum class Kind { kThrow, kNanPoison, kDelay };
+
+struct Directive {
+  Kind kind = Kind::kThrow;
+  std::size_t chunk = 0;   ///< chunk ordinal the fault targets
+  unsigned count = 1;      ///< firings before the directive is spent
+  unsigned millis = 10;    ///< sleep length (delay directives)
+};
+
+/// A parsed fault plan. `parse` throws ddm::FaultPlanError on grammar
+/// violations, naming the offending directive.
+struct Plan {
+  std::vector<Directive> directives;
+
+  [[nodiscard]] static Plan parse(std::string_view text);
+  [[nodiscard]] bool empty() const noexcept { return directives.empty(); }
+};
+
+/// Installs `plan` as the process-wide active plan (replacing any previous
+/// one, including a plan loaded from DDM_FAULT_PLAN). Thread-safe.
+void set_plan(Plan plan);
+
+/// Removes the active plan (subsequent hooks are no-ops).
+void clear_plan();
+
+/// True while any directive still has firings left. Cheap (one relaxed
+/// atomic load) — the engine calls this on every chunk attempt.
+[[nodiscard]] bool active() noexcept;
+
+/// Engine hook, called before each attempt at chunk `chunk`: applies a
+/// pending delay directive (sleeps) and/or throw directive (throws
+/// TransientFault). Loads DDM_FAULT_PLAN on first use.
+void before_chunk(std::size_t chunk);
+
+/// Kernel hook for nan-poison directives: returns true (consuming one
+/// firing) when chunk `chunk` should emit a poisoned value. Cooperating
+/// kernels (e.g. threshold_winning_probability_batch) overwrite one output
+/// with a quiet NaN when this fires; the caller's validate hook then fails
+/// the chunk and the engine retries it.
+[[nodiscard]] bool consume_nan(std::size_t chunk) noexcept;
+
+/// Cumulative injection counters (process-wide, never reset by
+/// set_plan/clear_plan); used by tests to assert that faults actually fired.
+struct Counters {
+  std::uint64_t throws_injected = 0;
+  std::uint64_t nans_injected = 0;
+  std::uint64_t delays_injected = 0;
+};
+[[nodiscard]] Counters counters() noexcept;
+
+}  // namespace ddm::util::fault

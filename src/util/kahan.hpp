@@ -7,6 +7,12 @@
 // compensation term keeps the running value within a few ulps of exact at
 // the cost of three extra flops per update, preserving the one-update-per-
 // subset complexity. See docs/performance.md.
+//
+// The certified escalation ladder (util/certify.hpp, docs/robustness.md)
+// leans on this quantitatively: its tier-0 error analysis bounds a
+// compensated running sum's error by the Neumaier bound 2u·Σ|increments|
+// (u = 2^-53), which is what lets a tracked double kernel prove a rigorous
+// enclosure instead of merely being "usually accurate".
 #pragma once
 
 #include <cmath>

@@ -9,6 +9,9 @@
 #include <mutex>
 #include <thread>
 
+#include "util/fault.hpp"
+#include "util/status.hpp"
+
 namespace ddm::util {
 
 namespace {
@@ -85,6 +88,36 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+// Runs one chunk with the fault-injection hook, the caller's validation
+// hook, and bounded retry of transient failures (injected TransientFault or
+// validation rejection). Returns nullptr on success; on failure returns the
+// exception to surface — the original exception for non-transient body
+// errors, or a ParallelError naming the chunk once retries are exhausted.
+// Bodies must be idempotent over [lo, hi): a retry simply re-runs them.
+std::exception_ptr attempt_chunk(std::size_t k, std::size_t lo, std::size_t hi,
+                                 const std::function<void(std::size_t, std::size_t)>& body,
+                                 const ParallelOptions& options) {
+  std::string transient_cause;
+  for (unsigned attempt = 0; attempt <= options.max_retries; ++attempt) {
+    try {
+      fault::before_chunk(k);
+      body(lo, hi);
+      if (options.validate && !options.validate(lo, hi)) {
+        transient_cause = "chunk results failed validation";
+        continue;
+      }
+      return nullptr;
+    } catch (const fault::TransientFault& fault_error) {
+      transient_cause = fault_error.what();
+      continue;
+    } catch (...) {
+      return std::current_exception();
+    }
+  }
+  return std::make_exception_ptr(ParallelError(options.label, k, lo, hi,
+                                               options.max_retries + 1, transient_cause));
+}
+
 // Shared bookkeeping for one parallel_for call. Helpers hold the state via
 // shared_ptr so a late-waking helper that finds no chunks left can exit
 // safely even after the caller has returned.
@@ -93,7 +126,10 @@ struct ForState {
   std::size_t chunks = 0;
   std::size_t begin = 0;
   std::size_t end = 0;
-  std::size_t grain = 1;
+  // Held by value: a late-waking helper may touch the options after the
+  // caller has returned (the body pointer is only dereferenced while the
+  // caller still waits, i.e. while undone chunks remain).
+  ParallelOptions options;
   const std::function<void(std::size_t, std::size_t)>* body = nullptr;
 
   std::mutex mutex;
@@ -102,16 +138,15 @@ struct ForState {
   std::exception_ptr first_error;
 
   void run_chunks() {
+    const std::size_t grain = options.grain;
     while (true) {
       const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
       if (k >= chunks) return;
       const std::size_t lo = begin + k * grain;
       const std::size_t hi = std::min(end, lo + grain);
-      try {
-        (*body)(lo, hi);
-      } catch (...) {
+      if (std::exception_ptr error = attempt_chunk(k, lo, hi, *body, options)) {
         std::scoped_lock lock(mutex);
-        if (!first_error) first_error = std::current_exception();
+        if (!first_error) first_error = std::move(error);
       }
       std::scoped_lock lock(mutex);
       if (++done == chunks) done_cv.notify_all();
@@ -126,15 +161,31 @@ unsigned parallelism() noexcept { return ThreadPool::instance().lanes(); }
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t, std::size_t)>& chunk_body,
                   std::size_t grain, unsigned max_workers) {
+  ParallelOptions options;
+  options.grain = grain;
+  options.max_workers = max_workers;
+  parallel_for(begin, end, chunk_body, options);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& chunk_body,
+                  const ParallelOptions& options_in) {
   if (end <= begin) return;
-  if (grain == 0) grain = 1;
+  ParallelOptions options = options_in;
+  if (options.grain == 0) options.grain = 1;
+  const std::size_t grain = options.grain;
   const std::size_t chunks = (end - begin + grain - 1) / grain;
   unsigned lanes = parallelism();
-  if (max_workers != 0 && max_workers < lanes) lanes = max_workers;
+  if (options.max_workers != 0 && options.max_workers < lanes) lanes = options.max_workers;
   if (chunks == 1 || lanes <= 1) {
+    // Serial path: same per-chunk fault/validate/retry semantics, immediate
+    // rethrow (mirrors the pooled first-error contract for a single lane).
     for (std::size_t k = 0; k < chunks; ++k) {
       const std::size_t lo = begin + k * grain;
-      chunk_body(lo, std::min(end, lo + grain));
+      const std::size_t hi = std::min(end, lo + grain);
+      if (std::exception_ptr error = attempt_chunk(k, lo, hi, chunk_body, options)) {
+        std::rethrow_exception(error);
+      }
     }
     return;
   }
@@ -143,7 +194,7 @@ void parallel_for(std::size_t begin, std::size_t end,
   state->chunks = chunks;
   state->begin = begin;
   state->end = end;
-  state->grain = grain;
+  state->options = options;
   state->body = &chunk_body;
 
   const std::size_t helpers = std::min<std::size_t>(lanes - 1, chunks - 1);

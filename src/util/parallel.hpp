@@ -15,6 +15,15 @@
 // Nested use is safe: the calling thread always participates in executing
 // chunks, so a pool worker that itself calls parallel_for drains the inner
 // range even when every other worker is busy.
+//
+// Fault tolerance (docs/robustness.md): each chunk attempt first passes
+// through the fault-injection hook (util/fault.hpp), and a chunk that fails
+// with a fault::TransientFault — or whose results fail the caller's
+// `validate` hook, e.g. a NaN-poisoned output — is retried up to
+// ParallelOptions::max_retries times before the call fails with a
+// ddm::ParallelError naming the chunk. Any other exception from the body
+// propagates immediately (first error wins), preserving the pre-existing
+// rethrow contract.
 #pragma once
 
 #include <cstddef>
@@ -22,6 +31,25 @@
 #include <vector>
 
 namespace ddm::util {
+
+/// Tuning and robustness knobs for parallel_for / parallel_reduce.
+struct ParallelOptions {
+  /// Indices per chunk (the deterministic partition unit).
+  std::size_t grain = 1;
+  /// Cap on concurrent lanes (0 = all of parallelism()).
+  unsigned max_workers = 0;
+  /// Additional attempts per chunk after a transient failure (an injected
+  /// fault::TransientFault or a `validate` rejection). 2 means a chunk may
+  /// run up to 3 times before the region fails with ddm::ParallelError.
+  unsigned max_retries = 2;
+  /// Region name used in ParallelError messages.
+  const char* label = "parallel_for";
+  /// Optional post-chunk acceptance check over the chunk's index range
+  /// (e.g. "every output in [lo, hi) is finite"). A false return counts as a
+  /// transient failure: the chunk body is re-run (bodies must therefore be
+  /// idempotent — every production body recomputes its outputs from scratch).
+  std::function<bool(std::size_t, std::size_t)> validate;
+};
 
 /// Number of usable execution lanes (pool workers + the calling thread).
 /// Defaults to std::thread::hardware_concurrency(); override with the
@@ -40,6 +68,13 @@ void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t, std::size_t)>& chunk_body,
                   std::size_t grain = 1, unsigned max_workers = 0);
 
+/// Options-based overload with retry/validation semantics (see
+/// ParallelOptions). The two-knob overload above forwards here with default
+/// robustness settings.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& chunk_body,
+                  const ParallelOptions& options);
+
 /// Deterministic parallel reduction: partitions [begin, end) exactly like
 /// parallel_for(grain), computes `chunk_fn(lo, hi)` per chunk concurrently,
 /// then folds the partials IN CHUNK ORDER:
@@ -47,21 +82,34 @@ void parallel_for(std::size_t begin, std::size_t end,
 /// The fold order is a pure function of (begin, end, grain), so the result —
 /// including floating-point rounding — is independent of the thread count.
 template <typename T>
-[[nodiscard]] T parallel_reduce(std::size_t begin, std::size_t end, std::size_t grain,
+[[nodiscard]] T parallel_reduce(std::size_t begin, std::size_t end,
                                 const std::function<T(std::size_t, std::size_t)>& chunk_fn,
                                 const std::function<T(T, T)>& combine, T init,
-                                unsigned max_workers = 0) {
+                                ParallelOptions options) {
   if (end <= begin) return init;
-  if (grain == 0) grain = 1;
+  if (options.grain == 0) options.grain = 1;
+  const std::size_t grain = options.grain;
   const std::size_t chunks = (end - begin + grain - 1) / grain;
   std::vector<T> partial(chunks, init);
   parallel_for(
       begin, end,
       [&](std::size_t lo, std::size_t hi) { partial[(lo - begin) / grain] = chunk_fn(lo, hi); },
-      grain, max_workers);
+      options);
   T acc = std::move(init);
   for (T& p : partial) acc = combine(std::move(acc), std::move(p));
   return acc;
+}
+
+template <typename T>
+[[nodiscard]] T parallel_reduce(std::size_t begin, std::size_t end, std::size_t grain,
+                                const std::function<T(std::size_t, std::size_t)>& chunk_fn,
+                                const std::function<T(T, T)>& combine, T init,
+                                unsigned max_workers = 0) {
+  ParallelOptions options;
+  options.grain = grain;
+  options.max_workers = max_workers;
+  options.label = "parallel_reduce";
+  return parallel_reduce<T>(begin, end, chunk_fn, combine, std::move(init), std::move(options));
 }
 
 }  // namespace ddm::util

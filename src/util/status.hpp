@@ -1,0 +1,96 @@
+// status.hpp — the library's error taxonomy.
+//
+// Robustness contract (docs/robustness.md): failures are never silent.
+// Numerical trouble in the fast double kernels surfaces as NumericError (or
+// escalates through the certified ladder, util/certify.hpp), a parallel chunk
+// that exhausts its retries surfaces as ParallelError carrying the chunk
+// range and root cause, and checkpoint corruption surfaces as
+// CheckpointError. All types derive from ddm::Error, itself a
+// std::runtime_error, so call sites may catch at whichever granularity they
+// need.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace ddm {
+
+/// Root of the ddm error hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& message) : std::runtime_error(message) {}
+};
+
+/// A floating-point evaluation produced (or would have produced) a
+/// non-finite or otherwise untrustworthy value — e.g. BigInt::to_double
+/// overflowed to ±inf inside a kernel prefactor, or an inclusion-exclusion
+/// sum lost all significant digits. The certified evaluators catch this and
+/// escalate to a more rigorous tier; plain kernels throw it to the caller
+/// instead of returning inf/NaN.
+class NumericError : public Error {
+ public:
+  explicit NumericError(const std::string& message) : Error(message) {}
+};
+
+/// Throws NumericError unless `value` is finite. `what` names the quantity
+/// (kernel and operand) for the error message. Returns `value` so guards can
+/// wrap expressions in place.
+inline double require_finite(double value, const char* what) {
+  if (!std::isfinite(value)) {
+    throw NumericError(std::string(what) + ": non-finite value " + std::to_string(value) +
+                       " (overflow or invalid operand; use the exact or certified evaluator)");
+  }
+  return value;
+}
+
+/// A chunk of a parallel region failed permanently: its body kept throwing
+/// transient faults, or its results kept failing the caller's validation,
+/// beyond the configured retry budget. Carries the chunk ordinal, the index
+/// range it covered, the number of attempts made, and the root-cause message
+/// of the final failure.
+class ParallelError : public Error {
+ public:
+  ParallelError(std::string label, std::size_t chunk, std::size_t lo, std::size_t hi,
+                unsigned attempts, std::string cause)
+      : Error("parallel[" + label + "]: chunk " + std::to_string(chunk) + " [" +
+              std::to_string(lo) + ", " + std::to_string(hi) + ") failed after " +
+              std::to_string(attempts) + (attempts == 1 ? " attempt: " : " attempts: ") + cause),
+        label_(std::move(label)),
+        chunk_(chunk),
+        lo_(lo),
+        hi_(hi),
+        attempts_(attempts),
+        cause_(std::move(cause)) {}
+
+  [[nodiscard]] const std::string& label() const noexcept { return label_; }
+  [[nodiscard]] std::size_t chunk() const noexcept { return chunk_; }
+  [[nodiscard]] std::size_t chunk_begin() const noexcept { return lo_; }
+  [[nodiscard]] std::size_t chunk_end() const noexcept { return hi_; }
+  [[nodiscard]] unsigned attempts() const noexcept { return attempts_; }
+  [[nodiscard]] const std::string& cause() const noexcept { return cause_; }
+
+ private:
+  std::string label_;
+  std::size_t chunk_;
+  std::size_t lo_;
+  std::size_t hi_;
+  unsigned attempts_;
+  std::string cause_;
+};
+
+/// A sweep checkpoint file could not be used: unreadable, wrong header
+/// (parameters differ from the run being resumed), or unparseable row.
+class CheckpointError : public Error {
+ public:
+  explicit CheckpointError(const std::string& message) : Error(message) {}
+};
+
+/// A DDM_FAULT_PLAN string (util/fault.hpp) does not match the plan grammar.
+class FaultPlanError : public Error {
+ public:
+  explicit FaultPlanError(const std::string& message) : Error(message) {}
+};
+
+}  // namespace ddm

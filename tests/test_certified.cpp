@@ -1,0 +1,224 @@
+// Tests for certified evaluation (util/certify.hpp, core/certified.hpp,
+// geom/volume.hpp): enclosures must contain the independently-computed exact
+// value on instances small enough for the exact kernels, the escalation
+// ladder must visibly climb double → interval on the ill-conditioned n = 24
+// symmetric instance from the acceptance criteria, and the ladder plumbing
+// (stats, max_tier capping, non-finite guards in the plain double kernels)
+// must behave as documented in docs/robustness.md.
+#include "core/certified.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "core/nonoblivious.hpp"
+#include "core/symmetric_threshold.hpp"
+#include "geom/volume.hpp"
+#include "util/certify.hpp"
+#include "util/rational.hpp"
+#include "util/status.hpp"
+
+namespace ddm {
+namespace {
+
+using util::Rational;
+
+TEST(TrackedEnclosure, BoundsAreOutwardAndRejectNonFinite) {
+  const util::TrackedDouble tracked{1.5, 0x1p-40};
+  const util::RationalInterval enclosure = util::tracked_enclosure(tracked, "test");
+  EXPECT_TRUE(enclosure.contains(Rational{3, 2}));
+  EXPECT_TRUE(enclosure.width() > Rational{0});
+  EXPECT_THROW((void)util::tracked_enclosure({std::numeric_limits<double>::infinity(), 0.0}, "t"),
+               NumericError);
+  EXPECT_THROW((void)util::tracked_enclosure({1.0, std::numeric_limits<double>::quiet_NaN()}, "t"),
+               NumericError);
+}
+
+TEST(ExactRational, RoundTripsDyadicDoubles) {
+  for (const double x : {0.0, 1.0, -0.375, 0x1p-53, 6.25, 1048577.0}) {
+    EXPECT_EQ(util::exact_rational(x).to_double(), x) << x;
+  }
+  EXPECT_THROW((void)util::exact_rational(std::numeric_limits<double>::quiet_NaN()), NumericError);
+  EXPECT_TRUE(util::representable_as_double(Rational{3, 8}));
+  EXPECT_TRUE(util::representable_as_double(Rational{1}));
+  EXPECT_FALSE(util::representable_as_double(Rational{1, 3}));
+  EXPECT_FALSE(util::representable_as_double(Rational{37, 100}));
+}
+
+TEST(CertifiedThreshold, EnclosureContainsExactValueOnSmallInstances) {
+  // Cross-check every tier against the independent exact kernel. Thresholds
+  // are dyadic so tier 0 is eligible; the enclosure from whichever tier the
+  // ladder settles on must contain the true rational value.
+  const std::vector<std::vector<Rational>> instances = {
+      {Rational{1, 2}},
+      {Rational{1, 4}, Rational{3, 4}},
+      {Rational{1, 8}, Rational{1, 2}, Rational{7, 8}},
+      {Rational{3, 8}, Rational{3, 8}, Rational{3, 8}, Rational{3, 8}},
+  };
+  for (const auto& a : instances) {
+    for (const Rational& t : {Rational{1, 2}, Rational{1}, Rational{3, 2}}) {
+      const Rational exact = core::threshold_winning_probability(a, t);
+      const CertifiedValue certified = core::certified_threshold_winning_probability(a, t);
+      EXPECT_TRUE(certified.enclosure.contains(exact))
+          << "n=" << a.size() << " t=" << t.to_double();
+      EXPECT_TRUE(certified.met_tolerance);
+    }
+  }
+}
+
+TEST(CertifiedThreshold, NonpositiveThresholdIsExactZero) {
+  const std::vector<Rational> a = {Rational{1, 2}, Rational{1, 2}};
+  const CertifiedValue certified = core::certified_threshold_winning_probability(a, Rational{0});
+  EXPECT_EQ(certified.enclosure.width(), Rational{0});
+  EXPECT_TRUE(certified.enclosure.contains(Rational{0}));
+  EXPECT_TRUE(certified.met_tolerance);
+}
+
+TEST(CertifiedThreshold, RejectsBadInputs) {
+  EXPECT_THROW((void)core::certified_threshold_winning_probability({}, Rational{1}),
+               std::invalid_argument);
+  const std::vector<Rational> out_of_range = {Rational{3, 2}};
+  EXPECT_THROW((void)core::certified_threshold_winning_probability(out_of_range, Rational{1}),
+               std::invalid_argument);
+}
+
+TEST(CertifiedSymmetric, EnclosureContainsExactValue) {
+  for (const std::uint32_t n : {1u, 3u, 8u, 15u}) {
+    const Rational beta{3, 8};
+    const Rational t{n, 3};
+    const Rational exact = core::symmetric_threshold_winning_probability(n, beta, t);
+    const CertifiedValue certified =
+        core::certified_symmetric_threshold_winning_probability(n, beta, t);
+    EXPECT_TRUE(certified.enclosure.contains(exact)) << "n=" << n;
+    EXPECT_TRUE(certified.met_tolerance) << "n=" << n;
+  }
+}
+
+TEST(CertifiedSymmetric, EscalatesDoubleToIntervalAtN24) {
+  // Acceptance-criteria instance: n = 24, beta = 3/8, t = 8. The alternating
+  // sum cancels ~ 10^16 worth of leading digits, so the compensated-double
+  // tier's error bound blows past the default 1e-9 tolerance and the ladder
+  // must escalate to the interval tier — whose enclosure still contains the
+  // exact value.
+  EvalStats stats;
+  EvalPolicy policy;
+  policy.stats = &stats;
+  const Rational beta{3, 8};
+  const Rational t{8};
+  const CertifiedValue certified =
+      core::certified_symmetric_threshold_winning_probability(24, beta, t, policy);
+  EXPECT_EQ(stats.double_attempts, 1u);
+  EXPECT_GE(stats.interval_attempts, 1u);
+  EXPECT_GE(stats.escalations, 1u);
+  EXPECT_EQ(certified.tier, EvalTier::kInterval);
+  EXPECT_TRUE(certified.met_tolerance);
+  const Rational exact = core::symmetric_threshold_winning_probability(24, beta, t);
+  EXPECT_TRUE(certified.enclosure.contains(exact));
+  EXPECT_TRUE(certified.width() <= policy.tolerance);
+}
+
+TEST(CertifiedSymmetric, UnrepresentableInputsSkipDoubleTierViaNumericError) {
+  // beta = 37/100 has no finite binary expansion, so the double tier cannot
+  // evaluate the *same* instance; it must abandon via NumericError (counted
+  // in stats) and the interval tier takes over.
+  EvalStats stats;
+  EvalPolicy policy;
+  policy.stats = &stats;
+  const CertifiedValue certified = core::certified_symmetric_threshold_winning_probability(
+      6, Rational{37, 100}, Rational{2}, policy);
+  EXPECT_GE(stats.numeric_errors, 1u);
+  EXPECT_NE(certified.tier, EvalTier::kCompensatedDouble);
+  const Rational exact =
+      core::symmetric_threshold_winning_probability(6, Rational{37, 100}, Rational{2});
+  EXPECT_TRUE(certified.enclosure.contains(exact));
+}
+
+TEST(CertifiedSymmetric, MaxTierCapsTheLadder) {
+  // Same ill-conditioned instance, but the ladder is forbidden to leave the
+  // double tier: it must still return a valid (wide) enclosure and report
+  // that the tolerance was not met, rather than throwing.
+  EvalPolicy policy;
+  policy.max_tier = EvalTier::kCompensatedDouble;
+  const CertifiedValue certified =
+      core::certified_symmetric_threshold_winning_probability(24, Rational{3, 8}, Rational{8},
+                                                              policy);
+  EXPECT_EQ(certified.tier, EvalTier::kCompensatedDouble);
+  EXPECT_FALSE(certified.met_tolerance);
+  const Rational exact =
+      core::symmetric_threshold_winning_probability(24, Rational{3, 8}, Rational{8});
+  EXPECT_TRUE(certified.enclosure.contains(exact));
+}
+
+TEST(CertifiedSymmetric, ZeroToleranceForcesExactTier) {
+  EvalStats stats;
+  EvalPolicy policy;
+  policy.tolerance = Rational{0};
+  policy.stats = &stats;
+  const CertifiedValue certified = core::certified_symmetric_threshold_winning_probability(
+      5, Rational{1, 2}, Rational{2}, policy);
+  EXPECT_EQ(certified.tier, EvalTier::kExact);
+  EXPECT_TRUE(certified.met_tolerance);
+  EXPECT_EQ(certified.enclosure.width(), Rational{0});
+  EXPECT_EQ(stats.exact_attempts, 1u);
+  EXPECT_EQ(certified.enclosure.lo(),
+            core::symmetric_threshold_winning_probability(5, Rational{1, 2}, Rational{2}));
+}
+
+TEST(CertifiedSymmetric, AgreesWithSymbolicPiecewiseAnalysis) {
+  // Independent cross-check: the exact symbolic pieces of
+  // SymmetricThresholdAnalysis evaluated at rational probes must land inside
+  // the ladder's enclosure for the same (n, beta, t).
+  for (const std::uint32_t n : {2u, 4u, 6u}) {
+    const Rational t{static_cast<std::int64_t>(n), 3};
+    const auto analysis = core::SymmetricThresholdAnalysis::build(n, t);
+    for (const Rational& beta :
+         {Rational{1, 4}, Rational{1, 2}, Rational{5, 8}, Rational{2, 3}}) {
+      const Rational symbolic = analysis.winning_probability()(beta);
+      const CertifiedValue certified =
+          core::certified_symmetric_threshold_winning_probability(n, beta, t);
+      EXPECT_TRUE(certified.enclosure.contains(symbolic))
+          << "n=" << n << " beta=" << beta.to_double();
+    }
+  }
+}
+
+TEST(CertifiedVolume, EnclosureContainsExactValue) {
+  const std::vector<Rational> sigma = {Rational{1, 2}, Rational{1, 3}, Rational{1, 4}};
+  const std::vector<Rational> pi = {Rational{1, 4}, Rational{1, 4}, Rational{1, 8}};
+  const Rational exact = geom::simplex_box_volume(sigma, pi);
+  const CertifiedValue certified = geom::certified_simplex_box_volume(sigma, pi);
+  EXPECT_TRUE(certified.enclosure.contains(exact));
+  EXPECT_TRUE(certified.met_tolerance);
+}
+
+TEST(CertifiedVolume, UnrepresentableSidesUseIntervalTier) {
+  EvalStats stats;
+  EvalPolicy policy;
+  policy.stats = &stats;
+  const std::vector<Rational> sigma = {Rational{1, 3}, Rational{1, 7}};
+  const std::vector<Rational> pi = {Rational{1, 5}, Rational{1, 11}};
+  const CertifiedValue certified = geom::certified_simplex_box_volume(sigma, pi, policy);
+  // Tier 0 is attempted but must abandon via NumericError (inputs not dyadic).
+  EXPECT_GE(stats.numeric_errors, 1u);
+  EXPECT_NE(certified.tier, EvalTier::kCompensatedDouble);
+  EXPECT_TRUE(certified.enclosure.contains(geom::simplex_box_volume(sigma, pi)));
+}
+
+TEST(DoubleKernels, GuardNonFiniteIntermediates) {
+  // The plain double kernels must throw NumericError instead of silently
+  // returning inf/NaN when an intermediate overflows: a degenerate box with a
+  // denormal-tiny side makes pi/sigma overflow in simplex_box_volume_double.
+  const std::vector<double> sigma = {5e-324, 0.5};
+  const std::vector<double> pi = {1.0, 0.25};
+  EXPECT_THROW((void)geom::simplex_box_volume_double(sigma, pi), NumericError);
+}
+
+TEST(EvalTierNames, AreHumanReadable) {
+  EXPECT_STREQ(to_string(EvalTier::kCompensatedDouble), "compensated-double");
+  EXPECT_STREQ(to_string(EvalTier::kInterval), "interval");
+  EXPECT_STREQ(to_string(EvalTier::kExact), "exact");
+}
+
+}  // namespace
+}  // namespace ddm

@@ -1,0 +1,150 @@
+// Tests for the crash-safe sweep checkpoint (util/checkpoint.hpp): fresh
+// write + reload, lossless double round-trips, torn-trailing-line discard
+// (the crash-mid-append case), mid-file corruption and header-mismatch
+// rejection, and append durability. Files live under the gtest temp dir.
+#include "util/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace ddm::util {
+namespace {
+
+SweepParams test_params() {
+  SweepParams params;
+  params.n = 4;
+  params.t = "4/3";
+  params.beta_lo = "0";
+  params.beta_hi = "1";
+  params.steps = 8;
+  return params;
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "ddm_checkpoint_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".jsonl";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string read_file() const {
+    std::ifstream in(path_);
+    return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+  }
+
+  void append_raw(const std::string& text) const {
+    std::ofstream out(path_, std::ios::out | std::ios::app);
+    out << text;
+  }
+
+  std::string path_;
+};
+
+TEST_F(CheckpointTest, FreshFileWritesHeaderAndRowsRoundTrip) {
+  const SweepParams params = test_params();
+  {
+    SweepCheckpoint checkpoint(path_, params, /*resume=*/false);
+    EXPECT_TRUE(checkpoint.completed().empty());
+    checkpoint.append({0, 0.0, 0.5});
+    // Doubles with no short decimal form must round-trip bit-exactly.
+    checkpoint.append({3, 0.375, 0.5445963541666666});
+    EXPECT_TRUE(checkpoint.has(3));
+    EXPECT_FALSE(checkpoint.has(1));
+  }
+  SweepCheckpoint resumed(path_, params, /*resume=*/true);
+  ASSERT_EQ(resumed.completed().size(), 2u);
+  EXPECT_EQ(resumed.completed().at(0).beta, 0.0);
+  EXPECT_EQ(resumed.completed().at(0).p_win, 0.5);
+  EXPECT_EQ(resumed.completed().at(3).beta, 0.375);
+  EXPECT_EQ(resumed.completed().at(3).p_win, 0.5445963541666666);
+}
+
+TEST_F(CheckpointTest, TornTrailingLineIsDiscardedOnResume) {
+  const SweepParams params = test_params();
+  {
+    SweepCheckpoint checkpoint(path_, params, false);
+    checkpoint.append({0, 0.0, 0.25});
+    checkpoint.append({1, 0.125, 0.375});
+  }
+  append_raw("{\"k\": 2, \"beta\":");  // crash mid-append: no newline, no value
+  SweepCheckpoint resumed(path_, params, true);
+  EXPECT_EQ(resumed.completed().size(), 2u);
+  EXPECT_FALSE(resumed.has(2));
+  // The recomputed row appends after the torn fragment's line; the file must
+  // stay loadable afterwards with all three rows intact.
+  resumed.append({2, 0.25, 0.5});
+  SweepCheckpoint reloaded(path_, params, true);
+  EXPECT_EQ(reloaded.completed().size(), 3u);
+  EXPECT_EQ(reloaded.completed().at(2).p_win, 0.5);
+}
+
+TEST_F(CheckpointTest, MidFileCorruptionIsAnError) {
+  const SweepParams params = test_params();
+  {
+    SweepCheckpoint checkpoint(path_, params, false);
+    checkpoint.append({0, 0.0, 0.25});
+  }
+  append_raw("garbage line\n");
+  append_raw("{\"k\": 1, \"beta\": 0.125, \"p_win\": 0.375}\n");
+  try {
+    SweepCheckpoint resumed(path_, params, true);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& error) {
+    EXPECT_NE(std::string(error.what()).find("corrupt"), std::string::npos);
+  }
+}
+
+TEST_F(CheckpointTest, HeaderMismatchIsAnError) {
+  {
+    SweepCheckpoint checkpoint(path_, test_params(), false);
+    checkpoint.append({0, 0.0, 0.25});
+  }
+  SweepParams other = test_params();
+  other.n = 5;
+  try {
+    SweepCheckpoint resumed(path_, other, true);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("different sweep"), std::string::npos);
+    EXPECT_NE(what.find("\"n\": 4"), std::string::npos);
+    EXPECT_NE(what.find("\"n\": 5"), std::string::npos);
+  }
+}
+
+TEST_F(CheckpointTest, ResumeRequiresAnExistingFileWithHeader) {
+  EXPECT_THROW(SweepCheckpoint(path_, test_params(), /*resume=*/true), CheckpointError);
+  append_raw("");  // create an empty file
+  { std::ofstream out(path_); }
+  EXPECT_THROW(SweepCheckpoint(path_, test_params(), true), CheckpointError);
+}
+
+TEST_F(CheckpointTest, RowIndexBeyondStepsIsAnError) {
+  {
+    SweepCheckpoint checkpoint(path_, test_params(), false);
+    checkpoint.append({0, 0.0, 0.25});
+  }
+  append_raw("{\"k\": 99, \"beta\": 0.5, \"p_win\": 0.5}\n");
+  append_raw("{\"k\": 1, \"beta\": 0.125, \"p_win\": 0.375}\n");  // keeps 99 off the last line
+  EXPECT_THROW(SweepCheckpoint(path_, test_params(), true), CheckpointError);
+}
+
+TEST_F(CheckpointTest, AppendFlushesEachRowDurably) {
+  const SweepParams params = test_params();
+  SweepCheckpoint checkpoint(path_, params, false);
+  checkpoint.append({0, 0.0, 0.25});
+  // Without closing the writer, the row must already be on disk (flushed),
+  // which is what bounds crash loss to the single in-flight row.
+  const std::string contents = read_file();
+  EXPECT_NE(contents.find("{\"k\": 0, \"beta\": 0, \"p_win\": 0.25}\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ddm::util

@@ -63,6 +63,27 @@ TEST(ParallelFor, NestedCallsComplete) {
   EXPECT_EQ(total.load(), 8 * 16);
 }
 
+TEST(ParallelFor, PropagatesExceptionFromNestedRegion) {
+  // The inner region is started by pool workers, not the main thread; its
+  // chunk exception must travel up through the outer region's helper-lending
+  // machinery without being swallowed or deadlocking the pool.
+  EXPECT_THROW(parallel_for(0, 8,
+                            [](std::size_t lo, std::size_t) {
+                              parallel_for(0, 16, [lo](std::size_t ilo, std::size_t) {
+                                if (lo == 0 && ilo == 0) {
+                                  throw std::runtime_error("nested boom");
+                                }
+                              });
+                            }),
+               std::runtime_error);
+  // The pool must stay usable after the unwound nested failure.
+  std::atomic<int> total{0};
+  parallel_for(0, 32, [&](std::size_t lo, std::size_t hi) {
+    total.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
 TEST(ParallelReduce, MatchesSerialSum) {
   constexpr std::size_t kN = 4321;
   const std::uint64_t expected = kN * (kN - 1) / 2;
@@ -91,6 +112,15 @@ TEST(ParallelReduce, DeterministicAcrossWorkerCaps) {
   const double all = parallel_reduce<double>(0, kN, 64, chunk_sum, add, 0.0);
   EXPECT_EQ(serial, two);
   EXPECT_EQ(serial, all);
+}
+
+TEST(ParallelReduce, PropagatesChunkException) {
+  const auto chunk = [](std::size_t lo, std::size_t) -> int {
+    if (lo >= 128) throw std::domain_error("reduce boom");
+    return 1;
+  };
+  const auto add = [](int a, int b) { return a + b; };
+  EXPECT_THROW((void)parallel_reduce<int>(0, 1024, 64, chunk, add, 0), std::domain_error);
 }
 
 }  // namespace

@@ -11,11 +11,23 @@
 //                                    oblivious / threshold / full-info oracle
 //   sweep     <n> <t> <lo> <hi> <steps>   β-grid of Theorem 5.1 values, fanned
 //                                    across the thread pool, emitted as JSON
-// Rationals are accepted as "a/b" or integers (e.g. 4/3).
+//
+// Options:
+//   --certify[=tol]      (threshold, volume) certified evaluation: rigorous
+//                        enclosure via the escalation ladder, docs/robustness.md
+//   --checkpoint <file>  (sweep) write an append-only JSONL checkpoint per
+//                        completed block
+//   --resume <file>      (sweep) skip rows already in <file>, append new ones
+//
+// Rationals are accepted as "a/b", integers, or decimals (e.g. 4/3, 0.622).
+// Malformed arguments name the offending value and exit with status 2.
 #include <algorithm>
+#include <charconv>
 #include <iomanip>
 #include <iostream>
 #include <limits>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -32,34 +44,125 @@ int usage() {
 
 usage:
   ddm_cli oblivious <n> <t>
-  ddm_cli threshold <n> <t> <beta>
+  ddm_cli threshold <n> <t> <beta> [--certify[=tol]]
   ddm_cli analyze   <n> <t> [digits=30]
   ddm_cli simulate  <n> <t> <beta> <trials> [seed=42]
-  ddm_cli volume    <m> <sigma_1..sigma_m> <pi_1..pi_m>
+  ddm_cli volume    <m> <sigma_1..sigma_m> <pi_1..pi_m> [--certify[=tol]]
   ddm_cli ladder    <n> <t> [trials=500000]
-  ddm_cli sweep     <n> <t> <beta_lo> <beta_hi> <steps>
+  ddm_cli sweep     <n> <t> <beta_lo> <beta_hi> <steps> [--checkpoint <file>] [--resume <file>]
 
 rationals may be written a/b (e.g. 4/3). Examples:
   ddm_cli analyze 3 1            # the paper's flagship instance
   ddm_cli analyze 4 4/3 40       # Section 5.2.2 with 40 certified digits
   ddm_cli simulate 3 1 0.622 1000000
+  ddm_cli threshold 24 8 0.37 --certify=1/1000000000000
   ddm_cli sweep 4 4/3 0 1 100    # JSON grid of P(beta), all cores
+  ddm_cli sweep 4 4/3 0 1 100 --checkpoint sweep.ckpt   # crash-safe
+  ddm_cli sweep 4 4/3 0 1 100 --resume sweep.ckpt       # finish a killed run
 )";
   return 1;
 }
 
-Rational parse_rational(const std::string& text) {
-  // Accept a/b, integers, and decimal notation like 0.622.
-  const auto dot = text.find('.');
-  if (dot == std::string::npos) return Rational::parse(text);
-  const std::string whole = text.substr(0, dot);
-  const std::string frac = text.substr(dot + 1);
-  if (frac.empty()) return Rational::parse(whole.empty() ? "0" : whole);
-  const bool negative = !whole.empty() && whole[0] == '-';
-  Rational result = Rational::parse(whole.empty() || whole == "-" ? "0" : whole);
-  const Rational fraction{ddm::util::BigInt{frac},
-                          ddm::util::BigInt::pow(ddm::util::BigInt{10}, frac.size())};
-  return negative ? result - fraction : result + fraction;
+/// A malformed command-line argument; the message names the offending value.
+class BadArgument : public std::runtime_error {
+ public:
+  explicit BadArgument(const std::string& message) : std::runtime_error(message) {}
+};
+
+/// Strict unsigned parser: the whole argument must be a decimal number that
+/// fits the target type — no trailing garbage, no leading '-' wrapped around.
+template <typename T>
+T parse_unsigned(const char* what, const std::string& text) {
+  T value{};
+  const char* begin = text.c_str();
+  const char* end = begin + text.size();
+  const auto result = std::from_chars(begin, end, value);
+  if (text.empty() || result.ec != std::errc{} || result.ptr != end) {
+    throw BadArgument(std::string("invalid ") + what + " '" + text +
+                      "' (expected a non-negative integer)");
+  }
+  return value;
+}
+
+std::uint32_t parse_u32(const char* what, const std::string& text) {
+  return parse_unsigned<std::uint32_t>(what, text);
+}
+
+std::uint64_t parse_u64(const char* what, const std::string& text) {
+  return parse_unsigned<std::uint64_t>(what, text);
+}
+
+int parse_int(const char* what, const std::string& text) {
+  int value = 0;
+  const char* begin = text.c_str();
+  const char* end = begin + text.size();
+  const auto result = std::from_chars(begin, end, value);
+  if (text.empty() || result.ec != std::errc{} || result.ptr != end) {
+    throw BadArgument(std::string("invalid ") + what + " '" + text + "' (expected an integer)");
+  }
+  return value;
+}
+
+bool all_digits(const std::string& text) {
+  if (text.empty()) return false;
+  return std::all_of(text.begin(), text.end(), [](char c) { return c >= '0' && c <= '9'; });
+}
+
+/// Accepts a/b, integers, and decimal notation like 0.622; rejects anything
+/// else ("1.2.3", "1.2/3", "0.6x") naming the argument.
+Rational parse_rational(const char* what, const std::string& text) {
+  const auto reject = [&]() -> BadArgument {
+    return BadArgument(std::string("invalid ") + what + " '" + text +
+                       "' (expected a/b, an integer, or a decimal)");
+  };
+  try {
+    const auto dot = text.find('.');
+    if (dot == std::string::npos) return Rational::parse(text);
+    if (text.find('.', dot + 1) != std::string::npos) throw reject();  // e.g. "1.2.3"
+    const std::string whole = text.substr(0, dot);
+    const std::string frac = text.substr(dot + 1);
+    if (!whole.empty() && whole != "-" && !all_digits(whole[0] == '-' ? whole.substr(1) : whole)) {
+      throw reject();
+    }
+    if (frac.empty()) {
+      if (whole.empty() || whole == "-") throw reject();  // "." or "-."
+      return Rational::parse(whole);
+    }
+    if (!all_digits(frac)) throw reject();  // e.g. "1.2/3"
+    const bool negative = !whole.empty() && whole[0] == '-';
+    Rational result = Rational::parse(whole.empty() || whole == "-" ? "0" : whole);
+    const Rational fraction{ddm::util::BigInt{frac},
+                            ddm::util::BigInt::pow(ddm::util::BigInt{10}, frac.size())};
+    return negative ? result - fraction : result + fraction;
+  } catch (const BadArgument&) {
+    throw;
+  } catch (const std::exception&) {
+    throw reject();
+  }
+}
+
+/// Certification options distilled from --certify[=tol].
+struct CertifyRequest {
+  bool enabled = false;
+  ddm::EvalPolicy policy;
+};
+
+void print_certified(const ddm::CertifiedValue& result, const ddm::EvalStats& stats,
+                     const ddm::EvalPolicy& policy) {
+  const auto flags = std::cout.flags();
+  std::cout << std::setprecision(std::numeric_limits<double>::max_digits10)
+            << "  certified value = " << result.value() << "\n"
+            << "  enclosure = [" << result.enclosure.lo().to_double() << ", "
+            << result.enclosure.hi().to_double() << "]"
+            << std::setprecision(3) << "  width = " << result.width().to_double() << "\n"
+            << "  tier = " << ddm::to_string(result.tier) << "  tolerance ("
+            << policy.tolerance.to_double() << ") "
+            << (result.met_tolerance ? "met" : "NOT met") << "\n"
+            << "  ladder: double x" << stats.double_attempts << ", interval x"
+            << stats.interval_attempts << ", exact x" << stats.exact_attempts
+            << ", escalations " << stats.escalations << ", numeric errors "
+            << stats.numeric_errors << "\n";
+  std::cout.flags(flags);
 }
 
 int cmd_oblivious(std::uint32_t n, const Rational& t) {
@@ -72,10 +175,20 @@ int cmd_oblivious(std::uint32_t n, const Rational& t) {
   return 0;
 }
 
-int cmd_threshold(std::uint32_t n, const Rational& t, const Rational& beta) {
+int cmd_threshold(std::uint32_t n, const Rational& t, const Rational& beta,
+                  const CertifyRequest& certify) {
+  std::cout << "Symmetric single-threshold protocol, beta = " << beta << "\n";
+  if (certify.enabled) {
+    ddm::EvalStats stats;
+    ddm::EvalPolicy policy = certify.policy;
+    policy.stats = &stats;
+    const auto result =
+        ddm::core::certified_symmetric_threshold_winning_probability(n, beta, t, policy);
+    print_certified(result, stats, policy);
+    return result.met_tolerance ? 0 : 3;
+  }
   const Rational p = ddm::core::symmetric_threshold_winning_probability(n, beta, t);
-  std::cout << "Symmetric single-threshold protocol, beta = " << beta << "\n"
-            << "  P(no overflow) = " << p << " = " << p.to_double() << "\n";
+  std::cout << "  P(no overflow) = " << p << " = " << p.to_double() << "\n";
   return 0;
 }
 
@@ -122,17 +235,26 @@ int cmd_simulate(std::uint32_t n, const Rational& t, const Rational& beta,
   return 0;
 }
 
-int cmd_volume(const std::vector<Rational>& sigma, const std::vector<Rational>& pi) {
+int cmd_volume(const std::vector<Rational>& sigma, const std::vector<Rational>& pi,
+               const CertifyRequest& certify) {
+  std::cout << "Vol(Sigma(sigma) ∩ Pi(pi))  [Proposition 2.2]\n";
+  if (certify.enabled) {
+    ddm::EvalStats stats;
+    ddm::EvalPolicy policy = certify.policy;
+    policy.stats = &stats;
+    const auto result = ddm::geom::certified_simplex_box_volume(sigma, pi, policy);
+    print_certified(result, stats, policy);
+    return result.met_tolerance ? 0 : 3;
+  }
   const Rational volume = ddm::geom::simplex_box_volume(sigma, pi);
-  std::cout << "Vol(Sigma(sigma) ∩ Pi(pi))  [Proposition 2.2]\n"
-            << "  = " << volume << " = " << volume.to_double() << "\n"
+  std::cout << "  = " << volume << " = " << volume.to_double() << "\n"
             << "  simplex volume = " << ddm::geom::simplex_volume(sigma) << ", box volume = "
             << ddm::geom::box_volume(pi) << "\n";
   return 0;
 }
 
 int cmd_sweep(std::uint32_t n, const Rational& t, const Rational& lo, const Rational& hi,
-              std::uint32_t steps) {
+              std::uint32_t steps, const std::string& checkpoint_path, bool resume) {
   if (n == 0 || steps == 0) return usage();
   const double t_d = t.to_double();
   const double lo_d = lo.to_double();
@@ -146,8 +268,42 @@ int cmd_sweep(std::uint32_t n, const Rational& t, const Rational& lo, const Rati
     betas[k] = beta;
     points[k].assign(n, beta);
   }
-  const std::vector<double> values =
-      ddm::core::threshold_winning_probability_batch(points, t_d);
+
+  std::vector<double> values(steps + 1, 0.0);
+  if (checkpoint_path.empty()) {
+    values = ddm::core::threshold_winning_probability_batch(points, t_d);
+  } else {
+    // Crash-safe path: rows already in the checkpoint are reused verbatim;
+    // missing rows are evaluated in blocks, each appended (and flushed)
+    // before the next block starts. Every row goes through the identical
+    // serial evaluator either way, so the final output is byte-identical to
+    // an uninterrupted run.
+    const ddm::util::SweepParams params{n, t.to_string(), lo.to_string(), hi.to_string(), steps};
+    ddm::util::SweepCheckpoint checkpoint(checkpoint_path, params, resume);
+    std::vector<std::uint32_t> missing;
+    for (std::uint32_t k = 0; k <= steps; ++k) {
+      if (checkpoint.has(k)) {
+        values[k] = checkpoint.completed().at(k).p_win;
+      } else {
+        missing.push_back(k);
+      }
+    }
+    constexpr std::size_t kBlock = 8;
+    for (std::size_t start = 0; start < missing.size(); start += kBlock) {
+      const std::size_t stop = std::min(start + kBlock, missing.size());
+      std::vector<std::vector<double>> block_points;
+      block_points.reserve(stop - start);
+      for (std::size_t i = start; i < stop; ++i) block_points.push_back(points[missing[i]]);
+      const std::vector<double> block_values =
+          ddm::core::threshold_winning_probability_batch(block_points, t_d);
+      for (std::size_t i = start; i < stop; ++i) {
+        const std::uint32_t k = missing[i];
+        values[k] = block_values[i - start];
+        checkpoint.append({k, betas[k], values[k]});
+      }
+    }
+  }
+
   std::cout << std::setprecision(std::numeric_limits<double>::max_digits10) << "[\n";
   for (std::uint32_t k = 0; k <= steps; ++k) {
     std::cout << "  {\"n\": " << n << ", \"t\": " << t_d << ", \"beta\": " << betas[k]
@@ -182,49 +338,90 @@ int cmd_ladder(std::uint32_t n, const Rational& t, std::uint64_t trials) {
   return 0;
 }
 
+/// Options pulled out of argv before positional dispatch.
+struct Options {
+  CertifyRequest certify;
+  std::string checkpoint_path;
+  bool resume = false;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string command = argv[1];
+  std::vector<std::string> args;  // positional arguments, command first
+  Options options;
   try {
-    if (command == "oblivious" && argc == 4) {
-      return cmd_oblivious(static_cast<std::uint32_t>(std::stoul(argv[2])),
-                           parse_rational(argv[3]));
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--certify") {
+        options.certify.enabled = true;
+      } else if (arg.rfind("--certify=", 0) == 0) {
+        options.certify.enabled = true;
+        options.certify.policy.tolerance =
+            parse_rational("--certify tolerance", arg.substr(10));
+        if (options.certify.policy.tolerance.signum() < 0) {
+          throw BadArgument("invalid --certify tolerance '" + arg.substr(10) +
+                            "' (must be >= 0)");
+        }
+      } else if (arg == "--checkpoint" || arg == "--resume") {
+        if (i + 1 >= argc) throw BadArgument(arg + " requires a file argument");
+        options.checkpoint_path = argv[++i];
+        options.resume = options.resume || arg == "--resume";
+      } else if (arg.rfind("--", 0) == 0) {
+        throw BadArgument("unknown option '" + arg + "'");
+      } else {
+        args.push_back(arg);
+      }
     }
-    if (command == "threshold" && argc == 5) {
-      return cmd_threshold(static_cast<std::uint32_t>(std::stoul(argv[2])),
-                           parse_rational(argv[3]), parse_rational(argv[4]));
+    if (args.empty()) return usage();
+    const std::string& command = args[0];
+    const std::size_t n_args = args.size();
+
+    if (options.certify.enabled && command != "threshold" && command != "volume") {
+      throw BadArgument("--certify is only supported by 'threshold' and 'volume'");
     }
-    if (command == "analyze" && (argc == 4 || argc == 5)) {
-      const int digits = argc == 5 ? std::stoi(argv[4]) : 30;
+    if (!options.checkpoint_path.empty() && command != "sweep") {
+      throw BadArgument("--checkpoint/--resume are only supported by 'sweep'");
+    }
+
+    if (command == "oblivious" && n_args == 3) {
+      return cmd_oblivious(parse_u32("n", args[1]), parse_rational("t", args[2]));
+    }
+    if (command == "threshold" && n_args == 4) {
+      return cmd_threshold(parse_u32("n", args[1]), parse_rational("t", args[2]),
+                           parse_rational("beta", args[3]), options.certify);
+    }
+    if (command == "analyze" && (n_args == 3 || n_args == 4)) {
+      const int digits = n_args == 4 ? parse_int("digits", args[3]) : 30;
       if (digits < 1 || digits > 1000) return usage();
-      return cmd_analyze(static_cast<std::uint32_t>(std::stoul(argv[2])),
-                         parse_rational(argv[3]), digits);
+      return cmd_analyze(parse_u32("n", args[1]), parse_rational("t", args[2]), digits);
     }
-    if (command == "simulate" && (argc == 6 || argc == 7)) {
-      return cmd_simulate(static_cast<std::uint32_t>(std::stoul(argv[2])),
-                          parse_rational(argv[3]), parse_rational(argv[4]),
-                          std::stoull(argv[5]), argc == 7 ? std::stoull(argv[6]) : 42);
+    if (command == "simulate" && (n_args == 5 || n_args == 6)) {
+      return cmd_simulate(parse_u32("n", args[1]), parse_rational("t", args[2]),
+                          parse_rational("beta", args[3]), parse_u64("trials", args[4]),
+                          n_args == 6 ? parse_u64("seed", args[5]) : 42);
     }
-    if (command == "volume" && argc >= 3) {
-      const int m = std::stoi(argv[2]);
-      if (m < 1 || argc != 3 + 2 * m) return usage();
+    if (command == "volume" && n_args >= 2) {
+      const std::uint32_t m = parse_u32("m", args[1]);
+      if (m < 1 || n_args != 2 + 2 * static_cast<std::size_t>(m)) return usage();
       std::vector<Rational> sigma;
       std::vector<Rational> pi;
-      for (int l = 0; l < m; ++l) sigma.push_back(parse_rational(argv[3 + l]));
-      for (int l = 0; l < m; ++l) pi.push_back(parse_rational(argv[3 + m + l]));
-      return cmd_volume(sigma, pi);
+      for (std::uint32_t l = 0; l < m; ++l) {
+        sigma.push_back(parse_rational("sigma", args[2 + l]));
+      }
+      for (std::uint32_t l = 0; l < m; ++l) {
+        pi.push_back(parse_rational("pi", args[2 + m + l]));
+      }
+      return cmd_volume(sigma, pi, options.certify);
     }
-    if (command == "sweep" && argc == 7) {
-      return cmd_sweep(static_cast<std::uint32_t>(std::stoul(argv[2])), parse_rational(argv[3]),
-                       parse_rational(argv[4]), parse_rational(argv[5]),
-                       static_cast<std::uint32_t>(std::stoul(argv[6])));
+    if (command == "sweep" && n_args == 6) {
+      return cmd_sweep(parse_u32("n", args[1]), parse_rational("t", args[2]),
+                       parse_rational("beta_lo", args[3]), parse_rational("beta_hi", args[4]),
+                       parse_u32("steps", args[5]), options.checkpoint_path, options.resume);
     }
-    if (command == "ladder" && (argc == 4 || argc == 5)) {
-      return cmd_ladder(static_cast<std::uint32_t>(std::stoul(argv[2])),
-                        parse_rational(argv[3]),
-                        argc == 5 ? std::stoull(argv[4]) : 500000);
+    if (command == "ladder" && (n_args == 3 || n_args == 4)) {
+      return cmd_ladder(parse_u32("n", args[1]), parse_rational("t", args[2]),
+                        n_args == 4 ? parse_u64("trials", args[3]) : 500000);
     }
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
