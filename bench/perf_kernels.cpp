@@ -15,6 +15,8 @@
 #include "core/randomized_rules.hpp"
 #include "core/reference_kernels.hpp"
 #include "core/symmetric_threshold.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 #include "core/threshold_optimizer.hpp"
 #include "poly/interpolate.hpp"
 #include "geom/volume.hpp"
@@ -123,6 +125,25 @@ void BM_GeneralThresholdDouble(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GeneralThresholdDouble)->Arg(4)->Arg(8)->Arg(12);
+
+// Same kernel with tracing + metrics collection enabled: together with the
+// plain run above this pins the observability overhead in BENCH_kernels.json.
+// The disabled-mode run (BM_GeneralThresholdDouble itself) is the one the
+// <= 3% budget applies to — obs is compiled in, just switched off there.
+void BM_GeneralThresholdDoubleTraced(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a(n);
+  for (std::size_t i = 0; i < n; ++i) a[i] = 0.4 + 0.03 * static_cast<double>(i);
+  const double t = static_cast<double>(n) / 3.0;
+  ddm::obs::start_tracing();
+  ddm::obs::set_metrics_enabled(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddm::core::threshold_winning_probability(a, t));
+  }
+  ddm::obs::set_metrics_enabled(false);
+  ddm::obs::stop_tracing();
+}
+BENCHMARK(BM_GeneralThresholdDoubleTraced)->Arg(4)->Arg(8)->Arg(12);
 
 void BM_SymbolicPiecewiseBuild(benchmark::State& state) {
   const std::uint32_t n = static_cast<std::uint32_t>(state.range(0));

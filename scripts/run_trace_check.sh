@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# run_trace_check.sh — end-to-end validation of the observability layer,
+# registered as the ctest `cli_trace_check` test (tools/CMakeLists.txt).
+#
+# Two contracts are checked:
+#
+#   1. A traced certified sweep produces well-formed Chrome trace_event JSON
+#      (parses, complete "X" events, spans for the parallel chunks / certify
+#      tiers / kernels present, and the intervals of every tid nest properly
+#      — RAII spans close on the thread that opened them, so any overlap
+#      would be an exporter or clock bug).
+#
+#   2. Tracing is observation only: the numeric output of a sweep is
+#      byte-identical with --trace on and off, under DDM_THREADS=1 and 4.
+#
+# Usage: run_trace_check.sh /path/to/ddm_cli
+set -euo pipefail
+
+CLI="$1"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+command -v python3 >/dev/null 2>&1 || {
+  # ctest maps this to SKIP_RETURN_CODE 77.
+  echo "SKIP: python3 not available" >&2
+  exit 77
+}
+
+# --- 1. traced certified sweep produces valid, nesting Chrome trace JSON ---
+trace="$TMP/sweep_trace.json"
+"$CLI" sweep 20 8 0.3 0.45 8 --certify --trace="$trace" > "$TMP/certified.out" \
+  || fail "traced certified sweep failed"
+[ -s "$trace" ] || fail "trace file is empty"
+
+python3 - "$trace" <<'PY' || fail "trace JSON validation failed"
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+events = doc["traceEvents"]
+assert events, "no trace events recorded"
+
+names = set()
+by_tid = {}
+for e in events:
+    assert e["ph"] == "X", f"unexpected phase {e['ph']!r}"
+    assert isinstance(e["ts"], (int, float)) and isinstance(e["dur"], (int, float))
+    assert e["dur"] >= 0, "negative duration"
+    names.add(e["name"])
+    by_tid.setdefault(e["tid"], []).append((e["ts"], e["ts"] + e["dur"]))
+
+# The certified sweep must have produced spans at every instrumented layer.
+for required in ("cli.sweep", "parallel.chunk", "certify.tier"):
+    assert required in names, f"missing span {required!r} (have {sorted(names)})"
+assert any(n.startswith("kernel.") for n in names), f"no kernel spans (have {sorted(names)})"
+
+# Per-tid intervals must nest: sweeping the sorted starts with an end-time
+# stack, each new interval either fits inside the stack top or starts after
+# it ends — a partial overlap is a violation.
+for tid, spans in by_tid.items():
+    stack = []
+    for start, end in sorted(spans):
+        while stack and start >= stack[-1]:
+            stack.pop()
+        if stack and end > stack[-1] + 1e-9:
+            raise AssertionError(f"tid {tid}: span [{start}, {end}) overlaps enclosing end {stack[-1]}")
+        stack.append(end)
+
+print(f"trace ok: {len(events)} events, {len(by_tid)} threads, {len(names)} span names")
+PY
+
+# --- 2. tracing and metrics never perturb the numeric output --------------
+for nthreads in 1 4; do
+  plain="$(DDM_THREADS=$nthreads "$CLI" sweep 16 6 0.3 0.45 8)"
+  traced="$(DDM_THREADS=$nthreads "$CLI" sweep 16 6 0.3 0.45 8 --trace="$TMP/d$nthreads.json")"
+  [ "$plain" = "$traced" ] || fail "DDM_THREADS=$nthreads: sweep output differs with --trace"
+  metered="$(DDM_THREADS=$nthreads "$CLI" sweep 16 6 0.3 0.45 8 --metrics 2>/dev/null)"
+  [ "$plain" = "$metered" ] || fail "DDM_THREADS=$nthreads: sweep output differs with --metrics"
+done
+one="$(DDM_THREADS=1 "$CLI" sweep 16 6 0.3 0.45 8)"
+four="$(DDM_THREADS=4 "$CLI" sweep 16 6 0.3 0.45 8)"
+[ "$one" = "$four" ] || fail "sweep output differs between DDM_THREADS=1 and 4"
+
+echo "trace checks passed"

@@ -38,8 +38,27 @@ expect_reject "1.2.3" "$CLI" threshold 3 1.2.3 0.5      # malformed rational t
 expect_reject "-3"    "$CLI" threshold -3 1 0.5         # negative count
 expect_reject "1.2/3" "$CLI" threshold 3 1 1.2/3        # dot inside a fraction
 expect_reject "--bogus" "$CLI" threshold 3 1 0.5 --bogus  # unknown option
-expect_reject "--certify" "$CLI" sweep 3 1 0 1 4 --certify  # option/command mismatch
+expect_reject "--certify" "$CLI" oblivious 3 1 --certify  # option/command mismatch
 expect_reject "--resume" "$CLI" threshold 3 1 0.5 --resume "$TMP/x"
+
+# Degenerate sweep shapes used to fall through to the usage text (exit 1,
+# argument unnamed); they must be rejected like any other malformed argument.
+expect_reject "invalid n '0'" "$CLI" sweep 0 1 0 1 4
+expect_reject "invalid steps '0'" "$CLI" sweep 3 1 0 1 0
+expect_reject "invalid digits" "$CLI" analyze 3 1 0
+expect_reject "invalid m" "$CLI" volume 0
+expect_reject "volume argument count" "$CLI" volume 2 1/2
+# --certify cannot combine with checkpointing (certified rows carry extra
+# columns the checkpoint format does not persist).
+expect_reject "--certify" "$CLI" sweep 3 1 0 1 4 --certify --checkpoint "$TMP/c.ckpt"
+
+# Malformed observability options are named, and a bogus DDM_THREADS must be
+# rejected up front instead of being silently clamped to one lane.
+expect_reject "--trace" "$CLI" threshold 3 1 0.5 --trace
+expect_reject "invalid --metrics format 'bogus'" "$CLI" threshold 3 1 0.5 --metrics=bogus
+expect_reject "DDM_THREADS" env DDM_THREADS=abc "$CLI" sweep 3 1 0 1 4
+expect_reject "DDM_THREADS" env DDM_THREADS=0 "$CLI" sweep 3 1 0 1 4
+expect_reject "DDM_THREADS" env DDM_THREADS=1e9 "$CLI" sweep 3 1 0 1 4
 
 # --- certified mode ------------------------------------------------------
 cert="$("$CLI" threshold 24 8 3/8 --certify)"

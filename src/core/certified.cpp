@@ -9,6 +9,7 @@
 #include "combinat/binomial.hpp"
 #include "combinat/subsets.hpp"
 #include "core/nonoblivious.hpp"
+#include "obs/trace.hpp"
 #include "util/kahan.hpp"
 
 namespace ddm::core {
@@ -94,6 +95,7 @@ Tracked sym_one_bracket_t0(std::uint32_t k, double beta, double t) {
 }
 
 Tracked sym_total_t0(std::uint32_t n, double beta, double t) {
+  DDM_SPAN("kernel.sym_tracked", {{"n", static_cast<std::int64_t>(n)}});
   KahanSum total;
   double abs_total = 0.0;
   double err = 0.0;
@@ -149,6 +151,7 @@ RationalInterval sym_one_bracket_i(std::uint32_t k, const Rational& beta, const 
 
 RationalInterval sym_total_i(std::uint32_t n, const Rational& beta, const Rational& t,
                              unsigned bits) {
+  DDM_SPAN("kernel.sym_interval", {{"n", static_cast<std::int64_t>(n)}});
   RationalInterval total{Rational{0}};
   for (std::uint32_t k = 0; k <= n; ++k) {
     RationalInterval term = outward_round(
@@ -255,6 +258,7 @@ Tracked gen_ones_bracket_t0(std::span<const double> a, std::span<const std::size
 
 Tracked gen_total_t0(std::span<const double> a, double t) {
   const std::size_t n = a.size();
+  DDM_SPAN("kernel.gray_tracked", {{"n", static_cast<std::int64_t>(n)}});
   KahanSum total;
   double abs_total = 0.0;
   double err = 0.0;
@@ -351,6 +355,7 @@ RationalInterval gen_ones_bracket_i(std::span<const Rational> a,
 
 RationalInterval gen_total_i(std::span<const Rational> a, const Rational& t, unsigned bits) {
   const std::size_t n = a.size();
+  DDM_SPAN("kernel.gray_interval", {{"n", static_cast<std::int64_t>(n)}});
   RationalInterval total{Rational{0}};
   std::vector<std::size_t> zeros;
   std::vector<std::size_t> ones;

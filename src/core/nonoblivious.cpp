@@ -7,6 +7,8 @@
 
 #include "combinat/binomial.hpp"
 #include "combinat/subsets.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 #include "util/fault.hpp"
 #include "util/kahan.hpp"
 #include "util/parallel.hpp"
@@ -17,6 +19,31 @@ namespace ddm::core {
 using util::Rational;
 
 namespace {
+
+// Kernel metrics (docs/observability.md). subsets_visited counts Gray-code
+// subset evaluations (2·3^n per general-kernel call); kahan_compensation
+// records the absolute compensation a bracket accumulated — the live
+// cancellation-severity signal behind the certified ladder's tier-0 bound.
+struct KernelMetrics {
+  obs::Counter gray_calls = obs::counter("kernel.gray_calls");
+  obs::Counter symmetric_calls = obs::counter("kernel.symmetric_calls");
+  obs::Counter subsets_visited = obs::counter("kernel.subsets_visited");
+  obs::Histogram kahan_compensation = obs::histogram("kernel.kahan_compensation");
+
+  static const KernelMetrics& get() {
+    static const KernelMetrics metrics;
+    return metrics;
+  }
+};
+
+// 2·3^n: total Gray-code subset evaluations of one general-kernel call
+// (each outer assignment with m zeros and k ones walks 2^m + 2^k subsets;
+// Σ_b 2^m + 2^k = 2·3^n). n <= 20, so this fits comfortably in 64 bits.
+std::uint64_t general_kernel_subsets(std::size_t n) noexcept {
+  std::uint64_t p = 1;
+  for (std::size_t i = 0; i < n; ++i) p *= 3;
+  return 2 * p;
+}
 
 void check_thresholds(std::span<const Rational> a, std::size_t max_n) {
   if (a.empty()) throw std::invalid_argument("threshold_winning_probability: need >= 1 player");
@@ -114,6 +141,7 @@ Rational threshold_winning_probability(std::span<const Rational> a, const Ration
   check_thresholds(a, 16);
   if (t.signum() <= 0) return Rational{0};
   const std::size_t n = a.size();
+  DDM_SPAN("kernel.gray_exact", {{"n", static_cast<std::int64_t>(n)}});
   Rational total{0};
   std::vector<std::size_t> zeros;
   std::vector<std::size_t> ones;
@@ -142,6 +170,10 @@ double threshold_winning_probability(std::span<const double> a, double t) {
   }
   if (t <= 0.0) return 0.0;
   const std::size_t n = a.size();
+  const KernelMetrics& metrics = KernelMetrics::get();
+  DDM_SPAN("kernel.gray_ie", {{"n", static_cast<std::int64_t>(n)}});
+  metrics.gray_calls.add();
+  if (obs::metrics_enabled()) metrics.subsets_visited.add(general_kernel_subsets(n));
 
   // Gray-code brackets, mirroring the exact versions above: one running-sum
   // update per subset and binary exponentiation instead of std::pow. The
@@ -165,6 +197,7 @@ double threshold_winning_probability(std::span<const double> a, double t) {
       const double term = combinat::pow_uint(rem, mm);
       sum.add(combinat::gray_parity_odd(i) ? -term : term);
     }
+    if (obs::metrics_enabled()) metrics.kahan_compensation.record(std::abs(sum.compensation));
     return sum.get() * combinat::inverse_factorial_double(mm);
   };
   const auto ones_bracket_d = [&](std::span<const std::size_t> ones) {
@@ -189,6 +222,7 @@ double threshold_winning_probability(std::span<const double> a, double t) {
       const double term = combinat::pow_uint(b, kk);
       sum.add(combinat::gray_parity_odd(i) ? -term : term);
     }
+    if (obs::metrics_enabled()) metrics.kahan_compensation.record(std::abs(sum.compensation));
     return product - sum.get() * combinat::inverse_factorial_double(kk);
   };
 
@@ -213,6 +247,7 @@ double threshold_winning_probability(std::span<const double> a, double t) {
 
 std::vector<double> threshold_winning_probability_batch(
     std::span<const std::vector<double>> points, double t) {
+  DDM_SPAN("kernel.batch", {{"points", static_cast<std::int64_t>(points.size())}});
   std::vector<double> values(points.size(), 0.0);
   // Each point goes through the identical serial evaluator a single-point
   // call uses, so batch results match one-at-a-time evaluation bitwise; the
@@ -287,6 +322,7 @@ Rational symmetric_threshold_winning_probability(std::uint32_t n, const Rational
     throw std::invalid_argument("symmetric_threshold_winning_probability: beta outside [0, 1]");
   }
   if (t.signum() <= 0) return Rational{0};
+  DDM_SPAN("kernel.sym_exact", {{"n", static_cast<std::int64_t>(n)}});
   Rational total{0};
   for (std::uint32_t k = 0; k <= n; ++k) {
     total += Rational{combinat::binomial(n, k), util::BigInt{1}} *
@@ -301,6 +337,8 @@ double symmetric_threshold_winning_probability(std::uint32_t n, double beta, dou
     throw std::invalid_argument("symmetric_threshold_winning_probability: beta outside [0, 1]");
   }
   if (t <= 0.0) return 0.0;
+  DDM_SPAN("kernel.symmetric", {{"n", static_cast<std::int64_t>(n)}});
+  KernelMetrics::get().symmetric_calls.add();
 
   const auto zero_bracket = [&](std::uint32_t m) {
     if (m == 0) return 1.0;

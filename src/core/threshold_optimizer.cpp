@@ -4,9 +4,29 @@
 #include <stdexcept>
 
 #include "core/nonoblivious.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace ddm::core {
+
+namespace {
+
+// Search metrics: probes evaluated, strictly-improving moves accepted, and
+// step halvings (the "restart" of the compass step schedule when no probe
+// improves). See docs/observability.md.
+struct OptimizerMetrics {
+  obs::Counter probes = obs::counter("optimizer.probes");
+  obs::Counter accepts = obs::counter("optimizer.accepts");
+  obs::Counter step_halvings = obs::counter("optimizer.step_halvings");
+
+  static const OptimizerMetrics& get() {
+    static const OptimizerMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 ThresholdSearchResult maximize_thresholds(std::vector<double> start, double t,
                                           double initial_step, double tolerance,
@@ -17,6 +37,8 @@ ThresholdSearchResult maximize_thresholds(std::vector<double> start, double t,
     throw std::invalid_argument("maximize_thresholds: step/tolerance must be > 0");
   }
   for (double& a : start) a = std::clamp(a, 0.0, 1.0);
+  DDM_SPAN("optimizer.search", {{"n", static_cast<std::int64_t>(start.size())}});
+  const OptimizerMetrics& metrics = OptimizerMetrics::get();
 
   ThresholdSearchResult result;
   result.thresholds = std::move(start);
@@ -67,6 +89,7 @@ ThresholdSearchResult maximize_thresholds(std::vector<double> start, double t,
         },
         probe_options);
     result.evaluations += static_cast<std::uint32_t>(probes.size());
+    metrics.probes.add(probes.size());
     const Probe* best = &probes[0];
     for (const Probe& probe : probes) {
       if (probe.value > best->value) best = &probe;
@@ -74,8 +97,10 @@ ThresholdSearchResult maximize_thresholds(std::vector<double> start, double t,
     if (best->value > result.value) {
       result.thresholds[best->axis] = best->candidate;
       result.value = best->value;
+      metrics.accepts.add();
     } else {
       step *= 0.5;
+      metrics.step_halvings.add();
     }
   }
   result.final_step = step;
@@ -88,6 +113,8 @@ ThresholdSearchResult maximize_symmetric_threshold(std::uint32_t n, double t, do
   if (tolerance <= 0.0 || initial_step <= 0.0) {
     throw std::invalid_argument("maximize_symmetric_threshold: step/tolerance must be > 0");
   }
+  DDM_SPAN("optimizer.search", {{"n", static_cast<std::int64_t>(n)}, {"symmetric", 1}});
+  const OptimizerMetrics& metrics = OptimizerMetrics::get();
   double beta = std::clamp(start, 0.0, 1.0);
   double value = symmetric_threshold_winning_probability(n, beta, t);
   std::uint32_t evaluations = 1;
@@ -99,14 +126,19 @@ ThresholdSearchResult maximize_symmetric_threshold(std::uint32_t n, double t, do
       if (candidate == beta) continue;
       const double candidate_value = symmetric_threshold_winning_probability(n, candidate, t);
       ++evaluations;
+      metrics.probes.add();
       if (candidate_value > value) {
         beta = candidate;
         value = candidate_value;
         improved = true;
+        metrics.accepts.add();
         break;
       }
     }
-    if (!improved) step *= 0.5;
+    if (!improved) {
+      step *= 0.5;
+      metrics.step_halvings.add();
+    }
   }
   ThresholdSearchResult result;
   result.thresholds.assign(n, beta);

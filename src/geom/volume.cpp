@@ -7,6 +7,8 @@
 
 #include "combinat/binomial.hpp"
 #include "combinat/subsets.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 #include "util/kahan.hpp"
 #include "util/status.hpp"
 
@@ -115,6 +117,11 @@ double simplex_box_volume_double(std::span<const double> sigma, std::span<const 
     side_product = require_finite(side_product * sigma[l],
                                   "simplex_box_volume_double: side product");
   }
+  DDM_SPAN("kernel.volume_ie", {{"m", static_cast<std::int64_t>(m)}});
+  {
+    static const obs::Counter subsets = obs::counter("kernel.subsets_visited");
+    if (obs::metrics_enabled() && m < 63) subsets.add(std::uint64_t{1} << m);
+  }
   // Same Gray-code walk as the exact version: one add per subset plus a
   // binary-exponentiation power instead of std::pow. Both the running ratio
   // sum and the term accumulator carry Kahan compensation so the incremental
@@ -133,6 +140,10 @@ double simplex_box_volume_double(std::span<const double> sigma, std::span<const 
     if (rs >= 1.0) continue;
     const double term = combinat::pow_uint(1.0 - rs, mm);
     sum.add(combinat::gray_parity_odd(i) ? -term : term);
+  }
+  if (obs::metrics_enabled()) {
+    static const obs::Histogram compensation = obs::histogram("kernel.kahan_compensation");
+    compensation.record(std::abs(sum.compensation));
   }
   return require_finite(side_product * combinat::inverse_factorial_double(mm) * sum.get(),
                         "simplex_box_volume_double: result");

@@ -1,0 +1,425 @@
+#include "obs/metrics_registry.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "util/status.hpp"
+
+namespace ddm::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+// Fixed shard geometry. 4096 slots cover a few hundred counters plus a
+// couple dozen histograms; registration throws before ever overrunning.
+constexpr std::uint32_t kMaxSlots = 4096;
+
+// Histogram layout inside the slot array: [count][sum][bucket 0..kHistBuckets).
+constexpr std::uint32_t kHistBuckets = 64;
+constexpr std::uint32_t kHistSlots = kHistBuckets + 2;
+// Bucket i spans (2^(kHistMinExp+i-1), 2^(kHistMinExp+i)]; values at or
+// below the bottom land in bucket 0, values above the top in the last.
+constexpr int kHistMinExp = -59;  // first upper bound 2^-59 ~ 1.7e-18
+
+std::uint32_t bucket_index(double value) noexcept {
+  if (!(value > 0.0)) return 0;  // zero, negatives, NaN → first bucket
+  const int exp = std::ilogb(value);
+  // value in (2^exp, 2^(exp+1)] up to the boundary case value == 2^exp,
+  // which ilogb reports as exp; both placements are within one bucket.
+  const int index = exp - kHistMinExp + 1;
+  if (index < 0) return 0;
+  if (index >= static_cast<int>(kHistBuckets)) return kHistBuckets - 1;
+  return static_cast<std::uint32_t>(index);
+}
+
+double bucket_upper_bound(std::uint32_t index) noexcept {
+  return std::ldexp(1.0, kHistMinExp + static_cast<int>(index));
+}
+
+// One thread's slot array. Only the owning thread writes (relaxed stores);
+// scrape/reset read and write under the registry mutex with relaxed loads —
+// per-slot totals are monotone counters, so a torn snapshot is at worst one
+// bump stale, never corrupt.
+struct Shard {
+  std::array<std::atomic<std::uint64_t>, kMaxSlots> slots{};
+};
+
+void shard_add_u64(Shard& shard, std::uint32_t slot, std::uint64_t delta) noexcept {
+  auto& cell = shard.slots[slot];
+  cell.store(cell.load(std::memory_order_relaxed) + delta, std::memory_order_relaxed);
+}
+
+void shard_add_double(Shard& shard, std::uint32_t slot, double delta) noexcept {
+  auto& cell = shard.slots[slot];
+  const double current = std::bit_cast<double>(cell.load(std::memory_order_relaxed));
+  cell.store(std::bit_cast<std::uint64_t>(current + delta), std::memory_order_relaxed);
+}
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Prometheus metric names use [a-zA-Z0-9_:]; the registry's dotted names map
+// '.' and any other outsider to '_'.
+std::string prometheus_name(std::string_view name) {
+  std::string out(name);
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string format_value(double value) {
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10) << value;
+  return os.str();
+}
+
+}  // namespace
+
+bool metrics_enabled() noexcept { return g_metrics_enabled.load(std::memory_order_relaxed); }
+
+void set_metrics_enabled(bool on) noexcept {
+  g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+struct Registry::Impl {
+  struct MetricInfo {
+    MetricSample::Kind kind = MetricSample::Kind::kCounter;
+    std::uint32_t slot = 0;       // base slot (counters, histograms)
+    std::uint32_t gauge_index = 0;
+  };
+
+  mutable std::mutex mutex;
+  std::map<std::string, MetricInfo, std::less<>> metrics;
+  std::uint32_t next_slot = 0;
+  std::vector<std::shared_ptr<Shard>> shards;
+  // Totals folded out of shards whose owning thread has exited.
+  std::array<std::uint64_t, kMaxSlots> retired{};
+  std::vector<std::unique_ptr<std::atomic<std::int64_t>>> gauges;
+
+  std::uint64_t slot_total(std::uint32_t slot) const {
+    std::uint64_t total = retired[slot];
+    for (const auto& shard : shards) {
+      total += shard->slots[slot].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  double slot_total_double(std::uint32_t slot) const {
+    double total = std::bit_cast<double>(retired[slot]);
+    for (const auto& shard : shards) {
+      total += std::bit_cast<double>(shard->slots[slot].load(std::memory_order_relaxed));
+    }
+    return total;
+  }
+};
+
+namespace {
+
+Registry::Impl& impl_of(Registry& registry);
+
+// Thread-local shard lifecycle: registered with the (leaked) registry on
+// first use, folded into the retired totals and dropped from the live list
+// when the thread exits.
+struct ShardHolder {
+  std::shared_ptr<Shard> shard;
+  Registry::Impl* impl = nullptr;
+
+  ShardHolder() {
+    impl = &impl_of(Registry::instance());
+    shard = std::make_shared<Shard>();
+    std::scoped_lock lock(impl->mutex);
+    impl->shards.push_back(shard);
+  }
+
+  ~ShardHolder() {
+    std::scoped_lock lock(impl->mutex);
+    for (std::uint32_t s = 0; s < kMaxSlots; ++s) {
+      const std::uint64_t value = shard->slots[s].load(std::memory_order_relaxed);
+      if (value == 0) continue;
+      // Provisional integer fold; histogram sum slots (bit-cast doubles)
+      // are fixed up below, once the metrics table tells us which they are.
+      impl->retired[s] += value;
+    }
+    for (const auto& [name, info] : impl->metrics) {
+      (void)name;
+      if (info.kind != MetricSample::Kind::kHistogram) continue;
+      const std::uint32_t sum_slot = info.slot + 1;
+      const std::uint64_t value = shard->slots[sum_slot].load(std::memory_order_relaxed);
+      if (value == 0) continue;
+      impl->retired[sum_slot] -= value;  // undo the provisional integer fold
+      const double merged = std::bit_cast<double>(impl->retired[sum_slot]) +
+                            std::bit_cast<double>(value);
+      impl->retired[sum_slot] = std::bit_cast<std::uint64_t>(merged);
+    }
+    std::erase(impl->shards, shard);
+  }
+};
+
+Shard& local_shard() {
+  thread_local ShardHolder holder;
+  return *holder.shard;
+}
+
+Registry::Impl* g_registry_impl = nullptr;
+
+Registry::Impl& impl_of(Registry&) { return *g_registry_impl; }
+
+}  // namespace
+
+Registry::Registry() : impl_(new Impl) { g_registry_impl = impl_; }
+
+Registry& Registry::instance() {
+  static Registry* registry = new Registry();  // leaked: see class comment
+  return *registry;
+}
+
+Counter Registry::counter(std::string_view name) {
+  std::scoped_lock lock(impl_->mutex);
+  if (const auto it = impl_->metrics.find(name); it != impl_->metrics.end()) {
+    if (it->second.kind != MetricSample::Kind::kCounter) {
+      throw Error("metrics registry: '" + std::string(name) + "' is not a counter");
+    }
+    return Counter{it->second.slot};
+  }
+  if (impl_->next_slot + 1 > kMaxSlots) {
+    throw Error("metrics registry: slot space exhausted");
+  }
+  const std::uint32_t slot = impl_->next_slot++;
+  impl_->metrics.emplace(std::string(name),
+                         Impl::MetricInfo{MetricSample::Kind::kCounter, slot, 0});
+  return Counter{slot};
+}
+
+Gauge Registry::gauge(std::string_view name) {
+  std::scoped_lock lock(impl_->mutex);
+  if (const auto it = impl_->metrics.find(name); it != impl_->metrics.end()) {
+    if (it->second.kind != MetricSample::Kind::kGauge) {
+      throw Error("metrics registry: '" + std::string(name) + "' is not a gauge");
+    }
+    return Gauge{it->second.gauge_index};
+  }
+  const auto index = static_cast<std::uint32_t>(impl_->gauges.size());
+  impl_->gauges.push_back(std::make_unique<std::atomic<std::int64_t>>(0));
+  impl_->metrics.emplace(std::string(name),
+                         Impl::MetricInfo{MetricSample::Kind::kGauge, 0, index});
+  return Gauge{index};
+}
+
+Histogram Registry::histogram(std::string_view name) {
+  std::scoped_lock lock(impl_->mutex);
+  if (const auto it = impl_->metrics.find(name); it != impl_->metrics.end()) {
+    if (it->second.kind != MetricSample::Kind::kHistogram) {
+      throw Error("metrics registry: '" + std::string(name) + "' is not a histogram");
+    }
+    return Histogram{it->second.slot};
+  }
+  if (impl_->next_slot + kHistSlots > kMaxSlots) {
+    throw Error("metrics registry: slot space exhausted");
+  }
+  const std::uint32_t slot = impl_->next_slot;
+  impl_->next_slot += kHistSlots;
+  impl_->metrics.emplace(std::string(name),
+                         Impl::MetricInfo{MetricSample::Kind::kHistogram, slot, 0});
+  return Histogram{slot};
+}
+
+std::vector<MetricSample> Registry::scrape() const {
+  std::scoped_lock lock(impl_->mutex);
+  std::vector<MetricSample> samples;
+  samples.reserve(impl_->metrics.size());
+  for (const auto& [name, info] : impl_->metrics) {
+    MetricSample sample;
+    sample.name = name;
+    sample.kind = info.kind;
+    switch (info.kind) {
+      case MetricSample::Kind::kCounter:
+        sample.counter_value = impl_->slot_total(info.slot);
+        break;
+      case MetricSample::Kind::kGauge:
+        sample.gauge_value = impl_->gauges[info.gauge_index]->load(std::memory_order_relaxed);
+        break;
+      case MetricSample::Kind::kHistogram: {
+        sample.histogram_count = impl_->slot_total(info.slot);
+        sample.histogram_sum = impl_->slot_total_double(info.slot + 1);
+        for (std::uint32_t b = 0; b < kHistBuckets; ++b) {
+          const std::uint64_t count = impl_->slot_total(info.slot + 2 + b);
+          if (count != 0) sample.buckets.emplace_back(bucket_upper_bound(b), count);
+        }
+        break;
+      }
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+void Registry::reset() noexcept {
+  std::scoped_lock lock(impl_->mutex);
+  impl_->retired.fill(0);
+  for (const auto& shard : impl_->shards) {
+    for (auto& cell : shard->slots) cell.store(0, std::memory_order_relaxed);
+  }
+  for (const auto& gauge : impl_->gauges) gauge->store(0, std::memory_order_relaxed);
+}
+
+void Registry::write_text(std::ostream& os) const {
+  os << "# ddm metrics\n";
+  for (const MetricSample& sample : scrape()) {
+    switch (sample.kind) {
+      case MetricSample::Kind::kCounter:
+        os << sample.name << " " << sample.counter_value << "\n";
+        break;
+      case MetricSample::Kind::kGauge:
+        os << sample.name << " " << sample.gauge_value << "\n";
+        break;
+      case MetricSample::Kind::kHistogram:
+        os << sample.name << " count=" << sample.histogram_count
+           << " sum=" << format_value(sample.histogram_sum);
+        if (sample.histogram_count != 0) {
+          os << " mean="
+             << format_value(sample.histogram_sum /
+                             static_cast<double>(sample.histogram_count));
+        }
+        os << "\n";
+        break;
+    }
+  }
+}
+
+void Registry::write_json(std::ostream& os) const {
+  os << "{\n";
+  bool first = true;
+  for (const MetricSample& sample : scrape()) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  \"" << json_escape(sample.name) << "\": ";
+    switch (sample.kind) {
+      case MetricSample::Kind::kCounter:
+        os << sample.counter_value;
+        break;
+      case MetricSample::Kind::kGauge:
+        os << sample.gauge_value;
+        break;
+      case MetricSample::Kind::kHistogram: {
+        os << "{\"count\": " << sample.histogram_count
+           << ", \"sum\": " << format_value(sample.histogram_sum) << ", \"buckets\": [";
+        bool first_bucket = true;
+        for (const auto& [bound, count] : sample.buckets) {
+          if (!first_bucket) os << ", ";
+          first_bucket = false;
+          os << "{\"le\": " << format_value(bound) << ", \"count\": " << count << "}";
+        }
+        os << "]}";
+        break;
+      }
+    }
+  }
+  os << "\n}\n";
+}
+
+void Registry::write_prometheus(std::ostream& os) const {
+  for (const MetricSample& sample : scrape()) {
+    const std::string name = prometheus_name(sample.name);
+    switch (sample.kind) {
+      case MetricSample::Kind::kCounter:
+        os << "# TYPE " << name << " counter\n" << name << " " << sample.counter_value << "\n";
+        break;
+      case MetricSample::Kind::kGauge:
+        os << "# TYPE " << name << " gauge\n" << name << " " << sample.gauge_value << "\n";
+        break;
+      case MetricSample::Kind::kHistogram: {
+        os << "# TYPE " << name << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (const auto& [bound, count] : sample.buckets) {
+          cumulative += count;
+          os << name << "_bucket{le=\"" << format_value(bound) << "\"} " << cumulative << "\n";
+        }
+        os << name << "_bucket{le=\"+Inf\"} " << sample.histogram_count << "\n"
+           << name << "_sum " << format_value(sample.histogram_sum) << "\n"
+           << name << "_count " << sample.histogram_count << "\n";
+        break;
+      }
+    }
+  }
+}
+
+void Counter::add(std::uint64_t delta) const noexcept {
+  if (!metrics_enabled()) return;
+  shard_add_u64(local_shard(), slot_, delta);
+}
+
+void Gauge::set(std::int64_t value) const noexcept {
+  if (!metrics_enabled()) return;
+  g_registry_impl->gauges[index_]->store(value, std::memory_order_relaxed);
+}
+
+void Gauge::add(std::int64_t delta) const noexcept {
+  if (!metrics_enabled()) return;
+  g_registry_impl->gauges[index_]->fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Histogram::record(double value) const noexcept {
+  if (!metrics_enabled()) return;
+  Shard& shard = local_shard();
+  shard_add_u64(shard, slot_, 1);
+  shard_add_double(shard, slot_ + 1, value);
+  shard_add_u64(shard, slot_ + 2 + bucket_index(value), 1);
+}
+
+Counter counter(std::string_view name) { return Registry::instance().counter(name); }
+Gauge gauge(std::string_view name) { return Registry::instance().gauge(name); }
+Histogram histogram(std::string_view name) { return Registry::instance().histogram(name); }
+
+ScopedTimer::ScopedTimer(Histogram hist) noexcept : hist_(hist) {
+  if (!metrics_enabled()) return;
+  active_ = true;
+  start_ns_ = now_ns();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (!active_ || !metrics_enabled()) return;
+  hist_.record(static_cast<double>(now_ns() - start_ns_) * 1e-9);
+}
+
+}  // namespace ddm::obs

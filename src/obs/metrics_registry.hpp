@@ -1,0 +1,154 @@
+// metrics_registry.hpp — the process-wide metrics registry of ddm::obs.
+//
+// A zero-cost-when-disabled observability primitive: library code obtains
+// cheap value-type handles (Counter, Gauge, Histogram) from the registry once
+// (typically via a function-local static) and bumps them on the hot path.
+// Every bump is gated on one relaxed atomic load of the global enable flag —
+// when metrics are off (the default) the entire subsystem costs a predicted
+// branch per instrumentation point and touches no shared cache lines.
+//
+// When enabled, counters and histograms write to *per-thread shards*: each
+// thread owns a fixed slot array that only it writes (relaxed atomic stores,
+// no read-modify-write contention); `scrape()` merges all live shards plus
+// the folded totals of exited threads under the registry mutex. Gauges are
+// set-semantics (last write wins), so they live directly in the registry as
+// plain atomics rather than in shards.
+//
+// Histograms are fixed-bucket base-2 exponential: bucket i counts values in
+// (2^(kHistMinExp+i-1), 2^(kHistMinExp+i)], wide enough to span both
+// sub-nanosecond Kahan compensation magnitudes (~1e-17) and multi-second
+// span latencies in one layout. Recording is two shard stores plus a
+// compensation-free double add into the shard-local sum.
+//
+// Exposition: `write_text` (human-readable, the `ddm_cli --metrics` default),
+// `write_json`, and `write_prometheus` (text exposition format 0.0.4-style)
+// — see docs/observability.md for the naming scheme and format samples.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ddm::obs {
+
+/// Global metrics switch. Off by default; `ddm_cli --metrics` and the obs
+/// tests turn it on. One relaxed load — safe to call on hot paths.
+[[nodiscard]] bool metrics_enabled() noexcept;
+void set_metrics_enabled(bool on) noexcept;
+
+/// Monotonic counter handle. Copyable, trivially destructible; obtain from
+/// obs::counter(name) and keep in a function-local static at the use site.
+class Counter {
+ public:
+  Counter() = default;
+  /// Adds `delta` to this thread's shard. No-op while metrics are disabled.
+  void add(std::uint64_t delta = 1) const noexcept;
+
+ private:
+  friend class Registry;
+  explicit Counter(std::uint32_t slot) : slot_(slot) {}
+  std::uint32_t slot_ = 0;
+};
+
+/// Gauge handle: a settable signed value (last write wins process-wide).
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(std::int64_t value) const noexcept;
+  void add(std::int64_t delta) const noexcept;
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::uint32_t index) : index_(index) {}
+  std::uint32_t index_ = 0;
+};
+
+/// Fixed-bucket base-2 exponential histogram handle.
+class Histogram {
+ public:
+  Histogram() = default;
+  /// Records one observation (values <= 0 land in the first bucket). No-op
+  /// while metrics are disabled.
+  void record(double value) const noexcept;
+
+ private:
+  friend class Registry;
+  friend class ScopedTimer;
+  explicit Histogram(std::uint32_t slot) : slot_(slot) {}
+  std::uint32_t slot_ = 0;
+};
+
+/// One scraped metric. For histograms, `buckets` holds only the non-empty
+/// buckets as (upper bound, count) pairs in increasing bound order.
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::uint64_t counter_value = 0;
+  std::int64_t gauge_value = 0;
+  std::uint64_t histogram_count = 0;
+  double histogram_sum = 0.0;
+  std::vector<std::pair<double, std::uint64_t>> buckets;
+};
+
+/// The process-wide registry. A leaked singleton (never destroyed), so
+/// thread-local shard destructors and the CLI's at-exit dump can never
+/// outlive it.
+class Registry {
+ public:
+  [[nodiscard]] static Registry& instance();
+
+  /// Registers (or looks up — same name returns the same handle) a metric.
+  /// Throws ddm::Error when `name` is already registered as a different kind
+  /// or the fixed slot space is exhausted.
+  [[nodiscard]] Counter counter(std::string_view name);
+  [[nodiscard]] Gauge gauge(std::string_view name);
+  [[nodiscard]] Histogram histogram(std::string_view name);
+
+  /// Merges all shards (live + retired) into a snapshot, sorted by name.
+  [[nodiscard]] std::vector<MetricSample> scrape() const;
+
+  /// Zeroes every counter, gauge, and histogram (test hook).
+  void reset() noexcept;
+
+  void write_text(std::ostream& os) const;
+  void write_json(std::ostream& os) const;
+  void write_prometheus(std::ostream& os) const;
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  struct Impl;  // public only so the implementation's free helpers can name it
+
+ private:
+  Registry();
+  ~Registry() = delete;  // leaked singleton
+  Impl* impl_;
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+};
+
+/// Convenience wrappers over Registry::instance().
+[[nodiscard]] Counter counter(std::string_view name);
+[[nodiscard]] Gauge gauge(std::string_view name);
+[[nodiscard]] Histogram histogram(std::string_view name);
+
+/// RAII wall-time recorder: on destruction records the elapsed seconds into
+/// `hist`. Reads the steady clock only while metrics are enabled.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram hist) noexcept;
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram hist_;
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace ddm::obs

@@ -1,0 +1,269 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace ddm::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+std::atomic<std::uint64_t> g_dropped{0};
+
+constexpr std::size_t kRingCapacity = 8192;
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct SpanRecord {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  SpanArg args[4];
+  std::uint8_t n_args = 0;
+};
+
+// One thread's span sink: a fixed-capacity overwrite-oldest ring. The owning
+// thread appends; export reads under the same mutex. Contention is one
+// uncontended lock per completed span — spans are per-call (chunk, tier,
+// kernel invocation), never per-subset, so this is far off the hot path.
+struct Ring {
+  std::mutex mutex;
+  std::vector<SpanRecord> records;  // capacity kRingCapacity, ring once full
+  std::size_t head = 0;             // next write position once wrapped
+  bool wrapped = false;
+  std::uint32_t tid = 0;
+
+  void push(const SpanRecord& record) {
+    std::scoped_lock lock(mutex);
+    if (records.size() < kRingCapacity) {
+      records.push_back(record);
+      return;
+    }
+    wrapped = true;
+    records[head] = record;
+    head = (head + 1) % kRingCapacity;
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void clear() {
+    std::scoped_lock lock(mutex);
+    records.clear();
+    head = 0;
+    wrapped = false;
+  }
+
+  // Oldest-first snapshot.
+  std::vector<SpanRecord> snapshot() {
+    std::scoped_lock lock(mutex);
+    if (!wrapped) return records;
+    std::vector<SpanRecord> out;
+    out.reserve(records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      out.push_back(records[(head + i) % kRingCapacity]);
+    }
+    return out;
+  }
+};
+
+// Leaked trace registry: rings are shared_ptrs so a ring outlives its thread
+// (export after a pool thread retires) and the registry itself is never
+// destroyed (pool threads join during static destruction).
+struct TraceRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<Ring>> rings;
+  std::uint32_t next_tid = 1;
+
+  static TraceRegistry& instance() {
+    static TraceRegistry* registry = new TraceRegistry();
+    return *registry;
+  }
+};
+
+Ring& local_ring() {
+  thread_local std::shared_ptr<Ring> ring = [] {
+    auto r = std::make_shared<Ring>();
+    TraceRegistry& registry = TraceRegistry::instance();
+    std::scoped_lock lock(registry.mutex);
+    r->tid = registry.next_tid++;
+    registry.rings.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_args(std::ostream& os, const SpanArg* args, std::uint8_t n_args) {
+  os << "{";
+  for (std::uint8_t i = 0; i < n_args; ++i) {
+    if (i != 0) os << ", ";
+    const SpanArg& arg = args[i];
+    os << "\"" << json_escape(arg.key_ != nullptr ? arg.key_ : "") << "\": ";
+    switch (arg.kind_) {
+      case SpanArg::Kind::kInt:
+        os << arg.int_;
+        break;
+      case SpanArg::Kind::kDouble: {
+        const double v = arg.double_;
+        if (v == v && v != std::numeric_limits<double>::infinity() &&
+            v != -std::numeric_limits<double>::infinity()) {
+          os << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+        } else {
+          os << "\"" << (v == v ? (v > 0 ? "inf" : "-inf") : "nan") << "\"";
+        }
+        break;
+      }
+      case SpanArg::Kind::kString:
+        os << "\"" << json_escape(arg.string_ != nullptr ? arg.string_ : "") << "\"";
+        break;
+      case SpanArg::Kind::kNone:
+        os << "null";
+        break;
+    }
+  }
+  os << "}";
+}
+
+}  // namespace
+
+bool tracing_enabled() noexcept {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void start_tracing() {
+  TraceRegistry& registry = TraceRegistry::instance();
+  {
+    std::scoped_lock lock(registry.mutex);
+    for (const auto& ring : registry.rings) ring->clear();
+  }
+  g_dropped.store(0, std::memory_order_relaxed);
+  g_tracing_enabled.store(true, std::memory_order_relaxed);
+}
+
+void stop_tracing() noexcept {
+  g_tracing_enabled.store(false, std::memory_order_relaxed);
+}
+
+std::size_t trace_span_count() {
+  TraceRegistry& registry = TraceRegistry::instance();
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::scoped_lock lock(registry.mutex);
+    rings = registry.rings;
+  }
+  std::size_t total = 0;
+  for (const auto& ring : rings) {
+    std::scoped_lock lock(ring->mutex);
+    total += ring->records.size();
+  }
+  return total;
+}
+
+std::uint64_t trace_dropped() noexcept {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+void export_chrome_trace(const std::string& path) {
+  TraceRegistry& registry = TraceRegistry::instance();
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::scoped_lock lock(registry.mutex);
+    rings = registry.rings;
+  }
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw Error("trace: cannot open '" + path + "' for writing");
+  }
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const auto& ring : rings) {
+    for (const SpanRecord& record : ring->snapshot()) {
+      if (!first) out << ",";
+      first = false;
+      // Chrome trace "X" (complete) events; ts/dur in microseconds with
+      // fractional-ns precision preserved.
+      const double ts_us = static_cast<double>(record.start_ns) / 1000.0;
+      const double dur_us =
+          static_cast<double>(record.end_ns - record.start_ns) / 1000.0;
+      out << "\n  {\"name\": \"" << json_escape(record.name) << "\", "
+          << "\"cat\": \"ddm\", \"ph\": \"X\", "
+          << "\"ts\": " << std::setprecision(3) << std::fixed << ts_us
+          << ", \"dur\": " << dur_us << std::defaultfloat
+          << ", \"pid\": 1, \"tid\": " << ring->tid << ", \"args\": ";
+      write_args(out, record.args, record.n_args);
+      out << "}";
+    }
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  out.flush();
+  if (!out) {
+    throw Error("trace: write to '" + path + "' failed");
+  }
+}
+
+Span::Span(const char* name) noexcept {
+  if (!tracing_enabled()) return;
+  name_ = name;
+  active_ = true;
+  start_ns_ = now_ns();
+}
+
+Span::Span(const char* name, std::initializer_list<SpanArg> args) noexcept {
+  if (!tracing_enabled()) return;
+  name_ = name;
+  for (const SpanArg& arg : args) {
+    if (n_args_ >= 4) break;
+    args_[n_args_++] = arg;
+  }
+  active_ = true;
+  start_ns_ = now_ns();
+}
+
+Span::~Span() {
+  if (!active_ || !tracing_enabled()) return;
+  SpanRecord record;
+  record.name = name_;
+  record.start_ns = start_ns_;
+  record.end_ns = now_ns();
+  record.n_args = n_args_;
+  for (std::uint8_t i = 0; i < n_args_; ++i) record.args[i] = args_[i];
+  local_ring().push(record);
+}
+
+}  // namespace ddm::obs

@@ -1,0 +1,102 @@
+// trace.hpp — scoped tracing spans with a Chrome trace_event exporter.
+//
+// The second half of ddm::obs: RAII spans that time a region of code on the
+// steady clock and deposit completed intervals into per-thread ring buffers.
+// Like the metrics registry, the subsystem is zero-cost when disabled — a
+// Span's constructor is one relaxed atomic load and an early return, so
+// `DDM_SPAN("kernel.gray_ie", ...)` may sit on any per-call (never per-subset)
+// hot path.
+//
+// Completed spans are exported in Chrome's trace_event JSON format (the
+// `{"traceEvents": [...]}` object form, "ph":"X" complete events) which
+// chrome://tracing and Perfetto load directly. Because spans are closed by
+// RAII on one thread, the intervals recorded for a given tid always nest
+// properly; `scripts/run_trace_check.sh` validates exactly that invariant.
+//
+// The ring buffers overwrite-oldest when full (capacity 8192 spans/thread,
+// drops counted in `trace_dropped()`): a trace is a diagnostic window, not an
+// audit log, and a suffix of properly nested intervals is still properly
+// nested.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ddm::obs {
+
+/// Global tracing switch — one relaxed load, safe on hot paths.
+[[nodiscard]] bool tracing_enabled() noexcept;
+
+/// Clears any previously collected spans and enables collection.
+void start_tracing();
+
+/// Disables collection. Collected spans remain available for export.
+void stop_tracing() noexcept;
+
+/// Number of spans currently held across all ring buffers.
+[[nodiscard]] std::size_t trace_span_count();
+
+/// Number of spans overwritten because a thread's ring buffer was full.
+[[nodiscard]] std::uint64_t trace_dropped() noexcept;
+
+/// Writes all collected spans as Chrome trace_event JSON to `path`.
+/// Throws ddm::Error when the file cannot be written.
+void export_chrome_trace(const std::string& path);
+
+/// One key/value annotation attached to a span; shows up under "args" in the
+/// Chrome trace. Small-string keys/values only — keys must be string
+/// literals (the span stores the pointer).
+struct SpanArg {
+  enum class Kind : std::uint8_t { kNone, kInt, kDouble, kString };
+
+  constexpr SpanArg() = default;
+  constexpr SpanArg(const char* key, std::int64_t value)
+      : key_(key), kind_(Kind::kInt), int_(value) {}
+  constexpr SpanArg(const char* key, int value)
+      : SpanArg(key, static_cast<std::int64_t>(value)) {}
+  constexpr SpanArg(const char* key, unsigned value)
+      : SpanArg(key, static_cast<std::int64_t>(value)) {}
+  constexpr SpanArg(const char* key, std::uint64_t value)
+      : SpanArg(key, static_cast<std::int64_t>(value)) {}
+  constexpr SpanArg(const char* key, double value)
+      : key_(key), kind_(Kind::kDouble), double_(value) {}
+  constexpr SpanArg(const char* key, const char* value)
+      : key_(key), kind_(Kind::kString), string_(value) {}
+
+  const char* key_ = nullptr;
+  Kind kind_ = Kind::kNone;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  const char* string_ = nullptr;
+};
+
+/// RAII tracing span. `name` must be a string literal (stored by pointer).
+/// Construction records the start timestamp; destruction deposits the
+/// completed interval into this thread's ring buffer. Both ends are no-ops
+/// while tracing is disabled — a span that straddles stop_tracing() is
+/// simply not recorded.
+class Span {
+ public:
+  explicit Span(const char* name) noexcept;
+  Span(const char* name, std::initializer_list<SpanArg> args) noexcept;
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+  SpanArg args_[4];
+  std::uint8_t n_args_ = 0;
+};
+
+// DDM_SPAN("certify.tier", {{"tier", 1}}) — names a unique local so several
+// spans can share a scope.
+#define DDM_OBS_CONCAT_INNER(a, b) a##b
+#define DDM_OBS_CONCAT(a, b) DDM_OBS_CONCAT_INNER(a, b)
+#define DDM_SPAN(...) \
+  ::ddm::obs::Span DDM_OBS_CONCAT(ddm_obs_span_, __LINE__)(__VA_ARGS__)
+
+}  // namespace ddm::obs

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace ddm::sim {
@@ -46,6 +48,8 @@ SimResult estimate_winning_probability(const core::Protocol& protocol, double t,
   if (trials == 0) throw std::invalid_argument("estimate_winning_probability: zero trials");
   if (threads == 0) threads = 1;
   const std::size_t n = protocol.size();
+  DDM_SPAN("mc.estimate", {{"trials", static_cast<std::int64_t>(trials)},
+                           {"n", static_cast<std::int64_t>(n)}});
 
   // Block b covers trials [b·B, min((b+1)·B, trials)) with RNG stream
   // rng.split(b); `threads` only caps how many blocks run concurrently.
@@ -84,6 +88,14 @@ SimResult estimate_winning_probability(const core::Protocol& protocol, double t,
       }());
   std::uint64_t total_wins = 0;
   for (const std::uint64_t w : wins) total_wins += w;
+  if (obs::metrics_enabled()) {
+    static const obs::Counter mc_trials = obs::counter("mc.trials");
+    static const obs::Counter mc_blocks = obs::counter("mc.blocks");
+    static const obs::Counter mc_wins = obs::counter("mc.wins");
+    mc_trials.add(trials);
+    mc_blocks.add(blocks);
+    mc_wins.add(total_wins);
+  }
   return wilson_interval(total_wins, trials);
 }
 

@@ -3,7 +3,51 @@
 #include <cmath>
 #include <string>
 
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+
 namespace ddm {
+
+namespace {
+
+// Ladder metrics: attempt counts mirror EvalStats; the histograms record
+// per-tier wall time so `--metrics` shows where certified evaluation spends
+// its budget without a trace.
+struct CertifyMetrics {
+  obs::Counter double_attempts = obs::counter("certify.attempts.double");
+  obs::Counter interval_attempts = obs::counter("certify.attempts.interval");
+  obs::Counter exact_attempts = obs::counter("certify.attempts.exact");
+  obs::Counter escalations = obs::counter("certify.escalations");
+  obs::Counter numeric_errors = obs::counter("certify.numeric_errors");
+  obs::Histogram double_seconds = obs::histogram("certify.tier_seconds.double");
+  obs::Histogram interval_seconds = obs::histogram("certify.tier_seconds.interval");
+  obs::Histogram exact_seconds = obs::histogram("certify.tier_seconds.exact");
+
+  [[nodiscard]] obs::Counter attempts(EvalTier tier) const noexcept {
+    switch (tier) {
+      case EvalTier::kCompensatedDouble: return double_attempts;
+      case EvalTier::kInterval: return interval_attempts;
+      case EvalTier::kExact: return exact_attempts;
+    }
+    return double_attempts;
+  }
+
+  [[nodiscard]] obs::Histogram seconds(EvalTier tier) const noexcept {
+    switch (tier) {
+      case EvalTier::kCompensatedDouble: return double_seconds;
+      case EvalTier::kInterval: return interval_seconds;
+      case EvalTier::kExact: return exact_seconds;
+    }
+    return double_seconds;
+  }
+
+  static const CertifyMetrics& get() {
+    static const CertifyMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 const char* to_string(EvalTier tier) noexcept {
   switch (tier) {
@@ -19,19 +63,26 @@ const char* to_string(EvalTier tier) noexcept {
 
 CertifiedValue run_escalation_ladder(const EvalPolicy& policy, const char* label,
                                      std::span<const TierSpec> tiers) {
-  const auto bump = [&policy](EvalTier tier) {
-    if (policy.stats == nullptr) return;
+  const CertifyMetrics& metrics = CertifyMetrics::get();
+  // Per-evaluation counters; folded into the policy's cumulative view (if
+  // attached) and returned as CertifiedValue::stats on every exit path.
+  EvalStats local;
+  const auto bump = [&local](EvalTier tier) {
     switch (tier) {
       case EvalTier::kCompensatedDouble:
-        ++policy.stats->double_attempts;
+        ++local.double_attempts;
         break;
       case EvalTier::kInterval:
-        ++policy.stats->interval_attempts;
+        ++local.interval_attempts;
         break;
       case EvalTier::kExact:
-        ++policy.stats->exact_attempts;
+        ++local.exact_attempts;
         break;
     }
+  };
+  const auto publish = [&policy, &local](CertifiedValue& result) {
+    if (policy.stats != nullptr) *policy.stats += local;
+    result.stats = local;
   };
 
   bool have_best = false;
@@ -40,14 +91,21 @@ CertifiedValue run_escalation_ladder(const EvalPolicy& policy, const char* label
   bool attempted_before = false;
   for (const TierSpec& spec : tiers) {
     if (spec.tier > policy.max_tier) continue;
-    if (attempted_before && policy.stats != nullptr) ++policy.stats->escalations;
+    if (attempted_before) {
+      ++local.escalations;
+      metrics.escalations.add();
+    }
     attempted_before = true;
     bump(spec.tier);
+    metrics.attempts(spec.tier).add();
     util::RationalInterval enclosure{util::Rational{0}};
     try {
+      DDM_SPAN("certify.tier", {{"label", label}, {"tier", to_string(spec.tier)}});
+      obs::ScopedTimer timer(metrics.seconds(spec.tier));
       enclosure = spec.evaluate();
     } catch (const NumericError&) {
-      if (policy.stats != nullptr) ++policy.stats->numeric_errors;
+      ++local.numeric_errors;
+      metrics.numeric_errors.add();
       last_failure = std::current_exception();
       continue;
     }
@@ -60,14 +118,17 @@ CertifiedValue run_escalation_ladder(const EvalPolicy& policy, const char* label
       best.enclosure = enclosure;
       best.tier = spec.tier;
       best.met_tolerance = true;
+      publish(best);
       return best;
     }
   }
   if (!have_best) {
+    if (policy.stats != nullptr) *policy.stats += local;
     if (last_failure) std::rethrow_exception(last_failure);
     throw NumericError(std::string(label) + ": no evaluation tier available under this policy");
   }
   best.met_tolerance = best.enclosure.width() <= policy.tolerance;
+  publish(best);
   return best;
 }
 

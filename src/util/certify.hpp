@@ -41,12 +41,24 @@ enum class EvalTier : unsigned {
 [[nodiscard]] const char* to_string(EvalTier tier) noexcept;
 
 /// Counters a caller can attach to EvalPolicy to observe the ladder.
+/// `run_escalation_ladder` also publishes the same counts to the process
+/// metrics registry (certify.* — see docs/observability.md), so an attached
+/// EvalStats is a convenience view, not the only way to observe the ladder.
 struct EvalStats {
   std::uint64_t double_attempts = 0;
   std::uint64_t interval_attempts = 0;
   std::uint64_t exact_attempts = 0;
   std::uint64_t escalations = 0;      ///< tier-to-tier transitions taken
   std::uint64_t numeric_errors = 0;   ///< tiers abandoned via NumericError
+
+  EvalStats& operator+=(const EvalStats& other) noexcept {
+    double_attempts += other.double_attempts;
+    interval_attempts += other.interval_attempts;
+    exact_attempts += other.exact_attempts;
+    escalations += other.escalations;
+    numeric_errors += other.numeric_errors;
+    return *this;
+  }
 };
 
 /// Caller-supplied certification policy, threaded through the public API.
@@ -72,6 +84,11 @@ struct CertifiedValue {
   util::RationalInterval enclosure{util::Rational{0}};
   EvalTier tier = EvalTier::kCompensatedDouble;
   bool met_tolerance = false;
+  /// Ladder counters for THIS evaluation only. An EvalStats attached to the
+  /// policy keeps its historical accumulate-across-calls semantics; callers
+  /// that want per-evaluation numbers (e.g. per sweep point) read this
+  /// delta instead.
+  EvalStats stats;
 
   [[nodiscard]] util::Rational width() const { return enclosure.width(); }
   /// Midpoint of the enclosure as a double — the "answer" for callers that

@@ -5,11 +5,14 @@
 #include <cstdlib>
 #include <filesystem>
 #include <iomanip>
+#include <iterator>
 #include <limits>
 #include <sstream>
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 #include "util/status.hpp"
 
 namespace ddm::util {
@@ -114,13 +117,31 @@ SweepCheckpoint::SweepCheckpoint(std::string path, const SweepParams& params, bo
 }
 
 std::uintmax_t SweepCheckpoint::load(const SweepParams& params) {
-  std::ifstream in(path_);
+  DDM_SPAN("checkpoint.load");
+  std::ifstream in(path_, std::ios::binary);
   if (!in) {
     throw CheckpointError("checkpoint: cannot read '" + path_ + "' (--resume needs an existing file)");
   }
-  std::vector<std::string> lines;
-  std::string line;
-  while (std::getline(in, line)) lines.push_back(line);
+  const std::string content{std::istreambuf_iterator<char>(in),
+                            std::istreambuf_iterator<char>()};
+  // Only newline-TERMINATED lines are complete records. Splitting on '\n'
+  // (rather than std::getline, which silently accepts an unterminated final
+  // line) is what catches the subtle torn case: a crash after writing a
+  // record's bytes but before its newline. Such a record parses fine, but
+  // keeping it would make valid_bytes exceed the data we can safely append
+  // after — the next append would glue onto it, corrupting the file for the
+  // resume after that. Any unterminated tail is a torn fragment: discarded
+  // here, truncated away by the constructor.
+  std::vector<std::string_view> lines;
+  const std::string_view view{content};
+  std::size_t pos = 0;
+  while (pos < view.size()) {
+    const std::size_t nl = view.find('\n', pos);
+    if (nl == std::string_view::npos) break;
+    lines.push_back(view.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  const bool torn_tail = pos < view.size();
   if (lines.empty()) {
     throw CheckpointError("checkpoint: '" + path_ + "' is empty (missing header)");
   }
@@ -135,8 +156,9 @@ std::uintmax_t SweepCheckpoint::load(const SweepParams& params) {
   std::uintmax_t valid_bytes = lines.front().size() + 1;
   for (std::size_t i = 1; i < lines.size(); ++i) {
     SweepRow row;
+    // A newline-terminated line that fails to parse was written whole — that
+    // is mid-file corruption, not a torn append, so it is an error anywhere.
     if (!parse_row(lines[i], row)) {
-      if (i + 1 == lines.size()) break;  // torn trailing line from a crash mid-append
       throw CheckpointError("checkpoint: '" + path_ + "' line " + std::to_string(i + 1) +
                             " is corrupt");
     }
@@ -147,6 +169,12 @@ std::uintmax_t SweepCheckpoint::load(const SweepParams& params) {
     rows_[row.k] = row;
     valid_bytes += lines[i].size() + 1;
   }
+  if (obs::metrics_enabled()) {
+    static const obs::Counter loaded = obs::counter("checkpoint.records_loaded");
+    static const obs::Counter truncated = obs::counter("checkpoint.records_truncated");
+    loaded.add(rows_.size());
+    if (torn_tail) truncated.add();
+  }
   return valid_bytes;
 }
 
@@ -156,6 +184,8 @@ void SweepCheckpoint::append(const SweepRow& row) {
        << std::flush;
   if (!out_) throw CheckpointError("checkpoint: failed to append row to '" + path_ + "'");
   rows_[row.k] = row;
+  static const obs::Counter written = obs::counter("checkpoint.records_written");
+  written.add();
 }
 
 }  // namespace ddm::util

@@ -1,14 +1,20 @@
 #include "util/parallel.hpp"
 
 #include <atomic>
+#include <charconv>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
+#include <cstring>
 #include <deque>
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 #include "util/fault.hpp"
 #include "util/status.hpp"
 
@@ -18,11 +24,33 @@ namespace {
 
 unsigned configured_lanes() {
   if (const char* env = std::getenv("DDM_THREADS")) {
-    const long value = std::strtol(env, nullptr, 10);
-    if (value >= 1) return static_cast<unsigned>(value);
+    return parse_thread_count("DDM_THREADS", env);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
+}
+
+// Engine metrics (docs/observability.md). Handles are registered once per
+// process; every bump is gated on the enable flag inside the handle.
+struct EngineMetrics {
+  obs::Counter chunks_run = obs::counter("parallel.chunks_run");
+  obs::Counter chunks_retried = obs::counter("parallel.chunks_retried");
+  obs::Counter faults_injected = obs::counter("parallel.faults_injected");
+  obs::Counter regions = obs::counter("parallel.regions");
+  obs::Histogram chunk_seconds = obs::histogram("parallel.chunk_seconds");
+  obs::Histogram queue_seconds = obs::histogram("parallel.queue_seconds");
+
+  static const EngineMetrics& get() {
+    static const EngineMetrics metrics;
+    return metrics;
+  }
+};
+
+std::uint64_t steady_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 // Global pool of (lanes - 1) workers; the caller of parallel_for is the
@@ -97,9 +125,16 @@ class ThreadPool {
 std::exception_ptr attempt_chunk(std::size_t k, std::size_t lo, std::size_t hi,
                                  const std::function<void(std::size_t, std::size_t)>& body,
                                  const ParallelOptions& options) {
+  const EngineMetrics& metrics = EngineMetrics::get();
   std::string transient_cause;
   for (unsigned attempt = 0; attempt <= options.max_retries; ++attempt) {
     try {
+      DDM_SPAN("parallel.chunk", {{"label", options.label},
+                                  {"chunk", static_cast<std::int64_t>(k)},
+                                  {"attempt", static_cast<std::int64_t>(attempt)}});
+      obs::ScopedTimer timer(metrics.chunk_seconds);
+      metrics.chunks_run.add();
+      if (attempt > 0) metrics.chunks_retried.add();
       fault::before_chunk(k);
       body(lo, hi);
       if (options.validate && !options.validate(lo, hi)) {
@@ -108,6 +143,7 @@ std::exception_ptr attempt_chunk(std::size_t k, std::size_t lo, std::size_t hi,
       }
       return nullptr;
     } catch (const fault::TransientFault& fault_error) {
+      metrics.faults_injected.add();
       transient_cause = fault_error.what();
       continue;
     } catch (...) {
@@ -131,6 +167,9 @@ struct ForState {
   // caller still waits, i.e. while undone chunks remain).
   ParallelOptions options;
   const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+  // Region start, captured only while metrics are enabled (0 otherwise);
+  // run_chunks derives per-chunk queue latency from it.
+  std::uint64_t region_start_ns = 0;
 
   std::mutex mutex;
   std::condition_variable done_cv;
@@ -142,6 +181,10 @@ struct ForState {
     while (true) {
       const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
       if (k >= chunks) return;
+      if (region_start_ns != 0 && obs::metrics_enabled()) {
+        EngineMetrics::get().queue_seconds.record(
+            static_cast<double>(steady_ns() - region_start_ns) * 1e-9);
+      }
       const std::size_t lo = begin + k * grain;
       const std::size_t hi = std::min(end, lo + grain);
       if (std::exception_ptr error = attempt_chunk(k, lo, hi, *body, options)) {
@@ -156,7 +199,20 @@ struct ForState {
 
 }  // namespace
 
-unsigned parallelism() noexcept { return ThreadPool::instance().lanes(); }
+unsigned parallelism() { return ThreadPool::instance().lanes(); }
+
+unsigned parse_thread_count(const char* env_name, const char* text) {
+  const std::string value = text == nullptr ? std::string() : std::string(text);
+  unsigned parsed = 0;
+  const char* first = value.data();
+  const char* last = value.data() + value.size();
+  const auto [ptr, ec] = std::from_chars(first, last, parsed, 10);
+  if (value.empty() || ec != std::errc{} || ptr != last || parsed < 1 || parsed > 4096) {
+    throw Error(std::string(env_name) + ": invalid thread count '" + value +
+                "' (expected a decimal integer in [1, 4096])");
+  }
+  return parsed;
+}
 
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t, std::size_t)>& chunk_body,
@@ -175,6 +231,9 @@ void parallel_for(std::size_t begin, std::size_t end,
   if (options.grain == 0) options.grain = 1;
   const std::size_t grain = options.grain;
   const std::size_t chunks = (end - begin + grain - 1) / grain;
+  DDM_SPAN("parallel.region", {{"label", options.label},
+                               {"chunks", static_cast<std::int64_t>(chunks)}});
+  EngineMetrics::get().regions.add();
   unsigned lanes = parallelism();
   if (options.max_workers != 0 && options.max_workers < lanes) lanes = options.max_workers;
   if (chunks == 1 || lanes <= 1) {
@@ -196,6 +255,7 @@ void parallel_for(std::size_t begin, std::size_t end,
   state->end = end;
   state->options = options;
   state->body = &chunk_body;
+  if (obs::metrics_enabled()) state->region_start_ns = steady_ns();
 
   const std::size_t helpers = std::min<std::size_t>(lanes - 1, chunks - 1);
   for (std::size_t h = 0; h < helpers; ++h) {

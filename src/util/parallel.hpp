@@ -53,9 +53,17 @@ struct ParallelOptions {
 
 /// Number of usable execution lanes (pool workers + the calling thread).
 /// Defaults to std::thread::hardware_concurrency(); override with the
-/// DDM_THREADS environment variable (clamped to >= 1, read once at pool
-/// construction).
-[[nodiscard]] unsigned parallelism() noexcept;
+/// DDM_THREADS environment variable (read once at pool construction). A
+/// malformed DDM_THREADS value (non-numeric, zero, out of range) throws
+/// ddm::Error naming the variable — the pool is not constructed, so the
+/// error is surfaced again on the next call rather than latched.
+[[nodiscard]] unsigned parallelism();
+
+/// Strict thread-count parser used for DDM_THREADS: accepts only a plain
+/// decimal integer in [1, 4096] with no trailing characters; anything else
+/// ("abc", "0", "1e9", "") throws ddm::Error naming `env_name` and the
+/// offending text. Exposed for tests and for other env-tunable knobs.
+[[nodiscard]] unsigned parse_thread_count(const char* env_name, const char* text);
 
 /// Runs `chunk_body(lo, hi)` over the partition of [begin, end) into
 /// consecutive chunks of `grain` indices (the last chunk may be short).

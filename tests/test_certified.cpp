@@ -118,6 +118,35 @@ TEST(CertifiedSymmetric, EscalatesDoubleToIntervalAtN24) {
   EXPECT_TRUE(certified.width() <= policy.tolerance);
 }
 
+TEST(CertifiedSymmetric, ResultStatsArePerEvaluationWhilePolicyStatsAccumulate) {
+  // Regression: a single EvalStats attached to the policy of a sweep used to
+  // be the only counter, so per-point reporting showed cumulative totals
+  // (1, 2, 3, ... escalations across points). CertifiedValue::stats must
+  // carry the delta for each evaluation alone; the policy-attached view keeps
+  // accumulating.
+  EvalStats cumulative;
+  EvalPolicy policy;
+  policy.stats = &cumulative;
+  const Rational beta{3, 8};
+  const Rational t{8};
+  // n = 24 forces exactly one escalation (double -> interval) per call.
+  const CertifiedValue first =
+      core::certified_symmetric_threshold_winning_probability(24, beta, t, policy);
+  const CertifiedValue second =
+      core::certified_symmetric_threshold_winning_probability(24, beta, t, policy);
+  EXPECT_EQ(first.stats.double_attempts, 1u);
+  EXPECT_EQ(second.stats.double_attempts, 1u);
+  EXPECT_EQ(first.stats.escalations, second.stats.escalations);
+  EXPECT_GE(first.stats.escalations, 1u);
+  // The policy view accumulates across both calls.
+  EXPECT_EQ(cumulative.double_attempts, 2u);
+  EXPECT_EQ(cumulative.escalations, first.stats.escalations + second.stats.escalations);
+  // With no policy hook attached, the per-evaluation counters still work.
+  const CertifiedValue bare = core::certified_symmetric_threshold_winning_probability(24, beta, t);
+  EXPECT_EQ(bare.stats.double_attempts, 1u);
+  EXPECT_EQ(bare.stats.escalations, first.stats.escalations);
+}
+
 TEST(CertifiedSymmetric, UnrepresentableInputsSkipDoubleTierViaNumericError) {
   // beta = 37/100 has no finite binary expansion, so the double tier cannot
   // evaluate the *same* instance; it must abandon via NumericError (counted

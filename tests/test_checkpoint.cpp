@@ -85,6 +85,36 @@ TEST_F(CheckpointTest, TornTrailingLineIsDiscardedOnResume) {
   EXPECT_EQ(reloaded.completed().at(2).p_win, 0.5);
 }
 
+TEST_F(CheckpointTest, CompleteRecordMissingOnlyFinalNewlineIsTornAndTruncated) {
+  const SweepParams params = test_params();
+  {
+    SweepCheckpoint checkpoint(path_, params, false);
+    checkpoint.append({0, 0.0, 0.25});
+  }
+  // Crash after a record's bytes but before its newline: the text parses as
+  // a complete row, but only newline-terminated lines are durable. Keeping
+  // it would leave nothing to truncate, and the next append would glue onto
+  // this line — corrupting the file for the resume after that.
+  append_raw("{\"k\": 1, \"beta\": 0.125, \"p_win\": 0.375}");
+  {
+    SweepCheckpoint resumed(path_, params, true);
+    EXPECT_EQ(resumed.completed().size(), 1u);
+    EXPECT_FALSE(resumed.has(1));
+    resumed.append({1, 0.125, 0.375});
+  }
+  const std::string contents = read_file();
+  EXPECT_EQ(contents.find("}{"), std::string::npos) << "rows glued onto one line:\n" << contents;
+  SweepCheckpoint reloaded(path_, params, true);
+  ASSERT_EQ(reloaded.completed().size(), 2u);
+  EXPECT_EQ(reloaded.completed().at(1).p_win, 0.375);
+}
+
+TEST_F(CheckpointTest, UnterminatedHeaderIsAnError) {
+  append_raw("{\"sweep\": {\"n\": 4, \"t\": \"4/3\", \"beta_lo\": \"0\", \"beta_hi\": \"1\", "
+             "\"steps\": 8}}");  // crash before the header's newline
+  EXPECT_THROW(SweepCheckpoint(path_, test_params(), /*resume=*/true), CheckpointError);
+}
+
 TEST_F(CheckpointTest, MidFileCorruptionIsAnError) {
   const SweepParams params = test_params();
   {

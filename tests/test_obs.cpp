@@ -1,0 +1,323 @@
+// Tests for the ddm::obs observability layer: metrics registry semantics
+// (enable gating, counter/gauge/histogram accounting, cross-thread scrape,
+// kind-mismatch rejection, reset, exposition formats) and the tracing side
+// (span collection, ring-buffer drops, Chrome trace_event export).
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace ddm::obs {
+namespace {
+
+// Every test leaves both switches off so sibling test binaries (and earlier
+// tests in this one) see the zero-cost default.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Registry::instance().reset();
+    set_metrics_enabled(true);
+  }
+  void TearDown() override {
+    set_metrics_enabled(false);
+    stop_tracing();
+    Registry::instance().reset();
+  }
+
+  static const MetricSample* find(const std::vector<MetricSample>& samples,
+                                  std::string_view name) {
+    for (const MetricSample& sample : samples) {
+      if (sample.name == name) return &sample;
+    }
+    return nullptr;
+  }
+};
+
+TEST_F(ObsTest, CounterAccumulatesAndScrapes) {
+  const Counter hits = counter("test.hits");
+  hits.add();
+  hits.add(41);
+  const auto samples = Registry::instance().scrape();
+  const MetricSample* sample = find(samples, "test.hits");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->kind, MetricSample::Kind::kCounter);
+  EXPECT_EQ(sample->counter_value, 42u);
+}
+
+TEST_F(ObsTest, DisabledCounterIsANoOp) {
+  const Counter hits = counter("test.disabled");
+  set_metrics_enabled(false);
+  hits.add(1000);
+  set_metrics_enabled(true);
+  hits.add(1);
+  const auto samples = Registry::instance().scrape();
+  const MetricSample* sample = find(samples, "test.disabled");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->counter_value, 1u);
+}
+
+TEST_F(ObsTest, SameNameReturnsSameSlot) {
+  const Counter a = counter("test.same");
+  const Counter b = counter("test.same");
+  a.add(2);
+  b.add(3);
+  const auto samples = Registry::instance().scrape();
+  const MetricSample* sample = find(samples, "test.same");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->counter_value, 5u);
+}
+
+TEST_F(ObsTest, KindMismatchThrows) {
+  (void)counter("test.kind");
+  EXPECT_THROW((void)gauge("test.kind"), Error);
+  EXPECT_THROW((void)histogram("test.kind"), Error);
+  try {
+    (void)histogram("test.kind");
+    FAIL() << "expected ddm::Error";
+  } catch (const Error& error) {
+    EXPECT_NE(std::string(error.what()).find("test.kind"), std::string::npos);
+  }
+}
+
+TEST_F(ObsTest, GaugeSetAndAdd) {
+  const Gauge depth = gauge("test.depth");
+  depth.set(7);
+  depth.add(-3);
+  const auto samples = Registry::instance().scrape();
+  const MetricSample* sample = find(samples, "test.depth");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->kind, MetricSample::Kind::kGauge);
+  EXPECT_EQ(sample->gauge_value, 4);
+}
+
+TEST_F(ObsTest, HistogramCountsSumAndBuckets) {
+  const Histogram widths = histogram("test.widths");
+  widths.record(0.5);
+  widths.record(0.5);
+  widths.record(1e-12);
+  const auto samples = Registry::instance().scrape();
+  const MetricSample* sample = find(samples, "test.widths");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->kind, MetricSample::Kind::kHistogram);
+  EXPECT_EQ(sample->histogram_count, 3u);
+  EXPECT_NEAR(sample->histogram_sum, 1.0 + 1e-12, 1e-15);
+  // Both observations of 0.5 share one bucket (the boundary value 2^-1 lands
+  // in the le=1 bucket) while 1e-12 lands many buckets below; only non-empty
+  // buckets are reported and their counts add up to the total.
+  ASSERT_EQ(sample->buckets.size(), 2u);
+  EXPECT_LE(sample->buckets[0].first, 1e-11);
+  EXPECT_EQ(sample->buckets[0].second, 1u);
+  EXPECT_EQ(sample->buckets[1].first, 1.0);
+  EXPECT_EQ(sample->buckets[1].second, 2u);
+}
+
+TEST_F(ObsTest, ScrapeMergesShardsAcrossThreads) {
+  const Counter hits = counter("test.threads");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    workers.emplace_back([&hits] {
+      for (int k = 0; k < kPerThread; ++k) hits.add();
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  // The workers have exited: their shards are folded into the retired totals,
+  // which the scrape must still include.
+  const auto samples = Registry::instance().scrape();
+  const MetricSample* sample = find(samples, "test.threads");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->counter_value, static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(ObsTest, RetiredThreadHistogramSumSurvivesFold) {
+  const Histogram widths = histogram("test.retired_hist");
+  std::thread([&widths] { widths.record(0.25); }).join();
+  const auto samples = Registry::instance().scrape();
+  const MetricSample* sample = find(samples, "test.retired_hist");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->histogram_count, 1u);
+  EXPECT_DOUBLE_EQ(sample->histogram_sum, 0.25);
+}
+
+TEST_F(ObsTest, ResetZeroesEverything) {
+  counter("test.reset_c").add(5);
+  gauge("test.reset_g").set(5);
+  histogram("test.reset_h").record(5.0);
+  Registry::instance().reset();
+  const auto samples = Registry::instance().scrape();
+  const MetricSample* c = find(samples, "test.reset_c");
+  const MetricSample* g = find(samples, "test.reset_g");
+  const MetricSample* h = find(samples, "test.reset_h");
+  ASSERT_NE(c, nullptr);
+  ASSERT_NE(g, nullptr);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(c->counter_value, 0u);
+  EXPECT_EQ(g->gauge_value, 0);
+  EXPECT_EQ(h->histogram_count, 0u);
+}
+
+TEST_F(ObsTest, ScrapeIsSortedByName) {
+  counter("test.zzz").add();
+  counter("test.aaa").add();
+  const auto samples = Registry::instance().scrape();
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LT(samples[i - 1].name, samples[i].name);
+  }
+}
+
+TEST_F(ObsTest, TextJsonAndPrometheusExpositionsRender) {
+  counter("test.export_c").add(3);
+  histogram("test.export_h").record(1.5);
+
+  std::ostringstream text;
+  Registry::instance().write_text(text);
+  EXPECT_NE(text.str().find("test.export_c"), std::string::npos);
+  EXPECT_NE(text.str().find('3'), std::string::npos);
+
+  std::ostringstream json;
+  Registry::instance().write_json(json);
+  EXPECT_NE(json.str().find("\"test.export_c\""), std::string::npos);
+  EXPECT_EQ(json.str().front(), '{');
+  EXPECT_EQ(json.str().back(), '\n');
+
+  std::ostringstream prom;
+  Registry::instance().write_prometheus(prom);
+  // Prometheus names must not contain dots; the exporter rewrites them.
+  EXPECT_EQ(prom.str().find("test.export_c"), std::string::npos);
+  EXPECT_NE(prom.str().find("test_export_c"), std::string::npos);
+  EXPECT_NE(prom.str().find("test_export_h_bucket"), std::string::npos);
+  EXPECT_NE(prom.str().find("le=\"+Inf\""), std::string::npos);
+}
+
+TEST_F(ObsTest, ScopedTimerRecordsElapsedSeconds) {
+  const Histogram hist = histogram("test.timer");
+  { ScopedTimer timer(hist); }
+  const auto samples = Registry::instance().scrape();
+  const MetricSample* sample = find(samples, "test.timer");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->histogram_count, 1u);
+  EXPECT_GE(sample->histogram_sum, 0.0);
+  EXPECT_LT(sample->histogram_sum, 10.0);  // sanity: well under ten seconds
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "ddm_trace_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".json";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override {
+    stop_tracing();
+    std::remove(path_.c_str());
+  }
+
+  std::string read_file() const {
+    std::ifstream in(path_);
+    return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+  }
+
+  std::string path_;
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  { DDM_SPAN("test.noop"); }
+  EXPECT_EQ(trace_span_count(), 0u);
+}
+
+TEST_F(TraceTest, SpansCollectWhileEnabled) {
+  start_tracing();
+  {
+    DDM_SPAN("test.outer", {{"n", 3}});
+    { DDM_SPAN("test.inner", {{"w", 0.5}, {"label", "x"}}); }
+  }
+  stop_tracing();
+  EXPECT_EQ(trace_span_count(), 2u);
+  // Stopping freezes the collection: later spans are not recorded.
+  { DDM_SPAN("test.after"); }
+  EXPECT_EQ(trace_span_count(), 2u);
+}
+
+TEST_F(TraceTest, StartTracingClearsPreviousRun) {
+  start_tracing();
+  { DDM_SPAN("test.first"); }
+  stop_tracing();
+  EXPECT_EQ(trace_span_count(), 1u);
+  start_tracing();
+  stop_tracing();
+  EXPECT_EQ(trace_span_count(), 0u);
+}
+
+TEST_F(TraceTest, ExportWritesChromeTraceJson) {
+  start_tracing();
+  {
+    DDM_SPAN("test.export", {{"n", 7}, {"kind", "demo"}});
+  }
+  stop_tracing();
+  export_chrome_trace(path_);
+  const std::string json = read_file();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"test.export\""), std::string::npos);
+  EXPECT_NE(json.find("\"n\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"demo\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+}
+
+TEST_F(TraceTest, ExportToUnwritablePathThrows) {
+  start_tracing();
+  { DDM_SPAN("test.unwritable"); }
+  stop_tracing();
+  EXPECT_THROW(export_chrome_trace("/nonexistent-dir/trace.json"), Error);
+}
+
+TEST_F(TraceTest, RingOverwritesOldestAndCountsDrops) {
+  start_tracing();
+  constexpr std::size_t kOver = 9000;  // > ring capacity (8192)
+  for (std::size_t i = 0; i < kOver; ++i) {
+    DDM_SPAN("test.flood");
+  }
+  stop_tracing();
+  EXPECT_EQ(trace_span_count(), 8192u);
+  EXPECT_EQ(trace_dropped(), kOver - 8192u);
+}
+
+TEST_F(TraceTest, PerThreadSpansGetDistinctTids) {
+  start_tracing();
+  { DDM_SPAN("test.main_thread"); }
+  std::thread([] { DDM_SPAN("test.worker_thread"); }).join();
+  stop_tracing();
+  export_chrome_trace(path_);
+  const std::string json = read_file();
+  const auto main_pos = json.find("test.main_thread");
+  const auto worker_pos = json.find("test.worker_thread");
+  ASSERT_NE(main_pos, std::string::npos);
+  ASSERT_NE(worker_pos, std::string::npos);
+  // Two different threads must be exported under two different tids: count
+  // the distinct "tid": values present.
+  std::vector<std::string> tids;
+  std::size_t pos = 0;
+  while ((pos = json.find("\"tid\": ", pos)) != std::string::npos) {
+    pos += 7;
+    const std::size_t end = json.find_first_of(",}", pos);
+    const std::string tid = json.substr(pos, end - pos);
+    if (std::find(tids.begin(), tids.end(), tid) == tids.end()) tids.push_back(tid);
+  }
+  EXPECT_EQ(tids.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ddm::obs

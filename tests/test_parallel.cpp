@@ -8,12 +8,40 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
+
+#include "util/status.hpp"
 
 namespace ddm::util {
 namespace {
 
 TEST(Parallelism, AtLeastOneLane) { EXPECT_GE(parallelism(), 1u); }
+
+TEST(ParseThreadCount, AcceptsDecimalIntegersInRange) {
+  EXPECT_EQ(parse_thread_count("DDM_THREADS", "1"), 1u);
+  EXPECT_EQ(parse_thread_count("DDM_THREADS", "8"), 8u);
+  EXPECT_EQ(parse_thread_count("DDM_THREADS", "4096"), 4096u);
+}
+
+TEST(ParseThreadCount, RejectsGarbageNamingTheVariable) {
+  // Pre-fix, std::atoi silently mapped "abc" to 0 (then clamped to 1) and
+  // "1e9" to 1 — a sweep the user meant to run wide ran serial instead.
+  for (const char* bad : {"abc", "1e9", "", "0", "4097", "-2", "3.5", " 4", "4 ", "0x10"}) {
+    try {
+      (void)parse_thread_count("DDM_THREADS", bad);
+      FAIL() << "expected ddm::Error for '" << bad << "'";
+    } catch (const Error& error) {
+      const std::string what = error.what();
+      EXPECT_NE(what.find("DDM_THREADS"), std::string::npos) << what;
+      EXPECT_NE(what.find("invalid thread count"), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(ParseThreadCount, RejectsOverflowBeyondUnsigned) {
+  EXPECT_THROW((void)parse_thread_count("DDM_THREADS", "99999999999999999999"), Error);
+}
 
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
   constexpr std::size_t kN = 10007;  // prime: exercises a ragged final chunk

@@ -13,11 +13,16 @@
 //                                    across the thread pool, emitted as JSON
 //
 // Options:
-//   --certify[=tol]      (threshold, volume) certified evaluation: rigorous
-//                        enclosure via the escalation ladder, docs/robustness.md
+//   --certify[=tol]      (threshold, volume, sweep) certified evaluation:
+//                        rigorous enclosure via the escalation ladder,
+//                        docs/robustness.md
 //   --checkpoint <file>  (sweep) write an append-only JSONL checkpoint per
 //                        completed block
 //   --resume <file>      (sweep) skip rows already in <file>, append new ones
+//   --trace=<file>       (any) record tracing spans, export Chrome trace JSON
+//                        to <file> at exit (load in chrome://tracing/Perfetto)
+//   --metrics[=json|prom] (any) dump the metrics registry to stderr at exit
+//                        (human-readable text by default), docs/observability.md
 //
 // Rationals are accepted as "a/b", integers, or decimals (e.g. 4/3, 0.622).
 // Malformed arguments name the offending value and exit with status 2.
@@ -32,6 +37,8 @@
 #include <vector>
 
 #include "ddm.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -49,7 +56,12 @@ usage:
   ddm_cli simulate  <n> <t> <beta> <trials> [seed=42]
   ddm_cli volume    <m> <sigma_1..sigma_m> <pi_1..pi_m> [--certify[=tol]]
   ddm_cli ladder    <n> <t> [trials=500000]
-  ddm_cli sweep     <n> <t> <beta_lo> <beta_hi> <steps> [--checkpoint <file>] [--resume <file>]
+  ddm_cli sweep     <n> <t> <beta_lo> <beta_hi> <steps> [--certify[=tol]]
+                    [--checkpoint <file>] [--resume <file>]
+
+any subcommand also accepts:
+  --trace=<file>         export a Chrome trace of the run to <file>
+  --metrics[=json|prom]  dump the metrics registry to stderr at exit
 
 rationals may be written a/b (e.g. 4/3). Examples:
   ddm_cli analyze 3 1            # the paper's flagship instance
@@ -59,6 +71,7 @@ rationals may be written a/b (e.g. 4/3). Examples:
   ddm_cli sweep 4 4/3 0 1 100    # JSON grid of P(beta), all cores
   ddm_cli sweep 4 4/3 0 1 100 --checkpoint sweep.ckpt   # crash-safe
   ddm_cli sweep 4 4/3 0 1 100 --resume sweep.ckpt       # finish a killed run
+  ddm_cli sweep 24 8 0.3 0.45 8 --certify --trace=sweep.json --metrics
 )";
   return 1;
 }
@@ -147,8 +160,11 @@ struct CertifyRequest {
   ddm::EvalPolicy policy;
 };
 
-void print_certified(const ddm::CertifiedValue& result, const ddm::EvalStats& stats,
-                     const ddm::EvalPolicy& policy) {
+// Reports the per-evaluation ladder counters (CertifiedValue::stats), not a
+// cumulative policy-attached view — across several evaluations the latter
+// would misreport each one's escalation count.
+void print_certified(const ddm::CertifiedValue& result, const ddm::EvalPolicy& policy) {
+  const ddm::EvalStats& stats = result.stats;
   const auto flags = std::cout.flags();
   std::cout << std::setprecision(std::numeric_limits<double>::max_digits10)
             << "  certified value = " << result.value() << "\n"
@@ -179,12 +195,9 @@ int cmd_threshold(std::uint32_t n, const Rational& t, const Rational& beta,
                   const CertifyRequest& certify) {
   std::cout << "Symmetric single-threshold protocol, beta = " << beta << "\n";
   if (certify.enabled) {
-    ddm::EvalStats stats;
-    ddm::EvalPolicy policy = certify.policy;
-    policy.stats = &stats;
     const auto result =
-        ddm::core::certified_symmetric_threshold_winning_probability(n, beta, t, policy);
-    print_certified(result, stats, policy);
+        ddm::core::certified_symmetric_threshold_winning_probability(n, beta, t, certify.policy);
+    print_certified(result, certify.policy);
     return result.met_tolerance ? 0 : 3;
   }
   const Rational p = ddm::core::symmetric_threshold_winning_probability(n, beta, t);
@@ -239,11 +252,8 @@ int cmd_volume(const std::vector<Rational>& sigma, const std::vector<Rational>& 
                const CertifyRequest& certify) {
   std::cout << "Vol(Sigma(sigma) ∩ Pi(pi))  [Proposition 2.2]\n";
   if (certify.enabled) {
-    ddm::EvalStats stats;
-    ddm::EvalPolicy policy = certify.policy;
-    policy.stats = &stats;
-    const auto result = ddm::geom::certified_simplex_box_volume(sigma, pi, policy);
-    print_certified(result, stats, policy);
+    const auto result = ddm::geom::certified_simplex_box_volume(sigma, pi, certify.policy);
+    print_certified(result, certify.policy);
     return result.met_tolerance ? 0 : 3;
   }
   const Rational volume = ddm::geom::simplex_box_volume(sigma, pi);
@@ -253,9 +263,67 @@ int cmd_volume(const std::vector<Rational>& sigma, const std::vector<Rational>& 
   return 0;
 }
 
+// Certified sweep: every grid point goes through the escalation ladder with
+// an exact rational beta (clamped to [0, 1]), fanned across the pool one
+// point per chunk. Rows gain the per-point tier/escalations/width; exit code
+// 3 when any point misses the policy tolerance.
+int cmd_sweep_certified(std::uint32_t n, const Rational& t, const Rational& lo,
+                        const Rational& hi, std::uint32_t steps,
+                        const CertifyRequest& certify) {
+  std::vector<Rational> betas(steps + 1, Rational{0});
+  const Rational range = hi - lo;
+  const Rational denom{static_cast<std::int64_t>(steps)};
+  for (std::uint32_t k = 0; k <= steps; ++k) {
+    Rational beta = lo + range * Rational{static_cast<std::int64_t>(k)} / denom;
+    if (beta < Rational{0}) beta = Rational{0};
+    if (beta > Rational{1}) beta = Rational{1};
+    betas[k] = beta;
+  }
+
+  std::vector<ddm::CertifiedValue> results(steps + 1);
+  ddm::util::ParallelOptions options;
+  options.grain = 1;
+  options.label = "sweep_certify";
+  ddm::util::parallel_for(
+      0, betas.size(),
+      [&](std::size_t chunk_lo, std::size_t chunk_hi) {
+        for (std::size_t k = chunk_lo; k < chunk_hi; ++k) {
+          // Fresh evaluation per attempt: idempotent under engine retry, and
+          // CertifiedValue::stats carries this point's ladder counters only.
+          results[k] = ddm::core::certified_symmetric_threshold_winning_probability(
+              n, betas[k], t, certify.policy);
+        }
+      },
+      options);
+
+  bool all_met = true;
+  std::cout << std::setprecision(std::numeric_limits<double>::max_digits10) << "[\n";
+  for (std::uint32_t k = 0; k <= steps; ++k) {
+    const ddm::CertifiedValue& r = results[k];
+    all_met = all_met && r.met_tolerance;
+    std::cout << "  {\"n\": " << n << ", \"t\": " << t.to_double() << ", \"beta\": "
+              << betas[k].to_double() << ", \"p_win\": " << r.value() << ", \"tier\": \""
+              << ddm::to_string(r.tier) << "\", \"escalations\": " << r.stats.escalations
+              << ", \"width\": " << r.width().to_double() << ", \"met_tolerance\": "
+              << (r.met_tolerance ? "true" : "false") << "}" << (k < steps ? "," : "") << "\n";
+  }
+  std::cout << "]\n";
+  return all_met ? 0 : 3;
+}
+
 int cmd_sweep(std::uint32_t n, const Rational& t, const Rational& lo, const Rational& hi,
-              std::uint32_t steps, const std::string& checkpoint_path, bool resume) {
-  if (n == 0 || steps == 0) return usage();
+              std::uint32_t steps, const std::string& checkpoint_path, bool resume,
+              const CertifyRequest& certify) {
+  if (n == 0) throw BadArgument("invalid n '0' (sweep needs n >= 1)");
+  if (steps == 0) throw BadArgument("invalid steps '0' (sweep needs steps >= 1)");
+  DDM_SPAN("cli.sweep", {{"n", static_cast<std::int64_t>(n)},
+                         {"steps", static_cast<std::int64_t>(steps)}});
+  if (certify.enabled) {
+    if (!checkpoint_path.empty()) {
+      throw BadArgument("--certify cannot be combined with --checkpoint/--resume");
+    }
+    return cmd_sweep_certified(n, t, lo, hi, steps, certify);
+  }
   const double t_d = t.to_double();
   const double lo_d = lo.to_double();
   const double hi_d = hi.to_double();
@@ -343,7 +411,111 @@ struct Options {
   CertifyRequest certify;
   std::string checkpoint_path;
   bool resume = false;
+  std::string trace_path;
+  bool metrics = false;
+  enum class MetricsFormat { kText, kJson, kProm } metrics_format = MetricsFormat::kText;
 };
+
+/// Turns collection on before dispatch. Tracing and metrics are both global
+/// relaxed flags, so enabling them costs the instrumented code nothing until
+/// an event actually fires.
+void enable_observability(const Options& options) {
+  if (!options.trace_path.empty()) ddm::obs::start_tracing();
+  if (options.metrics) ddm::obs::set_metrics_enabled(true);
+}
+
+/// Exports the trace and dumps metrics at exit — on the error path too, so a
+/// failed run still leaves its diagnostics behind. Returns 0, or 2 when the
+/// trace file cannot be written.
+int finalize_observability(const Options& options) {
+  int rc = 0;
+  if (!options.trace_path.empty()) {
+    ddm::obs::stop_tracing();
+    try {
+      ddm::obs::export_chrome_trace(options.trace_path);
+    } catch (const std::exception& error) {
+      std::cerr << "error: " << error.what() << "\n";
+      rc = 2;
+    }
+  }
+  if (options.metrics) {
+    const auto& registry = ddm::obs::Registry::instance();
+    switch (options.metrics_format) {
+      case Options::MetricsFormat::kText:
+        registry.write_text(std::cerr);
+        break;
+      case Options::MetricsFormat::kJson:
+        registry.write_json(std::cerr);
+        break;
+      case Options::MetricsFormat::kProm:
+        registry.write_prometheus(std::cerr);
+        break;
+    }
+  }
+  return rc;
+}
+
+int dispatch(const std::vector<std::string>& args, const Options& options) {
+  const std::string& command = args[0];
+  const std::size_t n_args = args.size();
+
+  if (options.certify.enabled && command != "threshold" && command != "volume" &&
+      command != "sweep") {
+    throw BadArgument("--certify is only supported by 'threshold', 'volume', and 'sweep'");
+  }
+  if (!options.checkpoint_path.empty() && command != "sweep") {
+    throw BadArgument("--checkpoint/--resume are only supported by 'sweep'");
+  }
+
+  if (command == "oblivious" && n_args == 3) {
+    return cmd_oblivious(parse_u32("n", args[1]), parse_rational("t", args[2]));
+  }
+  if (command == "threshold" && n_args == 4) {
+    return cmd_threshold(parse_u32("n", args[1]), parse_rational("t", args[2]),
+                         parse_rational("beta", args[3]), options.certify);
+  }
+  if (command == "analyze" && (n_args == 3 || n_args == 4)) {
+    const int digits = n_args == 4 ? parse_int("digits", args[3]) : 30;
+    if (digits < 1 || digits > 1000) {
+      throw BadArgument("invalid digits '" + args[3] + "' (expected 1..1000)");
+    }
+    return cmd_analyze(parse_u32("n", args[1]), parse_rational("t", args[2]), digits);
+  }
+  if (command == "simulate" && (n_args == 5 || n_args == 6)) {
+    return cmd_simulate(parse_u32("n", args[1]), parse_rational("t", args[2]),
+                        parse_rational("beta", args[3]), parse_u64("trials", args[4]),
+                        n_args == 6 ? parse_u64("seed", args[5]) : 42);
+  }
+  if (command == "volume" && n_args >= 2) {
+    const std::uint32_t m = parse_u32("m", args[1]);
+    if (m < 1) throw BadArgument("invalid m '" + args[1] + "' (volume needs m >= 1)");
+    if (n_args != 2 + 2 * static_cast<std::size_t>(m)) {
+      throw BadArgument("invalid volume argument count for m '" + args[1] + "' (expected " +
+                        std::to_string(2 * m) + " sides, got " + std::to_string(n_args - 2) +
+                        ")");
+    }
+    std::vector<Rational> sigma;
+    std::vector<Rational> pi;
+    for (std::uint32_t l = 0; l < m; ++l) {
+      sigma.push_back(parse_rational("sigma", args[2 + l]));
+    }
+    for (std::uint32_t l = 0; l < m; ++l) {
+      pi.push_back(parse_rational("pi", args[2 + m + l]));
+    }
+    return cmd_volume(sigma, pi, options.certify);
+  }
+  if (command == "sweep" && n_args == 6) {
+    return cmd_sweep(parse_u32("n", args[1]), parse_rational("t", args[2]),
+                     parse_rational("beta_lo", args[3]), parse_rational("beta_hi", args[4]),
+                     parse_u32("steps", args[5]), options.checkpoint_path, options.resume,
+                     options.certify);
+  }
+  if (command == "ladder" && (n_args == 3 || n_args == 4)) {
+    return cmd_ladder(parse_u32("n", args[1]), parse_rational("t", args[2]),
+                      n_args == 4 ? parse_u64("trials", args[3]) : 500000);
+  }
+  return usage();
+}
 
 }  // namespace
 
@@ -367,6 +539,26 @@ int main(int argc, char** argv) {
         if (i + 1 >= argc) throw BadArgument(arg + " requires a file argument");
         options.checkpoint_path = argv[++i];
         options.resume = options.resume || arg == "--resume";
+      } else if (arg.rfind("--trace=", 0) == 0) {
+        options.trace_path = arg.substr(8);
+        if (options.trace_path.empty()) {
+          throw BadArgument("invalid --trace '' (expected --trace=<file>)");
+        }
+      } else if (arg == "--trace") {
+        throw BadArgument("--trace requires a file (use --trace=<file>)");
+      } else if (arg == "--metrics") {
+        options.metrics = true;
+      } else if (arg.rfind("--metrics=", 0) == 0) {
+        const std::string format = arg.substr(10);
+        if (format == "json") {
+          options.metrics_format = Options::MetricsFormat::kJson;
+        } else if (format == "prom") {
+          options.metrics_format = Options::MetricsFormat::kProm;
+        } else {
+          throw BadArgument("invalid --metrics format '" + format +
+                            "' (expected json or prom)");
+        }
+        options.metrics = true;
       } else if (arg.rfind("--", 0) == 0) {
         throw BadArgument("unknown option '" + arg + "'");
       } else {
@@ -374,58 +566,13 @@ int main(int argc, char** argv) {
       }
     }
     if (args.empty()) return usage();
-    const std::string& command = args[0];
-    const std::size_t n_args = args.size();
-
-    if (options.certify.enabled && command != "threshold" && command != "volume") {
-      throw BadArgument("--certify is only supported by 'threshold' and 'volume'");
-    }
-    if (!options.checkpoint_path.empty() && command != "sweep") {
-      throw BadArgument("--checkpoint/--resume are only supported by 'sweep'");
-    }
-
-    if (command == "oblivious" && n_args == 3) {
-      return cmd_oblivious(parse_u32("n", args[1]), parse_rational("t", args[2]));
-    }
-    if (command == "threshold" && n_args == 4) {
-      return cmd_threshold(parse_u32("n", args[1]), parse_rational("t", args[2]),
-                           parse_rational("beta", args[3]), options.certify);
-    }
-    if (command == "analyze" && (n_args == 3 || n_args == 4)) {
-      const int digits = n_args == 4 ? parse_int("digits", args[3]) : 30;
-      if (digits < 1 || digits > 1000) return usage();
-      return cmd_analyze(parse_u32("n", args[1]), parse_rational("t", args[2]), digits);
-    }
-    if (command == "simulate" && (n_args == 5 || n_args == 6)) {
-      return cmd_simulate(parse_u32("n", args[1]), parse_rational("t", args[2]),
-                          parse_rational("beta", args[3]), parse_u64("trials", args[4]),
-                          n_args == 6 ? parse_u64("seed", args[5]) : 42);
-    }
-    if (command == "volume" && n_args >= 2) {
-      const std::uint32_t m = parse_u32("m", args[1]);
-      if (m < 1 || n_args != 2 + 2 * static_cast<std::size_t>(m)) return usage();
-      std::vector<Rational> sigma;
-      std::vector<Rational> pi;
-      for (std::uint32_t l = 0; l < m; ++l) {
-        sigma.push_back(parse_rational("sigma", args[2 + l]));
-      }
-      for (std::uint32_t l = 0; l < m; ++l) {
-        pi.push_back(parse_rational("pi", args[2 + m + l]));
-      }
-      return cmd_volume(sigma, pi, options.certify);
-    }
-    if (command == "sweep" && n_args == 6) {
-      return cmd_sweep(parse_u32("n", args[1]), parse_rational("t", args[2]),
-                       parse_rational("beta_lo", args[3]), parse_rational("beta_hi", args[4]),
-                       parse_u32("steps", args[5]), options.checkpoint_path, options.resume);
-    }
-    if (command == "ladder" && (n_args == 3 || n_args == 4)) {
-      return cmd_ladder(parse_u32("n", args[1]), parse_rational("t", args[2]),
-                        n_args == 4 ? parse_u64("trials", args[3]) : 500000);
-    }
+    enable_observability(options);
+    const int rc = dispatch(args, options);
+    const int obs_rc = finalize_observability(options);
+    return rc != 0 ? rc : obs_rc;
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
+    finalize_observability(options);
     return 2;
   }
-  return usage();
 }
