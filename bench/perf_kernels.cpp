@@ -18,6 +18,7 @@
 #include "obs/metrics_registry.hpp"
 #include "obs/trace.hpp"
 #include "core/threshold_optimizer.hpp"
+#include "poly/compiled.hpp"
 #include "poly/interpolate.hpp"
 #include "geom/volume.hpp"
 #include "poly/roots.hpp"
@@ -367,4 +368,101 @@ void BM_ThresholdSearchParallelProbes(benchmark::State& state) {
 }
 BENCHMARK(BM_ThresholdSearchParallelProbes)->Arg(4)->Arg(6)->UseRealTime();
 
+// --- Compiled evaluation pipeline ---------------------------------------
+// The `ddm_cli sweep --engine=compiled` workload: lower the exact symmetric
+// piecewise polynomial once, then evaluate the grid through the certified
+// Horner plan. Per-point cost (items/s) is the number to compare against
+// BM_GeneralThresholdDouble/12 — one iteration there is one point through
+// the O(3^n) kernel, and the acceptance bar is a >= 20x gap at n = 12.
+void BM_SweepCompiled(benchmark::State& state) {
+  const std::size_t steps = static_cast<std::size_t>(state.range(0));
+  const auto analysis =
+      ddm::core::SymmetricThresholdAnalysis::build(12, Rational{4});
+  const auto plan = ddm::poly::CompiledPiecewise::lower(analysis.winning_probability());
+  std::vector<double> betas(steps + 1);
+  for (std::size_t k = 0; k <= steps; ++k) {
+    betas[k] = static_cast<double>(k) / static_cast<double>(steps);
+  }
+  std::vector<double> out(betas.size());
+  for (auto _ : state) {
+    plan.eval_grid(betas, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(betas.size()));
+}
+BENCHMARK(BM_SweepCompiled)->Arg(1024)->Arg(10000)->UseRealTime();
+
+// Same symmetric n = 12 sweep through the batch kernel — the `--engine=kernel`
+// fallback path, and the denominator of the compiled-vs-kernel ratio on the
+// exact CLI workload (small grid: one point costs ~3^12 subset visits).
+void BM_SweepKernel(benchmark::State& state) {
+  const std::size_t n = 12;
+  const std::size_t steps = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<double>> points(steps + 1);
+  for (std::size_t k = 0; k <= steps; ++k) {
+    points[k].assign(n, static_cast<double>(k) / static_cast<double>(steps));
+  }
+  const double t = 4.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddm::core::threshold_winning_probability_batch(points, t));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(points.size()));
+}
+BENCHMARK(BM_SweepKernel)->Arg(8)->UseRealTime();
+
+// One amortized subset walk per block of kThresholdBatchBlock points versus
+// the per-point loop (BM_ThresholdBatchSerial): the walk's sign/subset-sum
+// bookkeeping is hoisted to per-subset state, so per-point cost falls toward
+// the SoA inner-update cost as the block fills.
+void BM_BatchAmortized(benchmark::State& state) {
+  const std::size_t n = 10;
+  const std::size_t grid = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<double>> points(grid);
+  for (std::size_t k = 0; k < grid; ++k) {
+    points[k].assign(n, 0.05 + 0.9 * static_cast<double>(k) / static_cast<double>(grid));
+  }
+  const double t = static_cast<double>(n) / 3.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddm::core::threshold_winning_probability_batch(points, t));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(grid));
+}
+BENCHMARK(BM_BatchAmortized)->Arg(16)->Arg(64)->UseRealTime();
+
+// Compass search after probe batching: all 2n probes of an iteration go
+// through one threshold_winning_probability_batch call (one amortized walk
+// when 2n <= kThresholdBatchBlock), bitwise-identical to the serial probes.
+void BM_OptimizerBatched(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const double t = static_cast<double>(n) / 3.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddm::core::maximize_thresholds(
+        std::vector<double>(n, 0.45), t, 0.25, 1e-6, 2000));
+  }
+}
+BENCHMARK(BM_OptimizerBatched)->Arg(6)->Arg(8)->UseRealTime();
+
 }  // namespace
+
+// Custom main so the JSON context records THIS binary's build type. The
+// stock `library_build_type` field describes how the google-benchmark
+// library was compiled (a debug build on this image), not perf_kernels —
+// which is how a baseline benchmarking unoptimised kernels once got
+// committed without any visible marker. scripts/run_bench.sh refuses to
+// record or compare unless ddm_build_type says "release".
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("ddm_build_type", "release");
+#else
+  benchmark::AddCustomContext("ddm_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,23 +1,127 @@
 #!/usr/bin/env bash
-# run_bench.sh — build and run the microbenchmark suite, writing the results
-# to BENCH_kernels.json at the repo root so successive PRs accumulate a perf
-# trajectory (compare the same benchmark names across commits).
+# run_bench.sh — build the microbenchmark suite in a dedicated Release tree
+# and either re-record the BENCH_kernels.json baseline (default) or check the
+# current tree against it (--check).
 #
-# Usage: scripts/run_bench.sh [extra google-benchmark flags...]
-#   BUILD_DIR=build-bench scripts/run_bench.sh --benchmark_filter='BM_Simplex.*'
+# Usage:
+#   scripts/run_bench.sh [extra google-benchmark flags...]
+#       Re-record BENCH_kernels.json at the repo root so successive PRs
+#       accumulate a perf trajectory (compare the same benchmark names
+#       across commits).
+#   scripts/run_bench.sh --check [extra google-benchmark flags...]
+#       Run the suite into a temp file and compare per-iteration cpu_time
+#       against the checked-in baseline, family by family (the BM_* prefix
+#       before the first '/'). Exits non-zero when any family's geometric-
+#       mean slowdown exceeds 25%. Registered as the opt-in ctest
+#       `bench_regression_check` (label `bench`, -DDDM_BENCH_CHECK=ON).
+#
+# Both modes force CMAKE_BUILD_TYPE=Release in their own build tree
+# (BUILD_DIR, default build-bench) and refuse to use results from a binary
+# whose JSON context does not prove an optimised build: the benchmark's
+# custom main() stamps `ddm_build_type` from NDEBUG, and the guard below
+# requires it to say "release". The stock `library_build_type` field is NOT
+# trusted either way — it describes how the installed google-benchmark
+# library was compiled (debug on this image), not the ddm kernels under
+# test; mistaking it for the binary's build type is exactly how a debug
+# baseline got committed once.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build-bench}"
 OUT="${OUT:-$REPO_ROOT/BENCH_kernels.json}"
+
+MODE=record
+if [[ "${1:-}" == "--check" ]]; then
+  MODE=check
+  shift
+fi
 
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" --target perf_kernels -j "$(nproc)" >/dev/null
 
+TMP="$(mktemp "${TMPDIR:-/tmp}/bench_kernels.XXXXXX.json")"
+trap 'rm -f "$TMP"' EXIT
+
 "$BUILD_DIR/bench/perf_kernels" \
-  --benchmark_format=json \
-  --benchmark_out="$OUT" \
+  --benchmark_format=console \
+  --benchmark_out="$TMP" \
   --benchmark_out_format=json \
   "$@"
 
-echo "wrote $OUT"
+# Refuse to trust results unless the context proves an optimised binary.
+python3 - "$TMP" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    context = json.load(f)["context"]
+ddm_build = context.get("ddm_build_type")
+if ddm_build != "release":
+    print(f"run_bench.sh: refusing to use results: ddm_build_type is "
+          f"{ddm_build!r} (NDEBUG was unset in the kernels under test)",
+          file=sys.stderr)
+    sys.exit(1)
+if context.get("library_build_type") != "release":
+    print("run_bench.sh: note: the installed google-benchmark library is a "
+          "debug build (library_build_type); timer overhead is slightly "
+          "higher but the ddm kernels themselves are optimised",
+          file=sys.stderr)
+EOF
+
+if [[ "$MODE" == "record" ]]; then
+  mv "$TMP" "$OUT"
+  trap - EXIT
+  echo "wrote $OUT"
+  exit 0
+fi
+
+# --check: compare against the committed baseline, per BM_* family.
+python3 - "$OUT" "$TMP" <<'EOF'
+import json, math, sys
+
+THRESHOLD = 1.25  # >25% geometric-mean slowdown fails the family
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = float(b["cpu_time"])
+    return out
+
+baseline = load(sys.argv[1])
+current = load(sys.argv[2])
+shared = sorted(set(baseline) & set(current))
+if not shared:
+    print("run_bench.sh --check: no benchmark names in common with the "
+          "baseline — re-record it first", file=sys.stderr)
+    sys.exit(1)
+
+families = {}
+for name in shared:
+    families.setdefault(name.split("/")[0], []).append(
+        current[name] / baseline[name])
+
+failed = []
+print(f"{'family':<36} {'geomean new/old':>16}  n")
+for family in sorted(families):
+    ratios = families[family]
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    flag = ""
+    if geomean > THRESHOLD:
+        failed.append(family)
+        flag = "  REGRESSION"
+    print(f"{family:<36} {geomean:>16.3f}  {len(ratios)}{flag}")
+
+missing = sorted({n.split("/")[0] for n in baseline} -
+                 {n.split("/")[0] for n in current})
+if missing:
+    print(f"note: families in baseline but not in this run: {', '.join(missing)}")
+
+if failed:
+    print(f"run_bench.sh --check: >25% regression in: {', '.join(failed)}",
+          file=sys.stderr)
+    sys.exit(1)
+print("run_bench.sh --check: all families within 25% of baseline")
+EOF

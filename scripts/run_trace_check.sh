@@ -87,4 +87,31 @@ one="$(DDM_THREADS=1 "$CLI" sweep 16 6 0.3 0.45 8)"
 four="$(DDM_THREADS=4 "$CLI" sweep 16 6 0.3 0.45 8)"
 [ "$one" = "$four" ] || fail "sweep output differs between DDM_THREADS=1 and 4"
 
+# --- 3. the compiled engine honours the same observation-only contract ----
+for nthreads in 1 4; do
+  plain="$(DDM_THREADS=$nthreads "$CLI" sweep 12 4 0.2 0.8 16 --engine=compiled)"
+  traced="$(DDM_THREADS=$nthreads "$CLI" sweep 12 4 0.2 0.8 16 --engine=compiled \
+            --trace="$TMP/compiled$nthreads.json")"
+  [ "$plain" = "$traced" ] || fail "DDM_THREADS=$nthreads: compiled sweep output differs with --trace"
+  metered="$(DDM_THREADS=$nthreads "$CLI" sweep 12 4 0.2 0.8 16 --engine=compiled --metrics 2>/dev/null)"
+  [ "$plain" = "$metered" ] || fail "DDM_THREADS=$nthreads: compiled sweep output differs with --metrics"
+done
+one="$(DDM_THREADS=1 "$CLI" sweep 12 4 0.2 0.8 16 --engine=compiled)"
+four="$(DDM_THREADS=4 "$CLI" sweep 12 4 0.2 0.8 16 --engine=compiled)"
+[ "$one" = "$four" ] || fail "compiled sweep output differs between DDM_THREADS=1 and 4"
+
+# The compiled run's trace must show the pipeline actually engaged: one
+# lowering span plus the grid-evaluation span.
+python3 - "$TMP/compiled4.json" <<'PY' || fail "compiled trace span validation failed"
+import json, sys
+
+with open(sys.argv[1]) as f:
+    names = {e["name"] for e in json.load(f)["traceEvents"]}
+for required in ("cli.sweep", "compiled.lower", "compiled.eval_grid"):
+    assert required in names, f"missing span {required!r} (have {sorted(names)})"
+assert not any(n.startswith("kernel.") for n in names), \
+    f"compiled sweep fell back to the kernel (have {sorted(names)})"
+print(f"compiled trace ok: {len(names)} span names")
+PY
+
 echo "trace checks passed"

@@ -52,6 +52,13 @@ expect_reject "volume argument count" "$CLI" volume 2 1/2
 # columns the checkpoint format does not persist).
 expect_reject "--certify" "$CLI" sweep 3 1 0 1 4 --certify --checkpoint "$TMP/c.ckpt"
 
+# Engine selection: the value set is closed, the flag is sweep-only, and it
+# cannot combine with --certify (the ladder picks its own evaluation tiers).
+expect_reject "invalid --engine 'bogus'" "$CLI" sweep 3 1 0 1 4 --engine=bogus
+expect_reject "--engine requires a value" "$CLI" sweep 3 1 0 1 4 --engine
+expect_reject "--engine is only supported by 'sweep'" "$CLI" threshold 3 1 0.5 --engine=kernel
+expect_reject "--engine cannot be combined with --certify" "$CLI" sweep 3 1 0 1 4 --certify --engine=compiled
+
 # Malformed observability options are named, and a bogus DDM_THREADS must be
 # rejected up front instead of being silently clamped to one lane.
 expect_reject "--trace" "$CLI" threshold 3 1 0.5 --trace
@@ -97,5 +104,24 @@ again="$("$CLI" sweep 3 1 0 1 12 --resume "$ck")"
 
 # A header mismatch (different n) must be rejected, naming both sweeps.
 expect_reject "different sweep" "$CLI" sweep 4 1 0 1 12 --resume "$ck"
+
+# --- engine selection ----------------------------------------------------
+# Auto must pick the compiled plan on a small symmetric sweep (the certified
+# bound is far below the auto tolerance), so its output is byte-identical to
+# forcing --engine=compiled; forcing the kernel must also succeed.
+auto_out="$("$CLI" sweep 6 2 0 1 24)"
+compiled_out="$("$CLI" sweep 6 2 0 1 24 --engine=compiled)"
+[ "$auto_out" = "$compiled_out" ] || fail "auto engine did not select the compiled plan at n=6"
+"$CLI" sweep 6 2 0 1 24 --engine=kernel >/dev/null || fail "--engine=kernel sweep failed"
+
+# The checkpoint/resume round-trip holds on the compiled path too.
+ckc="$TMP/sweep_compiled.ckpt"
+refc="$("$CLI" sweep 3 1 0 1 12 --engine=compiled)"
+fullc="$("$CLI" sweep 3 1 0 1 12 --engine=compiled --checkpoint "$ckc")"
+[ "$refc" = "$fullc" ] || fail "compiled checkpointed sweep output differs from plain compiled sweep"
+head -n 6 "$ckc" > "$ckc.tmp"
+mv "$ckc.tmp" "$ckc"
+resumedc="$("$CLI" sweep 3 1 0 1 12 --engine=compiled --resume "$ckc")"
+[ "$refc" = "$resumedc" ] || fail "compiled resumed sweep output is not byte-identical"
 
 echo "cli robustness checks passed"

@@ -1,5 +1,6 @@
 #include "core/nonoblivious.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -245,17 +246,236 @@ double threshold_winning_probability(std::span<const double> a, double t) {
   return require_finite(total, "threshold_winning_probability: double result");
 }
 
+namespace {
+
+// Batch-kernel metrics (docs/observability.md). `batch.subset_walks_amortized`
+// counts the per-point Gray walks the amortized evaluator did NOT have to run:
+// a run of P same-size points shares one walk, saving P − 1 of them.
+struct BatchMetrics {
+  obs::Counter points = obs::counter("batch.points");
+  obs::Counter walks_amortized = obs::counter("batch.subset_walks_amortized");
+
+  static const BatchMetrics& get() {
+    static const BatchMetrics metrics;
+    return metrics;
+  }
+};
+
+// Structure-of-arrays scratch for one amortized run; one instance per chunk,
+// reused across the chunk's runs and decision vectors.
+struct BatchWorkspace {
+  std::vector<double> coords;  // transposed run coordinates, coords[i·P + p]
+  std::vector<double> deltas;  // per-member base increments for the current walk
+  std::vector<double> rs, rc;  // running-base Kahan state (sum, compensation)
+  std::vector<double> ss, sc;  // bracket-accumulator Kahan state
+  std::vector<double> base;    // clamped bases feeding the power phase
+  std::vector<double> pw, sq;  // binary-exponentiation result / square chain
+  std::vector<double> prod;    // ones-bracket Π (1 − a_l)
+  std::vector<double> zres;    // zeros-bracket value per point
+  std::vector<double> total;
+};
+
+// One reflected-Gray subset walk over `sz` members, shared by a run of P
+// points. `deltas` is an sz × P matrix of per-point running-base increments:
+// entering the subset adds +delta, leaving adds −delta (for the zeros bracket
+// delta = −a_l, for the ones bracket delta = a_l − 1; IEEE negation is exact
+// and x − y = −(y − x) under round-to-nearest, so this matches the serial
+// brackets' two-sided updates bitwise). Per point the floating-point op
+// sequence is exactly the serial bracket's — the walk only hoists the
+// flip-bit / sign / subset bookkeeping out of the per-point loop. Infeasible
+// subsets (base <= 0), which the serial code skips with a branch, contribute
+// a clamped ±0.0 term here instead; adding ±0.0 leaves a Kahan accumulator
+// bitwise unchanged because neither its sum nor its compensation can ever be
+// −0.0 (derivation in docs/performance.md), so the inner phases stay
+// branch-free and auto-vectorizable.
+void subset_walk(const double* deltas, std::size_t sz, std::size_t count, std::uint32_t exponent,
+                 BatchWorkspace& ws) {
+  double* rs = ws.rs.data();
+  double* rc = ws.rc.data();
+  double* ss = ws.ss.data();
+  double* sc = ws.sc.data();
+  double* base = ws.base.data();
+  double* pw = ws.pw.data();
+  double* sq = ws.sq.data();
+  const std::uint64_t limit = std::uint64_t{1} << sz;
+  std::uint64_t mask = 0;
+  for (std::uint64_t i = 1; i < limit; ++i) {
+    const std::uint32_t j = combinat::gray_flip_bit(i);
+    const std::uint64_t bit = std::uint64_t{1} << j;
+    mask ^= bit;
+    const bool entering = (mask & bit) != 0;
+    const bool negative = combinat::gray_parity_odd(i);
+    const double* row = deltas + j * count;
+    // Phase 1: advance the running base (Neumaier update) and clamp. The
+    // clamp must be the literal 0.0 (not std::max, whose result could be
+    // −0.0) so phase 2 raises an exact ±0.0 for infeasible points.
+    for (std::size_t p = 0; p < count; ++p) {
+      const double term = entering ? row[p] : -row[p];
+      const double next = rs[p] + term;
+      rc[p] += std::abs(rs[p]) >= std::abs(term) ? (rs[p] - next) + term : (term - next) + rs[p];
+      rs[p] = next;
+      const double rem = rs[p] + rc[p];
+      base[p] = rem > 0.0 ? rem : 0.0;
+    }
+    // Phase 2: base^exponent, replicating pow_uint's multiply order (the
+    // final squaring never feeds the result and is skipped).
+    for (std::size_t p = 0; p < count; ++p) {
+      pw[p] = 1.0;
+      sq[p] = base[p];
+    }
+    for (std::uint32_t e = exponent; e != 0; e >>= 1) {
+      if (e & 1u) {
+        for (std::size_t p = 0; p < count; ++p) pw[p] *= sq[p];
+      }
+      if (e > 1u) {
+        for (std::size_t p = 0; p < count; ++p) sq[p] *= sq[p];
+      }
+    }
+    // Phase 3: signed Neumaier accumulate.
+    for (std::size_t p = 0; p < count; ++p) {
+      const double term = negative ? -pw[p] : pw[p];
+      const double next = ss[p] + term;
+      sc[p] += std::abs(ss[p]) >= std::abs(term) ? (ss[p] - next) + term : (term - next) + ss[p];
+      ss[p] = next;
+    }
+  }
+}
+
+// Evaluates Theorem 5.1 for a run of `count` points of equal size n sharing
+// one Gray-code subset walk per decision vector, writing out[p] bitwise equal
+// to threshold_winning_probability(points[first + p], t).
+void amortized_run(std::span<const std::vector<double>> points, std::size_t first,
+                   std::size_t count, double t, std::span<double> out, BatchWorkspace& ws) {
+  const std::size_t n = points[first].size();
+  DDM_SPAN("kernel.batch_walk", {{"n", static_cast<std::int64_t>(n)},
+                                 {"points", static_cast<std::int64_t>(count)}});
+  const KernelMetrics& kernel_metrics = KernelMetrics::get();
+  const BatchMetrics& batch_metrics = BatchMetrics::get();
+  batch_metrics.points.add(count);
+  batch_metrics.walks_amortized.add(count - 1);
+  if (obs::metrics_enabled()) kernel_metrics.subsets_visited.add(general_kernel_subsets(n));
+
+  ws.coords.resize(n * count);
+  for (std::size_t p = 0; p < count; ++p) {
+    for (std::size_t i = 0; i < n; ++i) ws.coords[i * count + p] = points[first + p][i];
+  }
+  ws.deltas.resize(n * count);
+  for (auto* buf : {&ws.rs, &ws.rc, &ws.ss, &ws.sc, &ws.base, &ws.pw, &ws.sq, &ws.prod,
+                    &ws.zres, &ws.total}) {
+    buf->resize(count);
+  }
+  std::fill(ws.total.begin(), ws.total.end(), 0.0);
+
+  std::vector<std::size_t> zeros;
+  std::vector<std::size_t> ones;
+  zeros.reserve(n);
+  ones.reserve(n);
+  const std::uint64_t limit = std::uint64_t{1} << n;
+  for (std::uint64_t b = 0; b < limit; ++b) {
+    zeros.clear();
+    ones.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (b & (std::uint64_t{1} << i)) {
+        ones.push_back(i);
+      } else {
+        zeros.push_back(i);
+      }
+    }
+
+    // Zeros bracket: base tracks t − Σ_{l∈I} a_l, so entering adds −a_l.
+    const std::size_t m = zeros.size();
+    if (m == 0) {
+      std::fill(ws.zres.begin(), ws.zres.end(), 1.0);
+    } else {
+      const auto mm = static_cast<std::uint32_t>(m);
+      const double init = combinat::pow_uint(t, mm);  // I = ∅ (t > 0)
+      for (std::size_t p = 0; p < count; ++p) {
+        ws.rs[p] = t;
+        ws.rc[p] = 0.0;
+        ws.ss[p] = init;
+        ws.sc[p] = 0.0;
+      }
+      for (std::size_t j = 0; j < m; ++j) {
+        const double* col = ws.coords.data() + zeros[j] * count;
+        for (std::size_t p = 0; p < count; ++p) ws.deltas[j * count + p] = -col[p];
+      }
+      subset_walk(ws.deltas.data(), m, count, mm, ws);
+      if (obs::metrics_enabled()) {
+        for (std::size_t p = 0; p < count; ++p) {
+          kernel_metrics.kahan_compensation.record(std::abs(ws.sc[p]));
+        }
+      }
+      const double inv_fact = combinat::inverse_factorial_double(mm);
+      for (std::size_t p = 0; p < count; ++p) ws.zres[p] = (ws.ss[p] + ws.sc[p]) * inv_fact;
+    }
+
+    // Ones bracket: base tracks k − t + Σ_{l∈I} (a_l − 1), entering adds a_l − 1.
+    const std::size_t k = ones.size();
+    if (k == 0) {
+      for (std::size_t p = 0; p < count; ++p) ws.total[p] += ws.zres[p] * 1.0;
+      continue;
+    }
+    const auto kk = static_cast<std::uint32_t>(k);
+    std::fill(ws.prod.begin(), ws.prod.end(), 1.0);
+    for (std::size_t j = 0; j < k; ++j) {
+      const double* col = ws.coords.data() + ones[j] * count;
+      for (std::size_t p = 0; p < count; ++p) {
+        ws.prod[p] *= 1.0 - col[p];
+        ws.deltas[j * count + p] = col[p] - 1.0;
+      }
+    }
+    const double base0 = static_cast<double>(k) - t;
+    const double init = base0 > 0.0 ? combinat::pow_uint(base0, kk) : 0.0;
+    for (std::size_t p = 0; p < count; ++p) {
+      ws.rs[p] = base0;
+      ws.rc[p] = 0.0;
+      ws.ss[p] = init;
+      ws.sc[p] = 0.0;
+    }
+    subset_walk(ws.deltas.data(), k, count, kk, ws);
+    if (obs::metrics_enabled()) {
+      for (std::size_t p = 0; p < count; ++p) {
+        kernel_metrics.kahan_compensation.record(std::abs(ws.sc[p]));
+      }
+    }
+    const double inv_fact = combinat::inverse_factorial_double(kk);
+    for (std::size_t p = 0; p < count; ++p) {
+      ws.total[p] += ws.zres[p] * (ws.prod[p] - (ws.ss[p] + ws.sc[p]) * inv_fact);
+    }
+  }
+
+  for (std::size_t p = 0; p < count; ++p) {
+    out[p] = require_finite(ws.total[p], "threshold_winning_probability: double result");
+  }
+}
+
+}  // namespace
+
 std::vector<double> threshold_winning_probability_batch(
     std::span<const std::vector<double>> points, double t) {
   DDM_SPAN("kernel.batch", {{"points", static_cast<std::int64_t>(points.size())}});
+  // Validate every point up front, in index order, with the single-point
+  // evaluator's exact messages — the batch throws like a sequential loop
+  // would, independent of how chunks land on threads.
+  for (const std::vector<double>& point : points) {
+    if (point.empty()) {
+      throw std::invalid_argument("threshold_winning_probability: need >= 1 player");
+    }
+    if (point.size() > 20) {
+      throw std::invalid_argument("threshold_winning_probability: n too large for 3^n sum");
+    }
+  }
   std::vector<double> values(points.size(), 0.0);
-  // Each point goes through the identical serial evaluator a single-point
-  // call uses, so batch results match one-at-a-time evaluation bitwise; the
-  // engine only distributes whole points across the pool. The validate hook
-  // rejects any chunk holding a non-finite value — whether produced by the
-  // kernel or injected by a nan-poison fault directive — so the engine
-  // recomputes it instead of returning silently-corrupt rows.
+  if (t <= 0.0) return values;  // mirrors the single-point evaluator
+  // Chunks of kThresholdBatchBlock points share one Gray-code subset walk per
+  // run of equal-size points (amortized_run above); per point the arithmetic
+  // is bitwise identical to a single-point call, so neither blocking nor
+  // parallelism ever changes results. The validate hook rejects any chunk
+  // holding a non-finite value — whether produced by the kernel or injected
+  // by a nan-poison fault directive — so the engine recomputes it instead of
+  // returning silently-corrupt rows.
   util::ParallelOptions options;
+  options.grain = kThresholdBatchBlock;
   options.label = "threshold_batch";
   options.validate = [&values](std::size_t lo, std::size_t hi) {
     for (std::size_t p = lo; p < hi; ++p) {
@@ -266,11 +486,17 @@ std::vector<double> threshold_winning_probability_batch(
   util::parallel_for(
       0, points.size(),
       [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t p = lo; p < hi; ++p) {
-          values[p] = threshold_winning_probability(points[p], t);
+        BatchWorkspace ws;
+        std::size_t idx = lo;
+        while (idx < hi) {
+          std::size_t end = idx + 1;
+          while (end < hi && points[end].size() == points[idx].size()) ++end;
+          amortized_run(points, idx, end - idx, t,
+                        std::span<double>{values.data() + idx, end - idx}, ws);
+          idx = end;
         }
-        // grain == 1, so the chunk ordinal equals lo.
-        if (util::fault::active() && util::fault::consume_nan(lo)) {
+        // Chunk ordinal for fault directives: lo / kThresholdBatchBlock.
+        if (util::fault::active() && util::fault::consume_nan(lo / kThresholdBatchBlock)) {
           values[lo] = std::numeric_limits<double>::quiet_NaN();
         }
       },

@@ -6,7 +6,6 @@
 #include "core/nonoblivious.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/trace.hpp"
-#include "util/parallel.hpp"
 
 namespace ddm::core {
 
@@ -59,6 +58,7 @@ ThresholdSearchResult maximize_thresholds(std::vector<double> start, double t,
     double value;
   };
   std::vector<Probe> probes;
+  std::vector<std::vector<double>> probe_points;
   while (step >= tolerance && result.evaluations < max_evaluations) {
     probes.clear();
     for (std::size_t i = 0; i < result.thresholds.size(); ++i) {
@@ -73,21 +73,18 @@ ThresholdSearchResult maximize_thresholds(std::vector<double> start, double t,
     const std::size_t budget = max_evaluations - result.evaluations;
     if (probes.size() > budget) probes.resize(budget);
     if (probes.empty()) break;
-    util::ParallelOptions probe_options;
-    probe_options.label = "compass_probes";
-    util::parallel_for(
-        0, probes.size(),
-        [&](std::size_t lo, std::size_t hi) {
-          // Fresh lambda-local state per attempt keeps the chunk idempotent
-          // under the engine's transient-fault retry.
-          std::vector<double> point(result.thresholds);
-          for (std::size_t p = lo; p < hi; ++p) {
-            point[probes[p].axis] = probes[p].candidate;
-            probes[p].value = threshold_winning_probability(point, t);
-            point[probes[p].axis] = result.thresholds[probes[p].axis];
-          }
-        },
-        probe_options);
+    // One amortized batch call evaluates the whole compass star: all probe
+    // points share the incumbent's size, so the batch kernel runs one
+    // Gray-code subset walk per block of probes instead of 2n independent
+    // kernel invocations — and each value is bitwise equal to the
+    // single-point call the probe loop used to make.
+    probe_points.resize(probes.size());
+    for (std::size_t p = 0; p < probes.size(); ++p) {
+      probe_points[p] = result.thresholds;
+      probe_points[p][probes[p].axis] = probes[p].candidate;
+    }
+    const std::vector<double> probe_values = threshold_winning_probability_batch(probe_points, t);
+    for (std::size_t p = 0; p < probes.size(); ++p) probes[p].value = probe_values[p];
     result.evaluations += static_cast<std::uint32_t>(probes.size());
     metrics.probes.add(probes.size());
     const Probe* best = &probes[0];

@@ -23,6 +23,7 @@
 #include "geom/mc_volume.hpp"        // IWYU pragma: export
 #include "geom/polytope.hpp"         // IWYU pragma: export
 #include "geom/volume.hpp"           // IWYU pragma: export
+#include "poly/compiled.hpp"         // IWYU pragma: export
 #include "poly/interpolate.hpp"      // IWYU pragma: export
 #include "poly/multilinear.hpp"      // IWYU pragma: export
 #include "poly/piecewise.hpp"        // IWYU pragma: export

@@ -1,0 +1,269 @@
+#include "poly/compiled.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+#include "util/fault.hpp"
+#include "util/parallel.hpp"
+
+namespace ddm::poly {
+
+using util::Rational;
+
+namespace {
+
+struct CompiledMetrics {
+  obs::Counter lowerings = obs::counter("compiled.lowerings");
+  obs::Counter points = obs::counter("compiled.points");
+
+  static const CompiledMetrics& get() {
+    static const CompiledMetrics metrics;
+    return metrics;
+  }
+};
+
+// Points per parallel chunk in eval_grid. One compiled evaluation is a few
+// nanoseconds, so chunks must carry enough points to amortize the engine's
+// dispatch; the chunk ordinal seen by fault directives is lo / kGridGrain.
+constexpr std::size_t kGridGrain = 256;
+
+// Smallest double that provably dominates the exact rational value:
+// Rational::to_double makes no directed-rounding promise, so step upward
+// until the exact comparison (via the exact dyadic value of the candidate)
+// confirms an upper bound. Terminates in a step or two.
+double round_up(const Rational& value) {
+  double candidate = value.to_double();
+  while (Rational::from_double(candidate) < value) {
+    candidate = std::nextafter(candidate, std::numeric_limits<double>::infinity());
+  }
+  return candidate;
+}
+
+// Σ_i |c_i| · M^i for exact coefficients (used with both the exact and the
+// lowered-then-re-exactified coefficient vectors).
+Rational weighted_abs_sum(const std::vector<Rational>& coeffs, const Rational& m) {
+  Rational sum{0};
+  Rational power{1};
+  for (const Rational& c : coeffs) {
+    sum += c.abs() * power;
+    power *= m;
+  }
+  return sum;
+}
+
+// Sup bound on |p'| over |x| <= M: Σ_{i>=1} i · |c_i| · M^(i-1).
+Rational derivative_sup(const std::vector<Rational>& coeffs, const Rational& m) {
+  Rational sum{0};
+  Rational power{1};
+  for (std::size_t i = 1; i < coeffs.size(); ++i) {
+    sum += Rational{static_cast<std::int64_t>(i)} * coeffs[i].abs() * power;
+    power *= m;
+  }
+  return sum;
+}
+
+// Exact Horner evaluation of an exact coefficient vector.
+Rational exact_eval(const std::vector<Rational>& coeffs, const Rational& x) {
+  Rational result{0};
+  for (std::size_t i = coeffs.size(); i-- > 0;) {
+    result = result * x + coeffs[i];
+  }
+  return result;
+}
+
+// γ_k = k·u / (1 − k·u), u = 2^-53 — the standard Horner roundoff factor
+// (k = 2·deg rounding operations): |horner(ĉ, x) − p_ĉ(x)| <= γ_k Σ|ĉ_i||x|^i.
+Rational gamma_factor(std::size_t ops) {
+  if (ops == 0) return Rational{0};
+  const Rational u{util::BigInt{1}, util::BigInt::pow(util::BigInt{2}, 53)};
+  const Rational ku = Rational{static_cast<std::int64_t>(ops)} * u;
+  return ku / (Rational{1} - ku);
+}
+
+double horner(const double* coeffs, std::size_t count, double x) {
+  double result = 0.0;
+  for (std::size_t i = count; i-- > 0;) {
+    result = result * x + coeffs[i];
+  }
+  return result;
+}
+
+}  // namespace
+
+CompiledPiecewise CompiledPiecewise::lower(const PiecewisePolynomial& source) {
+  DDM_SPAN("compiled.lower",
+           {{"pieces", static_cast<std::int64_t>(source.pieces().size())}});
+  CompiledMetrics::get().lowerings.add();
+
+  const std::vector<Piece>& pieces = source.pieces();
+  const std::size_t count = pieces.size();
+
+  CompiledPiecewise plan;
+  plan.breaks_.reserve(count + 1);
+  plan.pieces_.reserve(count);
+
+  // Pass 1: lower breakpoints and coefficients. The double breakpoint table
+  // must stay strictly increasing or the binary-search selection rule could
+  // land arbitrarily far from the exact piece — refuse to certify that.
+  plan.breaks_.push_back(pieces.front().lo.to_double());
+  for (const Piece& piece : pieces) {
+    const double hi = piece.hi.to_double();
+    if (!(hi > plan.breaks_.back())) {
+      throw std::invalid_argument("CompiledPiecewise: breakpoints collapse in double");
+    }
+    CompiledPiece compiled;
+    compiled.lo = plan.breaks_.back();
+    compiled.hi = hi;
+    compiled.coeff_begin = plan.coeffs_.size();
+    compiled.coeff_count = piece.poly.coefficients().size();
+    for (const Rational& c : piece.poly.coefficients()) {
+      plan.coeffs_.push_back(c.to_double());
+    }
+    plan.breaks_.push_back(hi);
+    plan.pieces_.push_back(compiled);
+  }
+
+  // Per-boundary rounding distance δ = |b − b̂| (exact; 0 when the breakpoint
+  // is exactly representable, e.g. 0, 1, 1/2, 3/4 — the common case).
+  std::vector<Rational> delta(count + 1, Rational{0});
+  for (std::size_t b = 0; b <= count; ++b) {
+    const Rational exact = b == 0 ? pieces.front().lo : pieces[b - 1].hi;
+    delta[b] = (exact - Rational::from_double(plan.breaks_[b])).abs();
+  }
+
+  // Pass 2: certified per-piece bounds, all in exact rational arithmetic.
+  std::vector<std::vector<Rational>> lowered_exact(count);  // exact values of ĉ
+  std::vector<Rational> widened_m(count);                   // sup |x| incl. δ slack
+  for (std::size_t p = 0; p < count; ++p) {
+    const CompiledPiece& cp = plan.pieces_[p];
+    lowered_exact[p].reserve(cp.coeff_count);
+    for (std::size_t i = 0; i < cp.coeff_count; ++i) {
+      lowered_exact[p].push_back(Rational::from_double(plan.coeffs_[cp.coeff_begin + i]));
+    }
+    const Rational m = std::max(pieces[p].lo.abs(), pieces[p].hi.abs());
+    widened_m[p] = m + delta[p] + delta[p + 1];
+  }
+
+  for (std::size_t p = 0; p < count; ++p) {
+    CompiledPiece& cp = plan.pieces_[p];
+    const std::vector<Rational>& exact_coeffs = pieces[p].poly.coefficients();
+    const Rational& m = widened_m[p];
+
+    // 1. Coefficient rounding: Σ |c_i − ĉ_i| · M^i.
+    Rational bound{0};
+    {
+      Rational power{1};
+      for (std::size_t i = 0; i < cp.coeff_count; ++i) {
+        bound += (exact_coeffs[i] - lowered_exact[p][i]).abs() * power;
+        power *= m;
+      }
+    }
+
+    // 2. Horner roundoff on the lowered coefficients: γ_{2d} · Σ |ĉ_i| · M^i.
+    if (cp.coeff_count >= 2) {
+      bound += gamma_factor(2 * (cp.coeff_count - 1)) * weighted_abs_sum(lowered_exact[p], m);
+    }
+
+    // 3. Breakpoint rounding: a double x the compiled table assigns to this
+    // piece satisfies b̂_lo < x <= b̂_hi, so its exact value can stray past an
+    // exact breakpoint by at most that boundary's δ — into the immediate
+    // neighbour only, provided δ does not swallow the neighbour. The defect
+    // there is the neighbours' exact jump at the breakpoint (zero for a
+    // continuous source) plus a Lipschitz term over the δ-overlap.
+    const auto selection_term = [&](std::size_t boundary, std::size_t neighbour) {
+      const Rational& d = delta[boundary];
+      if (d.signum() == 0) return Rational{0};
+      if (neighbour >= count) {
+        // Domain end: certificate is vs the exact function at the clamped
+        // exact position, so only this piece's own Lipschitz slack applies.
+        return derivative_sup(exact_coeffs, m) * d;
+      }
+      const Rational neighbour_width = pieces[neighbour].hi - pieces[neighbour].lo;
+      if (d > neighbour_width) {
+        throw std::invalid_argument(
+            "CompiledPiecewise: breakpoint rounding exceeds a neighbouring piece");
+      }
+      const Rational b = boundary == p ? pieces[p].lo : pieces[p].hi;
+      const Rational jump =
+          (exact_eval(exact_coeffs, b) - exact_eval(pieces[neighbour].poly.coefficients(), b))
+              .abs();
+      const Rational lipschitz = derivative_sup(exact_coeffs, m) +
+                                 derivative_sup(pieces[neighbour].poly.coefficients(),
+                                                widened_m[neighbour]);
+      return jump + lipschitz * d;
+    };
+    bound += std::max(selection_term(p, p == 0 ? count : p - 1),
+                      selection_term(p + 1, p + 1 < count ? p + 1 : count));
+
+    cp.error_bound = round_up(bound);
+    plan.max_error_ = std::max(plan.max_error_, cp.error_bound);
+  }
+
+  return plan;
+}
+
+std::size_t CompiledPiecewise::piece_index(double x) const {
+  if (!(x >= breaks_.front()) || !(x <= breaks_.back())) {
+    throw std::out_of_range("CompiledPiecewise: x outside the compiled domain");
+  }
+  // First boundary >= x (skipping the domain start); at a shared breakpoint
+  // this selects the left piece, mirroring PiecewisePolynomial::operator().
+  const auto it = std::lower_bound(breaks_.begin() + 1, breaks_.end(), x);
+  return static_cast<std::size_t>(it - (breaks_.begin() + 1));
+}
+
+double CompiledPiecewise::eval(double x) const {
+  const CompiledPiece& piece = pieces_[piece_index(x)];
+  return horner(coeffs_.data() + piece.coeff_begin, piece.coeff_count, x);
+}
+
+double CompiledPiecewise::error_bound(double x) const {
+  return pieces_[piece_index(x)].error_bound;
+}
+
+void CompiledPiecewise::eval_grid(std::span<const double> xs, std::span<double> out) const {
+  if (xs.size() != out.size()) {
+    throw std::invalid_argument("CompiledPiecewise::eval_grid: output span size mismatch");
+  }
+  if (xs.empty()) return;
+  DDM_SPAN("compiled.eval_grid", {{"points", static_cast<std::int64_t>(xs.size())},
+                                  {"pieces", static_cast<std::int64_t>(pieces_.size())}});
+  CompiledMetrics::get().points.add(xs.size());
+  // Same robustness shape as the batch kernel: per-point evaluation is
+  // self-contained (bitwise identical to eval() for any thread count), nan
+  // fault directives poison a chunk's first output, and the finiteness
+  // validate hook makes the engine recompute a poisoned chunk.
+  util::ParallelOptions options;
+  options.grain = kGridGrain;
+  options.label = "compiled_grid";
+  options.validate = [out](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (!std::isfinite(out[i])) return false;
+    }
+    return true;
+  };
+  util::parallel_for(
+      0, xs.size(),
+      [this, xs, out](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          out[i] = eval(xs[i]);
+        }
+        if (util::fault::active() && util::fault::consume_nan(lo / kGridGrain)) {
+          out[lo] = std::numeric_limits<double>::quiet_NaN();
+        }
+      },
+      options);
+}
+
+std::vector<double> CompiledPiecewise::eval_grid(std::span<const double> xs) const {
+  std::vector<double> out(xs.size(), 0.0);
+  eval_grid(xs, out);
+  return out;
+}
+
+}  // namespace ddm::poly

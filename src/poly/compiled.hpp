@@ -1,0 +1,97 @@
+// compiled.hpp — double-precision Horner plans lowered from exact piecewise
+// polynomials, with certified per-piece error bounds.
+//
+// The symbolic pipeline (core/symmetric_threshold → poly/piecewise) derives
+// the winning probability P(β) of Theorem 5.1 exactly, but exact rational
+// evaluation is far too slow for dense sweeps, and the O(3^n) double kernel
+// re-derives the same polynomial values from scratch at every grid point.
+// Lowering the exact pieces ONCE to flat double coefficient arrays turns each
+// subsequent evaluation into a binary-search piece lookup plus one Horner
+// pass — O(log #pieces + deg) instead of O(3^n) — while a rigorously derived
+// per-piece bound on |compiled(x) − exact(x)| (computed in exact rational
+// arithmetic at lowering time, see docs/performance.md) makes every compiled
+// answer a certificate, in the spirit of the certified escalation ladder
+// (util/certify.hpp): consumers such as `ddm_cli sweep --engine=auto` compare
+// the bound against their tolerance and fall back to the kernel when the
+// lowering is not accurate enough.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "poly/piecewise.hpp"
+
+namespace ddm::poly {
+
+/// One lowered piece: [lo, hi] in double, a window into the shared flat
+/// coefficient array (low-degree first), and the certified bound on
+/// |Horner(coeffs, x) − exact_piecewise(x)| for any double x the compiled
+/// piece-selection rule maps to this piece.
+struct CompiledPiece {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::size_t coeff_begin = 0;
+  std::size_t coeff_count = 0;
+  double error_bound = 0.0;
+};
+
+/// A PiecewisePolynomial lowered to a flat double Horner plan.
+///
+/// The per-piece `error_bound` is derived from the EXACT rational
+/// coefficients and accounts for all three ways the compiled answer can
+/// differ from the exact function at the exact value of the double x:
+///   1. coefficient rounding:  Σ_i |c_i − double(c_i)| · M^i,
+///   2. Horner roundoff:       γ_{2d} · Σ_i |double(c_i)| · M^i
+///      (γ_k = k·u / (1 − k·u), u = 2^-53, d = degree),
+///   3. breakpoint rounding:   near a breakpoint b whose double image b̂
+///      differs from b, the compiled lookup may select the neighbouring
+///      piece; the resulting defect is bounded by the neighbours' jump at b
+///      plus (L_left + L_right)·|b − b̂| with L a derivative sup bound,
+/// where M = max(|lo|, |hi|) over the piece. All three terms are evaluated
+/// in exact rational arithmetic and rounded UP to double, so the certificate
+/// never understates the error.
+class CompiledPiecewise {
+ public:
+  /// Lower an exact piecewise polynomial. Emits a `compiled.lower` tracing
+  /// span. Cost is O(Σ deg²) exact rational arithmetic — pay it once, then
+  /// evaluate in pure double.
+  [[nodiscard]] static CompiledPiecewise lower(const PiecewisePolynomial& source);
+
+  /// Horner evaluation at x: binary-search the piece (the left piece wins at
+  /// a shared breakpoint, mirroring PiecewisePolynomial), then one Horner
+  /// pass. Throws std::out_of_range outside [domain_lo(), domain_hi()].
+  [[nodiscard]] double eval(double x) const;
+
+  /// Batch evaluation over the shared thread pool (util::parallel_for);
+  /// out[i] is bitwise equal to eval(xs[i]) for any thread count. Cooperates
+  /// with fault injection exactly like the batch kernel: a nan directive
+  /// poisons the chunk's first output and the finiteness validate hook makes
+  /// the engine recompute it. Emits a `compiled.eval_grid` span and counts
+  /// `compiled.points`. Requires out.size() == xs.size().
+  void eval_grid(std::span<const double> xs, std::span<double> out) const;
+  [[nodiscard]] std::vector<double> eval_grid(std::span<const double> xs) const;
+
+  /// Certified |compiled − exact| bound for the piece that eval(x) selects
+  /// (throws std::out_of_range outside the domain).
+  [[nodiscard]] double error_bound(double x) const;
+  /// Max of error_bound over all pieces — the domain-wide certificate.
+  [[nodiscard]] double max_error_bound() const noexcept { return max_error_; }
+
+  [[nodiscard]] std::size_t piece_count() const noexcept { return pieces_.size(); }
+  [[nodiscard]] const std::vector<CompiledPiece>& pieces() const noexcept { return pieces_; }
+  [[nodiscard]] double domain_lo() const noexcept { return breaks_.front(); }
+  [[nodiscard]] double domain_hi() const noexcept { return breaks_.back(); }
+
+ private:
+  CompiledPiecewise() = default;
+
+  [[nodiscard]] std::size_t piece_index(double x) const;
+
+  std::vector<double> breaks_;        // piece boundaries, size piece_count() + 1
+  std::vector<CompiledPiece> pieces_;
+  std::vector<double> coeffs_;        // all pieces' coefficients, flattened
+  double max_error_ = 0.0;
+};
+
+}  // namespace ddm::poly

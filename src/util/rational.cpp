@@ -1,5 +1,6 @@
 #include "util/rational.hpp"
 
+#include <cmath>
 #include <ostream>
 #include <stdexcept>
 #include <utility>
@@ -15,6 +16,24 @@ Rational Rational::parse(std::string_view text) {
   const std::size_t slash = text.find('/');
   if (slash == std::string_view::npos) return Rational{BigInt{text}, BigInt{1}};
   return Rational{BigInt{text.substr(0, slash)}, BigInt{text.substr(slash + 1)}};
+}
+
+Rational Rational::from_double(double value) {
+  if (!std::isfinite(value)) {
+    throw std::invalid_argument("Rational::from_double: value is not finite");
+  }
+  if (value == 0.0) return Rational{};
+  int exponent = 0;
+  const double mantissa = std::frexp(value, &exponent);  // value = mantissa · 2^exponent
+  // Scale the mantissa to a 53-bit integer; the pair (scaled, exponent − 53)
+  // represents the double exactly (subnormals included — frexp normalizes).
+  const auto scaled = static_cast<std::int64_t>(std::ldexp(mantissa, 53));
+  exponent -= 53;
+  if (exponent >= 0) {
+    return Rational{BigInt{scaled} * BigInt::pow(BigInt{2}, static_cast<std::uint64_t>(exponent)),
+                    BigInt{1}};
+  }
+  return Rational{BigInt{scaled}, BigInt::pow(BigInt{2}, static_cast<std::uint64_t>(-exponent))};
 }
 
 void Rational::normalize() {

@@ -30,6 +30,11 @@ class Rational {
   Rational(std::int64_t num, std::int64_t den) : Rational(BigInt{num}, BigInt{den}) {}
   /// Parse "a/b" or "a"; throws std::invalid_argument on malformed input.
   static Rational parse(std::string_view text);
+  /// The EXACT value of a double (every finite double is a dyadic rational
+  /// m·2^e). Basis of the compiled-plan error certificates (poly/compiled.hpp):
+  /// rounding errors |c − double(c)| become exact rationals. Throws
+  /// std::invalid_argument on NaN/infinity.
+  static Rational from_double(double value);
 
   [[nodiscard]] const BigInt& num() const noexcept { return num_; }
   [[nodiscard]] const BigInt& den() const noexcept { return den_; }

@@ -1,0 +1,187 @@
+// Compiled-plan property tests (poly/compiled.hpp): the Horner lowering must
+// stay within its own certified per-piece error bound of the EXACT piecewise
+// polynomial — verified in exact rational arithmetic so the check itself adds
+// no rounding slack — and eval_grid must match eval bitwise. Also covers the
+// reference-kernel cross-check on random (n, t, β) grids, breakpoint
+// selection (left piece wins), single-piece and out-of-domain edge cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "core/reference_kernels.hpp"
+#include "core/symmetric_threshold.hpp"
+#include "poly/compiled.hpp"
+#include "poly/piecewise.hpp"
+#include "prob/rng.hpp"
+
+namespace ddm {
+namespace {
+
+using poly::CompiledPiecewise;
+using poly::Piece;
+using poly::PiecewisePolynomial;
+using poly::QPoly;
+using util::Rational;
+
+QPoly make_poly(std::vector<Rational> coeffs_low_first) {
+  return QPoly{std::move(coeffs_low_first)};
+}
+
+// |compiled(x) − exact(clamp(x))| <= error_bound(x), checked exactly: both
+// the observed value and the bound go through Rational::from_double, so the
+// comparison itself cannot round.
+void expect_within_certificate(const CompiledPiecewise& plan, const PiecewisePolynomial& exact,
+                               double x) {
+  const double value = plan.eval(x);
+  const double bound = plan.error_bound(x);
+  Rational arg = Rational::from_double(x);
+  if (arg < exact.domain_lo()) arg = exact.domain_lo();
+  if (arg > exact.domain_hi()) arg = exact.domain_hi();
+  const Rational observed = (Rational::from_double(value) - exact(arg)).abs();
+  EXPECT_LE(observed, Rational::from_double(bound))
+      << "x = " << x << ", value = " << value << ", bound = " << bound;
+}
+
+std::vector<double> sample_grid(const CompiledPiecewise& plan, std::size_t steps,
+                                prob::Rng& rng) {
+  std::vector<double> xs;
+  const double lo = plan.domain_lo();
+  const double hi = plan.domain_hi();
+  for (std::size_t k = 0; k <= steps; ++k) {
+    xs.push_back(lo + (hi - lo) * static_cast<double>(k) / static_cast<double>(steps));
+  }
+  for (std::size_t k = 0; k < steps; ++k) {
+    xs.push_back(lo + (hi - lo) * rng.uniform());
+  }
+  // Breakpoints and their double neighbourhoods exercise the selection rule.
+  for (const poly::CompiledPiece& piece : plan.pieces()) {
+    xs.push_back(piece.lo);
+    xs.push_back(piece.hi);
+    xs.push_back(std::nextafter(piece.lo, hi));
+    xs.push_back(std::nextafter(piece.hi, lo));
+  }
+  return xs;
+}
+
+TEST(CompiledPlan, CertificateContainsObservedErrorOnSymmetricInstances) {
+  prob::Rng rng{2024};
+  // The n = 12, t = 4 case is the CLI acceptance instance
+  // (`ddm_cli sweep 12 4 0 1 10000 --engine=compiled`).
+  const struct {
+    std::uint32_t n;
+    Rational t;
+  } cases[] = {{3, Rational{1}},
+               {4, Rational{4, 3}},
+               {6, Rational{2}},
+               {8, Rational{3}},
+               {12, Rational{4}}};
+  for (const auto& c : cases) {
+    const auto analysis = core::SymmetricThresholdAnalysis::build(c.n, c.t);
+    const PiecewisePolynomial& exact = analysis.winning_probability();
+    const CompiledPiecewise plan = CompiledPiecewise::lower(exact);
+    EXPECT_EQ(plan.piece_count(), exact.pieces().size());
+    EXPECT_GT(plan.max_error_bound(), 0.0);
+    for (const double x : sample_grid(plan, 64, rng)) {
+      expect_within_certificate(plan, exact, x);
+    }
+  }
+}
+
+TEST(CompiledPlan, EvalGridBitwiseMatchesEval) {
+  prob::Rng rng{7};
+  const auto analysis = core::SymmetricThresholdAnalysis::build(5, Rational{5, 3});
+  const CompiledPiecewise plan = CompiledPiecewise::lower(analysis.winning_probability());
+  const std::vector<double> xs = sample_grid(plan, 300, rng);
+  const std::vector<double> grid = plan.eval_grid(xs);
+  ASSERT_EQ(grid.size(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(grid[i], plan.eval(xs[i])) << "i = " << i << ", x = " << xs[i];
+  }
+}
+
+TEST(CompiledPlan, MatchesReferenceKernelOnRandomGrids) {
+  // The reference evaluator carries its own double roundoff, so the
+  // comparison gets the certificate plus a small independent slack.
+  prob::Rng rng{99};
+  for (const std::uint32_t n : {3u, 5u, 7u}) {
+    const double t = 0.25 + 0.4 * static_cast<double>(n) * rng.uniform();
+    const Rational t_exact = Rational::from_double(t);
+    const auto analysis = core::SymmetricThresholdAnalysis::build(n, t_exact);
+    const CompiledPiecewise plan = CompiledPiecewise::lower(analysis.winning_probability());
+    for (int k = 0; k < 25; ++k) {
+      const double beta = rng.uniform();
+      const std::vector<double> point(n, beta);
+      const double reference = reference::threshold_winning_probability(point, t);
+      EXPECT_NEAR(plan.eval(beta), reference, plan.error_bound(beta) + 1e-9)
+          << "n = " << n << ", beta = " << beta;
+    }
+  }
+}
+
+TEST(CompiledPlan, LeftPieceWinsAtSharedBreakpoint) {
+  // Discontinuous two-piece plan with exactly representable breakpoints: the
+  // lowering is exact (constant coefficients, dyadic breaks), so the bound is
+  // 0 and selection is observable directly.
+  const PiecewisePolynomial source{std::vector<Piece>{
+      {Rational{0}, Rational{1, 2}, make_poly({Rational{1}})},
+      {Rational{1, 2}, Rational{1}, make_poly({Rational{2}})},
+  }};
+  const CompiledPiecewise plan = CompiledPiecewise::lower(source);
+  EXPECT_EQ(plan.max_error_bound(), 0.0);
+  EXPECT_EQ(plan.eval(0.0), 1.0);
+  EXPECT_EQ(plan.eval(0.5), 1.0);  // left piece wins
+  EXPECT_EQ(plan.eval(std::nextafter(0.5, 1.0)), 2.0);
+  EXPECT_EQ(plan.eval(1.0), 2.0);
+  EXPECT_EQ(plan.error_bound(0.25), 0.0);
+}
+
+TEST(CompiledPlan, SinglePieceAndDomainEdges) {
+  // One piece, p(x) = x² − x/2 on [0, 1]: dyadic everywhere, so eval is
+  // Horner on exact coefficients.
+  const PiecewisePolynomial source{std::vector<Piece>{
+      {Rational{0}, Rational{1}, make_poly({Rational{0}, Rational{-1, 2}, Rational{1}})},
+  }};
+  const CompiledPiecewise plan = CompiledPiecewise::lower(source);
+  EXPECT_EQ(plan.piece_count(), 1u);
+  EXPECT_EQ(plan.domain_lo(), 0.0);
+  EXPECT_EQ(plan.domain_hi(), 1.0);
+  EXPECT_EQ(plan.eval(0.0), 0.0);
+  EXPECT_EQ(plan.eval(1.0), 0.5);
+  EXPECT_EQ(plan.eval(0.25), 0.25 * 0.25 - 0.5 * 0.25);
+  EXPECT_THROW((void)plan.eval(-0.001), std::out_of_range);
+  EXPECT_THROW((void)plan.eval(1.001), std::out_of_range);
+  EXPECT_THROW((void)plan.error_bound(2.0), std::out_of_range);
+}
+
+TEST(CompiledPlan, EvalGridValidatesSpanSizes) {
+  const PiecewisePolynomial source{std::vector<Piece>{
+      {Rational{0}, Rational{1}, make_poly({Rational{1, 3}, Rational{1}})},
+  }};
+  const CompiledPiecewise plan = CompiledPiecewise::lower(source);
+  const std::vector<double> xs{0.1, 0.2};
+  std::vector<double> out(3, 0.0);
+  EXPECT_THROW(plan.eval_grid(xs, out), std::invalid_argument);
+  EXPECT_TRUE(plan.eval_grid(std::span<const double>{}).empty());
+}
+
+TEST(CompiledPlan, NonDyadicCoefficientsCarryPositiveBound) {
+  // 1/3 is not a double, so the coefficient-rounding term must be non-zero —
+  // and still contain the observed defect at every sampled point.
+  const PiecewisePolynomial source{std::vector<Piece>{
+      {Rational{0}, Rational{1}, make_poly({Rational{1, 3}, Rational{-2, 7}, Rational{5, 11}})},
+  }};
+  const CompiledPiecewise plan = CompiledPiecewise::lower(source);
+  EXPECT_GT(plan.max_error_bound(), 0.0);
+  EXPECT_LT(plan.max_error_bound(), 1e-14);
+  prob::Rng rng{11};
+  for (int k = 0; k < 50; ++k) {
+    expect_within_certificate(plan, source, rng.uniform());
+  }
+}
+
+}  // namespace
+}  // namespace ddm

@@ -176,14 +176,18 @@ TEST_F(FaultTest, NonTransientExceptionsAreNotRetried) {
 
 TEST_F(FaultTest, BatchEvaluatorRecoversFromInjectedFaults) {
   // End-to-end through the production wiring in
-  // core::threshold_winning_probability_batch (grain 1: chunk ordinal == row).
+  // core::threshold_winning_probability_batch: chunks carry
+  // core::kThresholdBatchBlock points, so the chunk ordinal a directive
+  // addresses is first_point_index / kThresholdBatchBlock. 40 points span
+  // chunk ordinals 0, 1, and 2.
   std::vector<std::vector<double>> points;
-  for (int k = 0; k < 10; ++k) {
-    points.push_back(std::vector<double>(3, 0.05 + 0.09 * static_cast<double>(k)));
+  for (int k = 0; k < 40; ++k) {
+    points.push_back(std::vector<double>(3, 0.02 + 0.023 * static_cast<double>(k)));
   }
+  ASSERT_GT(points.size(), 2 * core::kThresholdBatchBlock);
   const std::vector<double> baseline = core::threshold_winning_probability_batch(points, 1.0);
   const auto before = fault::counters();
-  fault::set_plan(fault::Plan::parse("nan@4x2,throw@1"));
+  fault::set_plan(fault::Plan::parse("nan@1x2,throw@2"));
   const std::vector<double> faulted = core::threshold_winning_probability_batch(points, 1.0);
   EXPECT_EQ(faulted, baseline);
   const auto after = fault::counters();

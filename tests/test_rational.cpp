@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <random>
 #include <sstream>
 
@@ -169,6 +171,35 @@ TEST(Rational, StreamOutput) {
 TEST(Rational, RatHelper) {
   EXPECT_EQ(rat(3, 4), Rational(3, 4));
   EXPECT_EQ(rat(5), Rational{5});
+}
+
+TEST(Rational, FromDoubleIsExact) {
+  EXPECT_EQ(Rational::from_double(0.0), Rational{});
+  EXPECT_EQ(Rational::from_double(1.0), Rational{1});
+  EXPECT_EQ(Rational::from_double(0.5), Rational(1, 2));
+  EXPECT_EQ(Rational::from_double(-0.75), Rational(-3, 4));
+  // 0.1 is NOT 1/10: the conversion must produce the dyadic the double
+  // actually holds.
+  EXPECT_EQ(Rational::from_double(0.1),
+            Rational(BigInt{std::int64_t{3602879701896397}},
+                     BigInt::pow(BigInt{2}, 55)));
+  EXPECT_NE(Rational::from_double(0.1), Rational(1, 10));
+  // Round-trip: every finite double is a dyadic rational, so converting back
+  // must be lossless.
+  std::mt19937_64 rng{31337};
+  std::uniform_real_distribution<double> dist(-1e6, 1e6);
+  for (int k = 0; k < 200; ++k) {
+    const double x = dist(rng);
+    EXPECT_EQ(Rational::from_double(x).to_double(), x);
+  }
+  // Subnormal: the conversion itself stays exact (to_double underflows for
+  // magnitudes this small, so compare the rational, not a round-trip).
+  EXPECT_EQ(Rational::from_double(std::ldexp(1.0, -1060)),
+            Rational(BigInt{1}, BigInt::pow(BigInt{2}, 1060)));
+  EXPECT_THROW((void)Rational::from_double(std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW((void)Rational::from_double(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
 }
 
 }  // namespace

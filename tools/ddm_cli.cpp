@@ -19,6 +19,12 @@
 //   --checkpoint <file>  (sweep) write an append-only JSONL checkpoint per
 //                        completed block
 //   --resume <file>      (sweep) skip rows already in <file>, append new ones
+//   --engine=<e>         (sweep) evaluation engine: `compiled` lowers the
+//                        exact Theorem 5.1 piecewise polynomial to a certified
+//                        double Horner plan (poly/compiled.hpp), `kernel`
+//                        forces the O(3^n) batch kernel, `auto` (default)
+//                        picks the compiled plan when its certified error
+//                        bound is within 1e-9 — docs/performance.md
 //   --trace=<file>       (any) record tracing spans, export Chrome trace JSON
 //                        to <file> at exit (load in chrome://tracing/Perfetto)
 //   --metrics[=json|prom] (any) dump the metrics registry to stderr at exit
@@ -58,6 +64,7 @@ usage:
   ddm_cli ladder    <n> <t> [trials=500000]
   ddm_cli sweep     <n> <t> <beta_lo> <beta_hi> <steps> [--certify[=tol]]
                     [--checkpoint <file>] [--resume <file>]
+                    [--engine=compiled|kernel|auto]
 
 any subcommand also accepts:
   --trace=<file>         export a Chrome trace of the run to <file>
@@ -69,6 +76,7 @@ rationals may be written a/b (e.g. 4/3). Examples:
   ddm_cli simulate 3 1 0.622 1000000
   ddm_cli threshold 24 8 0.37 --certify=1/1000000000000
   ddm_cli sweep 4 4/3 0 1 100    # JSON grid of P(beta), all cores
+  ddm_cli sweep 12 4 0 1 10000 --engine=compiled   # certified Horner plan
   ddm_cli sweep 4 4/3 0 1 100 --checkpoint sweep.ckpt   # crash-safe
   ddm_cli sweep 4 4/3 0 1 100 --resume sweep.ckpt       # finish a killed run
   ddm_cli sweep 24 8 0.3 0.45 8 --certify --trace=sweep.json --metrics
@@ -311,9 +319,38 @@ int cmd_sweep_certified(std::uint32_t n, const Rational& t, const Rational& lo,
   return all_met ? 0 : 3;
 }
 
+// Tolerance the auto engine holds the compiled plan's certificate to, and
+// the n cap past which auto does not even attempt the symbolic lowering (the
+// exact piecewise build grows combinatorially and its certified bound blows
+// past the tolerance anyway; --engine=compiled still forces the attempt).
+constexpr double kCompiledAutoTolerance = 1e-9;
+constexpr std::uint32_t kCompiledAutoMaxN = 16;
+
+// Lowers the symmetric Theorem 5.1 polynomial for the requested engine, or
+// returns nullopt when the sweep should use the batch kernel. `auto` demands
+// the certified bound meet kCompiledAutoTolerance and falls back silently;
+// `compiled` is unconditional and lets lowering errors surface.
+std::optional<ddm::poly::CompiledPiecewise> select_compiled_plan(std::uint32_t n,
+                                                                const Rational& t,
+                                                                const std::string& engine) {
+  if (engine == "kernel") return std::nullopt;
+  if (engine == "auto" && n > kCompiledAutoMaxN) return std::nullopt;
+  try {
+    const auto analysis = ddm::core::SymmetricThresholdAnalysis::build(n, t);
+    auto plan = ddm::poly::CompiledPiecewise::lower(analysis.winning_probability());
+    if (engine == "compiled" || plan.max_error_bound() <= kCompiledAutoTolerance) {
+      return plan;
+    }
+    return std::nullopt;
+  } catch (const std::exception&) {
+    if (engine == "compiled") throw;
+    return std::nullopt;  // auto: the kernel handles what the lowering cannot
+  }
+}
+
 int cmd_sweep(std::uint32_t n, const Rational& t, const Rational& lo, const Rational& hi,
               std::uint32_t steps, const std::string& checkpoint_path, bool resume,
-              const CertifyRequest& certify) {
+              const CertifyRequest& certify, const std::string& engine) {
   if (n == 0) throw BadArgument("invalid n '0' (sweep needs n >= 1)");
   if (steps == 0) throw BadArgument("invalid steps '0' (sweep needs steps >= 1)");
   DDM_SPAN("cli.sweep", {{"n", static_cast<std::int64_t>(n)},
@@ -324,22 +361,24 @@ int cmd_sweep(std::uint32_t n, const Rational& t, const Rational& lo, const Rati
     }
     return cmd_sweep_certified(n, t, lo, hi, steps, certify);
   }
+  const std::optional<ddm::poly::CompiledPiecewise> plan = select_compiled_plan(n, t, engine);
   const double t_d = t.to_double();
   const double lo_d = lo.to_double();
   const double hi_d = hi.to_double();
   std::vector<double> betas(steps + 1);
-  std::vector<std::vector<double>> points(steps + 1);
+  std::vector<std::vector<double>> points(plan ? 0 : steps + 1);
   for (std::uint32_t k = 0; k <= steps; ++k) {
     const double beta =
         std::clamp(lo_d + (hi_d - lo_d) * static_cast<double>(k) / static_cast<double>(steps),
                    0.0, 1.0);
     betas[k] = beta;
-    points[k].assign(n, beta);
+    if (!plan) points[k].assign(n, beta);
   }
 
   std::vector<double> values(steps + 1, 0.0);
   if (checkpoint_path.empty()) {
-    values = ddm::core::threshold_winning_probability_batch(points, t_d);
+    values = plan ? plan->eval_grid(betas)
+                  : ddm::core::threshold_winning_probability_batch(points, t_d);
   } else {
     // Crash-safe path: rows already in the checkpoint are reused verbatim;
     // missing rows are evaluated in blocks, each appended (and flushed)
@@ -359,11 +398,18 @@ int cmd_sweep(std::uint32_t n, const Rational& t, const Rational& lo, const Rati
     constexpr std::size_t kBlock = 8;
     for (std::size_t start = 0; start < missing.size(); start += kBlock) {
       const std::size_t stop = std::min(start + kBlock, missing.size());
-      std::vector<std::vector<double>> block_points;
-      block_points.reserve(stop - start);
-      for (std::size_t i = start; i < stop; ++i) block_points.push_back(points[missing[i]]);
-      const std::vector<double> block_values =
-          ddm::core::threshold_winning_probability_batch(block_points, t_d);
+      std::vector<double> block_values;
+      if (plan) {
+        std::vector<double> block_betas;
+        block_betas.reserve(stop - start);
+        for (std::size_t i = start; i < stop; ++i) block_betas.push_back(betas[missing[i]]);
+        block_values = plan->eval_grid(block_betas);
+      } else {
+        std::vector<std::vector<double>> block_points;
+        block_points.reserve(stop - start);
+        for (std::size_t i = start; i < stop; ++i) block_points.push_back(points[missing[i]]);
+        block_values = ddm::core::threshold_winning_probability_batch(block_points, t_d);
+      }
       for (std::size_t i = start; i < stop; ++i) {
         const std::uint32_t k = missing[i];
         values[k] = block_values[i - start];
@@ -414,6 +460,7 @@ struct Options {
   std::string trace_path;
   bool metrics = false;
   enum class MetricsFormat { kText, kJson, kProm } metrics_format = MetricsFormat::kText;
+  std::string engine = "auto";
 };
 
 /// Turns collection on before dispatch. Tracing and metrics are both global
@@ -466,6 +513,12 @@ int dispatch(const std::vector<std::string>& args, const Options& options) {
   if (!options.checkpoint_path.empty() && command != "sweep") {
     throw BadArgument("--checkpoint/--resume are only supported by 'sweep'");
   }
+  if (options.engine != "auto") {
+    if (command != "sweep") throw BadArgument("--engine is only supported by 'sweep'");
+    if (options.certify.enabled) {
+      throw BadArgument("--engine cannot be combined with --certify (the ladder picks its own tiers)");
+    }
+  }
 
   if (command == "oblivious" && n_args == 3) {
     return cmd_oblivious(parse_u32("n", args[1]), parse_rational("t", args[2]));
@@ -508,7 +561,7 @@ int dispatch(const std::vector<std::string>& args, const Options& options) {
     return cmd_sweep(parse_u32("n", args[1]), parse_rational("t", args[2]),
                      parse_rational("beta_lo", args[3]), parse_rational("beta_hi", args[4]),
                      parse_u32("steps", args[5]), options.checkpoint_path, options.resume,
-                     options.certify);
+                     options.certify, options.engine);
   }
   if (command == "ladder" && (n_args == 3 || n_args == 4)) {
     return cmd_ladder(parse_u32("n", args[1]), parse_rational("t", args[2]),
@@ -546,6 +599,15 @@ int main(int argc, char** argv) {
         }
       } else if (arg == "--trace") {
         throw BadArgument("--trace requires a file (use --trace=<file>)");
+      } else if (arg.rfind("--engine=", 0) == 0) {
+        options.engine = arg.substr(9);
+        if (options.engine != "compiled" && options.engine != "kernel" &&
+            options.engine != "auto") {
+          throw BadArgument("invalid --engine '" + options.engine +
+                            "' (expected compiled, kernel, or auto)");
+        }
+      } else if (arg == "--engine") {
+        throw BadArgument("--engine requires a value (use --engine=compiled|kernel|auto)");
       } else if (arg == "--metrics") {
         options.metrics = true;
       } else if (arg.rfind("--metrics=", 0) == 0) {
