@@ -30,7 +30,19 @@ int main() {
             << "  (root of " << optimum.optimality_condition.to_string("b") << ")\n"
             << "  P(no overflow) = " << optimum.value.to_double() << "\n\n";
 
-  // 3. Cross-check the exact optimum by simulation.
+  // 3. Evaluate P at the optimum through the unified engine layer: the auto
+  //    policy picks the best backend (here the compiled Horner plan, whose
+  //    lowering is cached process-wide) and says what it chose.
+  auto request = ddm::engine::EvalRequest::symmetric(
+      n, t, {optimum.beta.midpoint().to_double()});
+  const auto selection = ddm::engine::select(ddm::engine::EnginePolicy{}, request);
+  const auto outcome = selection.evaluator->evaluate(request);
+  std::cout << "Engine-layer evaluation at beta*:\n"
+            << "  P(no overflow) = " << outcome.values.front() << "  [engine: "
+            << selection.id() << ", certificate bound " << outcome.certificate_bound
+            << "]\n\n";
+
+  // 4. Cross-check the exact optimum by simulation.
   const auto protocol =
       ddm::core::SingleThresholdProtocol::symmetric(n, optimum.beta.midpoint());
   ddm::prob::Rng rng{42};
@@ -42,7 +54,7 @@ int main() {
             << "  exact in CI: " << (sim.covers(optimum.value.to_double()) ? "yes" : "no")
             << "\n\n";
 
-  // 4. The knowledge premium.
+  // 5. The knowledge premium.
   std::cout << "Knowing your own input is worth "
             << optimum.value.to_double() - p_oblivious.to_double()
             << " of winning probability at n = " << n << ".\n";

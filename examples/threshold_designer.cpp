@@ -75,10 +75,18 @@ int main(int argc, char** argv) {
   }
   digits_text.insert(digits_text.size() - static_cast<std::size_t>(digits), ".");
 
+  // Evaluate P(beta*) through the engine registry's exact backend — the same
+  // value as analysis.winning_probability()(mid), but via the seam every
+  // other caller (CLI, optimizer) uses.
+  auto request = ddm::engine::EvalRequest::symmetric(n, t, {mid.to_double()});
+  request.exact_betas = {mid};
+  const auto outcome =
+      ddm::engine::Registry::instance().require("exact").evaluate(request);
+
   std::cout << "\nOptimal threshold:\n  beta* = " << digits_text << "\n"
             << "  (certified within 10^-" << digits << " by Sturm bisection)\n"
             << "\nWinning probability at the optimum:\n  P(beta*) = "
-            << ddm::util::fmt(analysis.winning_probability()(mid).to_double(), 15) << "\n";
+            << ddm::util::fmt(outcome.values.front(), 15) << "\n";
 
   std::cout << "\nFor comparison, the optimal oblivious (input-blind) protocol achieves "
             << ddm::util::fmt(

@@ -100,18 +100,57 @@ one="$(DDM_THREADS=1 "$CLI" sweep 12 4 0.2 0.8 16 --engine=compiled)"
 four="$(DDM_THREADS=4 "$CLI" sweep 12 4 0.2 0.8 16 --engine=compiled)"
 [ "$one" = "$four" ] || fail "compiled sweep output differs between DDM_THREADS=1 and 4"
 
-# The compiled run's trace must show the pipeline actually engaged: one
-# lowering span plus the grid-evaluation span.
+# The compiled run's trace must show the pipeline actually engaged: the
+# engine layer's selection and cache spans, one lowering span, and the
+# grid-evaluation span.
 python3 - "$TMP/compiled4.json" <<'PY' || fail "compiled trace span validation failed"
 import json, sys
 
 with open(sys.argv[1]) as f:
     names = {e["name"] for e in json.load(f)["traceEvents"]}
-for required in ("cli.sweep", "compiled.lower", "compiled.eval_grid"):
+for required in ("cli.sweep", "engine.select", "engine.cache",
+                 "compiled.lower", "compiled.eval_grid"):
     assert required in names, f"missing span {required!r} (have {sorted(names)})"
 assert not any(n.startswith("kernel.") for n in names), \
     f"compiled sweep fell back to the kernel (have {sorted(names)})"
 print(f"compiled trace ok: {len(names)} span names")
 PY
+
+# --- 4. the engine layer's spans and plan-cache metrics -------------------
+# An auto sweep resolves through engine.select and touches the plan cache
+# twice in-process (the selection's certificate probe lowers the plan — one
+# miss — and the compiled evaluation refetches it — one hit). The exported
+# trace must carry both spans with their chosen/hit args, and the metrics
+# registry must agree.
+auto_trace="$TMP/auto_engine.json"
+DDM_THREADS=4 "$CLI" sweep 6 2 0 1 16 --trace="$auto_trace" --metrics \
+  > /dev/null 2> "$TMP/auto_engine.metrics" || fail "traced auto sweep failed"
+python3 - "$auto_trace" <<'PY' || fail "engine span validation failed"
+import json, sys
+
+with open(sys.argv[1]) as f:
+    events = json.load(f)["traceEvents"]
+selects = [e for e in events if e["name"] == "engine.select"]
+caches = [e for e in events if e["name"] == "engine.cache"]
+assert selects, "no engine.select span"
+assert caches, "no engine.cache span"
+assert any(e.get("args", {}).get("chosen") == "compiled" for e in selects), \
+    f"engine.select args lack chosen=compiled: {[e.get('args') for e in selects]}"
+hits = [e.get("args", {}).get("hit") for e in caches]
+assert 0 in hits and 1 in hits, f"expected one cache miss and one hit, got hit args {hits}"
+print(f"engine spans ok: {len(selects)} select, {len(caches)} cache")
+PY
+grep -q "engine.selects 1" "$TMP/auto_engine.metrics" || fail "engine.selects counter missing"
+grep -q "engine.cache.misses 1" "$TMP/auto_engine.metrics" || fail "engine.cache.misses != 1"
+grep -q "engine.cache.hits 1" "$TMP/auto_engine.metrics" || fail "engine.cache.hits != 1"
+
+# A checkpointed compiled sweep evaluates in blocks of 8: the second and
+# third identical requests must hit the cached plan instead of re-lowering.
+DDM_THREADS=1 "$CLI" sweep 6 2 0 1 16 --engine=compiled \
+  --checkpoint "$TMP/cache.ckpt" --metrics > /dev/null 2> "$TMP/cache.metrics" \
+  || fail "checkpointed compiled sweep failed"
+grep -q "engine.cache.misses 1" "$TMP/cache.metrics" || fail "blocked sweep re-lowered the plan"
+grep -q "engine.cache.hits 2" "$TMP/cache.metrics" \
+  || fail "blocked sweep did not hit the plan cache: $(grep engine "$TMP/cache.metrics")"
 
 echo "trace checks passed"

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# test_cli_golden.sh — byte-identity pins for the forced-engine CLI surface,
+# registered as the ctest `cli_engine_golden` test (tools/CMakeLists.txt).
+#
+# Each file under tests/golden_cli/ is the pre-engine-layer output of one
+# ddm_cli invocation with a pinned evaluation path (--engine=kernel,
+# --engine=compiled, or --certify) or a default scalar subcommand. The
+# engine-layer refactor is allowed to change how those paths are reached,
+# never what they print: every capture must match byte for byte.
+#
+# Usage: test_cli_golden.sh /path/to/ddm_cli /path/to/tests/golden_cli
+set -euo pipefail
+
+CLI="$1"
+GOLDEN_DIR="$2"
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+# golden file -> exact capture command (argv after the binary).
+check() {
+  local name="$1"
+  shift
+  local golden="$GOLDEN_DIR/$name"
+  [ -f "$golden" ] || fail "missing golden file $golden"
+  local actual
+  actual="$("$CLI" "$@")" || fail "'$CLI $*' failed"
+  if [ "$actual" != "$(cat "$golden")" ]; then
+    diff <(printf '%s\n' "$actual") "$golden" >&2 || true
+    fail "'$CLI $*' output differs from $name"
+  fi
+}
+
+check sweep_n3_kernel.txt      sweep 3 1 0 1 12 --engine=kernel
+check sweep_n3_compiled.txt    sweep 3 1 0 1 12 --engine=compiled
+check sweep_n6_compiled.txt    sweep 6 2 0 1 24 --engine=compiled
+check sweep_n12_kernel.txt     sweep 12 4 0 1 8 --engine=kernel
+check sweep_n12_compiled.txt   sweep 12 4 0 1 8 --engine=compiled
+check sweep_n4_certify.txt     sweep 4 4/3 0 1 16 --certify
+check threshold_n3.txt         threshold 3 1 0.622
+check threshold_n24_certify.txt threshold 24 8 3/8 --certify
+check volume_m2.txt            volume 2 1 1 3/4 3/4
+check analyze_n3.txt           analyze 3 1
+check analyze_n4.txt           analyze 4 4/3
+check oblivious_n3.txt         oblivious 3 1
+
+echo "cli golden checks passed"

@@ -52,12 +52,19 @@ expect_reject "volume argument count" "$CLI" volume 2 1/2
 # columns the checkpoint format does not persist).
 expect_reject "--certify" "$CLI" sweep 3 1 0 1 4 --certify --checkpoint "$TMP/c.ckpt"
 
-# Engine selection: the value set is closed, the flag is sweep-only, and it
-# cannot combine with --certify (the ladder picks its own evaluation tiers).
+# Engine selection: the value set is closed (registry ids + auto), the flag
+# is accepted by the evaluating subcommands only, and it cannot combine with
+# --certify (the ladder picks its own evaluation tiers).
 expect_reject "invalid --engine 'bogus'" "$CLI" sweep 3 1 0 1 4 --engine=bogus
+expect_reject "invalid --engine 'bogus'" "$CLI" analyze 3 1 --engine=bogus
 expect_reject "--engine requires a value" "$CLI" sweep 3 1 0 1 4 --engine
-expect_reject "--engine is only supported by 'sweep'" "$CLI" threshold 3 1 0.5 --engine=kernel
+expect_reject "--engine is only supported by" "$CLI" oblivious 3 1 --engine=kernel
+expect_reject "--engine is only supported by" "$CLI" ladder 3 1 --engine=kernel
 expect_reject "--engine cannot be combined with --certify" "$CLI" sweep 3 1 0 1 4 --certify --engine=compiled
+expect_reject "--engine=certified cannot be combined" "$CLI" sweep 3 1 0 1 4 --engine=certified --checkpoint "$TMP/ce.ckpt"
+# A forced engine that cannot serve the request is a named error, not a
+# silent substitution: the double kernels cap n at 20.
+expect_reject "does not support" "$CLI" threshold 24 8 3/8 --engine=kernel
 
 # Malformed observability options are named, and a bogus DDM_THREADS must be
 # rejected up front instead of being silently clamped to one lane.
@@ -107,12 +114,80 @@ expect_reject "different sweep" "$CLI" sweep 4 1 0 1 12 --resume "$ck"
 
 # --- engine selection ----------------------------------------------------
 # Auto must pick the compiled plan on a small symmetric sweep (the certified
-# bound is far below the auto tolerance), so its output is byte-identical to
-# forcing --engine=compiled; forcing the kernel must also succeed.
+# bound is far below the auto tolerance): every row reports the chosen
+# engine, and stripping that field leaves output byte-identical to forcing
+# --engine=compiled; forcing the kernel must also succeed.
 auto_out="$("$CLI" sweep 6 2 0 1 24)"
+case "$auto_out" in
+  *'"engine": "compiled"'*) ;;
+  *) fail "auto sweep rows do not report the compiled engine: $auto_out" ;;
+esac
+auto_stripped="$(printf '%s\n' "$auto_out" | sed 's/, "engine": "compiled"//')"
 compiled_out="$("$CLI" sweep 6 2 0 1 24 --engine=compiled)"
-[ "$auto_out" = "$compiled_out" ] || fail "auto engine did not select the compiled plan at n=6"
+[ "$auto_stripped" = "$compiled_out" ] || fail "auto engine output (engine field stripped) differs from --engine=compiled at n=6"
 "$CLI" sweep 6 2 0 1 24 --engine=kernel >/dev/null || fail "--engine=kernel sweep failed"
+
+# Every registered engine serves the same small sweep.
+for eng in batch certified compiled exact kernel mc; do
+  "$CLI" sweep 3 1 0 1 4 --engine="$eng" >/dev/null || fail "--engine=$eng sweep failed"
+done
+
+# Auto past the lowering cap (n > 16) must use the batch kernel and say so
+# in the rows; no fallback note (the cap is policy, not a failed promise).
+big_auto="$("$CLI" sweep 18 6 0.3 0.4 2 2>"$TMP/big_auto.err")"
+case "$big_auto" in
+  *'"engine": "batch"'*) ;;
+  *) fail "auto sweep at n=18 did not report the batch engine: $big_auto" ;;
+esac
+[ ! -s "$TMP/big_auto.err" ] || fail "auto sweep at n=18 emitted an unexpected note: $(cat "$TMP/big_auto.err")"
+
+# Satellite regression: when auto *declines* the compiled plan the fallback
+# must be visible — a stderr note plus the winning engine in every row.
+# A deterministic lowering failure is injected through the plan-cache fault
+# hook (throw@0 strikes the lowering, is spent there, and the sweep then
+# completes on the batch kernel).
+fallback_out="$(DDM_FAULT_PLAN=throw@0 "$CLI" sweep 6 2 0 1 4 2>"$TMP/fallback.err")"
+case "$fallback_out" in
+  *'"engine": "batch"'*) ;;
+  *) fail "auto fallback sweep rows do not report the batch engine: $fallback_out" ;;
+esac
+grep -q "note: --engine=auto:" "$TMP/fallback.err" || fail "auto fallback did not leave a stderr note: $(cat "$TMP/fallback.err")"
+grep -q "compiled lowering failed" "$TMP/fallback.err" || fail "fallback note does not name the cause: $(cat "$TMP/fallback.err")"
+# Values must match the kernel path exactly (the fallback changes the
+# reporting, never the numbers).
+fallback_stripped="$(printf '%s\n' "$fallback_out" | sed 's/, "engine": "batch"//')"
+kernel_out="$("$CLI" sweep 6 2 0 1 4 --engine=kernel)"
+[ "$fallback_stripped" = "$kernel_out" ] || fail "fallback sweep values differ from --engine=kernel"
+# Forcing --engine=compiled under the same fault must surface the error
+# (exit 2), not fall back.
+expect_reject "injected" env DDM_FAULT_PLAN=throw@0 "$CLI" sweep 6 2 0 1 4 --engine=compiled
+
+# The certificate-miss branch of the same regression: at n=16, t=6 the
+# lowering succeeds but its certified bound (~7e-2) blows the 1e-9 auto
+# tolerance — the pre-engine CLI fell back to the kernel *silently* here.
+miss_out="$("$CLI" sweep 16 6 0.3 0.45 2 2>"$TMP/miss.err")"
+case "$miss_out" in
+  *'"engine": "batch"'*) ;;
+  *) fail "certificate-miss sweep rows do not report the batch engine: $miss_out" ;;
+esac
+grep -q "compiled plan certificate .* exceeds tolerance" "$TMP/miss.err" \
+  || fail "certificate-miss fallback left no stderr note: $(cat "$TMP/miss.err")"
+
+# --- per-subcommand help -------------------------------------------------
+for cmd in oblivious threshold analyze simulate volume ladder sweep; do
+  "$CLI" help "$cmd" | grep -q "usage: ddm_cli $cmd" || fail "'help $cmd' missing synopsis"
+  "$CLI" "$cmd" --help | grep -q "usage: ddm_cli $cmd" || fail "'$cmd --help' missing synopsis"
+done
+"$CLI" help sweep | grep -q -- "--engine" || fail "'help sweep' does not document --engine"
+expect_reject "unknown command 'bogus'" "$CLI" help bogus
+
+# --engine on the scalar subcommands: the answering engine is named.
+"$CLI" threshold 3 1 0.622 --engine=exact | grep -q "\[engine: exact, deterministic\]" \
+  || fail "threshold --engine=exact does not name the engine"
+"$CLI" analyze 3 1 --engine=batch | grep -q "Engine cross-check \[batch\]" \
+  || fail "analyze --engine=batch does not print the cross-check"
+"$CLI" simulate 3 1 0.622 20000 7 --engine=compiled | grep -q "\[engine: compiled\]" \
+  || fail "simulate --engine=compiled does not name the engine"
 
 # The checkpoint/resume round-trip holds on the compiled path too.
 ckc="$TMP/sweep_compiled.ckpt"

@@ -30,7 +30,19 @@ struct OptimizerMetrics {
 ThresholdSearchResult maximize_thresholds(std::vector<double> start, double t,
                                           double initial_step, double tolerance,
                                           std::uint32_t max_evaluations) {
+  return maximize_thresholds(
+      std::move(start), t,
+      [](const std::vector<std::vector<double>>& points, double capacity) {
+        return threshold_winning_probability_batch(points, capacity);
+      },
+      initial_step, tolerance, max_evaluations);
+}
+
+ThresholdSearchResult maximize_thresholds(std::vector<double> start, double t,
+                                          const BatchObjective& objective, double initial_step,
+                                          double tolerance, std::uint32_t max_evaluations) {
   if (start.empty()) throw std::invalid_argument("maximize_thresholds: empty start");
+  if (!objective) throw std::invalid_argument("maximize_thresholds: null objective");
   if (start.size() > 16) throw std::invalid_argument("maximize_thresholds: n too large");
   if (tolerance <= 0.0 || initial_step <= 0.0) {
     throw std::invalid_argument("maximize_thresholds: step/tolerance must be > 0");
@@ -41,7 +53,10 @@ ThresholdSearchResult maximize_thresholds(std::vector<double> start, double t,
 
   ThresholdSearchResult result;
   result.thresholds = std::move(start);
-  result.value = threshold_winning_probability(result.thresholds, t);
+  // The batch objective on a singleton is bitwise equal to the single-point
+  // kernel call this used to make (the batch kernel's pinned contract), so
+  // routing the incumbent through the seam changes no result.
+  result.value = objective({result.thresholds}, t).at(0);
   result.evaluations = 1;
   double step = initial_step;
 
@@ -83,7 +98,10 @@ ThresholdSearchResult maximize_thresholds(std::vector<double> start, double t,
       probe_points[p] = result.thresholds;
       probe_points[p][probes[p].axis] = probes[p].candidate;
     }
-    const std::vector<double> probe_values = threshold_winning_probability_batch(probe_points, t);
+    const std::vector<double> probe_values = objective(probe_points, t);
+    if (probe_values.size() != probes.size()) {
+      throw std::invalid_argument("maximize_thresholds: objective returned wrong batch size");
+    }
     for (std::size_t p = 0; p < probes.size(); ++p) probes[p].value = probe_values[p];
     result.evaluations += static_cast<std::uint32_t>(probes.size());
     metrics.probes.add(probes.size());

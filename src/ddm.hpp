@@ -20,6 +20,11 @@
 #include "core/randomized_rules.hpp"     // IWYU pragma: export
 #include "core/symmetric_threshold.hpp"  // IWYU pragma: export
 #include "core/threshold_optimizer.hpp"  // IWYU pragma: export
+#include "engine/engines.hpp"        // IWYU pragma: export
+#include "engine/evaluator.hpp"      // IWYU pragma: export
+#include "engine/plan_cache.hpp"     // IWYU pragma: export
+#include "engine/policy.hpp"         // IWYU pragma: export
+#include "engine/registry.hpp"       // IWYU pragma: export
 #include "geom/mc_volume.hpp"        // IWYU pragma: export
 #include "geom/polytope.hpp"         // IWYU pragma: export
 #include "geom/volume.hpp"           // IWYU pragma: export

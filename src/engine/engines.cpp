@@ -1,0 +1,269 @@
+// engines.cpp — the built-in Evaluator adapters.
+//
+// Each adapter wraps one pre-existing backend behind the engine seam without
+// changing a single floating-point operation: the forced-engine CLI outputs
+// are pinned byte-identical to the pre-engine ddm_cli by tests/golden_cli/.
+// The adapters are stateless; compiled plans live in the shared PlanCache.
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/certified.hpp"
+#include "core/nonoblivious.hpp"
+#include "core/protocol.hpp"
+#include "engine/engines.hpp"
+#include "engine/evaluator.hpp"
+#include "engine/plan_cache.hpp"
+#include "prob/rng.hpp"
+#include "sim/monte_carlo.hpp"
+#include "util/parallel.hpp"
+#include "util/status.hpp"
+
+namespace ddm::engine {
+
+namespace {
+
+/// The O(3^n) double kernels cap n at 20 (core/nonoblivious.cpp).
+constexpr std::uint32_t kKernelMaxN = 20;
+
+[[nodiscard]] std::uint32_t request_n(const EvalRequest& request) {
+  if (request.is_symmetric()) return request.n;
+  std::uint32_t n = 0;
+  for (const std::vector<double>& point : request.points) {
+    n = std::max(n, static_cast<std::uint32_t>(point.size()));
+  }
+  return n;
+}
+
+/// The exact rational image of grid point k: the caller's exact grid when
+/// provided, else the (exactly representable) double itself.
+[[nodiscard]] util::Rational exact_point(const EvalRequest& request, std::size_t k) {
+  if (k < request.exact_betas.size()) return request.exact_betas[k];
+  return util::exact_rational(request.betas[k]);
+}
+
+/// exact — exact Rational Theorem 5.1 on the symmetric grid. O(n²) terms per
+/// point, so it scales to any n; the answer is the ground truth the parity
+/// suite measures every other engine against.
+class ExactEvaluator final : public Evaluator {
+ public:
+  std::string_view id() const noexcept override { return "exact"; }
+  Determinism determinism() const noexcept override { return Determinism::kDeterministic; }
+  std::string_view describe() const noexcept override {
+    return "exact rational Theorem 5.1 (symmetric, O(n^2) terms per point)";
+  }
+  bool supports(const EvalRequest& request) const override {
+    return request.is_symmetric() && request.n >= 1;
+  }
+  EvalOutcome evaluate(const EvalRequest& request) const override {
+    if (!supports(request)) throw Error("engine 'exact' evaluates symmetric grids only");
+    EvalOutcome outcome;
+    outcome.engine_id = "exact";
+    outcome.certificate_bound = 0.0;
+    outcome.values.resize(request.size(), 0.0);
+    outcome.certificates.resize(request.size());
+    util::ParallelOptions options;
+    options.grain = 1;
+    options.label = "engine.exact";
+    util::parallel_for(
+        0, request.size(),
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t k = lo; k < hi; ++k) {
+            const util::Rational value = core::symmetric_threshold_winning_probability(
+                request.n, exact_point(request, k), request.t);
+            outcome.values[k] = value.to_double();
+            CertifiedValue certificate;
+            certificate.enclosure = util::RationalInterval{value};
+            certificate.tier = EvalTier::kExact;
+            certificate.met_tolerance = true;
+            outcome.certificates[k] = std::move(certificate);
+          }
+        },
+        options);
+    return outcome;
+  }
+};
+
+/// kernel — the serial Gray-code double kernel, one O(3^n) inclusion-
+/// exclusion walk per point. Bitwise equal to `batch` point for point (the
+/// batch kernel's documented contract); registered separately so callers can
+/// pin the unamortized, single-threaded reference path.
+class KernelEvaluator final : public Evaluator {
+ public:
+  std::string_view id() const noexcept override { return "kernel"; }
+  Determinism determinism() const noexcept override { return Determinism::kDeterministic; }
+  std::string_view describe() const noexcept override {
+    return "serial Gray-code double kernel, O(3^n) per point (n <= 20)";
+  }
+  bool supports(const EvalRequest& request) const override {
+    const std::uint32_t n = request_n(request);
+    return n >= 1 && n <= kKernelMaxN;
+  }
+  EvalOutcome evaluate(const EvalRequest& request) const override {
+    EvalOutcome outcome;
+    outcome.engine_id = "kernel";
+    outcome.values.resize(request.size(), 0.0);
+    const double t_d = request.t.to_double();
+    if (request.is_symmetric()) {
+      std::vector<double> point(request.n, 0.0);
+      for (std::size_t k = 0; k < request.betas.size(); ++k) {
+        point.assign(request.n, request.betas[k]);
+        outcome.values[k] = core::threshold_winning_probability(point, t_d);
+      }
+    } else {
+      for (std::size_t k = 0; k < request.points.size(); ++k) {
+        outcome.values[k] = core::threshold_winning_probability(request.points[k], t_d);
+      }
+    }
+    return outcome;
+  }
+};
+
+/// batch — the block-amortized parallel batch kernel: one Gray-code subset
+/// walk per run of same-size points within a block, fanned across the thread
+/// pool, bitwise equal to single-point calls. The universal fallback of the
+/// auto policy.
+class BatchEvaluator final : public Evaluator {
+ public:
+  std::string_view id() const noexcept override { return "batch"; }
+  Determinism determinism() const noexcept override { return Determinism::kDeterministic; }
+  std::string_view describe() const noexcept override {
+    return "block-amortized parallel Gray-code batch kernel (n <= 20)";
+  }
+  bool supports(const EvalRequest& request) const override {
+    const std::uint32_t n = request_n(request);
+    return n >= 1 && n <= kKernelMaxN;
+  }
+  EvalOutcome evaluate(const EvalRequest& request) const override {
+    EvalOutcome outcome;
+    outcome.engine_id = "batch";
+    const double t_d = request.t.to_double();
+    if (request.is_symmetric()) {
+      // Point construction mirrors the pre-engine sweep loop exactly
+      // (points[k].assign(n, beta)) — pinned byte-identical by golden tests.
+      std::vector<std::vector<double>> points(request.betas.size());
+      for (std::size_t k = 0; k < request.betas.size(); ++k) {
+        points[k].assign(request.n, request.betas[k]);
+      }
+      outcome.values = core::threshold_winning_probability_batch(points, t_d);
+    } else {
+      outcome.values = core::threshold_winning_probability_batch(request.points, t_d);
+    }
+    return outcome;
+  }
+};
+
+/// compiled — certified Horner plans through the process-wide LRU plan
+/// cache: repeated sweeps, checkpoint blocks, and optimizer runs re-use one
+/// lowering per (n, t).
+class CompiledEvaluator final : public Evaluator {
+ public:
+  std::string_view id() const noexcept override { return "compiled"; }
+  Determinism determinism() const noexcept override { return Determinism::kDeterministic; }
+  std::string_view describe() const noexcept override {
+    return "compiled Horner plan (certified lowering, LRU plan cache)";
+  }
+  bool supports(const EvalRequest& request) const override {
+    return request.is_symmetric() && request.n >= 1;
+  }
+  EvalOutcome evaluate(const EvalRequest& request) const override {
+    if (!supports(request)) throw Error("engine 'compiled' evaluates symmetric grids only");
+    const auto plan = PlanCache::instance().get_or_lower(request.n, request.t);
+    EvalOutcome outcome;
+    outcome.engine_id = "compiled";
+    outcome.values = plan->eval_grid(request.betas);
+    outcome.certificate_bound = plan->max_error_bound();
+    return outcome;
+  }
+};
+
+/// certified — the escalation ladder on the exact grid: every value carries
+/// a rigorous enclosure, escalating double → interval → exact until the
+/// request tolerance is met.
+class CertifiedEvaluator final : public Evaluator {
+ public:
+  std::string_view id() const noexcept override { return "certified"; }
+  Determinism determinism() const noexcept override { return Determinism::kCertified; }
+  std::string_view describe() const noexcept override {
+    return "certified escalation ladder (rigorous enclosures per point)";
+  }
+  bool supports(const EvalRequest& request) const override {
+    return request.is_symmetric() && request.n >= 1;
+  }
+  EvalOutcome evaluate(const EvalRequest& request) const override {
+    if (!supports(request)) throw Error("engine 'certified' evaluates symmetric grids only");
+    EvalPolicy policy;
+    policy.tolerance = request.tolerance;
+    EvalOutcome outcome;
+    outcome.engine_id = "certified";
+    outcome.values.resize(request.size(), 0.0);
+    outcome.certificates.resize(request.size());
+    util::ParallelOptions options;
+    options.grain = 1;
+    options.label = "engine.certified";
+    util::parallel_for(
+        0, request.size(),
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t k = lo; k < hi; ++k) {
+            // Fresh evaluation per attempt: idempotent under engine retry,
+            // and CertifiedValue::stats carries this point's counters only.
+            outcome.certificates[k] = core::certified_symmetric_threshold_winning_probability(
+                request.n, exact_point(request, k), request.t, policy);
+            outcome.values[k] = outcome.certificates[k].value();
+          }
+        },
+        options);
+    for (const CertifiedValue& certificate : outcome.certificates) {
+      outcome.stats += certificate.stats;
+    }
+    return outcome;
+  }
+};
+
+/// mc — seeded Monte Carlo estimation. Point k draws from its own stream
+/// (seed + k) and each point's trial blocks fan across the pool, so the
+/// estimate is reproducible for any thread count and evaluation order.
+class MonteCarloEvaluator final : public Evaluator {
+ public:
+  std::string_view id() const noexcept override { return "mc"; }
+  Determinism determinism() const noexcept override { return Determinism::kRandomized; }
+  std::string_view describe() const noexcept override {
+    return "seeded Monte Carlo estimation (reproducible per seed)";
+  }
+  bool supports(const EvalRequest& request) const override { return request_n(request) >= 1; }
+  EvalOutcome evaluate(const EvalRequest& request) const override {
+    EvalOutcome outcome;
+    outcome.engine_id = "mc";
+    outcome.values.resize(request.size(), 0.0);
+    const double t_d = request.t.to_double();
+    for (std::size_t k = 0; k < request.size(); ++k) {
+      std::vector<util::Rational> thresholds;
+      if (request.is_symmetric()) {
+        thresholds.assign(request.n, util::exact_rational(request.betas[k]));
+      } else {
+        thresholds.reserve(request.points[k].size());
+        for (const double a : request.points[k]) thresholds.push_back(util::exact_rational(a));
+      }
+      const core::SingleThresholdProtocol protocol{std::move(thresholds)};
+      prob::Rng rng{request.seed + k};
+      outcome.values[k] = sim::estimate_winning_probability(protocol, t_d, request.trials, rng,
+                                                            util::parallelism())
+                              .estimate;
+    }
+    return outcome;
+  }
+};
+
+}  // namespace
+
+void register_builtin_engines(Registry& registry) {
+  registry.register_engine(std::make_unique<BatchEvaluator>());
+  registry.register_engine(std::make_unique<CertifiedEvaluator>());
+  registry.register_engine(std::make_unique<CompiledEvaluator>());
+  registry.register_engine(std::make_unique<ExactEvaluator>());
+  registry.register_engine(std::make_unique<KernelEvaluator>());
+  registry.register_engine(std::make_unique<MonteCarloEvaluator>());
+}
+
+}  // namespace ddm::engine

@@ -1,0 +1,137 @@
+// evaluator.hpp — the unified evaluation-engine interface of ddm::engine.
+//
+// Several backends can evaluate the Theorem 5.1 winning probability of a
+// threshold protocol: exact rational arithmetic, the O(3^n) Gray-code double
+// kernel (serial or block-amortized/batched), compiled Horner plans lowered
+// from the exact piecewise polynomial, the certified escalation ladder, and
+// Monte Carlo simulation. Before this layer existed, the policy choosing
+// among them lived as ad-hoc branching inside ddm_cli. ddm::engine puts all
+// of them behind ONE seam: a request describes *what* to evaluate (a
+// symmetric β-grid or general threshold vectors, plus capacity t and a
+// tolerance), an Evaluator adapter describes *how*, and the process-wide
+// registry (engine/registry.hpp) owns the which — including the automatic
+// compiled-vs-kernel policy (engine/policy.hpp) and the LRU plan cache
+// (engine/plan_cache.hpp). New backends register once and every caller (CLI
+// subcommands, the threshold optimizer, examples) picks them up for free.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/certify.hpp"
+#include "util/rational.hpp"
+
+namespace ddm::engine {
+
+/// What kind of answer an engine produces. Used by callers to decide how to
+/// present results (e.g. whether a tolerance or a confidence interval makes
+/// sense) — never to silently change them.
+enum class Determinism {
+  /// Bitwise-reproducible double evaluation: same request, same bits, for
+  /// any thread count (kernel, batch, compiled, exact).
+  kDeterministic,
+  /// Rigorous enclosure semantics: every value carries a proven interval
+  /// (the certified escalation ladder).
+  kCertified,
+  /// Seeded pseudo-random estimation: reproducible for a fixed seed, but an
+  /// estimate, not a computation (Monte Carlo).
+  kRandomized,
+};
+
+[[nodiscard]] const char* to_string(Determinism determinism) noexcept;
+
+/// One batch of evaluation work. Either a symmetric β-grid (`betas`, all n
+/// players sharing each threshold) or general per-player threshold vectors
+/// (`points`); `points` non-empty means general. The symmetric form may also
+/// carry the exact rational image of the grid (`exact_betas`) for engines
+/// that evaluate in exact arithmetic on the caller's *intended* grid points
+/// (the certified sweep); engines without such a grid evaluate the double
+/// values exactly via util::exact_rational.
+struct EvalRequest {
+  std::uint32_t n = 0;                      ///< players (symmetric form)
+  util::Rational t;                         ///< bin capacity
+  std::vector<double> betas;                ///< symmetric grid, double image
+  std::vector<util::Rational> exact_betas;  ///< optional exact grid, parallel to betas
+  std::vector<std::vector<double>> points;  ///< general per-player vectors
+  /// Target enclosure width for certified evaluation.
+  util::Rational tolerance{1, 1000000000};
+  /// Trial count / base seed for randomized engines. Point k of a request
+  /// draws from a stream keyed on seed + k, so estimates are reproducible
+  /// and independent of evaluation order.
+  std::uint64_t trials = 200000;
+  std::uint64_t seed = 42;
+
+  [[nodiscard]] static EvalRequest symmetric(std::uint32_t n, util::Rational t,
+                                             std::vector<double> betas) {
+    EvalRequest request;
+    request.n = n;
+    request.t = std::move(t);
+    request.betas = std::move(betas);
+    return request;
+  }
+
+  [[nodiscard]] static EvalRequest general(std::vector<std::vector<double>> points,
+                                           util::Rational t) {
+    EvalRequest request;
+    request.n = points.empty() ? 0 : static_cast<std::uint32_t>(points.front().size());
+    request.t = std::move(t);
+    request.points = std::move(points);
+    return request;
+  }
+
+  [[nodiscard]] bool is_symmetric() const noexcept { return points.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return is_symmetric() ? betas.size() : points.size();
+  }
+};
+
+/// The answer to an EvalRequest. `values[k]` corresponds to point k of the
+/// request; the remaining fields say how much to trust it.
+struct EvalOutcome {
+  std::vector<double> values;
+  /// Per-point rigorous enclosures; empty unless the engine is
+  /// certificate-bearing (exact, certified).
+  std::vector<CertifiedValue> certificates;
+  /// Registry id of the engine that actually produced the values.
+  std::string engine_id;
+  /// Uniform bound on |values[k] − exact| when the engine carries one:
+  /// 0 for exact evaluation, the plan certificate for compiled plans,
+  /// +inf when no a-priori bound exists (double kernels, Monte Carlo).
+  double certificate_bound = std::numeric_limits<double>::infinity();
+  /// Escalation-ladder counters accumulated across the request (certified
+  /// engine only; zero elsewhere).
+  EvalStats stats;
+};
+
+/// One evaluation backend. Implementations are stateless (any per-instance
+/// artifacts such as compiled plans live in the shared plan cache), so a
+/// single registered instance serves concurrent callers.
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+
+  /// Stable registry id ("exact", "kernel", "batch", "compiled",
+  /// "certified", "mc"). Must point at storage with static lifetime.
+  [[nodiscard]] virtual std::string_view id() const noexcept = 0;
+
+  [[nodiscard]] virtual Determinism determinism() const noexcept = 0;
+
+  /// One-line human-readable description for help text and docs.
+  [[nodiscard]] virtual std::string_view describe() const noexcept = 0;
+
+  /// True when this engine can serve `request` (shape and size limits).
+  /// evaluate() on an unsupported request throws ddm::Error naming the
+  /// limit; supports() lets policy code skip the attempt.
+  [[nodiscard]] virtual bool supports(const EvalRequest& request) const = 0;
+
+  /// Evaluates the request. Throws on unsupported requests, lowering
+  /// failures (compiled), or evaluation errors; never returns partial
+  /// results.
+  [[nodiscard]] virtual EvalOutcome evaluate(const EvalRequest& request) const = 0;
+};
+
+}  // namespace ddm::engine

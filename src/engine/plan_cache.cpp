@@ -1,0 +1,109 @@
+#include "engine/plan_cache.hpp"
+
+#include "core/symmetric_threshold.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+#include "util/fault.hpp"
+
+namespace ddm::engine {
+
+namespace {
+
+struct CacheMetrics {
+  obs::Counter hits = obs::counter("engine.cache.hits");
+  obs::Counter misses = obs::counter("engine.cache.misses");
+  obs::Counter evictions = obs::counter("engine.cache.evictions");
+
+  static const CacheMetrics& get() {
+    static const CacheMetrics metrics;
+    return metrics;
+  }
+};
+
+std::string cache_key(std::uint32_t n, const util::Rational& t) {
+  return std::to_string(n) + "|" + t.to_string();
+}
+
+}  // namespace
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+PlanCache& PlanCache::instance() {
+  static PlanCache* cache = new PlanCache();  // leaked: outlives late callers
+  return *cache;
+}
+
+std::shared_ptr<const poly::CompiledPiecewise> PlanCache::get_or_lower(
+    std::uint32_t n, const util::Rational& t) {
+  const CacheMetrics& metrics = CacheMetrics::get();
+  const std::string key = cache_key(n, t);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto found = index_.find(key);
+    if (found != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, found->second);
+      ++stats_.hits;
+      metrics.hits.add();
+      DDM_SPAN("engine.cache", {{"n", static_cast<std::int64_t>(n)}, {"hit", 1}});
+      return found->second->plan;
+    }
+  }
+  // Miss: lower outside the lock. The fault hook runs first so injected
+  // transient faults strike before any state changes — a throw here leaves
+  // the cache exactly as it was.
+  DDM_SPAN("engine.cache", {{"n", static_cast<std::int64_t>(n)}, {"hit", 0}});
+  // Unconditional: before_chunk is the call that loads DDM_FAULT_PLAN on
+  // first use (active() alone does not), and it is a no-op without a plan.
+  util::fault::before_chunk(kLoweringFaultChunk);
+  const auto analysis = core::SymmetricThresholdAnalysis::build(n, t);
+  auto plan = std::make_shared<const poly::CompiledPiecewise>(
+      poly::CompiledPiecewise::lower(analysis.winning_probability()));
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.misses;
+  metrics.misses.add();
+  const auto raced = index_.find(key);
+  if (raced != index_.end()) {
+    // Another thread inserted while we lowered; adopt its (identical) plan
+    // so every caller shares one copy.
+    lru_.splice(lru_.begin(), lru_, raced->second);
+    return raced->second->plan;
+  }
+  lru_.push_front(Entry{key, std::move(plan)});
+  index_[key] = lru_.begin();
+  evict_excess_locked();
+  return lru_.front().plan;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+void PlanCache::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  evict_excess_locked();
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void PlanCache::evict_excess_locked() {
+  const CacheMetrics& metrics = CacheMetrics::get();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+    metrics.evictions.add();
+  }
+}
+
+}  // namespace ddm::engine

@@ -1,0 +1,46 @@
+// policy.hpp — the engine-selection policy of ddm::engine.
+//
+// Home of the constants that used to live as ad-hoc branching in
+// tools/ddm_cli.cpp (`kCompiledAutoTolerance`, `kCompiledAutoMaxN`): they are
+// library policy, shared by the CLI, the examples, and the tests, so they
+// live in the library. An EnginePolicy names either a concrete engine id or
+// "auto"; engine::select (engine/registry.hpp) resolves it against a request.
+//
+// The auto rule (unchanged from the pre-engine CLI, byte-compatible):
+//   * general (non-symmetric) requests  → batch kernel
+//   * n > compiled_max_n                → batch kernel (the exact piecewise
+//     build grows combinatorially and its certified bound blows past the
+//     tolerance anyway)
+//   * otherwise lower the exact Theorem 5.1 polynomial (through the plan
+//     cache) and use the compiled plan iff its certified max-error bound is
+//     within compiled_tolerance; else fall back to the batch kernel —
+//     *visibly*: the Selection carries a fallback note the caller surfaces
+//     (the CLI prints it to stderr and stamps the engine into sweep JSON).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ddm::engine {
+
+/// Tolerance the auto policy holds the compiled plan's certificate to.
+inline constexpr double kCompiledAutoTolerance = 1e-9;
+
+/// The n cap past which auto does not even attempt the symbolic lowering;
+/// forcing engine "compiled" still tries.
+inline constexpr std::uint32_t kCompiledAutoMaxN = 16;
+
+/// Caller-supplied selection policy. Default-constructed == today's CLI
+/// default (`--engine=auto`).
+struct EnginePolicy {
+  /// Registry id to force, or "auto" to let the policy decide.
+  std::string engine = "auto";
+  /// Auto mode: maximum compiled-plan certificate accepted.
+  double compiled_tolerance = kCompiledAutoTolerance;
+  /// Auto mode: n cap for attempting the symbolic lowering.
+  std::uint32_t compiled_max_n = kCompiledAutoMaxN;
+
+  [[nodiscard]] bool is_auto() const noexcept { return engine == "auto"; }
+};
+
+}  // namespace ddm::engine

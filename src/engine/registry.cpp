@@ -1,0 +1,153 @@
+#include "engine/registry.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <sstream>
+#include <utility>
+
+#include "engine/engines.hpp"
+#include "engine/plan_cache.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+#include "util/status.hpp"
+
+namespace ddm::engine {
+
+namespace {
+
+struct SelectMetrics {
+  obs::Counter selects = obs::counter("engine.selects");
+  obs::Counter fallbacks = obs::counter("engine.fallbacks");
+
+  static const SelectMetrics& get() {
+    static const SelectMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
+
+const char* to_string(Determinism determinism) noexcept {
+  switch (determinism) {
+    case Determinism::kDeterministic:
+      return "deterministic";
+    case Determinism::kCertified:
+      return "certified";
+    case Determinism::kRandomized:
+      return "randomized";
+  }
+  return "unknown";
+}
+
+Registry& Registry::instance() {
+  static Registry* registry = [] {
+    auto* fresh = new Registry();  // leaked: outlives late callers
+    register_builtin_engines(*fresh);
+    return fresh;
+  }();
+  return *registry;
+}
+
+void Registry::register_engine(std::unique_ptr<Evaluator> evaluator) {
+  if (evaluator == nullptr || evaluator->id().empty()) {
+    throw Error("Registry::register_engine: engine with empty id");
+  }
+  if (find(evaluator->id()) != nullptr) {
+    throw Error("Registry::register_engine: duplicate engine id '" +
+                std::string(evaluator->id()) + "'");
+  }
+  engines_.push_back(std::move(evaluator));
+}
+
+const Evaluator* Registry::find(std::string_view id) const noexcept {
+  for (const std::unique_ptr<Evaluator>& evaluator : engines_) {
+    if (evaluator->id() == id) return evaluator.get();
+  }
+  return nullptr;
+}
+
+const Evaluator& Registry::require(std::string_view id) const {
+  if (const Evaluator* evaluator = find(id)) return *evaluator;
+  std::string message = "unknown engine '" + std::string(id) + "' (registered:";
+  for (const std::string_view known : ids()) {
+    message += ' ';
+    message += known;
+  }
+  message += ')';
+  throw Error(std::move(message));
+}
+
+std::vector<std::string_view> Registry::ids() const {
+  std::vector<std::string_view> result;
+  result.reserve(engines_.size());
+  for (const std::unique_ptr<Evaluator>& evaluator : engines_) {
+    result.push_back(evaluator->id());
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+Selection select(const EnginePolicy& policy, const EvalRequest& request) {
+  const SelectMetrics& metrics = SelectMetrics::get();
+  Registry& registry = Registry::instance();
+  Selection selection;
+  selection.requested = policy.engine;
+
+  if (!policy.is_auto()) {
+    const Evaluator& evaluator = registry.require(policy.engine);
+    if (!evaluator.supports(request)) {
+      throw Error("engine '" + std::string(evaluator.id()) +
+                  "' does not support this request (" + std::string(evaluator.describe()) + ")");
+    }
+    selection.evaluator = &evaluator;
+    metrics.selects.add();
+    // Span string args must outlive the trace export; the adapter ids are
+    // string literals, so they qualify (policy.engine would not).
+    DDM_SPAN("engine.select",
+             {{"requested", evaluator.id().data()}, {"chosen", evaluator.id().data()}});
+    return selection;
+  }
+
+  selection.auto_mode = true;
+  // The auto rule, byte-compatible with the pre-engine CLI: try the compiled
+  // plan for small symmetric grids, hold its certificate to the tolerance,
+  // fall back to the batch kernel otherwise — visibly, via Selection::note.
+  if (request.is_symmetric() && request.n >= 1 && request.n <= policy.compiled_max_n) {
+    try {
+      const auto plan = PlanCache::instance().get_or_lower(request.n, request.t);
+      selection.compiled_bound = plan->max_error_bound();
+      if (selection.compiled_bound <= policy.compiled_tolerance) {
+        selection.evaluator = &registry.require("compiled");
+      } else {
+        selection.fallback = true;
+        std::ostringstream note;
+        note << "compiled plan certificate " << selection.compiled_bound
+             << " exceeds tolerance " << policy.compiled_tolerance
+             << "; using the batch kernel";
+        selection.note = note.str();
+      }
+    } catch (const std::exception& error) {
+      selection.fallback = true;
+      selection.note = std::string("compiled lowering failed (") + error.what() +
+                       "); using the batch kernel";
+    }
+  }
+  if (selection.evaluator == nullptr) selection.evaluator = &registry.require("batch");
+  metrics.selects.add();
+  if (selection.fallback) metrics.fallbacks.add();
+  DDM_SPAN("engine.select", {{"requested", "auto"},
+                             {"chosen", selection.evaluator->id().data()},
+                             {"fallback", selection.fallback ? std::int64_t{1} : std::int64_t{0}}});
+  return selection;
+}
+
+core::BatchObjective batch_objective(std::string_view engine_id) {
+  // Resolve eagerly so a bad id fails at wiring time, not mid-search.
+  const Evaluator& evaluator = Registry::instance().require(engine_id);
+  return [&evaluator](const std::vector<std::vector<double>>& points, double t) {
+    EvalRequest request = EvalRequest::general(points, util::exact_rational(t));
+    return evaluator.evaluate(request).values;
+  };
+}
+
+}  // namespace ddm::engine

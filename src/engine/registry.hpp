@@ -1,0 +1,99 @@
+// registry.hpp — the process-wide engine registry and selection policy.
+//
+// Registry::instance() owns one Evaluator per backend (engine/evaluator.hpp)
+// and registers the six built-ins on first use:
+//
+//   id          determinism     backend
+//   ---------   -------------   ----------------------------------------------
+//   exact       deterministic   exact Rational Theorem 5.1 (O(n²) symmetric)
+//   kernel      deterministic   serial Gray-code double kernel, O(3^n)/point
+//   batch       deterministic   block-amortized parallel batch kernel
+//                               (bitwise equal to `kernel`, point for point)
+//   compiled    deterministic   certified Horner plan via the LRU plan cache
+//   certified   certified       escalation ladder (rigorous enclosures)
+//   mc          randomized      seeded Monte Carlo estimation
+//
+// `select` resolves an EnginePolicy against a request: a concrete id is
+// looked up directly, "auto" applies the compiled-vs-batch policy
+// (engine/policy.hpp) through the plan cache. The selection is returned —
+// never applied silently: when auto declines the compiled plan the Selection
+// carries a human-readable note so callers can surface the fallback (the
+// CLI prints it to stderr and stamps the winning engine into sweep JSON).
+//
+// Observability: `engine.select` spans (args: requested id, chosen id) and
+// `engine.selects` / `engine.fallbacks` counters; the plan cache adds
+// `engine.cache` spans and hit/miss/eviction counters.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/threshold_optimizer.hpp"
+#include "engine/evaluator.hpp"
+#include "engine/policy.hpp"
+
+namespace ddm::engine {
+
+class Registry {
+ public:
+  /// The process-wide registry, with the built-in engines registered.
+  [[nodiscard]] static Registry& instance();
+
+  /// Adds an engine. Throws ddm::Error when the id is empty or already
+  /// taken. Thread-compatible: registration happens at startup / test setup,
+  /// not concurrently with lookups.
+  void register_engine(std::unique_ptr<Evaluator> evaluator);
+
+  /// Engine by id, or nullptr.
+  [[nodiscard]] const Evaluator* find(std::string_view id) const noexcept;
+
+  /// Engine by id; throws ddm::Error listing the registered ids when absent.
+  [[nodiscard]] const Evaluator& require(std::string_view id) const;
+
+  /// Registered ids, sorted.
+  [[nodiscard]] std::vector<std::string_view> ids() const;
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  Registry() = default;
+  std::vector<std::unique_ptr<Evaluator>> engines_;
+};
+
+/// The outcome of resolving an EnginePolicy against a request.
+struct Selection {
+  const Evaluator* evaluator = nullptr;
+  /// What the policy asked for ("auto" or a concrete id).
+  std::string requested;
+  /// True when the policy was "auto" (the chosen engine then appears in
+  /// per-point reporting and fallbacks carry a note).
+  bool auto_mode = false;
+  /// True when auto considered the compiled plan and declined it (certificate
+  /// over tolerance, or the lowering failed).
+  bool fallback = false;
+  /// One-line reason for the fallback, empty otherwise.
+  std::string note;
+  /// The compiled plan's certified max-error bound when auto lowered one
+  /// (NaN when lowering was not attempted or failed).
+  double compiled_bound = std::numeric_limits<double>::quiet_NaN();
+
+  [[nodiscard]] std::string_view id() const noexcept { return evaluator->id(); }
+};
+
+/// Resolves `policy` against `request` on the process registry. Forced ids
+/// throw ddm::Error when unknown or unsupported for the request's shape;
+/// "auto" never throws for a well-formed request (the batch kernel is the
+/// universal fallback).
+[[nodiscard]] Selection select(const EnginePolicy& policy, const EvalRequest& request);
+
+/// Adapts a registered engine into the threshold optimizer's batch-objective
+/// seam (core::BatchObjective): probe batches evaluate through the engine
+/// instead of a hard-wired kernel call. With the default "batch" id the
+/// iterate sequence is bitwise identical to the built-in objective.
+[[nodiscard]] core::BatchObjective batch_objective(std::string_view engine_id = "batch");
+
+}  // namespace ddm::engine

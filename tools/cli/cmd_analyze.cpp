@@ -1,0 +1,62 @@
+// analyze — full Section 5.2 analysis of one symmetric instance.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "cli/commands.hpp"
+#include "cli/parse.hpp"
+#include "cli/report.hpp"
+#include "core/oblivious.hpp"
+#include "core/symmetric_threshold.hpp"
+#include "engine/registry.hpp"
+#include "poly/roots.hpp"
+#include "util/table.hpp"
+
+namespace ddm::cli {
+
+int run_analyze(const std::vector<std::string>& args, const Options& options) {
+  const std::uint32_t n = parse_u32("n", args[1]);
+  const util::Rational t = parse_rational("t", args[2]);
+  const int digits = args.size() == 4 ? parse_int("digits", args[3]) : 30;
+  if (digits < 1 || digits > 1000) {
+    throw BadArgument("invalid digits '" + args[3] + "' (expected 1..1000)");
+  }
+  const auto analysis = core::SymmetricThresholdAnalysis::build(n, t);
+  std::cout << "P(beta) for n = " << n << ", t = " << t << " (exact pieces):\n";
+  for (const auto& piece : analysis.winning_probability().pieces()) {
+    std::cout << "  [" << piece.lo << ", " << piece.hi << "]  "
+              << piece.poly.to_string("beta") << "\n";
+  }
+  const auto opt = analysis.optimize();
+  std::cout << "Optimality condition: " << opt.optimality_condition.to_string("beta")
+            << (opt.interior ? " = 0" : "") << "\n";
+  poly::RootInterval beta = opt.beta;
+  if (opt.interior) {
+    const util::Rational width{util::BigInt{1},
+                               util::BigInt::pow(util::BigInt{10},
+                                                 static_cast<std::uint64_t>(digits))};
+    beta = poly::refine_root(opt.optimality_condition, beta, width);
+  }
+  std::cout << "beta* = " << util::fmt(beta.approx(), std::min(digits, 17))
+            << "  (certified global maximum: " << (opt.certified ? "yes" : "no") << ")\n"
+            << "P(beta*) = " << util::fmt(opt.value.to_double(), 15) << "\n"
+            << "Oblivious baseline: "
+            << util::fmt(core::optimal_oblivious_winning_probability(n, t).to_double(), 15)
+            << "\n";
+  if (options.engine_set) {
+    // Cross-check: re-evaluate P at the certified beta* through the
+    // requested engine. Appended after the unchanged default report so the
+    // flagless output stays byte-identical.
+    engine::EnginePolicy policy;
+    policy.engine = options.engine;
+    const auto request = engine::EvalRequest::symmetric(n, t, {beta.approx()});
+    const engine::Selection selection = engine::select(policy, request);
+    report_fallback(selection);
+    const engine::EvalOutcome outcome = selection.evaluator->evaluate(request);
+    std::cout << "Engine cross-check [" << outcome.engine_id
+              << "]: P(beta*) = " << util::fmt(outcome.values.at(0), 15) << "\n";
+  }
+  return 0;
+}
+
+}  // namespace ddm::cli

@@ -1,0 +1,43 @@
+// ladder — the information ladder for one instance.
+#include <iostream>
+#include <span>
+#include <vector>
+
+#include "cli/commands.hpp"
+#include "cli/parse.hpp"
+#include "core/baselines.hpp"
+#include "core/oblivious.hpp"
+#include "core/symmetric_threshold.hpp"
+#include "prob/rng.hpp"
+#include "prob/uniform_sum.hpp"
+#include "sim/monte_carlo.hpp"
+#include "util/table.hpp"
+
+namespace ddm::cli {
+
+int run_ladder(const std::vector<std::string>& args, const Options&) {
+  const std::uint32_t n = parse_u32("n", args[1]);
+  const util::Rational t = parse_rational("t", args[2]);
+  const std::uint64_t trials = args.size() == 4 ? parse_u64("trials", args[3]) : 500000;
+  const double t_d = t.to_double();
+  prob::Rng rng{1234};
+  util::Table table{{"information", "protocol", "P(win)", "method"}};
+  table.add_row({"none (deterministic)", "all-one-bin",
+                 util::fmt(prob::irwin_hall_cdf(n, t).to_double(), 6), "exact"});
+  table.add_row(
+      {"none (randomized)", "fair coin",
+       util::fmt(core::optimal_oblivious_winning_probability(n, t).to_double(), 6), "exact"});
+  const auto opt = core::SymmetricThresholdAnalysis::build(n, t).optimize();
+  table.add_row({"own input", "optimal threshold beta* = " + util::fmt(opt.beta.approx(), 4),
+                 util::fmt(opt.value.to_double(), 6), "exact"});
+  if (n <= 20) {
+    const auto oracle = sim::estimate_event_probability(
+        n, [t_d](std::span<const double> xs) { return core::full_information_win(xs, t_d); },
+        trials, rng);
+    table.add_row({"all inputs", "oracle split", util::fmt(oracle.estimate, 6), "Monte Carlo"});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace ddm::cli

@@ -1,0 +1,25 @@
+// oblivious — exact optimal oblivious protocol (Theorem 4.3).
+#include <iostream>
+#include <vector>
+
+#include "cli/commands.hpp"
+#include "cli/parse.hpp"
+#include "core/oblivious.hpp"
+#include "core/optimality.hpp"
+
+namespace ddm::cli {
+
+int run_oblivious(const std::vector<std::string>& args, const Options&) {
+  const std::uint32_t n = parse_u32("n", args[1]);
+  const util::Rational t = parse_rational("t", args[2]);
+  const util::Rational p = core::optimal_oblivious_winning_probability(n, t);
+  std::cout << "Optimal oblivious (anonymous) protocol: alpha = 1/2 for all players\n"
+            << "  P(no overflow) = " << p << " = " << p.to_double() << "\n"
+            << "  gradient residual at 1/2 (Cor 4.2): "
+            << core::stationarity_residual(
+                   std::vector<util::Rational>(n, util::Rational(1, 2)), t)
+            << "\n";
+  return 0;
+}
+
+}  // namespace ddm::cli

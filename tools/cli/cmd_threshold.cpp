@@ -1,0 +1,51 @@
+// threshold — exact P of a symmetric threshold protocol (Theorem 5.1).
+#include <iomanip>
+#include <iostream>
+#include <limits>
+#include <vector>
+
+#include "cli/commands.hpp"
+#include "cli/parse.hpp"
+#include "cli/report.hpp"
+#include "core/certified.hpp"
+#include "core/nonoblivious.hpp"
+#include "engine/registry.hpp"
+
+namespace ddm::cli {
+
+int run_threshold(const std::vector<std::string>& args, const Options& options) {
+  const std::uint32_t n = parse_u32("n", args[1]);
+  const util::Rational t = parse_rational("t", args[2]);
+  const util::Rational beta = parse_rational("beta", args[3]);
+  std::cout << "Symmetric single-threshold protocol, beta = " << beta << "\n";
+  if (options.certify.enabled) {
+    const auto result =
+        core::certified_symmetric_threshold_winning_probability(n, beta, t,
+                                                                options.certify.policy);
+    print_certified(result, options.certify.policy);
+    return result.met_tolerance ? 0 : 3;
+  }
+  if (options.engine_set) {
+    engine::EnginePolicy policy;
+    policy.engine = options.engine;
+    auto request = engine::EvalRequest::symmetric(n, t, {beta.to_double()});
+    request.exact_betas = {beta};
+    const engine::Selection selection = engine::select(policy, request);
+    report_fallback(selection);
+    const engine::EvalOutcome outcome = selection.evaluator->evaluate(request);
+    const auto flags = std::cout.flags();
+    const auto precision = std::cout.precision();
+    std::cout << std::setprecision(std::numeric_limits<double>::max_digits10)
+              << "  P(no overflow) = " << outcome.values.at(0) << "  [engine: "
+              << outcome.engine_id << ", "
+              << engine::to_string(selection.evaluator->determinism()) << "]\n";
+    std::cout.flags(flags);
+    std::cout.precision(precision);
+    return 0;
+  }
+  const util::Rational p = core::symmetric_threshold_winning_probability(n, beta, t);
+  std::cout << "  P(no overflow) = " << p << " = " << p.to_double() << "\n";
+  return 0;
+}
+
+}  // namespace ddm::cli

@@ -1,0 +1,185 @@
+#include "cli/command.hpp"
+
+#include <array>
+#include <iostream>
+
+#include "cli/commands.hpp"
+#include "cli/parse.hpp"
+
+namespace ddm::cli {
+
+namespace {
+
+constexpr std::size_t kNoMax = static_cast<std::size_t>(-1);
+
+constexpr std::array<Command, 7> kCommands{{
+    {"oblivious", "oblivious <n> <t>",
+     "exact optimal oblivious protocol (Thm 4.3)",
+     "Computes the optimal oblivious (input-ignoring, anonymous) protocol:\n"
+     "every player picks bin 1 with probability alpha = 1/2, the unique\n"
+     "stationary point of Theorem 4.3. Prints the exact winning probability\n"
+     "and the gradient residual at 1/2 (Corollary 4.2).",
+     3, 3, false, false, false, run_oblivious},
+    {"threshold", "threshold <n> <t> <beta> [--certify[=tol]] [--engine=<id>]",
+     "exact P of a symmetric threshold (Thm 5.1)",
+     "Evaluates the winning probability of the symmetric single-threshold\n"
+     "protocol (every player chooses bin 1 iff its input <= beta) via the\n"
+     "exact Theorem 5.1 formula. --certify replaces the exact evaluation\n"
+     "with the escalation ladder and prints a rigorous enclosure (exit 3\n"
+     "when the tolerance is missed). --engine routes the evaluation through\n"
+     "a named engine instead and reports which one answered.",
+     4, 4, true, false, true, run_threshold},
+    {"analyze", "analyze <n> <t> [digits=30] [--engine=<id>]",
+     "full Section 5.2 analysis: pieces, optimality condition, certified beta*",
+     "Builds the exact piecewise polynomial P(beta), prints every piece, the\n"
+     "optimality condition, and the certified optimal threshold beta*\n"
+     "refined to the requested number of digits. --engine appends a\n"
+     "cross-check of P at beta* through the named engine.",
+     3, 4, false, false, true, run_analyze},
+    {"simulate", "simulate <n> <t> <beta> <trials> [seed=42] [--engine=<id>]",
+     "Monte Carlo cross-check",
+     "Estimates the threshold protocol's winning probability by simulation\n"
+     "and checks that the 95% confidence interval covers the reference\n"
+     "value. The reference is the exact Theorem 5.1 evaluation by default;\n"
+     "--engine computes it through the named engine instead.",
+     5, 6, false, false, true, run_simulate},
+    {"volume", "volume <m> <sigma_1..sigma_m> <pi_1..pi_m> [--certify[=tol]]",
+     "Vol(simplex ∩ box), Proposition 2.2",
+     "Computes the exact volume of the intersection of a scaled simplex and\n"
+     "an axis-aligned box (Proposition 2.2), the geometric core of the\n"
+     "winning-probability formulas. --certify evaluates through the\n"
+     "escalation ladder and prints a rigorous enclosure.",
+     2, kNoMax, true, false, false, run_volume},
+    {"ladder", "ladder <n> <t> [trials=500000]",
+     "information ladder: deterministic / oblivious / threshold / oracle",
+     "Prints the information ladder for one instance: deterministic\n"
+     "all-one-bin, optimal oblivious coin, optimal own-input threshold, and\n"
+     "(for n <= 20) a Monte Carlo full-information oracle estimate.",
+     3, 4, false, false, false, run_ladder},
+    {"sweep", "sweep <n> <t> <beta_lo> <beta_hi> <steps> [--certify[=tol]]\n"
+              "                  [--checkpoint <file>] [--resume <file>] [--engine=<id>]",
+     "β-grid of Theorem 5.1 values, fanned across the thread pool, as JSON",
+     "Evaluates P(beta) on a uniform grid and emits one JSON row per point.\n"
+     "The default --engine=auto picks the compiled Horner plan when its\n"
+     "certified error bound is within 1e-9 and the batch kernel otherwise;\n"
+     "auto mode stamps the chosen engine into every row and announces\n"
+     "fallbacks on stderr. Forcing an engine keeps the row format of the\n"
+     "pre-engine CLI (and --engine=compiled surfaces lowering errors as\n"
+     "exit 2). --engine=certified is the same as --certify. --checkpoint\n"
+     "and --resume make the sweep crash-safe (docs/robustness.md).",
+     6, 6, true, true, true, run_sweep},
+}};
+
+}  // namespace
+
+std::span<const Command> command_table() { return kCommands; }
+
+const Command* find_command(std::string_view name) noexcept {
+  for (const Command& command : kCommands) {
+    if (name == command.name) return &command;
+  }
+  return nullptr;
+}
+
+void print_usage() {
+  std::cout <<
+      R"(ddm_cli — optimal distributed decision-making with no communication
+(Georgiades/Mavronicolas/Spirakis, FCT'99)
+
+usage:
+  ddm_cli oblivious <n> <t>
+  ddm_cli threshold <n> <t> <beta> [--certify[=tol]] [--engine=<id>]
+  ddm_cli analyze   <n> <t> [digits=30] [--engine=<id>]
+  ddm_cli simulate  <n> <t> <beta> <trials> [seed=42] [--engine=<id>]
+  ddm_cli volume    <m> <sigma_1..sigma_m> <pi_1..pi_m> [--certify[=tol]]
+  ddm_cli ladder    <n> <t> [trials=500000]
+  ddm_cli sweep     <n> <t> <beta_lo> <beta_hi> <steps> [--certify[=tol]]
+                    [--checkpoint <file>] [--resume <file>] [--engine=<id>]
+  ddm_cli help      <command>
+
+any subcommand also accepts:
+  --trace=<file>         export a Chrome trace of the run to <file>
+  --metrics[=json|prom]  dump the metrics registry to stderr at exit
+
+engines (--engine=<id>, docs/architecture.md):
+  auto       compiled plan when its certified bound is <= 1e-9, else the
+             batch kernel — the choice is reported, never silent (default)
+  batch      block-amortized parallel Gray-code kernel (n <= 20)
+  certified  escalation ladder with rigorous enclosures
+  compiled   certified double Horner plan via the LRU plan cache
+  exact      exact rational Theorem 5.1 evaluation
+  kernel     serial Gray-code double kernel (n <= 20)
+  mc         seeded Monte Carlo estimation
+
+rationals may be written a/b (e.g. 4/3). Examples:
+  ddm_cli analyze 3 1            # the paper's flagship instance
+  ddm_cli analyze 4 4/3 40       # Section 5.2.2 with 40 certified digits
+  ddm_cli simulate 3 1 0.622 1000000
+  ddm_cli threshold 24 8 0.37 --certify=1/1000000000000
+  ddm_cli sweep 4 4/3 0 1 100    # JSON grid of P(beta), all cores
+  ddm_cli sweep 12 4 0 1 10000 --engine=compiled   # certified Horner plan
+  ddm_cli sweep 4 4/3 0 1 100 --checkpoint sweep.ckpt   # crash-safe
+  ddm_cli sweep 4 4/3 0 1 100 --resume sweep.ckpt       # finish a killed run
+  ddm_cli sweep 24 8 0.3 0.45 8 --certify --trace=sweep.json --metrics
+)";
+}
+
+int usage() {
+  print_usage();
+  return 1;
+}
+
+void print_command_help(const Command& command) {
+  std::cout << "usage: ddm_cli " << command.synopsis << "\n\n"
+            << command.summary << "\n\n"
+            << command.help << "\n\n"
+            << "common options:\n"
+            << "  --trace=<file>         export a Chrome trace of the run to <file>\n"
+            << "  --metrics[=json|prom]  dump the metrics registry to stderr at exit\n";
+}
+
+int dispatch(const std::vector<std::string>& args, const Options& options) {
+  const std::string& name = args[0];
+  if (name == "help") {
+    if (args.size() == 2) {
+      if (const Command* command = find_command(args[1])) {
+        print_command_help(*command);
+        return 0;
+      }
+      throw BadArgument("unknown command '" + args[1] + "' (see ddm_cli usage)");
+    }
+    if (args.size() == 1) {
+      print_usage();
+      return 0;
+    }
+    return usage();
+  }
+  const Command* command = find_command(name);
+  if (command == nullptr) return usage();
+  if (options.help) {
+    print_command_help(*command);
+    return 0;
+  }
+  // Flag-set validation precedes arity so flag misuse is diagnosed by name
+  // (exit 2), matching the pre-refactor CLI.
+  if (options.certify.enabled && !command->accepts_certify) {
+    throw BadArgument("--certify is only supported by 'threshold', 'volume', and 'sweep'");
+  }
+  if (!options.checkpoint_path.empty() && !command->accepts_checkpoint) {
+    throw BadArgument("--checkpoint/--resume are only supported by 'sweep'");
+  }
+  if (options.engine_set) {
+    if (!command->accepts_engine) {
+      throw BadArgument(
+          "--engine is only supported by 'threshold', 'analyze', 'simulate', and 'sweep'");
+    }
+    if (options.certify.enabled) {
+      throw BadArgument(
+          "--engine cannot be combined with --certify (the ladder picks its own tiers)");
+    }
+  }
+  if (args.size() < command->min_args || args.size() > command->max_args) return usage();
+  return command->run(args, options);
+}
+
+}  // namespace ddm::cli

@@ -1,0 +1,61 @@
+// command.hpp — the ddm_cli subcommand table.
+//
+// Each subcommand is one Command row: its synopsis/help text, the argv arity
+// it accepts, which global flags apply to it, and its handler. main() is a
+// pure argv dispatcher over this table — adding a subcommand means adding a
+// cmd_<name>.cpp with a handler and one row here; no policy lives in
+// ddm_cli.cpp.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cli/options.hpp"
+
+namespace ddm::cli {
+
+struct Command {
+  const char* name;
+  /// Positional/flag synopsis shown in usage and help ("threshold <n> <t>
+  /// <beta> [--certify[=tol]] [--engine=<id>]").
+  const char* synopsis;
+  /// One-line summary for the usage screen.
+  const char* summary;
+  /// Multi-line body for `ddm_cli help <name>` / `<name> --help`.
+  const char* help;
+  /// Accepted argv token counts, command name included (volume validates its
+  /// variable tail itself).
+  std::size_t min_args;
+  std::size_t max_args;
+  bool accepts_certify;
+  bool accepts_checkpoint;
+  bool accepts_engine;
+  int (*run)(const std::vector<std::string>& args, const Options& options);
+};
+
+/// Every registered subcommand, in usage order.
+[[nodiscard]] std::span<const Command> command_table();
+
+/// Command row by name, or nullptr.
+[[nodiscard]] const Command* find_command(std::string_view name) noexcept;
+
+/// Prints the global usage screen to stdout.
+void print_usage();
+
+/// Prints usage and returns the conventional exit status 1 (unknown command
+/// or arity).
+[[nodiscard]] int usage();
+
+/// Prints `command`'s help page to stdout.
+void print_command_help(const Command& command);
+
+/// Dispatches args (command first) over the table: validates the flag set
+/// against the command's row (BadArgument, exit 2, same messages as the
+/// pre-refactor CLI), the arity (usage, exit 1), then runs the handler.
+/// Also serves `help [<command>]` and `<command> --help`.
+[[nodiscard]] int dispatch(const std::vector<std::string>& args, const Options& options);
+
+}  // namespace ddm::cli

@@ -1,0 +1,127 @@
+#include "cli/options.hpp"
+
+#include <iostream>
+
+#include "cli/parse.hpp"
+#include "engine/registry.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+
+namespace ddm::cli {
+
+namespace {
+
+/// "auto, batch, ..., kernel, or mc" — built from the registry so a newly
+/// registered engine is accepted (and named in rejections) automatically.
+std::string engine_choices() {
+  const auto ids = engine::Registry::instance().ids();
+  std::string choices = "auto";
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    choices += (i + 1 == ids.size()) ? ", or " : ", ";
+    choices += ids[i];
+  }
+  return choices;
+}
+
+std::string engine_values() {
+  std::string values = "auto";
+  for (const std::string_view id : engine::Registry::instance().ids()) {
+    values += '|';
+    values += id;
+  }
+  return values;
+}
+
+}  // namespace
+
+CommandLine parse_command_line(int argc, char** argv) {
+  CommandLine command_line;
+  Options& options = command_line.options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--certify") {
+      options.certify.enabled = true;
+    } else if (arg.rfind("--certify=", 0) == 0) {
+      options.certify.enabled = true;
+      options.certify.policy.tolerance = parse_rational("--certify tolerance", arg.substr(10));
+      if (options.certify.policy.tolerance.signum() < 0) {
+        throw BadArgument("invalid --certify tolerance '" + arg.substr(10) + "' (must be >= 0)");
+      }
+    } else if (arg == "--checkpoint" || arg == "--resume") {
+      if (i + 1 >= argc) throw BadArgument(arg + " requires a file argument");
+      options.checkpoint_path = argv[++i];
+      options.resume = options.resume || arg == "--resume";
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      options.trace_path = arg.substr(8);
+      if (options.trace_path.empty()) {
+        throw BadArgument("invalid --trace '' (expected --trace=<file>)");
+      }
+    } else if (arg == "--trace") {
+      throw BadArgument("--trace requires a file (use --trace=<file>)");
+    } else if (arg.rfind("--engine=", 0) == 0) {
+      options.engine = arg.substr(9);
+      options.engine_set = true;
+      if (options.engine != "auto" &&
+          engine::Registry::instance().find(options.engine) == nullptr) {
+        throw BadArgument("invalid --engine '" + options.engine + "' (expected " +
+                          engine_choices() + ")");
+      }
+    } else if (arg == "--engine") {
+      throw BadArgument("--engine requires a value (use --engine=" + engine_values() + ")");
+    } else if (arg == "--metrics") {
+      options.metrics = true;
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      const std::string format = arg.substr(10);
+      if (format == "json") {
+        options.metrics_format = Options::MetricsFormat::kJson;
+      } else if (format == "prom") {
+        options.metrics_format = Options::MetricsFormat::kProm;
+      } else {
+        throw BadArgument("invalid --metrics format '" + format + "' (expected json or prom)");
+      }
+      options.metrics = true;
+    } else if (arg == "--help" || arg == "-h") {
+      options.help = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      throw BadArgument("unknown option '" + arg + "'");
+    } else {
+      command_line.args.push_back(arg);
+    }
+  }
+  return command_line;
+}
+
+void enable_observability(const Options& options) {
+  if (!options.trace_path.empty()) ddm::obs::start_tracing();
+  if (options.metrics) ddm::obs::set_metrics_enabled(true);
+}
+
+int finalize_observability(const Options& options) {
+  int rc = 0;
+  if (!options.trace_path.empty()) {
+    ddm::obs::stop_tracing();
+    try {
+      ddm::obs::export_chrome_trace(options.trace_path);
+    } catch (const std::exception& error) {
+      std::cerr << "error: " << error.what() << "\n";
+      rc = 2;
+    }
+  }
+  if (options.metrics) {
+    const auto& registry = ddm::obs::Registry::instance();
+    switch (options.metrics_format) {
+      case Options::MetricsFormat::kText:
+        registry.write_text(std::cerr);
+        break;
+      case Options::MetricsFormat::kJson:
+        registry.write_json(std::cerr);
+        break;
+      case Options::MetricsFormat::kProm:
+        registry.write_prometheus(std::cerr);
+        break;
+    }
+  }
+  return rc;
+}
+
+}  // namespace ddm::cli

@@ -1,0 +1,65 @@
+// options.hpp — global flags pulled out of argv before positional dispatch.
+//
+// Flag grammar (identical across subcommands; per-command *acceptance* is
+// enforced by cli::dispatch against the command table):
+//   --certify[=tol]       certified evaluation via the escalation ladder
+//   --checkpoint <file>   append-only JSONL checkpoint (sweep)
+//   --resume <file>       reuse rows already in <file>, append the rest
+//   --engine=<id>         evaluation engine: "auto" or any registered id
+//   --trace=<file>        export a Chrome trace at exit
+//   --metrics[=json|prom] dump the metrics registry to stderr at exit
+//   --help / -h           subcommand help (global usage without a command)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/certify.hpp"
+
+namespace ddm::cli {
+
+/// Certification options distilled from --certify[=tol].
+struct CertifyRequest {
+  bool enabled = false;
+  ddm::EvalPolicy policy;
+};
+
+/// Options pulled out of argv before positional dispatch.
+struct Options {
+  CertifyRequest certify;
+  std::string checkpoint_path;
+  bool resume = false;
+  std::string trace_path;
+  bool metrics = false;
+  enum class MetricsFormat { kText, kJson, kProm } metrics_format = MetricsFormat::kText;
+  /// Engine-selection policy: "auto" or a registered engine id. engine_set
+  /// records whether --engine appeared at all — subcommands keep their
+  /// pre-engine output byte-identical unless the flag was given explicitly
+  /// (sweep is the exception: its auto mode always reports the chosen
+  /// engine, see cmd_sweep.cpp).
+  std::string engine = "auto";
+  bool engine_set = false;
+  bool help = false;
+};
+
+/// argv split into positional arguments (command first) and global options.
+struct CommandLine {
+  std::vector<std::string> args;
+  Options options;
+};
+
+/// Parses argv. Throws BadArgument on malformed or unknown flags; --engine
+/// values are validated against the registry ("auto" plus every id).
+[[nodiscard]] CommandLine parse_command_line(int argc, char** argv);
+
+/// Turns collection on before dispatch. Tracing and metrics are both global
+/// relaxed flags, so enabling them costs the instrumented code nothing until
+/// an event actually fires.
+void enable_observability(const Options& options);
+
+/// Exports the trace and dumps metrics at exit — on the error path too, so a
+/// failed run still leaves its diagnostics behind. Returns 0, or 2 when the
+/// trace file cannot be written.
+[[nodiscard]] int finalize_observability(const Options& options);
+
+}  // namespace ddm::cli

@@ -1,0 +1,82 @@
+#include "cli/parse.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "util/bigint.hpp"
+
+namespace ddm::cli {
+
+namespace {
+
+template <typename T>
+T parse_unsigned(const char* what, const std::string& text) {
+  T value{};
+  const char* begin = text.c_str();
+  const char* end = begin + text.size();
+  const auto result = std::from_chars(begin, end, value);
+  if (text.empty() || result.ec != std::errc{} || result.ptr != end) {
+    throw BadArgument(std::string("invalid ") + what + " '" + text +
+                      "' (expected a non-negative integer)");
+  }
+  return value;
+}
+
+bool all_digits(const std::string& text) {
+  if (text.empty()) return false;
+  return std::all_of(text.begin(), text.end(), [](char c) { return c >= '0' && c <= '9'; });
+}
+
+}  // namespace
+
+std::uint32_t parse_u32(const char* what, const std::string& text) {
+  return parse_unsigned<std::uint32_t>(what, text);
+}
+
+std::uint64_t parse_u64(const char* what, const std::string& text) {
+  return parse_unsigned<std::uint64_t>(what, text);
+}
+
+int parse_int(const char* what, const std::string& text) {
+  int value = 0;
+  const char* begin = text.c_str();
+  const char* end = begin + text.size();
+  const auto result = std::from_chars(begin, end, value);
+  if (text.empty() || result.ec != std::errc{} || result.ptr != end) {
+    throw BadArgument(std::string("invalid ") + what + " '" + text + "' (expected an integer)");
+  }
+  return value;
+}
+
+util::Rational parse_rational(const char* what, const std::string& text) {
+  const auto reject = [&]() -> BadArgument {
+    return BadArgument(std::string("invalid ") + what + " '" + text +
+                       "' (expected a/b, an integer, or a decimal)");
+  };
+  try {
+    const auto dot = text.find('.');
+    if (dot == std::string::npos) return util::Rational::parse(text);
+    if (text.find('.', dot + 1) != std::string::npos) throw reject();  // e.g. "1.2.3"
+    const std::string whole = text.substr(0, dot);
+    const std::string frac = text.substr(dot + 1);
+    if (!whole.empty() && whole != "-" && !all_digits(whole[0] == '-' ? whole.substr(1) : whole)) {
+      throw reject();
+    }
+    if (frac.empty()) {
+      if (whole.empty() || whole == "-") throw reject();  // "." or "-."
+      return util::Rational::parse(whole);
+    }
+    if (!all_digits(frac)) throw reject();  // e.g. "1.2/3"
+    const bool negative = !whole.empty() && whole[0] == '-';
+    util::Rational result = util::Rational::parse(whole.empty() || whole == "-" ? "0" : whole);
+    const util::Rational fraction{util::BigInt{frac},
+                                  util::BigInt::pow(util::BigInt{10}, frac.size())};
+    return negative ? result - fraction : result + fraction;
+  } catch (const BadArgument&) {
+    throw;
+  } catch (const std::exception&) {
+    throw reject();
+  }
+}
+
+}  // namespace ddm::cli

@@ -1,0 +1,32 @@
+// parse.hpp — strict argument parsing shared by the ddm_cli subcommands.
+//
+// Every parser takes the argument's name so rejection messages can point at
+// the offending value ("invalid beta '1.2.3' (...)"); malformed arguments
+// raise BadArgument, which main() turns into exit status 2.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "util/rational.hpp"
+
+namespace ddm::cli {
+
+/// A malformed command-line argument; the message names the offending value.
+class BadArgument : public std::runtime_error {
+ public:
+  explicit BadArgument(const std::string& message) : std::runtime_error(message) {}
+};
+
+/// Strict parsers: the whole argument must be a decimal number that fits the
+/// target type — no trailing garbage, no leading '-' wrapped around.
+[[nodiscard]] std::uint32_t parse_u32(const char* what, const std::string& text);
+[[nodiscard]] std::uint64_t parse_u64(const char* what, const std::string& text);
+[[nodiscard]] int parse_int(const char* what, const std::string& text);
+
+/// Accepts a/b, integers, and decimal notation like 0.622; rejects anything
+/// else ("1.2.3", "1.2/3", "0.6x") naming the argument.
+[[nodiscard]] util::Rational parse_rational(const char* what, const std::string& text);
+
+}  // namespace ddm::cli

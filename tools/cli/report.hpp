@@ -1,0 +1,21 @@
+// report.hpp — shared result formatting for the ddm_cli subcommands.
+#pragma once
+
+#include "engine/registry.hpp"
+#include "util/certify.hpp"
+
+namespace ddm::cli {
+
+/// Prints a certified result block (value, enclosure, tier, ladder
+/// counters). Reports the per-evaluation ladder counters
+/// (CertifiedValue::stats), not a cumulative policy-attached view — across
+/// several evaluations the latter would misreport each one's escalation
+/// count.
+void print_certified(const ddm::CertifiedValue& result, const ddm::EvalPolicy& policy);
+
+/// Surfaces an auto-mode fallback on stderr ("note: --engine=auto: ..."),
+/// so a sweep that silently switched backends is silent no longer. No-op
+/// for forced engines or when auto took its first choice.
+void report_fallback(const engine::Selection& selection);
+
+}  // namespace ddm::cli

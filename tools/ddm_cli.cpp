@@ -1,640 +1,43 @@
 // ddm_cli — command-line front end to the ddm library.
 //
-// Subcommands:
-//   oblivious <n> <t>                exact optimal oblivious protocol (Thm 4.3)
-//   threshold <n> <t> <beta>         exact P of a symmetric threshold (Thm 5.1)
-//   analyze   <n> <t> [digits]       full Section 5.2 analysis: pieces,
-//                                    optimality condition, certified beta*
-//   simulate  <n> <t> <beta> <trials> [seed]   Monte Carlo cross-check
-//   volume    <m> <s1..sm> <p1..pm>  Vol(simplex ∩ box), Proposition 2.2
-//   ladder    <n> <t> [trials]       information ladder: deterministic /
-//                                    oblivious / threshold / full-info oracle
-//   sweep     <n> <t> <lo> <hi> <steps>   β-grid of Theorem 5.1 values, fanned
-//                                    across the thread pool, emitted as JSON
+// This file is intentionally a pure argv dispatcher: global flags are parsed
+// by cli/options.cpp, the subcommand table (synopsis, arity, flag
+// acceptance, handlers) lives in cli/command.cpp, and each subcommand's
+// logic in cli/cmd_<name>.cpp. Engine-selection policy lives in the library
+// (src/engine/policy.hpp), not here. Run `ddm_cli` for usage or
+// `ddm_cli help <command>` for per-subcommand help.
 //
-// Options:
-//   --certify[=tol]      (threshold, volume, sweep) certified evaluation:
-//                        rigorous enclosure via the escalation ladder,
-//                        docs/robustness.md
-//   --checkpoint <file>  (sweep) write an append-only JSONL checkpoint per
-//                        completed block
-//   --resume <file>      (sweep) skip rows already in <file>, append new ones
-//   --engine=<e>         (sweep) evaluation engine: `compiled` lowers the
-//                        exact Theorem 5.1 piecewise polynomial to a certified
-//                        double Horner plan (poly/compiled.hpp), `kernel`
-//                        forces the O(3^n) batch kernel, `auto` (default)
-//                        picks the compiled plan when its certified error
-//                        bound is within 1e-9 — docs/performance.md
-//   --trace=<file>       (any) record tracing spans, export Chrome trace JSON
-//                        to <file> at exit (load in chrome://tracing/Perfetto)
-//   --metrics[=json|prom] (any) dump the metrics registry to stderr at exit
-//                        (human-readable text by default), docs/observability.md
-//
-// Rationals are accepted as "a/b", integers, or decimals (e.g. 4/3, 0.622).
-// Malformed arguments name the offending value and exit with status 2.
-#include <algorithm>
-#include <charconv>
-#include <iomanip>
+// Exit statuses: 0 success; 1 usage (unknown command or arity); 2 malformed
+// arguments or evaluation errors; 3 certified tolerance missed.
+#include <exception>
 #include <iostream>
-#include <limits>
-#include <optional>
-#include <stdexcept>
-#include <string>
+#include <utility>
 #include <vector>
 
-#include "ddm.hpp"
-#include "obs/metrics_registry.hpp"
-#include "obs/trace.hpp"
-
-namespace {
-
-using ddm::util::Rational;
-
-int usage() {
-  std::cout <<
-      R"(ddm_cli — optimal distributed decision-making with no communication
-(Georgiades/Mavronicolas/Spirakis, FCT'99)
-
-usage:
-  ddm_cli oblivious <n> <t>
-  ddm_cli threshold <n> <t> <beta> [--certify[=tol]]
-  ddm_cli analyze   <n> <t> [digits=30]
-  ddm_cli simulate  <n> <t> <beta> <trials> [seed=42]
-  ddm_cli volume    <m> <sigma_1..sigma_m> <pi_1..pi_m> [--certify[=tol]]
-  ddm_cli ladder    <n> <t> [trials=500000]
-  ddm_cli sweep     <n> <t> <beta_lo> <beta_hi> <steps> [--certify[=tol]]
-                    [--checkpoint <file>] [--resume <file>]
-                    [--engine=compiled|kernel|auto]
-
-any subcommand also accepts:
-  --trace=<file>         export a Chrome trace of the run to <file>
-  --metrics[=json|prom]  dump the metrics registry to stderr at exit
-
-rationals may be written a/b (e.g. 4/3). Examples:
-  ddm_cli analyze 3 1            # the paper's flagship instance
-  ddm_cli analyze 4 4/3 40       # Section 5.2.2 with 40 certified digits
-  ddm_cli simulate 3 1 0.622 1000000
-  ddm_cli threshold 24 8 0.37 --certify=1/1000000000000
-  ddm_cli sweep 4 4/3 0 1 100    # JSON grid of P(beta), all cores
-  ddm_cli sweep 12 4 0 1 10000 --engine=compiled   # certified Horner plan
-  ddm_cli sweep 4 4/3 0 1 100 --checkpoint sweep.ckpt   # crash-safe
-  ddm_cli sweep 4 4/3 0 1 100 --resume sweep.ckpt       # finish a killed run
-  ddm_cli sweep 24 8 0.3 0.45 8 --certify --trace=sweep.json --metrics
-)";
-  return 1;
-}
-
-/// A malformed command-line argument; the message names the offending value.
-class BadArgument : public std::runtime_error {
- public:
-  explicit BadArgument(const std::string& message) : std::runtime_error(message) {}
-};
-
-/// Strict unsigned parser: the whole argument must be a decimal number that
-/// fits the target type — no trailing garbage, no leading '-' wrapped around.
-template <typename T>
-T parse_unsigned(const char* what, const std::string& text) {
-  T value{};
-  const char* begin = text.c_str();
-  const char* end = begin + text.size();
-  const auto result = std::from_chars(begin, end, value);
-  if (text.empty() || result.ec != std::errc{} || result.ptr != end) {
-    throw BadArgument(std::string("invalid ") + what + " '" + text +
-                      "' (expected a non-negative integer)");
-  }
-  return value;
-}
-
-std::uint32_t parse_u32(const char* what, const std::string& text) {
-  return parse_unsigned<std::uint32_t>(what, text);
-}
-
-std::uint64_t parse_u64(const char* what, const std::string& text) {
-  return parse_unsigned<std::uint64_t>(what, text);
-}
-
-int parse_int(const char* what, const std::string& text) {
-  int value = 0;
-  const char* begin = text.c_str();
-  const char* end = begin + text.size();
-  const auto result = std::from_chars(begin, end, value);
-  if (text.empty() || result.ec != std::errc{} || result.ptr != end) {
-    throw BadArgument(std::string("invalid ") + what + " '" + text + "' (expected an integer)");
-  }
-  return value;
-}
-
-bool all_digits(const std::string& text) {
-  if (text.empty()) return false;
-  return std::all_of(text.begin(), text.end(), [](char c) { return c >= '0' && c <= '9'; });
-}
-
-/// Accepts a/b, integers, and decimal notation like 0.622; rejects anything
-/// else ("1.2.3", "1.2/3", "0.6x") naming the argument.
-Rational parse_rational(const char* what, const std::string& text) {
-  const auto reject = [&]() -> BadArgument {
-    return BadArgument(std::string("invalid ") + what + " '" + text +
-                       "' (expected a/b, an integer, or a decimal)");
-  };
-  try {
-    const auto dot = text.find('.');
-    if (dot == std::string::npos) return Rational::parse(text);
-    if (text.find('.', dot + 1) != std::string::npos) throw reject();  // e.g. "1.2.3"
-    const std::string whole = text.substr(0, dot);
-    const std::string frac = text.substr(dot + 1);
-    if (!whole.empty() && whole != "-" && !all_digits(whole[0] == '-' ? whole.substr(1) : whole)) {
-      throw reject();
-    }
-    if (frac.empty()) {
-      if (whole.empty() || whole == "-") throw reject();  // "." or "-."
-      return Rational::parse(whole);
-    }
-    if (!all_digits(frac)) throw reject();  // e.g. "1.2/3"
-    const bool negative = !whole.empty() && whole[0] == '-';
-    Rational result = Rational::parse(whole.empty() || whole == "-" ? "0" : whole);
-    const Rational fraction{ddm::util::BigInt{frac},
-                            ddm::util::BigInt::pow(ddm::util::BigInt{10}, frac.size())};
-    return negative ? result - fraction : result + fraction;
-  } catch (const BadArgument&) {
-    throw;
-  } catch (const std::exception&) {
-    throw reject();
-  }
-}
-
-/// Certification options distilled from --certify[=tol].
-struct CertifyRequest {
-  bool enabled = false;
-  ddm::EvalPolicy policy;
-};
-
-// Reports the per-evaluation ladder counters (CertifiedValue::stats), not a
-// cumulative policy-attached view — across several evaluations the latter
-// would misreport each one's escalation count.
-void print_certified(const ddm::CertifiedValue& result, const ddm::EvalPolicy& policy) {
-  const ddm::EvalStats& stats = result.stats;
-  const auto flags = std::cout.flags();
-  std::cout << std::setprecision(std::numeric_limits<double>::max_digits10)
-            << "  certified value = " << result.value() << "\n"
-            << "  enclosure = [" << result.enclosure.lo().to_double() << ", "
-            << result.enclosure.hi().to_double() << "]"
-            << std::setprecision(3) << "  width = " << result.width().to_double() << "\n"
-            << "  tier = " << ddm::to_string(result.tier) << "  tolerance ("
-            << policy.tolerance.to_double() << ") "
-            << (result.met_tolerance ? "met" : "NOT met") << "\n"
-            << "  ladder: double x" << stats.double_attempts << ", interval x"
-            << stats.interval_attempts << ", exact x" << stats.exact_attempts
-            << ", escalations " << stats.escalations << ", numeric errors "
-            << stats.numeric_errors << "\n";
-  std::cout.flags(flags);
-}
-
-int cmd_oblivious(std::uint32_t n, const Rational& t) {
-  const Rational p = ddm::core::optimal_oblivious_winning_probability(n, t);
-  std::cout << "Optimal oblivious (anonymous) protocol: alpha = 1/2 for all players\n"
-            << "  P(no overflow) = " << p << " = " << p.to_double() << "\n"
-            << "  gradient residual at 1/2 (Cor 4.2): "
-            << ddm::core::stationarity_residual(std::vector<Rational>(n, Rational(1, 2)), t)
-            << "\n";
-  return 0;
-}
-
-int cmd_threshold(std::uint32_t n, const Rational& t, const Rational& beta,
-                  const CertifyRequest& certify) {
-  std::cout << "Symmetric single-threshold protocol, beta = " << beta << "\n";
-  if (certify.enabled) {
-    const auto result =
-        ddm::core::certified_symmetric_threshold_winning_probability(n, beta, t, certify.policy);
-    print_certified(result, certify.policy);
-    return result.met_tolerance ? 0 : 3;
-  }
-  const Rational p = ddm::core::symmetric_threshold_winning_probability(n, beta, t);
-  std::cout << "  P(no overflow) = " << p << " = " << p.to_double() << "\n";
-  return 0;
-}
-
-int cmd_analyze(std::uint32_t n, const Rational& t, int digits) {
-  const auto analysis = ddm::core::SymmetricThresholdAnalysis::build(n, t);
-  std::cout << "P(beta) for n = " << n << ", t = " << t << " (exact pieces):\n";
-  for (const auto& piece : analysis.winning_probability().pieces()) {
-    std::cout << "  [" << piece.lo << ", " << piece.hi << "]  "
-              << piece.poly.to_string("beta") << "\n";
-  }
-  const auto opt = analysis.optimize();
-  std::cout << "Optimality condition: " << opt.optimality_condition.to_string("beta")
-            << (opt.interior ? " = 0" : "") << "\n";
-  ddm::poly::RootInterval beta = opt.beta;
-  if (opt.interior) {
-    const Rational width{ddm::util::BigInt{1},
-                         ddm::util::BigInt::pow(ddm::util::BigInt{10},
-                                                static_cast<std::uint64_t>(digits))};
-    beta = ddm::poly::refine_root(opt.optimality_condition, beta, width);
-  }
-  std::cout << "beta* = " << ddm::util::fmt(beta.approx(), std::min(digits, 17))
-            << "  (certified global maximum: " << (opt.certified ? "yes" : "no") << ")\n"
-            << "P(beta*) = " << ddm::util::fmt(opt.value.to_double(), 15) << "\n"
-            << "Oblivious baseline: "
-            << ddm::util::fmt(
-                   ddm::core::optimal_oblivious_winning_probability(n, t).to_double(), 15)
-            << "\n";
-  return 0;
-}
-
-int cmd_simulate(std::uint32_t n, const Rational& t, const Rational& beta,
-                 std::uint64_t trials, std::uint64_t seed) {
-  const auto protocol = ddm::core::SingleThresholdProtocol::symmetric(n, beta);
-  ddm::prob::Rng rng{seed};
-  const auto result =
-      ddm::sim::estimate_winning_probability(protocol, t.to_double(), trials, rng);
-  const double exact =
-      ddm::core::symmetric_threshold_winning_probability(n, beta, t).to_double();
-  std::cout << "Simulated " << trials << " trials (seed " << seed << "):\n"
-            << "  estimate = " << result.estimate << "  95% CI [" << result.ci_low << ", "
-            << result.ci_high << "]\n"
-            << "  exact    = " << exact << "  ("
-            << (result.covers(exact) ? "covered" : "NOT covered") << ")\n";
-  return 0;
-}
-
-int cmd_volume(const std::vector<Rational>& sigma, const std::vector<Rational>& pi,
-               const CertifyRequest& certify) {
-  std::cout << "Vol(Sigma(sigma) ∩ Pi(pi))  [Proposition 2.2]\n";
-  if (certify.enabled) {
-    const auto result = ddm::geom::certified_simplex_box_volume(sigma, pi, certify.policy);
-    print_certified(result, certify.policy);
-    return result.met_tolerance ? 0 : 3;
-  }
-  const Rational volume = ddm::geom::simplex_box_volume(sigma, pi);
-  std::cout << "  = " << volume << " = " << volume.to_double() << "\n"
-            << "  simplex volume = " << ddm::geom::simplex_volume(sigma) << ", box volume = "
-            << ddm::geom::box_volume(pi) << "\n";
-  return 0;
-}
-
-// Certified sweep: every grid point goes through the escalation ladder with
-// an exact rational beta (clamped to [0, 1]), fanned across the pool one
-// point per chunk. Rows gain the per-point tier/escalations/width; exit code
-// 3 when any point misses the policy tolerance.
-int cmd_sweep_certified(std::uint32_t n, const Rational& t, const Rational& lo,
-                        const Rational& hi, std::uint32_t steps,
-                        const CertifyRequest& certify) {
-  std::vector<Rational> betas(steps + 1, Rational{0});
-  const Rational range = hi - lo;
-  const Rational denom{static_cast<std::int64_t>(steps)};
-  for (std::uint32_t k = 0; k <= steps; ++k) {
-    Rational beta = lo + range * Rational{static_cast<std::int64_t>(k)} / denom;
-    if (beta < Rational{0}) beta = Rational{0};
-    if (beta > Rational{1}) beta = Rational{1};
-    betas[k] = beta;
-  }
-
-  std::vector<ddm::CertifiedValue> results(steps + 1);
-  ddm::util::ParallelOptions options;
-  options.grain = 1;
-  options.label = "sweep_certify";
-  ddm::util::parallel_for(
-      0, betas.size(),
-      [&](std::size_t chunk_lo, std::size_t chunk_hi) {
-        for (std::size_t k = chunk_lo; k < chunk_hi; ++k) {
-          // Fresh evaluation per attempt: idempotent under engine retry, and
-          // CertifiedValue::stats carries this point's ladder counters only.
-          results[k] = ddm::core::certified_symmetric_threshold_winning_probability(
-              n, betas[k], t, certify.policy);
-        }
-      },
-      options);
-
-  bool all_met = true;
-  std::cout << std::setprecision(std::numeric_limits<double>::max_digits10) << "[\n";
-  for (std::uint32_t k = 0; k <= steps; ++k) {
-    const ddm::CertifiedValue& r = results[k];
-    all_met = all_met && r.met_tolerance;
-    std::cout << "  {\"n\": " << n << ", \"t\": " << t.to_double() << ", \"beta\": "
-              << betas[k].to_double() << ", \"p_win\": " << r.value() << ", \"tier\": \""
-              << ddm::to_string(r.tier) << "\", \"escalations\": " << r.stats.escalations
-              << ", \"width\": " << r.width().to_double() << ", \"met_tolerance\": "
-              << (r.met_tolerance ? "true" : "false") << "}" << (k < steps ? "," : "") << "\n";
-  }
-  std::cout << "]\n";
-  return all_met ? 0 : 3;
-}
-
-// Tolerance the auto engine holds the compiled plan's certificate to, and
-// the n cap past which auto does not even attempt the symbolic lowering (the
-// exact piecewise build grows combinatorially and its certified bound blows
-// past the tolerance anyway; --engine=compiled still forces the attempt).
-constexpr double kCompiledAutoTolerance = 1e-9;
-constexpr std::uint32_t kCompiledAutoMaxN = 16;
-
-// Lowers the symmetric Theorem 5.1 polynomial for the requested engine, or
-// returns nullopt when the sweep should use the batch kernel. `auto` demands
-// the certified bound meet kCompiledAutoTolerance and falls back silently;
-// `compiled` is unconditional and lets lowering errors surface.
-std::optional<ddm::poly::CompiledPiecewise> select_compiled_plan(std::uint32_t n,
-                                                                const Rational& t,
-                                                                const std::string& engine) {
-  if (engine == "kernel") return std::nullopt;
-  if (engine == "auto" && n > kCompiledAutoMaxN) return std::nullopt;
-  try {
-    const auto analysis = ddm::core::SymmetricThresholdAnalysis::build(n, t);
-    auto plan = ddm::poly::CompiledPiecewise::lower(analysis.winning_probability());
-    if (engine == "compiled" || plan.max_error_bound() <= kCompiledAutoTolerance) {
-      return plan;
-    }
-    return std::nullopt;
-  } catch (const std::exception&) {
-    if (engine == "compiled") throw;
-    return std::nullopt;  // auto: the kernel handles what the lowering cannot
-  }
-}
-
-int cmd_sweep(std::uint32_t n, const Rational& t, const Rational& lo, const Rational& hi,
-              std::uint32_t steps, const std::string& checkpoint_path, bool resume,
-              const CertifyRequest& certify, const std::string& engine) {
-  if (n == 0) throw BadArgument("invalid n '0' (sweep needs n >= 1)");
-  if (steps == 0) throw BadArgument("invalid steps '0' (sweep needs steps >= 1)");
-  DDM_SPAN("cli.sweep", {{"n", static_cast<std::int64_t>(n)},
-                         {"steps", static_cast<std::int64_t>(steps)}});
-  if (certify.enabled) {
-    if (!checkpoint_path.empty()) {
-      throw BadArgument("--certify cannot be combined with --checkpoint/--resume");
-    }
-    return cmd_sweep_certified(n, t, lo, hi, steps, certify);
-  }
-  const std::optional<ddm::poly::CompiledPiecewise> plan = select_compiled_plan(n, t, engine);
-  const double t_d = t.to_double();
-  const double lo_d = lo.to_double();
-  const double hi_d = hi.to_double();
-  std::vector<double> betas(steps + 1);
-  std::vector<std::vector<double>> points(plan ? 0 : steps + 1);
-  for (std::uint32_t k = 0; k <= steps; ++k) {
-    const double beta =
-        std::clamp(lo_d + (hi_d - lo_d) * static_cast<double>(k) / static_cast<double>(steps),
-                   0.0, 1.0);
-    betas[k] = beta;
-    if (!plan) points[k].assign(n, beta);
-  }
-
-  std::vector<double> values(steps + 1, 0.0);
-  if (checkpoint_path.empty()) {
-    values = plan ? plan->eval_grid(betas)
-                  : ddm::core::threshold_winning_probability_batch(points, t_d);
-  } else {
-    // Crash-safe path: rows already in the checkpoint are reused verbatim;
-    // missing rows are evaluated in blocks, each appended (and flushed)
-    // before the next block starts. Every row goes through the identical
-    // serial evaluator either way, so the final output is byte-identical to
-    // an uninterrupted run.
-    const ddm::util::SweepParams params{n, t.to_string(), lo.to_string(), hi.to_string(), steps};
-    ddm::util::SweepCheckpoint checkpoint(checkpoint_path, params, resume);
-    std::vector<std::uint32_t> missing;
-    for (std::uint32_t k = 0; k <= steps; ++k) {
-      if (checkpoint.has(k)) {
-        values[k] = checkpoint.completed().at(k).p_win;
-      } else {
-        missing.push_back(k);
-      }
-    }
-    constexpr std::size_t kBlock = 8;
-    for (std::size_t start = 0; start < missing.size(); start += kBlock) {
-      const std::size_t stop = std::min(start + kBlock, missing.size());
-      std::vector<double> block_values;
-      if (plan) {
-        std::vector<double> block_betas;
-        block_betas.reserve(stop - start);
-        for (std::size_t i = start; i < stop; ++i) block_betas.push_back(betas[missing[i]]);
-        block_values = plan->eval_grid(block_betas);
-      } else {
-        std::vector<std::vector<double>> block_points;
-        block_points.reserve(stop - start);
-        for (std::size_t i = start; i < stop; ++i) block_points.push_back(points[missing[i]]);
-        block_values = ddm::core::threshold_winning_probability_batch(block_points, t_d);
-      }
-      for (std::size_t i = start; i < stop; ++i) {
-        const std::uint32_t k = missing[i];
-        values[k] = block_values[i - start];
-        checkpoint.append({k, betas[k], values[k]});
-      }
-    }
-  }
-
-  std::cout << std::setprecision(std::numeric_limits<double>::max_digits10) << "[\n";
-  for (std::uint32_t k = 0; k <= steps; ++k) {
-    std::cout << "  {\"n\": " << n << ", \"t\": " << t_d << ", \"beta\": " << betas[k]
-              << ", \"p_win\": " << values[k] << "}" << (k < steps ? "," : "") << "\n";
-  }
-  std::cout << "]\n";
-  return 0;
-}
-
-int cmd_ladder(std::uint32_t n, const Rational& t, std::uint64_t trials) {
-  const double t_d = t.to_double();
-  ddm::prob::Rng rng{1234};
-  ddm::util::Table table{{"information", "protocol", "P(win)", "method"}};
-  table.add_row({"none (deterministic)", "all-one-bin",
-                 ddm::util::fmt(ddm::prob::irwin_hall_cdf(n, t).to_double(), 6), "exact"});
-  table.add_row(
-      {"none (randomized)", "fair coin",
-       ddm::util::fmt(ddm::core::optimal_oblivious_winning_probability(n, t).to_double(), 6),
-       "exact"});
-  const auto opt = ddm::core::SymmetricThresholdAnalysis::build(n, t).optimize();
-  table.add_row({"own input", "optimal threshold beta* = " + ddm::util::fmt(opt.beta.approx(), 4),
-                 ddm::util::fmt(opt.value.to_double(), 6), "exact"});
-  if (n <= 20) {
-    const auto oracle = ddm::sim::estimate_event_probability(
-        n,
-        [t_d](std::span<const double> xs) { return ddm::core::full_information_win(xs, t_d); },
-        trials, rng);
-    table.add_row({"all inputs", "oracle split", ddm::util::fmt(oracle.estimate, 6),
-                   "Monte Carlo"});
-  }
-  table.print(std::cout);
-  return 0;
-}
-
-/// Options pulled out of argv before positional dispatch.
-struct Options {
-  CertifyRequest certify;
-  std::string checkpoint_path;
-  bool resume = false;
-  std::string trace_path;
-  bool metrics = false;
-  enum class MetricsFormat { kText, kJson, kProm } metrics_format = MetricsFormat::kText;
-  std::string engine = "auto";
-};
-
-/// Turns collection on before dispatch. Tracing and metrics are both global
-/// relaxed flags, so enabling them costs the instrumented code nothing until
-/// an event actually fires.
-void enable_observability(const Options& options) {
-  if (!options.trace_path.empty()) ddm::obs::start_tracing();
-  if (options.metrics) ddm::obs::set_metrics_enabled(true);
-}
-
-/// Exports the trace and dumps metrics at exit — on the error path too, so a
-/// failed run still leaves its diagnostics behind. Returns 0, or 2 when the
-/// trace file cannot be written.
-int finalize_observability(const Options& options) {
-  int rc = 0;
-  if (!options.trace_path.empty()) {
-    ddm::obs::stop_tracing();
-    try {
-      ddm::obs::export_chrome_trace(options.trace_path);
-    } catch (const std::exception& error) {
-      std::cerr << "error: " << error.what() << "\n";
-      rc = 2;
-    }
-  }
-  if (options.metrics) {
-    const auto& registry = ddm::obs::Registry::instance();
-    switch (options.metrics_format) {
-      case Options::MetricsFormat::kText:
-        registry.write_text(std::cerr);
-        break;
-      case Options::MetricsFormat::kJson:
-        registry.write_json(std::cerr);
-        break;
-      case Options::MetricsFormat::kProm:
-        registry.write_prometheus(std::cerr);
-        break;
-    }
-  }
-  return rc;
-}
-
-int dispatch(const std::vector<std::string>& args, const Options& options) {
-  const std::string& command = args[0];
-  const std::size_t n_args = args.size();
-
-  if (options.certify.enabled && command != "threshold" && command != "volume" &&
-      command != "sweep") {
-    throw BadArgument("--certify is only supported by 'threshold', 'volume', and 'sweep'");
-  }
-  if (!options.checkpoint_path.empty() && command != "sweep") {
-    throw BadArgument("--checkpoint/--resume are only supported by 'sweep'");
-  }
-  if (options.engine != "auto") {
-    if (command != "sweep") throw BadArgument("--engine is only supported by 'sweep'");
-    if (options.certify.enabled) {
-      throw BadArgument("--engine cannot be combined with --certify (the ladder picks its own tiers)");
-    }
-  }
-
-  if (command == "oblivious" && n_args == 3) {
-    return cmd_oblivious(parse_u32("n", args[1]), parse_rational("t", args[2]));
-  }
-  if (command == "threshold" && n_args == 4) {
-    return cmd_threshold(parse_u32("n", args[1]), parse_rational("t", args[2]),
-                         parse_rational("beta", args[3]), options.certify);
-  }
-  if (command == "analyze" && (n_args == 3 || n_args == 4)) {
-    const int digits = n_args == 4 ? parse_int("digits", args[3]) : 30;
-    if (digits < 1 || digits > 1000) {
-      throw BadArgument("invalid digits '" + args[3] + "' (expected 1..1000)");
-    }
-    return cmd_analyze(parse_u32("n", args[1]), parse_rational("t", args[2]), digits);
-  }
-  if (command == "simulate" && (n_args == 5 || n_args == 6)) {
-    return cmd_simulate(parse_u32("n", args[1]), parse_rational("t", args[2]),
-                        parse_rational("beta", args[3]), parse_u64("trials", args[4]),
-                        n_args == 6 ? parse_u64("seed", args[5]) : 42);
-  }
-  if (command == "volume" && n_args >= 2) {
-    const std::uint32_t m = parse_u32("m", args[1]);
-    if (m < 1) throw BadArgument("invalid m '" + args[1] + "' (volume needs m >= 1)");
-    if (n_args != 2 + 2 * static_cast<std::size_t>(m)) {
-      throw BadArgument("invalid volume argument count for m '" + args[1] + "' (expected " +
-                        std::to_string(2 * m) + " sides, got " + std::to_string(n_args - 2) +
-                        ")");
-    }
-    std::vector<Rational> sigma;
-    std::vector<Rational> pi;
-    for (std::uint32_t l = 0; l < m; ++l) {
-      sigma.push_back(parse_rational("sigma", args[2 + l]));
-    }
-    for (std::uint32_t l = 0; l < m; ++l) {
-      pi.push_back(parse_rational("pi", args[2 + m + l]));
-    }
-    return cmd_volume(sigma, pi, options.certify);
-  }
-  if (command == "sweep" && n_args == 6) {
-    return cmd_sweep(parse_u32("n", args[1]), parse_rational("t", args[2]),
-                     parse_rational("beta_lo", args[3]), parse_rational("beta_hi", args[4]),
-                     parse_u32("steps", args[5]), options.checkpoint_path, options.resume,
-                     options.certify, options.engine);
-  }
-  if (command == "ladder" && (n_args == 3 || n_args == 4)) {
-    return cmd_ladder(parse_u32("n", args[1]), parse_rational("t", args[2]),
-                      n_args == 4 ? parse_u64("trials", args[3]) : 500000);
-  }
-  return usage();
-}
-
-}  // namespace
+#include "cli/command.hpp"
+#include "cli/options.hpp"
 
 int main(int argc, char** argv) {
   std::vector<std::string> args;  // positional arguments, command first
-  Options options;
+  ddm::cli::Options options;
   try {
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
-      if (arg == "--certify") {
-        options.certify.enabled = true;
-      } else if (arg.rfind("--certify=", 0) == 0) {
-        options.certify.enabled = true;
-        options.certify.policy.tolerance =
-            parse_rational("--certify tolerance", arg.substr(10));
-        if (options.certify.policy.tolerance.signum() < 0) {
-          throw BadArgument("invalid --certify tolerance '" + arg.substr(10) +
-                            "' (must be >= 0)");
-        }
-      } else if (arg == "--checkpoint" || arg == "--resume") {
-        if (i + 1 >= argc) throw BadArgument(arg + " requires a file argument");
-        options.checkpoint_path = argv[++i];
-        options.resume = options.resume || arg == "--resume";
-      } else if (arg.rfind("--trace=", 0) == 0) {
-        options.trace_path = arg.substr(8);
-        if (options.trace_path.empty()) {
-          throw BadArgument("invalid --trace '' (expected --trace=<file>)");
-        }
-      } else if (arg == "--trace") {
-        throw BadArgument("--trace requires a file (use --trace=<file>)");
-      } else if (arg.rfind("--engine=", 0) == 0) {
-        options.engine = arg.substr(9);
-        if (options.engine != "compiled" && options.engine != "kernel" &&
-            options.engine != "auto") {
-          throw BadArgument("invalid --engine '" + options.engine +
-                            "' (expected compiled, kernel, or auto)");
-        }
-      } else if (arg == "--engine") {
-        throw BadArgument("--engine requires a value (use --engine=compiled|kernel|auto)");
-      } else if (arg == "--metrics") {
-        options.metrics = true;
-      } else if (arg.rfind("--metrics=", 0) == 0) {
-        const std::string format = arg.substr(10);
-        if (format == "json") {
-          options.metrics_format = Options::MetricsFormat::kJson;
-        } else if (format == "prom") {
-          options.metrics_format = Options::MetricsFormat::kProm;
-        } else {
-          throw BadArgument("invalid --metrics format '" + format +
-                            "' (expected json or prom)");
-        }
-        options.metrics = true;
-      } else if (arg.rfind("--", 0) == 0) {
-        throw BadArgument("unknown option '" + arg + "'");
-      } else {
-        args.push_back(arg);
+    ddm::cli::CommandLine command_line = ddm::cli::parse_command_line(argc, argv);
+    args = std::move(command_line.args);
+    options = std::move(command_line.options);
+    if (args.empty()) {
+      if (options.help) {
+        ddm::cli::print_usage();
+        return 0;
       }
+      return ddm::cli::usage();
     }
-    if (args.empty()) return usage();
-    enable_observability(options);
-    const int rc = dispatch(args, options);
-    const int obs_rc = finalize_observability(options);
+    ddm::cli::enable_observability(options);
+    const int rc = ddm::cli::dispatch(args, options);
+    const int obs_rc = ddm::cli::finalize_observability(options);
     return rc != 0 ? rc : obs_rc;
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
-    finalize_observability(options);
+    (void)ddm::cli::finalize_observability(options);
     return 2;
   }
 }
