@@ -24,7 +24,9 @@
 #include "poly/roots.hpp"
 #include "prob/rng.hpp"
 #include "sim/monte_carlo.hpp"
+#include "util/build_info.hpp"
 #include "util/parallel.hpp"
+#include "util/simd.hpp"
 
 namespace {
 
@@ -375,6 +377,10 @@ BENCHMARK(BM_ThresholdSearchParallelProbes)->Arg(4)->Arg(6)->UseRealTime();
 // BM_GeneralThresholdDouble/12 — one iteration there is one point through
 // the O(3^n) kernel, and the acceptance bar is a >= 20x gap at n = 12.
 void BM_SweepCompiled(benchmark::State& state) {
+  // Pinned to the scalar Horner path: this family is the denominator of the
+  // BM_SweepCompiledSimd speedup ratio run_bench.sh --check enforces, and
+  // stays comparable with pre-SIMD BENCH_kernels.json baselines.
+  const ddm::util::simd::ScopedForceWidth force_scalar{1};
   const std::size_t steps = static_cast<std::size_t>(state.range(0));
   const auto analysis =
       ddm::core::SymmetricThresholdAnalysis::build(12, Rational{4});
@@ -392,7 +398,11 @@ void BM_SweepCompiled(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(betas.size()));
 }
-BENCHMARK(BM_SweepCompiled)->Arg(1024)->Arg(10000)->UseRealTime();
+// MinTime on both compiled-sweep families: per-iteration times are a few
+// microseconds, so the default sampling window is short enough for AVX-512
+// frequency ramps (triggered by neighbouring benchmarks) to skew a sample —
+// the Simd-vs-scalar gate in run_bench.sh --check needs stable numbers.
+BENCHMARK(BM_SweepCompiled)->Arg(1024)->Arg(10000)->UseRealTime()->MinTime(1.0);
 
 // Same symmetric n = 12 sweep through the batch kernel — the `--engine=kernel`
 // fallback path, and the denominator of the compiled-vs-kernel ratio on the
@@ -418,6 +428,9 @@ BENCHMARK(BM_SweepKernel)->Arg(8)->UseRealTime();
 // bookkeeping is hoisted to per-subset state, so per-point cost falls toward
 // the SoA inner-update cost as the block fills.
 void BM_BatchAmortized(benchmark::State& state) {
+  // Pinned to the scalar subset walk — the BM_BatchAmortizedSimd denominator
+  // (see BM_SweepCompiled for the rationale).
+  const ddm::util::simd::ScopedForceWidth force_scalar{1};
   const std::size_t n = 10;
   const std::size_t grid = static_cast<std::size_t>(state.range(0));
   std::vector<std::vector<double>> points(grid);
@@ -446,20 +459,79 @@ void BM_OptimizerBatched(benchmark::State& state) {
 }
 BENCHMARK(BM_OptimizerBatched)->Arg(6)->Arg(8)->UseRealTime();
 
+// --- SIMD hot paths ------------------------------------------------------
+// The vectorized counterparts of BM_BatchAmortized / BM_SweepCompiled:
+// identical workloads forced to the widest compiled pack width this host
+// executes (util/simd.hpp), so the family-vs-family cpu_time ratio IS the
+// lane speedup. The results are bitwise identical to the scalar families —
+// the packs replicate the scalar op sequence per lane — so the ratio
+// measures dispatch alone. scripts/run_bench.sh --check enforces >= 2x
+// (docs/performance.md §4 records ~the lane count on AVX-512 hosts).
+void BM_BatchAmortizedSimd(benchmark::State& state) {
+  const ddm::util::simd::ScopedForceWidth force_native{
+      ddm::util::simd::native_width()};
+  const std::size_t n = 10;
+  const std::size_t grid = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<double>> points(grid);
+  for (std::size_t k = 0; k < grid; ++k) {
+    points[k].assign(n, 0.05 + 0.9 * static_cast<double>(k) / static_cast<double>(grid));
+  }
+  const double t = static_cast<double>(n) / 3.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddm::core::threshold_winning_probability_batch(points, t));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(grid));
+  state.counters["simd_width"] =
+      static_cast<double>(ddm::util::simd::dispatch_width());
+}
+BENCHMARK(BM_BatchAmortizedSimd)->Arg(16)->Arg(64)->UseRealTime();
+
+void BM_SweepCompiledSimd(benchmark::State& state) {
+  const ddm::util::simd::ScopedForceWidth force_native{
+      ddm::util::simd::native_width()};
+  const std::size_t steps = static_cast<std::size_t>(state.range(0));
+  const auto analysis =
+      ddm::core::SymmetricThresholdAnalysis::build(12, Rational{4});
+  const auto plan = ddm::poly::CompiledPiecewise::lower(analysis.winning_probability());
+  std::vector<double> betas(steps + 1);
+  for (std::size_t k = 0; k <= steps; ++k) {
+    betas[k] = static_cast<double>(k) / static_cast<double>(steps);
+  }
+  std::vector<double> out(betas.size());
+  for (auto _ : state) {
+    plan.eval_grid(betas, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(betas.size()));
+  state.counters["simd_width"] =
+      static_cast<double>(ddm::util::simd::dispatch_width());
+}
+BENCHMARK(BM_SweepCompiledSimd)->Arg(1024)->Arg(10000)->UseRealTime()->MinTime(1.0);
+
 }  // namespace
 
-// Custom main so the JSON context records THIS binary's build type. The
-// stock `library_build_type` field describes how the google-benchmark
-// library was compiled (a debug build on this image), not perf_kernels —
-// which is how a baseline benchmarking unoptimised kernels once got
-// committed without any visible marker. scripts/run_bench.sh refuses to
-// record or compare unless ddm_build_type says "release".
+// Custom main so the JSON context records the build type of BOTH halves of
+// the measured code. The stock `library_build_type` field describes how the
+// google-benchmark library was compiled (a debug build on this image — out
+// of our control and irrelevant to kernel timings), not perf_kernels or
+// libddm — which is how a baseline benchmarking unoptimised kernels once
+// got committed without any visible marker, and how a second hole stayed
+// open after the first fix: `ddm_build_type` only proves THIS translation
+// unit saw NDEBUG, while the kernels live in libddm, which a stale or
+// mixed-configuration tree can supply as a debug build. `ddm::util::
+// build_type()` is compiled inside libddm, so `ddm_library_build_type`
+// stamps the library actually linked. scripts/run_bench.sh refuses to
+// record or compare unless BOTH stamps say "release".
 int main(int argc, char** argv) {
 #ifdef NDEBUG
   benchmark::AddCustomContext("ddm_build_type", "release");
 #else
   benchmark::AddCustomContext("ddm_build_type", "debug");
 #endif
+  benchmark::AddCustomContext("ddm_library_build_type", ddm::util::build_type());
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

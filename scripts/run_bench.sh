@@ -12,18 +12,24 @@
 #       Run the suite into a temp file and compare per-iteration cpu_time
 #       against the checked-in baseline, family by family (the BM_* prefix
 #       before the first '/'). Exits non-zero when any family's geometric-
-#       mean slowdown exceeds 25%. Registered as the opt-in ctest
-#       `bench_regression_check` (label `bench`, -DDDM_BENCH_CHECK=ON).
+#       mean slowdown exceeds 25%, or when a vectorized *Simd family is not
+#       at least 2x faster (geomean, same args) than its scalar counterpart
+#       in the SAME run (docs/performance.md §4). Registered as the opt-in
+#       ctest `bench_regression_check` (label `bench`, -DDDM_BENCH_CHECK=ON).
 #
 # Both modes force CMAKE_BUILD_TYPE=Release in their own build tree
-# (BUILD_DIR, default build-bench) and refuse to use results from a binary
-# whose JSON context does not prove an optimised build: the benchmark's
-# custom main() stamps `ddm_build_type` from NDEBUG, and the guard below
-# requires it to say "release". The stock `library_build_type` field is NOT
-# trusted either way — it describes how the installed google-benchmark
-# library was compiled (debug on this image), not the ddm kernels under
-# test; mistaking it for the binary's build type is exactly how a debug
-# baseline got committed once.
+# (BUILD_DIR, default build-bench) — the library AND the benchmark TU come
+# out of that same tree — and refuse to use results from a binary whose JSON
+# context does not prove an optimised build end to end: the benchmark's
+# custom main() stamps `ddm_build_type` from its own NDEBUG and
+# `ddm_library_build_type` from ddm::util::build_type() (compiled inside
+# libddm, so it certifies the library actually linked, catching a stale or
+# mixed-configuration tree), and the guard below requires BOTH to say
+# "release". The stock `library_build_type` field is NOT trusted either way
+# — it describes how the installed google-benchmark library was compiled
+# (debug on this image), not the ddm kernels under test; mistaking it for
+# the binary's build type is exactly how a debug baseline got committed
+# once.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -57,8 +63,14 @@ with open(sys.argv[1]) as f:
 ddm_build = context.get("ddm_build_type")
 if ddm_build != "release":
     print(f"run_bench.sh: refusing to use results: ddm_build_type is "
-          f"{ddm_build!r} (NDEBUG was unset in the kernels under test)",
-          file=sys.stderr)
+          f"{ddm_build!r} (NDEBUG was unset in the benchmark translation "
+          f"unit)", file=sys.stderr)
+    sys.exit(1)
+lib_build = context.get("ddm_library_build_type")
+if lib_build != "release":
+    print(f"run_bench.sh: refusing to use results: ddm_library_build_type "
+          f"is {lib_build!r} (the linked libddm — where the kernels live — "
+          f"is not an optimised build)", file=sys.stderr)
     sys.exit(1)
 if context.get("library_build_type") != "release":
     print("run_bench.sh: note: the installed google-benchmark library is a "
@@ -124,4 +136,41 @@ if failed:
           file=sys.stderr)
     sys.exit(1)
 print("run_bench.sh --check: all families within 25% of baseline")
+
+# SIMD speedup gate: each vectorized family must beat its scalar counterpart
+# by >= 2x (geomean over matching args) WITHIN this run — comparing inside
+# one run keeps the gate immune to machine-to-machine drift. The scalar
+# families are pinned to width 1 by ScopedForceWidth, so the ratio measures
+# lane dispatch alone (the results are bitwise identical either way).
+SIMD_SPEEDUP = 2.0
+SIMD_PAIRS = {
+    "BM_BatchAmortizedSimd": "BM_BatchAmortized",
+    "BM_SweepCompiledSimd": "BM_SweepCompiled",
+}
+simd_failed = []
+for simd_family, scalar_family in sorted(SIMD_PAIRS.items()):
+    ratios = []
+    for name, cpu in current.items():
+        if name.split("/")[0] != simd_family:
+            continue
+        scalar_name = name.replace(simd_family, scalar_family, 1)
+        if scalar_name in current and cpu > 0:
+            ratios.append(current[scalar_name] / cpu)
+    if not ratios:
+        print(f"run_bench.sh --check: no {simd_family} results to gate",
+              file=sys.stderr)
+        simd_failed.append(simd_family)
+        continue
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    flag = ""
+    if geomean < SIMD_SPEEDUP:
+        simd_failed.append(simd_family)
+        flag = "  TOO SLOW"
+    print(f"{simd_family:<36} {geomean:>13.2f}x vs {scalar_family}{flag}")
+
+if simd_failed:
+    print(f"run_bench.sh --check: SIMD families below the {SIMD_SPEEDUP}x "
+          f"bar: {', '.join(simd_failed)}", file=sys.stderr)
+    sys.exit(1)
+print(f"run_bench.sh --check: SIMD families >= {SIMD_SPEEDUP}x their scalar counterparts")
 EOF

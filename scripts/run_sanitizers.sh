@@ -6,9 +6,11 @@
 #   build-tsan  -DDDM_SANITIZE=thread    (ThreadSanitizer)
 #
 # By default only the suites that exercise the parallel engine, the fault
-# harness, certified evaluation, and checkpointing are run (they cover the
-# code most likely to harbour races or lifetime bugs); pass a ctest regex to
-# run a different slice, or '.*' for everything.
+# harness, certified evaluation, checkpointing, and the SIMD lane-width
+# parity matrix are run (they cover the code most likely to harbour races,
+# lifetime bugs, or lane over-reads — the parity matrix's ragged grid tails
+# are exactly where a vector path would read past the end of an array);
+# pass a ctest regex to run a different slice, or '.*' for everything.
 #
 # Usage: scripts/run_sanitizers.sh [ctest -R regex]
 #   scripts/run_sanitizers.sh                 # default robustness slice
@@ -16,7 +18,7 @@
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-FILTER="${1:-Parallel|FaultTest|FaultEnv|fault_matrix|fault_env|Certified|Checkpoint|MonteCarlo}"
+FILTER="${1:-Parallel|FaultTest|FaultEnv|fault_matrix|fault_env|Certified|Checkpoint|MonteCarlo|Simd|simd_parity}"
 
 run_flavour() {
   local flavour="$1"

@@ -33,17 +33,38 @@ check() {
   fi
 }
 
-check sweep_n3_kernel.txt      sweep 3 1 0 1 12 --engine=kernel
-check sweep_n3_compiled.txt    sweep 3 1 0 1 12 --engine=compiled
-check sweep_n6_compiled.txt    sweep 6 2 0 1 24 --engine=compiled
-check sweep_n12_kernel.txt     sweep 12 4 0 1 8 --engine=kernel
-check sweep_n12_compiled.txt   sweep 12 4 0 1 8 --engine=compiled
-check sweep_n4_certify.txt     sweep 4 4/3 0 1 16 --certify
-check threshold_n3.txt         threshold 3 1 0.622
-check threshold_n24_certify.txt threshold 24 8 3/8 --certify
-check volume_m2.txt            volume 2 1 1 3/4 3/4
-check analyze_n3.txt           analyze 3 1
-check analyze_n4.txt           analyze 4 4/3
-check oblivious_n3.txt         oblivious 3 1
+run_checks() {
+  check sweep_n3_kernel.txt      sweep 3 1 0 1 12 --engine=kernel
+  check sweep_n3_compiled.txt    sweep 3 1 0 1 12 --engine=compiled
+  check sweep_n6_compiled.txt    sweep 6 2 0 1 24 --engine=compiled
+  check sweep_n12_kernel.txt     sweep 12 4 0 1 8 --engine=kernel
+  check sweep_n12_compiled.txt   sweep 12 4 0 1 8 --engine=compiled
+  check sweep_n4_certify.txt     sweep 4 4/3 0 1 16 --certify
+  check threshold_n3.txt         threshold 3 1 0.622
+  check threshold_n24_certify.txt threshold 24 8 3/8 --certify
+  check volume_m2.txt            volume 2 1 1 3/4 3/4
+  check analyze_n3.txt           analyze 3 1
+  check analyze_n4.txt           analyze 4 4/3
+  check oblivious_n3.txt         oblivious 3 1
+}
+
+# Every capture must hold under the default (native) SIMD dispatch AND with
+# DDM_SIMD=off forcing the pre-SIMD scalar kernels: the vector lanes
+# replicate the scalar op sequence bit for bit (util/simd.hpp), so the
+# captures are width-independent by construction.
+run_checks
+CLI_DEFAULT="$CLI"
+check() {
+  local name="$1"
+  shift
+  local golden="$GOLDEN_DIR/$name"
+  local actual
+  actual="$(env DDM_SIMD=off "$CLI_DEFAULT" "$@")" || fail "'DDM_SIMD=off $CLI_DEFAULT $*' failed"
+  if [ "$actual" != "$(cat "$golden")" ]; then
+    diff <(printf '%s\n' "$actual") "$golden" >&2 || true
+    fail "'DDM_SIMD=off $CLI_DEFAULT $*' output differs from $name"
+  fi
+}
+run_checks
 
 echo "cli golden checks passed"

@@ -8,11 +8,13 @@
 
 #include "combinat/binomial.hpp"
 #include "combinat/subsets.hpp"
+#include "core/batch_walk.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/trace.hpp"
 #include "util/fault.hpp"
 #include "util/kahan.hpp"
 #include "util/parallel.hpp"
+#include "util/simd.hpp"
 #include "util/status.hpp"
 
 namespace ddm::core {
@@ -251,9 +253,15 @@ namespace {
 // Batch-kernel metrics (docs/observability.md). `batch.subset_walks_amortized`
 // counts the per-point Gray walks the amortized evaluator did NOT have to run:
 // a run of P same-size points shares one walk, saving P − 1 of them.
+// `engine.simd_width` reports the pack width the walk actually dispatched
+// (after DDM_SIMD, compiled widths, and CPU support — never the compiled
+// maximum), and `kernel.vector_lanes` counts the points that went through
+// full-width vector lanes (tail points run the pinned scalar path).
 struct BatchMetrics {
   obs::Counter points = obs::counter("batch.points");
   obs::Counter walks_amortized = obs::counter("batch.subset_walks_amortized");
+  obs::Gauge simd_width = obs::gauge("engine.simd_width");
+  obs::Counter vector_lanes = obs::counter("kernel.vector_lanes");
 
   static const BatchMetrics& get() {
     static const BatchMetrics metrics;
@@ -261,83 +269,35 @@ struct BatchMetrics {
   }
 };
 
-// Structure-of-arrays scratch for one amortized run; one instance per chunk,
-// reused across the chunk's runs and decision vectors.
-struct BatchWorkspace {
-  std::vector<double> coords;  // transposed run coordinates, coords[i·P + p]
-  std::vector<double> deltas;  // per-member base increments for the current walk
-  std::vector<double> rs, rc;  // running-base Kahan state (sum, compensation)
-  std::vector<double> ss, sc;  // bracket-accumulator Kahan state
-  std::vector<double> base;    // clamped bases feeding the power phase
-  std::vector<double> pw, sq;  // binary-exponentiation result / square chain
-  std::vector<double> prod;    // ones-bracket Π (1 − a_l)
-  std::vector<double> zres;    // zeros-bracket value per point
-  std::vector<double> total;
-};
+using detail::BatchWorkspace;
 
-// One reflected-Gray subset walk over `sz` members, shared by a run of P
-// points. `deltas` is an sz × P matrix of per-point running-base increments:
-// entering the subset adds +delta, leaving adds −delta (for the zeros bracket
-// delta = −a_l, for the ones bracket delta = a_l − 1; IEEE negation is exact
-// and x − y = −(y − x) under round-to-nearest, so this matches the serial
-// brackets' two-sided updates bitwise). Per point the floating-point op
-// sequence is exactly the serial bracket's — the walk only hoists the
-// flip-bit / sign / subset bookkeeping out of the per-point loop. Infeasible
-// subsets (base <= 0), which the serial code skips with a branch, contribute
-// a clamped ±0.0 term here instead; adding ±0.0 leaves a Kahan accumulator
-// bitwise unchanged because neither its sum nor its compensation can ever be
-// −0.0 (derivation in docs/performance.md), so the inner phases stay
-// branch-free and auto-vectorizable.
+// The amortized Gray-code subset walk, W points per lane (the generic
+// implementation and the bitwise-identity argument live in
+// core/batch_walk.hpp; the AVX2/AVX-512 instantiations in their own
+// translation units). `width` is the caller's util::simd::dispatch_width()
+// — resolved once per batch call so a malformed DDM_SIMD throws on the
+// calling thread, before any chunk runs.
 void subset_walk(const double* deltas, std::size_t sz, std::size_t count, std::uint32_t exponent,
-                 BatchWorkspace& ws) {
-  double* rs = ws.rs.data();
-  double* rc = ws.rc.data();
-  double* ss = ws.ss.data();
-  double* sc = ws.sc.data();
-  double* base = ws.base.data();
-  double* pw = ws.pw.data();
-  double* sq = ws.sq.data();
-  const std::uint64_t limit = std::uint64_t{1} << sz;
-  std::uint64_t mask = 0;
-  for (std::uint64_t i = 1; i < limit; ++i) {
-    const std::uint32_t j = combinat::gray_flip_bit(i);
-    const std::uint64_t bit = std::uint64_t{1} << j;
-    mask ^= bit;
-    const bool entering = (mask & bit) != 0;
-    const bool negative = combinat::gray_parity_odd(i);
-    const double* row = deltas + j * count;
-    // Phase 1: advance the running base (Neumaier update) and clamp. The
-    // clamp must be the literal 0.0 (not std::max, whose result could be
-    // −0.0) so phase 2 raises an exact ±0.0 for infeasible points.
-    for (std::size_t p = 0; p < count; ++p) {
-      const double term = entering ? row[p] : -row[p];
-      const double next = rs[p] + term;
-      rc[p] += std::abs(rs[p]) >= std::abs(term) ? (rs[p] - next) + term : (term - next) + rs[p];
-      rs[p] = next;
-      const double rem = rs[p] + rc[p];
-      base[p] = rem > 0.0 ? rem : 0.0;
-    }
-    // Phase 2: base^exponent, replicating pow_uint's multiply order (the
-    // final squaring never feeds the result and is skipped).
-    for (std::size_t p = 0; p < count; ++p) {
-      pw[p] = 1.0;
-      sq[p] = base[p];
-    }
-    for (std::uint32_t e = exponent; e != 0; e >>= 1) {
-      if (e & 1u) {
-        for (std::size_t p = 0; p < count; ++p) pw[p] *= sq[p];
-      }
-      if (e > 1u) {
-        for (std::size_t p = 0; p < count; ++p) sq[p] *= sq[p];
-      }
-    }
-    // Phase 3: signed Neumaier accumulate.
-    for (std::size_t p = 0; p < count; ++p) {
-      const double term = negative ? -pw[p] : pw[p];
-      const double next = ss[p] + term;
-      sc[p] += std::abs(ss[p]) >= std::abs(term) ? (ss[p] - next) + term : (term - next) + ss[p];
-      ss[p] = next;
-    }
+                 BatchWorkspace& ws, int width) {
+  switch (width) {
+#if defined(DDM_SIMD_COMPILED_AVX512)
+    case 8:
+      detail::subset_walk_avx512(deltas, sz, count, exponent, ws);
+      return;
+#endif
+#if defined(DDM_SIMD_COMPILED_AVX2)
+    case 4:
+      detail::subset_walk_avx2(deltas, sz, count, exponent, ws);
+      return;
+#endif
+#if defined(DDM_SIMD_HAS_SSE2) || defined(DDM_SIMD_HAS_NEON)
+    case 2:
+      detail::subset_walk_pack<util::simd::Pack<2>>(deltas, sz, count, exponent, ws);
+      return;
+#endif
+    default:
+      detail::subset_walk_pack<util::simd::Pack<1>>(deltas, sz, count, exponent, ws);
+      return;
   }
 }
 
@@ -345,7 +305,8 @@ void subset_walk(const double* deltas, std::size_t sz, std::size_t count, std::u
 // one Gray-code subset walk per decision vector, writing out[p] bitwise equal
 // to threshold_winning_probability(points[first + p], t).
 void amortized_run(std::span<const std::vector<double>> points, std::size_t first,
-                   std::size_t count, double t, std::span<double> out, BatchWorkspace& ws) {
+                   std::size_t count, double t, std::span<double> out, BatchWorkspace& ws,
+                   int width) {
   const std::size_t n = points[first].size();
   DDM_SPAN("kernel.batch_walk", {{"n", static_cast<std::int64_t>(n)},
                                  {"points", static_cast<std::int64_t>(count)}});
@@ -353,15 +314,20 @@ void amortized_run(std::span<const std::vector<double>> points, std::size_t firs
   const BatchMetrics& batch_metrics = BatchMetrics::get();
   batch_metrics.points.add(count);
   batch_metrics.walks_amortized.add(count - 1);
-  if (obs::metrics_enabled()) kernel_metrics.subsets_visited.add(general_kernel_subsets(n));
+  if (obs::metrics_enabled()) {
+    kernel_metrics.subsets_visited.add(general_kernel_subsets(n));
+    batch_metrics.simd_width.set(width);
+    if (width > 1) {
+      batch_metrics.vector_lanes.add(count - count % static_cast<std::size_t>(width));
+    }
+  }
 
   ws.coords.resize(n * count);
   for (std::size_t p = 0; p < count; ++p) {
     for (std::size_t i = 0; i < n; ++i) ws.coords[i * count + p] = points[first + p][i];
   }
   ws.deltas.resize(n * count);
-  for (auto* buf : {&ws.rs, &ws.rc, &ws.ss, &ws.sc, &ws.base, &ws.pw, &ws.sq, &ws.prod,
-                    &ws.zres, &ws.total}) {
+  for (auto* buf : {&ws.rs, &ws.rc, &ws.ss, &ws.sc, &ws.prod, &ws.zres, &ws.total}) {
     buf->resize(count);
   }
   std::fill(ws.total.begin(), ws.total.end(), 0.0);
@@ -399,7 +365,7 @@ void amortized_run(std::span<const std::vector<double>> points, std::size_t firs
         const double* col = ws.coords.data() + zeros[j] * count;
         for (std::size_t p = 0; p < count; ++p) ws.deltas[j * count + p] = -col[p];
       }
-      subset_walk(ws.deltas.data(), m, count, mm, ws);
+      subset_walk(ws.deltas.data(), m, count, mm, ws, width);
       if (obs::metrics_enabled()) {
         for (std::size_t p = 0; p < count; ++p) {
           kernel_metrics.kahan_compensation.record(std::abs(ws.sc[p]));
@@ -432,7 +398,7 @@ void amortized_run(std::span<const std::vector<double>> points, std::size_t firs
       ws.ss[p] = init;
       ws.sc[p] = 0.0;
     }
-    subset_walk(ws.deltas.data(), k, count, kk, ws);
+    subset_walk(ws.deltas.data(), k, count, kk, ws, width);
     if (obs::metrics_enabled()) {
       for (std::size_t p = 0; p < count; ++p) {
         kernel_metrics.kahan_compensation.record(std::abs(ws.sc[p]));
@@ -467,10 +433,16 @@ std::vector<double> threshold_winning_probability_batch(
   }
   std::vector<double> values(points.size(), 0.0);
   if (t <= 0.0) return values;  // mirrors the single-point evaluator
+  // Resolve the SIMD dispatch width up front, on the calling thread: a
+  // malformed DDM_SIMD throws ddm::Error here (exit 2 from the CLI) before
+  // any chunk is scheduled, and every chunk then walks at the same width.
+  const int simd_width = util::simd::dispatch_width();
   // Chunks of kThresholdBatchBlock points share one Gray-code subset walk per
   // run of equal-size points (amortized_run above); per point the arithmetic
-  // is bitwise identical to a single-point call, so neither blocking nor
-  // parallelism ever changes results. The validate hook rejects any chunk
+  // is bitwise identical to a single-point call — at EVERY dispatch width,
+  // because the vector lanes run across points with the serial op sequence
+  // per lane (core/batch_walk.hpp) — so neither blocking nor parallelism nor
+  // vectorization ever changes results. The validate hook rejects any chunk
   // holding a non-finite value — whether produced by the kernel or injected
   // by a nan-poison fault directive — so the engine recomputes it instead of
   // returning silently-corrupt rows.
@@ -492,7 +464,7 @@ std::vector<double> threshold_winning_probability_batch(
           std::size_t end = idx + 1;
           while (end < hi && points[end].size() == points[idx].size()) ++end;
           amortized_run(points, idx, end - idx, t,
-                        std::span<double>{values.data() + idx, end - idx}, ws);
+                        std::span<double>{values.data() + idx, end - idx}, ws, simd_width);
           idx = end;
         }
         // Chunk ordinal for fault directives: lo / kThresholdBatchBlock.

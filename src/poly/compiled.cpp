@@ -8,8 +8,10 @@
 
 #include "obs/metrics_registry.hpp"
 #include "obs/trace.hpp"
+#include "poly/compiled_detail.hpp"
 #include "util/fault.hpp"
 #include "util/parallel.hpp"
+#include "util/simd.hpp"
 
 namespace ddm::poly {
 
@@ -20,6 +22,8 @@ namespace {
 struct CompiledMetrics {
   obs::Counter lowerings = obs::counter("compiled.lowerings");
   obs::Counter points = obs::counter("compiled.points");
+  obs::Gauge simd_width = obs::gauge("engine.simd_width");
+  obs::Counter vector_lanes = obs::counter("kernel.vector_lanes");
 
   static const CompiledMetrics& get() {
     static const CompiledMetrics metrics;
@@ -91,6 +95,42 @@ double horner(const double* coeffs, std::size_t count, double x) {
     result = result * x + coeffs[i];
   }
   return result;
+}
+
+// Non-template entry points for the widths compiled into every translation
+// unit (the AVX2/AVX-512 ones live in compiled_simd_*.cpp), so eval_grid can
+// pick a run evaluator with one switch per call.
+using HornerRunFn = void (*)(const double*, std::size_t, const double*, double*, std::size_t);
+
+void horner_run_scalar(const double* rows, std::size_t coeff_count, const double* xs,
+                       double* out, std::size_t n) {
+  detail::horner_run_pack<ddm::util::simd::Pack<1>>(rows, coeff_count, xs, out, n);
+}
+
+#if defined(DDM_SIMD_HAS_SSE2) || defined(DDM_SIMD_HAS_NEON)
+void horner_run_w2(const double* rows, std::size_t coeff_count, const double* xs,
+                   double* out, std::size_t n) {
+  detail::horner_run_pack<ddm::util::simd::Pack<2>>(rows, coeff_count, xs, out, n);
+}
+#endif
+
+HornerRunFn pick_horner_run(int width) {
+  switch (width) {
+#if defined(DDM_SIMD_COMPILED_AVX512)
+    case 8:
+      return detail::horner_run_avx512;
+#endif
+#if defined(DDM_SIMD_COMPILED_AVX2)
+    case 4:
+      return detail::horner_run_avx2;
+#endif
+#if defined(DDM_SIMD_HAS_SSE2) || defined(DDM_SIMD_HAS_NEON)
+    case 2:
+      return horner_run_w2;
+#endif
+    default:
+      return horner_run_scalar;
+  }
 }
 
 }  // namespace
@@ -204,6 +244,16 @@ CompiledPiecewise CompiledPiecewise::lower(const PiecewisePolynomial& source) {
     plan.max_error_ = std::max(plan.max_error_, cp.error_bound);
   }
 
+  // Transposed vector-Horner layout: the SAME doubles as coeffs_, each
+  // replicated across a kCoeffLanes-wide row (compiled_detail.hpp), so the
+  // vector runs stay bitwise identical to scalar Horner by construction.
+  plan.lane_coeffs_.resize(plan.coeffs_.size() * util::simd::kCoeffLanes);
+  for (std::size_t i = 0; i < plan.coeffs_.size(); ++i) {
+    for (std::size_t lane = 0; lane < util::simd::kCoeffLanes; ++lane) {
+      plan.lane_coeffs_[i * util::simd::kCoeffLanes + lane] = plan.coeffs_[i];
+    }
+  }
+
   return plan;
 }
 
@@ -233,11 +283,24 @@ void CompiledPiecewise::eval_grid(std::span<const double> xs, std::span<double> 
   if (xs.empty()) return;
   DDM_SPAN("compiled.eval_grid", {{"points", static_cast<std::int64_t>(xs.size())},
                                   {"pieces", static_cast<std::int64_t>(pieces_.size())}});
-  CompiledMetrics::get().points.add(xs.size());
+  const CompiledMetrics& metrics = CompiledMetrics::get();
+  metrics.points.add(xs.size());
+  // Resolve the SIMD width once, on the calling thread (a malformed DDM_SIMD
+  // throws ddm::Error here, before any chunk runs), and report the width
+  // actually dispatched — never the compiled maximum.
+  const int simd_width = util::simd::dispatch_width();
+  const HornerRunFn run_fn = pick_horner_run(simd_width);
+  if (obs::metrics_enabled()) {
+    metrics.simd_width.set(simd_width);
+    if (simd_width > 1) {
+      metrics.vector_lanes.add(xs.size() - xs.size() % static_cast<std::size_t>(simd_width));
+    }
+  }
   // Same robustness shape as the batch kernel: per-point evaluation is
-  // self-contained (bitwise identical to eval() for any thread count), nan
-  // fault directives poison a chunk's first output, and the finiteness
-  // validate hook makes the engine recompute a poisoned chunk.
+  // self-contained (bitwise identical to eval() for any thread count and
+  // any dispatch width), nan fault directives poison a chunk's first output,
+  // and the finiteness validate hook makes the engine recompute a poisoned
+  // chunk.
   util::ParallelOptions options;
   options.grain = kGridGrain;
   options.label = "compiled_grid";
@@ -249,9 +312,32 @@ void CompiledPiecewise::eval_grid(std::span<const double> xs, std::span<double> 
   };
   util::parallel_for(
       0, xs.size(),
-      [this, xs, out](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) {
-          out[i] = eval(xs[i]);
+      [this, xs, out, run_fn](std::size_t lo, std::size_t hi) {
+        // Decompose the chunk into piece-runs: piece_index (one binary
+        // search) for the run head, then extend while the selection rule
+        // keeps choosing the same piece — for piece p that is
+        // breaks_[p] < x <= breaks_[p+1], with the domain's left endpoint
+        // admitted into piece 0 (exactly lower_bound's verdict, so the run
+        // decomposition can never disagree with eval()). A sorted sweep
+        // grid crosses each piece once; unsorted input degrades to runs of
+        // length 1, i.e. the old per-point cost. A NaN fails every
+        // comparison, ends the run, and throws out_of_range at its own
+        // piece_index call, exactly like per-point eval.
+        std::size_t i = lo;
+        while (i < hi) {
+          const std::size_t p = piece_index(xs[i]);
+          const double piece_lo = breaks_[p];
+          const double piece_hi = breaks_[p + 1];
+          std::size_t end = i + 1;
+          if (p == 0) {
+            while (end < hi && xs[end] >= piece_lo && xs[end] <= piece_hi) ++end;
+          } else {
+            while (end < hi && xs[end] > piece_lo && xs[end] <= piece_hi) ++end;
+          }
+          const CompiledPiece& piece = pieces_[p];
+          run_fn(lane_coeffs_.data() + piece.coeff_begin * util::simd::kCoeffLanes,
+                 piece.coeff_count, xs.data() + i, out.data() + i, end - i);
+          i = end;
         }
         if (util::fault::active() && util::fault::consume_nan(lo / kGridGrain)) {
           out[lo] = std::numeric_limits<double>::quiet_NaN();

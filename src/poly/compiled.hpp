@@ -64,11 +64,23 @@ class CompiledPiecewise {
   [[nodiscard]] double eval(double x) const;
 
   /// Batch evaluation over the shared thread pool (util::parallel_for);
-  /// out[i] is bitwise equal to eval(xs[i]) for any thread count. Cooperates
-  /// with fault injection exactly like the batch kernel: a nan directive
-  /// poisons the chunk's first output and the finiteness validate hook makes
-  /// the engine recompute it. Emits a `compiled.eval_grid` span and counts
-  /// `compiled.points`. Requires out.size() == xs.size().
+  /// out[i] is bitwise equal to eval(xs[i]) for any thread count AND any
+  /// SIMD dispatch width. Each chunk is decomposed into piece-runs (maximal
+  /// stretches of consecutive points the selection rule maps to one piece —
+  /// one binary search per run, not per point; a sorted sweep grid crosses
+  /// each piece once) and every run goes through a gather-free vector
+  /// Horner over the transposed replicated-coefficient layout, W grid
+  /// points per lane with a pinned scalar tail (poly/compiled_detail.hpp).
+  /// The per-lane op sequence is exactly scalar Horner's, so the γ_{2d}
+  /// roundoff term of the certificate covers the vector evaluation order
+  /// verbatim and `error_bound` needs no widening. The dispatch width
+  /// follows DDM_SIMD (util/simd.hpp; a malformed value throws ddm::Error
+  /// before any chunk runs). Cooperates with fault injection exactly like
+  /// the batch kernel: a nan directive poisons the chunk's first output and
+  /// the finiteness validate hook makes the engine recompute it. Emits a
+  /// `compiled.eval_grid` span, counts `compiled.points`, and reports the
+  /// dispatched width through the `engine.simd_width` gauge. Requires
+  /// out.size() == xs.size().
   void eval_grid(std::span<const double> xs, std::span<double> out) const;
   [[nodiscard]] std::vector<double> eval_grid(std::span<const double> xs) const;
 
@@ -91,6 +103,11 @@ class CompiledPiecewise {
   std::vector<double> breaks_;        // piece boundaries, size piece_count() + 1
   std::vector<CompiledPiece> pieces_;
   std::vector<double> coeffs_;        // all pieces' coefficients, flattened
+  // Transposed vector-Horner layout: coefficient i of a piece replicated
+  // across util::simd::kCoeffLanes consecutive slots starting at
+  // (coeff_begin + i) · kCoeffLanes, so any pack width broadcasts it with
+  // one unaligned row load (poly/compiled_detail.hpp).
+  std::vector<double> lane_coeffs_;
   double max_error_ = 0.0;
 };
 

@@ -1,0 +1,14 @@
+// compiled_simd_avx2.cpp — the 4-wide AVX2 instantiation of the vector
+// Horner run. Compiled with -mavx2 -ffp-contract=off (src/CMakeLists.txt);
+// contract-off keeps `r = r * x + c` two rounded ops per lane, preserving
+// the bitwise identity with scalar Horner and the γ_{2d} certificate term.
+#include "poly/compiled_detail.hpp"
+
+namespace ddm::poly::detail {
+
+void horner_run_avx2(const double* rows, std::size_t coeff_count, const double* xs,
+                     double* out, std::size_t n) {
+  horner_run_pack<util::simd::Pack<4>>(rows, coeff_count, xs, out, n);
+}
+
+}  // namespace ddm::poly::detail

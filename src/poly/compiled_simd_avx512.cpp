@@ -1,0 +1,13 @@
+// compiled_simd_avx512.cpp — the 8-wide AVX-512F instantiation of the
+// vector Horner run. Compiled with -mavx512f -ffp-contract=off; see
+// compiled_simd_avx2.cpp for why contract-off is load-bearing.
+#include "poly/compiled_detail.hpp"
+
+namespace ddm::poly::detail {
+
+void horner_run_avx512(const double* rows, std::size_t coeff_count, const double* xs,
+                       double* out, std::size_t n) {
+  horner_run_pack<util::simd::Pack<8>>(rows, coeff_count, xs, out, n);
+}
+
+}  // namespace ddm::poly::detail

@@ -1,0 +1,13 @@
+#include "util/build_info.hpp"
+
+namespace ddm::util {
+
+const char* build_type() noexcept {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+}  // namespace ddm::util

@@ -1,0 +1,22 @@
+// build_info.hpp — build-type provenance compiled into the library itself.
+//
+// scripts/run_bench.sh refuses benchmark results unless the JSON context
+// proves an optimised build. The benchmark binary's own stamp
+// (`ddm_build_type`, derived from NDEBUG in bench/perf_kernels.cpp) only
+// proves how THAT translation unit was compiled — a mixed tree could still
+// link a debug libddm under a release-stamped main(). build_type() closes
+// that hole: it is compiled into libddm, so its answer describes the
+// library the kernels actually live in, and perf_kernels stamps it as
+// `ddm_library_build_type` alongside its own. (The stock
+// `library_build_type` context field describes the installed third-party
+// google-benchmark library — a debug build on this image, with no source
+// available to rebuild — and is deliberately not trusted either way.)
+#pragma once
+
+namespace ddm::util {
+
+/// "release" when libddm was compiled with NDEBUG (asserts off, the
+/// optimised configuration), "debug" otherwise.
+[[nodiscard]] const char* build_type() noexcept;
+
+}  // namespace ddm::util
