@@ -6,10 +6,16 @@
 # round-trip including a simulated crash (torn trailing line) and a
 # header-mismatch rejection.
 #
-# Usage: test_cli_robustness.sh /path/to/ddm_cli
+# When a second argument (the ddm_serve binary) is given, the DDM_SERVE_*
+# configuration knobs are checked too: every malformed value must exit 2
+# naming the variable, flags must override the environment, and
+# --check-config must validate without binding a port.
+#
+# Usage: test_cli_robustness.sh /path/to/ddm_cli [/path/to/ddm_serve]
 set -euo pipefail
 
 CLI="$1"
+SERVE="${2:-}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
@@ -88,6 +94,30 @@ for mode in off scalar native avx2 neon; do
     || fail "DDM_SIMD=$mode sweep failed"
   [ "$simd_ref" = "$simd_out" ] || fail "DDM_SIMD=$mode output differs from default dispatch"
 done
+
+# --- ddm_serve configuration ---------------------------------------------
+# Same strict-parse contract as DDM_THREADS/DDM_SIMD: a malformed knob exits
+# 2 and the error names the variable (or flag) that held the bad text.
+if [ -n "$SERVE" ]; then
+  "$SERVE" --check-config >/dev/null || fail "ddm_serve --check-config failed on defaults"
+  expect_reject "DDM_SERVE_PORT"        env DDM_SERVE_PORT=abc       "$SERVE" --check-config
+  expect_reject "DDM_SERVE_PORT"        env DDM_SERVE_PORT=70000     "$SERVE" --check-config
+  expect_reject "DDM_SERVE_BACKLOG"     env DDM_SERVE_BACKLOG=0      "$SERVE" --check-config
+  expect_reject "DDM_SERVE_QUEUE"       env DDM_SERVE_QUEUE=12q      "$SERVE" --check-config
+  expect_reject "DDM_SERVE_QUEUE"       env DDM_SERVE_QUEUE=         "$SERVE" --check-config
+  expect_reject "DDM_SERVE_DEADLINE_MS" env DDM_SERVE_DEADLINE_MS=-5 "$SERVE" --check-config
+  expect_reject "DDM_SERVE_WORKERS"     env DDM_SERVE_WORKERS=1e3    "$SERVE" --check-config
+  expect_reject "--queue"               "$SERVE" --check-config --queue=bogus
+  expect_reject "--workers"             "$SERVE" --check-config --workers=0
+  expect_reject "unknown argument"      "$SERVE" --check-config --bogus=1
+  # Flags override the environment; valid values are echoed back.
+  cfg="$(env DDM_SERVE_QUEUE=8 "$SERVE" --check-config --queue=32 --workers=3)" \
+    || fail "ddm_serve --check-config rejected valid knobs"
+  case "$cfg" in
+    *"queue=32"*"workers=3"*) ;;
+    *) fail "--check-config did not reflect flag overrides: $cfg" ;;
+  esac
+fi
 
 # --- certified mode ------------------------------------------------------
 cert="$("$CLI" threshold 24 8 3/8 --certify)"

@@ -418,7 +418,7 @@ void amortized_run(std::span<const std::vector<double>> points, std::size_t firs
 }  // namespace
 
 std::vector<double> threshold_winning_probability_batch(
-    std::span<const std::vector<double>> points, double t) {
+    std::span<const std::vector<double>> points, double t, const util::RunControl& control) {
   DDM_SPAN("kernel.batch", {{"points", static_cast<std::int64_t>(points.size())}});
   // Validate every point up front, in index order, with the single-point
   // evaluator's exact messages — the batch throws like a sequential loop
@@ -449,6 +449,7 @@ std::vector<double> threshold_winning_probability_batch(
   util::ParallelOptions options;
   options.grain = kThresholdBatchBlock;
   options.label = "threshold_batch";
+  options.control = control;
   options.validate = [&values](std::size_t lo, std::size_t hi) {
     for (std::size_t p = lo; p < hi; ++p) {
       if (!std::isfinite(values[p])) return false;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "util/rational.hpp"
+#include "util/resilience.hpp"
 
 namespace ddm::core {
 
@@ -50,8 +51,13 @@ inline constexpr std::size_t kThresholdBatchBlock = 16;
 /// ever changes results. Used by grid sweeps (`ddm_cli sweep`) and the probe
 /// batches of `maximize_thresholds`. Validates all points up front in index
 /// order with the single-point evaluator's messages.
+/// `control` (util/resilience.hpp) is polled at block boundaries: a fired
+/// deadline or cancellation surfaces as ddm::DeadlineExceeded /
+/// ddm::Cancelled with the completed-block count. The default runs to
+/// completion at zero polling cost.
 [[nodiscard]] std::vector<double> threshold_winning_probability_batch(
-    std::span<const std::vector<double>> points, double t);
+    std::span<const std::vector<double>> points, double t,
+    const util::RunControl& control = {});
 
 /// Symmetric Theorem 5.1: all thresholds equal β; O(n²) exact terms
 ///   P(β) = Σ_k C(n,k) · B0_{n−k}(β) · B1_k(β).

@@ -36,6 +36,19 @@ constexpr std::uint32_t kKernelMaxN = 20;
   return n;
 }
 
+/// Per-point cooperative-stop poll for the serial engines (kernel, mc): a
+/// fired deadline/cancellation surfaces with how many points were finished.
+void throw_if_stopped(const EvalRequest& request, const char* label, std::size_t completed) {
+  switch (request.control.should_stop()) {
+    case util::StopReason::kNone:
+      return;
+    case util::StopReason::kCancelled:
+      throw Cancelled(label, completed, request.size());
+    case util::StopReason::kDeadline:
+      throw DeadlineExceeded(label, completed, request.size());
+  }
+}
+
 /// The exact rational image of grid point k: the caller's exact grid when
 /// provided, else the (exactly representable) double itself.
 [[nodiscard]] util::Rational exact_point(const EvalRequest& request, std::size_t k) {
@@ -66,6 +79,7 @@ class ExactEvaluator final : public Evaluator {
     util::ParallelOptions options;
     options.grain = 1;
     options.label = "engine.exact";
+    options.control = request.control;
     util::parallel_for(
         0, request.size(),
         [&](std::size_t lo, std::size_t hi) {
@@ -108,11 +122,13 @@ class KernelEvaluator final : public Evaluator {
     if (request.is_symmetric()) {
       std::vector<double> point(request.n, 0.0);
       for (std::size_t k = 0; k < request.betas.size(); ++k) {
+        throw_if_stopped(request, "engine.kernel", k);
         point.assign(request.n, request.betas[k]);
         outcome.values[k] = core::threshold_winning_probability(point, t_d);
       }
     } else {
       for (std::size_t k = 0; k < request.points.size(); ++k) {
+        throw_if_stopped(request, "engine.kernel", k);
         outcome.values[k] = core::threshold_winning_probability(request.points[k], t_d);
       }
     }
@@ -146,9 +162,10 @@ class BatchEvaluator final : public Evaluator {
       for (std::size_t k = 0; k < request.betas.size(); ++k) {
         points[k].assign(request.n, request.betas[k]);
       }
-      outcome.values = core::threshold_winning_probability_batch(points, t_d);
+      outcome.values = core::threshold_winning_probability_batch(points, t_d, request.control);
     } else {
-      outcome.values = core::threshold_winning_probability_batch(request.points, t_d);
+      outcome.values = core::threshold_winning_probability_batch(request.points, t_d,
+                                                                 request.control);
     }
     return outcome;
   }
@@ -172,7 +189,7 @@ class CompiledEvaluator final : public Evaluator {
     const auto plan = PlanCache::instance().get_or_lower(request.n, request.t);
     EvalOutcome outcome;
     outcome.engine_id = "compiled";
-    outcome.values = plan->eval_grid(request.betas);
+    outcome.values = plan->eval_grid(request.betas, request.control);
     outcome.certificate_bound = plan->max_error_bound();
     return outcome;
   }
@@ -195,6 +212,9 @@ class CertifiedEvaluator final : public Evaluator {
     if (!supports(request)) throw Error("engine 'certified' evaluates symmetric grids only");
     EvalPolicy policy;
     policy.tolerance = request.tolerance;
+    // The ladder polls the same control mid-escalation, so a deadline cuts a
+    // point before its interval/exact rungs, not just between points.
+    policy.control = request.control;
     EvalOutcome outcome;
     outcome.engine_id = "certified";
     outcome.values.resize(request.size(), 0.0);
@@ -202,6 +222,7 @@ class CertifiedEvaluator final : public Evaluator {
     util::ParallelOptions options;
     options.grain = 1;
     options.label = "engine.certified";
+    options.control = request.control;
     util::parallel_for(
         0, request.size(),
         [&](std::size_t lo, std::size_t hi) {
@@ -238,6 +259,7 @@ class MonteCarloEvaluator final : public Evaluator {
     outcome.values.resize(request.size(), 0.0);
     const double t_d = request.t.to_double();
     for (std::size_t k = 0; k < request.size(); ++k) {
+      throw_if_stopped(request, "engine.mc", k);
       std::vector<util::Rational> thresholds;
       if (request.is_symmetric()) {
         thresholds.assign(request.n, util::exact_rational(request.betas[k]));
@@ -248,7 +270,7 @@ class MonteCarloEvaluator final : public Evaluator {
       const core::SingleThresholdProtocol protocol{std::move(thresholds)};
       prob::Rng rng{request.seed + k};
       outcome.values[k] = sim::estimate_winning_probability(protocol, t_d, request.trials, rng,
-                                                            util::parallelism())
+                                                            util::parallelism(), request.control)
                               .estimate;
     }
     return outcome;

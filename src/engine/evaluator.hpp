@@ -24,6 +24,7 @@
 
 #include "util/certify.hpp"
 #include "util/rational.hpp"
+#include "util/resilience.hpp"
 
 namespace ddm::engine {
 
@@ -64,6 +65,12 @@ struct EvalRequest {
   /// and independent of evaluation order.
   std::uint64_t trials = 200000;
   std::uint64_t seed = 42;
+  /// Cooperative stop for THIS request: engines poll it at their natural
+  /// work boundaries (parallel chunks, escalation-ladder rungs, per-point
+  /// loops) and surface a fired deadline/cancellation as
+  /// ddm::DeadlineExceeded / ddm::Cancelled with partial-progress counts.
+  /// Default-constructed = run to completion at zero polling cost.
+  util::RunControl control;
 
   [[nodiscard]] static EvalRequest symmetric(std::uint32_t n, util::Rational t,
                                              std::vector<double> betas) {
@@ -105,6 +112,13 @@ struct EvalOutcome {
   /// Escalation-ladder counters accumulated across the request (certified
   /// engine only; zero elsewhere).
   EvalStats stats;
+  /// True when the answer was produced by a weaker engine than the request
+  /// asked for (deadline pressure or a failing preferred engine made
+  /// engine::evaluate_resilient walk its fallback chain). `degradation_note`
+  /// then records the chain walked, e.g. "compiled: lowering failed ->
+  /// batch". Plain Evaluator::evaluate never sets these.
+  bool degraded = false;
+  std::string degradation_note;
 };
 
 /// One evaluation backend. Implementations are stateless (any per-instance

@@ -1,0 +1,301 @@
+#include "net/ndjson.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/status.hpp"
+
+namespace ddm::net {
+
+namespace {
+
+/// Hand-rolled recursive-descent-without-the-recursion parser for the flat
+/// profile. Tracks position for error messages.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonObject parse() {
+    JsonObject object;
+    skip_ws();
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+    } else {
+      while (true) {
+        skip_ws();
+        std::string key = parse_string("object key");
+        skip_ws();
+        expect(':');
+        skip_ws();
+        JsonValue value = parse_value(key);
+        if (!object.emplace(std::move(key), std::move(value)).second) {
+          fail("duplicate key");
+        }
+        skip_ws();
+        const char c = next("',' or '}'");
+        if (c == '}') break;
+        if (c != ',') fail("expected ',' or '}'");
+      }
+    }
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after object");
+    return object;
+  }
+
+ private:
+  [[nodiscard]] char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  char next(const char* what) {
+    if (pos_ >= text_.size()) fail(std::string("unexpected end of input, wanted ") + what);
+    return text_[pos_++];
+  }
+
+  void expect(char c) {
+    if (next("a structural character") != c) fail(std::string("expected '") + c + "'");
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\r' || text_[pos_] == '\n')) {
+      ++pos_;
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw Error("ndjson: " + why + " at offset " + std::to_string(pos_));
+  }
+
+  std::string parse_string(const char* what) {
+    if (next(what) != '"') fail(std::string("expected string for ") + what);
+    std::string out;
+    while (true) {
+      const char c = next("string content");
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("unescaped control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = next("escape character");
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = next("\\u escape digit");
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("invalid \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs rejected: the
+          // serving protocol carries identifiers and numbers, not emoji).
+          if (code >= 0xD800 && code <= 0xDFFF) fail("surrogate \\u escapes are not supported");
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("invalid escape character");
+      }
+    }
+  }
+
+  JsonValue parse_value(const std::string& key) {
+    JsonValue value;
+    const char c = peek();
+    if (c == '"') {
+      value.kind = JsonValue::Kind::kString;
+      value.string = parse_string("value");
+      return value;
+    }
+    if (c == '{' || c == '[') {
+      fail("nested objects/arrays are not supported (field '" + key + "')");
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = true;
+      return value;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = false;
+      return value;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      value.kind = JsonValue::Kind::kNull;
+      return value;
+    }
+    // Number: delegate validation to from_chars over the JSON charset.
+    std::size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) || text_[end] == '-' ||
+            text_[end] == '+' || text_[end] == '.' || text_[end] == 'e' || text_[end] == 'E')) {
+      ++end;
+    }
+    if (end == pos_) fail("invalid value (field '" + key + "')");
+    double parsed = 0.0;
+    const auto [ptr, ec] = std::from_chars(text_.data() + pos_, text_.data() + end, parsed);
+    if (ec != std::errc{} || ptr != text_.data() + end || !std::isfinite(parsed)) {
+      fail("invalid number (field '" + key + "')");
+    }
+    pos_ = end;
+    value.kind = JsonValue::Kind::kNumber;
+    value.number = parsed;
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+[[noreturn]] void field_error(std::string_view key, const char* why) {
+  throw Error("ndjson: field '" + std::string(key) + "' " + why);
+}
+
+}  // namespace
+
+JsonObject parse_flat_object(std::string_view text) { return Parser{text}.parse(); }
+
+const JsonValue* find(const JsonObject& object, std::string_view key) {
+  const auto it = object.find(key);
+  if (it == object.end() || it->second.kind == JsonValue::Kind::kNull) return nullptr;
+  return &it->second;
+}
+
+std::string get_string(const JsonObject& object, std::string_view key, std::string_view fallback) {
+  const JsonValue* value = find(object, key);
+  if (value == nullptr) return std::string(fallback);
+  if (value->kind != JsonValue::Kind::kString) field_error(key, "must be a string");
+  return value->string;
+}
+
+double get_number(const JsonObject& object, std::string_view key, double fallback) {
+  const JsonValue* value = find(object, key);
+  if (value == nullptr) return fallback;
+  if (value->kind != JsonValue::Kind::kNumber) field_error(key, "must be a number");
+  return value->number;
+}
+
+std::uint64_t get_u64(const JsonObject& object, std::string_view key, std::uint64_t fallback) {
+  const JsonValue* value = find(object, key);
+  if (value == nullptr) return fallback;
+  if (value->kind != JsonValue::Kind::kNumber) field_error(key, "must be a number");
+  const double number = value->number;
+  if (number < 0.0 || number != std::floor(number) || number > 1.8e19) {
+    field_error(key, "must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(number);
+}
+
+std::string require_string(const JsonObject& object, std::string_view key) {
+  if (find(object, key) == nullptr) field_error(key, "is required");
+  return get_string(object, key, "");
+}
+
+double require_number(const JsonObject& object, std::string_view key) {
+  if (find(object, key) == nullptr) field_error(key, "is required");
+  return get_number(object, key, 0.0);
+}
+
+std::uint64_t require_u64(const JsonObject& object, std::string_view key) {
+  if (find(object, key) == nullptr) field_error(key, "is required");
+  return get_u64(object, key, 0);
+}
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::begin_field(std::string_view key) {
+  if (!body_.empty()) body_.push_back(',');
+  body_.push_back('"');
+  body_ += escape(key);
+  body_ += "\":";
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::string_view value) {
+  begin_field(key);
+  body_.push_back('"');
+  body_ += escape(value);
+  body_.push_back('"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, double value) {
+  begin_field(key);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  body_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::uint64_t value) {
+  begin_field(key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::int64_t value) {
+  begin_field(key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, bool value) {
+  begin_field(key);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+std::string JsonWriter::str() const { return "{" + body_ + "}"; }
+
+}  // namespace ddm::net

@@ -1,0 +1,79 @@
+// ndjson.hpp — the flat JSON codec of the ddm_serve wire protocol.
+//
+// The serving protocol (docs/robustness.md, "Operating ddm_serve") is
+// newline-delimited JSON: one request object per line in, one reply object
+// per line out. Every object is FLAT — string / number / bool / null fields
+// only, no nesting, no arrays — which keeps the codec small enough to audit
+// and removes any recursion-depth or allocation-amplification surface from
+// the network boundary. parse_flat_object rejects everything outside that
+// profile with a ddm::Error naming the offending construct; callers turn
+// that into a structured `bad_request` reply rather than a dropped
+// connection.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace ddm::net {
+
+/// One decoded field value.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+};
+
+/// A decoded flat object. Transparent comparator so lookups take
+/// string_view keys without allocating.
+using JsonObject = std::map<std::string, JsonValue, std::less<>>;
+
+/// Parses one flat JSON object (the whole line must be the object, modulo
+/// surrounding whitespace). Throws ddm::Error on malformed input, nesting,
+/// arrays, duplicate keys, or trailing garbage.
+[[nodiscard]] JsonObject parse_flat_object(std::string_view text);
+
+/// Field lookup; nullptr when absent or JSON null.
+[[nodiscard]] const JsonValue* find(const JsonObject& object, std::string_view key);
+
+/// Typed accessors. The `get_*` forms return the fallback when the field is
+/// absent/null; the `require_*` forms throw ddm::Error naming the field when
+/// it is absent or has the wrong type. Numbers are validated against the
+/// target range (require_u64 rejects negatives, non-integers, overflow).
+[[nodiscard]] std::string get_string(const JsonObject& object, std::string_view key,
+                                     std::string_view fallback);
+[[nodiscard]] double get_number(const JsonObject& object, std::string_view key, double fallback);
+[[nodiscard]] std::uint64_t get_u64(const JsonObject& object, std::string_view key,
+                                    std::uint64_t fallback);
+[[nodiscard]] std::string require_string(const JsonObject& object, std::string_view key);
+[[nodiscard]] double require_number(const JsonObject& object, std::string_view key);
+[[nodiscard]] std::uint64_t require_u64(const JsonObject& object, std::string_view key);
+
+/// JSON string escaping (quotes, backslash, control characters).
+[[nodiscard]] std::string escape(std::string_view text);
+
+/// Builder for one flat reply object. Fields appear in insertion order;
+/// doubles print with enough digits to round-trip (%.17g).
+class JsonWriter {
+ public:
+  JsonWriter& field(std::string_view key, std::string_view value);
+  JsonWriter& field(std::string_view key, const char* value) {
+    return field(key, std::string_view{value});
+  }
+  JsonWriter& field(std::string_view key, double value);
+  JsonWriter& field(std::string_view key, std::uint64_t value);
+  JsonWriter& field(std::string_view key, std::int64_t value);
+  JsonWriter& field(std::string_view key, bool value);
+
+  /// The finished object, e.g. `{"ok":true,"value":0.5}`.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  void begin_field(std::string_view key);
+  std::string body_;
+};
+
+}  // namespace ddm::net

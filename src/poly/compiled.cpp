@@ -276,7 +276,8 @@ double CompiledPiecewise::error_bound(double x) const {
   return pieces_[piece_index(x)].error_bound;
 }
 
-void CompiledPiecewise::eval_grid(std::span<const double> xs, std::span<double> out) const {
+void CompiledPiecewise::eval_grid(std::span<const double> xs, std::span<double> out,
+                                  const util::RunControl& control) const {
   if (xs.size() != out.size()) {
     throw std::invalid_argument("CompiledPiecewise::eval_grid: output span size mismatch");
   }
@@ -304,6 +305,7 @@ void CompiledPiecewise::eval_grid(std::span<const double> xs, std::span<double> 
   util::ParallelOptions options;
   options.grain = kGridGrain;
   options.label = "compiled_grid";
+  options.control = control;
   options.validate = [out](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {
       if (!std::isfinite(out[i])) return false;
@@ -346,9 +348,10 @@ void CompiledPiecewise::eval_grid(std::span<const double> xs, std::span<double> 
       options);
 }
 
-std::vector<double> CompiledPiecewise::eval_grid(std::span<const double> xs) const {
+std::vector<double> CompiledPiecewise::eval_grid(std::span<const double> xs,
+                                                 const util::RunControl& control) const {
   std::vector<double> out(xs.size(), 0.0);
-  eval_grid(xs, out);
+  eval_grid(xs, out, control);
   return out;
 }
 

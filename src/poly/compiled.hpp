@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "poly/piecewise.hpp"
+#include "util/resilience.hpp"
 
 namespace ddm::poly {
 
@@ -81,8 +82,14 @@ class CompiledPiecewise {
   /// `compiled.eval_grid` span, counts `compiled.points`, and reports the
   /// dispatched width through the `engine.simd_width` gauge. Requires
   /// out.size() == xs.size().
-  void eval_grid(std::span<const double> xs, std::span<double> out) const;
-  [[nodiscard]] std::vector<double> eval_grid(std::span<const double> xs) const;
+  /// `control` (util/resilience.hpp) is polled at grid-chunk boundaries: a
+  /// fired deadline or cancellation skips the unclaimed chunks and surfaces
+  /// as ddm::DeadlineExceeded / ddm::Cancelled with the completed-chunk
+  /// count. The default runs to completion.
+  void eval_grid(std::span<const double> xs, std::span<double> out,
+                 const util::RunControl& control = {}) const;
+  [[nodiscard]] std::vector<double> eval_grid(std::span<const double> xs,
+                                              const util::RunControl& control = {}) const;
 
   /// Certified |compiled − exact| bound for the piece that eval(x) selects
   /// (throws std::out_of_range outside the domain).

@@ -44,7 +44,8 @@ constexpr std::uint64_t kTrialsPerBlock = 16384;
 }  // namespace
 
 SimResult estimate_winning_probability(const core::Protocol& protocol, double t,
-                                       std::uint64_t trials, prob::Rng& rng, unsigned threads) {
+                                       std::uint64_t trials, prob::Rng& rng, unsigned threads,
+                                       const util::RunControl& control) {
   if (trials == 0) throw std::invalid_argument("estimate_winning_probability: zero trials");
   if (threads == 0) threads = 1;
   const std::size_t n = protocol.size();
@@ -75,6 +76,7 @@ SimResult estimate_winning_probability(const core::Protocol& protocol, double t,
         util::ParallelOptions options;
         options.max_workers = threads;
         options.label = "monte_carlo";
+        options.control = control;
         // Blocks recreate their split RNG stream on every attempt, so a
         // retried chunk (transient fault or failed validation) recomputes
         // the identical tally.

@@ -13,6 +13,7 @@
 
 #include "core/protocol.hpp"
 #include "prob/rng.hpp"
+#include "util/resilience.hpp"
 
 namespace ddm::sim {
 
@@ -40,9 +41,13 @@ struct SimResult {
 /// every core; 0 is treated as 1). Because the block partition and streams
 /// depend only on `trials` and the seed, the wins tally is bitwise identical
 /// for every thread count.
+/// `control` is polled at trial-block boundaries (ddm::DeadlineExceeded /
+/// ddm::Cancelled on a fired deadline/cancellation, with completed-block
+/// counts); the default runs every block.
 [[nodiscard]] SimResult estimate_winning_probability(const core::Protocol& protocol, double t,
                                                      std::uint64_t trials, prob::Rng& rng,
-                                                     unsigned threads = 1);
+                                                     unsigned threads = 1,
+                                                     const util::RunControl& control = {});
 
 /// Estimate the probability that `win(x)` holds for x ~ U[0,1]^n — the
 /// generic version used for the full-information oracle and other win

@@ -89,8 +89,25 @@ CertifiedValue run_escalation_ladder(const EvalPolicy& policy, const char* label
   CertifiedValue best;
   std::exception_ptr last_failure;
   bool attempted_before = false;
+  std::size_t tiers_attempted = 0;
+  const std::size_t tiers_total = tiers.size();
   for (const TierSpec& spec : tiers) {
     if (spec.tier > policy.max_tier) continue;
+    // Cooperative stop: polled before each rung, so a deadline that fires
+    // while the double tier is running cuts the ladder before the ~100x
+    // interval rung (or the unbounded exact rung) starts. Counters observed
+    // so far still reach the policy's stats.
+    switch (policy.control.should_stop()) {
+      case util::StopReason::kNone:
+        break;
+      case util::StopReason::kCancelled:
+        if (policy.stats != nullptr) *policy.stats += local;
+        throw Cancelled(label, tiers_attempted, tiers_total);
+      case util::StopReason::kDeadline:
+        if (policy.stats != nullptr) *policy.stats += local;
+        throw DeadlineExceeded(label, tiers_attempted, tiers_total);
+    }
+    ++tiers_attempted;
     if (attempted_before) {
       ++local.escalations;
       metrics.escalations.add();

@@ -27,6 +27,7 @@
 
 #include "util/interval.hpp"
 #include "util/rational.hpp"
+#include "util/resilience.hpp"
 #include "util/status.hpp"
 
 namespace ddm {
@@ -74,6 +75,13 @@ struct EvalPolicy {
   unsigned interval_bits = 320;
   /// Optional observation hook (not owned; may be nullptr).
   EvalStats* stats = nullptr;
+  /// Cooperative stop: polled before every tier attempt, so a deadline or
+  /// cancellation cuts the ladder mid-escalation (typically before the
+  /// expensive interval/exact rungs). A stop surfaces as ddm::Cancelled /
+  /// ddm::DeadlineExceeded carrying how many tiers were attempted; counters
+  /// accumulated so far are still folded into `stats`. Default-constructed =
+  /// run the full ladder.
+  util::RunControl control;
 };
 
 /// A certified result: an enclosure proven to contain the true value, the

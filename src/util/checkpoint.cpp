@@ -1,5 +1,10 @@
 #include "util/checkpoint.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include <cerrno>
 #include <charconv>
 #include <cstdlib>
@@ -110,10 +115,48 @@ SweepCheckpoint::SweepCheckpoint(std::string path, const SweepParams& params, bo
   if (!out_) {
     throw CheckpointError("checkpoint: cannot open '" + path_ + "' for writing");
   }
+#if defined(__unix__) || defined(__APPLE__)
+  sync_fd_ = ::open(path_.c_str(), O_WRONLY | O_CLOEXEC);
+  if (sync_fd_ < 0) {
+    throw CheckpointError("checkpoint: cannot open '" + path_ + "' for fsync");
+  }
+#endif
   if (need_header) {
     out_ << header_line(params) << "\n" << std::flush;
     if (!out_) throw CheckpointError("checkpoint: failed to write header to '" + path_ + "'");
+    // The header must hit stable storage before any row: a resume that finds
+    // rows but no header line rejects the whole file as corrupt.
+    sync_to_disk("header");
   }
+}
+
+SweepCheckpoint::~SweepCheckpoint() {
+#if defined(__unix__) || defined(__APPLE__)
+  if (sync_fd_ >= 0) ::close(sync_fd_);
+#endif
+}
+
+void SweepCheckpoint::sync_to_disk(const char* what) {
+  out_.flush();
+  if (!out_) {
+    throw CheckpointError("checkpoint: failed to flush " + std::string(what) + " to '" + path_ +
+                          "'");
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  // std::flush above only hands the bytes to the kernel; fsync is what makes
+  // the append-then-crash contract hold across power loss, not just process
+  // death. Regression note: before this existed, a host crash could lose
+  // rows the sweep driver had already counted as durable, so a resume
+  // recomputed nothing and the output silently missed blocks.
+  if (::fsync(sync_fd_) != 0) {
+    throw CheckpointError("checkpoint: fsync of " + std::string(what) + " failed for '" + path_ +
+                          "'");
+  }
+  if (obs::metrics_enabled()) {
+    static const obs::Counter fsyncs = obs::counter("checkpoint.fsyncs");
+    fsyncs.add();
+  }
+#endif
 }
 
 std::uintmax_t SweepCheckpoint::load(const SweepParams& params) {
@@ -180,9 +223,9 @@ std::uintmax_t SweepCheckpoint::load(const SweepParams& params) {
 
 void SweepCheckpoint::append(const SweepRow& row) {
   out_ << "{\"k\": " << row.k << ", \"beta\": " << format_double(row.beta)
-       << ", \"p_win\": " << format_double(row.p_win) << "}\n"
-       << std::flush;
+       << ", \"p_win\": " << format_double(row.p_win) << "}\n";
   if (!out_) throw CheckpointError("checkpoint: failed to append row to '" + path_ + "'");
+  sync_to_disk("row");
   rows_[row.k] = row;
   static const obs::Counter written = obs::counter("checkpoint.records_written");
   written.add();

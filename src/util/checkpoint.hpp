@@ -64,9 +64,13 @@ class SweepCheckpoint {
   }
   [[nodiscard]] bool has(std::uint32_t k) const { return rows_.count(k) != 0; }
 
-  /// Appends one row as a single line and flushes, so the row is durable
-  /// before the next block starts. Throws ddm::CheckpointError on I/O error.
+  /// Appends one row as a single line, flushes, AND fsyncs, so the row is
+  /// durable on disk — not just in the OS page cache — before the next block
+  /// starts (a machine crash, not merely a killed process, can tear at most
+  /// the final line). Throws ddm::CheckpointError on I/O or fsync error.
   void append(const SweepRow& row);
+
+  ~SweepCheckpoint();
 
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
@@ -76,9 +80,17 @@ class SweepCheckpoint {
   /// a torn trailing fragment before reopening for append.
   std::uintmax_t load(const SweepParams& params);
 
+  /// Pushes the ofstream buffer to the OS, then fsyncs the file descriptor
+  /// so the bytes reach stable storage. Throws ddm::CheckpointError when
+  /// either step fails; `what` names the record being persisted.
+  void sync_to_disk(const char* what);
+
   std::string path_;
   std::map<std::uint32_t, SweepRow> rows_;
   std::ofstream out_;
+  /// Raw fd on the same file, held only for fsync(2) — std::ofstream offers
+  /// no portable way to reach the descriptor. -1 on platforms without fsync.
+  int sync_fd_ = -1;
 };
 
 }  // namespace ddm::util

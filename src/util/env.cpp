@@ -1,0 +1,27 @@
+#include "util/env.hpp"
+
+#include <charconv>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace ddm::util {
+
+std::uint64_t parse_env_u64(const char* env_name, const char* text, std::uint64_t min_value,
+                            std::uint64_t max_value, std::uint64_t fallback) {
+  if (text == nullptr) return fallback;
+  const std::string value{text};
+  std::uint64_t parsed = 0;
+  const char* first = value.data();
+  const char* last = value.data() + value.size();
+  const auto [ptr, ec] = std::from_chars(first, last, parsed, 10);
+  if (value.empty() || ec != std::errc{} || ptr != last || parsed < min_value ||
+      parsed > max_value) {
+    throw Error(std::string(env_name) + ": invalid value '" + value +
+                "' (expected a decimal integer in [" + std::to_string(min_value) + ", " +
+                std::to_string(max_value) + "])");
+  }
+  return parsed;
+}
+
+}  // namespace ddm::util

@@ -1,0 +1,27 @@
+// env.hpp — strict parsing for numeric environment knobs.
+//
+// Every DDM_* environment variable in the library follows one convention
+// (established by DDM_THREADS and DDM_SIMD): a malformed value is rejected
+// up front with a ddm::Error that NAMES the variable and the offending text
+// — never silently clamped, defaulted, or atoi-truncated. This header is
+// the shared implementation for the serve-daemon knobs (DDM_SERVE_PORT,
+// DDM_SERVE_BACKLOG, DDM_SERVE_QUEUE, DDM_SERVE_DEADLINE_MS) and any future
+// numeric knob; DDM_THREADS keeps its dedicated parse_thread_count wrapper
+// (util/parallel.hpp) for compatibility with existing call sites.
+#pragma once
+
+#include <cstdint>
+
+namespace ddm::util {
+
+/// Parses `text` as a plain decimal integer in [min_value, max_value] with
+/// no sign, whitespace, or trailing characters; anything else ("abc", "",
+/// "1e9", "-1", out-of-range) throws ddm::Error naming `env_name` and the
+/// offending text plus the accepted range. `text == nullptr` (variable
+/// unset) returns `fallback` — so call sites read
+/// `parse_env_u64("DDM_SERVE_QUEUE", std::getenv(...), 1, 1000000, 256)`.
+[[nodiscard]] std::uint64_t parse_env_u64(const char* env_name, const char* text,
+                                          std::uint64_t min_value, std::uint64_t max_value,
+                                          std::uint64_t fallback);
+
+}  // namespace ddm::util

@@ -37,8 +37,10 @@ struct EngineMetrics {
   obs::Counter chunks_retried = obs::counter("parallel.chunks_retried");
   obs::Counter faults_injected = obs::counter("parallel.faults_injected");
   obs::Counter regions = obs::counter("parallel.regions");
+  obs::Counter regions_stopped = obs::counter("parallel.regions_stopped");
   obs::Histogram chunk_seconds = obs::histogram("parallel.chunk_seconds");
   obs::Histogram queue_seconds = obs::histogram("parallel.queue_seconds");
+  obs::Histogram backoff_seconds = obs::histogram("parallel.backoff_seconds");
 
   static const EngineMetrics& get() {
     static const EngineMetrics metrics;
@@ -116,18 +118,47 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+// Builds the typed cooperative-stop exception for `reason`.
+[[nodiscard]] std::exception_ptr make_stop_error(StopReason reason, const char* label,
+                                                 std::size_t completed, std::size_t total) {
+  if (reason == StopReason::kCancelled) {
+    return std::make_exception_ptr(Cancelled(label, completed, total));
+  }
+  return std::make_exception_ptr(DeadlineExceeded(label, completed, total));
+}
+
 // Runs one chunk with the fault-injection hook, the caller's validation
 // hook, and bounded retry of transient failures (injected TransientFault or
-// validation rejection). Returns nullptr on success; on failure returns the
+// validation rejection) under the options' RetryPolicy — between attempts
+// the retry backoff sleeps (deadline-clamped) and the RunControl is
+// re-polled, so a cancel or deadline cuts a retry loop short instead of
+// letting it spin. Returns nullptr on success; on failure returns the
 // exception to surface — the original exception for non-transient body
-// errors, or a ParallelError naming the chunk once retries are exhausted.
-// Bodies must be idempotent over [lo, hi): a retry simply re-runs them.
+// errors, a typed stop error when control fired mid-retry, or a
+// ParallelError naming the chunk once retries are exhausted. Bodies must be
+// idempotent over [lo, hi): a retry simply re-runs them.
 std::exception_ptr attempt_chunk(std::size_t k, std::size_t lo, std::size_t hi,
                                  const std::function<void(std::size_t, std::size_t)>& body,
-                                 const ParallelOptions& options) {
+                                 const ParallelOptions& options, std::size_t completed,
+                                 std::size_t total) {
   const EngineMetrics& metrics = EngineMetrics::get();
   std::string transient_cause;
-  for (unsigned attempt = 0; attempt <= options.max_retries; ++attempt) {
+  for (unsigned attempt = 0; attempt <= options.retry.max_retries; ++attempt) {
+    if (attempt > 0) {
+      // A retry is new work: re-check the stop conditions and apply the
+      // deterministic backoff before burning another attempt.
+      if (options.control.engaged()) {
+        const StopReason reason = options.control.should_stop();
+        if (reason != StopReason::kNone) {
+          return make_stop_error(reason, options.label, completed, total);
+        }
+      }
+      const std::chrono::nanoseconds delay = options.retry.delay_before(attempt, k);
+      if (delay.count() > 0) {
+        metrics.backoff_seconds.record(static_cast<double>(delay.count()) * 1e-9);
+        sleep_with_deadline(delay, options.control.deadline);
+      }
+    }
     try {
       DDM_SPAN("parallel.chunk", {{"label", options.label},
                                   {"chunk", static_cast<std::int64_t>(k)},
@@ -151,7 +182,7 @@ std::exception_ptr attempt_chunk(std::size_t k, std::size_t lo, std::size_t hi,
     }
   }
   return std::make_exception_ptr(ParallelError(options.label, k, lo, hi,
-                                               options.max_retries + 1, transient_cause));
+                                               options.retry.max_retries + 1, transient_cause));
 }
 
 // Shared bookkeeping for one parallel_for call. Helpers hold the state via
@@ -175,21 +206,45 @@ struct ForState {
   std::condition_variable done_cv;
   std::size_t done = 0;
   std::exception_ptr first_error;
+  /// First stop reason observed (StopReason as int; 0 = none). Once set,
+  /// every not-yet-claimed chunk is skipped — claimed fast, counted done —
+  /// so the caller's wait completes promptly while in-flight chunks finish.
+  std::atomic<int> stop_reason{0};
+  /// Chunks that ran to a successful completion (the partial-progress count
+  /// reported by the typed stop errors).
+  std::atomic<std::size_t> executed{0};
 
   void run_chunks() {
     const std::size_t grain = options.grain;
+    const bool watched = options.control.engaged();
     while (true) {
       const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
       if (k >= chunks) return;
-      if (region_start_ns != 0 && obs::metrics_enabled()) {
-        EngineMetrics::get().queue_seconds.record(
-            static_cast<double>(steady_ns() - region_start_ns) * 1e-9);
+      bool skip = stop_reason.load(std::memory_order_relaxed) != 0;
+      if (!skip && watched) {
+        const StopReason reason = options.control.should_stop();
+        if (reason != StopReason::kNone) {
+          int expected = 0;
+          stop_reason.compare_exchange_strong(expected, static_cast<int>(reason),
+                                              std::memory_order_relaxed);
+          skip = true;
+        }
       }
-      const std::size_t lo = begin + k * grain;
-      const std::size_t hi = std::min(end, lo + grain);
-      if (std::exception_ptr error = attempt_chunk(k, lo, hi, *body, options)) {
-        std::scoped_lock lock(mutex);
-        if (!first_error) first_error = std::move(error);
+      if (!skip) {
+        if (region_start_ns != 0 && obs::metrics_enabled()) {
+          EngineMetrics::get().queue_seconds.record(
+              static_cast<double>(steady_ns() - region_start_ns) * 1e-9);
+        }
+        const std::size_t lo = begin + k * grain;
+        const std::size_t hi = std::min(end, lo + grain);
+        if (std::exception_ptr error =
+                attempt_chunk(k, lo, hi, *body, options,
+                              executed.load(std::memory_order_relaxed), chunks)) {
+          std::scoped_lock lock(mutex);
+          if (!first_error) first_error = std::move(error);
+        } else {
+          executed.fetch_add(1, std::memory_order_relaxed);
+        }
       }
       std::scoped_lock lock(mutex);
       if (++done == chunks) done_cv.notify_all();
@@ -239,10 +294,18 @@ void parallel_for(std::size_t begin, std::size_t end,
   if (chunks == 1 || lanes <= 1) {
     // Serial path: same per-chunk fault/validate/retry semantics, immediate
     // rethrow (mirrors the pooled first-error contract for a single lane).
+    const bool watched = options.control.engaged();
     for (std::size_t k = 0; k < chunks; ++k) {
+      if (watched) {
+        const StopReason reason = options.control.should_stop();
+        if (reason != StopReason::kNone) {
+          EngineMetrics::get().regions_stopped.add();
+          std::rethrow_exception(make_stop_error(reason, options.label, k, chunks));
+        }
+      }
       const std::size_t lo = begin + k * grain;
       const std::size_t hi = std::min(end, lo + grain);
-      if (std::exception_ptr error = attempt_chunk(k, lo, hi, chunk_body, options)) {
+      if (std::exception_ptr error = attempt_chunk(k, lo, hi, chunk_body, options, k, chunks)) {
         std::rethrow_exception(error);
       }
     }
@@ -266,6 +329,13 @@ void parallel_for(std::size_t begin, std::size_t end,
   std::unique_lock lock(state->mutex);
   state->done_cv.wait(lock, [&] { return state->done == state->chunks; });
   if (state->first_error) std::rethrow_exception(state->first_error);
+  const int stopped = state->stop_reason.load(std::memory_order_relaxed);
+  if (stopped != 0) {
+    EngineMetrics::get().regions_stopped.add();
+    std::rethrow_exception(make_stop_error(static_cast<StopReason>(stopped), options.label,
+                                           state->executed.load(std::memory_order_relaxed),
+                                           chunks));
+  }
 }
 
 }  // namespace ddm::util

@@ -19,16 +19,25 @@
 // Fault tolerance (docs/robustness.md): each chunk attempt first passes
 // through the fault-injection hook (util/fault.hpp), and a chunk that fails
 // with a fault::TransientFault — or whose results fail the caller's
-// `validate` hook, e.g. a NaN-poisoned output — is retried up to
-// ParallelOptions::max_retries times before the call fails with a
-// ddm::ParallelError naming the chunk. Any other exception from the body
-// propagates immediately (first error wins), preserving the pre-existing
-// rethrow contract.
+// `validate` hook, e.g. a NaN-poisoned output — is retried under
+// ParallelOptions::retry (bounded attempts, deterministic exponential
+// backoff) before the call fails with a ddm::ParallelError naming the chunk.
+// Any other exception from the body propagates immediately (first error
+// wins), preserving the pre-existing rethrow contract.
+//
+// Cooperative stop (ParallelOptions::control): when a CancelToken or
+// Deadline is attached, it is polled once per chunk claim (and between retry
+// attempts). A stop skips every not-yet-claimed chunk, lets in-flight chunks
+// finish, and surfaces as ddm::Cancelled / ddm::DeadlineExceeded carrying
+// how many chunks completed out of how many. Unset control costs one
+// `engaged()` check per chunk — no clock reads, no atomics.
 #pragma once
 
 #include <cstddef>
 #include <functional>
 #include <vector>
+
+#include "util/resilience.hpp"
 
 namespace ddm::util {
 
@@ -38,10 +47,15 @@ struct ParallelOptions {
   std::size_t grain = 1;
   /// Cap on concurrent lanes (0 = all of parallelism()).
   unsigned max_workers = 0;
-  /// Additional attempts per chunk after a transient failure (an injected
-  /// fault::TransientFault or a `validate` rejection). 2 means a chunk may
-  /// run up to 3 times before the region fails with ddm::ParallelError.
-  unsigned max_retries = 2;
+  /// Per-chunk retry policy for transient failures (an injected
+  /// fault::TransientFault or a `validate` rejection). The default keeps the
+  /// historical behaviour: up to 2 immediate retries (no backoff sleeps), so
+  /// a chunk may run up to 3 times before the region fails with
+  /// ddm::ParallelError. Serving callers attach real backoff per request.
+  RetryPolicy retry;
+  /// Cooperative stop: polled at chunk claims and between retry attempts.
+  /// Default-constructed = run to completion.
+  RunControl control;
   /// Region name used in ParallelError messages.
   const char* label = "parallel_for";
   /// Optional post-chunk acceptance check over the chunk's index range

@@ -1,0 +1,42 @@
+#include "util/resilience.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "prob/rng.hpp"
+
+namespace ddm::util {
+
+std::chrono::nanoseconds RetryPolicy::delay_before(unsigned attempt, std::uint64_t stream) const {
+  if (base_delay.count() <= 0 || attempt == 0) return std::chrono::nanoseconds::zero();
+  // base · growth^(attempt-1), computed in double (the magnitudes are tiny —
+  // the clamp below caps the result long before precision matters).
+  double nanos = static_cast<double>(base_delay.count()) *
+                 std::pow(std::max(growth, 1.0), static_cast<double>(attempt - 1));
+  nanos = std::min(nanos, static_cast<double>(max_delay.count()));
+  if (jitter > 0.0) {
+    // Position `attempt` of the split stream: a pure function of
+    // (jitter_seed, stream, attempt) — replays identically, decorrelates
+    // across streams. Discarding attempt-1 draws is cheap (attempts are
+    // single digits by construction).
+    prob::Rng rng = prob::Rng{jitter_seed}.split(stream);
+    for (unsigned i = 1; i < attempt; ++i) (void)rng.uniform();
+    const double factor = 1.0 - jitter + 2.0 * jitter * rng.uniform();
+    nanos *= factor;
+  }
+  nanos = std::clamp(nanos, 0.0, static_cast<double>(max_delay.count()));
+  return std::chrono::nanoseconds{static_cast<std::int64_t>(nanos)};
+}
+
+void sleep_with_deadline(std::chrono::nanoseconds duration, const Deadline& deadline) {
+  if (duration.count() <= 0) return;
+  if (deadline.is_set()) {
+    const std::chrono::nanoseconds left = deadline.remaining();
+    if (left.count() <= 0) return;
+    duration = std::min(duration, left);
+  }
+  std::this_thread::sleep_for(duration);
+}
+
+}  // namespace ddm::util

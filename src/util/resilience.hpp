@@ -1,0 +1,174 @@
+// resilience.hpp — deadlines, cooperative cancellation, and retry backoff.
+//
+// The serving story (tools/serve/, docs/robustness.md) turns evaluations
+// into *requests*: work that arrives with a time budget, can be abandoned by
+// its caller, and must never wedge the worker that runs it. This module
+// holds the three primitives that make that possible:
+//
+//   * CancelToken — a shared cancellation flag. The issuing side keeps a
+//     copy and calls cancel(); every evaluation layer polls it at natural
+//     boundaries (parallel chunk starts, ladder tier transitions, Monte
+//     Carlo blocks). A default-constructed token is *inert*: it can never
+//     fire and costs one null check to poll, so unset control is zero-cost.
+//   * Deadline — an absolute steady-clock cutoff. Derived once from a
+//     relative budget (`Deadline::after`), then polled like the token.
+//     Absolute form means nested layers all race the same wall-clock instant
+//     instead of each granting themselves a fresh budget.
+//   * RetryPolicy — bounded attempts with deterministic exponential backoff.
+//     The jitter factor is drawn from the library's split-RNG streams
+//     (prob::Rng, the same machinery that keeps Monte Carlo reproducible)
+//     keyed on (seed, stream, attempt), so a retried run backs off by the
+//     exact same schedule every time — tests stay reproducible, yet
+//     concurrent retries of *different* chunks decorrelate.
+//
+// RunControl bundles token + deadline and is what threads through
+// util::parallel (ParallelOptions::control), the certified ladder
+// (EvalPolicy::control), and the engine seam (EvalRequest::control). A
+// stopped evaluation surfaces as the typed ddm::Cancelled /
+// ddm::DeadlineExceeded errors (util/status.hpp) carrying partial-progress
+// counts — never as a silent truncation.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace ddm::util {
+
+/// Shared cooperative-cancellation flag. Copies alias one flag; a
+/// default-constructed token is inert (never cancelled, nothing to poll).
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// An armed token (distinct flag per call).
+  [[nodiscard]] static CancelToken create() {
+    CancelToken token;
+    token.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return token;
+  }
+
+  /// Requests cancellation. No-op on an inert token. Thread-safe; idempotent.
+  void cancel() const noexcept {
+    if (flag_) flag_->store(true, std::memory_order_relaxed);
+  }
+
+  /// True once cancel() has been called. One relaxed load (after a null
+  /// check), so polling on chunk boundaries is essentially free.
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return flag_ && flag_->load(std::memory_order_relaxed);
+  }
+
+  /// True for tokens created via create() (i.e. cancellation is possible).
+  [[nodiscard]] bool armed() const noexcept { return flag_ != nullptr; }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// An absolute steady-clock cutoff. Default-constructed = unset (never
+/// expires, zero polling cost beyond one comparison against the sentinel).
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() = default;
+
+  /// Deadline `budget` from now. A non-positive budget is already expired.
+  [[nodiscard]] static Deadline after(std::chrono::nanoseconds budget) {
+    Deadline deadline;
+    deadline.at_ = Clock::now() + budget;
+    return deadline;
+  }
+
+  [[nodiscard]] static Deadline at(Clock::time_point when) {
+    Deadline deadline;
+    deadline.at_ = when;
+    return deadline;
+  }
+
+  [[nodiscard]] bool is_set() const noexcept { return at_ != Clock::time_point::max(); }
+
+  /// True when set and in the past. Reads the clock only when set.
+  [[nodiscard]] bool expired() const noexcept { return is_set() && Clock::now() >= at_; }
+
+  /// Time left (clamped at zero); nanoseconds::max() when unset.
+  [[nodiscard]] std::chrono::nanoseconds remaining() const noexcept {
+    if (!is_set()) return std::chrono::nanoseconds::max();
+    const auto left = at_ - Clock::now();
+    return left.count() > 0 ? std::chrono::duration_cast<std::chrono::nanoseconds>(left)
+                            : std::chrono::nanoseconds::zero();
+  }
+
+  [[nodiscard]] Clock::time_point time_point() const noexcept { return at_; }
+
+ private:
+  Clock::time_point at_ = Clock::time_point::max();
+};
+
+/// Why an evaluation stopped early.
+enum class StopReason : unsigned {
+  kNone = 0,       ///< keep going
+  kCancelled,      ///< CancelToken fired
+  kDeadline,       ///< Deadline passed
+};
+
+/// Token + deadline, threaded together through every evaluation layer.
+/// Default-constructed = run to completion (both members inert/unset);
+/// `engaged()` lets hot paths skip even the cheap polls in that case.
+struct RunControl {
+  CancelToken token;
+  Deadline deadline;
+
+  [[nodiscard]] bool engaged() const noexcept { return token.armed() || deadline.is_set(); }
+
+  /// Polls both conditions. Cancellation wins over an expired deadline (the
+  /// caller explicitly asked; the distinction matters for retry decisions —
+  /// a cancelled request must not degrade to a cheaper engine).
+  [[nodiscard]] StopReason should_stop() const noexcept {
+    if (token.cancel_requested()) return StopReason::kCancelled;
+    if (deadline.expired()) return StopReason::kDeadline;
+    return StopReason::kNone;
+  }
+};
+
+/// Bounded retry with deterministic exponential backoff.
+///
+/// Attempt a (1-based, i.e. the a-th *retry*) of stream s sleeps
+///   base_delay · growth^(a−1), capped at max_delay,
+/// scaled by a jitter factor in [1 − jitter, 1 + jitter) drawn from
+/// prob::Rng{jitter_seed}.split(s) at position a — a pure function of
+/// (jitter_seed, s, a), so schedules replay bit-identically while distinct
+/// chunks/requests decorrelate. The library default keeps base_delay at
+/// zero: retries stay immediate (the pre-existing engine behaviour and what
+/// the fault-injection matrix times); the serving layer opts into real
+/// backoff per request.
+struct RetryPolicy {
+  /// Additional attempts after the first failure. 2 ⇒ a chunk/request may
+  /// run up to 3 times before the failure is permanent.
+  unsigned max_retries = 2;
+  /// First-retry sleep. Zero = no sleeping at all (jitter included).
+  std::chrono::nanoseconds base_delay{0};
+  /// Exponential growth factor between consecutive retries.
+  double growth = 2.0;
+  /// Upper clamp applied before jitter.
+  std::chrono::nanoseconds max_delay{std::chrono::seconds(1)};
+  /// Jitter fraction in [0, 1): the backoff is scaled by a factor drawn
+  /// uniformly from [1 − jitter, 1 + jitter).
+  double jitter = 0.0;
+  /// Seed of the jitter stream family (split per `stream`).
+  std::uint64_t jitter_seed = 0x9E3779B97F4A7C15ull;
+
+  /// Deterministic sleep before retry `attempt` (1-based) of `stream`
+  /// (e.g. the chunk ordinal or a request id). Zero when base_delay is zero.
+  [[nodiscard]] std::chrono::nanoseconds delay_before(unsigned attempt,
+                                                      std::uint64_t stream) const;
+};
+
+/// Sleeps for `duration`, but never past `deadline` (returns early instead;
+/// the caller's next should_stop() poll then reports the expiry). No-op for
+/// non-positive durations.
+void sleep_with_deadline(std::chrono::nanoseconds duration, const Deadline& deadline);
+
+}  // namespace ddm::util

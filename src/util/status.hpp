@@ -80,6 +80,53 @@ class ParallelError : public Error {
   std::string cause_;
 };
 
+/// Partial-progress accounting carried by the cooperative-stop errors: how
+/// many work units (parallel chunks, ladder tiers, request attempts — the
+/// label says which) completed before the evaluation was cut off.
+class StoppedError : public Error {
+ public:
+  StoppedError(const std::string& message, std::string label, std::size_t completed,
+               std::size_t total)
+      : Error(message), label_(std::move(label)), completed_(completed), total_(total) {}
+
+  /// Region / ladder / request label the stop struck.
+  [[nodiscard]] const std::string& label() const noexcept { return label_; }
+  /// Work units finished before the stop.
+  [[nodiscard]] std::size_t completed() const noexcept { return completed_; }
+  /// Work units the evaluation would have run.
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+ private:
+  std::string label_;
+  std::size_t completed_;
+  std::size_t total_;
+};
+
+/// An evaluation was cut off because its RunControl deadline passed. The
+/// result is *absent*, not approximate: callers that can still answer under
+/// pressure degrade explicitly (engine::evaluate_resilient) rather than
+/// returning a silently truncated value.
+class DeadlineExceeded : public StoppedError {
+ public:
+  // NB: `label` must not be moved into the base while the sibling argument
+  // still reads it — argument evaluation order is unspecified.
+  DeadlineExceeded(const std::string& label, std::size_t completed, std::size_t total)
+      : StoppedError("deadline exceeded in " + label + " after " + std::to_string(completed) +
+                         " of " + std::to_string(total) + " work units",
+                     label, completed, total) {}
+};
+
+/// An evaluation was cut off because its CancelToken fired. Unlike a missed
+/// deadline this is never degraded around — the caller asked for the work to
+/// stop, so the error propagates to them as-is.
+class Cancelled : public StoppedError {
+ public:
+  Cancelled(const std::string& label, std::size_t completed, std::size_t total)
+      : StoppedError("cancelled in " + label + " after " + std::to_string(completed) + " of " +
+                         std::to_string(total) + " work units",
+                     label, completed, total) {}
+};
+
 /// A sweep checkpoint file could not be used: unreadable, wrong header
 /// (parameters differ from the run being resumed), or unparseable row.
 class CheckpointError : public Error {

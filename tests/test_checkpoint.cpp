@@ -10,6 +10,7 @@
 #include <fstream>
 #include <string>
 
+#include "obs/metrics_registry.hpp"
 #include "util/status.hpp"
 
 namespace ddm::util {
@@ -175,6 +176,31 @@ TEST_F(CheckpointTest, AppendFlushesEachRowDurably) {
   const std::string contents = read_file();
   EXPECT_NE(contents.find("{\"k\": 0, \"beta\": 0, \"p_win\": 0.25}\n"), std::string::npos);
 }
+
+#if defined(__unix__) || defined(__APPLE__)
+// Regression: append used to stop at std::flush, which only hands the bytes
+// to the OS page cache — a HOST crash (power loss), as opposed to a killed
+// process, could drop rows the sweep driver had already counted as durable,
+// and the resume would silently skip recomputing them. Every append (and the
+// header write) must now reach fsync; the checkpoint.fsyncs counter is the
+// observable witness.
+TEST_F(CheckpointTest, EveryAppendReachesFsync) {
+  obs::set_metrics_enabled(true);
+  obs::Registry::instance().reset();
+  {
+    SweepCheckpoint checkpoint(path_, test_params(), false);
+    checkpoint.append({0, 0.0, 0.25});
+    checkpoint.append({1, 0.125, 0.375});
+  }
+  std::uint64_t fsyncs = 0;
+  for (const auto& sample : obs::Registry::instance().scrape()) {
+    if (sample.name == "checkpoint.fsyncs") fsyncs = sample.counter_value;
+  }
+  obs::set_metrics_enabled(false);
+  // One for the header, one per row.
+  EXPECT_EQ(fsyncs, 3u);
+}
+#endif
 
 }  // namespace
 }  // namespace ddm::util

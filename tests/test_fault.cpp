@@ -143,7 +143,7 @@ TEST_F(FaultTest, ExhaustedRetriesRaiseParallelErrorNamingChunk) {
 TEST_F(FaultTest, ValidationRejectionRetriesThenFails) {
   ParallelOptions options;
   options.label = "always_bad";
-  options.max_retries = 1;
+  options.retry.max_retries = 1;
   options.grain = 4;
   options.validate = [](std::size_t, std::size_t) { return false; };
   std::atomic<int> calls{0};
@@ -160,7 +160,7 @@ TEST_F(FaultTest, ValidationRejectionRetriesThenFails) {
 
 TEST_F(FaultTest, NonTransientExceptionsAreNotRetried) {
   ParallelOptions options;
-  options.max_retries = 5;
+  options.retry.max_retries = 5;
   options.grain = 8;
   std::atomic<int> calls{0};
   EXPECT_THROW(parallel_for(

@@ -1,0 +1,235 @@
+// ddm_serve — the resilient evaluation daemon.
+//
+// Answers newline-delimited JSON requests (threshold / certify / analyze /
+// health) over loopback TCP through the engine registry, with per-request
+// deadlines, retry-with-backoff, the degradation chain, bounded admission
+// with load shedding, and same-instance coalescing onto the batch kernel
+// (net/service.hpp). `GET /health` and `GET /metrics` on the same port
+// answer plain HTTP for probes and Prometheus scrapes.
+//
+// Configuration — environment first, flags override, both strictly parsed
+// (a malformed value exits 2 naming the knob):
+//
+//   DDM_SERVE_PORT         --port=N         listen port, 0 = ephemeral  [0]
+//   DDM_SERVE_BACKLOG      --backlog=N      listen(2) backlog           [64]
+//   DDM_SERVE_QUEUE        --queue=N        admission-queue bound       [64]
+//   DDM_SERVE_DEADLINE_MS  --deadline-ms=N  default request deadline,
+//                                           0 = none                    [0]
+//   DDM_SERVE_WORKERS      --workers=N      evaluation worker threads   [2]
+//
+// `--check-config` validates the configuration and exits without binding —
+// the hook scripts/test_cli_robustness.sh uses to pin the exit-2 contract.
+//
+// Lifecycle: prints `listening on 127.0.0.1:<port>` on stdout once ready
+// (supervisors and the soak harness parse it), serves until SIGTERM/SIGINT,
+// then drains: stops accepting, answers queued work, replies `draining` to
+// stragglers, and exits 0. Crash tolerance is the absence of state: every
+// durable artifact (compiled plans) is a cache rebuilt on demand, so
+// kill -9 + restart simply serves again — scripts/run_soak.sh proves it.
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/ndjson.hpp"
+#include "net/server.hpp"
+#include "net/service.hpp"
+#include "obs/metrics_registry.hpp"
+#include "util/env.hpp"
+#include "util/status.hpp"
+
+namespace {
+
+struct ServeConfig {
+  std::uint16_t port = 0;
+  int backlog = 64;
+  ddm::net::ServiceConfig service;
+};
+
+std::atomic<int> g_listener_fd{-1};
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_stop_signal(int) {
+  // Async-signal-safe drain trigger: flag + one shutdown(2) to unblock the
+  // accept loop. Everything else happens on the main thread.
+  g_stop.store(true);
+  ddm::net::shutdown_listener_fd(g_listener_fd.load());
+}
+
+/// One knob: environment first, then a --name=value flag override; both go
+/// through the same strict parser, so the error message names whichever
+/// source held the malformed text.
+std::uint64_t knob(const char* env_name, const char* flag, const std::string* flag_value,
+                   std::uint64_t min_value, std::uint64_t max_value, std::uint64_t fallback) {
+  std::uint64_t value =
+      ddm::util::parse_env_u64(env_name, std::getenv(env_name), min_value, max_value, fallback);
+  if (flag_value != nullptr) {
+    value = ddm::util::parse_env_u64(flag, flag_value->c_str(), min_value, max_value, fallback);
+  }
+  return value;
+}
+
+ServeConfig parse_config(const std::vector<std::string>& args, bool& check_only) {
+  const std::string* port_flag = nullptr;
+  const std::string* backlog_flag = nullptr;
+  const std::string* queue_flag = nullptr;
+  const std::string* deadline_flag = nullptr;
+  const std::string* workers_flag = nullptr;
+  std::vector<std::string> values;  // stable storage for flag payloads
+  values.reserve(args.size());
+  for (const std::string& arg : args) {
+    const auto take = [&values, &arg](const char* prefix) -> const std::string* {
+      const std::size_t len = std::string(prefix).size();
+      if (arg.compare(0, len, prefix) != 0) return nullptr;
+      values.push_back(arg.substr(len));
+      return &values.back();
+    };
+    if (arg == "--check-config") {
+      check_only = true;
+    } else if (const std::string* v = take("--port=")) {
+      port_flag = v;
+    } else if (const std::string* v = take("--backlog=")) {
+      backlog_flag = v;
+    } else if (const std::string* v = take("--queue=")) {
+      queue_flag = v;
+    } else if (const std::string* v = take("--deadline-ms=")) {
+      deadline_flag = v;
+    } else if (const std::string* v = take("--workers=")) {
+      workers_flag = v;
+    } else {
+      throw ddm::Error("ddm_serve: unknown argument '" + arg +
+                       "' (expected --port= --backlog= --queue= --deadline-ms= --workers= "
+                       "--check-config)");
+    }
+  }
+  ServeConfig config;
+  config.port = static_cast<std::uint16_t>(
+      knob("DDM_SERVE_PORT", "--port", port_flag, 0, 65535, 0));
+  config.backlog = static_cast<int>(
+      knob("DDM_SERVE_BACKLOG", "--backlog", backlog_flag, 1, 4096, 64));
+  config.service.queue_capacity = static_cast<std::size_t>(
+      knob("DDM_SERVE_QUEUE", "--queue", queue_flag, 1, 65536, 64));
+  config.service.default_deadline = std::chrono::milliseconds(
+      knob("DDM_SERVE_DEADLINE_MS", "--deadline-ms", deadline_flag, 0, 3'600'000, 0));
+  config.service.workers = static_cast<unsigned>(
+      knob("DDM_SERVE_WORKERS", "--workers", workers_flag, 1, 256, 2));
+  return config;
+}
+
+/// Minimal HTTP answer for probe/scrape paths on the NDJSON port.
+void serve_http(ddm::net::Connection& connection, const std::string& request_line,
+                ddm::net::EvalService& service) {
+  std::string body;
+  std::string content_type = "application/json";
+  std::string status = "200 OK";
+  if (request_line.compare(0, 12, "GET /health ") == 0 || request_line == "GET /health") {
+    body = service.handle_line(R"({"op":"health"})") + "\n";
+  } else if (request_line.compare(0, 13, "GET /metrics ") == 0 || request_line == "GET /metrics") {
+    std::ostringstream prom;
+    ddm::obs::Registry::instance().write_prometheus(prom);
+    body = prom.str();
+    content_type = "text/plain; version=0.0.4";
+  } else {
+    status = "404 Not Found";
+    body = "not found\n";
+    content_type = "text/plain";
+  }
+  std::ostringstream response;
+  response << "HTTP/1.1 " << status << "\r\nContent-Type: " << content_type
+           << "\r\nContent-Length: " << body.size() << "\r\nConnection: close\r\n\r\n"
+           << body;
+  (void)connection.write_all(response.str());
+}
+
+void serve_connection(const std::shared_ptr<ddm::net::Connection>& connection,
+                      ddm::net::EvalService& service) {
+  // Generous per-read timeout: idle keep-alive connections are fine, but a
+  // dead peer releases the thread within a minute.
+  connection->set_timeout(std::chrono::milliseconds(60'000));
+  std::string line;
+  while (connection->read_line(line)) {
+    if (line.empty()) continue;
+    if (line.compare(0, 4, "GET ") == 0) {
+      serve_http(*connection, line, service);
+      return;  // Connection: close semantics for the HTTP surface
+    }
+    if (!connection->write_all(service.handle_line(line) + "\n")) return;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  ServeConfig config;
+  bool check_only = false;
+  try {
+    config = parse_config(args, check_only);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 2;
+  }
+  if (check_only) {
+    std::cout << "config ok: queue=" << config.service.queue_capacity
+              << " workers=" << config.service.workers << " backlog=" << config.backlog
+              << " deadline_ms=" << config.service.default_deadline.count() << "\n";
+    return 0;
+  }
+
+  // The daemon always exports metrics — /metrics is part of its contract.
+  ddm::obs::set_metrics_enabled(true);
+
+  try {
+    ddm::net::TcpListener listener(config.port, config.backlog);
+    g_listener_fd.store(listener.fd());
+    struct sigaction action{};
+    action.sa_handler = handle_stop_signal;
+    sigaction(SIGTERM, &action, nullptr);
+    sigaction(SIGINT, &action, nullptr);
+    signal(SIGPIPE, SIG_IGN);
+
+    ddm::net::EvalService service(config.service);
+    std::cout << "listening on 127.0.0.1:" << listener.port() << std::endl;
+
+    std::mutex connections_mutex;
+    std::vector<std::thread> connection_threads;
+    std::vector<std::weak_ptr<ddm::net::Connection>> live;  // drain kicks
+    while (!g_stop.load()) {
+      const int fd = listener.accept_connection();
+      if (fd < 0) break;
+      auto connection = std::make_shared<ddm::net::Connection>(fd);
+      std::lock_guard<std::mutex> lock(connections_mutex);
+      live.push_back(connection);
+      connection_threads.emplace_back(
+          [connection, &service] { serve_connection(connection, service); });
+    }
+
+    // Drain: answer everything already admitted, then exit cleanly. The
+    // service rejects late arrivals with a structured `draining` reply, and
+    // idle keep-alive connections are kicked loose so join() is prompt.
+    std::cerr << "ddm_serve: draining\n";
+    service.drain();
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex);
+      for (const auto& weak : live) {
+        if (const auto connection = weak.lock()) connection->shutdown_now();
+      }
+    }
+    for (std::thread& thread : connection_threads) {
+      if (thread.joinable()) thread.join();
+    }
+    std::cerr << "ddm_serve: drained, exiting\n";
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
