@@ -110,12 +110,37 @@ if [ -n "$SERVE" ]; then
   expect_reject "--queue"               "$SERVE" --check-config --queue=bogus
   expect_reject "--workers"             "$SERVE" --check-config --workers=0
   expect_reject "unknown argument"      "$SERVE" --check-config --bogus=1
-  # Flags override the environment; valid values are echoed back.
+  # Zero/edge audit: PORT=0 (ephemeral) and DEADLINE_MS=0 (no deadline) are
+  # meaningful sentinels and must be ACCEPTED; a zero-capacity queue, empty
+  # worker pool, or zero backlog can only wedge the daemon and must be
+  # rejected naming the knob — consistently between environment and flag.
+  env DDM_SERVE_PORT=0 "$SERVE" --check-config >/dev/null \
+    || fail "DDM_SERVE_PORT=0 (ephemeral port) was rejected"
+  env DDM_SERVE_DEADLINE_MS=0 "$SERVE" --check-config >/dev/null \
+    || fail "DDM_SERVE_DEADLINE_MS=0 (no deadline) was rejected"
+  expect_reject "DDM_SERVE_QUEUE"   env DDM_SERVE_QUEUE=0   "$SERVE" --check-config
+  expect_reject "DDM_SERVE_WORKERS" env DDM_SERVE_WORKERS=0 "$SERVE" --check-config
+  expect_reject "--queue"           "$SERVE" --check-config --queue=0
+  expect_reject "--backlog"         "$SERVE" --check-config --backlog=0
+  expect_reject "DDM_SERVE_QUEUE"   env DDM_SERVE_QUEUE=65537 "$SERVE" --check-config
+  expect_reject "DDM_SERVE_WORKERS" env DDM_SERVE_WORKERS=257 "$SERVE" --check-config
+  # Flags override the environment; valid values are echoed back, the
+  # resolved port and plan store included.
   cfg="$(env DDM_SERVE_QUEUE=8 "$SERVE" --check-config --queue=32 --workers=3)" \
     || fail "ddm_serve --check-config rejected valid knobs"
   case "$cfg" in
-    *"queue=32"*"workers=3"*) ;;
+    *"port=0"*"queue=32"*"workers=3"*"plan_store=<none>"*) ;;
     *) fail "--check-config did not reflect flag overrides: $cfg" ;;
+  esac
+  # A plan store pointing nowhere is a configuration error, not a cold start.
+  expect_reject "--plan-store"    "$SERVE" --check-config --plan-store="$TMP/no_such_store"
+  expect_reject "DDM_PLAN_STORE"  env DDM_PLAN_STORE="$TMP/no_such_store" "$SERVE" --check-config
+  mkdir -p "$TMP/empty_store"
+  cfg="$("$SERVE" --check-config --plan-store="$TMP/empty_store")" \
+    || fail "ddm_serve --check-config rejected a valid plan store"
+  case "$cfg" in
+    *"plan_store=$TMP/empty_store"*) ;;
+    *) fail "--check-config did not report the plan store: $cfg" ;;
   esac
 fi
 
@@ -154,8 +179,40 @@ resumed="$("$CLI" sweep 3 1 0 1 12 --resume "$ck")"
 again="$("$CLI" sweep 3 1 0 1 12 --resume "$ck")"
 [ "$ref" = "$again" ] || fail "second resume output is not byte-identical"
 
-# A header mismatch (different n) must be rejected, naming both sweeps.
-expect_reject "different sweep" "$CLI" sweep 4 1 0 1 12 --resume "$ck"
+# A header mismatch (different n) must be rejected NAMING the field, so the
+# operator learns which knob differs — not just that "something" does.
+expect_reject "field 'n': checkpoint 3 vs requested 4" "$CLI" sweep 4 1 0 1 12 --resume "$ck"
+# Engine identity is part of the header: rows computed by one engine must
+# never be glued onto a resume running another.
+ceng="$TMP/engine.ckpt"
+"$CLI" sweep 3 1 0 1 4 --engine=exact --checkpoint "$ceng" >/dev/null
+expect_reject "field 'engine': checkpoint exact vs requested mc" \
+  "$CLI" sweep 3 1 0 1 4 --engine=mc --resume "$ceng"
+
+# --- sharding flags -------------------------------------------------------
+expect_reject "invalid --shard 'x/3'" "$CLI" sweep 3 1 0 1 4 --shard=x/3
+expect_reject "invalid --shard '3'"   "$CLI" sweep 3 1 0 1 4 --shard=3
+expect_reject "invalid --shard '3/3'" "$CLI" sweep 3 1 0 1 4 --shard=3/3
+expect_reject "invalid --shard '0/0'" "$CLI" sweep 3 1 0 1 4 --shard=0/0
+expect_reject "--shard requires a value" "$CLI" sweep 3 1 0 1 4 --shard
+expect_reject "--shard is only supported by 'sweep'" "$CLI" threshold 3 1 0.5 --shard=0/2
+expect_reject "--certify cannot be combined with --shard" "$CLI" sweep 3 1 0 1 4 --certify --shard=0/2
+# Resuming a sharded checkpoint without (or with the wrong) --shard is a
+# named mismatch, not silently partial output.
+cs="$TMP/shard0.ckpt"
+"$CLI" sweep 3 1 0 1 12 --shard=0/2 --checkpoint "$cs" >/dev/null
+expect_reject "field 'shard': checkpoint 0/2 vs requested 0/1" "$CLI" sweep 3 1 0 1 12 --resume "$cs"
+expect_reject "field 'shard': checkpoint 0/2 vs requested 1/2" \
+  "$CLI" sweep 3 1 0 1 12 --shard=1/2 --resume "$cs"
+
+# --- plans / merge argument checking -------------------------------------
+expect_reject "--store is only supported by 'plans'" "$CLI" sweep 3 1 0 1 4 --store="$TMP"
+expect_reject "--store requires a directory" "$CLI" plans list --store
+expect_reject "unknown plans verb 'bogus'" "$CLI" plans bogus
+expect_reject "plans needs a store directory" "$CLI" plans list
+expect_reject "--store" "$CLI" plans list --store="$TMP/no_such_store"
+expect_reject "invalid n_max '0'" "$CLI" plans precompile 0 1 --store="$TMP/ps"
+expect_reject "cannot read" "$CLI" merge "$TMP/no_such.ckpt"
 
 # --- engine selection ----------------------------------------------------
 # Auto must pick the compiled plan on a small symmetric sweep (the certified
@@ -219,11 +276,13 @@ grep -q "compiled plan certificate .* exceeds tolerance" "$TMP/miss.err" \
   || fail "certificate-miss fallback left no stderr note: $(cat "$TMP/miss.err")"
 
 # --- per-subcommand help -------------------------------------------------
-for cmd in oblivious threshold analyze simulate volume ladder sweep; do
+for cmd in oblivious threshold analyze simulate volume ladder sweep plans merge; do
   "$CLI" help "$cmd" | grep -q "usage: ddm_cli $cmd" || fail "'help $cmd' missing synopsis"
   "$CLI" "$cmd" --help | grep -q "usage: ddm_cli $cmd" || fail "'$cmd --help' missing synopsis"
 done
 "$CLI" help sweep | grep -q -- "--engine" || fail "'help sweep' does not document --engine"
+"$CLI" help sweep | grep -q -- "--shard" || fail "'help sweep' does not document --shard"
+"$CLI" help plans | grep -q -- "--store" || fail "'help plans' does not document --store"
 expect_reject "unknown command 'bogus'" "$CLI" help bogus
 
 # --engine on the scalar subcommands: the answering engine is named.

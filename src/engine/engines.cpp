@@ -243,8 +243,9 @@ class CertifiedEvaluator final : public Evaluator {
 };
 
 /// mc — seeded Monte Carlo estimation. Point k draws from its own stream
-/// (seed + k) and each point's trial blocks fan across the pool, so the
-/// estimate is reproducible for any thread count and evaluation order.
+/// (seed + point_ids[k], defaulting to seed + k) and each point's trial
+/// blocks fan across the pool, so the estimate is reproducible for any
+/// thread count, evaluation order, and request partitioning.
 class MonteCarloEvaluator final : public Evaluator {
  public:
   std::string_view id() const noexcept override { return "mc"; }
@@ -268,7 +269,9 @@ class MonteCarloEvaluator final : public Evaluator {
         for (const double a : request.points[k]) thresholds.push_back(util::exact_rational(a));
       }
       const core::SingleThresholdProtocol protocol{std::move(thresholds)};
-      prob::Rng rng{request.seed + k};
+      const std::uint64_t point_id =
+          k < request.point_ids.size() ? request.point_ids[k] : static_cast<std::uint64_t>(k);
+      prob::Rng rng{request.seed + point_id};
       outcome.values[k] = sim::estimate_winning_probability(protocol, t_d, request.trials, rng,
                                                             util::parallelism(), request.control)
                               .estimate;

@@ -61,10 +61,18 @@ struct EvalRequest {
   /// Target enclosure width for certified evaluation.
   util::Rational tolerance{1, 1000000000};
   /// Trial count / base seed for randomized engines. Point k of a request
-  /// draws from a stream keyed on seed + k, so estimates are reproducible
-  /// and independent of evaluation order.
+  /// draws from a stream keyed on seed + point_ids[k] (seed + k when
+  /// point_ids is empty), so estimates are reproducible and independent of
+  /// evaluation order.
   std::uint64_t trials = 200000;
   std::uint64_t seed = 42;
+  /// Optional stable per-point identities, parallel to betas/points. Callers
+  /// that split one logical grid across several requests (checkpoint blocks,
+  /// sweep shards) pass the GLOBAL grid indices here so randomized engines
+  /// key their streams on the point's identity, not its position within the
+  /// request — a sharded or checkpointed Monte Carlo sweep then reproduces
+  /// the unsharded run bit for bit. Deterministic engines ignore it.
+  std::vector<std::uint64_t> point_ids;
   /// Cooperative stop for THIS request: engines poll it at their natural
   /// work boundaries (parallel chunks, escalation-ladder rungs, per-point
   /// loops) and surface a fired deadline/cancellation as

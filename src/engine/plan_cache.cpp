@@ -1,9 +1,13 @@
 #include "engine/plan_cache.hpp"
 
+#include <utility>
+
 #include "core/symmetric_threshold.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/trace.hpp"
+#include "poly/plan_store.hpp"
 #include "util/fault.hpp"
+#include "util/status.hpp"
 
 namespace ddm::engine {
 
@@ -13,6 +17,10 @@ struct CacheMetrics {
   obs::Counter hits = obs::counter("engine.cache.hits");
   obs::Counter misses = obs::counter("engine.cache.misses");
   obs::Counter evictions = obs::counter("engine.cache.evictions");
+  obs::Counter races = obs::counter("engine.cache.races");
+  obs::Counter store_hits = obs::counter("engine.store.hits");
+  obs::Counter store_stale = obs::counter("engine.store.stale");
+  obs::Counter store_rejects = obs::counter("engine.store.rejects");
 
   static const CacheMetrics& get() {
     static const CacheMetrics metrics;
@@ -20,8 +28,14 @@ struct CacheMetrics {
   }
 };
 
+// Canonical cache key. Rational maintains the lowest-terms/positive-
+// denominator invariant on every construction and parse, so to_string() of
+// equal values is identical ("2/6" parses to the same key as "1/3") — the
+// key is spelled num/den explicitly so the canonicalization is this
+// function's contract, not an accident of a remote invariant, and
+// tests/test_engine.cpp pins it with non-canonical inputs.
 std::string cache_key(std::uint32_t n, const util::Rational& t) {
-  return std::to_string(n) + "|" + t.to_string();
+  return std::to_string(n) + "|" + t.num().to_string() + "/" + t.den().to_string();
 }
 
 }  // namespace
@@ -48,25 +62,64 @@ std::shared_ptr<const poly::CompiledPiecewise> PlanCache::get_or_lower(
       return found->second->plan;
     }
   }
-  // Miss: lower outside the lock. The fault hook runs first so injected
-  // transient faults strike before any state changes — a throw here leaves
-  // the cache exactly as it was.
   DDM_SPAN("engine.cache", {{"n", static_cast<std::int64_t>(n)}, {"hit", 0}});
-  // Unconditional: before_chunk is the call that loads DDM_FAULT_PLAN on
-  // first use (active() alone does not), and it is a no-op without a plan.
-  util::fault::before_chunk(kLoweringFaultChunk);
-  const auto analysis = core::SymmetricThresholdAnalysis::build(n, t);
-  auto plan = std::make_shared<const poly::CompiledPiecewise>(
-      poly::CompiledPiecewise::lower(analysis.winning_probability()));
+
+  // Miss: consult the persistent plan store first. A validated hit skips the
+  // lowering path entirely (warm start); version skew and validation
+  // failures are counted and fall through to lowering — the store can only
+  // ever cost latency, never correctness.
+  std::shared_ptr<const poly::CompiledPiecewise> plan;
+  if (const auto store = poly::PlanStore::configured()) {
+    try {
+      plan = store->load(n, t);
+      if (plan != nullptr) {
+        metrics.store_hits.add();
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.store_hits;
+      }
+    } catch (const PlanStoreError& error) {
+      if (error.stale()) {
+        metrics.store_stale.add();
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.store_stale;
+      } else {
+        metrics.store_rejects.add();
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.store_rejects;
+      }
+      plan = nullptr;
+    }
+  }
+
+  if (plan == nullptr) {
+    // Lower outside the lock. The fault hook runs first so injected
+    // transient faults strike before any state changes — a throw here leaves
+    // the cache exactly as it was. Unconditional: before_chunk is the call
+    // that loads DDM_FAULT_PLAN on first use (active() alone does not), and
+    // it is a no-op without a plan.
+    util::fault::before_chunk(kLoweringFaultChunk);
+    const auto analysis = core::SymmetricThresholdAnalysis::build(n, t);
+    plan = std::make_shared<const poly::CompiledPiecewise>(
+        poly::CompiledPiecewise::lower(analysis.winning_probability()));
+  }
+
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.misses;
   metrics.misses.add();
   const auto raced = index_.find(key);
   if (raced != index_.end()) {
-    // Another thread inserted while we lowered; adopt its (identical) plan
-    // so every caller shares one copy.
+    // Another thread inserted while we lowered (or loaded); adopt its
+    // identical plan so every caller shares one copy, and count the
+    // discarded duplicate. The splice only reorders the LRU list — entry
+    // count is unchanged, so no eviction sweep is needed here; run it anyway
+    // so a concurrent set_capacity shrink can never leave the list over
+    // budget.
     lru_.splice(lru_.begin(), lru_, raced->second);
-    return raced->second->plan;
+    ++stats_.races;
+    metrics.races.add();
+    auto winner = raced->second->plan;
+    evict_excess_locked();
+    return winner;
   }
   lru_.push_front(Entry{key, std::move(plan)});
   index_[key] = lru_.begin();

@@ -11,7 +11,17 @@
 // runs OUTSIDE the lock (lowering is the expensive part — serializing it
 // would make the cache a bottleneck). When two threads race to lower the
 // same key, both lower and the first insertion wins; the loser adopts the
-// winner's plan (identical by construction — lowering is deterministic).
+// winner's plan (identical by construction — lowering is deterministic) and
+// the discarded duplicate is counted (`engine.cache.races`, Stats::races) so
+// a fleet that keeps re-lowering concurrently is visible, not silent.
+//
+// Persistence: before lowering, a miss consults the process-wide plan store
+// (poly/plan_store.hpp, configured via DDM_PLAN_STORE or
+// PlanStore::set_configured). A validated store hit skips the lowering
+// entirely (`engine.store.hits`); a stale-format file falls through to
+// lowering (`engine.store.stale`), and a file that fails validate-on-load is
+// counted (`engine.store.rejects`) and likewise re-lowered — a corrupt store
+// degrades cold-start latency, never correctness.
 //
 // Fault injection: the miss path passes through the fault hook
 // (util/fault.hpp) as pseudo-chunk kLoweringFaultChunk before lowering, so
@@ -53,6 +63,16 @@ class PlanCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    /// Misses whose lowering lost the insert race and was discarded in
+    /// favor of the winner's identical plan. Invariant: races == misses −
+    /// entries inserted, deterministically, for any interleaving.
+    std::uint64_t races = 0;
+    /// Misses served from the plan store without lowering.
+    std::uint64_t store_hits = 0;
+    /// Store files skipped for a stale format version (re-lowered).
+    std::uint64_t store_stale = 0;
+    /// Store files rejected by validate-on-load (re-lowered).
+    std::uint64_t store_rejects = 0;
   };
 
   explicit PlanCache(std::size_t capacity = kDefaultCapacity);

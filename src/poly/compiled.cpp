@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <limits>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "obs/metrics_registry.hpp"
 #include "obs/trace.hpp"
@@ -35,18 +37,6 @@ struct CompiledMetrics {
 // nanoseconds, so chunks must carry enough points to amortize the engine's
 // dispatch; the chunk ordinal seen by fault directives is lo / kGridGrain.
 constexpr std::size_t kGridGrain = 256;
-
-// Smallest double that provably dominates the exact rational value:
-// Rational::to_double makes no directed-rounding promise, so step upward
-// until the exact comparison (via the exact dyadic value of the candidate)
-// confirms an upper bound. Terminates in a step or two.
-double round_up(const Rational& value) {
-  double candidate = value.to_double();
-  while (Rational::from_double(candidate) < value) {
-    candidate = std::nextafter(candidate, std::numeric_limits<double>::infinity());
-  }
-  return candidate;
-}
 
 // Σ_i |c_i| · M^i for exact coefficients (used with both the exact and the
 // lowered-then-re-exactified coefficient vectors).
@@ -134,6 +124,17 @@ HornerRunFn pick_horner_run(int width) {
 }
 
 }  // namespace
+
+// Rational::to_double makes no directed-rounding promise, so step upward
+// until the exact comparison (via the exact dyadic value of the candidate)
+// confirms an upper bound. Terminates in a step or two.
+double certificate_round_up(const Rational& value) {
+  double candidate = value.to_double();
+  while (Rational::from_double(candidate) < value) {
+    candidate = std::nextafter(candidate, std::numeric_limits<double>::infinity());
+  }
+  return candidate;
+}
 
 CompiledPiecewise CompiledPiecewise::lower(const PiecewisePolynomial& source) {
   DDM_SPAN("compiled.lower",
@@ -240,7 +241,11 @@ CompiledPiecewise CompiledPiecewise::lower(const PiecewisePolynomial& source) {
     bound += std::max(selection_term(p, p == 0 ? count : p - 1),
                       selection_term(p + 1, p + 1 < count ? p + 1 : count));
 
-    cp.error_bound = round_up(bound);
+    // Keep the EXACT bound alongside its rounded-up double image: the plan
+    // store persists the rational string and re-derives the double on load,
+    // so a stored certificate can always be re-verified bit for bit.
+    plan.piece_certs_.push_back(bound.to_string());
+    cp.error_bound = certificate_round_up(bound);
     plan.max_error_ = std::max(plan.max_error_, cp.error_bound);
   }
 
@@ -269,7 +274,7 @@ std::size_t CompiledPiecewise::piece_index(double x) const {
 
 double CompiledPiecewise::eval(double x) const {
   const CompiledPiece& piece = pieces_[piece_index(x)];
-  return horner(coeffs_.data() + piece.coeff_begin, piece.coeff_count, x);
+  return horner(coeff_data() + piece.coeff_begin, piece.coeff_count, x);
 }
 
 double CompiledPiecewise::error_bound(double x) const {
@@ -337,7 +342,7 @@ void CompiledPiecewise::eval_grid(std::span<const double> xs, std::span<double> 
             while (end < hi && xs[end] > piece_lo && xs[end] <= piece_hi) ++end;
           }
           const CompiledPiece& piece = pieces_[p];
-          run_fn(lane_coeffs_.data() + piece.coeff_begin * util::simd::kCoeffLanes,
+          run_fn(lane_data() + piece.coeff_begin * util::simd::kCoeffLanes,
                  piece.coeff_count, xs.data() + i, out.data() + i, end - i);
           i = end;
         }
@@ -353,6 +358,49 @@ std::vector<double> CompiledPiecewise::eval_grid(std::span<const double> xs,
   std::vector<double> out(xs.size(), 0.0);
   eval_grid(xs, out, control);
   return out;
+}
+
+std::span<const double> CompiledPiecewise::lane_coefficients() const noexcept {
+  return {lane_data(), coeff_total() * util::simd::kCoeffLanes};
+}
+
+CompiledPiecewise CompiledPiecewise::from_stored(StoredParts parts) {
+  const auto reject = [](const char* reason) {
+    throw std::invalid_argument(std::string("CompiledPiecewise::from_stored: ") + reason);
+  };
+  const std::size_t count = parts.pieces.size();
+  if (count == 0) reject("empty piece table");
+  if (parts.breaks.size() != count + 1) reject("breakpoint table size != piece_count + 1");
+  if (parts.piece_certs.size() != count) reject("certificate count != piece count");
+  if (parts.coeffs == nullptr || parts.lane_coeffs == nullptr) reject("null coefficient arrays");
+  for (std::size_t b = 0; b + 1 < parts.breaks.size(); ++b) {
+    if (!(parts.breaks[b + 1] > parts.breaks[b])) reject("breakpoints not strictly increasing");
+  }
+  std::size_t expected_begin = 0;
+  double max_bound = 0.0;
+  for (std::size_t p = 0; p < count; ++p) {
+    const CompiledPiece& piece = parts.pieces[p];
+    if (piece.coeff_begin != expected_begin) reject("coefficient windows not contiguous");
+    if (piece.coeff_count == 0) reject("piece with no coefficients");
+    expected_begin += piece.coeff_count;
+    if (piece.lo != parts.breaks[p] || piece.hi != parts.breaks[p + 1]) {
+      reject("piece bounds disagree with the breakpoint table");
+    }
+    if (!(piece.error_bound >= 0.0)) reject("negative or NaN error bound");
+    max_bound = std::max(max_bound, piece.error_bound);
+  }
+  if (expected_begin != parts.coeff_total) reject("coefficient total disagrees with windows");
+  if (max_bound != parts.max_error) reject("max_error disagrees with the piece bounds");
+
+  CompiledPiecewise plan;
+  plan.breaks_ = std::move(parts.breaks);
+  plan.pieces_ = std::move(parts.pieces);
+  plan.piece_certs_ = std::move(parts.piece_certs);
+  plan.ext_coeffs_ = parts.coeffs;
+  plan.ext_lane_coeffs_ = parts.lane_coeffs;
+  plan.storage_ = std::move(parts.storage);
+  plan.max_error_ = parts.max_error;
+  return plan;
 }
 
 }  // namespace ddm::poly

@@ -17,13 +17,22 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "poly/piecewise.hpp"
 #include "util/resilience.hpp"
 
 namespace ddm::poly {
+
+/// Smallest double that provably dominates the exact rational value — the
+/// directed rounding every certificate bound goes through when it is lowered
+/// to double. Shared with the plan store, which re-applies it to a persisted
+/// rational certificate to confirm the stored double bound is exactly the
+/// round-up of the stored exact bound.
+[[nodiscard]] double certificate_round_up(const util::Rational& value);
 
 /// One lowered piece: [lo, hi] in double, a window into the shared flat
 /// coefficient array (low-degree first), and the certified bound on
@@ -102,19 +111,73 @@ class CompiledPiecewise {
   [[nodiscard]] double domain_lo() const noexcept { return breaks_.front(); }
   [[nodiscard]] double domain_hi() const noexcept { return breaks_.back(); }
 
+  /// Exact rational certificates, one "a/b" string per piece: the EXACT value
+  /// of the three-term bound whose round-up produced `error_bound`. lower()
+  /// keeps them so the plan store can persist and re-verify the certificate
+  /// chain (round_up(parse(cert)) == error_bound) on every load.
+  [[nodiscard]] const std::vector<std::string>& piece_certificates() const noexcept {
+    return piece_certs_;
+  }
+
+  /// The double breakpoint table (size piece_count() + 1).
+  [[nodiscard]] const std::vector<double>& breakpoints() const noexcept { return breaks_; }
+  /// All pieces' Horner coefficients, flattened low-degree-first.
+  [[nodiscard]] std::span<const double> coefficients() const noexcept {
+    return {coeff_data(), coeff_total()};
+  }
+  /// The replicated lane layout (coefficients() × util::simd::kCoeffLanes).
+  [[nodiscard]] std::span<const double> lane_coefficients() const noexcept;
+
+  /// Reconstitution from persisted parts (poly/plan_store.cpp). The
+  /// coefficient arrays stay BORROWED — typically views into a read-only
+  /// file mapping kept alive by `storage` — so a warm start never copies
+  /// them. Checks structural invariants only (sizes, windows, strictly
+  /// increasing breakpoints, max_error consistency) and throws
+  /// std::invalid_argument on violation; the store's cryptographic-free
+  /// integrity story (checksum + certificate re-check) runs before this.
+  struct StoredParts {
+    std::vector<double> breaks;
+    std::vector<CompiledPiece> pieces;
+    std::vector<std::string> piece_certs;
+    const double* coeffs = nullptr;       // flattened, coeff_total doubles
+    const double* lane_coeffs = nullptr;  // coeff_total × kCoeffLanes doubles
+    std::size_t coeff_total = 0;
+    double max_error = 0.0;
+    std::shared_ptr<const void> storage;  // keeps the borrowed arrays alive
+  };
+  [[nodiscard]] static CompiledPiecewise from_stored(StoredParts parts);
+
  private:
   CompiledPiecewise() = default;
 
   [[nodiscard]] std::size_t piece_index(double x) const;
+  /// Owned-vector data or the borrowed mapping, whichever this plan carries.
+  [[nodiscard]] const double* coeff_data() const noexcept {
+    return ext_coeffs_ != nullptr ? ext_coeffs_ : coeffs_.data();
+  }
+  [[nodiscard]] const double* lane_data() const noexcept {
+    return ext_lane_coeffs_ != nullptr ? ext_lane_coeffs_ : lane_coeffs_.data();
+  }
+  [[nodiscard]] std::size_t coeff_total() const noexcept {
+    return pieces_.empty() ? 0 : pieces_.back().coeff_begin + pieces_.back().coeff_count;
+  }
 
   std::vector<double> breaks_;        // piece boundaries, size piece_count() + 1
   std::vector<CompiledPiece> pieces_;
+  std::vector<std::string> piece_certs_;  // exact rational bounds, one per piece
   std::vector<double> coeffs_;        // all pieces' coefficients, flattened
   // Transposed vector-Horner layout: coefficient i of a piece replicated
   // across util::simd::kCoeffLanes consecutive slots starting at
   // (coeff_begin + i) · kCoeffLanes, so any pack width broadcasts it with
   // one unaligned row load (poly/compiled_detail.hpp).
   std::vector<double> lane_coeffs_;
+  // Borrowed coefficient storage for plans reconstituted by from_stored():
+  // non-null pointers win over the owned vectors (raw pointers, not spans,
+  // so the default copy/move of the owned-vector case stays correct), and
+  // `storage_` pins the mapping they point into.
+  const double* ext_coeffs_ = nullptr;
+  const double* ext_lane_coeffs_ = nullptr;
+  std::shared_ptr<const void> storage_;
   double max_error_ = 0.0;
 };
 

@@ -1,0 +1,127 @@
+// plan_store.hpp — persistent, checksummed store of compiled Horner plans.
+//
+// Lowering the exact Theorem 5.1 piecewise polynomial to a compiled plan
+// costs O(#breakpoints · n²) exact rational algebra per (n, t). The LRU plan
+// cache (engine/plan_cache.hpp) amortizes that within one process; a fleet
+// of ddm_serve daemons or sharded sweep workers still pays it once per
+// PROCESS. The plan store makes compiled plans first-class on-disk
+// artifacts: one versioned, checksummed file per (n, t) that carries the
+// full plan — breakpoints, pieces, flat and lane-replicated coefficient
+// arrays — TOGETHER with its exact rational max-error certificates, so a
+// warm start can answer its first query without ever touching the lowering
+// path (`ddm_cli plans precompile`, docs/performance.md).
+//
+// Trust model: a loaded plan is only served after validate-on-load passes —
+// magic, format version, header and payload checksums, strictly increasing
+// breakpoints, contiguous coefficient windows, and the certificate chain:
+// for every piece, certificate_round_up(parse(rational cert)) must equal the
+// stored double error bound, the stored max_error must be their maximum, and
+// max_error must still clear the tolerance recorded at save time. Any
+// violation raises ddm::PlanStoreError naming the offending (n, t); a wrong
+// plan is never served. Version skew is the one soft failure
+// (PlanStoreError::stale()): the cache counts it and re-lowers.
+//
+// File layout (native-endian, doubles at 64-byte-aligned offsets):
+//   [header]   magic "DDMPLAN\n", u32 version, u32 n, u64 piece_count,
+//              u64 coeff_total, u64 t_len, u64 cert_len, f64 max_error,
+//              f64 tolerance, u64 payload_bytes, u64 payload_checksum,
+//              u64 header_checksum            (FNV-1a 64 over the bytes
+//              preceding each checksum field)
+//   [payload]  t string · certificate lines ("a/b\n" per piece) · pad ·
+//              breaks f64[piece_count+1] · piece table · pad ·
+//              coeffs f64[coeff_total] · pad · lane_coeffs
+// On POSIX the payload is memory-mapped read-only and the reconstituted
+// CompiledPiecewise borrows the coefficient arrays straight from the mapping
+// (CompiledPiecewise::from_stored keeps it alive); elsewhere the file is
+// read into an owned buffer with identical semantics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "poly/compiled.hpp"
+#include "util/rational.hpp"
+
+namespace ddm::poly {
+
+/// FNV-1a 64-bit over a byte range — the store's integrity checksum. Public
+/// so corruption tests can forge a header/payload and confirm the *semantic*
+/// validators (certificate chain, monotonicity, tolerance) catch what a
+/// correct checksum no longer does.
+[[nodiscard]] std::uint64_t plan_store_checksum(const void* data, std::size_t size) noexcept;
+
+/// Current on-disk format version; files stamped with any other version are
+/// rejected as stale (PlanStoreError::stale() == true).
+inline constexpr std::uint32_t kPlanStoreFormatVersion = 1;
+
+/// A fully validated plan loaded from the store.
+struct LoadedPlan {
+  std::uint32_t n = 0;
+  std::string t;           ///< canonical "a/b" string
+  double tolerance = 0.0;  ///< bound the plan cleared at save time
+  std::shared_ptr<const CompiledPiecewise> plan;
+};
+
+/// Directory-backed plan store: one `n<k>_t<a>_<b>.plan` file per (n, t).
+/// Stateless apart from the directory path; safe to share across threads.
+class PlanStore {
+ public:
+  /// Wraps `directory` without touching the filesystem (load() simply finds
+  /// no files under a directory that does not exist).
+  explicit PlanStore(std::string directory);
+
+  /// Opens an EXISTING directory for reading; throws ddm::Error naming
+  /// `what` (e.g. "DDM_PLAN_STORE" or "--store") when it is absent or not a
+  /// directory — a mistyped store path must fail loudly, not run cold.
+  [[nodiscard]] static std::shared_ptr<PlanStore> open_directory(const std::string& directory,
+                                                                 const std::string& what);
+
+  /// Creates the directory (and parents) if needed and wraps it; throws
+  /// ddm::Error on filesystem failure. The write-side entry point
+  /// (`ddm_cli plans precompile`).
+  [[nodiscard]] static std::shared_ptr<PlanStore> create_directory(const std::string& directory);
+
+  [[nodiscard]] const std::string& directory() const noexcept { return directory_; }
+
+  /// The store file that does/would hold the plan for (n, t).
+  [[nodiscard]] std::string path_for(std::uint32_t n, const util::Rational& t) const;
+
+  /// Loads and validates the plan for (n, t). Returns nullptr when the store
+  /// has no file for the pair; throws ddm::PlanStoreError when a file exists
+  /// but fails validate-on-load (never serves an unvalidated plan).
+  [[nodiscard]] std::shared_ptr<const CompiledPiecewise> load(std::uint32_t n,
+                                                              const util::Rational& t) const;
+
+  /// Loads and validates an arbitrary store file (the `plans validate` /
+  /// `plans list` path). Throws ddm::PlanStoreError on any failure.
+  [[nodiscard]] LoadedPlan load_path(const std::string& path) const;
+
+  /// Serializes the plan for (n, t) atomically (temp file + rename), with
+  /// `tolerance` recorded as the bound the plan clears. Throws
+  /// ddm::PlanStoreError when plan.max_error_bound() > tolerance (a plan
+  /// that cannot honor its own advertisement is refused) or on I/O failure.
+  void save(std::uint32_t n, const util::Rational& t, const CompiledPiecewise& plan,
+            double tolerance) const;
+
+  /// Every `*.plan` path under the directory, sorted (empty when the
+  /// directory does not exist).
+  [[nodiscard]] std::vector<std::string> list_paths() const;
+
+  /// The process-wide store consulted by PlanCache::get_or_lower, lazily
+  /// initialized from DDM_PLAN_STORE on first call (throws ddm::Error naming
+  /// the variable when it points at a missing directory). nullptr when
+  /// unconfigured.
+  [[nodiscard]] static std::shared_ptr<PlanStore> configured();
+
+  /// Overrides the process-wide store (tests, ddm_serve --plan-store).
+  /// nullptr disables store consultation.
+  static void set_configured(std::shared_ptr<PlanStore> store);
+
+ private:
+  std::string directory_;
+};
+
+}  // namespace ddm::poly

@@ -76,7 +76,9 @@ std::string header_line(const SweepParams& params) {
   std::ostringstream os;
   os << "{\"sweep\": {\"n\": " << params.n << ", \"t\": \"" << params.t << "\", \"beta_lo\": \""
      << params.beta_lo << "\", \"beta_hi\": \"" << params.beta_hi << "\", \"steps\": "
-     << params.steps << "}}";
+     << params.steps << ", \"engine\": \"" << params.engine << "\", \"resolved\": \""
+     << params.resolved << "\", \"shard\": \"" << params.shard_index << "/"
+     << params.shard_count << "\"}}";
   return os.str();
 }
 
@@ -86,10 +88,131 @@ bool parse_row(std::string_view line, SweepRow& row) {
 }
 
 bool parse_header(std::string_view line, SweepParams& params) {
-  return parse_u32_field(line, "n", params.n) && extract_field(line, "t", params.t) &&
-         extract_field(line, "beta_lo", params.beta_lo) &&
-         extract_field(line, "beta_hi", params.beta_hi) &&
-         parse_u32_field(line, "steps", params.steps);
+  if (!(parse_u32_field(line, "n", params.n) && extract_field(line, "t", params.t) &&
+        extract_field(line, "beta_lo", params.beta_lo) &&
+        extract_field(line, "beta_hi", params.beta_hi) &&
+        parse_u32_field(line, "steps", params.steps))) {
+    return false;
+  }
+  // Engine/shard fields are parsed leniently so a pre-upgrade header still
+  // PARSES — the field-by-field validation then rejects it by naming the
+  // empty 'engine' field, which diagnoses far better than "unparseable".
+  if (!extract_field(line, "engine", params.engine)) params.engine.clear();
+  if (!extract_field(line, "resolved", params.resolved)) params.resolved.clear();
+  std::string shard;
+  if (extract_field(line, "shard", shard)) {
+    const auto slash = shard.find('/');
+    if (slash == std::string::npos) return false;
+    std::uint32_t index = 0;
+    std::uint32_t count = 0;
+    const char* ib = shard.data();
+    const char* ie = ib + slash;
+    const char* cb = ib + slash + 1;
+    const char* ce = shard.data() + shard.size();
+    if (std::from_chars(ib, ie, index).ptr != ie || std::from_chars(cb, ce, count).ptr != ce ||
+        count == 0 || index >= count) {
+      return false;
+    }
+    params.shard_index = index;
+    params.shard_count = count;
+  } else {
+    params.shard_index = 0;
+    params.shard_count = 1;
+  }
+  return true;
+}
+
+std::string shard_text(const SweepParams& params) {
+  return std::to_string(params.shard_index) + "/" + std::to_string(params.shard_count);
+}
+
+// First mismatching field between a parsed header and the requested params,
+// as "field 'name': checkpoint X vs requested Y" — or empty when they agree.
+std::string describe_mismatch(const SweepParams& header, const SweepParams& requested) {
+  const auto field = [](const char* name, const std::string& have, const std::string& want) {
+    return "field '" + std::string(name) + "': checkpoint " + (have.empty() ? "<absent>" : have) +
+           " vs requested " + want;
+  };
+  if (header.n != requested.n) {
+    return field("n", std::to_string(header.n), std::to_string(requested.n));
+  }
+  if (header.t != requested.t) return field("t", header.t, requested.t);
+  if (header.beta_lo != requested.beta_lo) {
+    return field("beta_lo", header.beta_lo, requested.beta_lo);
+  }
+  if (header.beta_hi != requested.beta_hi) {
+    return field("beta_hi", header.beta_hi, requested.beta_hi);
+  }
+  if (header.steps != requested.steps) {
+    return field("steps", std::to_string(header.steps), std::to_string(requested.steps));
+  }
+  if (header.engine != requested.engine) return field("engine", header.engine, requested.engine);
+  if (header.resolved != requested.resolved) {
+    return field("resolved", header.resolved, requested.resolved);
+  }
+  if (header.shard_index != requested.shard_index ||
+      header.shard_count != requested.shard_count) {
+    return field("shard", shard_text(header), shard_text(requested));
+  }
+  return std::string();
+}
+
+// Parse core shared by resume (SweepCheckpoint::load) and the read-only
+// loader (read_checkpoint): header + complete rows + torn-tail detection.
+// Returns the byte length of the valid prefix.
+std::uintmax_t parse_checkpoint_file(const std::string& path, LoadedCheckpoint& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw CheckpointError("checkpoint: cannot read '" + path + "' (--resume needs an existing file)");
+  }
+  const std::string content{std::istreambuf_iterator<char>(in),
+                            std::istreambuf_iterator<char>()};
+  // Only newline-TERMINATED lines are complete records. Splitting on '\n'
+  // (rather than std::getline, which silently accepts an unterminated final
+  // line) is what catches the subtle torn case: a crash after writing a
+  // record's bytes but before its newline. Such a record parses fine, but
+  // keeping it would make valid_bytes exceed the data we can safely append
+  // after — the next append would glue onto it, corrupting the file for the
+  // resume after that. Any unterminated tail is a torn fragment: discarded
+  // here, truncated away by the resume constructor.
+  std::vector<std::string_view> lines;
+  const std::string_view view{content};
+  std::size_t pos = 0;
+  while (pos < view.size()) {
+    const std::size_t nl = view.find('\n', pos);
+    if (nl == std::string_view::npos) break;
+    lines.push_back(view.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  out.torn_tail = pos < view.size();
+  if (lines.empty()) {
+    throw CheckpointError("checkpoint: '" + path + "' is empty (missing header)");
+  }
+  if (!parse_header(lines.front(), out.params)) {
+    throw CheckpointError("checkpoint: '" + path + "' has an unparseable header line");
+  }
+  std::uintmax_t valid_bytes = lines.front().size() + 1;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    SweepRow row;
+    // A newline-terminated line that fails to parse was written whole — that
+    // is mid-file corruption, not a torn append, so it is an error anywhere.
+    if (!parse_row(lines[i], row)) {
+      throw CheckpointError("checkpoint: '" + path + "' line " + std::to_string(i + 1) +
+                            " is corrupt");
+    }
+    if (row.k > out.params.steps) {
+      throw CheckpointError("checkpoint: '" + path + "' line " + std::to_string(i + 1) +
+                            " has k out of range");
+    }
+    if (row.k % out.params.shard_count != out.params.shard_index) {
+      throw CheckpointError("checkpoint: '" + path + "' line " + std::to_string(i + 1) +
+                            " has k " + std::to_string(row.k) + " outside shard " +
+                            shard_text(out.params));
+    }
+    out.rows[row.k] = row;
+    valid_bytes += lines[i].size() + 1;
+  }
+  return valid_bytes;
 }
 
 }  // namespace
@@ -161,64 +284,31 @@ void SweepCheckpoint::sync_to_disk(const char* what) {
 
 std::uintmax_t SweepCheckpoint::load(const SweepParams& params) {
   DDM_SPAN("checkpoint.load");
-  std::ifstream in(path_, std::ios::binary);
-  if (!in) {
-    throw CheckpointError("checkpoint: cannot read '" + path_ + "' (--resume needs an existing file)");
+  LoadedCheckpoint loaded;
+  const std::uintmax_t valid_bytes = parse_checkpoint_file(path_, loaded);
+  // Field-by-field identity check: the first mismatch is NAMED so the
+  // operator learns exactly what differs (a resume under a different engine
+  // or shard must not silently glue rows from a different sweep).
+  const std::string mismatch = describe_mismatch(loaded.params, params);
+  if (!mismatch.empty()) {
+    throw CheckpointError("checkpoint: '" + path_ + "' was written by a different sweep (" +
+                          mismatch + ")");
   }
-  const std::string content{std::istreambuf_iterator<char>(in),
-                            std::istreambuf_iterator<char>()};
-  // Only newline-TERMINATED lines are complete records. Splitting on '\n'
-  // (rather than std::getline, which silently accepts an unterminated final
-  // line) is what catches the subtle torn case: a crash after writing a
-  // record's bytes but before its newline. Such a record parses fine, but
-  // keeping it would make valid_bytes exceed the data we can safely append
-  // after — the next append would glue onto it, corrupting the file for the
-  // resume after that. Any unterminated tail is a torn fragment: discarded
-  // here, truncated away by the constructor.
-  std::vector<std::string_view> lines;
-  const std::string_view view{content};
-  std::size_t pos = 0;
-  while (pos < view.size()) {
-    const std::size_t nl = view.find('\n', pos);
-    if (nl == std::string_view::npos) break;
-    lines.push_back(view.substr(pos, nl - pos));
-    pos = nl + 1;
-  }
-  const bool torn_tail = pos < view.size();
-  if (lines.empty()) {
-    throw CheckpointError("checkpoint: '" + path_ + "' is empty (missing header)");
-  }
-  SweepParams header;
-  if (!parse_header(lines.front(), header)) {
-    throw CheckpointError("checkpoint: '" + path_ + "' has an unparseable header line");
-  }
-  if (!(header == params)) {
-    throw CheckpointError("checkpoint: '" + path_ + "' was written by a different sweep (header " +
-                          header_line(header) + " vs requested " + header_line(params) + ")");
-  }
-  std::uintmax_t valid_bytes = lines.front().size() + 1;
-  for (std::size_t i = 1; i < lines.size(); ++i) {
-    SweepRow row;
-    // A newline-terminated line that fails to parse was written whole — that
-    // is mid-file corruption, not a torn append, so it is an error anywhere.
-    if (!parse_row(lines[i], row)) {
-      throw CheckpointError("checkpoint: '" + path_ + "' line " + std::to_string(i + 1) +
-                            " is corrupt");
-    }
-    if (row.k > params.steps) {
-      throw CheckpointError("checkpoint: '" + path_ + "' line " + std::to_string(i + 1) +
-                            " has k out of range");
-    }
-    rows_[row.k] = row;
-    valid_bytes += lines[i].size() + 1;
-  }
+  rows_ = std::move(loaded.rows);
   if (obs::metrics_enabled()) {
-    static const obs::Counter loaded = obs::counter("checkpoint.records_loaded");
+    static const obs::Counter loaded_counter = obs::counter("checkpoint.records_loaded");
     static const obs::Counter truncated = obs::counter("checkpoint.records_truncated");
-    loaded.add(rows_.size());
-    if (torn_tail) truncated.add();
+    loaded_counter.add(rows_.size());
+    if (loaded.torn_tail) truncated.add();
   }
   return valid_bytes;
+}
+
+LoadedCheckpoint read_checkpoint(const std::string& path) {
+  DDM_SPAN("checkpoint.read");
+  LoadedCheckpoint loaded;
+  parse_checkpoint_file(path, loaded);
+  return loaded;
 }
 
 void SweepCheckpoint::append(const SweepRow& row) {

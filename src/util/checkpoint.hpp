@@ -10,14 +10,22 @@
 // the resumed output is byte-identical to an uninterrupted run.
 //
 // Format (one JSON object per line):
-//   {"sweep": {"n": 4, "t": "4/3", "beta_lo": "0", "beta_hi": "1", "steps": 100}}
+//   {"sweep": {"n": 4, "t": "4/3", "beta_lo": "0", "beta_hi": "1",
+//              "steps": 100, "engine": "auto", "resolved": "batch",
+//              "shard": "0/1"}}
 //   {"k": 0, "beta": 0, "p_win": 0.62}
 //   ...
+// The header records the FULL identity of the run: the grid, the requested
+// engine, the engine that actually produced the rows (auto mode can resolve
+// differently across environments, and rows from different engines must
+// never be glued together), and the shard assignment for sharded sweeps
+// (`ddm_cli sweep --shard=i/k`). A resume validates every field and rejects
+// with the first mismatching field NAMED — a checkpoint from a different
+// grid, engine, or shard must fail loudly, not silently mix rows.
 // A crash can tear at most the final line (appends are single writes); a
 // torn trailing line fails to parse and is truncated away on resume, so the
 // recomputed row starts on a fresh line. Corruption
-// anywhere else — or a header that does not match the resumed run's
-// parameters — raises ddm::CheckpointError. See docs/robustness.md.
+// anywhere else raises ddm::CheckpointError. See docs/robustness.md.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +44,16 @@ struct SweepParams {
   std::string beta_lo;
   std::string beta_hi;
   std::uint32_t steps = 0;
+  /// Engine the caller requested ("auto" or a forced id). Empty in headers
+  /// written before the field existed — such checkpoints fail resume
+  /// validation by naming the 'engine' field.
+  std::string engine;
+  /// Engine that actually produced the rows (auto mode resolves to one).
+  std::string resolved;
+  /// Shard assignment: this file holds grid rows with k % shard_count ==
+  /// shard_index. An unsharded sweep is shard 0/1.
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
 
   friend bool operator==(const SweepParams&, const SweepParams&) = default;
 };
@@ -92,5 +110,18 @@ class SweepCheckpoint {
   /// no portable way to reach the descriptor. -1 on platforms without fsync.
   int sync_fd_ = -1;
 };
+
+/// A checkpoint parsed WITHOUT resuming it: header params plus every
+/// complete row. `ddm_cli merge` reads shard checkpoints this way — the file
+/// is never opened for writing and a torn trailing fragment is reported, not
+/// truncated. Throws ddm::CheckpointError on unreadable files, unparseable
+/// headers, mid-file corruption, or out-of-range row indices.
+struct LoadedCheckpoint {
+  SweepParams params;
+  std::map<std::uint32_t, SweepRow> rows;
+  bool torn_tail = false;
+};
+
+[[nodiscard]] LoadedCheckpoint read_checkpoint(const std::string& path);
 
 }  // namespace ddm::util

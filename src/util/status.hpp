@@ -12,6 +12,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -132,6 +133,37 @@ class Cancelled : public StoppedError {
 class CheckpointError : public Error {
  public:
   explicit CheckpointError(const std::string& message) : Error(message) {}
+};
+
+/// A persisted compiled plan (poly/plan_store.hpp) failed validate-on-load:
+/// bad magic/checksum, truncated payload, non-monotonic breakpoints, a
+/// certificate that no longer matches the stored bound, or a stale format
+/// version. Carries the offending (n, t) so fleet operators can tell WHICH
+/// plan file is bad, and `stale()` distinguishes a version skew (safe to
+/// re-lower and overwrite) from genuine corruption.
+class PlanStoreError : public Error {
+ public:
+  PlanStoreError(const std::string& reason, std::uint32_t n, std::string t, std::string path,
+                 bool stale = false)
+      : Error("plan store: plan (n=" + std::to_string(n) + ", t=" + t + ") in '" + path +
+              "': " + reason),
+        n_(n),
+        t_(std::move(t)),
+        path_(std::move(path)),
+        stale_(stale) {}
+
+  [[nodiscard]] std::uint32_t n() const noexcept { return n_; }
+  [[nodiscard]] const std::string& t() const noexcept { return t_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  /// True when the file merely predates the current format version (the
+  /// cache counts these as `engine.store.stale` and re-lowers).
+  [[nodiscard]] bool stale() const noexcept { return stale_; }
+
+ private:
+  std::uint32_t n_;
+  std::string t_;
+  std::string path_;
+  bool stale_;
 };
 
 /// A DDM_FAULT_PLAN string (util/fault.hpp) does not match the plan grammar.

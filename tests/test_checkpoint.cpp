@@ -23,6 +23,8 @@ SweepParams test_params() {
   params.beta_lo = "0";
   params.beta_hi = "1";
   params.steps = 8;
+  params.engine = "auto";
+  params.resolved = "batch";
   return params;
 }
 
@@ -132,22 +134,133 @@ TEST_F(CheckpointTest, MidFileCorruptionIsAnError) {
   }
 }
 
-TEST_F(CheckpointTest, HeaderMismatchIsAnError) {
+/// Resumes `path_` with `params` and returns the rejection message, failing
+/// the test if the resume is accepted.
+std::string expect_mismatch(const std::string& path, const SweepParams& params) {
+  try {
+    SweepCheckpoint resumed(path, params, /*resume=*/true);
+  } catch (const CheckpointError& error) {
+    return error.what();
+  }
+  ADD_FAILURE() << "expected CheckpointError";
+  return {};
+}
+
+TEST_F(CheckpointTest, HeaderMismatchNamesTheField) {
   {
     SweepCheckpoint checkpoint(path_, test_params(), false);
     checkpoint.append({0, 0.0, 0.25});
   }
+  // Every divergent field must be rejected, and the FIRST mismatching field
+  // must be named with both values — "different sweep" alone does not tell
+  // the operator which knob to fix.
   SweepParams other = test_params();
   other.n = 5;
+  std::string what = expect_mismatch(path_, other);
+  EXPECT_NE(what.find("different sweep"), std::string::npos) << what;
+  EXPECT_NE(what.find("field 'n': checkpoint 4 vs requested 5"), std::string::npos) << what;
+
+  other = test_params();
+  other.steps = 9;
+  what = expect_mismatch(path_, other);
+  EXPECT_NE(what.find("field 'steps': checkpoint 8 vs requested 9"), std::string::npos) << what;
+
+  other = test_params();
+  other.t = "3/2";
+  what = expect_mismatch(path_, other);
+  EXPECT_NE(what.find("field 't': checkpoint 4/3 vs requested 3/2"), std::string::npos) << what;
+
+  other = test_params();
+  other.engine = "mc";
+  what = expect_mismatch(path_, other);
+  EXPECT_NE(what.find("field 'engine': checkpoint auto vs requested mc"), std::string::npos)
+      << what;
+
+  other = test_params();
+  other.resolved = "kernel";
+  what = expect_mismatch(path_, other);
+  EXPECT_NE(what.find("field 'resolved': checkpoint batch vs requested kernel"),
+            std::string::npos)
+      << what;
+
+  other = test_params();
+  other.shard_index = 1;
+  other.shard_count = 3;
+  what = expect_mismatch(path_, other);
+  EXPECT_NE(what.find("field 'shard': checkpoint 0/1 vs requested 1/3"), std::string::npos)
+      << what;
+}
+
+TEST_F(CheckpointTest, PreEngineHeaderIsRejectedNamingTheAbsentField) {
+  // A header written before the engine/resolved/shard fields existed parses
+  // (lenient reader), but rows from an unknown engine must never be glued
+  // onto a typed sweep: the resume names the absent field.
+  append_raw("{\"sweep\": {\"n\": 4, \"t\": \"4/3\", \"beta_lo\": \"0\", \"beta_hi\": \"1\", "
+             "\"steps\": 8}}\n");
+  append_raw("{\"k\": 0, \"beta\": 0, \"p_win\": 0.25}\n");
+  const std::string what = expect_mismatch(path_, test_params());
+  EXPECT_NE(what.find("field 'engine': checkpoint <absent> vs requested auto"),
+            std::string::npos)
+      << what;
+}
+
+TEST_F(CheckpointTest, ShardedHeaderRoundTripsAndOwnsItsRows) {
+  SweepParams params = test_params();
+  params.shard_index = 1;
+  params.shard_count = 3;
+  {
+    SweepCheckpoint checkpoint(path_, params, false);
+    checkpoint.append({1, 0.125, 0.375});
+    checkpoint.append({4, 0.5, 0.625});
+    checkpoint.append({7, 0.875, 0.5});
+  }
+  const std::string contents = read_file();
+  EXPECT_NE(contents.find("\"shard\": \"1/3\""), std::string::npos) << contents;
+  SweepCheckpoint resumed(path_, params, true);
+  EXPECT_EQ(resumed.completed().size(), 3u);
+}
+
+TEST_F(CheckpointTest, RowOutsideTheShardIsAnError) {
+  SweepParams params = test_params();
+  params.shard_index = 1;
+  params.shard_count = 3;
+  {
+    SweepCheckpoint checkpoint(path_, params, false);
+    checkpoint.append({1, 0.125, 0.375});
+  }
+  // k = 2 belongs to shard 2/3; its presence in a 1/3 file means two sweeps'
+  // outputs were mixed — corruption, not a resumable state.
+  append_raw("{\"k\": 2, \"beta\": 0.25, \"p_win\": 0.5}\n");
+  append_raw("{\"k\": 4, \"beta\": 0.5, \"p_win\": 0.625}\n");
   try {
-    SweepCheckpoint resumed(path_, other, true);
+    SweepCheckpoint resumed(path_, params, true);
     FAIL() << "expected CheckpointError";
   } catch (const CheckpointError& error) {
-    const std::string what = error.what();
-    EXPECT_NE(what.find("different sweep"), std::string::npos);
-    EXPECT_NE(what.find("\"n\": 4"), std::string::npos);
-    EXPECT_NE(what.find("\"n\": 5"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("outside shard"), std::string::npos)
+        << error.what();
   }
+}
+
+TEST_F(CheckpointTest, ReadCheckpointLoadsWithoutWriting) {
+  SweepParams params = test_params();
+  params.shard_index = 2;
+  params.shard_count = 3;
+  {
+    SweepCheckpoint checkpoint(path_, params, false);
+    checkpoint.append({2, 0.25, 0.5});
+    checkpoint.append({5, 0.625, 0.5445963541666666});
+  }
+  append_raw("{\"k\": 8, \"beta\":");  // torn tail
+  const auto before = std::ifstream(path_, std::ios::ate | std::ios::binary).tellg();
+  const LoadedCheckpoint loaded = read_checkpoint(path_);
+  EXPECT_EQ(loaded.params, params);
+  ASSERT_EQ(loaded.rows.size(), 2u);
+  EXPECT_EQ(loaded.rows.at(5).p_win, 0.5445963541666666);
+  EXPECT_TRUE(loaded.torn_tail);
+  // Read-only: the torn fragment is reported, not truncated away.
+  const auto after = std::ifstream(path_, std::ios::ate | std::ios::binary).tellg();
+  EXPECT_EQ(before, after);
+  EXPECT_THROW((void)read_checkpoint(path_ + ".missing"), CheckpointError);
 }
 
 TEST_F(CheckpointTest, ResumeRequiresAnExistingFileWithHeader) {

@@ -11,7 +11,9 @@
 
 #include <atomic>
 #include <cmath>
+#include <latch>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "core/nonoblivious.hpp"
@@ -218,6 +220,57 @@ TEST(PlanCacheTest, SetCapacityShrinksAndClearEmpties) {
   EXPECT_EQ(cache.size(), 1u);
   cache.clear();
   EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PlanCacheTest, NonCanonicalRationalsShareOneEntry) {
+  // Regression: the cache key is built from t's numerator/denominator, so it
+  // is only correct if equal rationals always spell identically. 2/6, 1/3,
+  // and -1/-3 are one value and must be one entry — a duplicate would mean
+  // duplicated lowering work and a cache that lies about its size.
+  PlanCache cache;
+  const auto a = cache.get_or_lower(3, Rational{2, 6});
+  const auto b = cache.get_or_lower(3, Rational{1, 3});
+  const auto c = cache.get_or_lower(3, Rational{-1, -3});
+  const auto d = cache.get_or_lower(3, Rational::parse("3/9"));
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(a.get(), c.get());
+  EXPECT_EQ(a.get(), d.get());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 3u);
+}
+
+TEST(PlanCacheTest, LoweringRacesAreCountedNotSilent) {
+  // Four raw threads released together onto one cold key, with an injected
+  // pre-lowering delay so every thread reaches the miss path before the
+  // first insert lands. Losers adopt the winner's plan; the discarded
+  // lowerings must be COUNTED: races == misses − entries inserted holds for
+  // any interleaving, so a fleet stuck re-lowering concurrently is visible.
+  constexpr std::size_t kThreads = 4;
+  PlanCache cache;
+  util::fault::set_plan(util::fault::Plan::parse("delay@0x4:50ms"));
+  std::latch start(kThreads);
+  std::vector<std::shared_ptr<const poly::CompiledPiecewise>> plans(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      start.arrive_and_wait();
+      plans[i] = cache.get_or_lower(6, Rational{2});
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  util::fault::clear_plan();
+
+  for (const auto& plan : plans) EXPECT_EQ(plan.get(), plans[0].get());
+  const auto stats = cache.stats();
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(stats.hits + stats.misses, kThreads);
+  // Exactly one miss inserted; every other miss lost the race.
+  EXPECT_EQ(stats.races, stats.misses - 1);
+  // The 50 ms pre-lowering window makes a genuinely sequential interleaving
+  // implausible; at least one race must have been observed and counted.
+  EXPECT_GE(stats.races, 1u);
 }
 
 TEST(PlanCacheTest, ConcurrentLookupsShareOnePlan) {

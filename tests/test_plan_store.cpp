@@ -1,0 +1,382 @@
+// Tests for the persistent plan store (poly/plan_store.hpp): bitwise
+// round-trip through save/load, mapped-storage lifetime, and the full
+// validate-on-load rejection matrix — truncation, bit flips, stale format
+// versions, forged structure, and certificates that no longer clear their
+// recorded tolerance. Every corruption must surface as a typed
+// ddm::PlanStoreError naming the (n, t) pair; a wrong plan is never served.
+// The PlanCache fallthrough tests pin the warm-start contract: a store hit
+// answers without lowering, and a corrupt/stale store degrades to lowering
+// with the failure counted, never propagated.
+#include "poly/plan_store.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/symmetric_threshold.hpp"
+#include "engine/plan_cache.hpp"
+#include "util/fault.hpp"
+#include "util/status.hpp"
+
+namespace ddm::poly {
+namespace {
+
+using util::Rational;
+
+// Header offsets from the format contract in plan_store.hpp — fixed by the
+// on-disk format, so spelling them here keeps the tests honest about layout.
+constexpr std::size_t kOffVersion = 8;
+constexpr std::size_t kOffTLen = 32;
+constexpr std::size_t kOffCertLen = 40;
+constexpr std::size_t kOffTolerance = 56;
+constexpr std::size_t kOffPayloadChecksum = 72;
+constexpr std::size_t kOffHeaderChecksum = 80;
+constexpr std::size_t kHeaderSize = 88;
+constexpr std::size_t kAlign = 64;
+
+CompiledPiecewise lower_plan(std::uint32_t n, const Rational& t) {
+  return CompiledPiecewise::lower(
+      core::SymmetricThresholdAnalysis::build(n, t).winning_probability());
+}
+
+class PlanStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Suffix the pid: ctest runs the discovered per-test processes and the
+    // DDM_THREADS-pinned whole-suite registrations concurrently, and two
+    // processes sharing a fixture directory race each other's TearDown.
+    dir_ = ::testing::TempDir() + "ddm_plan_store_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+           "_" + std::to_string(::getpid());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    // The configured store is process-global; never leak it into other tests.
+    PlanStore::set_configured(nullptr);
+    util::fault::clear_plan();
+    std::filesystem::remove_all(dir_);
+  }
+
+  static std::vector<char> read_bytes(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+  }
+  static void write_bytes(const std::string& path, const std::vector<char>& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  template <typename T>
+  static void patch(std::vector<char>& bytes, std::size_t offset, const T& value) {
+    std::memcpy(bytes.data() + offset, &value, sizeof(T));
+  }
+  template <typename T>
+  static T peek(const std::vector<char>& bytes, std::size_t offset) {
+    T value;
+    std::memcpy(&value, bytes.data() + offset, sizeof(T));
+    return value;
+  }
+  /// Recomputes both checksums after a deliberate edit, in dependency order:
+  /// the payload checksum field lives inside the header-checksummed region.
+  static void fix_checksums(std::vector<char>& bytes) {
+    patch(bytes, kOffPayloadChecksum,
+          plan_store_checksum(bytes.data() + kHeaderSize, bytes.size() - kHeaderSize));
+    patch(bytes, kOffHeaderChecksum, plan_store_checksum(bytes.data(), kOffHeaderChecksum));
+  }
+  /// File offset of the breakpoint array (format contract: doubles start at
+  /// the first 64-byte boundary past header + t string + certificate blob).
+  static std::size_t breaks_offset(const std::vector<char>& bytes) {
+    const auto t_len = peek<std::uint64_t>(bytes, kOffTLen);
+    const auto cert_len = peek<std::uint64_t>(bytes, kOffCertLen);
+    const std::size_t raw = kHeaderSize + static_cast<std::size_t>(t_len) +
+                            static_cast<std::size_t>(cert_len);
+    return (raw + kAlign - 1) / kAlign * kAlign;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(PlanStoreTest, RoundTripIsBitwiseIdentical) {
+  const PlanStore store(dir_);
+  const Rational t{2};
+  const CompiledPiecewise plan = lower_plan(6, t);
+  store.save(6, t, plan, 1e-9);
+  const auto loaded = store.load(6, t);
+  ASSERT_NE(loaded, nullptr);
+  ASSERT_EQ(loaded->piece_count(), plan.piece_count());
+  EXPECT_EQ(loaded->breakpoints(), plan.breakpoints());
+  EXPECT_EQ(loaded->max_error_bound(), plan.max_error_bound());
+  EXPECT_EQ(loaded->piece_certificates(), plan.piece_certificates());
+  for (std::size_t p = 0; p < plan.piece_count(); ++p) {
+    EXPECT_EQ(loaded->pieces()[p].lo, plan.pieces()[p].lo);
+    EXPECT_EQ(loaded->pieces()[p].hi, plan.pieces()[p].hi);
+    EXPECT_EQ(loaded->pieces()[p].coeff_begin, plan.pieces()[p].coeff_begin);
+    EXPECT_EQ(loaded->pieces()[p].coeff_count, plan.pieces()[p].coeff_count);
+    EXPECT_EQ(loaded->pieces()[p].error_bound, plan.pieces()[p].error_bound);
+  }
+  // The reconstituted plan evaluates bitwise identically, scalar and grid.
+  std::vector<double> xs;
+  for (int i = 0; i <= 64; ++i) xs.push_back(static_cast<double>(i) / 64.0);
+  const std::vector<double> expected = plan.eval_grid(xs);
+  const std::vector<double> actual = loaded->eval_grid(xs);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(actual[i], expected[i]) << "x = " << xs[i];
+    EXPECT_EQ(loaded->eval(xs[i]), plan.eval(xs[i])) << "x = " << xs[i];
+  }
+}
+
+TEST_F(PlanStoreTest, MappedStorageOutlivesTheStoreHandle) {
+  const Rational t{4, 3};
+  std::shared_ptr<const CompiledPiecewise> loaded;
+  double expected = 0.0;
+  {
+    const PlanStore store(dir_);
+    const CompiledPiecewise plan = lower_plan(4, t);
+    expected = plan.eval(0.625);
+    store.save(4, t, plan, 1e-9);
+    loaded = store.load(4, t);
+    ASSERT_NE(loaded, nullptr);
+  }
+  // The store object is gone; the plan's borrowed coefficient arrays must
+  // stay alive through the storage keepalive it carries.
+  EXPECT_EQ(loaded->eval(0.625), expected);
+}
+
+TEST_F(PlanStoreTest, MissingFileLoadsAsNull) {
+  const PlanStore store(dir_);
+  EXPECT_EQ(store.load(17, Rational{2}), nullptr);
+  EXPECT_TRUE(store.list_paths().empty());
+}
+
+TEST_F(PlanStoreTest, SaveRefusesAPlanOverTheTolerance) {
+  const PlanStore store(dir_);
+  const Rational t{2};
+  const CompiledPiecewise plan = lower_plan(6, t);
+  ASSERT_GT(plan.max_error_bound(), 1e-15);
+  try {
+    store.save(6, t, plan, 1e-15);
+    FAIL() << "expected PlanStoreError";
+  } catch (const PlanStoreError& error) {
+    EXPECT_EQ(error.n(), 6u);
+    EXPECT_NE(std::string(error.what()).find("refusing to persist"), std::string::npos);
+  }
+  EXPECT_TRUE(store.list_paths().empty());  // nothing was published
+}
+
+// --- the corruption rejection matrix -------------------------------------
+
+TEST_F(PlanStoreTest, TruncatedFileIsRejected) {
+  const PlanStore store(dir_);
+  const Rational t{2};
+  store.save(6, t, lower_plan(6, t), 1e-9);
+  const std::string path = store.path_for(6, t);
+  std::vector<char> bytes = read_bytes(path);
+  // Payload cut short (checksums untouched — truncation must be caught by
+  // layout validation before any checksum walks off the end).
+  std::vector<char> cut(bytes.begin(), bytes.end() - 7);
+  write_bytes(path, cut);
+  try {
+    (void)store.load(6, t);
+    FAIL() << "expected PlanStoreError";
+  } catch (const PlanStoreError& error) {
+    EXPECT_FALSE(error.stale());
+    EXPECT_NE(std::string(error.what()).find("truncated"), std::string::npos) << error.what();
+  }
+  // Shorter than the header itself.
+  write_bytes(path, std::vector<char>(bytes.begin(), bytes.begin() + 20));
+  EXPECT_THROW((void)store.load(6, t), PlanStoreError);
+}
+
+TEST_F(PlanStoreTest, BitFlippedCoefficientIsRejected) {
+  const PlanStore store(dir_);
+  const Rational t{2};
+  store.save(6, t, lower_plan(6, t), 1e-9);
+  const std::string path = store.path_for(6, t);
+  std::vector<char> bytes = read_bytes(path);
+  bytes[bytes.size() - 5] ^= 0x10;  // one bit in the coefficient region
+  write_bytes(path, bytes);
+  try {
+    (void)store.load(6, t);
+    FAIL() << "expected PlanStoreError";
+  } catch (const PlanStoreError& error) {
+    EXPECT_FALSE(error.stale());
+    EXPECT_NE(std::string(error.what()).find("payload checksum"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST_F(PlanStoreTest, StaleFormatVersionIsRejectedAsStale) {
+  const PlanStore store(dir_);
+  const Rational t{2};
+  store.save(3, t, lower_plan(3, t), 1e-9);
+  const std::string path = store.path_for(3, t);
+  std::vector<char> bytes = read_bytes(path);
+  patch(bytes, kOffVersion, std::uint32_t{kPlanStoreFormatVersion + 41});
+  // Deliberately NOT fixing the header checksum: version skew must be
+  // diagnosed before the checksum so a reader never misreports a future
+  // layout as corruption.
+  write_bytes(path, bytes);
+  try {
+    (void)store.load(3, t);
+    FAIL() << "expected PlanStoreError";
+  } catch (const PlanStoreError& error) {
+    EXPECT_TRUE(error.stale());
+    EXPECT_NE(std::string(error.what()).find("stale format version"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST_F(PlanStoreTest, CertificateNoLongerClearingToleranceIsRejected) {
+  const PlanStore store(dir_);
+  const Rational t{2};
+  store.save(6, t, lower_plan(6, t), 1e-9);
+  const std::string path = store.path_for(6, t);
+  std::vector<char> bytes = read_bytes(path);
+  // Tighten the recorded tolerance below the plan's certificate, with both
+  // checksums made internally consistent: only the semantic certificate
+  // check can catch this.
+  patch(bytes, kOffTolerance, 1e-15);
+  fix_checksums(bytes);
+  write_bytes(path, bytes);
+  try {
+    (void)store.load(6, t);
+    FAIL() << "expected PlanStoreError";
+  } catch (const PlanStoreError& error) {
+    EXPECT_FALSE(error.stale());
+    EXPECT_EQ(error.n(), 6u);
+    EXPECT_NE(std::string(error.what()).find("no longer clears"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST_F(PlanStoreTest, ForgedBreakpointOrderIsRejected) {
+  const PlanStore store(dir_);
+  const Rational t{2};
+  store.save(6, t, lower_plan(6, t), 1e-9);
+  const std::string path = store.path_for(6, t);
+  std::vector<char> bytes = read_bytes(path);
+  // Break monotonicity with checksums recomputed — only the structural
+  // validation in from_stored stands between this file and a wrong answer.
+  const std::size_t off = breaks_offset(bytes);
+  const double b0 = peek<double>(bytes, off);
+  const double b1 = peek<double>(bytes, off + sizeof(double));
+  patch(bytes, off, b1);
+  patch(bytes, off + sizeof(double), b0);
+  fix_checksums(bytes);
+  write_bytes(path, bytes);
+  try {
+    (void)store.load(6, t);
+    FAIL() << "expected PlanStoreError";
+  } catch (const PlanStoreError& error) {
+    EXPECT_FALSE(error.stale());
+    EXPECT_EQ(error.n(), 6u);
+  }
+}
+
+TEST_F(PlanStoreTest, EditedErrorBoundFailsTheCertificateChain) {
+  const PlanStore store(dir_);
+  const Rational t{2};
+  store.save(6, t, lower_plan(6, t), 1e-9);
+  const std::string path = store.path_for(6, t);
+  std::vector<char> bytes = read_bytes(path);
+  // Understate the last piece's double error bound (an attacker trying to
+  // make a sloppy plan look certified); the exact rational certificate no
+  // longer reproduces it.
+  const CompiledPiecewise plan = lower_plan(6, t);
+  const std::size_t pieces_off =
+      breaks_offset(bytes) + (plan.piece_count() + 1) * sizeof(double);
+  const std::size_t bound_off = pieces_off + (plan.piece_count() - 1) * 40 + 32;
+  patch(bytes, bound_off, 0.0);
+  fix_checksums(bytes);
+  write_bytes(path, bytes);
+  try {
+    (void)store.load(6, t);
+    FAIL() << "expected PlanStoreError";
+  } catch (const PlanStoreError& error) {
+    EXPECT_NE(std::string(error.what()).find("certificate"), std::string::npos) << error.what();
+  }
+}
+
+TEST_F(PlanStoreTest, FileRenamedToAnotherPairIsRejected) {
+  const PlanStore store(dir_);
+  const Rational t{2};
+  store.save(6, t, lower_plan(6, t), 1e-9);
+  std::filesystem::copy_file(store.path_for(6, t), store.path_for(7, t));
+  try {
+    (void)store.load(7, t);
+    FAIL() << "expected PlanStoreError";
+  } catch (const PlanStoreError& error) {
+    EXPECT_EQ(error.n(), 7u);
+    EXPECT_NE(std::string(error.what()).find("different plan"), std::string::npos)
+        << error.what();
+  }
+  // load_path adopts the identity from the file instead of rejecting it.
+  const LoadedPlan by_path = store.load_path(store.path_for(7, t));
+  EXPECT_EQ(by_path.n, 6u);
+  EXPECT_EQ(by_path.t, "2");
+}
+
+// --- PlanCache fallthrough ------------------------------------------------
+
+TEST_F(PlanStoreTest, CacheMissServedFromStoreSkipsLowering) {
+  const Rational t{2};
+  {
+    const PlanStore store(dir_);
+    store.save(6, t, lower_plan(6, t), 1e-9);
+  }
+  PlanStore::set_configured(std::make_shared<PlanStore>(dir_));
+  engine::PlanCache cache;
+  // A lowering attempt would throw; succeeding proves the store answered.
+  util::fault::set_plan(util::fault::Plan::parse("throw@0"));
+  const auto plan = cache.get_or_lower(6, t);
+  util::fault::clear_plan();
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().store_hits, 1u);
+  EXPECT_EQ(cache.stats().store_rejects, 0u);
+  // Second call is a plain cache hit — the store is not consulted again.
+  (void)cache.get_or_lower(6, t);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().store_hits, 1u);
+}
+
+TEST_F(PlanStoreTest, CorruptStoreFallsThroughToLoweringAndIsCounted) {
+  const Rational t{2};
+  const PlanStore store(dir_);
+  store.save(6, t, lower_plan(6, t), 1e-9);
+  std::vector<char> bytes = read_bytes(store.path_for(6, t));
+  bytes[bytes.size() - 5] ^= 0x10;
+  write_bytes(store.path_for(6, t), bytes);
+  PlanStore::set_configured(std::make_shared<PlanStore>(dir_));
+  engine::PlanCache cache;
+  const auto plan = cache.get_or_lower(6, t);
+  ASSERT_NE(plan, nullptr);  // re-lowered, not served from the corrupt file
+  EXPECT_EQ(cache.stats().store_rejects, 1u);
+  EXPECT_EQ(cache.stats().store_hits, 0u);
+  EXPECT_EQ(cache.stats().store_stale, 0u);
+}
+
+TEST_F(PlanStoreTest, StaleStoreFallsThroughToLoweringAndIsCounted) {
+  const Rational t{2};
+  const PlanStore store(dir_);
+  store.save(6, t, lower_plan(6, t), 1e-9);
+  std::vector<char> bytes = read_bytes(store.path_for(6, t));
+  patch(bytes, kOffVersion, std::uint32_t{kPlanStoreFormatVersion + 1});
+  write_bytes(store.path_for(6, t), bytes);
+  PlanStore::set_configured(std::make_shared<PlanStore>(dir_));
+  engine::PlanCache cache;
+  const auto plan = cache.get_or_lower(6, t);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(cache.stats().store_stale, 1u);
+  EXPECT_EQ(cache.stats().store_rejects, 0u);
+}
+
+}  // namespace
+}  // namespace ddm::poly

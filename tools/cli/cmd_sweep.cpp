@@ -98,6 +98,11 @@ int run_sweep(const std::vector<std::string>& args, const Options& options) {
                             ? "--engine=certified cannot be combined with --checkpoint/--resume"
                             : "--certify cannot be combined with --checkpoint/--resume");
     }
+    if (options.shard_set) {
+      throw BadArgument(certified_engine
+                            ? "--engine=certified cannot be combined with --shard"
+                            : "--certify cannot be combined with --shard");
+    }
     return sweep_certified(n, t, lo, hi, steps, options.certify.policy);
   }
 
@@ -113,23 +118,63 @@ int run_sweep(const std::vector<std::string>& args, const Options& options) {
 
   engine::EnginePolicy policy;
   policy.engine = options.engine;
+  // Selection always sees the FULL grid, even when sharded: the auto policy
+  // must resolve identically for every shard of one sweep (and for the
+  // unsharded run), or `ddm_cli merge` could not reproduce it.
   const auto request = engine::EvalRequest::symmetric(n, t, betas);
   const engine::Selection selection = engine::select(policy, request);
   report_fallback(selection);
 
+  // The rows this process owns under --shard=i/k (strided assignment, so
+  // shards stay balanced even on monotone-cost grids). Unsharded = 0/1 owns
+  // every row.
+  std::vector<std::uint32_t> owned;
+  owned.reserve(steps / options.shard_count + 1);
+  for (std::uint32_t k = 0; k <= steps; ++k) {
+    if (k % options.shard_count == options.shard_index) owned.push_back(k);
+  }
+
   std::vector<double> values(steps + 1, 0.0);
   if (options.checkpoint_path.empty()) {
-    values = selection.evaluator->evaluate(request).values;
+    if (owned.size() == betas.size()) {
+      values = selection.evaluator->evaluate(request).values;
+    } else {
+      // Sharded one-shot run: evaluate only the owned rows, carrying their
+      // GLOBAL grid indices as point identities so randomized engines key
+      // their streams exactly like the unsharded run.
+      std::vector<double> shard_betas;
+      shard_betas.reserve(owned.size());
+      auto shard_request = engine::EvalRequest::symmetric(n, t, {});
+      for (const std::uint32_t k : owned) {
+        shard_betas.push_back(betas[k]);
+        shard_request.point_ids.push_back(k);
+      }
+      shard_request.betas = std::move(shard_betas);
+      const std::vector<double> shard_values =
+          selection.evaluator->evaluate(shard_request).values;
+      for (std::size_t i = 0; i < owned.size(); ++i) values[owned[i]] = shard_values[i];
+    }
   } else {
     // Crash-safe path: rows already in the checkpoint are reused verbatim;
     // missing rows are evaluated in blocks, each appended (and flushed)
     // before the next block starts. Every row goes through the identical
     // evaluator either way (the selection is deterministic per instance and
     // grid), so the final output is byte-identical to an uninterrupted run.
-    const util::SweepParams params{n, t.to_string(), lo.to_string(), hi.to_string(), steps};
+    // The header records the full run identity — grid, requested engine,
+    // resolved engine, shard — and a resume rejects any mismatch by field.
+    util::SweepParams params;
+    params.n = n;
+    params.t = t.to_string();
+    params.beta_lo = lo.to_string();
+    params.beta_hi = hi.to_string();
+    params.steps = steps;
+    params.engine = options.engine;
+    params.resolved = std::string(selection.id());
+    params.shard_index = options.shard_index;
+    params.shard_count = options.shard_count;
     util::SweepCheckpoint checkpoint(options.checkpoint_path, params, options.resume);
     std::vector<std::uint32_t> missing;
-    for (std::uint32_t k = 0; k <= steps; ++k) {
+    for (const std::uint32_t k : owned) {
       if (checkpoint.has(k)) {
         values[k] = checkpoint.completed().at(k).p_win;
       } else {
@@ -141,8 +186,15 @@ int run_sweep(const std::vector<std::string>& args, const Options& options) {
       const std::size_t stop = std::min(start + kBlock, missing.size());
       std::vector<double> block_betas;
       block_betas.reserve(stop - start);
-      for (std::size_t i = start; i < stop; ++i) block_betas.push_back(betas[missing[i]]);
-      const auto block_request = engine::EvalRequest::symmetric(n, t, std::move(block_betas));
+      auto block_request = engine::EvalRequest::symmetric(n, t, {});
+      for (std::size_t i = start; i < stop; ++i) {
+        block_betas.push_back(betas[missing[i]]);
+        // Global grid indices as point identities: a checkpointed (or
+        // sharded) Monte Carlo sweep draws the same streams as the
+        // uninterrupted unsharded run.
+        block_request.point_ids.push_back(missing[i]);
+      }
+      block_request.betas = std::move(block_betas);
       const std::vector<double> block_values =
           selection.evaluator->evaluate(block_request).values;
       for (std::size_t i = start; i < stop; ++i) {
@@ -154,11 +206,12 @@ int run_sweep(const std::vector<std::string>& args, const Options& options) {
   }
 
   std::cout << std::setprecision(std::numeric_limits<double>::max_digits10) << "[\n";
-  for (std::uint32_t k = 0; k <= steps; ++k) {
+  for (std::size_t i = 0; i < owned.size(); ++i) {
+    const std::uint32_t k = owned[i];
     std::cout << "  {\"n\": " << n << ", \"t\": " << t_d << ", \"beta\": " << betas[k]
               << ", \"p_win\": " << values[k];
     if (selection.auto_mode) std::cout << ", \"engine\": \"" << selection.id() << "\"";
-    std::cout << "}" << (k < steps ? "," : "") << "\n";
+    std::cout << "}" << (i + 1 < owned.size() ? "," : "") << "\n";
   }
   std::cout << "]\n";
   return 0;

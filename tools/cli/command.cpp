@@ -12,14 +12,14 @@ namespace {
 
 constexpr std::size_t kNoMax = static_cast<std::size_t>(-1);
 
-constexpr std::array<Command, 7> kCommands{{
+constexpr std::array<Command, 9> kCommands{{
     {"oblivious", "oblivious <n> <t>",
      "exact optimal oblivious protocol (Thm 4.3)",
      "Computes the optimal oblivious (input-ignoring, anonymous) protocol:\n"
      "every player picks bin 1 with probability alpha = 1/2, the unique\n"
      "stationary point of Theorem 4.3. Prints the exact winning probability\n"
      "and the gradient residual at 1/2 (Corollary 4.2).",
-     3, 3, false, false, false, run_oblivious},
+     3, 3, false, false, false, false, false, run_oblivious},
     {"threshold", "threshold <n> <t> <beta> [--certify[=tol]] [--engine=<id>]",
      "exact P of a symmetric threshold (Thm 5.1)",
      "Evaluates the winning probability of the symmetric single-threshold\n"
@@ -28,36 +28,37 @@ constexpr std::array<Command, 7> kCommands{{
      "with the escalation ladder and prints a rigorous enclosure (exit 3\n"
      "when the tolerance is missed). --engine routes the evaluation through\n"
      "a named engine instead and reports which one answered.",
-     4, 4, true, false, true, run_threshold},
+     4, 4, true, false, true, false, false, run_threshold},
     {"analyze", "analyze <n> <t> [digits=30] [--engine=<id>]",
      "full Section 5.2 analysis: pieces, optimality condition, certified beta*",
      "Builds the exact piecewise polynomial P(beta), prints every piece, the\n"
      "optimality condition, and the certified optimal threshold beta*\n"
      "refined to the requested number of digits. --engine appends a\n"
      "cross-check of P at beta* through the named engine.",
-     3, 4, false, false, true, run_analyze},
+     3, 4, false, false, true, false, false, run_analyze},
     {"simulate", "simulate <n> <t> <beta> <trials> [seed=42] [--engine=<id>]",
      "Monte Carlo cross-check",
      "Estimates the threshold protocol's winning probability by simulation\n"
      "and checks that the 95% confidence interval covers the reference\n"
      "value. The reference is the exact Theorem 5.1 evaluation by default;\n"
      "--engine computes it through the named engine instead.",
-     5, 6, false, false, true, run_simulate},
+     5, 6, false, false, true, false, false, run_simulate},
     {"volume", "volume <m> <sigma_1..sigma_m> <pi_1..pi_m> [--certify[=tol]]",
      "Vol(simplex ∩ box), Proposition 2.2",
      "Computes the exact volume of the intersection of a scaled simplex and\n"
      "an axis-aligned box (Proposition 2.2), the geometric core of the\n"
      "winning-probability formulas. --certify evaluates through the\n"
      "escalation ladder and prints a rigorous enclosure.",
-     2, kNoMax, true, false, false, run_volume},
+     2, kNoMax, true, false, false, false, false, run_volume},
     {"ladder", "ladder <n> <t> [trials=500000]",
      "information ladder: deterministic / oblivious / threshold / oracle",
      "Prints the information ladder for one instance: deterministic\n"
      "all-one-bin, optimal oblivious coin, optimal own-input threshold, and\n"
      "(for n <= 20) a Monte Carlo full-information oracle estimate.",
-     3, 4, false, false, false, run_ladder},
+     3, 4, false, false, false, false, false, run_ladder},
     {"sweep", "sweep <n> <t> <beta_lo> <beta_hi> <steps> [--certify[=tol]]\n"
-              "                  [--checkpoint <file>] [--resume <file>] [--engine=<id>]",
+              "                  [--checkpoint <file>] [--resume <file>] [--engine=<id>]\n"
+              "                  [--shard=i/k]",
      "β-grid of Theorem 5.1 values, fanned across the thread pool, as JSON",
      "Evaluates P(beta) on a uniform grid and emits one JSON row per point.\n"
      "The default --engine=auto picks the compiled Horner plan when its\n"
@@ -66,8 +67,32 @@ constexpr std::array<Command, 7> kCommands{{
      "fallbacks on stderr. Forcing an engine keeps the row format of the\n"
      "pre-engine CLI (and --engine=compiled surfaces lowering errors as\n"
      "exit 2). --engine=certified is the same as --certify. --checkpoint\n"
-     "and --resume make the sweep crash-safe (docs/robustness.md).",
-     6, 6, true, true, true, run_sweep},
+     "and --resume make the sweep crash-safe, and --shard=i/k evaluates\n"
+     "only the rows with index % k == i — run k sharded sweeps (each with\n"
+     "its own checkpoint), then `ddm_cli merge` reconstructs the byte-\n"
+     "identical unsharded output (docs/robustness.md).",
+     6, 6, true, true, true, true, false, run_sweep},
+    {"plans", "plans <precompile <n_max> <t> [tol] | list | validate> [--store=<dir>]",
+     "persistent plan store: precompile, inspect, validate (docs/performance.md)",
+     "Operates on the on-disk compiled-plan store (poly/plan_store.hpp).\n"
+     "`precompile` lowers the Theorem 5.1 plan for every n <= n_max at\n"
+     "capacity t and persists each plan that clears the tolerance (default\n"
+     "1e-9, the auto-policy bound) together with its exact rational error\n"
+     "certificates. `list` and `validate` read every *.plan file back\n"
+     "through full validate-on-load; `validate` exits 3 when any file is\n"
+     "rejected. The store directory comes from --store=<dir> or the\n"
+     "DDM_PLAN_STORE environment variable; a store-backed `ddm_cli sweep`\n"
+     "or ddm_serve answers its first compiled query without lowering.",
+     2, 5, false, false, false, false, true, run_plans},
+    {"merge", "merge <ckpt> [<ckpt>...]",
+     "merge sharded sweep checkpoints into the unsharded JSON output",
+     "Validates that the given checkpoints belong to ONE sharded sweep —\n"
+     "headers must agree on grid, engine, resolved engine, and shard count,\n"
+     "every shard 0..k-1 must be present exactly once, and every grid row\n"
+     "must be covered — then emits the byte-identical output of the\n"
+     "equivalent unsharded `ddm_cli sweep` run. Mismatched or incomplete\n"
+     "inputs are rejected with exit 2 naming the offending field or row.",
+     2, kNoMax, false, false, false, false, false, run_merge},
 }};
 
 }  // namespace
@@ -95,6 +120,10 @@ usage:
   ddm_cli ladder    <n> <t> [trials=500000]
   ddm_cli sweep     <n> <t> <beta_lo> <beta_hi> <steps> [--certify[=tol]]
                     [--checkpoint <file>] [--resume <file>] [--engine=<id>]
+                    [--shard=i/k]
+  ddm_cli plans     <precompile <n_max> <t> [tol] | list | validate>
+                    [--store=<dir>]
+  ddm_cli merge     <ckpt> [<ckpt>...]
   ddm_cli help      <command>
 
 any subcommand also accepts:
@@ -121,6 +150,9 @@ rationals may be written a/b (e.g. 4/3). Examples:
   ddm_cli sweep 4 4/3 0 1 100 --checkpoint sweep.ckpt   # crash-safe
   ddm_cli sweep 4 4/3 0 1 100 --resume sweep.ckpt       # finish a killed run
   ddm_cli sweep 24 8 0.3 0.45 8 --certify --trace=sweep.json --metrics
+  ddm_cli sweep 6 2 0 1 30 --shard=0/3 --checkpoint s0.ckpt   # 1 of 3 shards
+  ddm_cli merge s0.ckpt s1.ckpt s2.ckpt   # byte-identical unsharded output
+  ddm_cli plans precompile 12 4 --store=plans/   # warm-start plan store
 )";
 }
 
@@ -167,6 +199,12 @@ int dispatch(const std::vector<std::string>& args, const Options& options) {
   }
   if (!options.checkpoint_path.empty() && !command->accepts_checkpoint) {
     throw BadArgument("--checkpoint/--resume are only supported by 'sweep'");
+  }
+  if (options.shard_set && !command->accepts_shard) {
+    throw BadArgument("--shard is only supported by 'sweep'");
+  }
+  if (!options.store_dir.empty() && !command->accepts_store) {
+    throw BadArgument("--store is only supported by 'plans'");
   }
   if (options.engine_set) {
     if (!command->accepts_engine) {

@@ -33,6 +33,8 @@ struct Command {
   bool accepts_certify;
   bool accepts_checkpoint;
   bool accepts_engine;
+  bool accepts_shard;
+  bool accepts_store;
   int (*run)(const std::vector<std::string>& args, const Options& options);
 };
 

@@ -20,5 +20,7 @@ int run_simulate(const std::vector<std::string>& args, const Options& options);
 int run_volume(const std::vector<std::string>& args, const Options& options);
 int run_ladder(const std::vector<std::string>& args, const Options& options);
 int run_sweep(const std::vector<std::string>& args, const Options& options);
+int run_plans(const std::vector<std::string>& args, const Options& options);
+int run_merge(const std::vector<std::string>& args, const Options& options);
 
 }  // namespace ddm::cli

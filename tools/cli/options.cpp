@@ -68,6 +68,32 @@ CommandLine parse_command_line(int argc, char** argv) {
       }
     } else if (arg == "--engine") {
       throw BadArgument("--engine requires a value (use --engine=" + engine_values() + ")");
+    } else if (arg.rfind("--shard=", 0) == 0) {
+      const std::string value = arg.substr(8);
+      const auto slash = value.find('/');
+      bool ok = slash != std::string::npos && slash > 0 && slash + 1 < value.size();
+      if (ok) {
+        try {
+          options.shard_index = parse_u32("--shard index", value.substr(0, slash));
+          options.shard_count = parse_u32("--shard count", value.substr(slash + 1));
+        } catch (const BadArgument&) {
+          ok = false;
+        }
+      }
+      if (!ok || options.shard_count == 0 || options.shard_index >= options.shard_count) {
+        throw BadArgument("invalid --shard '" + value +
+                          "' (expected i/k with 0 <= i < k, e.g. --shard=0/3)");
+      }
+      options.shard_set = true;
+    } else if (arg == "--shard") {
+      throw BadArgument("--shard requires a value (use --shard=i/k)");
+    } else if (arg.rfind("--store=", 0) == 0) {
+      options.store_dir = arg.substr(8);
+      if (options.store_dir.empty()) {
+        throw BadArgument("invalid --store '' (expected --store=<dir>)");
+      }
+    } else if (arg == "--store") {
+      throw BadArgument("--store requires a directory (use --store=<dir>)");
     } else if (arg == "--metrics") {
       options.metrics = true;
     } else if (arg.rfind("--metrics=", 0) == 0) {

@@ -6,11 +6,14 @@
 //   --checkpoint <file>   append-only JSONL checkpoint (sweep)
 //   --resume <file>       reuse rows already in <file>, append the rest
 //   --engine=<id>         evaluation engine: "auto" or any registered id
+//   --shard=i/k           evaluate grid rows with index % k == i (sweep)
+//   --store=<dir>         plan store directory (plans; overrides DDM_PLAN_STORE)
 //   --trace=<file>        export a Chrome trace at exit
 //   --metrics[=json|prom] dump the metrics registry to stderr at exit
 //   --help / -h           subcommand help (global usage without a command)
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -39,6 +42,13 @@ struct Options {
   /// engine, see cmd_sweep.cpp).
   std::string engine = "auto";
   bool engine_set = false;
+  /// Deterministic grid partition (--shard=i/k): this process evaluates the
+  /// rows with k-index % shard_count == shard_index. 0/1 = unsharded.
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
+  bool shard_set = false;
+  /// Plan store directory (--store=<dir>); empty means DDM_PLAN_STORE.
+  std::string store_dir;
   bool help = false;
 };
 

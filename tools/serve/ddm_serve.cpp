@@ -16,9 +16,22 @@
 //   DDM_SERVE_DEADLINE_MS  --deadline-ms=N  default request deadline,
 //                                           0 = none                    [0]
 //   DDM_SERVE_WORKERS      --workers=N      evaluation worker threads   [2]
+//   DDM_PLAN_STORE         --plan-store=DIR persistent compiled-plan
+//                                           store (warm start)          [off]
 //
-// `--check-config` validates the configuration and exits without binding —
-// the hook scripts/test_cli_robustness.sh uses to pin the exit-2 contract.
+// Knob edges are deliberate: PORT=0 (ephemeral) and DEADLINE_MS=0 (none)
+// are valid sentinels; BACKLOG/QUEUE/WORKERS have a minimum of 1 — a
+// zero-capacity queue or zero-worker pool is a misconfiguration, rejected
+// with exit 2 naming the knob, never a silently wedged daemon.
+//
+// `--check-config` validates the configuration (plan store directory
+// included) and exits without binding — the hook
+// scripts/test_cli_robustness.sh uses to pin the exit-2 contract.
+//
+// With a plan store configured, the engine's plan cache consults the
+// validated on-disk plans before lowering, so a cold-started daemon answers
+// its first compiled query without paying the exact-algebra lowering cost
+// (engine.store.hits on /metrics; docs/performance.md).
 //
 // Lifecycle: prints `listening on 127.0.0.1:<port>` on stdout once ready
 // (supervisors and the soak harness parse it), serves until SIGTERM/SIGINT,
@@ -43,6 +56,7 @@
 #include "net/server.hpp"
 #include "net/service.hpp"
 #include "obs/metrics_registry.hpp"
+#include "poly/plan_store.hpp"
 #include "util/env.hpp"
 #include "util/status.hpp"
 
@@ -51,6 +65,7 @@ namespace {
 struct ServeConfig {
   std::uint16_t port = 0;
   int backlog = 64;
+  std::string plan_store;  ///< empty = DDM_PLAN_STORE (or no store at all)
   ddm::net::ServiceConfig service;
 };
 
@@ -83,6 +98,7 @@ ServeConfig parse_config(const std::vector<std::string>& args, bool& check_only)
   const std::string* queue_flag = nullptr;
   const std::string* deadline_flag = nullptr;
   const std::string* workers_flag = nullptr;
+  std::string config_plan_store;
   std::vector<std::string> values;  // stable storage for flag payloads
   values.reserve(args.size());
   for (const std::string& arg : args) {
@@ -104,10 +120,15 @@ ServeConfig parse_config(const std::vector<std::string>& args, bool& check_only)
       deadline_flag = v;
     } else if (const std::string* v = take("--workers=")) {
       workers_flag = v;
+    } else if (const std::string* v = take("--plan-store=")) {
+      if (v->empty()) {
+        throw ddm::Error("ddm_serve: invalid --plan-store '' (expected --plan-store=<dir>)");
+      }
+      config_plan_store = *v;
     } else {
       throw ddm::Error("ddm_serve: unknown argument '" + arg +
                        "' (expected --port= --backlog= --queue= --deadline-ms= --workers= "
-                       "--check-config)");
+                       "--plan-store= --check-config)");
     }
   }
   ServeConfig config;
@@ -121,6 +142,16 @@ ServeConfig parse_config(const std::vector<std::string>& args, bool& check_only)
       knob("DDM_SERVE_DEADLINE_MS", "--deadline-ms", deadline_flag, 0, 3'600'000, 0));
   config.service.workers = static_cast<unsigned>(
       knob("DDM_SERVE_WORKERS", "--workers", workers_flag, 1, 256, 2));
+  // Resolve the plan store now so --check-config validates it too: the flag
+  // overrides DDM_PLAN_STORE, and either one pointing at a missing directory
+  // is a configuration error (exit 2), not a silently cold daemon.
+  if (!config_plan_store.empty()) {
+    ddm::poly::PlanStore::set_configured(
+        ddm::poly::PlanStore::open_directory(config_plan_store, "--plan-store"));
+  }
+  if (const auto store = ddm::poly::PlanStore::configured()) {
+    config.plan_store = store->directory();
+  }
   return config;
 }
 
@@ -178,9 +209,11 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (check_only) {
-    std::cout << "config ok: queue=" << config.service.queue_capacity
+    std::cout << "config ok: port=" << config.port
+              << " queue=" << config.service.queue_capacity
               << " workers=" << config.service.workers << " backlog=" << config.backlog
-              << " deadline_ms=" << config.service.default_deadline.count() << "\n";
+              << " deadline_ms=" << config.service.default_deadline.count() << " plan_store="
+              << (config.plan_store.empty() ? "<none>" : config.plan_store) << "\n";
     return 0;
   }
 
@@ -197,6 +230,9 @@ int main(int argc, char** argv) {
     signal(SIGPIPE, SIG_IGN);
 
     ddm::net::EvalService service(config.service);
+    if (!config.plan_store.empty()) {
+      std::cerr << "ddm_serve: plan store '" << config.plan_store << "' (warm start)\n";
+    }
     std::cout << "listening on 127.0.0.1:" << listener.port() << std::endl;
 
     std::mutex connections_mutex;
