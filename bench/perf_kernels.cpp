@@ -15,6 +15,9 @@
 #include "core/randomized_rules.hpp"
 #include "core/reference_kernels.hpp"
 #include "core/symmetric_threshold.hpp"
+#include "engine/cost_model.hpp"
+#include "engine/plan_cache.hpp"
+#include "engine/registry.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/trace.hpp"
 #include "core/threshold_optimizer.hpp"
@@ -510,6 +513,98 @@ void BM_SweepCompiledSimd(benchmark::State& state) {
       static_cast<double>(ddm::util::simd::dispatch_width());
 }
 BENCHMARK(BM_SweepCompiledSimd)->Arg(1024)->Arg(10000)->UseRealTime()->MinTime(1.0);
+
+// --- profile-guided dispatch (engine/cost_model.hpp) -----------------------
+//
+// The mixed mid-n workload the paper's serving story lives on: four
+// symmetric instances spanning the static rule's blind spot. At request
+// tolerance 1e-5 the compiled plan's certificate clears every instance
+// (n = 10: 5.2e-8, n = 12: 3.3e-6), but the static auto rule holds compiled
+// to its fixed 1e-9 bound and pays the batch kernel for n = 10 and n = 12 —
+// three orders of magnitude more per point. A calibrated CostModel routes
+// all four to the compiled plan; run_bench.sh --check gates
+// static/calibrated >= 1.5x and forced-best/calibrated >= 0.9x.
+
+/// The four workload instances with 2048-point beta grids and tolerance
+/// 1e-5, built once (2048 points amortize the per-request select() cost the
+/// same way real sweep/serve batches do).
+const std::vector<ddm::engine::EvalRequest>& dispatch_workload() {
+  static const std::vector<ddm::engine::EvalRequest>* workload = [] {
+    auto* requests = new std::vector<ddm::engine::EvalRequest>();
+    const std::pair<std::uint32_t, Rational> instances[] = {
+        {6, Rational{2}}, {8, Rational{8, 3}}, {10, Rational{10, 3}}, {12, Rational{4}}};
+    for (const auto& [n, t] : instances) {
+      ddm::engine::EvalRequest request;
+      request.n = n;
+      request.t = t;
+      request.tolerance = Rational{1, 100000};
+      request.betas.reserve(2048);
+      for (std::size_t k = 0; k < 2048; ++k) {
+        request.betas.push_back(static_cast<double>(k + 1) / 2049.0);
+      }
+      requests->push_back(std::move(request));
+    }
+    return requests;
+  }();
+  return *workload;
+}
+
+/// One real (tiny-grid) calibration, shared by every calibrated iteration.
+std::shared_ptr<ddm::engine::CostModel> bench_cost_model() {
+  static const std::shared_ptr<ddm::engine::CostModel> model = [] {
+    ddm::engine::CalibrationOptions options;
+    options.ns = {1, 2, 4, 8, 12};
+    options.batches = {16, 256};
+    return ddm::engine::CostModel::calibrate(options);
+  }();
+  return model;
+}
+
+void run_dispatch_workload(benchmark::State& state, const ddm::engine::EnginePolicy& policy) {
+  // Pre-lower the plans so every variant measures dispatch + evaluation,
+  // not one-time exact-algebra lowering.
+  for (const ddm::engine::EvalRequest& request : dispatch_workload()) {
+    try {
+      (void)ddm::engine::PlanCache::instance().get_or_lower(request.n, request.t);
+    } catch (const std::exception&) {
+    }
+  }
+  std::int64_t points = 0;
+  for (auto _ : state) {
+    double accumulated = 0.0;
+    for (const ddm::engine::EvalRequest& request : dispatch_workload()) {
+      const ddm::engine::Selection selection = ddm::engine::select(policy, request);
+      const ddm::engine::EvalOutcome outcome = selection.evaluator->evaluate(request);
+      accumulated += outcome.values.front();
+      points += static_cast<std::int64_t>(outcome.values.size());
+    }
+    benchmark::DoNotOptimize(accumulated);
+  }
+  state.SetItemsProcessed(points);
+}
+
+void BM_AutoDispatchStatic(benchmark::State& state) {
+  ddm::engine::CostModel::set_configured(nullptr);  // pin the static rule
+  run_dispatch_workload(state, ddm::engine::EnginePolicy{});
+}
+BENCHMARK(BM_AutoDispatchStatic)->UseRealTime();
+
+void BM_AutoDispatchCalibrated(benchmark::State& state) {
+  ddm::engine::CostModel::set_configured(bench_cost_model());
+  run_dispatch_workload(state, ddm::engine::EnginePolicy{});
+  ddm::engine::CostModel::set_configured(nullptr);
+}
+BENCHMARK(BM_AutoDispatchCalibrated)->UseRealTime();
+
+void BM_AutoDispatchForcedBest(benchmark::State& state) {
+  // The best single forced engine for this workload: every certificate
+  // clears 1e-5, so a user who hand-tuned would write --engine=compiled.
+  ddm::engine::CostModel::set_configured(nullptr);
+  ddm::engine::EnginePolicy policy;
+  policy.engine = "compiled";
+  run_dispatch_workload(state, policy);
+}
+BENCHMARK(BM_AutoDispatchForcedBest)->UseRealTime();
 
 }  // namespace
 

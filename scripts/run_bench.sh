@@ -12,9 +12,13 @@
 #       Run the suite into a temp file and compare per-iteration cpu_time
 #       against the checked-in baseline, family by family (the BM_* prefix
 #       before the first '/'). Exits non-zero when any family's geometric-
-#       mean slowdown exceeds 25%, or when a vectorized *Simd family is not
+#       mean slowdown exceeds 25%, when a vectorized *Simd family is not
 #       at least 2x faster (geomean, same args) than its scalar counterpart
-#       in the SAME run (docs/performance.md §4). Registered as the opt-in
+#       in the SAME run (docs/performance.md §4), or when the calibrated
+#       auto policy fails its dispatch gate (docs/performance.md §7): on the
+#       mixed mid-n workload BM_AutoDispatchCalibrated must beat
+#       BM_AutoDispatchStatic by >= 1.5x and stay within 10% of
+#       BM_AutoDispatchForcedBest. Registered as the opt-in
 #       ctest `bench_regression_check` (label `bench`, -DDDM_BENCH_CHECK=ON).
 #
 # Both modes force CMAKE_BUILD_TYPE=Release in their own build tree
@@ -173,4 +177,46 @@ if simd_failed:
           f"bar: {', '.join(simd_failed)}", file=sys.stderr)
     sys.exit(1)
 print(f"run_bench.sh --check: SIMD families >= {SIMD_SPEEDUP}x their scalar counterparts")
+
+# Profile-guided dispatch gate (docs/performance.md §7), again WITHIN this
+# run: on the mixed mid-n workload the calibrated auto policy must beat the
+# static auto rule by >= 1.5x (the table reroutes requests the fixed 1e-9
+# compiled gate would send to the batch kernel), and must stay within 10% of
+# the best forced engine — the model consultation itself has to be nearly
+# free, or "auto" stops being the right default for hot callers.
+AUTO_SPEEDUP = 1.5
+AUTO_FORCED_MARGIN = 0.9
+
+def family_geomean(times, family):
+    values = [t for name, t in times.items() if name.split("/")[0] == family]
+    if not values:
+        return None
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+static_t = family_geomean(current, "BM_AutoDispatchStatic")
+calibrated_t = family_geomean(current, "BM_AutoDispatchCalibrated")
+forced_t = family_geomean(current, "BM_AutoDispatchForcedBest")
+auto_failed = []
+if static_t is None or calibrated_t is None or forced_t is None:
+    print("run_bench.sh --check: missing BM_AutoDispatch* results to gate",
+          file=sys.stderr)
+    auto_failed.append("BM_AutoDispatch*")
+else:
+    speedup = static_t / calibrated_t
+    margin = forced_t / calibrated_t
+    flag = "" if speedup >= AUTO_SPEEDUP else "  TOO SLOW"
+    if flag:
+        auto_failed.append("BM_AutoDispatchCalibrated vs Static")
+    print(f"{'auto: calibrated vs static':<36} {speedup:>13.2f}x{flag}")
+    flag = "" if margin >= AUTO_FORCED_MARGIN else "  TOO SLOW"
+    if flag:
+        auto_failed.append("BM_AutoDispatchCalibrated vs ForcedBest")
+    print(f"{'auto: forced-best / calibrated':<36} {margin:>13.2f}x{flag}")
+
+if auto_failed:
+    print(f"run_bench.sh --check: auto dispatch gate failed: "
+          f"{', '.join(auto_failed)}", file=sys.stderr)
+    sys.exit(1)
+print(f"run_bench.sh --check: calibrated auto >= {AUTO_SPEEDUP}x static, "
+      f"within 10% of the best forced engine")
 EOF

@@ -67,4 +67,43 @@ check() {
 }
 run_checks
 
+# Third pass: a loaded policy table (profile-guided dispatch,
+# docs/performance.md §7). Captures that pin a FORCED evaluation path
+# (--engine=..., --certify, scalar subcommands) must ignore the model
+# completely; the default-dispatch captures keep their static choice because
+# a truthful table and the static rule agree where both are defined. Either
+# way: byte for byte, with the table loaded through DDM_POLICY.
+GOLDEN_TMP="$(mktemp -d)"
+trap 'rm -rf "$GOLDEN_TMP"' EXIT
+python3 - "$GOLDEN_TMP/policy.ddmpolicy" <<'EOF'
+import sys
+# A truthful table (realistic cost ordering: compiled plans nanoseconds per
+# point, double kernels micro- to milliseconds growing with n).
+cells = []
+for i, n in enumerate((1, 4, 12, 16)):
+    for batch in (1, 16, 256):
+        cells.append(f"cell compiled {n} {batch} {4e-09 * (i + 1):.2e}\n")
+        cells.append(f"cell batch {n} {batch} {1e-06 * 3**i:.2e}\n")
+        cells.append(f"cell kernel {n} {batch} {2e-06 * 3**i:.2e}\n")
+body = "ddmpolicy v1\norigin calibrate\nt_regime n/3\n" + "".join(sorted(cells))
+h = 14695981039346656037
+for b in body.encode():
+    h = ((h ^ b) * 1099511628211) % (1 << 64)
+with open(sys.argv[1], "w") as f:
+    f.write(body + f"checksum {h:016x}\n")
+EOF
+check() {
+  local name="$1"
+  shift
+  local golden="$GOLDEN_DIR/$name"
+  local actual
+  actual="$(env DDM_POLICY="$GOLDEN_TMP/policy.ddmpolicy" "$CLI_DEFAULT" "$@")" \
+    || fail "'DDM_POLICY=... $CLI_DEFAULT $*' failed"
+  if [ "$actual" != "$(cat "$golden")" ]; then
+    diff <(printf '%s\n' "$actual") "$golden" >&2 || true
+    fail "'DDM_POLICY=... $CLI_DEFAULT $*' output differs from $name"
+  fi
+}
+run_checks
+
 echo "cli golden checks passed"

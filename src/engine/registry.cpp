@@ -1,10 +1,17 @@
 #include "engine/registry.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
 #include <exception>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
 #include <sstream>
 #include <utility>
 
+#include "engine/cost_model.hpp"
 #include "engine/engines.hpp"
 #include "engine/plan_cache.hpp"
 #include "obs/metrics_registry.hpp"
@@ -18,12 +25,150 @@ namespace {
 struct SelectMetrics {
   obs::Counter selects = obs::counter("engine.selects");
   obs::Counter fallbacks = obs::counter("engine.fallbacks");
+  obs::Counter policy_consults = obs::counter("engine.policy.consults");
+  obs::Counter policy_model_wins = obs::counter("engine.policy.model_wins");
+  obs::Counter policy_static_wins = obs::counter("engine.policy.static_wins");
 
   static const SelectMetrics& get() {
     static const SelectMetrics metrics;
     return metrics;
   }
 };
+
+/// Direct-mapped memo of compiled-plan certificate bounds. Lowering is
+/// deterministic, so the bound for a given (n, t) never changes — but the
+/// model path needs it on EVERY select, and a PlanCache::get_or_lower round
+/// trip (string key construction, LRU splice under the cache mutex) costs
+/// about as much as ranking all three candidates. Only successful lowerings
+/// land here; failures keep throwing through the probe below, so fault
+/// injection (DDM_FAULT_PLAN) stays visible to the model path. The static
+/// rule does not use the memo — its branch is pinned byte-identical to the
+/// pre-model CLI, plan-cache hit counters included.
+class BoundMemo {
+ public:
+  static BoundMemo& get() {
+    static BoundMemo memo;
+    return memo;
+  }
+
+  [[nodiscard]] std::optional<double> lookup(std::uint32_t n, const util::Rational& t) const {
+    const Slot& slot = slots_[index(n, t)];
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    if (slot.valid && slot.n == n && slot.t == t) return slot.bound;
+    return std::nullopt;
+  }
+
+  void store(std::uint32_t n, const util::Rational& t, double bound) {
+    Slot& slot = slots_[index(n, t)];
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    slot.n = n;
+    slot.t = t;
+    slot.bound = bound;
+    slot.valid = true;
+  }
+
+ private:
+  struct Slot {
+    bool valid = false;
+    std::uint32_t n = 0;
+    util::Rational t;
+    double bound = 0.0;
+  };
+  static constexpr std::size_t kSlots = 64;
+
+  // Collisions are harmless: the full (n, t) comparison above rejects them
+  // and the slot is simply re-used by whichever key stored last.
+  static std::size_t index(std::uint32_t n, const util::Rational& t) {
+    const double approx = t.to_double();
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &approx, sizeof(bits));
+    bits ^= bits >> 17;
+    bits ^= static_cast<std::uint64_t>(n) * 0x9e3779b97f4a7c15ULL;
+    return static_cast<std::size_t>(bits % kSlots);
+  }
+
+  mutable std::shared_mutex mutex_;
+  std::array<Slot, kSlots> slots_;
+};
+
+/// The model-consulting auto rule. Candidates are the interchangeable-value
+/// engines: compiled joins only when its certificate clears the REQUEST
+/// tolerance (that is the accuracy contract — the static rule's fixed
+/// compiled_tolerance does not apply here), batch and kernel compute the
+/// inclusion-exclusion sum in plain doubles and always qualify. The
+/// predicted-fastest candidate wins; engines the table has no data for
+/// predict +infinity and drop out; when NO candidate has data the choice
+/// degrades to exactly what the static rule would have picked, so a sparse
+/// table can only ever refine dispatch, not break it.
+void apply_model(const CostModel& model, const EnginePolicy& policy, const EvalRequest& request,
+                 Registry& registry, Selection& selection) {
+  const SelectMetrics& metrics = SelectMetrics::get();
+  selection.model_consulted = true;
+  metrics.policy_consults.add();
+
+  const Evaluator* compiled = nullptr;
+  bool static_compiled = false;
+  if (request.is_symmetric() && request.n >= 1 && request.n <= policy.compiled_max_n) {
+    BoundMemo& memo = BoundMemo::get();
+    std::optional<double> bound = memo.lookup(request.n, request.t);
+    if (!bound.has_value()) {
+      try {
+        const auto plan = PlanCache::instance().get_or_lower(request.n, request.t);
+        bound = plan->max_error_bound();
+        memo.store(request.n, request.t, *bound);
+      } catch (const std::exception& error) {
+        selection.fallback = true;
+        selection.note = std::string("compiled lowering failed (") + error.what() +
+                         "); ranking the double kernels";
+      }
+    }
+    if (bound.has_value()) {
+      selection.compiled_bound = *bound;
+      static_compiled = *bound <= policy.compiled_tolerance;
+      const double tolerance = request.tolerance.to_double();
+      if (*bound <= tolerance) {
+        compiled = &registry.require("compiled");
+      } else {
+        selection.fallback = true;
+        std::ostringstream note;
+        note << "compiled plan certificate " << *bound << " exceeds request tolerance "
+             << tolerance << "; ranking the double kernels";
+        selection.note = note.str();
+      }
+    }
+  }
+
+  // One ranking call for all candidates: CostModel::cheapest takes the table
+  // lock once and compares in log space, so the per-request model overhead
+  // stays a small fraction of even the fastest engine's evaluation.
+  std::array<const Evaluator*, 3> pool;  // compiled, batch, kernel — never more
+  std::array<std::string_view, 3> ids;
+  std::size_t pool_count = 0;
+  const auto consider = [&](const Evaluator* evaluator) {
+    if (evaluator == nullptr || !evaluator->supports(request)) return;
+    pool[pool_count] = evaluator;
+    ids[pool_count] = evaluator->id();
+    ++pool_count;
+  };
+  consider(compiled);
+  consider(registry.find("batch"));
+  consider(registry.find("kernel"));
+
+  const Evaluator& static_choice =
+      static_compiled && compiled != nullptr ? *compiled : registry.require("batch");
+  const std::size_t best = model.cheapest(ids.data(), pool_count, request.n, request.size());
+  if (best == pool_count) {
+    selection.evaluator = &static_choice;  // no data: degrade to the static rule
+    metrics.policy_static_wins.add();
+    return;
+  }
+  selection.evaluator = pool[best];
+  if (selection.evaluator == &static_choice) {
+    metrics.policy_static_wins.add();
+  } else {
+    metrics.policy_model_wins.add();
+  }
+}
 
 }  // namespace
 
@@ -109,6 +254,19 @@ Selection select(const EnginePolicy& policy, const EvalRequest& request) {
   }
 
   selection.auto_mode = true;
+  // A loaded policy table (strictly resolved: a bad DDM_POLICY throws here
+  // rather than silently dispatching cold) reroutes auto through the model.
+  const std::shared_ptr<CostModel> model = CostModel::configured();
+  if (model != nullptr && !model->empty()) {
+    apply_model(*model, policy, request, registry, selection);
+    metrics.selects.add();
+    if (selection.fallback) metrics.fallbacks.add();
+    DDM_SPAN("engine.select",
+             {{"requested", "auto"},
+              {"chosen", selection.evaluator->id().data()},
+              {"fallback", selection.fallback ? std::int64_t{1} : std::int64_t{0}}});
+    return selection;
+  }
   // The auto rule, byte-compatible with the pre-engine CLI: try the compiled
   // plan for small symmetric grids, hold its certificate to the tolerance,
   // fall back to the batch kernel otherwise — visibly, via Selection::note.

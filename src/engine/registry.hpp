@@ -20,8 +20,17 @@
 // carries a human-readable note so callers can surface the fallback (the
 // CLI prints it to stderr and stamps the winning engine into sweep JSON).
 //
+// When a policy table is loaded (engine/cost_model.hpp — `ddm_cli calibrate`
+// output via --policy / DDM_POLICY / --policy-table), "auto" instead ranks
+// the interchangeable-value engines by predicted latency and picks the
+// fastest one whose accuracy contract still meets the REQUEST tolerance
+// (the compiled plan's certificate is held to request.tolerance, not the
+// static rule's fixed bound). Forced engine ids never consult the model,
+// and with no table loaded the static rule runs unchanged, byte for byte.
+//
 // Observability: `engine.select` spans (args: requested id, chosen id) and
-// `engine.selects` / `engine.fallbacks` counters; the plan cache adds
+// `engine.selects` / `engine.fallbacks` counters; model consultation adds
+// `engine.policy.{consults,model_wins,static_wins}`; the plan cache adds
 // `engine.cache` spans and hit/miss/eviction counters.
 #pragma once
 
@@ -80,6 +89,9 @@ struct Selection {
   /// The compiled plan's certified max-error bound when auto lowered one
   /// (NaN when lowering was not attempted or failed).
   double compiled_bound = std::numeric_limits<double>::quiet_NaN();
+  /// True when auto ranked candidates through a loaded CostModel instead of
+  /// the static rule (forced engines and table-less processes never set it).
+  bool model_consulted = false;
 
   [[nodiscard]] std::string_view id() const noexcept { return evaluator->id(); }
 };

@@ -1,8 +1,11 @@
 #include "engine/resilient.hpp"
 
+#include <algorithm>
 #include <exception>
+#include <memory>
 #include <string>
 
+#include "engine/cost_model.hpp"
 #include "engine/registry.hpp"
 #include "obs/metrics_registry.hpp"
 #include "util/fault.hpp"
@@ -52,6 +55,21 @@ EvalOutcome evaluate_resilient(const ResilientOptions& options, const EvalReques
   std::vector<std::string_view> chain;
   chain.push_back(selection.id());
   for (const std::string_view id : fallback_chain(selection.id())) chain.push_back(id);
+  // With a policy table loaded, try the fallbacks cheapest-predicted-first:
+  // the chain HEAD is the selection contract and never moves, but the order
+  // we burn the remaining deadline budget in is a pure latency question.
+  // Engines without table data predict +infinity and keep the static order
+  // (stable sort), so a sparse table cannot reshuffle what it never measured.
+  if (chain.size() > 2) {
+    if (const std::shared_ptr<CostModel> model = CostModel::configured();
+        model != nullptr && !model->empty()) {
+      std::stable_sort(chain.begin() + 1, chain.end(),
+                       [&model, &request](std::string_view lhs, std::string_view rhs) {
+                         return model->predict(lhs, request.n, request.size()) <
+                                model->predict(rhs, request.n, request.size());
+                       });
+    }
+  }
 
   Registry& registry = Registry::instance();
   std::string note;

@@ -1,0 +1,93 @@
+// calibrate — measure per-engine latency and write a policy table.
+//
+// The producer side of profile-guided dispatch (engine/cost_model.hpp): runs
+// the deterministic calibration protocol — for every (engine, n, batch) grid
+// cell one warmup run (absorbing plan lowering and pool spin-up) followed by
+// median-of-3 timed runs of a fixed β-grid request at the paper's t = n/3
+// regime — and persists the measured seconds-per-point as a versioned +
+// checksummed table, then loads it straight back (full validate-on-load) as
+// a round-trip self-check. One JSON row per measured cell goes to stdout so
+// a calibration run is inspectable and diffable like every other subcommand.
+//
+// Like scripts/run_bench.sh, calibrate refuses non-release builds: a table
+// measured with assertions enabled would mistune dispatch on every later run
+// that loads it.
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <limits>
+#include <string>
+
+#include "cli/commands.hpp"
+#include "cli/parse.hpp"
+#include "engine/cost_model.hpp"
+#include "obs/trace.hpp"
+#include "util/build_info.hpp"
+#include "util/status.hpp"
+
+namespace ddm::cli {
+
+namespace {
+
+/// Output path: --policy wins, otherwise the table lands next to the plan
+/// store as <store>/policy.ddmpolicy (--store or DDM_PLAN_STORE).
+std::string resolve_output(const Options& options) {
+  if (options.policy_set) return options.policy_path;
+  if (!options.store_dir.empty()) return options.store_dir + "/policy.ddmpolicy";
+  const char* env = std::getenv("DDM_PLAN_STORE");
+  if (env != nullptr && *env != '\0') return std::string(env) + "/policy.ddmpolicy";
+  throw BadArgument(
+      "calibrate needs an output (use --policy=<file>, or --store=<dir> / "
+      "DDM_PLAN_STORE to write <store>/policy.ddmpolicy)");
+}
+
+/// The n grid: powers of two below n_max, then n_max itself — log-spaced,
+/// deterministic, and always ending on the caller's ceiling.
+std::vector<std::uint32_t> n_grid(std::uint32_t n_max) {
+  std::vector<std::uint32_t> ns;
+  for (std::uint32_t n = 1; n < n_max; n *= 2) ns.push_back(n);
+  ns.push_back(n_max);
+  return ns;
+}
+
+}  // namespace
+
+int run_calibrate(const std::vector<std::string>& args, const Options& options) {
+  if (std::string(util::build_type()) != "release") {
+    throw Error(std::string("calibrate requires a release build (this library was built '") +
+                util::build_type() +
+                "'; configure with -DCMAKE_BUILD_TYPE=Release — a debug-timed table would "
+                "mistune dispatch on every run that loads it)");
+  }
+  std::uint32_t n_max = 12;
+  if (args.size() == 2) {
+    n_max = parse_u32("n_max", args[1]);
+    if (n_max == 0 || n_max > 20) {
+      throw BadArgument("invalid n_max '" + args[1] + "' (calibrate needs 1 <= n_max <= 20)");
+    }
+  }
+  const std::string output = resolve_output(options);
+  DDM_SPAN("cli.calibrate", {{"n_max", static_cast<std::int64_t>(n_max)}});
+
+  engine::CalibrationOptions calibration;
+  calibration.ns = n_grid(n_max);
+  const auto model = engine::CostModel::calibrate(calibration);
+  if (model->empty()) {
+    throw Error("calibrate measured no cells (no engine supported the grid)");
+  }
+  model->save(output);
+  // Round-trip self-check: the file we just wrote must survive the same
+  // strict validate-on-load every consumer will apply.
+  const auto loaded = engine::CostModel::load(output, "calibrate");
+
+  std::cout << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (const engine::CostCell& cell : loaded->cells()) {
+    std::cout << "{\"engine\": \"" << cell.engine << "\", \"n\": " << cell.n
+              << ", \"batch\": " << cell.batch
+              << ", \"seconds_per_point\": " << cell.seconds_per_point << "}\n";
+  }
+  std::cerr << "calibrate: wrote " << loaded->cell_count() << " cells to '" << output << "'\n";
+  return 0;
+}
+
+}  // namespace ddm::cli

@@ -5,6 +5,7 @@
 
 #include "cli/commands.hpp"
 #include "cli/parse.hpp"
+#include "engine/cost_model.hpp"
 
 namespace ddm::cli {
 
@@ -12,7 +13,7 @@ namespace {
 
 constexpr std::size_t kNoMax = static_cast<std::size_t>(-1);
 
-constexpr std::array<Command, 9> kCommands{{
+constexpr std::array<Command, 10> kCommands{{
     {"oblivious", "oblivious <n> <t>",
      "exact optimal oblivious protocol (Thm 4.3)",
      "Computes the optimal oblivious (input-ignoring, anonymous) protocol:\n"
@@ -84,6 +85,21 @@ constexpr std::array<Command, 9> kCommands{{
      "DDM_PLAN_STORE environment variable; a store-backed `ddm_cli sweep`\n"
      "or ddm_serve answers its first compiled query without lowering.",
      2, 5, false, false, false, false, true, run_plans},
+    {"calibrate", "calibrate [n_max=12] [--policy=<out>] [--store=<dir>]",
+     "measure per-engine latency, write a policy table for self-tuning auto",
+     "Runs the deterministic calibration sweep: for every (engine, n, batch)\n"
+     "grid cell — engines compiled/batch/kernel, n log-spaced up to n_max,\n"
+     "batches 1/16/256 — one warmup run (absorbing plan lowering) followed\n"
+     "by median-of-3 timed runs of a fixed beta-grid request at t = n/3,\n"
+     "recording seconds per point. The result is a versioned + checksummed\n"
+     "policy table; once loaded (--policy / DDM_POLICY / ddm_serve\n"
+     "--policy-table) `--engine=auto` picks the predicted-fastest engine\n"
+     "whose accuracy contract still meets the request tolerance instead of\n"
+     "applying the static rule. The table is written to --policy=<out>, or\n"
+     "to <store>/policy.ddmpolicy next to the plan store. Refuses non-\n"
+     "release builds, like scripts/run_bench.sh (timings from a debug build\n"
+     "would mistune dispatch on every later run).",
+     1, 2, false, false, false, false, true, run_calibrate},
     {"merge", "merge <ckpt> [<ckpt>...]",
      "merge sharded sweep checkpoints into the unsharded JSON output",
      "Validates that the given checkpoints belong to ONE sharded sweep —\n"
@@ -123,12 +139,15 @@ usage:
                     [--shard=i/k]
   ddm_cli plans     <precompile <n_max> <t> [tol] | list | validate>
                     [--store=<dir>]
+  ddm_cli calibrate [n_max=12] [--policy=<out>] [--store=<dir>]
   ddm_cli merge     <ckpt> [<ckpt>...]
   ddm_cli help      <command>
 
 any subcommand also accepts:
   --trace=<file>         export a Chrome trace of the run to <file>
   --metrics[=json|prom]  dump the metrics registry to stderr at exit
+  --policy=<file>        load a calibrated engine policy table; auto mode
+                         then dispatches on measured cost (see calibrate)
 
 engines (--engine=<id>, docs/architecture.md):
   auto       compiled plan when its certified bound is <= 1e-9, else the
@@ -153,6 +172,8 @@ rationals may be written a/b (e.g. 4/3). Examples:
   ddm_cli sweep 6 2 0 1 30 --shard=0/3 --checkpoint s0.ckpt   # 1 of 3 shards
   ddm_cli merge s0.ckpt s1.ckpt s2.ckpt   # byte-identical unsharded output
   ddm_cli plans precompile 12 4 --store=plans/   # warm-start plan store
+  ddm_cli calibrate 12 --policy=policy.ddmpolicy   # measure engine costs
+  ddm_cli sweep 12 4 0 1 10000 --policy=policy.ddmpolicy   # self-tuned auto
 )";
 }
 
@@ -167,7 +188,8 @@ void print_command_help(const Command& command) {
             << command.help << "\n\n"
             << "common options:\n"
             << "  --trace=<file>         export a Chrome trace of the run to <file>\n"
-            << "  --metrics[=json|prom]  dump the metrics registry to stderr at exit\n";
+            << "  --metrics[=json|prom]  dump the metrics registry to stderr at exit\n"
+            << "  --policy=<file>        load a calibrated engine policy table\n";
 }
 
 int dispatch(const std::vector<std::string>& args, const Options& options) {
@@ -217,6 +239,20 @@ int dispatch(const std::vector<std::string>& args, const Options& options) {
     }
   }
   if (args.size() < command->min_args || args.size() > command->max_args) return usage();
+  // Resolve the engine policy table STRICTLY before the handler runs:
+  // --policy loads and validates the named table, and with no flag a set
+  // DDM_POLICY is forced to resolve now, so a corrupt table fails here with
+  // exit 2 naming its source instead of surfacing mid-evaluation (the
+  // DDM_THREADS/DDM_SIMD precedent). `calibrate` is the producer — its
+  // --policy names the OUTPUT file, so nothing is loaded for it.
+  if (std::string_view(command->name) != "calibrate") {
+    if (options.policy_set) {
+      engine::CostModel::set_configured(
+          engine::CostModel::load(options.policy_path, "--policy"));
+    } else {
+      (void)engine::CostModel::configured();
+    }
+  }
   return command->run(args, options);
 }
 

@@ -22,5 +22,6 @@ int run_ladder(const std::vector<std::string>& args, const Options& options);
 int run_sweep(const std::vector<std::string>& args, const Options& options);
 int run_plans(const std::vector<std::string>& args, const Options& options);
 int run_merge(const std::vector<std::string>& args, const Options& options);
+int run_calibrate(const std::vector<std::string>& args, const Options& options);
 
 }  // namespace ddm::cli

@@ -6,6 +6,8 @@
 //   --checkpoint <file>   append-only JSONL checkpoint (sweep)
 //   --resume <file>       reuse rows already in <file>, append the rest
 //   --engine=<id>         evaluation engine: "auto" or any registered id
+//   --policy=<file>       calibrated engine policy table (overrides DDM_POLICY;
+//                         for `calibrate` it names the OUTPUT file instead)
 //   --shard=i/k           evaluate grid rows with index % k == i (sweep)
 //   --store=<dir>         plan store directory (plans; overrides DDM_PLAN_STORE)
 //   --trace=<file>        export a Chrome trace at exit
@@ -49,6 +51,11 @@ struct Options {
   bool shard_set = false;
   /// Plan store directory (--store=<dir>); empty means DDM_PLAN_STORE.
   std::string store_dir;
+  /// Engine policy table (--policy=<file>); empty means DDM_POLICY. Loaded
+  /// strictly by dispatch() before any handler runs — except `calibrate`,
+  /// where it names the table the calibration sweep WRITES.
+  std::string policy_path;
+  bool policy_set = false;
   bool help = false;
 };
 

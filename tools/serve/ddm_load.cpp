@@ -9,7 +9,10 @@
 //     request may hang past its deadline" assertion);
 //   * structured backpressure (`overloaded`, `draining`) and deadline cuts
 //     (`deadline_exceeded`, `cancelled`) are tallied, not failed;
-//   * latency is captured per request and summarized as p50/p99/max.
+//   * latency is captured per request and summarized as p50/p99/max;
+//   * --warmup=N sends N unrecorded requests per client first, so the
+//     summary measures steady state, not server cold start (plan lowering,
+//     pool spin-up) — the mode scripts/run_soak.sh --bench records.
 //
 // Output is one JSON summary line on stdout (consumed by scripts/run_soak.sh
 // and recorded into BENCH_serve.json):
@@ -22,6 +25,7 @@
 //   ddm_load <port> <clients> <requests-per-client>
 //            [--n=6] [--t=2] [--op=threshold|certify|analyze] [--engine=id]
 //            [--deadline-ms=0] [--trials=200000] [--timeout-ms=10000]
+//            [--warmup=0]
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -53,7 +57,8 @@ struct LoadConfig {
   std::uint64_t deadline_ms = 0;
   std::uint64_t trials = 200000;
   std::uint64_t timeout_ms = 10000;
-  std::string engine;  // forced engine id, "" = server policy
+  unsigned warmup = 0;  // unrecorded pre-requests per client
+  std::string engine;   // forced engine id, "" = server policy
 };
 
 struct Tally {
@@ -91,6 +96,27 @@ void run_client(const LoadConfig& config, unsigned client, Tally& tally,
   ddm::net::Connection connection(fd);
   connection.set_timeout(std::chrono::milliseconds(config.timeout_ms));
   std::string reply_line;
+  // Warmup: same request shape, same lattice, but neither latency nor reply
+  // status is recorded — these requests exist to absorb the server's cold
+  // start so the measured stream below sees steady state. A hang here is
+  // still a protocol failure (no request may hang, warmup included).
+  for (unsigned w = 0; w < config.warmup; ++w) {
+    const unsigned step = (client * config.warmup + w) % 97;
+    const double beta = 0.30 + 0.40 * static_cast<double>(step) / 96.0;
+    ddm::net::JsonWriter request;
+    request.field("id", "w" + std::to_string(client) + "-" + std::to_string(w))
+        .field("op", config.op)
+        .field("n", config.n)
+        .field("t", config.t);
+    if (config.op != "analyze") request.field("beta", beta);
+    if (!config.engine.empty()) request.field("engine", config.engine);
+    if (config.deadline_ms > 0) request.field("deadline_ms", config.deadline_ms);
+    request.field("trials", config.trials);
+    if (!connection.write_all(request.str() + "\n") || !connection.read_line(reply_line)) {
+      tally.failed.fetch_add(config.requests);
+      return;
+    }
+  }
   for (unsigned i = 0; i < config.requests; ++i) {
     // Deterministic beta lattice in [0.30, 0.70]: same stream every run, and
     // enough distinct values that coalesced batches carry real grids.
@@ -190,6 +216,8 @@ int main(int argc, char** argv) {
         config.trials = ddm::util::parse_env_u64("--trials", v, 1, 100'000'000, 200000);
       } else if (const char* v = value("--timeout-ms=")) {
         config.timeout_ms = ddm::util::parse_env_u64("--timeout-ms", v, 100, 600'000, 10000);
+      } else if (const char* v = value("--warmup=")) {
+        config.warmup = static_cast<unsigned>(ddm::util::parse_env_u64("--warmup", v, 0, 10000, 0));
       } else {
         throw ddm::Error("ddm_load: unknown argument '" + arg + "'");
       }
@@ -223,6 +251,7 @@ int main(int argc, char** argv) {
 
   ddm::net::JsonWriter summary;
   summary.field("requests", total)
+      .field("warmup", static_cast<std::uint64_t>(config.warmup) * config.clients)
       .field("answered", answered)
       .field("ok", tally.ok.load())
       .field("shed", tally.shed.load())

@@ -18,6 +18,8 @@
 //   DDM_SERVE_WORKERS      --workers=N      evaluation worker threads   [2]
 //   DDM_PLAN_STORE         --plan-store=DIR persistent compiled-plan
 //                                           store (warm start)          [off]
+//   DDM_POLICY             --policy-table=F calibrated engine policy
+//                                           table (self-tuning auto)    [off]
 //
 // Knob edges are deliberate: PORT=0 (ephemeral) and DEADLINE_MS=0 (none)
 // are valid sentinels; BACKLOG/QUEUE/WORKERS have a minimum of 1 — a
@@ -33,7 +35,17 @@
 // its first compiled query without paying the exact-algebra lowering cost
 // (engine.store.hits on /metrics; docs/performance.md).
 //
-// Lifecycle: prints `listening on 127.0.0.1:<port>` on stdout once ready
+// With a policy table configured (`ddm_cli calibrate` output), auto dispatch
+// ranks engines by measured cost, and the workers fold every request's
+// observed latency back into the table (EWMA), so the daemon
+// self-tunes while serving (engine.policy.* on /metrics).
+//
+// Lifecycle: the daemon PRE-WARMS before announcing readiness — canonical
+// small plans are lowered (or loaded from the store) into the plan cache and
+// every registered engine answers one tiny dispatch, so the first real
+// request never pays lowering/spin-up cost (the 88 ms cold-start outlier
+// BENCH_serve.json used to carry). It then prints
+// `listening on 127.0.0.1:<port>` on stdout once ready
 // (supervisors and the soak harness parse it), serves until SIGTERM/SIGINT,
 // then drains: stops accepting, answers queued work, replies `draining` to
 // stragglers, and exits 0. Crash tolerance is the absence of state: every
@@ -52,12 +64,17 @@
 #include <thread>
 #include <vector>
 
+#include "engine/cost_model.hpp"
+#include "engine/plan_cache.hpp"
+#include "engine/registry.hpp"
 #include "net/ndjson.hpp"
 #include "net/server.hpp"
 #include "net/service.hpp"
 #include "obs/metrics_registry.hpp"
 #include "poly/plan_store.hpp"
 #include "util/env.hpp"
+#include "util/fault.hpp"
+#include "util/rational.hpp"
 #include "util/status.hpp"
 
 namespace {
@@ -65,7 +82,8 @@ namespace {
 struct ServeConfig {
   std::uint16_t port = 0;
   int backlog = 64;
-  std::string plan_store;  ///< empty = DDM_PLAN_STORE (or no store at all)
+  std::string plan_store;    ///< empty = DDM_PLAN_STORE (or no store at all)
+  std::string policy_table;  ///< empty = DDM_POLICY (or static dispatch)
   ddm::net::ServiceConfig service;
 };
 
@@ -99,6 +117,7 @@ ServeConfig parse_config(const std::vector<std::string>& args, bool& check_only)
   const std::string* deadline_flag = nullptr;
   const std::string* workers_flag = nullptr;
   std::string config_plan_store;
+  std::string config_policy_table;
   std::vector<std::string> values;  // stable storage for flag payloads
   values.reserve(args.size());
   for (const std::string& arg : args) {
@@ -125,10 +144,15 @@ ServeConfig parse_config(const std::vector<std::string>& args, bool& check_only)
         throw ddm::Error("ddm_serve: invalid --plan-store '' (expected --plan-store=<dir>)");
       }
       config_plan_store = *v;
+    } else if (const std::string* v = take("--policy-table=")) {
+      if (v->empty()) {
+        throw ddm::Error("ddm_serve: invalid --policy-table '' (expected --policy-table=<file>)");
+      }
+      config_policy_table = *v;
     } else {
       throw ddm::Error("ddm_serve: unknown argument '" + arg +
                        "' (expected --port= --backlog= --queue= --deadline-ms= --workers= "
-                       "--plan-store= --check-config)");
+                       "--plan-store= --policy-table= --check-config)");
     }
   }
   ServeConfig config;
@@ -152,7 +176,92 @@ ServeConfig parse_config(const std::vector<std::string>& args, bool& check_only)
   if (const auto store = ddm::poly::PlanStore::configured()) {
     config.plan_store = store->directory();
   }
+  // Same eager treatment for the engine policy table: the flag overrides
+  // DDM_POLICY, and either one naming an unloadable table is a configuration
+  // error (exit 2 from --check-config too), never a silently static daemon.
+  if (!config_policy_table.empty()) {
+    ddm::engine::CostModel::set_configured(
+        ddm::engine::CostModel::load(config_policy_table, "--policy-table"));
+    config.policy_table = config_policy_table;
+  } else {
+    if (ddm::engine::CostModel::configured() != nullptr) {
+      const char* env = std::getenv("DDM_POLICY");
+      config.policy_table = env != nullptr ? env : "";
+    }
+  }
   return config;
+}
+
+/// Warms the evaluation path before the daemon announces readiness: the
+/// canonical small symmetric plans are lowered (or pulled from the plan
+/// store) into the plan cache, and every registered engine answers one tiny
+/// dispatch, so the first REAL request pays neither exact-algebra lowering
+/// nor pool spin-up — the cold-start outlier BENCH_serve.json used to show
+/// as an 88 ms max. Failures are deliberately swallowed: pre-warm is an
+/// optimization, and an engine that cannot answer the probe (or a plan that
+/// cannot lower) will report its real error on a real request.
+void prewarm() {
+  // Under fault injection (a test-only mode), pre-warm would consume the
+  // deterministic strike budget before any client connects, silently turning
+  // the fault matrix into a fault-free run. The injected faults belong to
+  // the serving path — skip pre-warm and start cold.
+  const char* fault_plan = std::getenv("DDM_FAULT_PLAN");
+  if ((fault_plan != nullptr && *fault_plan != '\0') || ddm::util::fault::active()) {
+    std::cerr << "ddm_serve: fault plan active, skipping pre-warm\n";
+    return;
+  }
+  // With a plan store configured, warm exactly what the store can serve:
+  // each listed plan comes in through the cache's validated store path, so a
+  // warm start stays lowering-free (the plan_store_check contract —
+  // compiled.lowerings == 0 until a request asks for an unshipped plan).
+  // Without a store, lower the canonical small symmetric plans directly.
+  std::size_t plans = 0;
+  bool warmed_probe_plan = false;
+  const ddm::util::Rational probe_t(1);
+  const std::shared_ptr<ddm::poly::PlanStore> store = ddm::poly::PlanStore::configured();
+  if (store != nullptr) {
+    for (const std::string& path : store->list_paths()) {
+      try {
+        const ddm::poly::LoadedPlan loaded = store->load_path(path);
+        const ddm::util::Rational t = ddm::util::Rational::parse(loaded.t);
+        (void)ddm::engine::PlanCache::instance().get_or_lower(loaded.n, t);
+        ++plans;
+        if (loaded.n == 3 && t == probe_t) warmed_probe_plan = true;
+      } catch (const std::exception&) {
+      }
+    }
+  } else {
+    for (std::uint32_t n = 1; n <= 8; ++n) {
+      try {
+        (void)ddm::engine::PlanCache::instance().get_or_lower(n, ddm::util::Rational(n, 3));
+        ++plans;
+        if (n == 3) warmed_probe_plan = true;
+      } catch (const std::exception&) {
+      }
+    }
+  }
+  std::size_t engines = 0;
+  const ddm::engine::Registry& registry = ddm::engine::Registry::instance();
+  for (const std::string_view id : registry.ids()) {
+    // The compiled probe would lower its (3, 1) plan if nothing warmed it —
+    // under a store that ships other instances, that would break the
+    // lowering-free warm start for no benefit (compiled dispatch on a cached
+    // plan is nanoseconds; the pool spin-up comes from the other probes).
+    if (id == "compiled" && !warmed_probe_plan) continue;
+    ddm::engine::EvalRequest request;
+    request.n = 3;
+    request.t = probe_t;
+    request.betas = {0.5};
+    request.trials = 1000;  // keep the mc probe cheap
+    try {
+      const ddm::engine::Evaluator& evaluator = registry.require(id);
+      if (!evaluator.supports(request)) continue;
+      (void)evaluator.evaluate(request);
+      ++engines;
+    } catch (const std::exception&) {
+    }
+  }
+  std::cerr << "ddm_serve: pre-warmed " << plans << " plans, " << engines << " engines\n";
 }
 
 /// Minimal HTTP answer for probe/scrape paths on the NDJSON port.
@@ -213,7 +322,8 @@ int main(int argc, char** argv) {
               << " queue=" << config.service.queue_capacity
               << " workers=" << config.service.workers << " backlog=" << config.backlog
               << " deadline_ms=" << config.service.default_deadline.count() << " plan_store="
-              << (config.plan_store.empty() ? "<none>" : config.plan_store) << "\n";
+              << (config.plan_store.empty() ? "<none>" : config.plan_store) << " policy_table="
+              << (config.policy_table.empty() ? "<none>" : config.policy_table) << "\n";
     return 0;
   }
 
@@ -233,6 +343,11 @@ int main(int argc, char** argv) {
     if (!config.plan_store.empty()) {
       std::cerr << "ddm_serve: plan store '" << config.plan_store << "' (warm start)\n";
     }
+    if (!config.policy_table.empty()) {
+      std::cerr << "ddm_serve: policy table '" << config.policy_table
+                << "' (self-tuning dispatch)\n";
+    }
+    prewarm();
     std::cout << "listening on 127.0.0.1:" << listener.port() << std::endl;
 
     std::mutex connections_mutex;
