@@ -46,6 +46,15 @@ run_checks() {
   check analyze_n3.txt           analyze 3 1
   check analyze_n4.txt           analyze 4 4/3
   check oblivious_n3.txt         oblivious 3 1
+  # Generalized scenarios (engine/scenario.hpp): heterogeneous ranges and
+  # adversarial deviation pin the exact generalized evaluators — and the
+  # captures above pin that threading the scenario seam through the CLI left
+  # every default-scenario byte untouched.
+  check threshold_n3_het.txt     threshold 3 1 0.5 --scenario=heterogeneous --ranges=1/2,1,2
+  check sweep_n3_het.txt         sweep 3 1 0 1 8 --scenario=heterogeneous:1/2,1,2
+  check sweep_n3_dev.txt         sweep 3 1 0 1 8 --scenario=deviating:1
+  check threshold_n6_dev_cert.txt threshold 6 2 0.62 --scenario=deviating:2 --certify
+  check deviate_n6.txt           deviate 6 2 0.62 2 20000
 }
 
 # Every capture must hold under the default (native) SIMD dispatch AND with

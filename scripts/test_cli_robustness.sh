@@ -340,8 +340,75 @@ esac
 grep -q "compiled plan certificate .* exceeds tolerance" "$TMP/miss.err" \
   || fail "certificate-miss fallback left no stderr note: $(cat "$TMP/miss.err")"
 
+# --- scenario descriptors (engine/scenario.hpp) --------------------------
+# The value set is closed, the flag grammar is strict, and every malformed
+# shape is rejected naming the offending text — a generalized game must
+# never silently evaluate as the homogeneous one (ctest label: scenario).
+expect_reject "invalid --scenario 'bogus'" "$CLI" threshold 3 1 0.5 --scenario=bogus
+expect_reject "unknown scenario" "$CLI" sweep 3 1 0 1 4 --scenario=exotic:1,2
+expect_reject "--scenario requires a value" "$CLI" threshold 3 1 0.5 --scenario
+expect_reject "--ranges requires a value" "$CLI" threshold 3 1 0.5 --ranges
+# --ranges without (or with the wrong) scenario id is a named error.
+expect_reject "--ranges requires --scenario=heterogeneous" "$CLI" threshold 3 1 0.5 --ranges=1,1,1
+expect_reject "--ranges only applies to --scenario=heterogeneous" \
+  "$CLI" threshold 3 1 0.5 --scenario=deviating:1 --ranges=1,1,1
+expect_reject "carries its own ranges" \
+  "$CLI" threshold 3 1 0.5 --scenario=heterogeneous:1,1,1 --ranges=1,1,1
+expect_reject "requires per-player ranges" "$CLI" threshold 3 1 0.5 --scenario=heterogeneous
+# Malformed range lists: empty entries, non-rational text, non-positive
+# ranges, and a length that disagrees with the player count.
+expect_reject "invalid --ranges" "$CLI" threshold 3 1 0.5 --scenario=heterogeneous --ranges=1,,2
+expect_reject "invalid --ranges" "$CLI" threshold 3 1 0.5 --scenario=heterogeneous --ranges=1,x,2
+expect_reject "must be > 0" "$CLI" threshold 3 1 0.5 --scenario=heterogeneous --ranges=1,0,2
+expect_reject "must be > 0" "$CLI" sweep 3 1 0 1 4 --scenario=heterogeneous:1,-1,2
+expect_reject "2 ranges but the request has 3 players" \
+  "$CLI" threshold 3 1 0.5 --scenario=heterogeneous --ranges=1,2
+expect_reject "4 ranges but the request has 3 players" \
+  "$CLI" sweep 3 1 0 1 4 --scenario=heterogeneous:1,2,1,2
+# Deviation counts: k = 0 and k >= n are both nonsensical.
+expect_reject "deviating" "$CLI" threshold 3 1 0.5 --scenario=deviating:0
+expect_reject "3 deviating players need n > 3" "$CLI" threshold 3 1 0.5 --scenario=deviating:3
+# The flag set is closed per command, like --engine/--shard.
+expect_reject "--scenario/--ranges are only supported by" "$CLI" oblivious 3 1 --scenario=deviating:1
+expect_reject "--scenario/--ranges are only supported by" "$CLI" ladder 3 1 --ranges=1,1,1
+expect_reject "--scenario/--ranges are only supported by" "$CLI" deviate 6 2 0.62 2 --scenario=deviating:2
+
+# The deviate subcommand's own argument checking.
+expect_reject "use \`ddm_cli threshold\`" "$CLI" deviate 6 2 0.62 0
+expect_reject "k '6'" "$CLI" deviate 6 2 0.62 6
+expect_reject "invalid n '0'" "$CLI" deviate 0 2 0.62 2
+expect_reject "beta" "$CLI" deviate 6 2 1.5 2
+expect_reject "trials" "$CLI" deviate 6 2 0.62 2 0
+
+# The scenario is part of the checkpoint header: rows computed for one game
+# must never resume (or merge) into another.
+chet="$TMP/het.ckpt"
+"$CLI" sweep 3 1 0 1 4 --scenario=heterogeneous:1/2,1,2 --checkpoint "$chet" >/dev/null \
+  || fail "heterogeneous checkpointed sweep failed"
+head -n 1 "$chet" | grep -q '"scenario": "heterogeneous:1/2,1,2"' \
+  || fail "checkpoint header does not record the scenario"
+expect_reject "field 'scenario': checkpoint heterogeneous:1/2,1,2 vs requested homogeneous" \
+  "$CLI" sweep 3 1 0 1 4 --resume "$chet"
+expect_reject "field 'scenario': checkpoint heterogeneous:1/2,1,2 vs requested heterogeneous:1/2,1,1" \
+  "$CLI" sweep 3 1 0 1 4 --scenario=heterogeneous:1/2,1,1 --resume "$chet"
+# The heterogeneous checkpoint/resume round-trip holds byte for byte.
+het_ref="$("$CLI" sweep 3 1 0 1 12 --scenario=heterogeneous:1/2,1,2)"
+chet2="$TMP/het2.ckpt"
+"$CLI" sweep 3 1 0 1 12 --scenario=heterogeneous:1/2,1,2 --checkpoint "$chet2" >/dev/null
+head -n 6 "$chet2" > "$chet2.tmp"
+printf '{"k": 5, "beta":' >> "$chet2.tmp"
+mv "$chet2.tmp" "$chet2"
+het_resumed="$("$CLI" sweep 3 1 0 1 12 --scenario=heterogeneous:1/2,1,2 --resume "$chet2")" \
+  || fail "heterogeneous resume failed"
+[ "$het_ref" = "$het_resumed" ] || fail "heterogeneous resumed sweep is not byte-identical"
+
+# A forced engine that cannot serve the game is a named error, not a silent
+# substitution — the plan-based engines serve the homogeneous game only.
+expect_reject "does not support" "$CLI" threshold 3 1 0.5 --scenario=deviating:1 --engine=compiled
+expect_reject "does not support" "$CLI" sweep 3 1 0 1 4 --scenario=heterogeneous:1,1,1 --engine=batch
+
 # --- per-subcommand help -------------------------------------------------
-for cmd in oblivious threshold analyze simulate volume ladder sweep plans merge; do
+for cmd in oblivious threshold analyze simulate volume ladder sweep plans merge deviate; do
   "$CLI" help "$cmd" | grep -q "usage: ddm_cli $cmd" || fail "'help $cmd' missing synopsis"
   "$CLI" "$cmd" --help | grep -q "usage: ddm_cli $cmd" || fail "'$cmd --help' missing synopsis"
 done

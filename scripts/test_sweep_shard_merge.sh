@@ -59,6 +59,13 @@ round_trip() {
 # --- byte-identity: auto-selected engine and seeded Monte Carlo ---------
 round_trip auto
 round_trip mc --engine=mc
+# Generalized games shard and merge like the homogeneous one: the scenario
+# digest rides in every checkpoint header and output row.
+round_trip het --scenario=heterogeneous:1/2,1,2,1,1,2
+head -n 1 "$TMP/het.s0.ckpt" | grep -q '"scenario": "heterogeneous:1/2,1,2,1,1,2"' \
+  || fail "heterogeneous shard header does not record the scenario"
+grep -q '"scenario": "heterogeneous:1/2,1,2,1,1,2"' "$TMP/het.merged" \
+  || fail "merged heterogeneous rows do not carry the scenario"
 
 # The shard assignment is recorded in the checkpoint header.
 head -n 1 "$TMP/auto.s1.ckpt" | grep -q '"shard": "1/3"' \

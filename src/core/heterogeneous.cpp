@@ -3,9 +3,8 @@
 #include <cmath>
 #include <string>
 
-#include <stdexcept>
-
 #include "prob/uniform_sum.hpp"
+#include "util/status.hpp"
 
 namespace ddm::core {
 
@@ -13,15 +12,24 @@ using util::Rational;
 
 namespace {
 
+// Validation throws ddm::Error (util/status.hpp), the taxonomy the CLI maps
+// to exit 2 and ddm_serve to a structured bad_request — not a bare
+// std::invalid_argument that would surface as an internal error.
 void check_common(std::span<const Rational> first, std::span<const Rational> ranges,
                   const char* what) {
-  if (first.empty()) throw std::invalid_argument(std::string(what) + ": need >= 1 player");
+  if (first.empty()) throw Error(std::string(what) + ": need >= 1 player");
   if (first.size() != ranges.size()) {
-    throw std::invalid_argument(std::string(what) + ": size mismatch");
+    throw Error(std::string(what) + ": size mismatch (" + std::to_string(first.size()) +
+                " players, " + std::to_string(ranges.size()) + " ranges)");
   }
-  if (first.size() > 14) throw std::invalid_argument(std::string(what) + ": n too large");
-  for (const Rational& c : ranges) {
-    if (c.signum() <= 0) throw std::invalid_argument(std::string(what) + ": ranges must be > 0");
+  if (first.size() > 14) {
+    throw Error(std::string(what) + ": n too large for exact evaluation (n = " +
+                std::to_string(first.size()) + " > 14)");
+  }
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    if (ranges[i].signum() <= 0) {
+      throw Error(std::string(what) + ": range " + std::to_string(i) + " must be > 0");
+    }
   }
 }
 
@@ -33,8 +41,7 @@ Rational heterogeneous_oblivious_winning_probability(std::span<const Rational> a
   check_common(alpha, ranges, "heterogeneous_oblivious_winning_probability");
   for (const Rational& a : alpha) {
     if (a < Rational{0} || a > Rational{1}) {
-      throw std::invalid_argument(
-          "heterogeneous_oblivious_winning_probability: alpha outside [0, 1]");
+      throw Error("heterogeneous_oblivious_winning_probability: alpha outside [0, 1]");
     }
   }
   if (t.signum() <= 0) return Rational{0};
@@ -73,8 +80,8 @@ Rational heterogeneous_threshold_winning_probability(std::span<const Rational> t
   check_common(thresholds, ranges, "heterogeneous_threshold_winning_probability");
   for (std::size_t i = 0; i < thresholds.size(); ++i) {
     if (thresholds[i] < Rational{0} || thresholds[i] > ranges[i]) {
-      throw std::invalid_argument(
-          "heterogeneous_threshold_winning_probability: thresholds must lie in [0, range]");
+      throw Error("heterogeneous_threshold_winning_probability: threshold " + std::to_string(i) +
+                  " must lie in [0, range]");
     }
   }
   if (t.signum() <= 0) return Rational{0};
@@ -115,10 +122,10 @@ HeterogeneousSimResult estimate_heterogeneous_winning_probability(
     const Protocol& protocol, std::span<const double> ranges, double t, std::uint64_t trials,
     prob::Rng& rng) {
   if (ranges.size() != protocol.size()) {
-    throw std::invalid_argument("estimate_heterogeneous_winning_probability: size mismatch");
+    throw Error("estimate_heterogeneous_winning_probability: size mismatch");
   }
   if (trials == 0) {
-    throw std::invalid_argument("estimate_heterogeneous_winning_probability: zero trials");
+    throw Error("estimate_heterogeneous_winning_probability: zero trials");
   }
   std::vector<double> inputs(ranges.size());
   std::uint64_t won = 0;

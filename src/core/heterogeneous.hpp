@@ -19,14 +19,14 @@ namespace ddm::core {
 
 /// Theorem 4.1 generalized: oblivious protocol α (α_i = P(bin 0)) with inputs
 /// x_i ~ U[0, ranges_i], ranges_i > 0. Exact; O(2^n · 2^n) subset sums —
-/// throws std::invalid_argument for n > 14.
+/// throws ddm::Error for n > 14 or invalid parameters.
 [[nodiscard]] util::Rational heterogeneous_oblivious_winning_probability(
     std::span<const util::Rational> alpha, std::span<const util::Rational> ranges,
     const util::Rational& t);
 
 /// Theorem 5.1 generalized: single-threshold protocol with thresholds
 /// a_i ∈ [0, ranges_i] and inputs x_i ~ U[0, ranges_i]. Exact; throws
-/// std::invalid_argument for n > 14.
+/// ddm::Error for n > 14 or invalid parameters.
 [[nodiscard]] util::Rational heterogeneous_threshold_winning_probability(
     std::span<const util::Rational> thresholds, std::span<const util::Rational> ranges,
     const util::Rational& t);

@@ -12,6 +12,7 @@
 #include <sstream>
 
 #include "engine/registry.hpp"
+#include "engine/scenario.hpp"
 #include "obs/metrics_registry.hpp"
 #include "poly/plan_store.hpp"
 #include "util/rational.hpp"
@@ -68,6 +69,27 @@ void insert_axis(std::vector<std::uint32_t>& axis, std::uint32_t value) {
          (std::log2(static_cast<double>(hi)) - std::log2(static_cast<double>(lo)));
 }
 
+/// True for the digests that mean the paper's default game: the homogeneous
+/// digest and the legacy empty string both map to the bare engine row, so
+/// every pre-scenario table row, caller, and byte of saved output is
+/// unchanged.
+[[nodiscard]] bool is_default_scenario(std::string_view scenario) noexcept {
+  return scenario.empty() || scenario == "homogeneous";
+}
+
+/// The row key a (engine, scenario) pair measures under: the bare engine id
+/// for the default game, "engine@digest" otherwise. The digest is
+/// whitespace-free by construction (engine/scenario.hpp), so the composite
+/// token survives the table's whitespace-delimited cell lines verbatim.
+[[nodiscard]] std::string scenario_row_key(std::string_view engine, std::string_view scenario) {
+  std::string key(engine);
+  if (!is_default_scenario(scenario)) {
+    key += '@';
+    key += scenario;
+  }
+  return key;
+}
+
 }  // namespace
 
 void CostModel::set_cell(const std::string& engine, std::uint32_t n, std::uint32_t batch,
@@ -90,9 +112,12 @@ void CostModel::set_cell_locked(const std::string& engine, std::uint32_t n, std:
   insert_axis(grid.batches, batch);
 }
 
-double CostModel::predict(std::string_view engine, std::uint32_t n, std::size_t batch) const {
+double CostModel::predict(std::string_view engine, std::uint32_t n, std::size_t batch,
+                          std::string_view scenario) const {
+  const bool generalized = !is_default_scenario(scenario);
+  const std::string key = generalized ? scenario_row_key(engine, scenario) : std::string{};
   const std::shared_lock<std::shared_mutex> lock(mutex_);
-  const auto it = engines_.find(engine);
+  const auto it = engines_.find(generalized ? std::string_view{key} : engine);
   if (it == engines_.end() || it->second.cells.empty()) {
     return std::numeric_limits<double>::infinity();
   }
@@ -102,15 +127,18 @@ double CostModel::predict(std::string_view engine, std::uint32_t n, std::size_t 
 }
 
 std::size_t CostModel::cheapest(const std::string_view* engines, std::size_t count,
-                                std::uint32_t n, std::size_t batch) const {
+                                std::uint32_t n, std::size_t batch,
+                                std::string_view scenario) const {
   const auto clamped_batch = static_cast<std::uint32_t>(
       std::min<std::size_t>(std::max<std::size_t>(batch, 1), 0xffffffffu));
   const std::uint32_t clamped_n = std::max<std::uint32_t>(n, 1);
+  const bool generalized = !is_default_scenario(scenario);
   const std::shared_lock<std::shared_mutex> lock(mutex_);
   std::size_t best = count;
   double best_log = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < count; ++i) {
-    const auto it = engines_.find(engines[i]);
+    const auto it = generalized ? engines_.find(scenario_row_key(engines[i], scenario))
+                                : engines_.find(engines[i]);
     if (it == engines_.end() || it->second.cells.empty()) continue;
     const double log_cost = predict_log_locked(it->second, clamped_n, clamped_batch);
     // `< infinity`, not isfinite: a log-cost of -infinity is a (degenerate)
@@ -198,11 +226,15 @@ std::vector<CostCell> CostModel::cells() const {
 }
 
 void CostModel::observe(std::string_view engine, std::uint32_t n, std::size_t batch,
-                        double seconds_per_point) {
+                        double seconds_per_point, std::string_view scenario) {
   if (engine.empty() || n == 0 || batch == 0 || !std::isfinite(seconds_per_point) ||
       seconds_per_point <= 0.0) {
     return;  // live refinement never throws on a weird sample, it drops it
   }
+  // Generalized-game samples refine (and create) their own scenario-keyed
+  // rows — a daemon serving mixed games never pollutes the homogeneous cells
+  // the calibrated table shipped with.
+  const std::string row = scenario_row_key(engine, scenario);
   // Bucket the batch size to the geometrically nearest power of two so live
   // observations land on (and refine) a bounded cell grid.
   std::uint32_t bucket = 1;
@@ -213,7 +245,7 @@ void CostModel::observe(std::string_view engine, std::uint32_t n, std::size_t ba
   }
   {
     const std::unique_lock<std::shared_mutex> lock(mutex_);
-    const auto it = engines_.find(engine);
+    const auto it = engines_.find(row);
     auto* grid = it != engines_.end() ? &it->second : nullptr;
     const auto key = cell_key(n, bucket);
     if (grid != nullptr) {
@@ -226,7 +258,7 @@ void CostModel::observe(std::string_view engine, std::uint32_t n, std::size_t ba
     std::size_t total = 0;
     for (const auto& [id, engine_grid] : engines_) total += engine_grid.cells.size();
     if (total >= kMaxLiveCells) return;
-    set_cell_locked(std::string(engine), n, bucket, seconds_per_point);
+    set_cell_locked(row, n, bucket, seconds_per_point);
   }
   PolicyMetrics::get().refreshes.add();
 }
@@ -354,6 +386,21 @@ std::shared_ptr<CostModel> CostModel::load(const std::string& path, const std::s
     if (!(fields >> engine >> n >> batch >> seconds) || (fields >> tail) || engine.empty() ||
         n == 0 || batch == 0 || !std::isfinite(seconds) || seconds <= 0.0) {
       throw PolicyError("malformed cell line '" + line + "'", path, source);
+    }
+    // A scenario-keyed row carries its game as an "engine@digest" token
+    // (ddm_serve's live-refined saves). The digest must parse — a corrupt
+    // suffix would otherwise create an unreachable row that silently never
+    // matches any request.
+    if (const std::size_t at = engine.find('@'); at != std::string::npos) {
+      if (at == 0) {
+        throw PolicyError("malformed cell line '" + line + "' (empty engine)", path, source);
+      }
+      try {
+        (void)Scenario::parse(std::string_view(engine).substr(at + 1));
+      } catch (const Error& error) {
+        throw PolicyError(
+            "malformed scenario in cell line '" + line + "': " + error.what(), path, source);
+      }
     }
     if (std::isfinite(model->predict(engine, n, batch)) &&
         model->engines_[engine].cells.count(cell_key(n, batch)) != 0) {

@@ -23,6 +23,15 @@
 //   ...
 //   checksum <16 hex digits>
 //
+// The <engine> token of a cell row is either a bare registry id (the
+// homogeneous default game) or "engine@<scenario digest>" for rows measured
+// under a generalized scenario (engine/scenario.hpp) — ddm_serve's live
+// refinement writes such rows when it serves heterogeneous or deviating
+// requests. Both forms are plain v1: a pre-scenario loader reads the
+// composite token as an opaque engine name, and this loader validates the
+// digest suffix strictly, so no cached cost measured for one game can ever
+// rank engines for another.
+//
 // The `checksum` trailer is poly::plan_store_checksum over every byte that
 // precedes its own line, so truncation, bit rot, and hand-edits are all
 // caught on load (ddm::PolicyError naming the file AND the knob that pointed
@@ -94,8 +103,11 @@ class CostModel {
   /// Predicted seconds-per-point for `engine` at (n, batch): bilinear
   /// interpolation in (log2 n, log2 batch) over the engine's cells, clamped
   /// at the grid edges. +infinity when the table has no cell for the engine.
-  [[nodiscard]] double predict(std::string_view engine, std::uint32_t n,
-                               std::size_t batch) const;
+  /// `scenario` selects the row the pair measures under (see the class
+  /// comment): the homogeneous digest and the legacy empty default both read
+  /// the bare engine row, any other digest reads "engine@digest".
+  [[nodiscard]] double predict(std::string_view engine, std::uint32_t n, std::size_t batch,
+                               std::string_view scenario = {}) const;
 
   /// Index into `engines[0..count)` of the candidate with the smallest
   /// predicted cost at (n, batch), or `count` when no candidate has any
@@ -104,7 +116,8 @@ class CostModel {
   /// space under a single lock — the per-request hot path of the
   /// model-consulting auto rule, where an exp() per candidate is measurable.
   [[nodiscard]] std::size_t cheapest(const std::string_view* engines, std::size_t count,
-                                     std::uint32_t n, std::size_t batch) const;
+                                     std::uint32_t n, std::size_t batch,
+                                     std::string_view scenario = {}) const;
 
   [[nodiscard]] bool empty() const;
   [[nodiscard]] std::size_t cell_count() const;
@@ -115,9 +128,11 @@ class CostModel {
   /// (n, round-to-power-of-two(batch)) with an EWMA (alpha = 0.2), creating
   /// the cell on first observation. Counted as `engine.policy.refreshes`.
   /// Worker-safe; a bounded cell budget keeps a long-running daemon's table
-  /// from growing without limit.
+  /// from growing without limit. Samples measured under a non-default
+  /// scenario land in their own "engine@digest" row, never in the
+  /// homogeneous cells.
   void observe(std::string_view engine, std::uint32_t n, std::size_t batch,
-               double seconds_per_point);
+               double seconds_per_point, std::string_view scenario = {});
 
   /// Serializes the table atomically (temp file + rename), versioned and
   /// checksummed. Throws ddm::PolicyError on I/O failure.

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "core/certified.hpp"
+#include "core/deviating.hpp"
+#include "core/heterogeneous.hpp"
 #include "core/nonoblivious.hpp"
 #include "core/protocol.hpp"
 #include "engine/engines.hpp"
@@ -56,6 +58,72 @@ void throw_if_stopped(const EvalRequest& request, const char* label, std::size_t
   return util::exact_rational(request.betas[k]);
 }
 
+/// Largest n the exact/certified generalized-scenario paths accept: the
+/// heterogeneous Theorem 5.1 and the deviating worst case both run O(2^n)
+/// inclusion-exclusion sums (core/heterogeneous.cpp, core/deviating.cpp).
+constexpr std::uint32_t kScenarioExactMaxN = 14;
+
+/// True when the request is a well-formed instance of its generalized
+/// scenario that the exact rational paths can serve. The homogeneous default
+/// never reaches this helper — each engine's supports() keeps its original
+/// predicate for the default scenario, byte for byte.
+[[nodiscard]] bool supports_scenario_exact(const EvalRequest& request) {
+  const std::uint32_t n = request_n(request);
+  if (n < 1 || n > kScenarioExactMaxN) return false;
+  switch (request.scenario.kind()) {
+    case Scenario::Kind::kHomogeneous:
+      return true;
+    case Scenario::Kind::kHeterogeneous:
+      return request.scenario.ranges().size() == n;
+    case Scenario::Kind::kDeviating:
+      // The deviating game is defined for the symmetric protocol only.
+      return request.is_symmetric() && request.scenario.deviators() < n;
+  }
+  return false;
+}
+
+/// The exact per-player thresholds of point k under a heterogeneous
+/// scenario: a symmetric grid beta is RELATIVE (a_i = beta * c_i, so the
+/// [0,1] grid stays meaningful for any ranges), a general point is the
+/// absolute per-player threshold vector.
+[[nodiscard]] std::vector<util::Rational> heterogeneous_point(const EvalRequest& request,
+                                                              std::size_t k) {
+  const std::vector<util::Rational>& ranges = request.scenario.ranges();
+  std::vector<util::Rational> thresholds;
+  thresholds.reserve(ranges.size());
+  if (request.is_symmetric()) {
+    const util::Rational beta = exact_point(request, k);
+    for (const util::Rational& range : ranges) thresholds.push_back(beta * range);
+  } else {
+    for (const double a : request.points[k]) thresholds.push_back(util::exact_rational(a));
+  }
+  return thresholds;
+}
+
+/// One exact rational evaluation of point k under the request's generalized
+/// scenario (heterogeneous or deviating). Shared by the exact and certified
+/// adapters: the generalized formulas are already exact, so "certified"
+/// means a width-0 exact-tier enclosure.
+[[nodiscard]] util::Rational exact_scenario_value(const EvalRequest& request, std::size_t k) {
+  if (request.scenario.kind() == Scenario::Kind::kHeterogeneous) {
+    const std::vector<util::Rational> thresholds = heterogeneous_point(request, k);
+    return core::heterogeneous_threshold_winning_probability(thresholds,
+                                                             request.scenario.ranges(),
+                                                             request.t);
+  }
+  return core::worst_case_deviating_winning_probability(
+      request_n(request), request.scenario.deviators(), exact_point(request, k), request.t);
+}
+
+/// Exact-tier certificate for an exactly computed value.
+[[nodiscard]] CertifiedValue exact_certificate(util::Rational value) {
+  CertifiedValue certificate;
+  certificate.enclosure = util::RationalInterval{std::move(value)};
+  certificate.tier = EvalTier::kExact;
+  certificate.met_tolerance = true;
+  return certificate;
+}
+
 /// exact — exact Rational Theorem 5.1 on the symmetric grid. O(n²) terms per
 /// point, so it scales to any n; the answer is the ground truth the parity
 /// suite measures every other engine against.
@@ -64,13 +132,18 @@ class ExactEvaluator final : public Evaluator {
   std::string_view id() const noexcept override { return "exact"; }
   Determinism determinism() const noexcept override { return Determinism::kDeterministic; }
   std::string_view describe() const noexcept override {
-    return "exact rational Theorem 5.1 (symmetric, O(n^2) terms per point)";
+    return "exact rational Theorem 5.1 (symmetric, O(n^2) terms per point; "
+           "generalized scenarios up to n = 14)";
   }
   bool supports(const EvalRequest& request) const override {
-    return request.is_symmetric() && request.n >= 1;
+    if (request.scenario.is_default()) return request.is_symmetric() && request.n >= 1;
+    return supports_scenario_exact(request);
   }
   EvalOutcome evaluate(const EvalRequest& request) const override {
-    if (!supports(request)) throw Error("engine 'exact' evaluates symmetric grids only");
+    if (!supports(request)) {
+      throw Error("engine 'exact' cannot serve this request (scenario '" +
+                  request.scenario.digest() + "')");
+    }
     EvalOutcome outcome;
     outcome.engine_id = "exact";
     outcome.certificate_bound = 0.0;
@@ -84,14 +157,13 @@ class ExactEvaluator final : public Evaluator {
         0, request.size(),
         [&](std::size_t lo, std::size_t hi) {
           for (std::size_t k = lo; k < hi; ++k) {
-            const util::Rational value = core::symmetric_threshold_winning_probability(
-                request.n, exact_point(request, k), request.t);
+            const util::Rational value =
+                request.scenario.is_default()
+                    ? core::symmetric_threshold_winning_probability(
+                          request.n, exact_point(request, k), request.t)
+                    : exact_scenario_value(request, k);
             outcome.values[k] = value.to_double();
-            CertifiedValue certificate;
-            certificate.enclosure = util::RationalInterval{value};
-            certificate.tier = EvalTier::kExact;
-            certificate.met_tolerance = true;
-            outcome.certificates[k] = std::move(certificate);
+            outcome.certificates[k] = exact_certificate(value);
           }
         },
         options);
@@ -108,9 +180,12 @@ class KernelEvaluator final : public Evaluator {
   std::string_view id() const noexcept override { return "kernel"; }
   Determinism determinism() const noexcept override { return Determinism::kDeterministic; }
   std::string_view describe() const noexcept override {
-    return "serial Gray-code double kernel, O(3^n) per point (n <= 20)";
+    return "serial Gray-code double kernel, O(3^n) per point (n <= 20, homogeneous only)";
   }
   bool supports(const EvalRequest& request) const override {
+    // The Gray-code walk hard-codes the U[0,1] two-bin game; generalized
+    // scenarios are declined honestly so policy code routes around it.
+    if (!request.scenario.is_default()) return false;
     const std::uint32_t n = request_n(request);
     return n >= 1 && n <= kKernelMaxN;
   }
@@ -145,9 +220,10 @@ class BatchEvaluator final : public Evaluator {
   std::string_view id() const noexcept override { return "batch"; }
   Determinism determinism() const noexcept override { return Determinism::kDeterministic; }
   std::string_view describe() const noexcept override {
-    return "block-amortized parallel Gray-code batch kernel (n <= 20)";
+    return "block-amortized parallel Gray-code batch kernel (n <= 20, homogeneous only)";
   }
   bool supports(const EvalRequest& request) const override {
+    if (!request.scenario.is_default()) return false;
     const std::uint32_t n = request_n(request);
     return n >= 1 && n <= kKernelMaxN;
   }
@@ -179,13 +255,15 @@ class CompiledEvaluator final : public Evaluator {
   std::string_view id() const noexcept override { return "compiled"; }
   Determinism determinism() const noexcept override { return Determinism::kDeterministic; }
   std::string_view describe() const noexcept override {
-    return "compiled Horner plan (certified lowering, LRU plan cache)";
+    return "compiled Horner plan (certified lowering, LRU plan cache, homogeneous only)";
   }
   bool supports(const EvalRequest& request) const override {
-    return request.is_symmetric() && request.n >= 1;
+    // Plans are lowered from the homogeneous Theorem 5.1 piecewise
+    // polynomial; no compiled artifact exists for a generalized game.
+    return request.scenario.is_default() && request.is_symmetric() && request.n >= 1;
   }
   EvalOutcome evaluate(const EvalRequest& request) const override {
-    if (!supports(request)) throw Error("engine 'compiled' evaluates symmetric grids only");
+    if (!supports(request)) throw Error("engine 'compiled' evaluates homogeneous symmetric grids only");
     const auto plan = PlanCache::instance().get_or_lower(request.n, request.t);
     EvalOutcome outcome;
     outcome.engine_id = "compiled";
@@ -206,10 +284,44 @@ class CertifiedEvaluator final : public Evaluator {
     return "certified escalation ladder (rigorous enclosures per point)";
   }
   bool supports(const EvalRequest& request) const override {
-    return request.is_symmetric() && request.n >= 1;
+    if (request.scenario.is_default()) return request.is_symmetric() && request.n >= 1;
+    return supports_scenario_exact(request);
   }
   EvalOutcome evaluate(const EvalRequest& request) const override {
-    if (!supports(request)) throw Error("engine 'certified' evaluates symmetric grids only");
+    if (!supports(request)) {
+      throw Error("engine 'certified' cannot serve this request (scenario '" +
+                  request.scenario.digest() + "')");
+    }
+    // Generalized scenarios evaluate in exact rational arithmetic directly
+    // (core/heterogeneous, core/deviating) — there is no double/interval
+    // ladder for them, so every certificate is an exact-tier width-0
+    // enclosure that trivially meets any tolerance.
+    if (!request.scenario.is_default()) {
+      EvalOutcome outcome;
+      outcome.engine_id = "certified";
+      outcome.certificate_bound = 0.0;
+      outcome.values.resize(request.size(), 0.0);
+      outcome.certificates.resize(request.size());
+      util::ParallelOptions options;
+      options.grain = 1;
+      options.label = "engine.certified";
+      options.control = request.control;
+      util::parallel_for(
+          0, request.size(),
+          [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t k = lo; k < hi; ++k) {
+              CertifiedValue certificate = exact_certificate(exact_scenario_value(request, k));
+              certificate.stats.exact_attempts = 1;
+              outcome.values[k] = certificate.value();
+              outcome.certificates[k] = std::move(certificate);
+            }
+          },
+          options);
+      for (const CertifiedValue& certificate : outcome.certificates) {
+        outcome.stats += certificate.stats;
+      }
+      return outcome;
+    }
     EvalPolicy policy;
     policy.tolerance = request.tolerance;
     // The ladder polls the same control mid-escalation, so a deadline cuts a
@@ -251,32 +363,91 @@ class MonteCarloEvaluator final : public Evaluator {
   std::string_view id() const noexcept override { return "mc"; }
   Determinism determinism() const noexcept override { return Determinism::kRandomized; }
   std::string_view describe() const noexcept override {
-    return "seeded Monte Carlo estimation (reproducible per seed)";
+    return "seeded Monte Carlo estimation (reproducible per seed; all scenarios)";
   }
-  bool supports(const EvalRequest& request) const override { return request_n(request) >= 1; }
+  bool supports(const EvalRequest& request) const override {
+    const std::uint32_t n = request_n(request);
+    if (n < 1) return false;
+    switch (request.scenario.kind()) {
+      case Scenario::Kind::kHomogeneous:
+        return true;
+      case Scenario::Kind::kHeterogeneous:
+        return request.scenario.ranges().size() == n;
+      case Scenario::Kind::kDeviating:
+        return request.is_symmetric() && request.scenario.deviators() < n;
+    }
+    return false;
+  }
   EvalOutcome evaluate(const EvalRequest& request) const override {
+    if (!supports(request)) {
+      throw Error("engine 'mc' cannot serve this request (scenario '" +
+                  request.scenario.digest() + "')");
+    }
     EvalOutcome outcome;
     outcome.engine_id = "mc";
     outcome.values.resize(request.size(), 0.0);
     const double t_d = request.t.to_double();
     for (std::size_t k = 0; k < request.size(); ++k) {
       throw_if_stopped(request, "engine.mc", k);
-      std::vector<util::Rational> thresholds;
-      if (request.is_symmetric()) {
-        thresholds.assign(request.n, util::exact_rational(request.betas[k]));
-      } else {
-        thresholds.reserve(request.points[k].size());
-        for (const double a : request.points[k]) thresholds.push_back(util::exact_rational(a));
-      }
-      const core::SingleThresholdProtocol protocol{std::move(thresholds)};
       const std::uint64_t point_id =
           k < request.point_ids.size() ? request.point_ids[k] : static_cast<std::uint64_t>(k);
       prob::Rng rng{request.seed + point_id};
-      outcome.values[k] = sim::estimate_winning_probability(protocol, t_d, request.trials, rng,
-                                                            util::parallelism(), request.control)
-                              .estimate;
+      switch (request.scenario.kind()) {
+        case Scenario::Kind::kHomogeneous: {
+          std::vector<util::Rational> thresholds;
+          if (request.is_symmetric()) {
+            thresholds.assign(request.n, util::exact_rational(request.betas[k]));
+          } else {
+            thresholds.reserve(request.points[k].size());
+            for (const double a : request.points[k]) {
+              thresholds.push_back(util::exact_rational(a));
+            }
+          }
+          const core::SingleThresholdProtocol protocol{std::move(thresholds)};
+          outcome.values[k] =
+              sim::estimate_winning_probability(protocol, t_d, request.trials, rng,
+                                                util::parallelism(), request.control)
+                  .estimate;
+          break;
+        }
+        case Scenario::Kind::kHeterogeneous:
+          outcome.values[k] = heterogeneous_estimate(request, k, t_d, rng);
+          break;
+        case Scenario::Kind::kDeviating:
+          outcome.values[k] = core::estimate_worst_case_deviating(
+                                  request_n(request), request.scenario.deviators(),
+                                  request.betas[k], t_d, request.trials, rng)
+                                  .estimate;
+          break;
+      }
     }
     return outcome;
+  }
+
+ private:
+  /// Heterogeneous estimation: per-player absolute thresholds (relative
+  /// beta * c_i on the symmetric grid) as a FunctorProtocol —
+  /// SingleThresholdProtocol caps thresholds at 1, which ranges above 1
+  /// legitimately exceed — driven through the core simulation cross-check.
+  static double heterogeneous_estimate(const EvalRequest& request, std::size_t k, double t_d,
+                                       prob::Rng& rng) {
+    const std::vector<util::Rational>& ranges = request.scenario.ranges();
+    std::vector<double> ranges_d;
+    ranges_d.reserve(ranges.size());
+    for (const util::Rational& range : ranges) ranges_d.push_back(range.to_double());
+    std::vector<core::FunctorProtocol::Rule> rules;
+    rules.reserve(ranges.size());
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+      const double threshold =
+          request.is_symmetric() ? request.betas[k] * ranges_d[i] : request.points[k][i];
+      rules.push_back([threshold](double input, prob::Rng&) {
+        return input <= threshold ? core::kBin0 : core::kBin1;
+      });
+    }
+    const core::FunctorProtocol protocol{std::move(rules), "heterogeneous-threshold"};
+    return core::estimate_heterogeneous_winning_probability(protocol, ranges_d, t_d,
+                                                            request.trials, rng)
+        .estimate;
   }
 };
 

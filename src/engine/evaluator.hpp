@@ -22,9 +22,11 @@
 #include <utility>
 #include <vector>
 
+#include "engine/scenario.hpp"
 #include "util/certify.hpp"
 #include "util/rational.hpp"
 #include "util/resilience.hpp"
+#include "util/status.hpp"
 
 namespace ddm::engine {
 
@@ -79,6 +81,12 @@ struct EvalRequest {
   /// ddm::DeadlineExceeded / ddm::Cancelled with partial-progress counts.
   /// Default-constructed = run to completion at zero polling cost.
   util::RunControl control;
+  /// The game this request is posed over (engine/scenario.hpp). Defaults to
+  /// the paper's homogeneous U[0,1] game; engines that cannot serve a
+  /// generalized game decline it via supports(). The scenario's canonical
+  /// digest joins every derived cache key, so artifacts computed for one
+  /// game are never replayed for another.
+  Scenario scenario;
 
   [[nodiscard]] static EvalRequest symmetric(std::uint32_t n, util::Rational t,
                                              std::vector<double> betas) {
@@ -89,10 +97,21 @@ struct EvalRequest {
     return request;
   }
 
+  /// General per-player threshold vectors. Every point must have the same
+  /// length (that length becomes `n`); a ragged batch throws ddm::Error
+  /// naming the first offending point index rather than silently taking
+  /// points.front().size() as n and mis-evaluating the rest.
   [[nodiscard]] static EvalRequest general(std::vector<std::vector<double>> points,
                                            util::Rational t) {
     EvalRequest request;
     request.n = points.empty() ? 0 : static_cast<std::uint32_t>(points.front().size());
+    for (std::size_t k = 0; k < points.size(); ++k) {
+      if (points[k].size() != points.front().size()) {
+        throw Error("EvalRequest::general: point " + std::to_string(k) + " has " +
+                    std::to_string(points[k].size()) + " thresholds, expected " +
+                    std::to_string(points.front().size()) + " (ragged batch)");
+      }
+    }
     request.t = std::move(t);
     request.points = std::move(points);
     return request;

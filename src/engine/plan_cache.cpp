@@ -34,8 +34,20 @@ struct CacheMetrics {
 // key is spelled num/den explicitly so the canonicalization is this
 // function's contract, not an accident of a remote invariant, and
 // tests/test_engine.cpp pins it with non-canonical inputs.
-std::string cache_key(std::uint32_t n, const util::Rational& t) {
-  return std::to_string(n) + "|" + t.num().to_string() + "/" + t.den().to_string();
+//
+// A non-default scenario digest joins the key as a third segment, so a plan
+// lowered for one game can never satisfy a lookup for another. The
+// homogeneous digest (and the legacy empty digest) keeps the two-segment
+// form, so every pre-scenario key — including persisted plan-store entries —
+// stays byte-identical.
+std::string cache_key(std::uint32_t n, const util::Rational& t,
+                      std::string_view scenario_digest) {
+  std::string key = std::to_string(n) + "|" + t.num().to_string() + "/" + t.den().to_string();
+  if (!scenario_digest.empty() && scenario_digest != "homogeneous") {
+    key += '|';
+    key += scenario_digest;
+  }
+  return key;
 }
 
 }  // namespace
@@ -48,9 +60,10 @@ PlanCache& PlanCache::instance() {
 }
 
 std::shared_ptr<const poly::CompiledPiecewise> PlanCache::get_or_lower(
-    std::uint32_t n, const util::Rational& t) {
+    std::uint32_t n, const util::Rational& t, std::string_view scenario_digest) {
+  const bool default_scenario = scenario_digest.empty() || scenario_digest == "homogeneous";
   const CacheMetrics& metrics = CacheMetrics::get();
-  const std::string key = cache_key(n, t);
+  const std::string key = cache_key(n, t, scenario_digest);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto found = index_.find(key);
@@ -68,8 +81,12 @@ std::shared_ptr<const poly::CompiledPiecewise> PlanCache::get_or_lower(
   // lowering path entirely (warm start); version skew and validation
   // failures are counted and fall through to lowering — the store can only
   // ever cost latency, never correctness.
+  // The persistent store holds homogeneous Theorem 5.1 plans only; a
+  // generalized-scenario key never consults it, so the on-disk format needs
+  // no scenario column until a generalized lowering actually exists.
   std::shared_ptr<const poly::CompiledPiecewise> plan;
-  if (const auto store = poly::PlanStore::configured()) {
+  const auto store = default_scenario ? poly::PlanStore::configured() : nullptr;
+  if (store != nullptr) {
     try {
       plan = store->load(n, t);
       if (plan != nullptr) {

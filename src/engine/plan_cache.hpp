@@ -40,6 +40,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "poly/compiled.hpp"
@@ -81,11 +82,15 @@ class PlanCache {
   /// the auto selection policy).
   [[nodiscard]] static PlanCache& instance();
 
-  /// Returns the cached plan for (n, t), lowering and inserting on miss.
-  /// Exceptions from the lowering (invalid instance, injected fault)
-  /// propagate and leave the cache untouched.
+  /// Returns the cached plan for (n, t) under `scenario_digest`
+  /// (engine/scenario.hpp), lowering and inserting on miss. The digest joins
+  /// the cache key, so plans for different games never collide; the
+  /// homogeneous digest (or the legacy empty string) maps to the original
+  /// two-segment key, keeping every pre-scenario key and plan-store path
+  /// byte-identical. Exceptions from the lowering (invalid instance,
+  /// injected fault) propagate and leave the cache untouched.
   [[nodiscard]] std::shared_ptr<const poly::CompiledPiecewise> get_or_lower(
-      std::uint32_t n, const util::Rational& t);
+      std::uint32_t n, const util::Rational& t, std::string_view scenario_digest = {});
 
   /// Entries currently held.
   [[nodiscard]] std::size_t size() const;

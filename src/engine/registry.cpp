@@ -11,6 +11,7 @@
 #include <sstream>
 #include <utility>
 
+#include "engine/bound_memo.hpp"
 #include "engine/cost_model.hpp"
 #include "engine/engines.hpp"
 #include "engine/plan_cache.hpp"
@@ -35,62 +36,6 @@ struct SelectMetrics {
   }
 };
 
-/// Direct-mapped memo of compiled-plan certificate bounds. Lowering is
-/// deterministic, so the bound for a given (n, t) never changes — but the
-/// model path needs it on EVERY select, and a PlanCache::get_or_lower round
-/// trip (string key construction, LRU splice under the cache mutex) costs
-/// about as much as ranking all three candidates. Only successful lowerings
-/// land here; failures keep throwing through the probe below, so fault
-/// injection (DDM_FAULT_PLAN) stays visible to the model path. The static
-/// rule does not use the memo — its branch is pinned byte-identical to the
-/// pre-model CLI, plan-cache hit counters included.
-class BoundMemo {
- public:
-  static BoundMemo& get() {
-    static BoundMemo memo;
-    return memo;
-  }
-
-  [[nodiscard]] std::optional<double> lookup(std::uint32_t n, const util::Rational& t) const {
-    const Slot& slot = slots_[index(n, t)];
-    std::shared_lock<std::shared_mutex> lock(mutex_);
-    if (slot.valid && slot.n == n && slot.t == t) return slot.bound;
-    return std::nullopt;
-  }
-
-  void store(std::uint32_t n, const util::Rational& t, double bound) {
-    Slot& slot = slots_[index(n, t)];
-    std::unique_lock<std::shared_mutex> lock(mutex_);
-    slot.n = n;
-    slot.t = t;
-    slot.bound = bound;
-    slot.valid = true;
-  }
-
- private:
-  struct Slot {
-    bool valid = false;
-    std::uint32_t n = 0;
-    util::Rational t;
-    double bound = 0.0;
-  };
-  static constexpr std::size_t kSlots = 64;
-
-  // Collisions are harmless: the full (n, t) comparison above rejects them
-  // and the slot is simply re-used by whichever key stored last.
-  static std::size_t index(std::uint32_t n, const util::Rational& t) {
-    const double approx = t.to_double();
-    std::uint64_t bits = 0;
-    std::memcpy(&bits, &approx, sizeof(bits));
-    bits ^= bits >> 17;
-    bits ^= static_cast<std::uint64_t>(n) * 0x9e3779b97f4a7c15ULL;
-    return static_cast<std::size_t>(bits % kSlots);
-  }
-
-  mutable std::shared_mutex mutex_;
-  std::array<Slot, kSlots> slots_;
-};
-
 /// The model-consulting auto rule. Candidates are the interchangeable-value
 /// engines: compiled joins only when its certificate clears the REQUEST
 /// tolerance (that is the accuracy contract — the static rule's fixed
@@ -108,14 +53,16 @@ void apply_model(const CostModel& model, const EnginePolicy& policy, const EvalR
 
   const Evaluator* compiled = nullptr;
   bool static_compiled = false;
-  if (request.is_symmetric() && request.n >= 1 && request.n <= policy.compiled_max_n) {
+  if (request.scenario.is_default() && request.is_symmetric() && request.n >= 1 &&
+      request.n <= policy.compiled_max_n) {
     BoundMemo& memo = BoundMemo::get();
-    std::optional<double> bound = memo.lookup(request.n, request.t);
+    const std::string& digest = request.scenario.digest();
+    std::optional<double> bound = memo.lookup(request.n, request.t, digest);
     if (!bound.has_value()) {
       try {
-        const auto plan = PlanCache::instance().get_or_lower(request.n, request.t);
+        const auto plan = PlanCache::instance().get_or_lower(request.n, request.t, digest);
         bound = plan->max_error_bound();
-        memo.store(request.n, request.t, *bound);
+        memo.store(request.n, request.t, digest, *bound);
       } catch (const std::exception& error) {
         selection.fallback = true;
         selection.note = std::string("compiled lowering failed (") + error.what() +
@@ -156,7 +103,8 @@ void apply_model(const CostModel& model, const EnginePolicy& policy, const EvalR
 
   const Evaluator& static_choice =
       static_compiled && compiled != nullptr ? *compiled : registry.require("batch");
-  const std::size_t best = model.cheapest(ids.data(), pool_count, request.n, request.size());
+  const std::size_t best = model.cheapest(ids.data(), pool_count, request.n, request.size(),
+                                          request.scenario.digest());
   if (best == pool_count) {
     selection.evaluator = &static_choice;  // no data: degrade to the static rule
     metrics.policy_static_wins.add();
@@ -254,6 +202,32 @@ Selection select(const EnginePolicy& policy, const EvalRequest& request) {
   }
 
   selection.auto_mode = true;
+  // Generalized scenarios route around the compiled/batch/kernel pool
+  // entirely (none of them supports a non-default game): exact rational
+  // evaluation where the O(2^n) formulas are affordable, seeded Monte Carlo
+  // beyond the cap — visibly, via Selection::note.
+  if (!request.scenario.is_default()) {
+    const Evaluator* exact = registry.find("exact");
+    const Evaluator* mc = registry.find("mc");
+    if (exact != nullptr && exact->supports(request)) {
+      selection.evaluator = exact;
+    } else if (mc != nullptr && mc->supports(request)) {
+      selection.evaluator = mc;
+      selection.fallback = true;
+      selection.note = "scenario '" + request.scenario.digest() +
+                       "' exceeds the exact-evaluation cap; using seeded Monte Carlo";
+    } else {
+      throw Error("no engine supports scenario '" + request.scenario.digest() +
+                  "' for this request");
+    }
+    metrics.selects.add();
+    if (selection.fallback) metrics.fallbacks.add();
+    DDM_SPAN("engine.select",
+             {{"requested", "auto"},
+              {"chosen", selection.evaluator->id().data()},
+              {"fallback", selection.fallback ? std::int64_t{1} : std::int64_t{0}}});
+    return selection;
+  }
   // A loaded policy table (strictly resolved: a bad DDM_POLICY throws here
   // rather than silently dispatching cold) reroutes auto through the model.
   const std::shared_ptr<CostModel> model = CostModel::configured();
@@ -272,7 +246,8 @@ Selection select(const EnginePolicy& policy, const EvalRequest& request) {
   // fall back to the batch kernel otherwise — visibly, via Selection::note.
   if (request.is_symmetric() && request.n >= 1 && request.n <= policy.compiled_max_n) {
     try {
-      const auto plan = PlanCache::instance().get_or_lower(request.n, request.t);
+      const auto plan =
+          PlanCache::instance().get_or_lower(request.n, request.t, request.scenario.digest());
       selection.compiled_bound = plan->max_error_bound();
       if (selection.compiled_bound <= policy.compiled_tolerance) {
         selection.evaluator = &registry.require("compiled");

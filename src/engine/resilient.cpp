@@ -42,6 +42,18 @@ struct ResilienceMetrics {
 }  // namespace
 
 std::vector<std::string_view> fallback_chain(std::string_view id) {
+  return fallback_chain(id, Scenario{});
+}
+
+std::vector<std::string_view> fallback_chain(std::string_view id, const Scenario& scenario) {
+  if (!scenario.is_default()) {
+    // Generalized games: the exact rational evaluators degrade to seeded
+    // Monte Carlo (an estimate — honestly flagged via `degraded`); mc is
+    // already the last resort. The homogeneous-only double kernels never
+    // serve these requests, so they get no chain.
+    if (id == "exact" || id == "certified") return {"mc"};
+    return {};
+  }
   if (id == "compiled") return {"batch", "kernel"};
   if (id == "batch") return {"kernel"};
   if (id == "certified") return {"mc"};
@@ -54,7 +66,9 @@ EvalOutcome evaluate_resilient(const ResilientOptions& options, const EvalReques
 
   std::vector<std::string_view> chain;
   chain.push_back(selection.id());
-  for (const std::string_view id : fallback_chain(selection.id())) chain.push_back(id);
+  for (const std::string_view id : fallback_chain(selection.id(), request.scenario)) {
+    chain.push_back(id);
+  }
   // With a policy table loaded, try the fallbacks cheapest-predicted-first:
   // the chain HEAD is the selection contract and never moves, but the order
   // we burn the remaining deadline budget in is a pure latency question.
@@ -63,10 +77,11 @@ EvalOutcome evaluate_resilient(const ResilientOptions& options, const EvalReques
   if (chain.size() > 2) {
     if (const std::shared_ptr<CostModel> model = CostModel::configured();
         model != nullptr && !model->empty()) {
+      const std::string& scenario = request.scenario.digest();
       std::stable_sort(chain.begin() + 1, chain.end(),
-                       [&model, &request](std::string_view lhs, std::string_view rhs) {
-                         return model->predict(lhs, request.n, request.size()) <
-                                model->predict(rhs, request.n, request.size());
+                       [&model, &request, &scenario](std::string_view lhs, std::string_view rhs) {
+                         return model->predict(lhs, request.n, request.size(), scenario) <
+                                model->predict(rhs, request.n, request.size(), scenario);
                        });
     }
   }

@@ -5,13 +5,19 @@
 // the policy, then walks a documented degradation chain when the preferred
 // engine fails or runs out of time:
 //
-//   preferred engine        fallback chain
+//   preferred engine        fallback chain (homogeneous default scenario)
 //   ----------------        -----------------------------------------------
 //   compiled                batch, then kernel   (deterministic, same bits)
 //   batch                   kernel               (bitwise-equal by contract)
 //   certified               mc                   (estimate under deadline
 //                                                 pressure — honestly flagged)
 //   exact / kernel / mc     none                 (already the last resort)
+//
+// Under a generalized scenario (engine/scenario.hpp) the chains reshape:
+// exact and certified degrade to mc (the only other engine that serves
+// those games), everything else has no chain. Engines that decline a
+// scenario via supports() are skipped inside the walk, so the two views
+// stay consistent by construction.
 //
 // Per attempt, a ddm::ParallelError (a chunk exhausted its in-region
 // retries) is retried at request level under ResilientOptions::retry —
@@ -42,8 +48,11 @@
 namespace ddm::engine {
 
 /// The documented fallback chain for a preferred engine id (see the table
-/// above); empty for engines that are already the last resort.
+/// above); empty for engines that are already the last resort. The
+/// one-argument form is the homogeneous default scenario's chain.
 [[nodiscard]] std::vector<std::string_view> fallback_chain(std::string_view id);
+[[nodiscard]] std::vector<std::string_view> fallback_chain(std::string_view id,
+                                                           const Scenario& scenario);
 
 /// Knobs for evaluate_resilient.
 struct ResilientOptions {

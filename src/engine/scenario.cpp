@@ -1,0 +1,157 @@
+#include "engine/scenario.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace ddm::engine {
+
+namespace {
+
+[[nodiscard]] std::string ranges_digest(const std::vector<util::Rational>& ranges) {
+  std::string digest = "heterogeneous:";
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    if (i != 0) digest += ',';
+    digest += ranges[i].to_string();
+  }
+  return digest;
+}
+
+}  // namespace
+
+Scenario Scenario::heterogeneous(std::vector<util::Rational> ranges) {
+  if (ranges.empty()) {
+    throw Error("Scenario::heterogeneous: need >= 1 range");
+  }
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    if (ranges[i].signum() <= 0) {
+      throw Error("Scenario::heterogeneous: range " + std::to_string(i) + " is " +
+                  ranges[i].to_string() + "; every range must be > 0");
+    }
+  }
+  Scenario scenario;
+  scenario.kind_ = Kind::kHeterogeneous;
+  scenario.ranges_ = std::move(ranges);
+  scenario.digest_ = ranges_digest(scenario.ranges_);
+  return scenario;
+}
+
+Scenario Scenario::deviating(std::uint32_t deviators) {
+  if (deviators == 0) {
+    throw Error("Scenario::deviating: need >= 1 deviating player");
+  }
+  Scenario scenario;
+  scenario.kind_ = Kind::kDeviating;
+  scenario.deviators_ = deviators;
+  scenario.digest_ = "deviating:" + std::to_string(deviators);
+  return scenario;
+}
+
+void Scenario::check_players(std::uint32_t n, const char* what) const {
+  switch (kind_) {
+    case Kind::kHomogeneous:
+      return;
+    case Kind::kHeterogeneous:
+      if (ranges_.size() != n) {
+        throw Error(std::string(what) + ": scenario has " + std::to_string(ranges_.size()) +
+                    " ranges but the request has " + std::to_string(n) + " players");
+      }
+      return;
+    case Kind::kDeviating:
+      if (deviators_ >= n) {
+        throw Error(std::string(what) + ": " + std::to_string(deviators_) +
+                    " deviating players need n > " + std::to_string(deviators_) +
+                    " (got n = " + std::to_string(n) + ")");
+      }
+      return;
+  }
+}
+
+Scenario Scenario::parse(std::string_view descriptor) {
+  if (descriptor.empty()) {
+    throw Error("scenario: empty descriptor");
+  }
+  const std::size_t colon = descriptor.find(':');
+  const std::string_view id = descriptor.substr(0, colon);
+  const std::string_view detail =
+      colon == std::string_view::npos ? std::string_view{} : descriptor.substr(colon + 1);
+  if (id == "homogeneous") {
+    if (colon != std::string_view::npos) {
+      throw Error("scenario 'homogeneous' takes no parameter (got '" + std::string(descriptor) +
+                  "')");
+    }
+    return homogeneous();
+  }
+  if (id == "heterogeneous") {
+    if (colon == std::string_view::npos) {
+      throw Error("scenario 'heterogeneous' needs ranges: use "
+                  "'heterogeneous:c1,c2,...' or pass --ranges=");
+    }
+    return heterogeneous(parse_ranges(detail));
+  }
+  if (id == "deviating") {
+    if (colon == std::string_view::npos) {
+      throw Error("scenario 'deviating' needs a deviator count: use 'deviating:<k>'");
+    }
+    std::uint32_t k = 0;
+    for (const char c : detail) {
+      if (c < '0' || c > '9') {
+        throw Error("scenario 'deviating': bad deviator count '" + std::string(detail) + "'");
+      }
+      const std::uint64_t next = std::uint64_t{k} * 10 + static_cast<std::uint64_t>(c - '0');
+      if (next > 0xffffffffULL) {
+        throw Error("scenario 'deviating': deviator count '" + std::string(detail) +
+                    "' out of range");
+      }
+      k = static_cast<std::uint32_t>(next);
+    }
+    if (detail.empty()) {
+      throw Error("scenario 'deviating': bad deviator count ''");
+    }
+    return deviating(k);
+  }
+  throw Error("unknown scenario '" + std::string(id) +
+              "' (known: homogeneous, heterogeneous, deviating)");
+}
+
+std::vector<util::Rational> Scenario::parse_ranges(std::string_view text) {
+  std::vector<util::Rational> ranges;
+  std::size_t index = 0;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = text.find(',', start);
+    const std::string_view entry = text.substr(
+        start, comma == std::string_view::npos ? std::string_view::npos : comma - start);
+    util::Rational value;
+    try {
+      value = util::Rational::parse(entry);
+    } catch (const std::exception&) {
+      throw Error("ranges: entry " + std::to_string(index) + " ('" + std::string(entry) +
+                  "') is not a rational");
+    }
+    if (value.signum() <= 0) {
+      throw Error("ranges: entry " + std::to_string(index) + " is " + value.to_string() +
+                  "; every range must be > 0");
+    }
+    ranges.push_back(std::move(value));
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+    ++index;
+  }
+  return ranges;
+}
+
+const char* to_string(Scenario::Kind kind) noexcept {
+  switch (kind) {
+    case Scenario::Kind::kHomogeneous:
+      return "homogeneous";
+    case Scenario::Kind::kHeterogeneous:
+      return "heterogeneous";
+    case Scenario::Kind::kDeviating:
+      return "deviating";
+  }
+  return "unknown";
+}
+
+}  // namespace ddm::engine

@@ -59,8 +59,11 @@ void observe_policy(const engine::EvalRequest& request, const std::string& engin
   }
   if (model == nullptr || request.betas.empty()) return;
   const double seconds = std::chrono::duration<double>(elapsed).count();
+  // Samples measured under a generalized game refine that game's own
+  // "engine@digest" row, never the homogeneous cells (engine/cost_model.hpp).
   model->observe(engine_id, request.n, request.betas.size(),
-                 seconds / static_cast<double>(request.betas.size()));
+                 seconds / static_cast<double>(request.betas.size()),
+                 request.scenario.digest());
 }
 
 [[nodiscard]] util::Rational parse_t(const JsonObject& request) {
@@ -98,6 +101,11 @@ struct EvalService::Job {
   std::uint32_t n = 0;
   util::Rational t;
   std::string t_key;  // canonical t text, part of the coalescing key
+  /// The game the request is posed over; the wire field is the canonical
+  /// descriptor text (engine/scenario.hpp), strictly validated at parse
+  /// time. The digest joins the coalescing key, so jobs for different games
+  /// never share a batch.
+  engine::Scenario scenario;
   double beta = 0.0;
   util::Rational tolerance{1, 1000000000};
   std::uint64_t trials = 200000;
@@ -173,6 +181,21 @@ std::string EvalService::handle_line(const std::string& line) {
     job->t = parse_t(request);
     job->t_key = job->t.to_string();
     job->engine = get_string(request, "engine", "");
+    if (const std::string descriptor = get_string(request, "scenario", "");
+        !descriptor.empty()) {
+      // Strict: a malformed or player-count-mismatched scenario is a
+      // bad_request, never a silently homogeneous evaluation.
+      try {
+        job->scenario = engine::Scenario::parse(descriptor);
+        job->scenario.check_players(job->n, "scenario");
+      } catch (const Error& error) {
+        reject(std::string("field 'scenario' is invalid: ") + error.what());
+      }
+      if (job->op == "analyze" && !job->scenario.is_default()) {
+        reject("op 'analyze' serves the homogeneous game only (the Section 5.2 "
+               "closed form); evaluate generalized scenarios via op 'threshold'");
+      }
+    }
     if (job->op != "analyze") {
       job->beta = require_number(request, "beta");
       if (!(job->beta >= 0.0 && job->beta <= 1.0)) reject("field 'beta' must be in [0, 1]");
@@ -244,7 +267,8 @@ void EvalService::worker_loop() {
              it != queue_.end() && group.size() < config_.coalesce_limit;) {
           const Job& candidate = **it;
           if (candidate.op == "threshold" && candidate.n == head.n &&
-              candidate.t_key == head.t_key && candidate.engine == head.engine) {
+              candidate.t_key == head.t_key && candidate.engine == head.engine &&
+              candidate.scenario.digest() == head.scenario.digest()) {
             group.push_back(*it);
             it = queue_.erase(it);
           } else {
@@ -268,6 +292,7 @@ void EvalService::serve_group(std::vector<std::shared_ptr<Job>>& group) {
     engine::EvalRequest request;
     request.n = head.n;
     request.t = head.t;
+    request.scenario = head.scenario;
     request.betas.reserve(group.size());
     for (const auto& job : group) request.betas.push_back(job->beta);
     // The batch runs under the group's TIGHTEST remaining budget: if that
@@ -299,6 +324,7 @@ void EvalService::serve_group(std::vector<std::shared_ptr<Job>>& group) {
             .field("value", outcome.values[k])
             .field("engine", outcome.engine_id)
             .field("coalesced", true);
+        if (!head.scenario.is_default()) reply.field("scenario", head.scenario.digest());
         if (outcome.degraded) {
           reply.field("degraded", true).field("degradation", outcome.degradation_note);
         }
@@ -342,6 +368,7 @@ std::string EvalService::serve_job(const Job& job) const {
     engine::EvalRequest request;
     request.n = job.n;
     request.t = job.t;
+    request.scenario = job.scenario;
     request.betas = {job.beta};
     request.tolerance = job.tolerance;
     request.trials = job.trials;
@@ -360,6 +387,7 @@ std::string EvalService::serve_job(const Job& job) const {
         .field("op", job.op)
         .field("value", outcome.values.at(0))
         .field("engine", outcome.engine_id);
+    if (!job.scenario.is_default()) reply.field("scenario", job.scenario.digest());
     if (outcome.degraded) {
       reply.field("degraded", true).field("degradation", outcome.degradation_note);
     }

@@ -19,6 +19,13 @@
 //   * Every job evaluates through engine::evaluate_resilient, so per-request
 //     deadlines, retry-with-backoff, and the degradation chain all apply;
 //     degraded answers carry `"degraded":true` plus the chain note.
+//   * Requests may carry an optional `scenario` field (the canonical
+//     descriptor of engine/scenario.hpp, e.g. "heterogeneous:1/2,1,2" or
+//     "deviating:2") posing the evaluation over a generalized game. The
+//     field is validated strictly at admission — malformed descriptors and
+//     player-count mismatches are `bad_request`, never a silently
+//     homogeneous answer — the digest joins the coalescing key, and replies
+//     echo it back.
 //   * Drain (the SIGTERM path) stops admission — late arrivals get a
 //     structured `draining` reply — serves everything already queued, then
 //     lets the workers exit.

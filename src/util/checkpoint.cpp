@@ -78,7 +78,7 @@ std::string header_line(const SweepParams& params) {
      << params.beta_lo << "\", \"beta_hi\": \"" << params.beta_hi << "\", \"steps\": "
      << params.steps << ", \"engine\": \"" << params.engine << "\", \"resolved\": \""
      << params.resolved << "\", \"shard\": \"" << params.shard_index << "/"
-     << params.shard_count << "\"}}";
+     << params.shard_count << "\", \"scenario\": \"" << params.scenario << "\"}}";
   return os.str();
 }
 
@@ -119,6 +119,10 @@ bool parse_header(std::string_view line, SweepParams& params) {
     params.shard_index = 0;
     params.shard_count = 1;
   }
+  // A header without the field predates the scenario seam, when every sweep
+  // evaluated the homogeneous game — defaulting (rather than rejecting)
+  // keeps old default-scenario checkpoints resumable.
+  if (!extract_field(line, "scenario", params.scenario)) params.scenario = "homogeneous";
   return true;
 }
 
@@ -145,6 +149,12 @@ std::string describe_mismatch(const SweepParams& header, const SweepParams& requ
   }
   if (header.steps != requested.steps) {
     return field("steps", std::to_string(header.steps), std::to_string(requested.steps));
+  }
+  // The scenario outranks the engine fields: a resume posing a different
+  // game resolves to a different engine too, and naming the engine first
+  // would hide the real disagreement.
+  if (header.scenario != requested.scenario) {
+    return field("scenario", header.scenario, requested.scenario);
   }
   if (header.engine != requested.engine) return field("engine", header.engine, requested.engine);
   if (header.resolved != requested.resolved) {

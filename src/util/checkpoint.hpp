@@ -54,6 +54,13 @@ struct SweepParams {
   /// shard_index. An unsharded sweep is shard 0/1.
   std::uint32_t shard_index = 0;
   std::uint32_t shard_count = 1;
+  /// Canonical scenario digest of the game the rows evaluate
+  /// (engine/scenario.hpp): "homogeneous" for the paper's default, e.g.
+  /// "heterogeneous:1/2,1,2" otherwise. Headers written before the field
+  /// existed parse as "homogeneous" — exactly the game they were computed
+  /// under — so old default-scenario checkpoints keep resuming; rows from
+  /// different games can never be glued together.
+  std::string scenario = "homogeneous";
 
   friend bool operator==(const SweepParams&, const SweepParams&) = default;
 };

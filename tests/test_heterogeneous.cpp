@@ -12,6 +12,7 @@
 #include "core/protocol.hpp"
 #include "prob/rng.hpp"
 #include "prob/uniform_sum.hpp"
+#include "util/status.hpp"
 
 namespace ddm::core {
 namespace {
@@ -71,14 +72,14 @@ TEST(HeterogeneousOblivious, Validation) {
   const std::vector<Rational> alpha(2, Rational(1, 2));
   EXPECT_THROW((void)heterogeneous_oblivious_winning_probability(
                    alpha, std::vector<Rational>{Rational{1}}, Rational{1}),
-               std::invalid_argument);
+               ddm::Error);
   EXPECT_THROW((void)heterogeneous_oblivious_winning_probability(
                    alpha, std::vector<Rational>{Rational{1}, Rational{0}}, Rational{1}),
-               std::invalid_argument);
+               ddm::Error);
   EXPECT_THROW((void)heterogeneous_oblivious_winning_probability(
                    std::vector<Rational>{Rational{2}, Rational{0}},
                    std::vector<Rational>{Rational{1}, Rational{1}}, Rational{1}),
-               std::invalid_argument);
+               ddm::Error);
 }
 
 TEST(HeterogeneousThreshold, ReducesToHomogeneousCase) {
@@ -123,7 +124,7 @@ TEST(HeterogeneousThreshold, ThresholdAboveRangeThrows) {
   EXPECT_THROW((void)heterogeneous_threshold_winning_probability(
                    std::vector<Rational>{Rational{2}},
                    std::vector<Rational>{Rational{1}}, Rational{1}),
-               std::invalid_argument);
+               ddm::Error);
 }
 
 TEST(HeterogeneousSim, Validation) {
@@ -131,10 +132,10 @@ TEST(HeterogeneousSim, Validation) {
   prob::Rng rng{1};
   EXPECT_THROW((void)estimate_heterogeneous_winning_probability(
                    protocol, std::vector<double>{1.0}, 1.0, 100, rng),
-               std::invalid_argument);
+               ddm::Error);
   EXPECT_THROW((void)estimate_heterogeneous_winning_probability(
                    protocol, std::vector<double>{1.0, 1.0}, 1.0, 0, rng),
-               std::invalid_argument);
+               ddm::Error);
 }
 
 // Parameterized property sweep: the heterogeneous threshold probability is

@@ -3,7 +3,7 @@
 // `ddm_cli sweep --shard=i/k --checkpoint si.ckpt` leaves k checkpoint files,
 // each holding the rows with index % k == i. merge validates that the given
 // files belong to ONE sweep — headers must agree on every field except
-// shard_index (grid, engine, resolved engine, shard count), the shard
+// shard_index (grid, engine, resolved engine, scenario, shard count), the shard
 // indices must be exactly {0..k-1} with no duplicates, and every grid row
 // must be present in its owning shard — then prints the byte-identical
 // output of the equivalent unsharded `ddm_cli sweep` run. Doubles round-trip
@@ -45,6 +45,7 @@ std::string describe_shard_mismatch(const util::SweepParams& base,
   }
   if (base.engine != other.engine) return differ("engine", base.engine, other.engine);
   if (base.resolved != other.resolved) return differ("resolved", base.resolved, other.resolved);
+  if (base.scenario != other.scenario) return differ("scenario", base.scenario, other.scenario);
   if (base.shard_count != other.shard_count) {
     return differ("shard_count", std::to_string(base.shard_count),
                   std::to_string(other.shard_count));
@@ -116,10 +117,15 @@ int run_merge(const std::vector<std::string>& args, const Options& options) {
   // the "engine" field stamped only when the sweep ran in auto mode.
   const double t_d = util::Rational::parse(base.t).to_double();
   const bool auto_mode = base.engine == "auto";
+  // Generalized-game sweeps stamp the scenario into every row; the merged
+  // output mirrors `ddm_cli sweep --scenario=...` byte for byte, and the
+  // default game keeps the pre-scenario row format.
+  const bool generalized = base.scenario != "homogeneous";
   std::cout << std::setprecision(std::numeric_limits<double>::max_digits10) << "[\n";
   for (std::uint32_t k = 0; k <= base.steps; ++k) {
     std::cout << "  {\"n\": " << base.n << ", \"t\": " << t_d << ", \"beta\": " << rows[k]->beta
               << ", \"p_win\": " << rows[k]->p_win;
+    if (generalized) std::cout << ", \"scenario\": \"" << base.scenario << "\"";
     if (auto_mode) std::cout << ", \"engine\": \"" << base.resolved << "\"";
     std::cout << "}" << (k < base.steps ? "," : "") << "\n";
   }

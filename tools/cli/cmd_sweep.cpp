@@ -25,6 +25,7 @@
 #include "obs/trace.hpp"
 #include "util/checkpoint.hpp"
 #include "util/parallel.hpp"
+#include "util/status.hpp"
 
 namespace ddm::cli {
 
@@ -35,9 +36,13 @@ using util::Rational;
 // Certified sweep: every grid point goes through the escalation ladder with
 // an exact rational beta (clamped to [0, 1]), fanned across the pool one
 // point per chunk. Rows gain the per-point tier/escalations/width; exit code
-// 3 when any point misses the policy tolerance.
+// 3 when any point misses the policy tolerance. Under a generalized
+// --scenario the per-point ladder is replaced by one batched request through
+// the certified ENGINE (the only certificate-bearing backend that knows the
+// game); rows then also carry the scenario digest.
 int sweep_certified(std::uint32_t n, const Rational& t, const Rational& lo, const Rational& hi,
-                    std::uint32_t steps, const ddm::EvalPolicy& policy) {
+                    std::uint32_t steps, const ddm::EvalPolicy& policy,
+                    const engine::Scenario& scenario) {
   std::vector<Rational> betas(steps + 1, Rational{0});
   const Rational range = hi - lo;
   const Rational denom{static_cast<std::int64_t>(steps)};
@@ -49,20 +54,33 @@ int sweep_certified(std::uint32_t n, const Rational& t, const Rational& lo, cons
   }
 
   std::vector<ddm::CertifiedValue> results(steps + 1);
-  util::ParallelOptions options;
-  options.grain = 1;
-  options.label = "sweep_certify";
-  util::parallel_for(
-      0, betas.size(),
-      [&](std::size_t chunk_lo, std::size_t chunk_hi) {
-        for (std::size_t k = chunk_lo; k < chunk_hi; ++k) {
-          // Fresh evaluation per attempt: idempotent under engine retry, and
-          // CertifiedValue::stats carries this point's ladder counters only.
-          results[k] = core::certified_symmetric_threshold_winning_probability(
-              n, betas[k], t, policy);
-        }
-      },
-      options);
+  if (scenario.is_default()) {
+    util::ParallelOptions options;
+    options.grain = 1;
+    options.label = "sweep_certify";
+    util::parallel_for(
+        0, betas.size(),
+        [&](std::size_t chunk_lo, std::size_t chunk_hi) {
+          for (std::size_t k = chunk_lo; k < chunk_hi; ++k) {
+            // Fresh evaluation per attempt: idempotent under engine retry, and
+            // CertifiedValue::stats carries this point's ladder counters only.
+            results[k] = core::certified_symmetric_threshold_winning_probability(
+                n, betas[k], t, policy);
+          }
+        },
+        options);
+  } else {
+    std::vector<double> betas_d(steps + 1);
+    for (std::uint32_t k = 0; k <= steps; ++k) betas_d[k] = betas[k].to_double();
+    auto request = engine::EvalRequest::symmetric(n, t, std::move(betas_d));
+    request.exact_betas = betas;
+    request.tolerance = policy.tolerance;
+    request.scenario = scenario;
+    engine::EnginePolicy engine_policy;
+    engine_policy.engine = "certified";
+    const engine::Selection selection = engine::select(engine_policy, request);
+    results = selection.evaluator->evaluate(request).certificates;
+  }
 
   bool all_met = true;
   std::cout << std::setprecision(std::numeric_limits<double>::max_digits10) << "[\n";
@@ -70,7 +88,9 @@ int sweep_certified(std::uint32_t n, const Rational& t, const Rational& lo, cons
     const ddm::CertifiedValue& r = results[k];
     all_met = all_met && r.met_tolerance;
     std::cout << "  {\"n\": " << n << ", \"t\": " << t.to_double() << ", \"beta\": "
-              << betas[k].to_double() << ", \"p_win\": " << r.value() << ", \"tier\": \""
+              << betas[k].to_double() << ", \"p_win\": " << r.value();
+    if (!scenario.is_default()) std::cout << ", \"scenario\": \"" << scenario.digest() << "\"";
+    std::cout << ", \"tier\": \""
               << ddm::to_string(r.tier) << "\", \"escalations\": " << r.stats.escalations
               << ", \"width\": " << r.width().to_double() << ", \"met_tolerance\": "
               << (r.met_tolerance ? "true" : "false") << "}" << (k < steps ? "," : "") << "\n";
@@ -89,6 +109,14 @@ int run_sweep(const std::vector<std::string>& args, const Options& options) {
   const std::uint32_t steps = parse_u32("steps", args[5]);
   if (n == 0) throw BadArgument("invalid n '0' (sweep needs n >= 1)");
   if (steps == 0) throw BadArgument("invalid steps '0' (sweep needs steps >= 1)");
+  const engine::Scenario scenario = resolve_scenario(options);
+  if (!scenario.is_default()) {
+    try {
+      scenario.check_players(n, "sweep");
+    } catch (const Error& error) {
+      throw BadArgument(error.what());
+    }
+  }
   DDM_SPAN("cli.sweep", {{"n", static_cast<std::int64_t>(n)},
                          {"steps", static_cast<std::int64_t>(steps)}});
   const bool certified_engine = options.engine_set && options.engine == "certified";
@@ -103,7 +131,7 @@ int run_sweep(const std::vector<std::string>& args, const Options& options) {
                             ? "--engine=certified cannot be combined with --shard"
                             : "--certify cannot be combined with --shard");
     }
-    return sweep_certified(n, t, lo, hi, steps, options.certify.policy);
+    return sweep_certified(n, t, lo, hi, steps, options.certify.policy, scenario);
   }
 
   const double t_d = t.to_double();
@@ -121,7 +149,8 @@ int run_sweep(const std::vector<std::string>& args, const Options& options) {
   // Selection always sees the FULL grid, even when sharded: the auto policy
   // must resolve identically for every shard of one sweep (and for the
   // unsharded run), or `ddm_cli merge` could not reproduce it.
-  const auto request = engine::EvalRequest::symmetric(n, t, betas);
+  auto request = engine::EvalRequest::symmetric(n, t, betas);
+  request.scenario = scenario;
   const engine::Selection selection = engine::select(policy, request);
   report_fallback(selection);
 
@@ -145,6 +174,7 @@ int run_sweep(const std::vector<std::string>& args, const Options& options) {
       std::vector<double> shard_betas;
       shard_betas.reserve(owned.size());
       auto shard_request = engine::EvalRequest::symmetric(n, t, {});
+      shard_request.scenario = scenario;
       for (const std::uint32_t k : owned) {
         shard_betas.push_back(betas[k]);
         shard_request.point_ids.push_back(k);
@@ -172,6 +202,7 @@ int run_sweep(const std::vector<std::string>& args, const Options& options) {
     params.resolved = std::string(selection.id());
     params.shard_index = options.shard_index;
     params.shard_count = options.shard_count;
+    params.scenario = scenario.digest();
     util::SweepCheckpoint checkpoint(options.checkpoint_path, params, options.resume);
     std::vector<std::uint32_t> missing;
     for (const std::uint32_t k : owned) {
@@ -187,6 +218,7 @@ int run_sweep(const std::vector<std::string>& args, const Options& options) {
       std::vector<double> block_betas;
       block_betas.reserve(stop - start);
       auto block_request = engine::EvalRequest::symmetric(n, t, {});
+      block_request.scenario = scenario;
       for (std::size_t i = start; i < stop; ++i) {
         block_betas.push_back(betas[missing[i]]);
         // Global grid indices as point identities: a checkpointed (or
@@ -210,6 +242,7 @@ int run_sweep(const std::vector<std::string>& args, const Options& options) {
     const std::uint32_t k = owned[i];
     std::cout << "  {\"n\": " << n << ", \"t\": " << t_d << ", \"beta\": " << betas[k]
               << ", \"p_win\": " << values[k];
+    if (!scenario.is_default()) std::cout << ", \"scenario\": \"" << scenario.digest() << "\"";
     if (selection.auto_mode) std::cout << ", \"engine\": \"" << selection.id() << "\"";
     std::cout << "}" << (i + 1 < owned.size() ? "," : "") << "\n";
   }

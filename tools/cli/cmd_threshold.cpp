@@ -10,14 +10,61 @@
 #include "core/certified.hpp"
 #include "core/nonoblivious.hpp"
 #include "engine/registry.hpp"
+#include "util/status.hpp"
 
 namespace ddm::cli {
+
+namespace {
+
+/// Generalized-game evaluation: route through the engine layer (the only
+/// seam that knows which backend serves which scenario). --certify forces
+/// the certified engine so the answer carries a rigorous enclosure; the
+/// default lets auto resolve (exact within the cap, else seeded MC).
+int run_threshold_scenario(const engine::Scenario& scenario, std::uint32_t n,
+                           const util::Rational& t, const util::Rational& beta,
+                           const Options& options) {
+  std::cout << "Scenario: " << scenario.digest() << "\n";
+  engine::EnginePolicy policy;
+  policy.engine = options.certify.enabled ? "certified" : options.engine;
+  auto request = engine::EvalRequest::symmetric(n, t, {beta.to_double()});
+  request.exact_betas = {beta};
+  request.scenario = scenario;
+  if (options.certify.enabled) request.tolerance = options.certify.policy.tolerance;
+  const engine::Selection selection = engine::select(policy, request);
+  report_fallback(selection);
+  const engine::EvalOutcome outcome = selection.evaluator->evaluate(request);
+  if (options.certify.enabled) {
+    const ddm::CertifiedValue& result = outcome.certificates.at(0);
+    print_certified(result, options.certify.policy);
+    return result.met_tolerance ? 0 : 3;
+  }
+  const auto flags = std::cout.flags();
+  const auto precision = std::cout.precision();
+  std::cout << std::setprecision(std::numeric_limits<double>::max_digits10)
+            << "  P(no overflow) = " << outcome.values.at(0) << "  [engine: "
+            << outcome.engine_id << ", "
+            << engine::to_string(selection.evaluator->determinism()) << "]\n";
+  std::cout.flags(flags);
+  std::cout.precision(precision);
+  return 0;
+}
+
+}  // namespace
 
 int run_threshold(const std::vector<std::string>& args, const Options& options) {
   const std::uint32_t n = parse_u32("n", args[1]);
   const util::Rational t = parse_rational("t", args[2]);
   const util::Rational beta = parse_rational("beta", args[3]);
+  const engine::Scenario scenario = resolve_scenario(options);
+  if (!scenario.is_default()) {
+    try {
+      scenario.check_players(n, "threshold");
+    } catch (const Error& error) {
+      throw BadArgument(error.what());
+    }
+  }
   std::cout << "Symmetric single-threshold protocol, beta = " << beta << "\n";
+  if (!scenario.is_default()) return run_threshold_scenario(scenario, n, t, beta, options);
   if (options.certify.enabled) {
     const auto result =
         core::certified_symmetric_threshold_winning_probability(n, beta, t,

@@ -13,53 +13,74 @@ namespace {
 
 constexpr std::size_t kNoMax = static_cast<std::size_t>(-1);
 
-constexpr std::array<Command, 10> kCommands{{
+constexpr std::array<Command, 11> kCommands{{
     {"oblivious", "oblivious <n> <t>",
      "exact optimal oblivious protocol (Thm 4.3)",
      "Computes the optimal oblivious (input-ignoring, anonymous) protocol:\n"
      "every player picks bin 1 with probability alpha = 1/2, the unique\n"
      "stationary point of Theorem 4.3. Prints the exact winning probability\n"
      "and the gradient residual at 1/2 (Corollary 4.2).",
-     3, 3, false, false, false, false, false, run_oblivious},
-    {"threshold", "threshold <n> <t> <beta> [--certify[=tol]] [--engine=<id>]",
+     3, 3, false, false, false, false, false, false, run_oblivious},
+    {"threshold", "threshold <n> <t> <beta> [--certify[=tol]] [--engine=<id>]\n"
+                  "                      [--scenario=<desc>] [--ranges=c_1,..,c_n]",
      "exact P of a symmetric threshold (Thm 5.1)",
      "Evaluates the winning probability of the symmetric single-threshold\n"
      "protocol (every player chooses bin 1 iff its input <= beta) via the\n"
      "exact Theorem 5.1 formula. --certify replaces the exact evaluation\n"
      "with the escalation ladder and prints a rigorous enclosure (exit 3\n"
      "when the tolerance is missed). --engine routes the evaluation through\n"
-     "a named engine instead and reports which one answered.",
-     4, 4, true, false, true, false, false, run_threshold},
-    {"analyze", "analyze <n> <t> [digits=30] [--engine=<id>]",
+     "a named engine instead and reports which one answered. --scenario\n"
+     "poses the same protocol over a generalized game (docs/scenarios.md):\n"
+     "heterogeneous ranges x_i ~ U[0, c_i] (beta then scales each player's\n"
+     "threshold to beta*c_i) or k adversarially deviating players\n"
+     "(deviating:<k>, worst case over the adversary's bin split).",
+     4, 4, true, false, true, false, false, true, run_threshold},
+    {"analyze", "analyze <n> <t> [digits=30] [--engine=<id>] [--scenario=<desc>]\n"
+                "                    [--ranges=c_1,..,c_n]",
      "full Section 5.2 analysis: pieces, optimality condition, certified beta*",
      "Builds the exact piecewise polynomial P(beta), prints every piece, the\n"
      "optimality condition, and the certified optimal threshold beta*\n"
      "refined to the requested number of digits. --engine appends a\n"
-     "cross-check of P at beta* through the named engine.",
-     3, 4, false, false, true, false, false, run_analyze},
+     "cross-check of P at beta* through the named engine. Under a\n"
+     "generalized --scenario the closed-form pieces do not apply; analyze\n"
+     "switches to numeric optimization (iterated grid refinement on the\n"
+     "scenario-aware engine) and says so — the reported beta* is a numeric\n"
+     "estimate, not a certified root.",
+     3, 4, false, false, true, false, false, true, run_analyze},
     {"simulate", "simulate <n> <t> <beta> <trials> [seed=42] [--engine=<id>]",
      "Monte Carlo cross-check",
      "Estimates the threshold protocol's winning probability by simulation\n"
      "and checks that the 95% confidence interval covers the reference\n"
      "value. The reference is the exact Theorem 5.1 evaluation by default;\n"
      "--engine computes it through the named engine instead.",
-     5, 6, false, false, true, false, false, run_simulate},
+     5, 6, false, false, true, false, false, false, run_simulate},
     {"volume", "volume <m> <sigma_1..sigma_m> <pi_1..pi_m> [--certify[=tol]]",
      "Vol(simplex ∩ box), Proposition 2.2",
      "Computes the exact volume of the intersection of a scaled simplex and\n"
      "an axis-aligned box (Proposition 2.2), the geometric core of the\n"
      "winning-probability formulas. --certify evaluates through the\n"
      "escalation ladder and prints a rigorous enclosure.",
-     2, kNoMax, true, false, false, false, false, run_volume},
+     2, kNoMax, true, false, false, false, false, false, run_volume},
     {"ladder", "ladder <n> <t> [trials=500000]",
      "information ladder: deterministic / oblivious / threshold / oracle",
      "Prints the information ladder for one instance: deterministic\n"
      "all-one-bin, optimal oblivious coin, optimal own-input threshold, and\n"
      "(for n <= 20) a Monte Carlo full-information oracle estimate.",
-     3, 4, false, false, false, false, false, run_ladder},
+     3, 4, false, false, false, false, false, false, run_ladder},
+    {"deviate", "deviate <n> <t> <beta> <k> [trials=200000]",
+     "worst-case P of a threshold protocol under k deviating players",
+     "Analyzes the symmetric threshold-beta protocol when k of the n\n"
+     "players deviate adversarially (obliviously: a deviator picks a bin,\n"
+     "not a function of the inputs). By symmetry the adversary's strategy\n"
+     "space collapses to j, the number of deviators sent to bin 0; the\n"
+     "report prints P_j for every j, the worst case (the adversary's\n"
+     "optimum), and a seeded Monte Carlo cross-check. For n up to 14 the\n"
+     "per-strategy values are exact rationals (Lemma 2.4 conditioning);\n"
+     "beyond that cap the analysis is Monte Carlo only and says so.",
+     5, 6, false, false, false, false, false, false, run_deviate},
     {"sweep", "sweep <n> <t> <beta_lo> <beta_hi> <steps> [--certify[=tol]]\n"
               "                  [--checkpoint <file>] [--resume <file>] [--engine=<id>]\n"
-              "                  [--shard=i/k]",
+              "                  [--shard=i/k] [--scenario=<desc>] [--ranges=c_1,..,c_n]",
      "β-grid of Theorem 5.1 values, fanned across the thread pool, as JSON",
      "Evaluates P(beta) on a uniform grid and emits one JSON row per point.\n"
      "The default --engine=auto picks the compiled Horner plan when its\n"
@@ -71,8 +92,11 @@ constexpr std::array<Command, 10> kCommands{{
      "and --resume make the sweep crash-safe, and --shard=i/k evaluates\n"
      "only the rows with index % k == i — run k sharded sweeps (each with\n"
      "its own checkpoint), then `ddm_cli merge` reconstructs the byte-\n"
-     "identical unsharded output (docs/robustness.md).",
-     6, 6, true, true, true, true, false, run_sweep},
+     "identical unsharded output (docs/robustness.md). --scenario sweeps\n"
+     "the same grid over a generalized game (docs/scenarios.md); rows then\n"
+     "carry a \"scenario\" field and the checkpoint header pins the game, so\n"
+     "shards of different games can never be merged.",
+     6, 6, true, true, true, true, false, true, run_sweep},
     {"plans", "plans <precompile <n_max> <t> [tol] | list | validate> [--store=<dir>]",
      "persistent plan store: precompile, inspect, validate (docs/performance.md)",
      "Operates on the on-disk compiled-plan store (poly/plan_store.hpp).\n"
@@ -84,7 +108,7 @@ constexpr std::array<Command, 10> kCommands{{
      "rejected. The store directory comes from --store=<dir> or the\n"
      "DDM_PLAN_STORE environment variable; a store-backed `ddm_cli sweep`\n"
      "or ddm_serve answers its first compiled query without lowering.",
-     2, 5, false, false, false, false, true, run_plans},
+     2, 5, false, false, false, false, true, false, run_plans},
     {"calibrate", "calibrate [n_max=12] [--policy=<out>] [--store=<dir>]",
      "measure per-engine latency, write a policy table for self-tuning auto",
      "Runs the deterministic calibration sweep: for every (engine, n, batch)\n"
@@ -99,16 +123,16 @@ constexpr std::array<Command, 10> kCommands{{
      "to <store>/policy.ddmpolicy next to the plan store. Refuses non-\n"
      "release builds, like scripts/run_bench.sh (timings from a debug build\n"
      "would mistune dispatch on every later run).",
-     1, 2, false, false, false, false, true, run_calibrate},
+     1, 2, false, false, false, false, true, false, run_calibrate},
     {"merge", "merge <ckpt> [<ckpt>...]",
      "merge sharded sweep checkpoints into the unsharded JSON output",
      "Validates that the given checkpoints belong to ONE sharded sweep —\n"
-     "headers must agree on grid, engine, resolved engine, and shard count,\n"
-     "every shard 0..k-1 must be present exactly once, and every grid row\n"
+     "headers must agree on grid, engine, resolved engine, scenario, and\n"
+     "shard count, every shard 0..k-1 must be present once, and every row\n"
      "must be covered — then emits the byte-identical output of the\n"
      "equivalent unsharded `ddm_cli sweep` run. Mismatched or incomplete\n"
      "inputs are rejected with exit 2 naming the offending field or row.",
-     2, kNoMax, false, false, false, false, false, run_merge},
+     2, kNoMax, false, false, false, false, false, false, run_merge},
 }};
 
 }  // namespace
@@ -130,13 +154,16 @@ void print_usage() {
 usage:
   ddm_cli oblivious <n> <t>
   ddm_cli threshold <n> <t> <beta> [--certify[=tol]] [--engine=<id>]
-  ddm_cli analyze   <n> <t> [digits=30] [--engine=<id>]
+                    [--scenario=<desc>] [--ranges=c_1,..,c_n]
+  ddm_cli analyze   <n> <t> [digits=30] [--engine=<id>] [--scenario=<desc>]
+                    [--ranges=c_1,..,c_n]
   ddm_cli simulate  <n> <t> <beta> <trials> [seed=42] [--engine=<id>]
   ddm_cli volume    <m> <sigma_1..sigma_m> <pi_1..pi_m> [--certify[=tol]]
   ddm_cli ladder    <n> <t> [trials=500000]
+  ddm_cli deviate   <n> <t> <beta> <k> [trials=200000]
   ddm_cli sweep     <n> <t> <beta_lo> <beta_hi> <steps> [--certify[=tol]]
                     [--checkpoint <file>] [--resume <file>] [--engine=<id>]
-                    [--shard=i/k]
+                    [--shard=i/k] [--scenario=<desc>] [--ranges=c_1,..,c_n]
   ddm_cli plans     <precompile <n_max> <t> [tol] | list | validate>
                     [--store=<dir>]
   ddm_cli calibrate [n_max=12] [--policy=<out>] [--store=<dir>]
@@ -148,6 +175,12 @@ any subcommand also accepts:
   --metrics[=json|prom]  dump the metrics registry to stderr at exit
   --policy=<file>        load a calibrated engine policy table; auto mode
                          then dispatches on measured cost (see calibrate)
+
+scenarios (--scenario=<desc>, docs/scenarios.md):
+  homogeneous                 x_i ~ U[0, 1] — the paper's game (default)
+  heterogeneous:c_1,..,c_n    x_i ~ U[0, c_i]; or --scenario=heterogeneous
+                              with the ranges in --ranges=c_1,..,c_n
+  deviating:<k>               k players deviate adversarially; worst case
 
 engines (--engine=<id>, docs/architecture.md):
   auto       compiled plan when its certified bound is <= 1e-9, else the
@@ -164,6 +197,9 @@ rationals may be written a/b (e.g. 4/3). Examples:
   ddm_cli analyze 4 4/3 40       # Section 5.2.2 with 40 certified digits
   ddm_cli simulate 3 1 0.622 1000000
   ddm_cli threshold 24 8 0.37 --certify=1/1000000000000
+  ddm_cli threshold 3 1 0.5 --scenario=heterogeneous --ranges=1/2,1,2
+  ddm_cli deviate 6 2 0.62 2       # robustness margin under 2 deviators
+  ddm_cli sweep 3 1 0 1 50 --scenario=deviating:1   # worst-case grid
   ddm_cli sweep 4 4/3 0 1 100    # JSON grid of P(beta), all cores
   ddm_cli sweep 12 4 0 1 10000 --engine=compiled   # certified Horner plan
   ddm_cli sweep 4 4/3 0 1 100 --checkpoint sweep.ckpt   # crash-safe
@@ -227,6 +263,10 @@ int dispatch(const std::vector<std::string>& args, const Options& options) {
   }
   if (!options.store_dir.empty() && !command->accepts_store) {
     throw BadArgument("--store is only supported by 'plans'");
+  }
+  if ((options.scenario_set || options.ranges_set) && !command->accepts_scenario) {
+    throw BadArgument(
+        "--scenario/--ranges are only supported by 'threshold', 'analyze', and 'sweep'");
   }
   if (options.engine_set) {
     if (!command->accepts_engine) {

@@ -35,6 +35,8 @@ struct Command {
   bool accepts_engine;
   bool accepts_shard;
   bool accepts_store;
+  /// Whether --scenario/--ranges (generalized decision games) apply.
+  bool accepts_scenario;
   int (*run)(const std::vector<std::string>& args, const Options& options);
 };
 

@@ -19,6 +19,7 @@ int run_analyze(const std::vector<std::string>& args, const Options& options);
 int run_simulate(const std::vector<std::string>& args, const Options& options);
 int run_volume(const std::vector<std::string>& args, const Options& options);
 int run_ladder(const std::vector<std::string>& args, const Options& options);
+int run_deviate(const std::vector<std::string>& args, const Options& options);
 int run_sweep(const std::vector<std::string>& args, const Options& options);
 int run_plans(const std::vector<std::string>& args, const Options& options);
 int run_merge(const std::vector<std::string>& args, const Options& options);

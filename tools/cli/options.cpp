@@ -4,6 +4,7 @@
 
 #include "cli/parse.hpp"
 #include "engine/registry.hpp"
+#include "util/status.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/trace.hpp"
 
@@ -87,6 +88,23 @@ CommandLine parse_command_line(int argc, char** argv) {
       options.shard_set = true;
     } else if (arg == "--shard") {
       throw BadArgument("--shard requires a value (use --shard=i/k)");
+    } else if (arg.rfind("--scenario=", 0) == 0) {
+      options.scenario = arg.substr(11);
+      options.scenario_set = true;
+      if (options.scenario.empty()) {
+        throw BadArgument(
+            "invalid --scenario '' (expected homogeneous, heterogeneous, or deviating:<k>)");
+      }
+    } else if (arg == "--scenario") {
+      throw BadArgument("--scenario requires a value (use --scenario=<descriptor>)");
+    } else if (arg.rfind("--ranges=", 0) == 0) {
+      options.ranges = arg.substr(9);
+      options.ranges_set = true;
+      if (options.ranges.empty()) {
+        throw BadArgument("invalid --ranges '' (expected --ranges=c_1,..,c_n)");
+      }
+    } else if (arg == "--ranges") {
+      throw BadArgument("--ranges requires a value (use --ranges=c_1,..,c_n)");
     } else if (arg.rfind("--policy=", 0) == 0) {
       options.policy_path = arg.substr(9);
       options.policy_set = true;
@@ -123,6 +141,37 @@ CommandLine parse_command_line(int argc, char** argv) {
     }
   }
   return command_line;
+}
+
+engine::Scenario resolve_scenario(const Options& options) {
+  if (!options.scenario_set) {
+    if (options.ranges_set) {
+      throw BadArgument("--ranges requires --scenario=heterogeneous");
+    }
+    return engine::Scenario{};
+  }
+  if (options.scenario == "heterogeneous") {
+    if (!options.ranges_set) {
+      throw BadArgument(
+          "--scenario=heterogeneous requires per-player ranges: add --ranges=c_1,..,c_n or "
+          "write --scenario=heterogeneous:c_1,..,c_n");
+    }
+    try {
+      return engine::Scenario::heterogeneous(engine::Scenario::parse_ranges(options.ranges));
+    } catch (const Error& error) {
+      throw BadArgument("invalid --ranges '" + options.ranges + "': " + error.what());
+    }
+  }
+  if (options.ranges_set) {
+    throw BadArgument(options.scenario.rfind("heterogeneous:", 0) == 0
+                          ? "--scenario=heterogeneous:... carries its own ranges; drop --ranges"
+                          : "--ranges only applies to --scenario=heterogeneous");
+  }
+  try {
+    return engine::Scenario::parse(options.scenario);
+  } catch (const Error& error) {
+    throw BadArgument("invalid --scenario '" + options.scenario + "': " + error.what());
+  }
 }
 
 void enable_observability(const Options& options) {

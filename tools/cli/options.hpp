@@ -9,6 +9,9 @@
 //   --policy=<file>       calibrated engine policy table (overrides DDM_POLICY;
 //                         for `calibrate` it names the OUTPUT file instead)
 //   --shard=i/k           evaluate grid rows with index % k == i (sweep)
+//   --scenario=<desc>     decision game: homogeneous (default),
+//                         heterogeneous[:c_1,..,c_n], or deviating:<k>
+//   --ranges=c_1,..,c_n   per-player ranges for --scenario=heterogeneous
 //   --store=<dir>         plan store directory (plans; overrides DDM_PLAN_STORE)
 //   --trace=<file>        export a Chrome trace at exit
 //   --metrics[=json|prom] dump the metrics registry to stderr at exit
@@ -19,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/scenario.hpp"
 #include "util/certify.hpp"
 
 namespace ddm::cli {
@@ -49,6 +53,14 @@ struct Options {
   std::uint32_t shard_index = 0;
   std::uint32_t shard_count = 1;
   bool shard_set = false;
+  /// Decision game descriptor (--scenario=<desc>) and the companion
+  /// heterogeneous ranges list (--ranges=c_1,..,c_n). Raw text here; the
+  /// combination is validated and resolved by resolve_scenario() so every
+  /// subcommand rejects malformed games with the same messages.
+  std::string scenario;
+  bool scenario_set = false;
+  std::string ranges;
+  bool ranges_set = false;
   /// Plan store directory (--store=<dir>); empty means DDM_PLAN_STORE.
   std::string store_dir;
   /// Engine policy table (--policy=<file>); empty means DDM_POLICY. Loaded
@@ -68,6 +80,13 @@ struct CommandLine {
 /// Parses argv. Throws BadArgument on malformed or unknown flags; --engine
 /// values are validated against the registry ("auto" plus every id).
 [[nodiscard]] CommandLine parse_command_line(int argc, char** argv);
+
+/// Resolves --scenario/--ranges into the game the request is posed over.
+/// No flags = the paper's homogeneous default. Throws BadArgument on every
+/// malformed combination: --ranges without --scenario=heterogeneous,
+/// --scenario=heterogeneous without ranges (flag or inline), inline ranges
+/// combined with --ranges, unknown scenario ids, and unparseable values.
+[[nodiscard]] engine::Scenario resolve_scenario(const Options& options);
 
 /// Turns collection on before dispatch. Tracing and metrics are both global
 /// relaxed flags, so enabling them costs the instrumented code nothing until
